@@ -1,0 +1,48 @@
+//! Benchmarks of the collapse step (§4.1) and canopy candidate retrieval
+//! — the machinery behind the "Canopy+Collapse" curve of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use topk_predicates::{collapse, student_predicates};
+use topk_records::{tokenize_dataset, TokenizedRecord};
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking");
+    for &n in &[2_000usize, 8_000] {
+        let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+            n_students: n / 3,
+            n_records: n,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&data);
+        let stack = student_predicates(data.schema());
+        let refs: Vec<&TokenizedRecord> = toks.iter().collect();
+        let weights: Vec<f64> = toks.iter().map(|t| t.weight()).collect();
+
+        g.bench_with_input(BenchmarkId::new("collapse_S1", n), &n, |bch, _| {
+            bch.iter(|| collapse(black_box(&refs), &weights, stack.levels[0].0.as_ref()))
+        });
+
+        let n_pred = stack.levels[0].1.as_ref();
+        let mut index = topk_text::InvertedIndex::new();
+        let token_sets: Vec<_> = refs.iter().map(|r| n_pred.candidate_tokens(r)).collect();
+        for (i, ts) in token_sets.iter().enumerate() {
+            index.insert(i as u32, ts);
+        }
+        g.bench_with_input(BenchmarkId::new("canopy_candidates_N1", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut total = 0usize;
+                for (i, ts) in token_sets.iter().enumerate().take(200) {
+                    total += index
+                        .candidates(ts, n_pred.min_common_tokens(), Some(i as u32))
+                        .len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks of the §4.2/§4.3 bound machinery: the lazy incremental
+//! lower-bound estimator vs the weak baseline, and the fast (lazy
+//! verification) prune vs the fully verified one — the ablations behind
+//! the Figure 6 "Prune" curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use topk_core::{
+    estimate_lower_bound, estimate_lower_bound_weak, prune_groups, prune_groups_fast,
+    PipelineConfig, PrunedDedup, PruningMode,
+};
+use topk_predicates::{student_predicates, PredicateStack};
+use topk_records::{tokenize_dataset, TokenizedRecord};
+
+struct Setup {
+    toks: Vec<TokenizedRecord>,
+    stack: PredicateStack,
+    groups: Vec<topk_core::FinalGroup>,
+}
+
+fn setup(n_records: usize) -> Setup {
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: n_records / 3,
+        n_records,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = student_predicates(data.schema());
+    let groups = PrunedDedup::new(
+        &toks,
+        &stack,
+        PipelineConfig {
+            k: 10,
+            mode: PruningMode::CanopyCollapse,
+            ..Default::default()
+        },
+    )
+    .run()
+    .groups;
+    Setup {
+        toks,
+        stack,
+        groups,
+    }
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let s = setup(8_000);
+    let reps: Vec<&TokenizedRecord> = s.groups.iter().map(|g| &s.toks[g.rep as usize]).collect();
+    let weights: Vec<f64> = s.groups.iter().map(|g| g.weight).collect();
+    let n_pred = s.stack.levels[0].1.as_ref();
+
+    let mut grp = c.benchmark_group("bounds");
+    grp.sample_size(10);
+    for k in [1usize, 10, 100] {
+        grp.bench_with_input(BenchmarkId::new("estimate_lower_bound", k), &k, |b, &k| {
+            b.iter(|| estimate_lower_bound(black_box(&reps), &weights, n_pred, k))
+        });
+        grp.bench_with_input(
+            BenchmarkId::new("estimate_lower_bound_weak", k),
+            &k,
+            |b, &k| b.iter(|| estimate_lower_bound_weak(black_box(&reps), &weights, n_pred, k)),
+        );
+    }
+    let m = estimate_lower_bound(&reps, &weights, n_pred, 10).lower_bound;
+    grp.bench_function("prune_groups_verified", |b| {
+        b.iter(|| prune_groups(black_box(&reps), &weights, n_pred, m, 2))
+    });
+    grp.bench_function("prune_groups_fast", |b| {
+        b.iter(|| prune_groups_fast(black_box(&reps), &weights, n_pred, m, 2))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

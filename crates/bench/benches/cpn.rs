@@ -1,0 +1,40 @@
+//! Benchmarks of the clique-partition-number machinery (§4.2) — the
+//! lower-bound estimation behind the M column of Figures 2-4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use topk_graph::{cpn_lower_bound, min_fill_order, Graph};
+
+fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..(n * avg_degree / 2) {
+        let u = (next() % n as u64) as u32;
+        let v = (next() % n as u64) as u32;
+        g.add_edge(u, v);
+    }
+    g
+}
+
+fn bench_cpn(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("cpn");
+    for &n in &[50usize, 200, 600] {
+        let g = random_graph(n, 4, 42);
+        grp.bench_with_input(BenchmarkId::new("min_fill_order", n), &g, |bch, g| {
+            bch.iter(|| min_fill_order(black_box(g)))
+        });
+        grp.bench_with_input(BenchmarkId::new("cpn_lower_bound", n), &g, |bch, g| {
+            bch.iter(|| cpn_lower_bound(black_box(g)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_cpn);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! End-to-end PrunedDedup benchmarks — the Figure 6 configurations as
+//! Criterion groups, at bench-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use topk_core::{PipelineConfig, PrunedDedup, PruningMode};
+use topk_predicates::student_predicates;
+use topk_records::tokenize_dataset;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: 3_000,
+        n_records: 10_000,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = student_predicates(data.schema());
+
+    let mut g = c.benchmark_group("pipeline_10k_students");
+    g.sample_size(10);
+    for k in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("full", k), &k, |bch, &k| {
+            bch.iter(|| {
+                PrunedDedup::new(
+                    black_box(&toks),
+                    &stack,
+                    PipelineConfig {
+                        k,
+                        ..Default::default()
+                    },
+                )
+                .run()
+            })
+        });
+    }
+    // Mode ablation at K=10 (Figure 6 shape).
+    for (name, mode) in [
+        ("canopy_collapse", PruningMode::CanopyCollapse),
+        ("full_prune", PruningMode::Full),
+    ] {
+        g.bench_function(BenchmarkId::new("mode", name), |bch| {
+            bch.iter(|| {
+                PrunedDedup::new(
+                    black_box(&toks),
+                    &stack,
+                    PipelineConfig {
+                        k: 10,
+                        mode,
+                        ..Default::default()
+                    },
+                )
+                .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

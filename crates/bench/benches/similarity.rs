@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the similarity kernels that dominate the final
+//! predicate `P` (supports the Figure 6 timing analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use topk_text::sim::{jaccard, jaro_winkler, levenshtein, tfidf_cosine};
+use topk_text::tokenize::{qgram_set, word_set};
+use topk_text::CorpusStats;
+
+fn bench_similarity(c: &mut Criterion) {
+    let a = "sunita sarawagi kasliwal";
+    let b = "s sarawagi kasliwaal";
+    let wa = word_set(a);
+    let wb = word_set(b);
+    let qa = qgram_set(a, 3);
+    let qb = qgram_set(b, 3);
+    let docs = [wa.clone(), wb.clone(), word_set("vinay deshpande")];
+    let stats = CorpusStats::from_documents(docs.iter());
+
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("jaccard_words", |bch| {
+        bch.iter(|| jaccard(black_box(&wa), black_box(&wb)))
+    });
+    g.bench_function("jaccard_3grams", |bch| {
+        bch.iter(|| jaccard(black_box(&qa), black_box(&qb)))
+    });
+    g.bench_function("jaro_winkler", |bch| {
+        bch.iter(|| jaro_winkler(black_box(a), black_box(b)))
+    });
+    g.bench_function("levenshtein", |bch| {
+        bch.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    g.bench_function("tfidf_cosine", |bch| {
+        bch.iter(|| tfidf_cosine(black_box(&wa), black_box(&wb), &stats))
+    });
+    g.bench_function("tokenize_3grams", |bch| {
+        bch.iter(|| qgram_set(black_box(a), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

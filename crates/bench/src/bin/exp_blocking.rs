@@ -1,0 +1,109 @@
+//! Extension experiment: blocking-strategy comparison — the §2/§3
+//! candidate-generation literature (canopy clustering, sorted
+//! neighborhood, and the paper's necessary-predicate canopies) measured
+//! on duplicate-pair *recall* vs pair *selectivity*.
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_blocking -- [n_records]
+//! ```
+
+use std::collections::HashSet;
+
+use topk_bench::Table;
+use topk_predicates::{
+    build_canopies, citation_predicates, surname_key, CanopyConfig, SortedNeighborhood,
+};
+use topk_records::{tokenize_dataset, FieldId, TokenizedRecord};
+use topk_text::InvertedIndex;
+
+/// Recall of true-duplicate pairs and selectivity for a candidate set.
+fn evaluate(
+    name: &str,
+    pairs: &HashSet<(u32, u32)>,
+    truth_pairs: &[(u32, u32)],
+    n: usize,
+    table: &mut Table,
+) {
+    let hit = truth_pairs.iter().filter(|p| pairs.contains(p)).count();
+    let recall = hit as f64 / truth_pairs.len().max(1) as f64;
+    let selectivity = pairs.len() as f64 / (n * (n - 1) / 2) as f64;
+    table.row(vec![
+        name.to_string(),
+        format!("{:.1}", 100.0 * recall),
+        format!("{:.4}", 100.0 * selectivity),
+        pairs.len().to_string(),
+    ]);
+}
+
+fn main() {
+    let n_records: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4_000);
+    let data = topk_bench::default_citations(false).head(n_records);
+    let toks = tokenize_dataset(&data);
+    let refs: Vec<&TokenizedRecord> = toks.iter().collect();
+    let truth = data.truth().unwrap();
+    let n = toks.len();
+    println!("blocking comparison on {n} citation records");
+
+    // True duplicate pairs (sampled from groups; full enumeration of the
+    // head group would dominate).
+    let mut truth_pairs = Vec::new();
+    for g in truth.groups() {
+        for w in g.windows(2) {
+            truth_pairs.push((w[0] as u32, w[1] as u32));
+        }
+        if g.len() >= 3 {
+            truth_pairs.push((g[0] as u32, g[g.len() - 1] as u32));
+        }
+    }
+    for p in &mut truth_pairs {
+        *p = (p.0.min(p.1), p.0.max(p.1));
+    }
+
+    let mut table = Table::new(vec!["strategy", "recall %", "pairs %", "# pairs"]);
+
+    // 1. The paper's necessary predicate (N1) as a canopy.
+    let stack = citation_predicates(data.schema(), &toks);
+    let n1 = stack.levels[0].1.as_ref();
+    let mut index = InvertedIndex::new();
+    let token_sets: Vec<_> = refs.iter().map(|r| n1.candidate_tokens(r)).collect();
+    for (i, ts) in token_sets.iter().enumerate() {
+        index.insert(i as u32, ts);
+    }
+    let mut n1_pairs = HashSet::new();
+    for (i, ts) in token_sets.iter().enumerate() {
+        for j in index.candidates(ts, n1.min_common_tokens(), Some(i as u32)) {
+            if (j as usize) > i && n1.matches(refs[i], refs[j as usize]) {
+                n1_pairs.insert((i as u32, j));
+            }
+        }
+    }
+    evaluate("necessary predicate N1", &n1_pairs, &truth_pairs, n, &mut table);
+
+    // 2. McCallum canopies over author words.
+    for (label, cfg) in [
+        ("canopy t1=0.2 t2=0.7", CanopyConfig { t1: 0.2, t2: 0.7 }),
+        ("canopy t1=0.4 t2=0.8", CanopyConfig { t1: 0.4, t2: 0.8 }),
+    ] {
+        let canopies = build_canopies(&refs, |r| r.field(FieldId(0)).words.clone(), cfg);
+        let pairs: HashSet<(u32, u32)> = canopies.candidate_pairs().into_iter().collect();
+        evaluate(label, &pairs, &truth_pairs, n, &mut table);
+    }
+
+    // 3. Sorted neighborhood over the surname key, two window widths.
+    for w in [5usize, 20] {
+        let snm = SortedNeighborhood::new(w, vec![surname_key(FieldId(0))]);
+        let pairs: HashSet<(u32, u32)> = snm.candidate_pairs(&refs).into_iter().collect();
+        evaluate(&format!("sorted neighborhood w={w}"), &pairs, &truth_pairs, n, &mut table);
+    }
+
+    println!("\n{table}");
+    println!(
+        "recall = fraction of sampled true-duplicate pairs surviving as \
+         candidates; pairs % = candidate share of all record pairs. The \
+         paper's predicate canopies sit on the favorable corner of this \
+         trade-off because they encode domain knowledge."
+    );
+}

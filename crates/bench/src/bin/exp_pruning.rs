@@ -1,0 +1,149 @@
+//! Experiment: pruning performance — regenerates the paper's Figures
+//! 2, 3 and 4 (tables of n, m, M, n′ per K and iteration) plus the §6.2
+//! refinement ablation.
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_pruning -- [citations|students|addresses|all] [--full]
+//! ```
+
+use topk_bench::Table;
+use topk_core::{
+    estimate_lower_bound, estimate_lower_bound_weak, PipelineConfig, PruningMode, PrunedDedup,
+};
+use topk_predicates::{address_predicates, citation_predicates, student_predicates, PredicateStack};
+use topk_records::{tokenize_dataset, Dataset, TokenizedRecord};
+
+const KS: [usize; 7] = [1, 5, 10, 50, 100, 500, 1000];
+
+fn run_dataset(name: &str, data: &Dataset, stack: &PredicateStack, levels: usize) {
+    println!(
+        "\n=== {} dataset: {} records (paper: Figure {}) ===",
+        name,
+        data.len(),
+        match name {
+            "Citation" => "2",
+            "Student" => "3",
+            _ => "4",
+        }
+    );
+    let toks = tokenize_dataset(data);
+    let mut header = vec!["K".to_string()];
+    for it in 1..=levels {
+        for col in ["n%", "m", "M", "n'%"] {
+            header.push(format!("it{it}.{col}"));
+        }
+    }
+    let mut table = Table::new(header);
+    for k in KS {
+        let out = PrunedDedup::new(
+            &toks,
+            stack,
+            PipelineConfig {
+                k,
+                ..Default::default()
+            },
+        )
+        .run();
+        let mut row = vec![k.to_string()];
+        for it in 0..levels {
+            match out.stats.iterations.get(it) {
+                Some(s) => {
+                    row.push(format!("{:.2}", s.pct_after_collapse));
+                    row.push(s.m.to_string());
+                    row.push(format!("{:.0}", s.lower_bound));
+                    row.push(format!("{:.2}", s.pct_after_prune));
+                }
+                None => {
+                    // pipeline stopped early (n' == K)
+                    for _ in 0..4 {
+                        row.push("-".to_string());
+                    }
+                }
+            }
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    // §6.2 ablation: refinement passes (the paper: two iterations gave
+    // two-fold more pruning than one).
+    let mut ab = Table::new(vec!["K", "n'% (0 passes)", "n'% (1 pass)", "n'% (2 passes)"]);
+    for k in [1, 10, 100] {
+        let mut row = vec![k.to_string()];
+        for refine in [0usize, 1, 2] {
+            let out = PrunedDedup::new(
+                &toks,
+                stack,
+                PipelineConfig {
+                    k,
+                    refine_iterations: refine,
+                    ..Default::default()
+                },
+            )
+            .run();
+            row.push(format!("{:.2}", out.stats.final_pct()));
+        }
+        ab.row(row);
+    }
+    println!("upper-bound refinement ablation (§4.3):\n{ab}");
+
+    // §4.2 ablation: the CPN-based m against the paper's "simple way"
+    // baseline (count groups that cannot merge with anything earlier).
+    // Both run on the level-1 collapsed groups.
+    let collapsed = PrunedDedup::new(
+        &toks,
+        stack,
+        PipelineConfig {
+            k: 1,
+            mode: PruningMode::CanopyCollapse,
+            ..Default::default()
+        },
+    )
+    .run();
+    let reps: Vec<&TokenizedRecord> = collapsed
+        .groups
+        .iter()
+        .map(|g| &toks[g.rep as usize])
+        .collect();
+    let weights: Vec<f64> = collapsed.groups.iter().map(|g| g.weight).collect();
+    let n_pred = stack.levels[0].1.as_ref();
+    let mut mt = Table::new(vec!["K", "m (CPN bound)", "m (weak baseline)", "M (CPN)", "M (weak)"]);
+    for k in [1usize, 10, 100] {
+        let cpn = estimate_lower_bound(&reps, &weights, n_pred, k);
+        let weak = estimate_lower_bound_weak(&reps, &weights, n_pred, k);
+        mt.row(vec![
+            k.to_string(),
+            cpn.m.to_string(),
+            weak.m.to_string(),
+            format!("{:.0}", cpn.lower_bound),
+            format!("{:.0}", weak.lower_bound),
+        ]);
+    }
+    println!("lower-bound estimator ablation (§4.2, Figure 1 discussion):\n{mt}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+
+    if which == "citations" || which == "all" {
+        let data = topk_bench::default_citations(full);
+        let toks = tokenize_dataset(&data);
+        let stack = citation_predicates(data.schema(), &toks);
+        run_dataset("Citation", &data, &stack, 2);
+    }
+    if which == "students" || which == "all" {
+        let data = topk_bench::default_students(full);
+        let stack = student_predicates(data.schema());
+        run_dataset("Student", &data, &stack, 2);
+    }
+    if which == "addresses" || which == "all" {
+        let data = topk_bench::default_addresses(full);
+        let stack = address_predicates(data.schema());
+        run_dataset("Address", &data, &stack, 1);
+    }
+}

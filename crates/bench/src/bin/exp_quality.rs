@@ -1,0 +1,157 @@
+//! Extension experiment: end-to-end deduplication quality across all
+//! five generated domains — pairwise F1 and B-cubed F1 of
+//! `topk_core::deduplicate` against generator ground truth, with the
+//! transitive-closure baseline alongside.
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_quality -- [seed]
+//! ```
+
+use topk_bench::{train_scorer, Table};
+use topk_core::deduplicate;
+use topk_datagen::{
+    generate_addresses, generate_citations, generate_products, generate_students,
+    generate_web_mentions, AddressConfig, CitationConfig, ProductConfig, StudentConfig, WebConfig,
+};
+use topk_predicates::{
+    address_predicates, citation_predicates, product_predicates, student_predicates,
+    web_predicates, PredicateStack,
+};
+use topk_records::{bcubed, pairwise_f1, tokenize_dataset, Dataset};
+
+fn domains(seed: u64) -> Vec<(&'static str, Dataset)> {
+    vec![
+        (
+            "citations",
+            generate_citations(&CitationConfig {
+                n_authors: 400,
+                n_citations: 1_500,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "students",
+            generate_students(&StudentConfig {
+                n_students: 400,
+                n_records: 2_000,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "addresses",
+            generate_addresses(&AddressConfig {
+                n_entities: 500,
+                n_records: 2_000,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "web mentions",
+            generate_web_mentions(&WebConfig {
+                n_orgs: 300,
+                n_records: 2_000,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "products",
+            generate_products(&ProductConfig {
+                n_products: 400,
+                n_records: 2_000,
+                seed,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+fn stack_for(name: &str, data: &Dataset, toks: &[topk_records::TokenizedRecord]) -> PredicateStack {
+    match name {
+        "citations" => citation_predicates(data.schema(), toks),
+        "students" => student_predicates(data.schema()),
+        "addresses" => address_predicates(data.schema()),
+        "web mentions" => web_predicates(data.schema()),
+        _ => product_predicates(data.schema()),
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(11);
+    let mut table = Table::new(vec![
+        "domain",
+        "records",
+        "dedup F1 %",
+        "dedup B3 %",
+        "closure F1 %",
+        "exact?",
+    ]);
+    for (name, data) in domains(seed) {
+        let toks = tokenize_dataset(&data);
+        let stack = stack_for(name, &data, &toks);
+        let scorer = train_scorer(&data, &toks, seed);
+        let truth = data.truth().unwrap();
+        let res = deduplicate(&toks, &stack, &scorer, -1.0);
+        let f1 = pairwise_f1(&res.partition, truth).f1;
+        let b3 = bcubed(&res.partition, truth).f1;
+        // Transitive-closure baseline over the same sparse canopy scores:
+        // reuse dedup's collapse but close all positive pairs.
+        let closure = closure_baseline(&toks, &stack, &scorer);
+        let f1_closure = pairwise_f1(&closure, truth).f1;
+        table.row(vec![
+            name.to_string(),
+            data.len().to_string(),
+            format!("{:.1}", 100.0 * f1),
+            format!("{:.1}", 100.0 * b3),
+            format!("{:.1}", 100.0 * f1_closure),
+            if res.exact { "yes" } else { "no" }.to_string(),
+        ]);
+        println!("{name}: F1 {:.1}%, B3 {:.1}%, closure {:.1}%", 100.0 * f1, 100.0 * b3, 100.0 * f1_closure);
+    }
+    println!("\n{table}");
+}
+
+/// Positive-pair transitive closure over canopy scores (the Figure 7
+/// baseline) at whole-dataset scale.
+fn closure_baseline(
+    toks: &[topk_records::TokenizedRecord],
+    stack: &PredicateStack,
+    scorer: &dyn topk_cluster::PairScorer,
+) -> topk_records::Partition {
+    let n = toks.len();
+    let mut uf = topk_graph::UnionFind::new(n);
+    // collapse first (sufficient predicates are certain)
+    let refs: Vec<&topk_records::TokenizedRecord> = toks.iter().collect();
+    let weights: Vec<f64> = toks.iter().map(|t| t.weight()).collect();
+    for (s_pred, _) in &stack.levels {
+        for g in topk_predicates::collapse(&refs, &weights, s_pred.as_ref()) {
+            for w in g.members.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+    }
+    if let Some((_, n_pred)) = stack.levels.last() {
+        let mut index = topk_text::InvertedIndex::new();
+        let token_sets: Vec<_> = refs.iter().map(|r| n_pred.candidate_tokens(r)).collect();
+        for (i, ts) in token_sets.iter().enumerate() {
+            index.insert(i as u32, ts);
+        }
+        for (i, ts) in token_sets.iter().enumerate() {
+            for j in index.candidates(ts, n_pred.min_common_tokens(), Some(i as u32)) {
+                if (j as usize) > i
+                    && n_pred.matches(refs[i], refs[j as usize])
+                    && scorer.score(refs[i], refs[j as usize]) > 0.0
+                {
+                    uf.union(i as u32, j);
+                }
+            }
+        }
+    }
+    topk_records::Partition::from_labels(uf.labels())
+}

@@ -1,0 +1,160 @@
+//! Experiment: running-time comparison — regenerates the paper's
+//! Figure 6 (time vs K for None / Canopy / Canopy+Collapse /
+//! Canopy+Collapse+Prune on a citation subset).
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_timing -- [subset_size] [--with-none]
+//! ```
+//!
+//! All four configurations share the same final step (score candidate
+//! pairs with the learned P, transitively close positive pairs, take the
+//! K largest groups), so the comparison isolates the candidate-generation
+//! and pruning work, as in the paper. The Cartesian "None" configuration
+//! is quadratic; by default it runs on a 3,000-record sample and reports
+//! a quadratic extrapolation (the paper itself had to cut Figure 6 down
+//! to 45k records because "the Canopy method took too long").
+
+use std::time::Instant;
+
+use topk_bench::{train_scorer, LearnedScorer, Table};
+use topk_cluster::PairScorer;
+use topk_core::{PipelineConfig, PrunedDedup, PruningMode};
+use topk_graph::UnionFind;
+use topk_predicates::{citation_predicates, PredicateStack};
+use topk_records::{tokenize_dataset, TokenizedRecord};
+
+const KS: [usize; 5] = [1, 10, 100, 500, 1000];
+
+/// Final step shared by all configurations: score canopy pairs among the
+/// surviving groups, transitively close positives, return the K heaviest
+/// cluster weights.
+fn finish(
+    toks: &[TokenizedRecord],
+    groups: &[topk_core::FinalGroup],
+    stack: &PredicateStack,
+    scorer: &LearnedScorer,
+    k: usize,
+    use_canopy: bool,
+) -> Vec<f64> {
+    let n = groups.len();
+    let reps: Vec<&TokenizedRecord> = groups.iter().map(|g| &toks[g.rep as usize]).collect();
+    let mut uf = UnionFind::new(n);
+    if use_canopy {
+        let (_, n_pred) = stack.levels.last().expect("stack has levels");
+        let mut index = topk_text::InvertedIndex::new();
+        let token_sets: Vec<_> = reps.iter().map(|r| n_pred.candidate_tokens(r)).collect();
+        for (i, ts) in token_sets.iter().enumerate() {
+            index.insert(i as u32, ts);
+        }
+        for i in 0..n {
+            for j in index.candidates(&token_sets[i], n_pred.min_common_tokens(), Some(i as u32)) {
+                let j = j as usize;
+                if j > i
+                    && n_pred.matches(reps[i], reps[j])
+                    && scorer.score(reps[i], reps[j]) > 0.0
+                {
+                    uf.union(i as u32, j as u32);
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if scorer.score(reps[i], reps[j]) > 0.0 {
+                    uf.union(i as u32, j as u32);
+                }
+            }
+        }
+    }
+    let mut weights: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for (i, g) in groups.iter().enumerate() {
+        *weights.entry(uf.find(i as u32)).or_insert(0.0) += g.weight;
+    }
+    let mut ws: Vec<f64> = weights.into_values().collect();
+    ws.sort_by(|a, b| b.total_cmp(a));
+    ws.truncate(k);
+    ws
+}
+
+fn timed(
+    toks: &[TokenizedRecord],
+    stack: &PredicateStack,
+    scorer: &LearnedScorer,
+    k: usize,
+    mode: PruningMode,
+) -> f64 {
+    let t0 = Instant::now();
+    let out = PrunedDedup::new(
+        toks,
+        stack,
+        PipelineConfig {
+            k,
+            mode,
+            ..Default::default()
+        },
+    )
+    .run();
+    let use_canopy = mode != PruningMode::NoOptimization;
+    let _top = finish(toks, &out.groups, stack, scorer, k, use_canopy);
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let with_none = args.iter().any(|a| a == "--with-none");
+    let subset: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+
+    let data = topk_bench::default_citations(false).head(subset);
+    println!(
+        "Figure 6 reproduction on {} citation records (paper used a 45k subset)",
+        data.len()
+    );
+    let toks = tokenize_dataset(&data);
+    let stack = citation_predicates(data.schema(), &toks);
+    let scorer = train_scorer(&data, &toks, 11);
+
+    let mut table = Table::new(vec![
+        "K",
+        "Canopy (s)",
+        "Canopy+Collapse (s)",
+        "Canopy+Collapse+Prune (s)",
+    ]);
+    for k in KS {
+        let canopy = timed(&toks, &stack, &scorer, k, PruningMode::CanopyOnly);
+        let collapse = timed(&toks, &stack, &scorer, k, PruningMode::CanopyCollapse);
+        let full = timed(&toks, &stack, &scorer, k, PruningMode::Full);
+        table.row(vec![
+            k.to_string(),
+            format!("{canopy:.2}"),
+            format!("{collapse:.2}"),
+            format!("{full:.2}"),
+        ]);
+        println!(
+            "K={k}: canopy {canopy:.2}s, +collapse {collapse:.2}s, +prune {full:.2}s \
+             (speedup over canopy: {:.1}x)",
+            canopy / full.max(1e-9)
+        );
+    }
+    println!("\n{table}");
+
+    if with_none {
+        // The Cartesian baseline, measured on a small sample and
+        // extrapolated quadratically (its cost is pair-dominated).
+        let sample = data.head(3_000);
+        let toks_s = tokenize_dataset(&sample);
+        let stack_s = citation_predicates(sample.schema(), &toks_s);
+        let t = timed(&toks_s, &stack_s, &scorer, 10, PruningMode::NoOptimization);
+        let scale = (data.len() as f64 / sample.len() as f64).powi(2);
+        println!(
+            "\n'None' (full Cartesian product): {t:.2}s on {} records, \
+             ~{:.0}s extrapolated to {} records",
+            sample.len(),
+            t * scale,
+            data.len()
+        );
+    }
+}

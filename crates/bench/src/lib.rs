@@ -1,0 +1,9 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+
+pub mod datasets;
+pub mod scorers;
+pub mod table;
+
+pub use datasets::{accuracy_suite, default_addresses, default_citations, default_students};
+pub use scorers::{train_scorer, LearnedScorer};
+pub use table::Table;

@@ -1,0 +1,218 @@
+//! Hand-rolled argument parsing (the allowed dependency set has no CLI
+//! parser, and the surface is small).
+
+use std::path::PathBuf;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  topk count  <data.tsv> [--k N] [--r N] [--name-field F] [--alpha A]
+  topk rank   <data.tsv> [--k N] [--name-field F]
+  topk thresh <data.tsv> --threshold T [--name-field F]
+
+options:
+  --k N            number of groups to return (default 10)
+  --r N            number of alternative answers, count query only (default 1)
+  --name-field F   field used for matching (default: first data column)
+  --threshold T    weight threshold for `thresh`
+  --alpha A        embedding decay in (0,1] (default 0.6)
+  --max-df N       rare-word document-frequency cap for the sufficient
+                   predicate (default 30)
+  --min-overlap X  3-gram overlap fraction for the necessary predicate
+                   (default 0.6)
+  --delimiter C    column separator (default tab)
+  --no-header      first row is data, not column names
+  --weight-col F   column holding record weights (default: the __weight
+                   column of topk-written TSVs, or 1.0 everywhere)
+  --label-col F    column holding ground-truth integer labels";
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// TopK count query.
+    Count(Options),
+    /// TopK rank query.
+    Rank(Options),
+    /// Thresholded rank query.
+    Thresh(Options),
+}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Input TSV path.
+    pub path: PathBuf,
+    /// K.
+    pub k: usize,
+    /// R (count query only).
+    pub r: usize,
+    /// Name of the match field (None = first data column).
+    pub name_field: Option<String>,
+    /// Threshold for `thresh`.
+    pub threshold: Option<f64>,
+    /// Embedding decay.
+    pub alpha: f64,
+    /// Rare-word df cap for the sufficient predicate.
+    pub max_df: u32,
+    /// 3-gram overlap fraction for the necessary predicate.
+    pub min_overlap: f64,
+    /// Column separator.
+    pub delimiter: char,
+    /// First row is a header row.
+    pub has_header: bool,
+    /// Weight column name, if any.
+    pub weight_col: Option<String>,
+    /// Label column name, if any.
+    pub label_col: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            path: PathBuf::new(),
+            k: 10,
+            r: 1,
+            name_field: None,
+            threshold: None,
+            alpha: 0.6,
+            max_df: 30,
+            min_overlap: 0.6,
+            delimiter: '\t',
+            has_header: true,
+            weight_col: None,
+            label_col: None,
+        }
+    }
+}
+
+/// Parse an argv slice (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    let mut opts = Options::default();
+    let mut path: Option<PathBuf> = None;
+
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("flag {flag} needs a value"))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => opts.k = parse_num(&next_value("--k", &mut it)?, "--k")?,
+            "--r" => opts.r = parse_num(&next_value("--r", &mut it)?, "--r")?,
+            "--name-field" => opts.name_field = Some(next_value("--name-field", &mut it)?),
+            "--threshold" => {
+                opts.threshold = Some(parse_float(&next_value("--threshold", &mut it)?, "--threshold")?)
+            }
+            "--alpha" => opts.alpha = parse_float(&next_value("--alpha", &mut it)?, "--alpha")?,
+            "--max-df" => {
+                opts.max_df = parse_num::<u32>(&next_value("--max-df", &mut it)?, "--max-df")?
+            }
+            "--min-overlap" => {
+                opts.min_overlap =
+                    parse_float(&next_value("--min-overlap", &mut it)?, "--min-overlap")?
+            }
+            "--delimiter" => {
+                let v = next_value("--delimiter", &mut it)?;
+                let mut chars = v.chars();
+                opts.delimiter = chars
+                    .next()
+                    .ok_or("--delimiter needs a character".to_string())?;
+                if chars.next().is_some() {
+                    return Err("--delimiter must be a single character".into());
+                }
+            }
+            "--no-header" => opts.has_header = false,
+            "--weight-col" => opts.weight_col = Some(next_value("--weight-col", &mut it)?),
+            "--label-col" => opts.label_col = Some(next_value("--label-col", &mut it)?),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if path.is_some() {
+                    return Err(format!("unexpected positional argument {other}"));
+                }
+                path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    opts.path = path.ok_or("missing <data.tsv> argument")?;
+    if opts.k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if !(opts.alpha > 0.0 && opts.alpha <= 1.0) {
+        return Err("--alpha must be in (0, 1]".into());
+    }
+    match sub.as_str() {
+        "count" => Ok(Command::Count(opts)),
+        "rank" => Ok(Command::Rank(opts)),
+        "thresh" => {
+            if opts.threshold.is_none() {
+                return Err("thresh requires --threshold".into());
+            }
+            Ok(Command::Thresh(opts))
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+fn parse_float(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_count() {
+        let c = parse(&argv("count data.tsv --k 5 --r 2 --name-field author")).unwrap();
+        match c {
+            Command::Count(o) => {
+                assert_eq!(o.k, 5);
+                assert_eq!(o.r, 2);
+                assert_eq!(o.name_field.as_deref(), Some("author"));
+                assert_eq!(o.path, PathBuf::from("data.tsv"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn thresh_requires_threshold() {
+        assert!(parse(&argv("thresh data.tsv")).is_err());
+        assert!(parse(&argv("thresh data.tsv --threshold 10")).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("count")).is_err());
+        assert!(parse(&argv("count data.tsv --bogus 1")).is_err());
+        assert!(parse(&argv("count data.tsv --k abc")).is_err());
+        assert!(parse(&argv("count a.tsv b.tsv")).is_err());
+        assert!(parse(&argv("count data.tsv --k 0")).is_err());
+        assert!(parse(&argv("count data.tsv --alpha 2.0")).is_err());
+        assert!(parse(&argv("frobnicate data.tsv")).is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&argv("rank data.tsv")).unwrap();
+        match c {
+            Command::Rank(o) => {
+                assert_eq!(o.k, 10);
+                assert_eq!(o.max_df, 30);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `topk` — TopK count/rank queries over a TSV dataset from the command
+//! line.
+//!
+//! ```text
+//! topk count  <data.tsv> --k 10 --r 2 --name-field name [--weight-aware]
+//! topk rank   <data.tsv> --k 10 --name-field name
+//! topk thresh <data.tsv> --threshold 50 --name-field name
+//! ```
+//!
+//! The TSV format is the one written by `topk_records::io::write_tsv`
+//! (header row; first column `__weight`, optional `__label`). Queries use
+//! a generic predicate stack over the chosen name field (rare-word
+//! sufficient predicate + 3-gram-overlap necessary predicate) and a
+//! built-in similarity scorer; for custom predicates use the library API.
+
+use std::process::ExitCode;
+
+mod args;
+mod run;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match run::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Query execution for the CLI.
+
+use std::sync::Arc;
+
+use topk_core::{ThresholdedRankQuery, TopKQuery, TopKRankQuery};
+use topk_predicates::{PredicateStack, QgramFractionNecessary, RareNameSufficient};
+use topk_records::{tokenize_dataset, Dataset, FieldId, TokenizedRecord};
+use topk_text::CorpusStats;
+
+use crate::args::{Command, Options};
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    let (opts, kind) = match &cmd {
+        Command::Count(o) => (o, "count"),
+        Command::Rank(o) => (o, "rank"),
+        Command::Thresh(o) => (o, "thresh"),
+    };
+    // Native topk TSVs (tab-separated with a __weight header) load
+    // through the strict reader; anything else goes through the flexible
+    // delimited reader with the user's options.
+    let use_native = opts.delimiter == '\t'
+        && opts.has_header
+        && opts.weight_col.is_none()
+        && opts.label_col.is_none()
+        && topk_records::io::read_tsv(&opts.path).is_ok();
+    let data = if use_native {
+        topk_records::io::read_tsv(&opts.path)
+            .map_err(|e| format!("cannot read {}: {e}", opts.path.display()))?
+    } else {
+        let read_opts = topk_records::io::ReadOptions {
+            delimiter: opts.delimiter,
+            has_header: opts.has_header,
+            weight_column: opts.weight_col.clone(),
+            label_column: opts.label_col.clone(),
+            normalize: true,
+        };
+        topk_records::io::read_delimited(&opts.path, &read_opts)
+            .map_err(|e| format!("cannot read {}: {e}", opts.path.display()))?
+    };
+    if data.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let field = resolve_field(&data, opts)?;
+    let toks = tokenize_dataset(&data);
+    let stack = generic_stack(&toks, field, opts);
+    eprintln!(
+        "{} records loaded from {}; matching on field `{}`",
+        data.len(),
+        opts.path.display(),
+        data.schema().field_name(field)
+    );
+
+    match kind {
+        "count" => run_count(&data, &toks, &stack, field, opts),
+        "rank" => run_rank(&data, &toks, &stack, field, opts),
+        _ => run_thresh(&data, &toks, &stack, field, opts),
+    }
+    Ok(())
+}
+
+fn resolve_field(data: &Dataset, opts: &Options) -> Result<FieldId, String> {
+    match &opts.name_field {
+        Some(name) => data
+            .schema()
+            .field_id(name)
+            .ok_or_else(|| format!("no field named `{name}` in the dataset")),
+        None => Ok(FieldId(0)),
+    }
+}
+
+/// A generic one-level stack over the match field: rare-word sufficient
+/// predicate with IDF over distinct values, 3-gram-overlap necessary
+/// predicate.
+fn generic_stack(toks: &[TokenizedRecord], field: FieldId, opts: &Options) -> PredicateStack {
+    let mut seen = std::collections::HashSet::new();
+    let mut stats = CorpusStats::new();
+    for t in toks {
+        let f = t.field(field);
+        if seen.insert(topk_text::hash::hash_str(&f.text)) {
+            stats.add_document(&f.words);
+        }
+    }
+    PredicateStack {
+        levels: vec![(
+            Box::new(RareNameSufficient::new(
+                "S",
+                field,
+                Arc::new(stats),
+                opts.max_df,
+            )),
+            Box::new(QgramFractionNecessary::new(
+                "N",
+                field,
+                opts.min_overlap,
+                false,
+            )),
+        )],
+    }
+}
+
+/// Built-in scorer: the library's default name scorer (3-gram overlap +
+/// Jaro-Winkler with a 0.55 decision threshold).
+fn scorer_for(field: FieldId) -> topk_cluster::SimilarityScorer {
+    topk_cluster::SimilarityScorer::name_default(field)
+}
+
+fn run_count(
+    data: &Dataset,
+    toks: &[TokenizedRecord],
+    stack: &PredicateStack,
+    field: FieldId,
+    opts: &Options,
+) {
+    let mut q = TopKQuery::new(opts.k, opts.r);
+    q.alpha = opts.alpha;
+    let scorer = scorer_for(field);
+    let res = q.run(toks, stack, &scorer);
+    for it in &res.stats.iterations {
+        eprintln!(
+            "collapse -> {} groups ({:.2}%), M={:.1}, prune -> {} ({:.2}%)",
+            it.n_after_collapse,
+            it.pct_after_collapse,
+            it.lower_bound,
+            it.n_after_prune,
+            it.pct_after_prune
+        );
+    }
+    for (ai, ans) in res.answers.iter().enumerate() {
+        println!("# answer {} (score {:.3})", ai + 1, ans.score);
+        for (rank, g) in ans.groups.iter().enumerate() {
+            println!(
+                "{}\t{:.3}\t{}\t{}",
+                rank + 1,
+                g.weight,
+                g.records.len(),
+                data.record(topk_records::RecordId(g.rep)).field(field)
+            );
+        }
+    }
+}
+
+fn run_rank(
+    data: &Dataset,
+    toks: &[TokenizedRecord],
+    stack: &PredicateStack,
+    field: FieldId,
+    opts: &Options,
+) {
+    let res = TopKRankQuery::new(opts.k).run(toks, stack);
+    println!("# rank query, certified: {}", res.certified);
+    for (rank, e) in res.entries.iter().enumerate() {
+        println!(
+            "{}\t{:.3}\t<= {:.3}\t{}",
+            rank + 1,
+            e.weight,
+            e.upper_bound,
+            data.record(topk_records::RecordId(e.rep)).field(field)
+        );
+    }
+}
+
+fn run_thresh(
+    data: &Dataset,
+    toks: &[TokenizedRecord],
+    stack: &PredicateStack,
+    field: FieldId,
+    opts: &Options,
+) {
+    let t = opts.threshold.expect("validated by the parser");
+    let res = ThresholdedRankQuery::new(t).run(toks, stack);
+    println!("# thresholded query T={t}, certified: {}", res.certified);
+    for (rank, e) in res.entries.iter().enumerate() {
+        println!(
+            "{}\t{:.3}\t<= {:.3}\t{}",
+            rank + 1,
+            e.weight,
+            e.upper_bound,
+            data.record(topk_records::RecordId(e.rep)).field(field)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn write_sample() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("topk_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tsv");
+        let d = topk_datagen::generate_citations(&topk_datagen::CitationConfig {
+            n_authors: 40,
+            n_citations: 200,
+            ..Default::default()
+        });
+        topk_records::io::write_tsv(&d, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn count_query_end_to_end() {
+        let path = write_sample();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--name-field".into(),
+            "author".into(),
+        ])
+        .unwrap();
+        run(cmd).expect("count query runs");
+    }
+
+    #[test]
+    fn rank_and_thresh_end_to_end() {
+        let path = write_sample();
+        let rank = parse(&["rank".into(), path.display().to_string(), "--k".into(), "2".into()])
+            .unwrap();
+        run(rank).expect("rank query runs");
+        let thresh = parse(&[
+            "thresh".into(),
+            path.display().to_string(),
+            "--threshold".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        run(thresh).expect("thresh query runs");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let cmd = parse(&["count".into(), "/nonexistent/xyz.tsv".into()]).unwrap();
+        assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let path = write_sample();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--name-field".into(),
+            "nope".into(),
+        ])
+        .unwrap();
+        assert!(run(cmd).is_err());
+    }
+}
+
+#[cfg(test)]
+mod delimited_cli_tests {
+    use super::*;
+    use crate::args::parse;
+
+    #[test]
+    fn csv_with_flags_end_to_end() {
+        let dir = std::env::temp_dir().join("topk_cli_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orgs.csv");
+        std::fs::write(
+            &path,
+            "org,mentions\nAcme Widget Corp,1\nAcme Widget Corp,1\nacme widget corp,1\nOther Co,1\n",
+        )
+        .unwrap();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--delimiter".into(),
+            ",".into(),
+            "--weight-col".into(),
+            "mentions".into(),
+            "--name-field".into(),
+            "org".into(),
+            "--k".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        run(cmd).expect("csv count query runs");
+    }
+
+    #[test]
+    fn bad_delimiter_rejected() {
+        assert!(parse(&[
+            "count".into(),
+            "x.csv".into(),
+            "--delimiter".into(),
+            "ab".into()
+        ])
+        .is_err());
+    }
+}

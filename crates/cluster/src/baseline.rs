@@ -1,0 +1,50 @@
+//! Transitive-closure baseline (paper §6.4's comparison method): group
+//! together every pair with a positive score, transitively.
+
+use topk_graph::UnionFind;
+use topk_records::Partition;
+
+use crate::objective::PairScores;
+
+/// Partition items by the transitive closure of positive-score pairs.
+pub fn transitive_closure(ps: &PairScores) -> Partition {
+    let n = ps.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if ps.get(i, j) > 0.0 {
+                uf.union(i as u32, j as u32);
+            }
+        }
+    }
+    Partition::from_labels(uf.labels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_collapse() {
+        // 0~1 and 1~2 positive, 0~2 strongly negative: closure still
+        // merges all three (this over-merging is exactly why the paper
+        // reports the baseline losing 4-8 F1 points).
+        let ps = PairScores::from_pairs(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, -10.0)]);
+        let p = transitive_closure(&ps);
+        assert!(p.same_group(0, 2));
+        assert_eq!(p.group_count(), 1);
+    }
+
+    #[test]
+    fn negative_pairs_stay_apart() {
+        let ps = PairScores::from_pairs(3, &[(0, 1, -1.0), (1, 2, -1.0), (0, 2, -1.0)]);
+        let p = transitive_closure(&ps);
+        assert_eq!(p.group_count(), 3);
+    }
+
+    #[test]
+    fn empty() {
+        let ps = PairScores::from_pairs(0, &[]);
+        assert_eq!(transitive_closure(&ps).len(), 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Linear embeddings of records (paper §5.3.1).
+//!
+//! The segmentation DP only considers groupings of *contiguous* records,
+//! so records that belong together must end up adjacent. The paper uses
+//! the greedy arrangement of Eq. 3: repeatedly append the record with the
+//! highest distance-decayed similarity to the already-placed records. We
+//! also provide the spectral alternative the paper cites (sort by the
+//! Fiedler coordinate of the similarity graph).
+
+use crate::objective::PairScores;
+
+/// Greedy linear embedding (Eq. 3), component by component.
+///
+/// `alpha ∈ (0, 1]` ages the similarity of far-away positions:
+/// `π_i = argmax_k Σ_j P(π_j, c_k) · α^{i-j-1}`.
+///
+/// Items with no positive score between them contribute nothing to the
+/// linear-arrangement objective, so the greedy ordering is run
+/// independently inside each connected component of the positive-score
+/// graph and the components are concatenated (largest first). This keeps
+/// every potential cluster inside one contiguous block regardless of how
+/// the greedy rule leaves a neighborhood, which matters on data with
+/// many small duplicate groups.
+pub fn greedy_embedding(ps: &PairScores, alpha: f64) -> Vec<u32> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let n = ps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut g = topk_graph::Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if ps.get(i, j) > 0.0 {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    let mut components = g.components();
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut order = Vec::with_capacity(n);
+    for comp in components {
+        greedy_order_within(ps, &comp, alpha, &mut order);
+    }
+    order
+}
+
+/// Eq. 3 greedy ordering restricted to `items`, appended to `out`.
+fn greedy_order_within(ps: &PairScores, items: &[u32], alpha: f64, out: &mut Vec<u32>) {
+    let m = items.len();
+    if m == 1 {
+        out.push(items[0]);
+        return;
+    }
+    let mut placed = vec![false; m];
+    // Start from the component's hub: maximum total positive similarity.
+    let start = (0..m)
+        .max_by(|&a, &b| {
+            let ta: f64 = items
+                .iter()
+                .map(|&j| ps.get(items[a] as usize, j as usize).max(0.0))
+                .sum();
+            let tb: f64 = items
+                .iter()
+                .map(|&j| ps.get(items[b] as usize, j as usize).max(0.0))
+                .sum();
+            ta.total_cmp(&tb)
+        })
+        .expect("component is non-empty");
+    out.push(items[start]);
+    placed[start] = true;
+    // affinity[k] = Σ_j P(π_j, k) α^{i-j-1}, maintained incrementally:
+    // after each placement, affinity ← α·affinity + P(new, ·).
+    let mut affinity: Vec<f64> = items
+        .iter()
+        .map(|&k| ps.get(items[start] as usize, k as usize))
+        .collect();
+    for _ in 1..m {
+        let mut best = None;
+        for (k, &a) in affinity.iter().enumerate() {
+            if !placed[k] && best.map_or(true, |(ba, _): (f64, usize)| a > ba) {
+                best = Some((a, k));
+            }
+        }
+        let (_, k) = best.expect("unplaced item exists");
+        out.push(items[k]);
+        placed[k] = true;
+        for (j, a) in affinity.iter_mut().enumerate() {
+            *a = *a * alpha + ps.get(items[k] as usize, items[j] as usize);
+        }
+    }
+}
+
+/// Spectral embedding: sort items by their coordinate in the Fiedler
+/// vector (second-smallest eigenvector of the Laplacian of the positive
+/// similarity graph), computed by power iteration on `σI − L` with
+/// deflation of the constant vector.
+pub fn spectral_embedding(ps: &PairScores) -> Vec<u32> {
+    let n = ps.len();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    // Weights: positive part of the scores.
+    let w = |i: usize, j: usize| ps.get(i, j).max(0.0);
+    let degree: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| w(i, j)).sum())
+        .collect();
+    let sigma = 2.0 * degree.iter().cloned().fold(0.0, f64::max) + 1.0;
+
+    // x ← (σI − L)x, orthogonalized against 1 and normalized.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
+    for _ in 0..200 {
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            // (σ − d_i) x_i + Σ_j w_ij x_j
+            let mut acc = (sigma - degree[i]) * x[i];
+            for (j, &xj) in x.iter().enumerate() {
+                if j != i {
+                    acc += w(i, j) * xj;
+                }
+            }
+            y[i] = acc;
+        }
+        // Deflate the all-ones direction (eigenvector of L with value 0).
+        let mean = y.iter().sum::<f64>() / n as f64;
+        for v in &mut y {
+            *v -= mean;
+        }
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            break;
+        }
+        for v in &mut y {
+            *v /= norm;
+        }
+        x = y;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| x[a as usize].total_cmp(&x[b as usize]));
+    order
+}
+
+/// How well an order clusters similar items: sum over pairs of
+/// `|pos_i − pos_j| · P(i,j)` (the linear-arrangement objective the paper
+/// cites; *lower* is better).
+pub fn arrangement_cost(ps: &PairScores, order: &[u32]) -> f64 {
+    let n = order.len();
+    let mut pos = vec![0usize; n];
+    for (p, &item) in order.iter().enumerate() {
+        pos[item as usize] = p;
+    }
+    let mut cost = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = pos[i].abs_diff(pos[j]) as f64;
+            cost += d * ps.get(i, j).max(0.0);
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clear clusters {0,1,2} and {3,4,5}.
+    fn two_clusters() -> PairScores {
+        let mut pairs = Vec::new();
+        for &(a, b) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            pairs.push((a, b, 1.0));
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                pairs.push((i, j, -1.0));
+            }
+        }
+        PairScores::from_pairs(6, &pairs)
+    }
+
+    fn cluster_contiguous(order: &[u32]) -> bool {
+        let first: Vec<usize> = order
+            .iter()
+            .map(|&i| if i < 3 { 0 } else { 1 })
+            .collect();
+        // all items of one cluster adjacent <=> at most one switch point
+        first.windows(2).filter(|w| w[0] != w[1]).count() <= 1
+    }
+
+    #[test]
+    fn greedy_keeps_clusters_contiguous() {
+        let ps = two_clusters();
+        let order = greedy_embedding(&ps, 0.7);
+        assert_eq!(order.len(), 6);
+        assert!(cluster_contiguous(&order), "order {order:?}");
+    }
+
+    #[test]
+    fn spectral_keeps_clusters_contiguous() {
+        let ps = two_clusters();
+        let order = spectral_embedding(&ps);
+        assert_eq!(order.len(), 6);
+        assert!(cluster_contiguous(&order), "order {order:?}");
+    }
+
+    #[test]
+    fn permutation_validity() {
+        let ps = two_clusters();
+        for order in [greedy_embedding(&ps, 0.5), spectral_embedding(&ps)] {
+            let mut s = order.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..6).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn good_orders_cost_less() {
+        let ps = two_clusters();
+        let good = vec![0, 1, 2, 3, 4, 5];
+        let bad = vec![0, 3, 1, 4, 2, 5];
+        assert!(arrangement_cost(&ps, &good) < arrangement_cost(&ps, &bad));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let ps = PairScores::from_pairs(0, &[]);
+        assert!(greedy_embedding(&ps, 0.5).is_empty());
+        assert!(spectral_embedding(&ps).is_empty());
+        let one = PairScores::from_pairs(1, &[]);
+        assert_eq!(greedy_embedding(&one, 0.5), vec![0]);
+    }
+}
+
+/// Local refinement of an embedding by adjacent-transposition hill
+/// climbing on the linear-arrangement objective ([`arrangement_cost`]).
+///
+/// Greedy construction (Eq. 3) is myopic; a few `O(n²)` improvement
+/// passes recover most of what it leaves on the table. Stops early when
+/// a pass makes no swap. Returns the refined order (never worse than the
+/// input under the arrangement objective).
+///
+/// Note: the arrangement objective is a *proxy* for segmentability —
+/// lowering it usually, but not always, improves the best reachable
+/// segmentation score. Callers that care should run the segmentation DP
+/// on both orders and keep the better answer; the query pipeline sticks
+/// to the paper's plain greedy order for exactly this reason.
+pub fn refine_embedding(ps: &PairScores, order: &[u32], max_passes: usize) -> Vec<u32> {
+    let n = order.len();
+    let mut order = order.to_vec();
+    if n < 3 {
+        return order;
+    }
+    let w = |i: usize, j: usize| ps.get(i, j).max(0.0);
+    for _ in 0..max_passes {
+        let mut improved = false;
+        // positions of each item
+        let mut pos = vec![0usize; ps.len()];
+        for (p, &item) in order.iter().enumerate() {
+            pos[item as usize] = p;
+        }
+        for i in 0..(n - 1) {
+            let (a, b) = (order[i] as usize, order[i + 1] as usize);
+            // Cost delta of swapping positions i and i+1: for every other
+            // item j at position p, a's distance changes by
+            // sign(p - i) ... concretely +1 when p ≤ i-1, -1 when p ≥ i+2
+            // (and the a-b distance itself is unchanged).
+            let mut delta = 0.0;
+            for (j, &pj) in pos.iter().enumerate() {
+                if j == a || j == b {
+                    continue;
+                }
+                let s = if pj < i {
+                    1.0
+                } else if pj > i + 1 {
+                    -1.0
+                } else {
+                    continue;
+                };
+                delta += s * (w(a, j) - w(b, j));
+            }
+            if delta < -1e-12 {
+                order.swap(i, i + 1);
+                pos[a] = i + 1;
+                pos[b] = i;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod refine_tests {
+    use super::*;
+
+    fn two_clusters6() -> PairScores {
+        let mut pairs = Vec::new();
+        for &(a, b) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            pairs.push((a, b, 1.0));
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                pairs.push((i, j, -1.0));
+            }
+        }
+        PairScores::from_pairs(6, &pairs)
+    }
+
+    #[test]
+    fn refinement_never_increases_cost() {
+        let ps = two_clusters6();
+        // deliberately bad interleaved order
+        let bad = vec![0u32, 3, 1, 4, 2, 5];
+        let refined = refine_embedding(&ps, &bad, 10);
+        assert!(arrangement_cost(&ps, &refined) <= arrangement_cost(&ps, &bad));
+        // refined order is a permutation
+        let mut s = refined.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn refinement_untangles_interleaved_clusters() {
+        let ps = two_clusters6();
+        let bad = vec![0u32, 3, 1, 4, 2, 5];
+        let refined = refine_embedding(&ps, &bad, 50);
+        let side: Vec<usize> = refined.iter().map(|&i| usize::from(i >= 3)).collect();
+        assert!(
+            side.windows(2).filter(|w| w[0] != w[1]).count() <= 1,
+            "refined order still interleaved: {refined:?}"
+        );
+    }
+
+    #[test]
+    fn already_good_orders_are_stable() {
+        let ps = two_clusters6();
+        let good = vec![0u32, 1, 2, 3, 4, 5];
+        let refined = refine_embedding(&ps, &good, 5);
+        assert_eq!(
+            arrangement_cost(&ps, &refined),
+            arrangement_cost(&ps, &good)
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_pass_through() {
+        let ps = PairScores::from_pairs(2, &[(0, 1, 1.0)]);
+        assert_eq!(refine_embedding(&ps, &[1, 0], 3), vec![1, 0]);
+    }
+}

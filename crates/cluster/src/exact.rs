@@ -1,0 +1,414 @@
+//! Exact correlation clustering for small instances.
+//!
+//! The paper validates its segmentation answers against the LP relaxation
+//! of [Charikar et al.], usable only when the LP happens to return an
+//! integral (hence exactly optimal) solution. We substitute a direct
+//! exact maximizer of the equivalent objective `Σ_{within pairs} P(i,j)`
+//! (see [`crate::objective::within_sum`]):
+//!
+//! * decompose into connected components of the positive-score graph —
+//!   an optimal partition never needs a cluster spanning two components;
+//! * solve each component by subset DP (≤ 14 nodes) or branch-and-bound
+//!   with an admissible remaining-positive bound (larger components, with
+//!   a node-expansion budget);
+//! * fall back to greedy merging + local moves when the budget runs out,
+//!   reporting the result as non-exact.
+
+use topk_graph::Graph;
+use topk_records::Partition;
+
+use crate::objective::PairScores;
+
+/// Maximum component size for the subset DP.
+const DP_LIMIT: usize = 14;
+/// Branch-and-bound node-expansion budget per component.
+const BB_BUDGET: u64 = 6_000_000;
+
+/// Result of [`exact_correlation_clustering`].
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The best partition found.
+    pub partition: Partition,
+    /// True when the result is provably optimal.
+    pub exact: bool,
+}
+
+/// Maximize `Σ_{same-group pairs} P(i,j)` (equivalently the Eq. 1
+/// correlation-clustering score).
+pub fn exact_correlation_clustering(ps: &PairScores) -> ExactResult {
+    let n = ps.len();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if ps.get(i, j) > 0.0 {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    let mut labels = vec![0u32; n];
+    let mut next_label = 0u32;
+    let mut all_exact = true;
+    for comp in g.components() {
+        let sub = ps.restrict(&comp);
+        let (local, exact) = solve_component(&sub);
+        all_exact &= exact;
+        let base = next_label;
+        let mut max_local = 0;
+        for (k, &item) in comp.iter().enumerate() {
+            labels[item as usize] = base + local[k];
+            max_local = max_local.max(local[k]);
+        }
+        next_label = base + max_local + 1;
+    }
+    ExactResult {
+        partition: Partition::from_labels(labels),
+        exact: all_exact,
+    }
+}
+
+fn solve_component(ps: &PairScores) -> (Vec<u32>, bool) {
+    let n = ps.len();
+    if n <= 1 {
+        return (vec![0; n], true);
+    }
+    if n <= DP_LIMIT {
+        return (bell_dp(ps), true);
+    }
+    match branch_and_bound(ps, BB_BUDGET) {
+        Some(labels) => (labels, true),
+        None => (greedy_local(ps), false),
+    }
+}
+
+/// Exact partition of ≤ 14 items by subset dynamic programming.
+fn bell_dp(ps: &PairScores) -> Vec<u32> {
+    let n = ps.len();
+    debug_assert!(n <= DP_LIMIT);
+    let full: u32 = (1u32 << n) - 1;
+    // inner[S] = sum of pair scores within S.
+    let mut inner = vec![0.0f64; (full as usize) + 1];
+    for s in 1..=full {
+        let v = s.trailing_zeros() as usize;
+        let rest = s & (s - 1);
+        let mut add = 0.0;
+        let mut t = rest;
+        while t != 0 {
+            let u = t.trailing_zeros() as usize;
+            add += ps.get(u, v);
+            t &= t - 1;
+        }
+        inner[s as usize] = inner[rest as usize] + add;
+    }
+    // f[S] = best within-sum over partitions of S; choice[S] = the block
+    // containing S's lowest item.
+    let mut f = vec![f64::NEG_INFINITY; (full as usize) + 1];
+    let mut choice = vec![0u32; (full as usize) + 1];
+    f[0] = 0.0;
+    for s in 1..=full {
+        let v = s.trailing_zeros();
+        let sub_mask = s & !(1 << v);
+        let mut t = sub_mask;
+        loop {
+            let block = t | (1 << v);
+            let cand = inner[block as usize] + f[(s & !block) as usize];
+            if cand > f[s as usize] {
+                f[s as usize] = cand;
+                choice[s as usize] = block;
+            }
+            if t == 0 {
+                break;
+            }
+            t = (t - 1) & sub_mask;
+        }
+    }
+    // Reconstruct.
+    let mut labels = vec![0u32; n];
+    let mut s = full;
+    let mut next = 0u32;
+    while s != 0 {
+        let block = choice[s as usize];
+        let mut b = block;
+        while b != 0 {
+            labels[b.trailing_zeros() as usize] = next;
+            b &= b - 1;
+        }
+        next += 1;
+        s &= !block;
+    }
+    labels
+}
+
+/// Branch and bound over cluster assignments in node order. Returns
+/// `None` when the expansion budget is exhausted.
+fn branch_and_bound(ps: &PairScores, budget: u64) -> Option<Vec<u32>> {
+    let n = ps.len();
+    // pos_suffix[t] = sum of positive pairs not entirely inside 0..t.
+    let total_pos = ps.total_positive();
+    let mut pos_prefix = vec![0.0f64; n + 1];
+    for t in 1..=n {
+        let mut acc = pos_prefix[t - 1];
+        for u in 0..(t - 1) {
+            let s = ps.get(u, t - 1);
+            if s > 0.0 {
+                acc += s;
+            }
+        }
+        pos_prefix[t] = acc;
+    }
+
+    struct Ctx<'a> {
+        ps: &'a PairScores,
+        pos_prefix: Vec<f64>,
+        total_pos: f64,
+        best: f64,
+        best_labels: Vec<u32>,
+        labels: Vec<u32>,
+        expansions: u64,
+        budget: u64,
+    }
+
+    fn recurse(ctx: &mut Ctx<'_>, t: usize, n_clusters: u32, current: f64) -> bool {
+        if ctx.expansions >= ctx.budget {
+            return false;
+        }
+        ctx.expansions += 1;
+        let n = ctx.ps.len();
+        if t == n {
+            if current > ctx.best {
+                ctx.best = current;
+                ctx.best_labels = ctx.labels.clone();
+            }
+            return true;
+        }
+        // Admissible bound: all not-yet-counted positive mass joins.
+        let bound = current + (ctx.total_pos - ctx.pos_prefix[t]);
+        if bound <= ctx.best {
+            return true;
+        }
+        // Try existing clusters (gain-sorted would help; cluster count is
+        // small enough that plain order suffices), then a fresh cluster.
+        for c in 0..=n_clusters {
+            let mut gain = 0.0;
+            if c < n_clusters {
+                for u in 0..t {
+                    if ctx.labels[u] == c {
+                        gain += ctx.ps.get(u, t);
+                    }
+                }
+            }
+            ctx.labels[t] = c;
+            let next_clusters = n_clusters.max(c + 1);
+            if !recurse(ctx, t + 1, next_clusters, current + gain) {
+                return false;
+            }
+        }
+        true
+    }
+
+    let mut ctx = Ctx {
+        ps,
+        pos_prefix,
+        total_pos,
+        best: f64::NEG_INFINITY,
+        best_labels: vec![0; n],
+        labels: vec![0; n],
+        expansions: 0,
+        budget,
+    };
+    // Seed with the greedy solution so pruning bites immediately.
+    let seed = greedy_local(ps);
+    ctx.best = crate::objective::within_sum(&Partition::from_labels(seed.clone()), ps);
+    ctx.best_labels = seed;
+    if recurse(&mut ctx, 0, 0, 0.0) {
+        Some(ctx.best_labels)
+    } else {
+        None
+    }
+}
+
+/// Greedy merging followed by single-item local moves; a decent but not
+/// provably optimal solution.
+pub(crate) fn greedy_local(ps: &PairScores) -> Vec<u32> {
+    let n = ps.len();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    // Greedy best-merge loop.
+    loop {
+        let mut best_gain = 0.0;
+        let mut best_pair = None;
+        let groups = group_lists(&labels);
+        for a in 0..groups.len() {
+            for b in (a + 1)..groups.len() {
+                let gain: f64 = groups[a]
+                    .iter()
+                    .flat_map(|&u| groups[b].iter().map(move |&v| ps.get(u, v)))
+                    .sum();
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pair = Some((labels[groups[a][0]], labels[groups[b][0]]));
+                }
+            }
+        }
+        match best_pair {
+            Some((la, lb)) => {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    // Local single-item moves until fixpoint (bounded passes).
+    for _ in 0..8 {
+        let mut moved = false;
+        for t in 0..n {
+            let current_label = labels[t];
+            let mut gain_to: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+            for (u, &lu) in labels.iter().enumerate() {
+                if u != t {
+                    *gain_to.entry(lu).or_insert(0.0) += ps.get(u, t);
+                }
+            }
+            let stay = gain_to.get(&current_label).copied().unwrap_or(0.0);
+            let fresh_label = labels.iter().copied().max().unwrap_or(0) + 1;
+            let (mut best_label, mut best_gain) = (fresh_label, 0.0); // singleton option
+            for (&l, &g) in &gain_to {
+                if l != current_label && g > best_gain {
+                    best_label = l;
+                    best_gain = g;
+                }
+            }
+            if best_gain > stay + 1e-12 || (stay < -1e-12 && best_gain >= 0.0) {
+                labels[t] = best_label;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Partition::from_labels(labels).canonicalize().labels().to_vec()
+}
+
+fn group_lists(labels: &[u32]) -> Vec<Vec<usize>> {
+    let mut map: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        map.entry(l).or_default().push(i);
+    }
+    map.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::within_sum;
+
+    /// Enumerate all partitions of `0..n` (restricted-growth strings).
+    fn all_partitions(n: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut labels = vec![0u32; n];
+        fn rec(labels: &mut Vec<u32>, t: usize, max: u32, out: &mut Vec<Vec<u32>>) {
+            if t == labels.len() {
+                out.push(labels.clone());
+                return;
+            }
+            for c in 0..=max {
+                labels[t] = c;
+                rec(labels, t + 1, max.max(c + 1), out);
+            }
+        }
+        rec(&mut labels, 1, 1, &mut out);
+        out
+    }
+
+    fn brute_best(ps: &PairScores) -> f64 {
+        all_partitions(ps.len())
+            .into_iter()
+            .map(|l| within_sum(&Partition::from_labels(l), ps))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let cases = vec![
+            PairScores::from_pairs(4, &[(0, 1, 2.0), (1, 2, 1.0), (0, 2, -3.0), (2, 3, 0.5)]),
+            PairScores::from_pairs(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (0, 4, -5.0)]),
+            PairScores::from_pairs(3, &[(0, 1, -1.0), (1, 2, -1.0), (0, 2, -1.0)]),
+        ];
+        for ps in cases {
+            let r = exact_correlation_clustering(&ps);
+            assert!(r.exact);
+            let got = within_sum(&r.partition, &ps);
+            let want = brute_best(&ps);
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn pseudo_random_instances_match_brute_force() {
+        // Deterministic pseudo-random score matrices, n up to 7.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        for n in 3..=7 {
+            for _ in 0..5 {
+                let mut pairs = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        pairs.push((i, j, next()));
+                    }
+                }
+                let ps = PairScores::from_pairs(n, &pairs);
+                let r = exact_correlation_clustering(&ps);
+                assert!(r.exact);
+                let got = within_sum(&r.partition, &ps);
+                let want = brute_best(&ps);
+                assert!((got - want).abs() < 1e-9, "n={n}: got {got}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_component_uses_branch_and_bound() {
+        // 18-node positive chain with some negative chords: one component,
+        // beyond DP_LIMIT, still solvable exactly.
+        let mut pairs = Vec::new();
+        for i in 0..17usize {
+            pairs.push((i, i + 1, 1.0));
+        }
+        pairs.push((0, 17, -4.0));
+        pairs.push((2, 9, -2.0));
+        let ps = PairScores::from_pairs(18, &pairs);
+        let r = exact_correlation_clustering(&ps);
+        assert!(r.exact);
+        // Chain with mild chords: everything positive dominates; optimum
+        // keeps chain segments merged where gain is positive.
+        let w = within_sum(&r.partition, &ps);
+        assert!(w > 10.0, "got {w}");
+    }
+
+    #[test]
+    fn components_solved_independently() {
+        let ps = PairScores::from_pairs(6, &[(0, 1, 1.0), (2, 3, 1.0), (4, 5, -1.0)]);
+        let r = exact_correlation_clustering(&ps);
+        assert!(r.exact);
+        assert!(r.partition.same_group(0, 1));
+        assert!(r.partition.same_group(2, 3));
+        assert!(!r.partition.same_group(0, 2));
+        assert!(!r.partition.same_group(4, 5));
+    }
+
+    #[test]
+    fn greedy_is_reasonable() {
+        let ps = PairScores::from_pairs(4, &[(0, 1, 5.0), (2, 3, 5.0), (1, 2, -1.0)]);
+        let labels = greedy_local(&ps);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}

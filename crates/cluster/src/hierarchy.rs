@@ -1,0 +1,347 @@
+//! Agglomerative hierarchical clustering (paper §5.2).
+//!
+//! The paper sketches a hierarchy-based alternative to segmentation:
+//! build a dendrogram, then enumerate frontiers. Segmentation over the
+//! dendrogram's leaf order strictly subsumes frontier enumeration
+//! (§5.3), so the primary use of this module is (a) the `cut(k)`
+//! convenience clustering and (b) `leaf_order()` as another linear
+//! embedding to feed the segmentation DP.
+
+use crate::objective::PairScores;
+
+/// Linkage rule for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Similarity of the closest pair (maximum score).
+    Single,
+    /// Size-weighted average similarity.
+    Average,
+}
+
+/// A merge step: clusters `a` and `b` (node ids) merged at `similarity`.
+#[derive(Debug, Clone, Copy)]
+pub struct Merge {
+    /// First merged node (original items are nodes `0..n`).
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Linkage similarity at which the merge happened.
+    pub similarity: f64,
+}
+
+/// A dendrogram over `n` items; merge `m` creates node `n + m`.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+/// Build a dendrogram by greedy agglomeration under `linkage`,
+/// Lance-Williams style updates, `O(n²)` memory and `O(n³)` worst-case
+/// time (fine at post-pruning sizes).
+pub fn agglomerate(ps: &PairScores, linkage: Linkage) -> Dendrogram {
+    let n = ps.len();
+    let mut sim: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| ps.get(i, j)).collect())
+        .collect();
+    let mut size: Vec<usize> = vec![1; n];
+    // active[i] = current node id occupying row i, or usize::MAX if dead.
+    let mut node_of_row: Vec<usize> = (0..n).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the most similar alive pair.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                if best.map_or(true, |(bs, _, _)| sim[i][j] > bs) {
+                    best = Some((sim[i][j], i, j));
+                }
+            }
+        }
+        let (s, i, j) = best.expect("at least two alive rows");
+        merges.push(Merge {
+            a: node_of_row[i],
+            b: node_of_row[j],
+            similarity: s,
+        });
+        // Merge j into i; update row i by the linkage rule.
+        for k in 0..n {
+            if !alive[k] || k == i || k == j {
+                continue;
+            }
+            let v = match linkage {
+                Linkage::Single => sim[i][k].max(sim[j][k]),
+                Linkage::Average => {
+                    let (si, sj) = (size[i] as f64, size[j] as f64);
+                    (si * sim[i][k] + sj * sim[j][k]) / (si + sj)
+                }
+            };
+            sim[i][k] = v;
+            sim[k][i] = v;
+        }
+        size[i] += size[j];
+        alive[j] = false;
+        node_of_row[i] = n + step;
+    }
+    Dendrogram { n, merges }
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty dendrogram.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge list, in merge order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Leaf order: a left-to-right reading of the tree, usable as a
+    /// linear embedding (similar leaves end up adjacent).
+    pub fn leaf_order(&self) -> Vec<u32> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        // children of internal node n+m are merges[m].a / merges[m].b.
+        let root = if self.merges.is_empty() {
+            0
+        } else {
+            self.n + self.merges.len() - 1
+        };
+        let mut order = Vec::with_capacity(self.n);
+        let mut stack = vec![root];
+        let mut seen_roots: Vec<usize> = Vec::new();
+        // Forest case (disconnected merges can't happen here since we merge
+        // to a single root, but keep the loop robust).
+        let _ = &mut seen_roots;
+        while let Some(node) = stack.pop() {
+            if node < self.n {
+                order.push(node as u32);
+            } else {
+                let m = &self.merges[node - self.n];
+                stack.push(m.b);
+                stack.push(m.a);
+            }
+        }
+        order
+    }
+
+    /// Flat clustering with exactly `k` clusters (undo the last `k − 1`
+    /// merges). Returns per-item labels.
+    pub fn cut(&self, k: usize) -> Vec<u32> {
+        assert!(k >= 1 && k <= self.n.max(1), "k out of range");
+        let keep = self.merges.len() + 1 - k.min(self.merges.len() + 1);
+        let mut uf = topk_graph::UnionFind::new(self.n + self.merges.len());
+        for (step, m) in self.merges[..keep].iter().enumerate() {
+            // Link both children to the internal node created by the
+            // merge, so later merges referring to that node connect the
+            // whole subtree.
+            let node = (self.n + step) as u32;
+            uf.union(m.a as u32, node);
+            uf.union(m.b as u32, node);
+        }
+        let labels_full = uf.labels();
+        // Re-densify over leaves only.
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0u32;
+        (0..self.n)
+            .map(|i| {
+                *map.entry(labels_full[i]).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
+            .collect()
+    }
+}
+
+/// §5.2: the R highest-scoring *frontiers* of a dendrogram.
+///
+/// A frontier selects an antichain of dendrogram nodes covering all
+/// leaves; each selected node's leaf set is one group. The paper notes
+/// this space is strictly contained in the segmentations of the leaf
+/// order (see [`crate::segment`]), which is why segmentation is the
+/// primary method; frontier enumeration is provided for comparison and
+/// for callers that already maintain a clustering hierarchy.
+///
+/// Scores use the same decomposable Eq. 1 group term as the segmentation
+/// DP, so results are directly comparable.
+pub fn frontier_topr(
+    dendrogram: &Dendrogram,
+    ps: &PairScores,
+    r: usize,
+) -> Vec<(f64, topk_records::Partition)> {
+    use crate::objective::group_score;
+    use crate::topr::TopR;
+
+    let n = dendrogram.len();
+    assert_eq!(n, ps.len(), "dendrogram and scores disagree on size");
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_nodes = n + dendrogram.merges.len();
+    // Leaf sets per node.
+    let mut leaves: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for m in &dendrogram.merges {
+        let mut l = leaves[m.a].clone();
+        l.extend_from_slice(&leaves[m.b]);
+        leaves.push(l);
+    }
+    // Bottom-up DP: best[v] = TopR of (score, frontier node list).
+    let mut best: Vec<TopR<Vec<usize>>> = Vec::with_capacity(n_nodes);
+    for (leaf, leaf_set) in leaves.iter().enumerate().take(n) {
+        let mut t = TopR::new(r);
+        t.push(group_score(leaf_set, ps), vec![leaf]);
+        best.push(t);
+    }
+    for (step, m) in dendrogram.merges.iter().enumerate() {
+        let v = n + step;
+        let mut t = TopR::new(r);
+        // Whole subtree as a single group.
+        t.push(group_score(&leaves[v], ps), vec![v]);
+        // Or any combination of the children's frontiers.
+        for (sa, fa) in best[m.a].entries() {
+            for (sb, fb) in best[m.b].entries() {
+                let mut f = fa.clone();
+                f.extend_from_slice(fb);
+                t.push(sa + sb, f);
+            }
+        }
+        best.push(t);
+    }
+    let root = n_nodes - 1;
+    best[root]
+        .entries()
+        .iter()
+        .map(|(score, frontier)| {
+            let groups: Vec<Vec<usize>> = frontier.iter().map(|&v| leaves[v].clone()).collect();
+            (*score, topk_records::Partition::from_groups(n, &groups))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::correlation_score;
+    use crate::segment::{segment_topk, SegmentConfig};
+
+    fn two_clusters() -> PairScores {
+        let mut pairs = Vec::new();
+        for &(a, b) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            pairs.push((a, b, 1.0));
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                pairs.push((i, j, -1.0));
+            }
+        }
+        PairScores::from_pairs(6, &pairs)
+    }
+
+    #[test]
+    fn cut_recovers_two_clusters() {
+        for linkage in [Linkage::Single, Linkage::Average] {
+            let d = agglomerate(&two_clusters(), linkage);
+            let labels = d.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_order_is_permutation_and_contiguous() {
+        let d = agglomerate(&two_clusters(), Linkage::Average);
+        let order = d.leaf_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<u32>>());
+        // clusters contiguous in leaf order
+        let side: Vec<usize> = order.iter().map(|&i| usize::from(i >= 3)).collect();
+        assert!(side.windows(2).filter(|w| w[0] != w[1]).count() <= 1);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = agglomerate(&two_clusters(), Linkage::Single);
+        let all = d.cut(1);
+        assert!(all.iter().all(|&l| l == all[0]));
+        let singles = d.cut(6);
+        let mut s = singles.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn merge_similarities_monotone_for_single_link() {
+        let d = agglomerate(&two_clusters(), Linkage::Single);
+        let sims: Vec<f64> = d.merges().iter().map(|m| m.similarity).collect();
+        for w in sims.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let ps = PairScores::from_pairs(1, &[]);
+        let d = agglomerate(&ps, Linkage::Average);
+        assert_eq!(d.leaf_order(), vec![0]);
+        assert_eq!(d.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn frontier_top1_finds_block_structure() {
+        let ps = two_clusters();
+        let d = agglomerate(&ps, Linkage::Average);
+        let answers = frontier_topr(&d, &ps, 3);
+        assert!(!answers.is_empty());
+        let (score, p) = &answers[0];
+        assert!(p.same_group(0, 1) && p.same_group(1, 2));
+        assert!(p.same_group(3, 4) && p.same_group(4, 5));
+        assert!(!p.same_group(0, 3));
+        assert!((score - correlation_score(p, &ps)).abs() < 1e-9);
+        // scores decreasing
+        for w in answers.windows(2) {
+            assert!(w[0].0 >= w[1].0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn segmentation_of_leaf_order_dominates_frontiers() {
+        // §5.3's containment claim: the set of segmentations of the leaf
+        // order is a superset of the set of frontiers, so the best
+        // segmentation scores at least as high.
+        let ps = two_clusters();
+        let d = agglomerate(&ps, Linkage::Single);
+        let frontier_best = frontier_topr(&d, &ps, 1)[0].0;
+        let order = d.leaf_order();
+        let permuted = ps.permute(&order);
+        let seg_best = segment_topk(&permuted, &SegmentConfig::exact(0, 1))[0].score;
+        assert!(seg_best >= frontier_best - 1e-9);
+    }
+
+    #[test]
+    fn frontier_empty_input() {
+        let ps = PairScores::from_pairs(0, &[]);
+        let d = agglomerate(&ps, Linkage::Average);
+        assert!(frontier_topr(&d, &ps, 2).is_empty());
+    }
+}

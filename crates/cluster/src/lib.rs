@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Scoring, embedding, and grouping machinery (paper §5).
+//!
+//! * pairwise scorers ([`scorer`]) including a trained logistic-regression
+//!   classifier over string-similarity features;
+//! * the decomposable correlation-clustering objective ([`objective`]);
+//! * a transitive-closure baseline and exact small-instance solvers
+//!   ([`baseline`], [`exact`]);
+//! * hierarchical (single/average-link) clustering ([`hierarchy`]);
+//! * greedy and spectral linear embeddings (§5.3.1, [`embed`]);
+//! * the segmentation dynamic program returning the R highest-scoring
+//!   TopK answers (§5.3.2, [`segment`]).
+
+pub mod baseline;
+pub mod embed;
+pub mod exact;
+pub mod features;
+pub mod hierarchy;
+pub mod logistic;
+pub mod objective;
+pub mod scorer;
+pub mod simscorer;
+pub mod segment;
+pub mod sparse;
+pub mod topr;
+
+pub use baseline::transitive_closure;
+pub use embed::{arrangement_cost, greedy_embedding, refine_embedding, spectral_embedding};
+pub use exact::{exact_correlation_clustering, ExactResult};
+pub use features::{FeatureExtractor, FEATURES_PER_FIELD};
+pub use hierarchy::{agglomerate, frontier_topr, Dendrogram, Linkage, Merge};
+pub use logistic::{LogisticModel, LogisticSnapshot};
+pub use objective::{correlation_score, group_score, within_sum, PairScores};
+pub use scorer::PairScorer;
+pub use simscorer::{Kernel, SimilarityScorer, Term};
+pub use segment::{segment_topk, SegmentAnswer, SegmentConfig};
+pub use sparse::{segment_topk_sparse, SparseAnswer, SparseScores};
+pub use topr::TopR;

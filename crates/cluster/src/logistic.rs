@@ -1,0 +1,266 @@
+//! Binary logistic regression — the paper's learned pairwise predicate
+//! ([31], §6.1): trained on labeled duplicate/non-duplicate pairs, its
+//! signed log-odds output is exactly the `P(t1, t2)` score §5.1 needs.
+
+/// A trained logistic regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticModel {
+    /// Train with full-batch gradient descent.
+    ///
+    /// `examples` are `(feature_vector, is_duplicate)` pairs. `l2` is the
+    /// ridge penalty on the weights (not the bias). Class imbalance is
+    /// handled by weighting each class inversely to its frequency, which
+    /// matters because non-duplicate pairs vastly outnumber duplicates.
+    pub fn train(examples: &[(Vec<f64>, bool)], epochs: usize, lr: f64, l2: f64) -> Self {
+        assert!(!examples.is_empty(), "need at least one training example");
+        let dim = examples[0].0.len();
+        assert!(
+            examples.iter().all(|(x, _)| x.len() == dim),
+            "inconsistent feature dimensions"
+        );
+        let n_pos = examples.iter().filter(|(_, y)| *y).count().max(1) as f64;
+        let n_neg = (examples.len() - n_pos as usize).max(1) as f64;
+        let n = examples.len() as f64;
+        let (w_pos, w_neg) = (n / (2.0 * n_pos), n / (2.0 * n_neg));
+
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for (x, y) in examples {
+                let z = bias + dot(&weights, x);
+                let p = sigmoid(z);
+                let target = if *y { 1.0 } else { 0.0 };
+                let cw = if *y { w_pos } else { w_neg };
+                let err = cw * (p - target);
+                for (g, &xi) in gw.iter_mut().zip(x.iter()) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            let inv_n = 1.0 / n;
+            for (w, g) in weights.iter_mut().zip(gw.iter()) {
+                *w -= lr * (g * inv_n + l2 * *w);
+            }
+            bias -= lr * gb * inv_n;
+        }
+        LogisticModel { weights, bias }
+    }
+
+    /// Signed log-odds score: `> 0` means duplicate more likely than not.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        self.bias + dot(&self.weights, x)
+    }
+
+    /// Probability the pair is a duplicate.
+    pub fn prob(&self, x: &[f64]) -> f64 {
+        sigmoid(self.score(x))
+    }
+
+    /// Learned weights (for inspection).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_data() -> Vec<(Vec<f64>, bool)> {
+        // duplicates have high similarity feature, non-dups low.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let v = 0.7 + 0.3 * ((i % 10) as f64 / 10.0);
+            data.push((vec![v, v * 0.9], true));
+            let u = 0.3 * ((i % 10) as f64 / 10.0);
+            data.push((vec![u, u * 0.5], false));
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = separable_data();
+        let m = LogisticModel::train(&data, 500, 0.5, 1e-4);
+        for (x, y) in &data {
+            assert_eq!(m.score(x) > 0.0, *y, "misclassified {x:?}");
+        }
+    }
+
+    #[test]
+    fn prob_matches_score_sign() {
+        let data = separable_data();
+        let m = LogisticModel::train(&data, 200, 0.5, 1e-4);
+        assert!(m.prob(&[1.0, 1.0]) > 0.5);
+        assert!(m.prob(&[0.0, 0.0]) < 0.5);
+    }
+
+    #[test]
+    fn handles_imbalance() {
+        // 5 positives vs 100 negatives; class weighting must keep the
+        // positives on the right side.
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.push((vec![0.95], true));
+        }
+        for i in 0..100 {
+            data.push((vec![0.1 + 0.001 * i as f64], false));
+        }
+        let m = LogisticModel::train(&data, 800, 0.5, 1e-5);
+        assert!(m.score(&[0.95]) > 0.0);
+        assert!(m.score(&[0.1]) < 0.0);
+    }
+
+    #[test]
+    fn sigmoid_stable() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_training_panics() {
+        LogisticModel::train(&[], 10, 0.1, 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = LogisticModel::train(&[(vec![1.0], true), (vec![0.0], false)], 50, 0.5, 0.0);
+        assert_eq!(m.weights().len(), 1);
+        let _ = m.bias();
+    }
+}
+
+/// Serializable snapshot of a trained model, for persisting scorers
+/// across sessions (plain `serde` value; pair with any format writer).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, PartialEq)]
+pub struct LogisticSnapshot {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LogisticModel {
+    /// Export the trained parameters.
+    pub fn snapshot(&self) -> LogisticSnapshot {
+        LogisticSnapshot {
+            weights: self.weights.clone(),
+            bias: self.bias,
+        }
+    }
+
+    /// Rebuild a model from exported parameters.
+    pub fn from_snapshot(s: LogisticSnapshot) -> Self {
+        LogisticModel {
+            weights: s.weights,
+            bias: s.bias,
+        }
+    }
+
+    /// Write the parameters as a simple text format (`bias` then one
+    /// weight per line) — avoids pulling a serializer crate for the
+    /// common file case.
+    pub fn save_text(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{}", self.bias)?;
+        for w in &self.weights {
+            writeln!(f, "{w}")?;
+        }
+        Ok(())
+    }
+
+    /// Read parameters written by [`save_text`](Self::save_text).
+    pub fn load_text(path: &std::path::Path) -> std::io::Result<Self> {
+        let content = std::fs::read_to_string(path)?;
+        let mut lines = content.lines();
+        let bias: f64 = lines
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty file"))?
+            .parse()
+            .map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad bias: {e}"))
+            })?;
+        let weights: Result<Vec<f64>, _> = lines.map(str::parse).collect();
+        let weights = weights.map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad weight: {e}"))
+        })?;
+        Ok(LogisticModel { weights, bias })
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    fn trained() -> LogisticModel {
+        LogisticModel::train(
+            &[(vec![1.0, 0.2], true), (vec![0.1, 0.9], false)],
+            100,
+            0.5,
+            1e-4,
+        )
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let m = trained();
+        let back = LogisticModel::from_snapshot(m.snapshot());
+        assert_eq!(m.weights(), back.weights());
+        assert_eq!(m.bias(), back.bias());
+        assert_eq!(m.score(&[0.5, 0.5]), back.score(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let dir = std::env::temp_dir().join("topk_logistic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let m = trained();
+        m.save_text(&path).unwrap();
+        let back = LogisticModel::load_text(&path).unwrap();
+        assert!((m.bias() - back.bias()).abs() < 1e-12);
+        assert_eq!(m.weights().len(), back.weights().len());
+        for (a, b) in m.weights().iter().zip(back.weights()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("topk_logistic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "not a number\n").unwrap();
+        assert!(LogisticModel::load_text(&path).is_err());
+        std::fs::write(&path, "").unwrap();
+        assert!(LogisticModel::load_text(&path).is_err());
+    }
+}

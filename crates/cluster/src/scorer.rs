@@ -1,0 +1,43 @@
+//! Pairwise scoring interface.
+//!
+//! A [`PairScorer`] produces the paper's signed score `P(t1, t2)`:
+//! positive means duplicate, negative means non-duplicate, magnitude is
+//! confidence, values near zero are genuinely ambiguous (§5.1).
+
+use topk_records::TokenizedRecord;
+
+/// A signed pairwise duplicate scorer.
+pub trait PairScorer: Send + Sync {
+    /// Signed score of the pair: `> 0` duplicate, `< 0` non-duplicate.
+    fn score(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> f64;
+}
+
+impl<F> PairScorer for F
+where
+    F: Fn(&TokenizedRecord, &TokenizedRecord) -> f64 + Send + Sync,
+{
+    fn score(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> f64 {
+        self(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_records::FieldId;
+
+    #[test]
+    fn closures_are_scorers() {
+        let scorer = |a: &TokenizedRecord, b: &TokenizedRecord| {
+            if a.field(FieldId(0)).text == b.field(FieldId(0)).text {
+                1.0
+            } else {
+                -1.0
+            }
+        };
+        let x = TokenizedRecord::from_fields(&["a".into()], 1.0);
+        let y = TokenizedRecord::from_fields(&["b".into()], 1.0);
+        assert_eq!(scorer.score(&x, &x), 1.0);
+        assert_eq!(scorer.score(&x, &y), -1.0);
+    }
+}

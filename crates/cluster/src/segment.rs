@@ -1,0 +1,465 @@
+//! The segmentation dynamic program for the R highest-scoring TopK
+//! answers (paper §5.3.2).
+//!
+//! Records are first arranged on a line (see [`crate::embed`]); a
+//! grouping is then a segmentation of that line, scored by the
+//! decomposable objective of Eq. 1/2. For each small-segment length cap
+//! `ℓ`, `AnsR(k, i, ℓ)` holds the R best scores over segmentations of the
+//! first `i` positions in which all but `k` designated segments have
+//! length ≤ `ℓ`; the final answer is `maxR_ℓ AnsR(K, n, ℓ)`.
+//!
+//! Because the score of a segmentation does not depend on which segments
+//! are designated, the union over `ℓ` covers every segmentation whose
+//! segments fit the configured length cap, so the single best grouping is
+//! always found exactly (given the embedding).
+
+use topk_records::Partition;
+
+use crate::objective::PairScores;
+use crate::topr::TopR;
+
+/// Configuration for [`segment_topk`].
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// `K`: how many groups the TopK answer designates.
+    pub k: usize,
+    /// `R`: how many distinct high-scoring answers to return.
+    pub r: usize,
+    /// Hard cap on any segment's length. The paper's "not considering
+    /// any cluster including too many dissimilar points" knob; also
+    /// bounds the DP's cost. Clamped to `n`.
+    pub max_segment_len: usize,
+    /// Evaluate only every `ell_stride`-th value of `ℓ` (1 = all values,
+    /// the exact setting). Coarser strides trade a little answer
+    /// diversity for speed; the globally best segmentation is still found
+    /// because `ℓ = max_segment_len` is always evaluated.
+    pub ell_stride: usize,
+}
+
+impl SegmentConfig {
+    /// Exact configuration: all `ℓ` values, unbounded segment length.
+    pub fn exact(k: usize, r: usize) -> Self {
+        SegmentConfig {
+            k,
+            r,
+            max_segment_len: usize::MAX,
+            ell_stride: 1,
+        }
+    }
+}
+
+/// One answer: a full segmentation with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentAnswer {
+    /// Eq. 1 score of the grouping.
+    pub score: f64,
+    /// Segments as half-open `[start, end)` position ranges covering
+    /// `0..n` in order.
+    pub segments: Vec<(usize, usize)>,
+}
+
+impl SegmentAnswer {
+    /// The grouping as a partition over positions.
+    pub fn partition(&self) -> Partition {
+        let n = self.segments.last().map_or(0, |s| s.1);
+        let mut labels = vec![0u32; n];
+        for (g, &(a, b)) in self.segments.iter().enumerate() {
+            for l in labels.iter_mut().take(b).skip(a) {
+                *l = g as u32;
+            }
+        }
+        Partition::from_labels(labels)
+    }
+
+    /// Indices of the K heaviest segments (ties broken toward earlier
+    /// segments), given per-position weights.
+    pub fn topk_segments(&self, weights: &[f64], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.segments.len()).collect();
+        let weight = |&(a, b): &(usize, usize)| weights[a..b].iter().sum::<f64>();
+        idx.sort_by(|&x, &y| {
+            weight(&self.segments[y])
+                .total_cmp(&weight(&self.segments[x]))
+                .then(x.cmp(&y))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Precomputed segment scores: `score(end, len)` = Eq. 1 group term of the
+/// segment of `len` positions ending at position `end - 1` (1-based end).
+struct SegmentScores {
+    max_len: usize,
+    /// `table[(end - 1) * max_len + (len - 1)]`
+    table: Vec<f64>,
+}
+
+impl SegmentScores {
+    fn new(ps: &PairScores, max_len: usize) -> Self {
+        let n = ps.len();
+        let negsum = ps.negative_sums();
+        // prefix sums of negsum for O(1) range sums
+        let mut negsum_prefix = vec![0.0; n + 1];
+        for i in 0..n {
+            negsum_prefix[i + 1] = negsum_prefix[i] + negsum[i];
+        }
+        let mut table = vec![0.0; n * max_len];
+        for end in 1..=n {
+            let e = end - 1; // last item of the segment
+            let mut posw = 0.0;
+            let mut negw = 0.0;
+            let max_l = max_len.min(end);
+            for len in 1..=max_l {
+                let s = end - len; // first item
+                if len > 1 {
+                    // extend: add pairs (s, t) for t in s+1..=e
+                    for t in (s + 1)..=e {
+                        let v = ps.get(s, t);
+                        if v > 0.0 {
+                            posw += v;
+                        } else {
+                            negw += v;
+                        }
+                    }
+                }
+                let negsum_range = negsum_prefix[end] - negsum_prefix[s];
+                // Eq. 1 term: 2·pos_within − (Σ negsum − 2·neg_within)
+                table[e * max_len + (len - 1)] = 2.0 * posw - (negsum_range - 2.0 * negw);
+            }
+        }
+        SegmentScores { max_len, table }
+    }
+
+    #[inline]
+    fn get(&self, end: usize, len: usize) -> f64 {
+        self.table[(end - 1) * self.max_len + (len - 1)]
+    }
+}
+
+/// Backpointer for one DP entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Back {
+    prev_i: u32,
+    prev_k: u16,
+    prev_rank: u16,
+}
+
+/// Run the segmentation DP and return the R highest-scoring distinct
+/// segmentations (decreasing score). Input scores must already be in
+/// embedding order (see [`PairScores::permute`]).
+pub fn segment_topk(ps: &PairScores, cfg: &SegmentConfig) -> Vec<SegmentAnswer> {
+    let n = ps.len();
+    if n == 0 {
+        return vec![SegmentAnswer {
+            score: 0.0,
+            segments: Vec::new(),
+        }];
+    }
+    let lmax = cfg.max_segment_len.clamp(1, n);
+    let r = cfg.r.max(1);
+    let k_budget = cfg.k;
+    let scores = SegmentScores::new(ps, lmax);
+    let stride = cfg.ell_stride.max(1);
+
+    // Collect candidate answers across ℓ runs, deduplicating identical
+    // segmentations by their boundary vectors.
+    let mut global: TopR<Vec<(usize, usize)>> = TopR::new(r);
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+
+    let mut ells: Vec<usize> = (1..=lmax).step_by(stride).collect();
+    if *ells.last().unwrap() != lmax {
+        ells.push(lmax);
+    }
+    for &ell in &ells {
+        // table[k][i]: TopR of (score, Back).
+        let mut table: Vec<Vec<TopR<Back>>> =
+            vec![vec![TopR::new(r); n + 1]; k_budget + 1];
+        for k_tab in table.iter_mut() {
+            k_tab[0].push(
+                0.0,
+                Back {
+                    prev_i: u32::MAX,
+                    prev_k: 0,
+                    prev_rank: 0,
+                },
+            );
+        }
+        for k in 0..=k_budget {
+            for i in 1..=n {
+                let mut cell = TopR::new(r);
+                // small segments: length 1..=min(ℓ, i)
+                for j in 1..=ell.min(i).min(lmax) {
+                    let seg = scores.get(i, j);
+                    for (rank, (s, _)) in table[k][i - j].entries().iter().enumerate() {
+                        cell.push(
+                            s + seg,
+                            Back {
+                                prev_i: (i - j) as u32,
+                                prev_k: k as u16,
+                                prev_rank: rank as u16,
+                            },
+                        );
+                    }
+                }
+                // big segments: length ℓ+1..=min(i, lmax), consuming one
+                // designated-slot from the budget
+                if k > 0 {
+                    for j in (ell + 1)..=i.min(lmax) {
+                        let seg = scores.get(i, j);
+                        for (rank, (s, _)) in table[k - 1][i - j].entries().iter().enumerate() {
+                            cell.push(
+                                s + seg,
+                                Back {
+                                    prev_i: (i - j) as u32,
+                                    prev_k: (k - 1) as u16,
+                                    prev_rank: rank as u16,
+                                },
+                            );
+                        }
+                    }
+                }
+                table[k][i] = cell;
+            }
+        }
+        // Harvest answers at (K, n).
+        for (rank, &(score, _)) in table[k_budget][n].entries().iter().enumerate() {
+            let segments = reconstruct(&table, k_budget, n, rank);
+            let boundaries: Vec<usize> = segments.iter().map(|s| s.1).collect();
+            if seen.insert(boundaries) {
+                global.push(score, segments);
+            }
+        }
+    }
+
+    global
+        .into_entries()
+        .into_iter()
+        .map(|(score, segments)| SegmentAnswer { score, segments })
+        .collect()
+}
+
+fn reconstruct(table: &[Vec<TopR<Back>>], k: usize, i: usize, rank: usize) -> Vec<(usize, usize)> {
+    let mut segments = Vec::new();
+    let (mut k, mut i, mut rank) = (k, i, rank);
+    while i > 0 {
+        let (_, back) = table[k][i].entries()[rank];
+        let prev_i = back.prev_i as usize;
+        segments.push((prev_i, i));
+        k = back.prev_k as usize;
+        rank = back.prev_rank as usize;
+        i = prev_i;
+    }
+    segments.reverse();
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{correlation_score, group_score};
+
+    fn seg_score(ps: &PairScores, segments: &[(usize, usize)]) -> f64 {
+        segments
+            .iter()
+            .map(|&(a, b)| group_score(&(a..b).collect::<Vec<_>>(), ps))
+            .sum()
+    }
+
+    /// All segmentations of 0..n.
+    fn all_segmentations(n: usize) -> Vec<Vec<(usize, usize)>> {
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        fn rec(
+            start: usize,
+            n: usize,
+            current: &mut Vec<(usize, usize)>,
+            out: &mut Vec<Vec<(usize, usize)>>,
+        ) {
+            if start == n {
+                out.push(current.clone());
+                return;
+            }
+            for end in (start + 1)..=n {
+                current.push((start, end));
+                rec(end, n, current, out);
+                current.pop();
+            }
+        }
+        rec(0, n, &mut current, &mut out);
+        out
+    }
+
+    fn two_clusters() -> PairScores {
+        let mut pairs = Vec::new();
+        for &(a, b) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            pairs.push((a, b, 1.0));
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                pairs.push((i, j, -1.0));
+            }
+        }
+        PairScores::from_pairs(6, &pairs)
+    }
+
+    #[test]
+    fn finds_optimal_two_cluster_split() {
+        let ps = two_clusters();
+        let answers = segment_topk(&ps, &SegmentConfig::exact(2, 1));
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].segments, vec![(0, 3), (3, 6)]);
+        let p = answers[0].partition();
+        assert!((answers[0].score - correlation_score(&p, &ps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top1_matches_brute_force() {
+        // Pseudo-random instance; DP top-1 must equal the best over all
+        // segmentations.
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        for n in 2..=8usize {
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    pairs.push((i, j, next()));
+                }
+            }
+            let ps = PairScores::from_pairs(n, &pairs);
+            let answers = segment_topk(&ps, &SegmentConfig::exact(3.min(n), 1));
+            let best_brute = all_segmentations(n)
+                .iter()
+                .map(|s| seg_score(&ps, s))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (answers[0].score - best_brute).abs() < 1e-9,
+                "n={n}: DP {} vs brute {best_brute}",
+                answers[0].score
+            );
+        }
+    }
+
+    #[test]
+    fn top_r_are_the_r_best_distinct_segmentations() {
+        let ps = two_clusters();
+        let r = 4;
+        let answers = segment_topk(&ps, &SegmentConfig::exact(2, r));
+        assert!(answers.len() >= 2);
+        // scores decreasing and segmentations distinct
+        for w in answers.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+            assert_ne!(w[0].segments, w[1].segments);
+        }
+        // each reported score equals its segmentation's true score
+        for a in &answers {
+            assert!((a.score - seg_score(&ps, &a.segments)).abs() < 1e-9);
+        }
+        // compare against brute force top-r distinct scores
+        let mut brute: Vec<f64> = all_segmentations(6)
+            .iter()
+            .map(|s| seg_score(&ps, s))
+            .collect();
+        brute.sort_by(|a, b| b.total_cmp(a));
+        for (i, a) in answers.iter().enumerate() {
+            assert!(
+                (a.score - brute[i]).abs() < 1e-9,
+                "rank {i}: {} vs {}",
+                a.score,
+                brute[i]
+            );
+        }
+    }
+
+    #[test]
+    fn segment_length_cap_respected() {
+        let ps = two_clusters();
+        let cfg = SegmentConfig {
+            k: 2,
+            r: 2,
+            max_segment_len: 2,
+            ell_stride: 1,
+        };
+        for a in segment_topk(&ps, &cfg) {
+            assert!(a.segments.iter().all(|&(s, e)| e - s <= 2));
+        }
+    }
+
+    #[test]
+    fn topk_segments_by_weight() {
+        let a = SegmentAnswer {
+            score: 0.0,
+            segments: vec![(0, 2), (2, 3), (3, 6)],
+        };
+        let weights = vec![1.0, 1.0, 10.0, 1.0, 1.0, 1.0];
+        assert_eq!(a.topk_segments(&weights, 2), vec![1, 2]);
+        let p = a.partition();
+        assert_eq!(p.group_count(), 3);
+        assert!(p.same_group(3, 5));
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PairScores::from_pairs(0, &[]);
+        let answers = segment_topk(&ps, &SegmentConfig::exact(1, 2));
+        assert_eq!(answers.len(), 1);
+        assert!(answers[0].segments.is_empty());
+    }
+
+    #[test]
+    fn k_zero_still_segments_with_small_groups() {
+        // With k=0 every segment must have length ≤ ℓ; for ℓ=n this is
+        // unrestricted, so the optimum is still reachable.
+        let ps = two_clusters();
+        let answers = segment_topk(&ps, &SegmentConfig::exact(0, 1));
+        assert_eq!(answers[0].segments, vec![(0, 3), (3, 6)]);
+    }
+}
+
+#[cfg(test)]
+mod stride_tests {
+    use super::*;
+
+    /// Coarse ℓ strides must still find the globally best segmentation,
+    /// because ℓ = max_segment_len is always evaluated.
+    #[test]
+    fn stride_preserves_top1() {
+        let mut pairs = Vec::new();
+        for &(a, b) in &[(0usize, 1usize), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            pairs.push((a, b, 1.0));
+        }
+        for i in 0..3 {
+            for j in 3..6 {
+                pairs.push((i, j, -1.0));
+            }
+        }
+        let ps = PairScores::from_pairs(6, &pairs);
+        let exact = segment_topk(&ps, &SegmentConfig::exact(2, 1));
+        for stride in [2usize, 3, 5, 100] {
+            let cfg = SegmentConfig {
+                k: 2,
+                r: 1,
+                max_segment_len: 6,
+                ell_stride: stride,
+            };
+            let got = segment_topk(&ps, &cfg);
+            assert!(
+                (got[0].score - exact[0].score).abs() < 1e-9,
+                "stride {stride} lost the optimum"
+            );
+        }
+    }
+
+    /// R larger than the number of distinct segmentations is fine.
+    #[test]
+    fn r_larger_than_space() {
+        let ps = PairScores::from_pairs(2, &[(0, 1, 1.0)]);
+        let answers = segment_topk(&ps, &SegmentConfig::exact(1, 50));
+        // only two segmentations exist: [0,2] and [0,1),[1,2)
+        assert_eq!(answers.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixed-capacity top-R answer lists — the paper's `maxR` operator
+//! (§5.3.2).
+
+/// A bounded list holding the `R` highest-scoring entries, sorted by
+/// decreasing score.
+#[derive(Debug, Clone)]
+pub struct TopR<T: Clone> {
+    capacity: usize,
+    entries: Vec<(f64, T)>,
+}
+
+impl<T: Clone> TopR<T> {
+    /// Empty list with capacity `r`.
+    pub fn new(r: usize) -> Self {
+        assert!(r >= 1, "R must be at least 1");
+        TopR {
+            capacity: r,
+            entries: Vec::with_capacity(r + 1),
+        }
+    }
+
+    /// Offer an entry; kept only if it ranks in the top R.
+    pub fn push(&mut self, score: f64, value: T) {
+        if !score.is_finite() {
+            return;
+        }
+        let pos = self
+            .entries
+            .partition_point(|(s, _)| *s >= score);
+        if pos >= self.capacity {
+            return;
+        }
+        self.entries.insert(pos, (score, value));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Merge in another list.
+    pub fn merge(&mut self, other: &TopR<T>) {
+        for (s, v) in &other.entries {
+            self.push(*s, v.clone());
+        }
+    }
+
+    /// Best score, if any.
+    pub fn best(&self) -> Option<f64> {
+        self.entries.first().map(|(s, _)| *s)
+    }
+
+    /// Entries in decreasing-score order.
+    pub fn entries(&self) -> &[(f64, T)] {
+        &self.entries
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consume into the sorted entry vector.
+    pub fn into_entries(self) -> Vec<(f64, T)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_top_r() {
+        let mut t = TopR::new(2);
+        t.push(1.0, "a");
+        t.push(3.0, "b");
+        t.push(2.0, "c");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.best(), Some(3.0));
+        let e = t.into_entries();
+        assert_eq!(e[0].1, "b");
+        assert_eq!(e[1].1, "c");
+    }
+
+    #[test]
+    fn stable_for_equal_scores() {
+        let mut t = TopR::new(3);
+        t.push(1.0, 1);
+        t.push(1.0, 2);
+        t.push(1.0, 3);
+        t.push(1.0, 4);
+        assert_eq!(t.len(), 3);
+        // earlier-inserted equal scores are kept (insertion after ties)
+        assert_eq!(t.entries()[0].1, 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = TopR::new(2);
+        a.push(5.0, "x");
+        let mut b = TopR::new(2);
+        b.push(7.0, "y");
+        b.push(1.0, "z");
+        a.merge(&b);
+        assert_eq!(a.best(), Some(7.0));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.entries()[1].1, "x");
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut t = TopR::new(2);
+        t.push(f64::NAN, 0);
+        t.push(f64::INFINITY, 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        TopR::<u8>::new(0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for clustering, embedding, and the segmentation DP.
+
+use proptest::prelude::*;
+use topk_cluster::{
+    correlation_score, exact_correlation_clustering, greedy_embedding, segment_topk,
+    spectral_embedding, transitive_closure, PairScores, SegmentConfig,
+};
+use topk_records::Partition;
+
+fn random_scores(n: usize) -> impl Strategy<Value = PairScores> {
+    let pairs = n * (n - 1) / 2;
+    proptest::collection::vec(-1.0f64..1.0, pairs).prop_map(move |vals| {
+        let mut list = Vec::with_capacity(pairs);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                list.push((i, j, it.next().unwrap()));
+            }
+        }
+        PairScores::from_pairs(n, &list)
+    })
+}
+
+/// All partitions of `0..n` as label vectors (restricted growth strings).
+fn all_partitions(n: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut labels = vec![0u32; n];
+    fn rec(labels: &mut Vec<u32>, t: usize, max: u32, out: &mut Vec<Vec<u32>>) {
+        if t == labels.len() {
+            out.push(labels.clone());
+            return;
+        }
+        for c in 0..=max {
+            labels[t] = c;
+            rec(labels, t + 1, max.max(c + 1), out);
+        }
+    }
+    if n > 0 {
+        rec(&mut labels, 1, 1, &mut out);
+    }
+    out
+}
+
+fn all_segmentations(n: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(s: usize, n: usize, cur: &mut Vec<(usize, usize)>, out: &mut Vec<Vec<(usize, usize)>>) {
+        if s == n {
+            out.push(cur.clone());
+            return;
+        }
+        for e in (s + 1)..=n {
+            cur.push((s, e));
+            rec(e, n, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, &mut cur, &mut out);
+    out
+}
+
+fn seg_partition(segments: &[(usize, usize)], n: usize) -> Partition {
+    let mut labels = vec![0u32; n];
+    for (g, &(a, b)) in segments.iter().enumerate() {
+        for l in labels.iter_mut().take(b).skip(a) {
+            *l = g as u32;
+        }
+    }
+    Partition::from_labels(labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_solver_beats_every_partition(ps in (2usize..7).prop_flat_map(random_scores)) {
+        let r = exact_correlation_clustering(&ps);
+        prop_assert!(r.exact);
+        let best = correlation_score(&r.partition, &ps);
+        for labels in all_partitions(ps.len()) {
+            let p = Partition::from_labels(labels);
+            prop_assert!(correlation_score(&p, &ps) <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dp_top1_is_best_segmentation(ps in (2usize..7).prop_flat_map(random_scores)) {
+        let n = ps.len();
+        let answers = segment_topk(&ps, &SegmentConfig::exact(2.min(n), 1));
+        let brute_best = all_segmentations(n)
+            .iter()
+            .map(|s| correlation_score(&seg_partition(s, n), &ps))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((answers[0].score - brute_best).abs() < 1e-9,
+            "dp {} vs brute {brute_best}", answers[0].score);
+    }
+
+    #[test]
+    fn dp_scores_are_true_scores(ps in (2usize..7).prop_flat_map(random_scores)) {
+        let n = ps.len();
+        let answers = segment_topk(&ps, &SegmentConfig::exact(2.min(n), 3));
+        for a in &answers {
+            let p = seg_partition(&a.segments, n);
+            prop_assert!((a.score - correlation_score(&p, &ps)).abs() < 1e-9);
+        }
+        // decreasing, distinct
+        for w in answers.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-12);
+            prop_assert_ne!(&w[0].segments, &w[1].segments);
+        }
+    }
+
+    #[test]
+    fn embeddings_are_permutations(ps in (2usize..10).prop_flat_map(random_scores)) {
+        let n = ps.len();
+        for order in [greedy_embedding(&ps, 0.6), spectral_embedding(&ps)] {
+            let mut s = order.clone();
+            s.sort_unstable();
+            prop_assert_eq!(s, (0..n as u32).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn exact_never_below_baseline(ps in (2usize..8).prop_flat_map(random_scores)) {
+        let exact = exact_correlation_clustering(&ps);
+        let tc = transitive_closure(&ps);
+        prop_assert!(
+            correlation_score(&exact.partition, &ps)
+                >= correlation_score(&tc, &ps) - 1e-9
+        );
+    }
+
+    #[test]
+    fn segmentation_of_exact_embedding_reaches_exact_on_separable(
+        sep in 0.5f64..3.0,
+        sizes in proptest::collection::vec(1usize..4, 2..4)
+    ) {
+        // Block-structured scores: positive within blocks, negative across.
+        let n: usize = sizes.iter().sum();
+        let mut block = Vec::with_capacity(n);
+        for (b, &s) in sizes.iter().enumerate() {
+            for _ in 0..s {
+                block.push(b);
+            }
+        }
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = if block[i] == block[j] { sep } else { -sep };
+                pairs.push((i, j, v));
+            }
+        }
+        let ps = PairScores::from_pairs(n, &pairs);
+        let order = greedy_embedding(&ps, 0.6);
+        let perm = ps.permute(&order);
+        let ans = segment_topk(&perm, &SegmentConfig::exact(sizes.len(), 1));
+        let exact = exact_correlation_clustering(&ps);
+        let exact_score = correlation_score(&exact.partition, &ps);
+        prop_assert!((ans[0].score - exact_score).abs() < 1e-9,
+            "segmentation {} vs exact {exact_score}", ans[0].score);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sparse component-wise path and the dense path rank groupings
+    /// identically (their scores differ by a grouping-independent
+    /// constant).
+    #[test]
+    fn sparse_top1_matches_dense_argmax(ps in (3usize..8).prop_flat_map(random_scores)) {
+        use topk_cluster::{segment_topk_sparse, SparseScores};
+        let n = ps.len();
+        // Sparse view: store positive pairs explicitly; negatives become
+        // default-rate. To keep equivalence exact, store every pair.
+        let mut ss = SparseScores::new(vec![1.0; n], -1e-9);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                ss.insert(i, j, ps.get(i, j));
+            }
+        }
+        let sparse = segment_topk_sparse(&ss, &topk_cluster::SegmentConfig::exact(2.min(n), 1), 0.6, 64);
+        let sp = {
+            let groups: Vec<Vec<usize>> = sparse[0]
+                .clusters
+                .iter()
+                .map(|c| c.iter().map(|&i| i as usize).collect())
+                .collect();
+            Partition::from_groups(n, &groups)
+        };
+        let sparse_score = correlation_score(&sp, &ps);
+        // Dense global optimum over segmentations of the embedding is the
+        // best achievable; the sparse assembly must reach the same score
+        // when all pairs are stored.
+        let order = greedy_embedding(&ps, 0.6);
+        let permuted = ps.permute(&order);
+        let dense = segment_topk(&permuted, &topk_cluster::SegmentConfig::exact(2.min(n), 1));
+        prop_assert!(
+            sparse_score >= dense[0].score - 1e-9,
+            "sparse {sparse_score} below dense {}", dense[0].score
+        );
+    }
+}

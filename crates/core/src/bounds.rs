@@ -1,0 +1,513 @@
+//! Lower-bound estimation (§4.2) and pruning (§4.3).
+
+use topk_graph::{cpn_lower_bound, Graph};
+use topk_predicates::NecessaryPredicate;
+use topk_records::TokenizedRecord;
+use topk_text::InvertedIndex;
+
+/// Output of [`estimate_lower_bound`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBoundResult {
+    /// Smallest prefix length `m` of the weight-sorted groups whose
+    /// necessary-predicate graph has a clique-partition lower bound ≥ K
+    /// (`m = n` when K distinct groups cannot be certified).
+    pub m: usize,
+    /// `M = weight(c_m)`: a certified lower bound on the weight of the
+    /// K-th largest group in the answer (0 when nothing is certified).
+    pub lower_bound: f64,
+    /// The CPN lower bound reached at `m`.
+    pub cpn: usize,
+}
+
+/// §4.2: find the smallest `m` such that the first `m` groups (decreasing
+/// weight) are guaranteed to contain `K` distinct entities, using the
+/// clique-partition-number lower bound of Algorithm 1 on the
+/// `N`-graph built incrementally over the prefix.
+///
+/// `reps`/`weights` must be sorted by non-increasing weight.
+pub fn estimate_lower_bound(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    pred: &dyn NecessaryPredicate,
+    k: usize,
+) -> LowerBoundResult {
+    assert_eq!(reps.len(), weights.len());
+    assert!(k >= 1, "K must be at least 1");
+    debug_assert!(
+        weights.windows(2).all(|w| w[0] >= w[1]),
+        "groups must be sorted by non-increasing weight"
+    );
+    let n = reps.len();
+    if n == 0 {
+        return LowerBoundResult {
+            m: 0,
+            lower_bound: 0.0,
+            cpn: 0,
+        };
+    }
+    let mut index = InvertedIndex::new();
+    let mut graph = Graph::new(0);
+    // Lazy incremental bound. Invariant: `bound` is a valid CPN lower
+    // bound for the current prefix graph at all times —
+    //   * an isolated vertex raises the true CPN by exactly one, so it
+    //     raises any valid lower bound by one without recomputation;
+    //   * a connected vertex cannot lower the CPN (§4.2.2 claim 2), so
+    //     keeping the stale bound stays valid; we rerun Algorithm 1 at a
+    //     gap-proportional interval (every connected addition while the
+    //     gap to K is small, sparsely while it is large) to pick up the
+    //     CPN growth that connected vertices do contribute.
+    let mut bound = 0usize;
+    let mut connected_since_recompute = 0usize;
+    for i in 0..n {
+        let tokens = pred.candidate_tokens(reps[i]);
+        let candidates = index.candidates(&tokens, pred.min_common_tokens(), None);
+        let v = graph.add_vertex();
+        let mut connected = false;
+        for j in candidates {
+            if pred.matches(reps[i], reps[j as usize]) {
+                graph.add_edge(v, j);
+                connected = true;
+            }
+        }
+        index.insert(i as u32, &tokens);
+        if connected {
+            connected_since_recompute += 1;
+            let gap = k.saturating_sub(bound);
+            // Recompute interval grows with the gap to K (no point
+            // checking when far away) and with the graph size (each
+            // Algorithm-1 run on a large prefix is expensive; tolerating
+            // a slightly loose m keeps the estimator near-linear).
+            let interval = (gap / 4).max(graph.len() / 64).max(1);
+            if connected_since_recompute >= interval {
+                bound = cpn_lower_bound(&graph).max(bound);
+                connected_since_recompute = 0;
+            }
+        } else {
+            bound += 1;
+        }
+        if bound >= k {
+            return LowerBoundResult {
+                m: i + 1,
+                lower_bound: weights[i],
+                cpn: bound,
+            };
+        }
+    }
+    if bound < k && connected_since_recompute > 0 {
+        bound = cpn_lower_bound(&graph).max(bound);
+    }
+    LowerBoundResult {
+        m: n,
+        lower_bound: if bound >= k { *weights.last().unwrap() } else { 0.0 },
+        cpn: bound,
+    }
+}
+
+/// The "simple way" baseline of §4.2: walk groups in decreasing weight
+/// and count those that cannot merge with *any* earlier group; stop once
+/// `k` such groups are found. On the paper's Figure 1 example this
+/// returns `m = 5` where the CPN bound returns the optimal `m = 3` — it
+/// exists here as the ablation baseline for
+/// [`estimate_lower_bound`]'s tightness.
+pub fn estimate_lower_bound_weak(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    pred: &dyn NecessaryPredicate,
+    k: usize,
+) -> LowerBoundResult {
+    assert_eq!(reps.len(), weights.len());
+    assert!(k >= 1, "K must be at least 1");
+    let n = reps.len();
+    let mut index = InvertedIndex::new();
+    let mut distinct = 0usize;
+    for i in 0..n {
+        let tokens = pred.candidate_tokens(reps[i]);
+        let isolated = index
+            .candidates(&tokens, pred.min_common_tokens(), None)
+            .into_iter()
+            .all(|j| !pred.matches(reps[i], reps[j as usize]));
+        index.insert(i as u32, &tokens);
+        if isolated {
+            distinct += 1;
+            if distinct >= k {
+                return LowerBoundResult {
+                    m: i + 1,
+                    lower_bound: weights[i],
+                    cpn: distinct,
+                };
+            }
+        }
+    }
+    LowerBoundResult {
+        m: n,
+        lower_bound: 0.0,
+        cpn: distinct,
+    }
+}
+
+/// Output of [`prune_groups`].
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// Indices of surviving groups, in the input (weight-sorted) order.
+    pub kept: Vec<u32>,
+    /// Final upper bound `u_i` per input group.
+    pub upper_bounds: Vec<f64>,
+    /// Verified `N`-adjacency per input group (reusable by rank queries).
+    pub adjacency: Vec<Vec<u32>>,
+}
+
+/// §4.3: prune every group whose refined upper bound on the weight of any
+/// answer group containing it is ≤ `M`.
+///
+/// The initial upper bound of `c_i` is its own weight plus the weight of
+/// all `N`-neighbors; each refinement pass drops neighbors whose own
+/// bound has fallen to ≤ `M` (the paper's recursive tightening; two
+/// passes captured almost all the benefit in their experiments).
+pub fn prune_groups(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    pred: &dyn NecessaryPredicate,
+    m_bound: f64,
+    refine_iterations: usize,
+) -> PruneResult {
+    assert_eq!(reps.len(), weights.len());
+    let n = reps.len();
+    // Verified adjacency through the candidate index.
+    let mut index = InvertedIndex::new();
+    let token_sets: Vec<_> = reps.iter().map(|r| pred.candidate_tokens(r)).collect();
+    for (i, ts) in token_sets.iter().enumerate() {
+        index.insert(i as u32, ts);
+    }
+    let adjacency: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            index
+                .candidates(&token_sets[i], pred.min_common_tokens(), Some(i as u32))
+                .into_iter()
+                .filter(|&j| pred.matches(reps[i], reps[j as usize]))
+                .collect()
+        })
+        .collect();
+
+    let mut upper: Vec<f64> = (0..n)
+        .map(|i| weights[i] + adjacency[i].iter().map(|&j| weights[j as usize]).sum::<f64>())
+        .collect();
+    for _ in 0..refine_iterations {
+        let prev = upper.clone();
+        for i in 0..n {
+            upper[i] = weights[i]
+                + adjacency[i]
+                    .iter()
+                    .filter(|&&j| prev[j as usize] > m_bound)
+                    .map(|&j| weights[j as usize])
+                    .sum::<f64>();
+        }
+    }
+    let kept = (0..n as u32)
+        .filter(|&i| weights[i as usize] >= m_bound || upper[i as usize] > m_bound)
+        .collect();
+    PruneResult {
+        kept,
+        upper_bounds: upper,
+        adjacency,
+    }
+}
+
+/// Faster §4.3 prune used inside the pipeline: bounds are computed from
+/// *unverified* canopy candidates (a superset of the true `N`-neighbors,
+/// so every intermediate bound stays a valid upper bound), and the
+/// expensive `N.matches` verification runs only for borderline groups
+/// that the loose bound failed to prune. This is the paper's §4.4 point
+/// that "the algorithm avoids full enumeration of pairs based on the
+/// typically weak necessary predicates".
+///
+/// Returns the kept group indices in input order.
+pub fn prune_groups_fast(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    pred: &dyn NecessaryPredicate,
+    m_bound: f64,
+    refine_iterations: usize,
+) -> Vec<u32> {
+    assert_eq!(reps.len(), weights.len());
+    let n = reps.len();
+    let mut index = InvertedIndex::new();
+    let token_sets: Vec<_> = reps.iter().map(|r| pred.candidate_tokens(r)).collect();
+    for (i, ts) in token_sets.iter().enumerate() {
+        index.insert(i as u32, ts);
+    }
+    let heavy: Vec<bool> = weights.iter().map(|&w| w >= m_bound).collect();
+    // Candidate sets only for light groups — heavy groups are kept
+    // unconditionally and (since u ≥ w ≥ M) always contribute to their
+    // neighbors' bounds without needing their own bound.
+    let candidates: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            if heavy[i] {
+                Vec::new()
+            } else {
+                index.candidates(&token_sets[i], pred.min_common_tokens(), Some(i as u32))
+            }
+        })
+        .collect();
+    let mut upper: Vec<f64> = (0..n)
+        .map(|i| {
+            if heavy[i] {
+                f64::INFINITY
+            } else {
+                weights[i]
+                    + candidates[i]
+                        .iter()
+                        .map(|&j| weights[j as usize])
+                        .sum::<f64>()
+            }
+        })
+        .collect();
+    for _ in 0..refine_iterations {
+        let prev = upper.clone();
+        for i in 0..n {
+            if heavy[i] {
+                continue;
+            }
+            upper[i] = weights[i]
+                + candidates[i]
+                    .iter()
+                    .filter(|&&j| prev[j as usize] > m_bound)
+                    .map(|&j| weights[j as usize])
+                    .sum::<f64>();
+        }
+    }
+    // Lazy verification pass for borderline survivors: drop candidates
+    // that fail the real predicate or whose own (loose) bound fell to ≤ M.
+    (0..n as u32)
+        .filter(|&i| {
+            let iu = i as usize;
+            if heavy[iu] {
+                return true;
+            }
+            if upper[iu] <= m_bound {
+                return false;
+            }
+            let verified: f64 = candidates[iu]
+                .iter()
+                .filter(|&&j| upper[j as usize] > m_bound)
+                .filter(|&&j| pred.matches(reps[iu], reps[j as usize]))
+                .map(|&j| weights[j as usize])
+                .sum();
+            weights[iu] + verified > m_bound
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_text::tokenize::TokenSet;
+
+    /// Toy necessary predicate: records match when their single field
+    /// shares a word.
+    struct ShareWord;
+    impl NecessaryPredicate for ShareWord {
+        fn name(&self) -> &str {
+            "share-word"
+        }
+        fn candidate_tokens(&self, r: &TokenizedRecord) -> TokenSet {
+            r.field(topk_records::FieldId(0)).words.clone()
+        }
+        fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool {
+            a.field(topk_records::FieldId(0))
+                .words
+                .intersection_size(&b.field(topk_records::FieldId(0)).words)
+                >= 1
+        }
+    }
+
+    fn rec(name: &str) -> TokenizedRecord {
+        TokenizedRecord::from_fields(&[name.to_string()], 1.0)
+    }
+
+    #[test]
+    fn disjoint_groups_certify_quickly() {
+        let rs = [rec("a"), rec("b"), rec("c"), rec("d")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![10.0, 8.0, 5.0, 1.0];
+        let r = estimate_lower_bound(&refs, &w, &ShareWord, 2);
+        assert_eq!(r.m, 2);
+        assert_eq!(r.lower_bound, 8.0);
+        assert_eq!(r.cpn, 2);
+    }
+
+    #[test]
+    fn connected_prefix_needs_more_groups() {
+        // First three all share "x" (could be one entity), fourth is
+        // distinct: K=2 certified only at m=4.
+        let rs = [rec("x a"), rec("x b"), rec("x c"), rec("y")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![10.0, 9.0, 8.0, 7.0];
+        let r = estimate_lower_bound(&refs, &w, &ShareWord, 2);
+        assert_eq!(r.m, 4);
+        assert_eq!(r.lower_bound, 7.0);
+    }
+
+    #[test]
+    fn weak_estimator_is_looser_on_chains() {
+        // Figure 1's narrative: every group connects to one before it, so
+        // the weak estimator must scan all groups, while the CPN bound
+        // certifies K=2 at m=3.
+        let rs = [rec("p q"), rec("q r"), rec("r s"), rec("s t"), rec("t u")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![9.0, 8.0, 7.0, 6.0, 5.0];
+        let weak = estimate_lower_bound_weak(&refs, &w, &ShareWord, 2);
+        let cpn = estimate_lower_bound(&refs, &w, &ShareWord, 2);
+        assert_eq!(weak.m, 5, "weak estimator scans the whole chain");
+        assert_eq!(cpn.m, 3, "CPN bound certifies at m=3");
+        assert!(cpn.lower_bound > weak.lower_bound);
+    }
+
+    #[test]
+    fn weak_estimator_matches_on_disjoint_groups() {
+        let rs = [rec("a"), rec("b"), rec("c")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![3.0, 2.0, 1.0];
+        let weak = estimate_lower_bound_weak(&refs, &w, &ShareWord, 2);
+        assert_eq!(weak.m, 2);
+        assert_eq!(weak.lower_bound, 2.0);
+    }
+
+    #[test]
+    fn figure1_style_shortcut() {
+        // Mirrors the paper's Figure 1 discussion: every group connects to
+        // one before it, yet the CPN bound certifies K=2 at m=3 because
+        // c1 and c3 cannot merge.
+        let rs = [
+            rec("p q"), // c1
+            rec("q r"), // c2: joins c1
+            rec("r s"), // c3: joins c2 but not c1
+        ];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![5.0, 4.0, 3.0];
+        let r = estimate_lower_bound(&refs, &w, &ShareWord, 2);
+        assert_eq!(r.m, 3);
+        assert_eq!(r.lower_bound, 3.0);
+    }
+
+    #[test]
+    fn k_unreachable_returns_n() {
+        let rs = [rec("x a"), rec("x b")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let r = estimate_lower_bound(&refs, &[2.0, 1.0], &ShareWord, 2);
+        assert_eq!(r.m, 2);
+        assert_eq!(r.lower_bound, 0.0);
+        assert_eq!(r.cpn, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = estimate_lower_bound(&[], &[], &ShareWord, 3);
+        assert_eq!(r.m, 0);
+        assert_eq!(r.cpn, 0);
+    }
+
+    #[test]
+    fn prune_drops_unreachable_small_groups() {
+        // Heavy pair {a}, {a2} (connected, weights 10, 9); small isolated
+        // group {z} weight 1 can never reach M.
+        let rs = [rec("a p"), rec("a q"), rec("z")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![10.0, 9.0, 1.0];
+        let pr = prune_groups(&refs, &w, &ShareWord, 5.0, 2);
+        assert_eq!(pr.kept, vec![0, 1]);
+        assert_eq!(pr.upper_bounds[2], 1.0);
+        assert_eq!(pr.adjacency[0], vec![1]);
+    }
+
+    #[test]
+    fn refinement_tightens_bounds() {
+        // Chain z1 - z2 - big: z1's first-pass bound includes z2 (and
+        // vice versa), but after refinement z1's bound shrinks because
+        // z2's own bound is ≤ M once z2 loses z1... construct:
+        // w = [big=10, z2=2, z1=1]; edges: big-z2? no. z2-z1 only.
+        // u(z1) pass1 = 1+2=3 ≤ M=5 -> pruned even pass1.
+        // For a refinement-specific case: u(z2) = 2+1 = 3; prune at M=2.5:
+        // pass1 u(z1)=3 > 2.5 kept; pass2: neighbor z2 has u=3 > M so
+        // stays... craft chain of three: z1-z2, z2-z3, weights 1 each,
+        // M=2.5. pass1: u(z2)=3 > M, u(z1)=u(z3)=2 ≤ M.
+        // pass2: u(z2) recomputed with neighbors filtered by prev bounds:
+        // z1,z3 have u=2 ≤ M so drop -> u(z2)=1 ≤ M. all pruned.
+        let rs = [rec("p a"), rec("a b"), rec("b q")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![1.0, 1.0, 1.0];
+        let one_pass = prune_groups(&refs, &w, &ShareWord, 2.5, 0);
+        assert_eq!(one_pass.kept, vec![1], "only the middle survives pass 1");
+        let refined = prune_groups(&refs, &w, &ShareWord, 2.5, 2);
+        assert!(refined.kept.is_empty(), "refinement prunes the middle too");
+    }
+
+    #[test]
+    fn heavy_groups_always_kept() {
+        let rs = [rec("solo")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let pr = prune_groups(&refs, &[7.0], &ShareWord, 7.0, 2);
+        assert_eq!(pr.kept, vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod fast_prune_tests {
+    use super::*;
+    use topk_text::tokenize::TokenSet;
+
+    struct ShareWord;
+    impl NecessaryPredicate for ShareWord {
+        fn name(&self) -> &str {
+            "share-word"
+        }
+        fn candidate_tokens(&self, r: &TokenizedRecord) -> TokenSet {
+            r.field(topk_records::FieldId(0)).words.clone()
+        }
+        fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool {
+            a.field(topk_records::FieldId(0))
+                .words
+                .intersection_size(&b.field(topk_records::FieldId(0)).words)
+                >= 1
+        }
+    }
+
+    fn rec(name: &str) -> TokenizedRecord {
+        TokenizedRecord::from_fields(&[name.to_string()], 1.0)
+    }
+
+    /// The fast prune must keep a superset of nothing and match the
+    /// verified prune exactly when candidates equal true neighbors.
+    #[test]
+    fn fast_matches_exact_when_candidates_are_tight() {
+        let rs = [rec("a p"), rec("a q"), rec("z")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![10.0, 9.0, 1.0];
+        let fast = prune_groups_fast(&refs, &w, &ShareWord, 5.0, 2);
+        let exact = prune_groups(&refs, &w, &ShareWord, 5.0, 2);
+        assert_eq!(fast, exact.kept);
+    }
+
+    /// With the min_common=1 word canopy, candidates == neighbors, so the
+    /// two prunes agree on a bigger random-ish instance too.
+    #[test]
+    fn fast_is_never_tighter_than_exact() {
+        // Chain graph at M=2.5: exact refinement prunes everything; the
+        // fast path may keep more (looser), never less.
+        let rs = [rec("p a"), rec("a b"), rec("b q")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let w = vec![1.0, 1.0, 1.0];
+        let fast = prune_groups_fast(&refs, &w, &ShareWord, 2.5, 2);
+        let exact = prune_groups(&refs, &w, &ShareWord, 2.5, 2);
+        for k in &exact.kept {
+            assert!(fast.contains(k), "fast prune dropped a kept group");
+        }
+    }
+
+    #[test]
+    fn heavy_groups_survive_fast_prune() {
+        let rs = [rec("big"), rec("small")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let kept = prune_groups_fast(&refs, &[9.0, 0.5], &ShareWord, 5.0, 2);
+        assert_eq!(kept, vec![0]);
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! `topk-core` — the paper's primary contribution: efficient TopK count
+//! queries over imprecise duplicates (Sarawagi, Deshpande & Kasliwal,
+//! EDBT 2009).
+//!
+//! The entry point is [`TopKQuery`], which runs the **PrunedDedup**
+//! pipeline (Algorithm 2):
+//!
+//! 1. *Collapse* obvious duplicates with sufficient predicates (§4.1);
+//! 2. *Estimate* a lower bound `M` on the size of the K-th largest group
+//!    via the clique-partition-number bound on the necessary-predicate
+//!    graph (§4.2);
+//! 3. *Prune* every group whose refined upper bound falls below `M`
+//!    (§4.3);
+//! 4. Repeat for each level of predicates, then run the final pairwise
+//!    scorer and return the **R highest-scoring TopK answers** through the
+//!    linear-embedding segmentation DP (§5).
+//!
+//! Rank-only and thresholded variants (§7) are in [`queries`].
+//!
+//! # Example
+//!
+//! ```
+//! use topk_core::TopKQuery;
+//! use topk_predicates::student_predicates;
+//! use topk_records::{tokenize_dataset, FieldId, TokenizedRecord};
+//!
+//! // A noisy dataset with ground truth, from the generators.
+//! let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+//!     n_students: 30,
+//!     n_records: 150,
+//!     ..Default::default()
+//! });
+//! let toks = tokenize_dataset(&data);
+//! let stack = student_predicates(data.schema());
+//!
+//! // Any `PairScorer` works; closures are fine.
+//! let scorer = |a: &TokenizedRecord, b: &TokenizedRecord| {
+//!     topk_text::sim::overlap_coefficient(
+//!         &a.field(FieldId(0)).qgrams3,
+//!         &b.field(FieldId(0)).qgrams3,
+//!     ) - 0.5
+//! };
+//!
+//! let result = TopKQuery::new(3, 2).run(&toks, &stack, &scorer);
+//! assert_eq!(result.answers[0].groups.len(), 3);
+//! assert!(result.stats.final_group_count() < toks.len());
+//! ```
+
+pub mod avg;
+pub mod bounds;
+pub mod dedup;
+pub mod incremental;
+pub mod pipeline;
+pub mod queries;
+pub mod stats;
+
+pub use bounds::{
+    estimate_lower_bound, estimate_lower_bound_weak, prune_groups, prune_groups_fast,
+    LowerBoundResult, PruneResult,
+};
+pub use pipeline::{FinalGroup, PipelineConfig, PipelineOutcome, PrunedDedup, PruningMode};
+pub use queries::{
+    AnswerMethod,
+    AnswerGroup, RankEntry, RankResult, ThresholdedRankQuery, TopKAnswer, TopKQuery, TopKRankQuery,
+    TopKResult,
+};
+pub use avg::{AvgEntry, AvgResult, TopKAvgQuery};
+pub use dedup::{deduplicate, DedupResult};
+pub use incremental::IncrementalDedup;
+pub use stats::{IterationStats, PipelineStats};

@@ -1,0 +1,437 @@
+//! The PrunedDedup pipeline — Algorithm 2 of the paper.
+
+use std::time::Instant;
+
+use topk_predicates::{collapse, PredicateStack};
+use topk_records::TokenizedRecord;
+
+use crate::bounds::{estimate_lower_bound, prune_groups_fast};
+use crate::stats::{IterationStats, PipelineStats};
+
+/// Which optimizations to apply — the four configurations compared in the
+/// paper's Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruningMode {
+    /// No canopy, no collapse, no pruning: the final step scores the full
+    /// Cartesian product ("None" in Figure 6).
+    NoOptimization,
+    /// Necessary predicates used as canopies in the final join, but no
+    /// collapsing or pruning ("Canopy").
+    CanopyOnly,
+    /// Canopies plus sufficient-predicate collapsing, no K-specific
+    /// pruning ("Canopy+Collapse").
+    CanopyCollapse,
+    /// Full Algorithm 2 ("Canopy+Collapse+Prune").
+    #[default]
+    Full,
+}
+
+/// Configuration for [`PrunedDedup`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// `K` of the TopK query.
+    pub k: usize,
+    /// Upper-bound refinement passes in the prune step (§4.3; the paper
+    /// found two passes ≈ 2× extra pruning, more passes negligible).
+    pub refine_iterations: usize,
+    /// Optimization level (Figure 6 ablations).
+    pub mode: PruningMode,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            k: 10,
+            refine_iterations: 2,
+            mode: PruningMode::Full,
+        }
+    }
+}
+
+/// A group of records surviving the pipeline.
+#[derive(Debug, Clone)]
+pub struct FinalGroup {
+    /// Record indices (into the tokenized input) in the group.
+    pub members: Vec<u32>,
+    /// Record index representing the group.
+    pub rep: u32,
+    /// Total weight.
+    pub weight: f64,
+}
+
+/// Output of [`PrunedDedup::run`].
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Surviving groups in decreasing weight order.
+    pub groups: Vec<FinalGroup>,
+    /// The `M` bound from the last executed iteration (0 when pruning was
+    /// disabled).
+    pub last_lower_bound: f64,
+    /// Per-iteration statistics.
+    pub stats: PipelineStats,
+}
+
+/// Algorithm 2: iterated collapse → lower bound → prune.
+pub struct PrunedDedup<'a> {
+    toks: &'a [TokenizedRecord],
+    stack: &'a PredicateStack,
+    cfg: PipelineConfig,
+}
+
+impl<'a> PrunedDedup<'a> {
+    /// Set up the pipeline over tokenized records and a predicate stack.
+    pub fn new(toks: &'a [TokenizedRecord], stack: &'a PredicateStack, cfg: PipelineConfig) -> Self {
+        assert!(cfg.k >= 1, "K must be at least 1");
+        PrunedDedup { toks, stack, cfg }
+    }
+
+    /// Run the pipeline.
+    pub fn run(&self) -> PipelineOutcome {
+        let start = Instant::now();
+        let d = self.toks.len();
+        let mut stats = PipelineStats {
+            original_records: d,
+            ..Default::default()
+        };
+        // Current units: (members, rep, weight), initially one per record.
+        let mut units: Vec<FinalGroup> = (0..d as u32)
+            .map(|i| FinalGroup {
+                members: vec![i],
+                rep: i,
+                weight: self.toks[i as usize].weight(),
+            })
+            .collect();
+        let mut last_lower_bound = 0.0;
+
+        let do_collapse = matches!(
+            self.cfg.mode,
+            PruningMode::CanopyCollapse | PruningMode::Full
+        );
+        let do_prune = matches!(self.cfg.mode, PruningMode::Full);
+
+        if do_collapse {
+            for (level, (s_pred, n_pred)) in self.stack.levels.iter().enumerate() {
+                let t0 = Instant::now();
+                let reps: Vec<&TokenizedRecord> =
+                    units.iter().map(|u| &self.toks[u.rep as usize]).collect();
+                let weights: Vec<f64> = units.iter().map(|u| u.weight).collect();
+                let collapsed = collapse(&reps, &weights, s_pred.as_ref());
+                // Merge member lists according to the collapse result.
+                let mut next_units: Vec<FinalGroup> = collapsed
+                    .iter()
+                    .map(|g| {
+                        let mut members = Vec::new();
+                        for &u in &g.members {
+                            members.extend_from_slice(&units[u as usize].members);
+                        }
+                        FinalGroup {
+                            members,
+                            rep: units[g.rep as usize].rep,
+                            weight: g.weight,
+                        }
+                    })
+                    .collect();
+                let collapse_time = t0.elapsed();
+                let n_after_collapse = next_units.len();
+
+                let (m, lower_bound, bound_time, prune_time, kept_units) = if do_prune {
+                    let t1 = Instant::now();
+                    let reps: Vec<&TokenizedRecord> = next_units
+                        .iter()
+                        .map(|u| &self.toks[u.rep as usize])
+                        .collect();
+                    let weights: Vec<f64> = next_units.iter().map(|u| u.weight).collect();
+                    let lb = estimate_lower_bound(&reps, &weights, n_pred.as_ref(), self.cfg.k);
+                    let bound_time = t1.elapsed();
+                    let t2 = Instant::now();
+                    let kept_ids = prune_groups_fast(
+                        &reps,
+                        &weights,
+                        n_pred.as_ref(),
+                        lb.lower_bound,
+                        self.cfg.refine_iterations,
+                    );
+                    let prune_time = t2.elapsed();
+                    let kept: Vec<FinalGroup> = kept_ids
+                        .iter()
+                        .map(|&i| next_units[i as usize].clone())
+                        .collect();
+                    (lb.m, lb.lower_bound, bound_time, prune_time, kept)
+                } else {
+                    let kept = std::mem::take(&mut next_units);
+                    (
+                        0,
+                        0.0,
+                        std::time::Duration::ZERO,
+                        std::time::Duration::ZERO,
+                        kept,
+                    )
+                };
+                last_lower_bound = lower_bound;
+                let n_after_prune = kept_units.len();
+                stats.iterations.push(IterationStats {
+                    level,
+                    n_after_collapse,
+                    pct_after_collapse: pct(n_after_collapse, d),
+                    m,
+                    lower_bound,
+                    n_after_prune,
+                    pct_after_prune: pct(n_after_prune, d),
+                    collapse_time,
+                    bound_time,
+                    prune_time,
+                });
+                units = kept_units;
+                if units.len() <= self.cfg.k {
+                    break; // Algorithm 2 line 7: exact answer already found
+                }
+            }
+        }
+
+        units.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.rep.cmp(&b.rep)));
+        stats.total_time = start.elapsed();
+        PipelineOutcome {
+            groups: units,
+            last_lower_bound,
+            stats,
+        }
+    }
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_datagen::{generate_students, StudentConfig};
+    use topk_predicates::student_predicates;
+    use topk_records::tokenize_dataset;
+
+    fn setup() -> (Vec<TokenizedRecord>, PredicateStack) {
+        let d = generate_students(&StudentConfig {
+            n_students: 60,
+            n_records: 300,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        (toks, stack)
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_data() {
+        let (toks, stack) = setup();
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(out.groups.len() < toks.len());
+        assert!(out.groups.len() >= 3);
+        assert_eq!(out.stats.original_records, 300);
+        assert!(!out.stats.iterations.is_empty());
+        assert!(out.last_lower_bound > 0.0);
+        // groups sorted by decreasing weight
+        for w in out.groups.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        // members partition a subset of the records (no duplicates)
+        let mut all: Vec<u32> = out.groups.iter().flat_map(|g| g.members.clone()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn collapse_only_keeps_everything() {
+        let (toks, stack) = setup();
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k: 3,
+                mode: PruningMode::CanopyCollapse,
+                ..Default::default()
+            },
+        )
+        .run();
+        // no pruning: total membership covers all records
+        let total: usize = out.groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, toks.len());
+    }
+
+    #[test]
+    fn no_optimization_returns_singletons() {
+        let (toks, stack) = setup();
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k: 3,
+                mode: PruningMode::NoOptimization,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.groups.len(), toks.len());
+        assert!(out.stats.iterations.is_empty());
+    }
+
+    #[test]
+    fn pruned_set_contains_true_heavy_entities() {
+        // The records of the K heaviest true entities must survive the
+        // pipeline inside some group: collapse only merges true duplicates
+        // (S is sound on this generator) and pruning only removes groups
+        // whose upper bound is below the certified lower bound.
+        let d = generate_students(&StudentConfig {
+            n_students: 40,
+            n_records: 250,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        let k = 3;
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k,
+                ..Default::default()
+            },
+        )
+        .run();
+        let truth = d.truth().unwrap();
+        let weights = d.weights();
+        // True entity weights, decreasing.
+        let mut entity_weight: std::collections::HashMap<u32, f64> = Default::default();
+        for (i, &l) in truth.labels().iter().enumerate() {
+            *entity_weight.entry(l).or_insert(0.0) += weights[i];
+        }
+        let mut ew: Vec<(u32, f64)> = entity_weight.into_iter().collect();
+        ew.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let surviving: std::collections::HashSet<u32> = out
+            .groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
+        for &(entity, _) in ew.iter().take(k) {
+            let entity_records: Vec<u32> = truth
+                .labels()
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == entity)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let kept = entity_records
+                .iter()
+                .filter(|r| surviving.contains(r))
+                .count();
+            // The bulk of each top entity must survive (some individual
+            // mentions may sit in small split-off groups below M).
+            assert!(
+                kept * 2 >= entity_records.len(),
+                "top entity {entity} lost too many records: {kept}/{}",
+                entity_records.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use topk_predicates::student_predicates;
+    use topk_records::{tokenize_dataset, Dataset, Record, Schema};
+
+    fn student_schema() -> Schema {
+        Schema::new(vec!["name", "birthdate", "class", "school", "paper"])
+    }
+
+    fn student(name: &str, marks: f64) -> Record {
+        Record::with_weight(
+            vec![
+                name.into(),
+                "19990101".into(),
+                "c1".into(),
+                "sch1".into(),
+                "p1".into(),
+            ],
+            marks,
+        )
+    }
+
+    #[test]
+    fn single_record_dataset() {
+        let d = Dataset::new(student_schema(), vec![student("solo kid", 90.0)]);
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        let out = PrunedDedup::new(&toks, &stack, PipelineConfig::default()).run();
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].weight, 90.0);
+    }
+
+    #[test]
+    fn all_identical_records_collapse_to_one() {
+        let d = Dataset::new(
+            student_schema(),
+            (0..20).map(|_| student("same kid", 5.0)).collect(),
+        );
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.groups.len(), 1, "exact duplicates must fully collapse");
+        assert_eq!(out.groups[0].weight, 100.0);
+        assert_eq!(out.groups[0].members.len(), 20);
+    }
+
+    #[test]
+    fn k_larger_than_entity_count() {
+        let d = Dataset::new(
+            student_schema(),
+            vec![student("kid a", 1.0), student("kid b", 2.0)],
+        );
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k: 50,
+                ..Default::default()
+            },
+        )
+        .run();
+        // Cannot certify 50 distinct groups: nothing may be pruned.
+        assert_eq!(out.groups.len(), 2);
+        assert_eq!(out.last_lower_bound, 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(student_schema(), vec![]);
+        let toks = tokenize_dataset(&d);
+        let stack = student_predicates(d.schema());
+        let out = PrunedDedup::new(&toks, &stack, PipelineConfig::default()).run();
+        assert!(out.groups.is_empty());
+        assert_eq!(out.stats.original_records, 0);
+    }
+}

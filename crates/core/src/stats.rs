@@ -1,0 +1,149 @@
+//! Pipeline statistics — the quantities reported in the paper's
+//! Figures 2-4: `n` (groups after collapse), `m` (rank at which K
+//! distinct groups are guaranteed), `M` (the lower bound), and `n′`
+//! (groups surviving the prune), plus wall-clock timings for Figure 6.
+
+use std::time::Duration;
+
+/// Statistics of one `(S_ℓ, N_ℓ)` iteration of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Level index (0-based).
+    pub level: usize,
+    /// Groups after collapsing with `S_ℓ`.
+    pub n_after_collapse: usize,
+    /// `n` as a percentage of the original record count.
+    pub pct_after_collapse: f64,
+    /// Rank at which K distinct groups are guaranteed.
+    pub m: usize,
+    /// `M`: lower bound on the weight of the K-th largest answer group.
+    pub lower_bound: f64,
+    /// Groups surviving the prune.
+    pub n_after_prune: usize,
+    /// `n′` as a percentage of the original record count.
+    pub pct_after_prune: f64,
+    /// Time in the collapse step.
+    pub collapse_time: Duration,
+    /// Time estimating the lower bound.
+    pub bound_time: Duration,
+    /// Time pruning.
+    pub prune_time: Duration,
+}
+
+/// Statistics of a whole pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Records in the input.
+    pub original_records: usize,
+    /// Per-iteration numbers.
+    pub iterations: Vec<IterationStats>,
+    /// Total pipeline wall-clock time.
+    pub total_time: Duration,
+}
+
+impl PipelineStats {
+    /// Final surviving group count (original record count when no
+    /// iteration ran).
+    pub fn final_group_count(&self) -> usize {
+        self.iterations
+            .last()
+            .map_or(self.original_records, |it| it.n_after_prune)
+    }
+
+    /// Final `n′` as a percentage of the original records.
+    pub fn final_pct(&self) -> f64 {
+        self.iterations
+            .last()
+            .map_or(100.0, |it| it.pct_after_prune)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_counts() {
+        let mut s = PipelineStats {
+            original_records: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.final_group_count(), 100);
+        assert_eq!(s.final_pct(), 100.0);
+        s.iterations.push(IterationStats {
+            level: 0,
+            n_after_collapse: 60,
+            pct_after_collapse: 60.0,
+            m: 5,
+            lower_bound: 7.0,
+            n_after_prune: 9,
+            pct_after_prune: 9.0,
+            collapse_time: Duration::ZERO,
+            bound_time: Duration::ZERO,
+            prune_time: Duration::ZERO,
+        });
+        assert_eq!(s.final_group_count(), 9);
+        assert_eq!(s.final_pct(), 9.0);
+    }
+}
+
+impl std::fmt::Display for PipelineStats {
+    /// Render as an aligned multi-line report (one line per iteration),
+    /// in the layout of the paper's Figures 2-4.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pipeline over {} records ({} iterations, {:?} total):",
+            self.original_records,
+            self.iterations.len(),
+            self.total_time
+        )?;
+        for it in &self.iterations {
+            writeln!(
+                f,
+                "  it{}: collapse {:>7} ({:>6.2}%) in {:?}; m={}, M={:.1} in {:?}; \
+                 prune {:>7} ({:>6.2}%) in {:?}",
+                it.level + 1,
+                it.n_after_collapse,
+                it.pct_after_collapse,
+                it.collapse_time,
+                it.m,
+                it.lower_bound,
+                it.bound_time,
+                it.n_after_prune,
+                it.pct_after_prune,
+                it.prune_time,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn renders_iterations() {
+        let s = PipelineStats {
+            original_records: 10,
+            iterations: vec![IterationStats {
+                level: 0,
+                n_after_collapse: 6,
+                pct_after_collapse: 60.0,
+                m: 2,
+                lower_bound: 3.0,
+                n_after_prune: 2,
+                pct_after_prune: 20.0,
+                collapse_time: Duration::from_millis(5),
+                bound_time: Duration::from_millis(1),
+                prune_time: Duration::from_millis(2),
+            }],
+            total_time: Duration::from_millis(9),
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 records"));
+        assert!(text.contains("it1"));
+        assert!(text.contains("M=3.0"));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Synthetic dirty-duplicate dataset generators.
+//!
+//! The paper evaluates on proprietary data (a Citeseer crawl, a primary
+//! school exam database, a Pune city address list) plus small labeled
+//! benchmarks. None of those are redistributable, so this crate generates
+//! synthetic equivalents with controlled noise channels and full ground
+//! truth — see DESIGN.md §4 for the substitution argument.
+//!
+//! Every generator is deterministic given its [`rand::SeedableRng`] seed.
+
+pub mod addresses;
+pub mod citations;
+pub mod names;
+pub mod noise;
+pub mod products;
+pub mod small;
+pub mod students;
+pub mod web;
+pub mod zipf;
+
+pub use addresses::{generate_addresses, AddressConfig};
+pub use citations::{generate_citations, CitationConfig};
+pub use products::{generate_products, ProductConfig};
+pub use small::{small_dataset, SmallDatasetKind};
+pub use students::{generate_students, StudentConfig};
+pub use web::{generate_web_mentions, WebConfig};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,138 @@
+//! Deterministic synthetic vocabularies: person names, title words,
+//! street/city names.
+//!
+//! Names are composed from syllable inventories, giving a realistic mix of
+//! short common surnames and long rare ones without shipping any real
+//! personal data. Generation is a pure function of the index, so every
+//! entity keeps the same clean form across runs.
+
+/// Syllables used to compose name-like words. The inventories are kept
+/// deliberately large: 3-gram blocking predicates lean on gram diversity,
+/// and real name corpora have far more distinct trigrams than a small
+/// syllable set would produce.
+const ONSETS: &[&str] = &[
+    "ba", "ka", "de", "ma", "sa", "ra", "ta", "na", "pa", "ga", "ha", "ja", "la", "va", "sha",
+    "cha", "pra", "kri", "su", "mo", "ne", "vi", "ro", "be", "do", "fe", "gu", "hi", "jo", "ke",
+    "bhu", "dra", "fra", "gla", "hru", "jya", "kla", "lwa", "mya", "nra", "pwa", "qui", "rhe",
+    "sto", "tri", "uva", "vle", "wri", "xia", "yve", "zor", "ble", "cre", "dwi", "fyo", "gne",
+    "hya", "ive", "klu", "lho",
+];
+const MIDS: &[&str] = &[
+    "ri", "la", "mi", "no", "sa", "ve", "ta", "ku", "re", "li", "ma", "dhu", "ni", "ru", "wa",
+    "yo", "za", "pe", "go", "che", "bi", "co", "du", "fe", "gy", "hu", "ji", "ko", "lu", "me",
+    "nya", "osi", "pra", "qua", "rko", "ste", "tva", "ulo", "vni", "wex",
+];
+const CODAS: &[&str] = &[
+    "n", "sh", "m", "r", "l", "t", "k", "d", "s", "v", "gi", "ni", "ta", "ne", "ya", "an", "ar",
+    "al", "at", "wal", "ber", "cki", "dze", "ffe", "ghy", "hne", "itz", "jor", "kov", "lde",
+    "mbe", "nov", "oss", "pul", "quet", "rth", "sky", "tte", "urn", "vic",
+];
+
+/// Deterministic pseudo-random mixing of an index (splitmix64).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A name-like word for index `i` within namespace `ns` (namespaces keep
+/// first names, last names, streets, etc. from colliding).
+pub fn word(ns: u64, i: u64) -> String {
+    let h = mix(ns.wrapping_mul(0x51ed_270b).wrapping_add(i));
+    let onset = ONSETS[(h % ONSETS.len() as u64) as usize];
+    let mid = MIDS[((h >> 8) % MIDS.len() as u64) as usize];
+    let coda = CODAS[((h >> 16) % CODAS.len() as u64) as usize];
+    // Short words for low indices (common names), longer for high.
+    if i < 40 {
+        format!("{onset}{coda}")
+    } else if (h >> 24) % 3 == 0 {
+        format!("{onset}{mid}{mid}{coda}")
+    } else {
+        format!("{onset}{mid}{coda}")
+    }
+}
+
+/// Namespaces for the different vocabularies.
+pub mod ns {
+    /// First names.
+    pub const FIRST: u64 = 1;
+    /// Last names.
+    pub const LAST: u64 = 2;
+    /// Title / topic words.
+    pub const TITLE: u64 = 3;
+    /// Street names.
+    pub const STREET: u64 = 4;
+    /// City / locality names.
+    pub const LOCALITY: u64 = 5;
+    /// Restaurant names.
+    pub const RESTAURANT: u64 = 6;
+    /// Middle names.
+    pub const MIDDLE: u64 = 7;
+}
+
+/// Full person name `"first [middle] last"` for entity `i` drawn from
+/// pools of the given sizes. About a third of people get a middle name.
+/// Surnames are disambiguated with the entity index so that distinct
+/// entities rarely share an exact surname (which keeps the rare-surname
+/// sufficient predicates sound on generated data).
+pub fn person_name(i: u64, first_pool: u64, last_pool: u64) -> String {
+    let h = mix(i.wrapping_add(0xabcd));
+    let first = word(ns::FIRST, h % first_pool);
+    let last = word(ns::LAST, ((h >> 16) % last_pool).wrapping_add(i << 20));
+    if (h >> 32) % 3 == 0 {
+        let middle = word(ns::MIDDLE, (h >> 40) % first_pool);
+        format!("{first} {middle} {last}")
+    } else {
+        format!("{first} {last}")
+    }
+}
+
+/// A title of `len` topic words for seed `i`.
+pub fn title(i: u64, len: usize) -> String {
+    let mut parts = Vec::with_capacity(len);
+    for k in 0..len {
+        let h = mix(i.wrapping_mul(31).wrapping_add(k as u64));
+        parts.push(word(ns::TITLE, h % 3000));
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(word(ns::FIRST, 7), word(ns::FIRST, 7));
+        assert_eq!(person_name(9, 100, 200), person_name(9, 100, 200));
+    }
+
+    #[test]
+    fn namespaces_differ() {
+        assert_ne!(word(ns::FIRST, 7), word(ns::LAST, 7));
+    }
+
+    #[test]
+    fn names_have_two_or_three_parts() {
+        for i in 0..200 {
+            let n = person_name(i, 50, 100);
+            let parts = n.split_whitespace().count();
+            assert!(parts == 2 || parts == 3, "{n}");
+        }
+    }
+
+    #[test]
+    fn pool_diversity() {
+        let mut distinct: Vec<String> = (0..500).map(|i| word(ns::LAST, i)).collect();
+        distinct.sort();
+        distinct.dedup();
+        // Syllable collisions are fine but the pool must be reasonably rich.
+        assert!(distinct.len() > 250, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn titles_have_requested_length() {
+        assert_eq!(title(5, 4).split_whitespace().count(), 4);
+    }
+}

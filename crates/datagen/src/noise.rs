@@ -1,0 +1,212 @@
+//! Noise channels applied to clean entity strings to produce imprecise
+//! duplicate mentions.
+//!
+//! Each channel models an error mode the paper calls out: typos, initials
+//! instead of full first names (citations §6.1.1), missing spaces between
+//! name parts (students §6.1.2), dropped/reordered tokens (addresses
+//! §6.1.3), and wrong dates.
+
+use rand::{Rng, RngExt};
+
+/// Apply a single random character typo (substitute / delete / insert /
+/// transpose) to an ASCII-ish lowercase word. Empty strings pass through.
+pub fn typo<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let mut out = chars.clone();
+    let pos = rng.random_range(0..out.len());
+    match rng.random_range(0..4u8) {
+        0 => {
+            // substitute
+            out[pos] = random_letter(rng);
+        }
+        1 => {
+            // delete (keep at least one char)
+            if out.len() > 1 {
+                out.remove(pos);
+            }
+        }
+        2 => {
+            // insert
+            out.insert(pos, random_letter(rng));
+        }
+        _ => {
+            // transpose with next
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else if out.len() >= 2 {
+                let l = out.len();
+                out.swap(l - 2, l - 1);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'a' + rng.random_range(0..26u8)) as char
+}
+
+/// Replace every word except the last by its initial with probability
+/// `p_each` — "s sarawagi" style author mentions.
+pub fn initialize_words<R: Rng + ?Sized>(rng: &mut R, s: &str, p_each: f64) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() <= 1 {
+        return s.to_string();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(words.len());
+    for (i, w) in words.iter().enumerate() {
+        if i + 1 < words.len() && rng.random_bool(p_each) {
+            out.push(w.chars().take(1).collect());
+        } else {
+            out.push((*w).to_string());
+        }
+    }
+    out.join(" ")
+}
+
+/// Remove the space between one random adjacent word pair — the students
+/// dataset's "missing space between different parts of the name".
+pub fn drop_space<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() <= 1 {
+        return s.to_string();
+    }
+    let k = rng.random_range(0..words.len() - 1);
+    let mut out = Vec::with_capacity(words.len() - 1);
+    for (i, w) in words.iter().enumerate() {
+        if i == k {
+            out.push(format!("{}{}", w, words[i + 1]));
+        } else if i != k + 1 {
+            out.push((*w).to_string());
+        }
+    }
+    out.join(" ")
+}
+
+/// Drop one random word (keeps at least one).
+pub fn drop_word<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let mut words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() <= 1 {
+        return s.to_string();
+    }
+    let k = rng.random_range(0..words.len());
+    words.remove(k);
+    words.join(" ")
+}
+
+/// Swap one random adjacent word pair (name-part reordering).
+pub fn swap_words<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let mut words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() <= 1 {
+        return s.to_string();
+    }
+    let k = rng.random_range(0..words.len() - 1);
+    words.swap(k, k + 1);
+    words.join(" ")
+}
+
+/// With probability `p`, apply `f` to `s`; otherwise return `s` unchanged.
+pub fn maybe<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    s: String,
+    f: impl FnOnce(&mut R, &str) -> String,
+) -> String {
+    if rng.random_bool(p) {
+        f(rng, &s)
+    } else {
+        s
+    }
+}
+
+/// A standard-normal sample via Box-Muller (rand_distr is outside the
+/// allowed crate set).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn typo_changes_or_keeps_length_close() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = typo(&mut r, "sarawagi");
+            assert!(!t.is_empty());
+            assert!((t.len() as i64 - 8).abs() <= 1);
+        }
+        assert_eq!(typo(&mut r, ""), "");
+        assert!(!typo(&mut r, "a").is_empty());
+    }
+
+    #[test]
+    fn initialize_keeps_last_word() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = initialize_words(&mut r, "sunita kumar sarawagi", 1.0);
+            assert_eq!(s, "s k sarawagi");
+        }
+        assert_eq!(initialize_words(&mut r, "single", 1.0), "single");
+    }
+
+    #[test]
+    fn drop_space_merges_one_pair() {
+        let mut r = rng();
+        let s = drop_space(&mut r, "a b c");
+        assert_eq!(s.split_whitespace().count(), 2);
+        assert_eq!(s.replace(' ', ""), "abc");
+        assert_eq!(drop_space(&mut r, "one"), "one");
+    }
+
+    #[test]
+    fn drop_word_keeps_rest() {
+        let mut r = rng();
+        let s = drop_word(&mut r, "a b c");
+        assert_eq!(s.split_whitespace().count(), 2);
+        assert_eq!(drop_word(&mut r, "only"), "only");
+    }
+
+    #[test]
+    fn swap_words_permutes() {
+        let mut r = rng();
+        let s = swap_words(&mut r, "a b");
+        assert_eq!(s, "b a");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn maybe_applies_probabilistically() {
+        let mut r = rng();
+        let always = maybe(&mut r, 1.0, "ab".to_string(), typo);
+        let never = maybe(&mut r, 0.0, "ab".to_string(), typo);
+        assert_eq!(never, "ab");
+        let _ = always; // only checks it runs
+    }
+}

@@ -1,0 +1,244 @@
+//! Small labeled datasets for the accuracy experiment (paper Table 1,
+//! Figure 7).
+//!
+//! The paper compares its segmentation answers with an exact solver on
+//! four small benchmarks. We generate synthetic stand-ins at the same
+//! record counts (and approximately the same entity counts):
+//!
+//! | name       | records | groups (paper) |
+//! |------------|---------|----------------|
+//! | Authors    | 1822    | 1466           |
+//! | Restaurant | 860     | 734            |
+//! | Address    | 306     | 218            |
+//! | Getoor     | 1716    | 1172           |
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use topk_records::{Dataset, Partition, Record, Schema};
+
+use crate::names::{ns, person_name, word};
+use crate::noise;
+
+/// Which Table-1 dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallDatasetKind {
+    /// Singleton author-name mentions (from the citation data).
+    Authors,
+    /// Restaurant names and addresses (the classic Fodors/Zagat benchmark
+    /// shape).
+    Restaurant,
+    /// A sample of the address data.
+    Address,
+    /// Citation records in the style of Bhattacharya & Getoor's data.
+    Getoor,
+}
+
+impl SmallDatasetKind {
+    /// Paper record count for this dataset.
+    pub fn n_records(self) -> usize {
+        match self {
+            SmallDatasetKind::Authors => 1822,
+            SmallDatasetKind::Restaurant => 860,
+            SmallDatasetKind::Address => 306,
+            SmallDatasetKind::Getoor => 1716,
+        }
+    }
+
+    /// Paper group count for this dataset.
+    pub fn n_groups(self) -> usize {
+        match self {
+            SmallDatasetKind::Authors => 1466,
+            SmallDatasetKind::Restaurant => 734,
+            SmallDatasetKind::Address => 218,
+            SmallDatasetKind::Getoor => 1172,
+        }
+    }
+
+    /// All four kinds.
+    pub fn all() -> [SmallDatasetKind; 4] {
+        [
+            SmallDatasetKind::Authors,
+            SmallDatasetKind::Restaurant,
+            SmallDatasetKind::Address,
+            SmallDatasetKind::Getoor,
+        ]
+    }
+
+    /// Display name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            SmallDatasetKind::Authors => "Authors",
+            SmallDatasetKind::Restaurant => "Restaurant",
+            SmallDatasetKind::Address => "Address",
+            SmallDatasetKind::Getoor => "Getoor",
+        }
+    }
+}
+
+/// Mention counts per entity: every entity gets one record, remaining
+/// records go to a skewed prefix of entities.
+fn mention_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_entities: usize,
+    n_records: usize,
+) -> Vec<usize> {
+    let mut counts = vec![1usize; n_entities];
+    let extra = n_records - n_entities;
+    let z = crate::zipf::ZipfSampler::new(n_entities, 1.0);
+    for _ in 0..extra {
+        counts[z.sample(rng)] += 1;
+    }
+    counts
+}
+
+/// Generate one of the Table-1 datasets with full ground truth.
+pub fn small_dataset(kind: SmallDatasetKind, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ kind.n_records() as u64);
+    let n_groups = kind.n_groups();
+    let counts = mention_counts(&mut rng, n_groups, kind.n_records());
+    match kind {
+        SmallDatasetKind::Authors => {
+            let schema = Schema::new(vec!["name"]);
+            let mut records = Vec::new();
+            let mut labels = Vec::new();
+            for (e, &c) in counts.iter().enumerate() {
+                let clean = person_name(e as u64, 260, 1500);
+                for _ in 0..c {
+                    let mut m = clean.clone();
+                    if rng.random_bool(0.4) {
+                        m = noise::initialize_words(&mut rng, &m, 0.8);
+                    }
+                    if rng.random_bool(0.1) {
+                        m = noise::typo(&mut rng, &m);
+                    }
+                    records.push(Record::new(vec![m]));
+                    labels.push(e as u32);
+                }
+            }
+            Dataset::with_truth(schema, records, Partition::from_labels(labels))
+        }
+        SmallDatasetKind::Restaurant => {
+            let schema = Schema::new(vec!["name", "address", "city"]);
+            let mut records = Vec::new();
+            let mut labels = Vec::new();
+            for (e, &c) in counts.iter().enumerate() {
+                let name = format!(
+                    "{} {}",
+                    word(ns::RESTAURANT, e as u64),
+                    word(ns::RESTAURANT, 1000 + e as u64)
+                );
+                let addr = format!(
+                    "{} {}",
+                    rng.random_range(1..999u32),
+                    word(ns::STREET, rng.random_range(0..300u64))
+                );
+                let city = word(ns::LOCALITY, rng.random_range(0..25u64));
+                for _ in 0..c {
+                    let mut nm = name.clone();
+                    let mut ad = addr.clone();
+                    if rng.random_bool(0.15) {
+                        nm = noise::typo(&mut rng, &nm);
+                    }
+                    if rng.random_bool(0.2) {
+                        ad = noise::drop_word(&mut rng, &ad);
+                    }
+                    records.push(Record::new(vec![nm, ad, city.clone()]));
+                    labels.push(e as u32);
+                }
+            }
+            Dataset::with_truth(schema, records, Partition::from_labels(labels))
+        }
+        SmallDatasetKind::Address => {
+            let schema = Schema::new(vec!["name", "address", "pin"]);
+            let mut records = Vec::new();
+            let mut labels = Vec::new();
+            for (e, &c) in counts.iter().enumerate() {
+                let name = person_name(20_000 + e as u64, 260, 1500);
+                let addr = format!(
+                    "{} {} {}",
+                    rng.random_range(1..400u32),
+                    word(ns::STREET, rng.random_range(0..300u64)),
+                    word(ns::LOCALITY, rng.random_range(0..40u64))
+                );
+                let pin = format!("4110{:02}", rng.random_range(0..60u32));
+                for _ in 0..c {
+                    let mut nm = name.clone();
+                    let mut ad = addr.clone();
+                    if rng.random_bool(0.2) {
+                        nm = noise::initialize_words(&mut rng, &nm, 0.7);
+                    }
+                    if rng.random_bool(0.1) {
+                        nm = noise::typo(&mut rng, &nm);
+                    }
+                    if rng.random_bool(0.2) {
+                        ad = noise::drop_word(&mut rng, &ad);
+                    }
+                    records.push(Record::new(vec![nm, ad, pin.clone()]));
+                    labels.push(e as u32);
+                }
+            }
+            Dataset::with_truth(schema, records, Partition::from_labels(labels))
+        }
+        SmallDatasetKind::Getoor => {
+            let schema = Schema::new(vec!["author", "coauthors"]);
+            let mut records = Vec::new();
+            let mut labels = Vec::new();
+            let coauthor_pool: Vec<String> =
+                (0..400).map(|i| person_name(90_000 + i, 260, 1500)).collect();
+            for (e, &c) in counts.iter().enumerate() {
+                let clean = person_name(50_000 + e as u64, 260, 1500);
+                for _ in 0..c {
+                    let mut m = clean.clone();
+                    if rng.random_bool(0.35) {
+                        m = noise::initialize_words(&mut rng, &m, 0.8);
+                    }
+                    if rng.random_bool(0.08) {
+                        m = noise::typo(&mut rng, &m);
+                    }
+                    let n_co = rng.random_range(0..4usize);
+                    let co: Vec<&str> = (0..n_co)
+                        .map(|_| {
+                            coauthor_pool[rng.random_range(0..coauthor_pool.len())].as_str()
+                        })
+                        .collect();
+                    records.push(Record::new(vec![m, co.join(" ")]));
+                    labels.push(e as u32);
+                }
+            }
+            Dataset::with_truth(schema, records, Partition::from_labels(labels))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_match_table1() {
+        for kind in SmallDatasetKind::all() {
+            let d = small_dataset(kind, 7);
+            assert_eq!(d.len(), kind.n_records(), "{}", kind.name());
+            assert_eq!(
+                d.truth().unwrap().group_count(),
+                kind.n_groups(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_dataset(SmallDatasetKind::Restaurant, 3);
+        let b = small_dataset(SmallDatasetKind::Restaurant, 3);
+        assert_eq!(a.records()[5], b.records()[5]);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(SmallDatasetKind::Authors.name(), "Authors");
+        assert_eq!(SmallDatasetKind::all().len(), 4);
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic students dataset (paper §6.1.2 substitute).
+//!
+//! Each entity is a pupil; each record is one exam paper with fields
+//! `name, birthdate, class, school, paper`. Error channels follow the
+//! paper's description: missing spaces inside names, the current (exam)
+//! date entered instead of the birth date, plus occasional typos. School
+//! and class codes "are believed to be correct" and stay clean. Record
+//! weight is the paper's synthetic score: a per-entity Gaussian
+//! proficiency drives the marks of all of the pupil's papers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use topk_records::{Dataset, Partition, Record, Schema};
+
+use crate::names::person_name;
+use crate::noise;
+use crate::zipf::ZipfSampler;
+
+/// Configuration for [`generate_students`].
+#[derive(Debug, Clone)]
+pub struct StudentConfig {
+    /// Number of pupils.
+    pub n_students: usize,
+    /// Total number of exam-paper records.
+    pub n_records: usize,
+    /// Zipf exponent for papers-per-pupil skew (mild).
+    pub zipf_exponent: f64,
+    /// Probability the name loses a space.
+    pub p_drop_space: f64,
+    /// Probability of a typo in the name.
+    pub p_typo: f64,
+    /// Probability the birth date is replaced by the exam date.
+    pub p_wrong_date: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudentConfig {
+    fn default() -> Self {
+        StudentConfig {
+            n_students: 12_000,
+            n_records: 40_000,
+            zipf_exponent: 0.5,
+            p_drop_space: 0.18,
+            p_typo: 0.06,
+            p_wrong_date: 0.12,
+            seed: 0x57D1,
+        }
+    }
+}
+
+struct Student {
+    name: String,
+    birthdate: String,
+    class: String,
+    school: String,
+    proficiency: f64,
+}
+
+/// Generate the students dataset. Schema: `name, birthdate, class,
+/// school, paper`; weight = marks; truth = pupil entity.
+pub fn generate_students(cfg: &StudentConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let students: Vec<Student> = (0..cfg.n_students)
+        .map(|i| {
+            let year = 1994 + rng.random_range(0..6u32);
+            let month = 1 + rng.random_range(0..12u32);
+            let day = 1 + rng.random_range(0..28u32);
+            Student {
+                name: person_name(i as u64, 400, 2500),
+                birthdate: format!("{year:04}{month:02}{day:02}"),
+                class: format!("c{}", 1 + rng.random_range(0..7u32)),
+                school: format!("sch{}", rng.random_range(0..(cfg.n_students / 60).max(2))),
+                proficiency: noise::gaussian(&mut rng),
+            }
+        })
+        .collect();
+
+    let zipf = ZipfSampler::new(cfg.n_students, cfg.zipf_exponent);
+    let schema = Schema::new(vec!["name", "birthdate", "class", "school", "paper"]);
+    let mut records = Vec::with_capacity(cfg.n_records);
+    let mut labels = Vec::with_capacity(cfg.n_records);
+
+    for _ in 0..cfg.n_records {
+        let s = zipf.sample(&mut rng);
+        let st = &students[s];
+        let mut name = st.name.clone();
+        if rng.random_bool(cfg.p_drop_space) {
+            name = noise::drop_space(&mut rng, &name);
+        }
+        if rng.random_bool(cfg.p_typo) {
+            name = noise::typo(&mut rng, &name);
+        }
+        let birthdate = if rng.random_bool(cfg.p_wrong_date) {
+            // "current date instead of the birth date"
+            format!("2008{:02}{:02}", 1 + rng.random_range(0..12u32), 1 + rng.random_range(0..28u32))
+        } else {
+            st.birthdate.clone()
+        };
+        let paper = format!("p{}", rng.random_range(0..40u32));
+        // Marks: 50 + 15 * proficiency + small per-paper noise, in [0,100].
+        let marks = (50.0 + 15.0 * st.proficiency + 5.0 * noise::gaussian(&mut rng))
+            .clamp(0.0, 100.0);
+        records.push(Record::with_weight(
+            vec![name, birthdate, st.class.clone(), st.school.clone(), paper],
+            marks,
+        ));
+        labels.push(s as u32);
+    }
+    Dataset::with_truth(schema, records, Partition::from_labels(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_records::FieldId;
+
+    fn small_cfg() -> StudentConfig {
+        StudentConfig {
+            n_students: 80,
+            n_records: 400,
+            ..StudentConfig::default()
+        }
+    }
+
+    #[test]
+    fn basic_shape() {
+        let d = generate_students(&small_cfg());
+        assert_eq!(d.len(), 400);
+        assert_eq!(d.schema().arity(), 5);
+        assert_eq!(d.truth().unwrap().len(), 400);
+    }
+
+    #[test]
+    fn weights_are_marks() {
+        let d = generate_students(&small_cfg());
+        for r in d.records() {
+            assert!((0.0..=100.0).contains(&r.weight()));
+        }
+        // not all identical
+        let w0 = d.records()[0].weight();
+        assert!(d.records().iter().any(|r| (r.weight() - w0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn clean_fields_stay_clean() {
+        let d = generate_students(&small_cfg());
+        let t = d.truth().unwrap();
+        // all records of one entity share class and school exactly
+        let groups = t.groups();
+        let g = groups.iter().find(|g| g.len() >= 3).expect("a repeated pupil");
+        let class0 = d.records()[g[0]].field(FieldId(2));
+        let school0 = d.records()[g[0]].field(FieldId(3));
+        for &i in g {
+            assert_eq!(d.records()[i].field(FieldId(2)), class0);
+            assert_eq!(d.records()[i].field(FieldId(3)), school0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_students(&small_cfg());
+        let b = generate_students(&small_cfg());
+        assert_eq!(a.records()[7], b.records()[7]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic web-mention dataset — the paper's "web query answering"
+//! scenario ("the result of the query is expected to be a single entity
+//! where each entity's rank is derived from its frequency of
+//! occurrences") and the news-feed organization tracking use case.
+//!
+//! Entities are organizations; mentions render the organization name in
+//! the styles actually seen on the web: the full name, the acronym
+//! ("IIT Bombay" → "iitb"), truncations that drop the legal-form words,
+//! and the usual typo channel. Each mention carries a `context` field of
+//! topic words with entity-specific vocabulary, which is what similarity
+//! scorers key on when the surface form is an acronym.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use topk_records::{Dataset, Partition, Record, Schema};
+
+use crate::names::{ns, word};
+use crate::noise;
+use crate::zipf::ZipfSampler;
+
+/// Configuration for [`generate_web_mentions`].
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Number of organizations.
+    pub n_orgs: usize,
+    /// Number of mention records.
+    pub n_records: usize,
+    /// Zipf exponent of organization popularity.
+    pub zipf_exponent: f64,
+    /// Probability a mention is the acronym.
+    pub p_acronym: f64,
+    /// Probability a mention drops the legal-form word.
+    pub p_truncate: f64,
+    /// Probability of a typo.
+    pub p_typo: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            n_orgs: 2_000,
+            n_records: 30_000,
+            zipf_exponent: 1.1,
+            p_acronym: 0.25,
+            p_truncate: 0.2,
+            p_typo: 0.05,
+            seed: 0x3EB5,
+        }
+    }
+}
+
+const LEGAL_FORMS: &[&str] = &["inc", "ltd", "corp", "labs", "group", "systems", "institute"];
+
+struct Org {
+    full: String,
+    acronym: String,
+    topics: Vec<String>,
+}
+
+fn make_org(i: u64) -> Org {
+    let parts = 2 + (i % 2) as usize;
+    let mut words: Vec<String> = (0..parts)
+        .map(|k| word(ns::RESTAURANT, i * 7 + k as u64 * 131 + 40))
+        .collect();
+    let legal = LEGAL_FORMS[(i % LEGAL_FORMS.len() as u64) as usize];
+    words.push(legal.to_string());
+    let acronym: String = words.iter().filter_map(|w| w.chars().next()).collect();
+    let topics = (0..6)
+        .map(|k| word(ns::TITLE, i * 13 + k * 377 + 99))
+        .collect();
+    Org {
+        full: words.join(" "),
+        acronym,
+        topics,
+    }
+}
+
+/// Generate the web-mention dataset. Schema: `name, context`; weight 1.0
+/// (occurrence counting); truth = organization.
+pub fn generate_web_mentions(cfg: &WebConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let orgs: Vec<Org> = (0..cfg.n_orgs as u64).map(make_org).collect();
+    let zipf = ZipfSampler::new(cfg.n_orgs, cfg.zipf_exponent);
+    let schema = Schema::new(vec!["name", "context"]);
+    let mut records = Vec::with_capacity(cfg.n_records);
+    let mut labels = Vec::with_capacity(cfg.n_records);
+    for _ in 0..cfg.n_records {
+        let e = zipf.sample(&mut rng);
+        let org = &orgs[e];
+        let mut name = if rng.random_bool(cfg.p_acronym) {
+            org.acronym.clone()
+        } else if rng.random_bool(cfg.p_truncate) {
+            // drop the legal-form word
+            let mut ws: Vec<&str> = org.full.split_whitespace().collect();
+            ws.pop();
+            ws.join(" ")
+        } else {
+            org.full.clone()
+        };
+        if rng.random_bool(cfg.p_typo) {
+            name = noise::typo(&mut rng, &name);
+        }
+        // 2-4 topic words from the org's vocabulary plus one random word.
+        let mut ctx: Vec<&str> = Vec::new();
+        for _ in 0..rng.random_range(2..5usize) {
+            ctx.push(&org.topics[rng.random_range(0..org.topics.len())]);
+        }
+        let filler = word(ns::TITLE, rng.random_range(0..5000u64));
+        let context = format!("{} {}", ctx.join(" "), filler);
+        records.push(Record::new(vec![name, context]));
+        labels.push(e as u32);
+    }
+    Dataset::with_truth(schema, records, Partition::from_labels(labels))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_records::FieldId;
+
+    fn small() -> WebConfig {
+        WebConfig {
+            n_orgs: 40,
+            n_records: 300,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_and_truth() {
+        let d = generate_web_mentions(&small());
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.schema().arity(), 2);
+        assert_eq!(d.truth().unwrap().len(), 300);
+    }
+
+    #[test]
+    fn acronyms_present_for_popular_orgs() {
+        let d = generate_web_mentions(&small());
+        let truth = d.truth().unwrap();
+        let big = &truth.groups()[0];
+        let names: std::collections::HashSet<&str> = big
+            .iter()
+            .map(|&i| d.records()[i].field(FieldId(0)))
+            .collect();
+        // popular org has enough mentions that both full and short forms
+        // appear
+        assert!(names.len() >= 2, "variant mention forms expected");
+        let has_short = names.iter().any(|n| !n.contains(' '));
+        let has_long = names.iter().any(|n| n.contains(' '));
+        assert!(has_short && has_long, "names: {names:?}");
+    }
+
+    #[test]
+    fn contexts_share_topics_within_entity() {
+        let d = generate_web_mentions(&small());
+        let truth = d.truth().unwrap();
+        let big = &truth.groups()[0];
+        let a = topk_text::tokenize::word_set(d.records()[big[0]].field(FieldId(1)));
+        let b = topk_text::tokenize::word_set(d.records()[big[1]].field(FieldId(1)));
+        // topics come from a 6-word pool; overlap is likely but not
+        // certain for a single pair — check across a few pairs
+        let mut found = a.intersection_size(&b) >= 1;
+        for w in big.windows(2).take(10) {
+            let x = topk_text::tokenize::word_set(d.records()[w[0]].field(FieldId(1)));
+            let y = topk_text::tokenize::word_set(d.records()[w[1]].field(FieldId(1)));
+            found |= x.intersection_size(&y) >= 1;
+        }
+        assert!(found, "entity contexts never overlap");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_web_mentions(&small());
+        let b = generate_web_mentions(&small());
+        assert_eq!(a.records()[9], b.records()[9]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Zipfian sampling of entity ids.
+//!
+//! Real mention-frequency distributions are heavily skewed ("real-life
+//! distributions are skewed", paper §4.4) — a handful of entities account
+//! for most mentions. All generators draw entity ids from this sampler.
+
+use rand::{Rng, RngExt};
+
+/// Samples ids `0..n` with `P(i) ∝ 1/(i+1)^s` via an inverse-CDF table.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ids with exponent `s ≥ 0` (`s = 0` is
+    /// uniform; `s ≈ 1` is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one id");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when only one id exists (never, by construction, zero).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of id `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_favors_low_ids() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+        // everything in range
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.prob(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let z = ZipfSampler::new(17, 0.8);
+        let total: f64 = (0..17).map(|i| z.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ids_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Chordal-graph utilities: maximum cardinality search and chordality
+//! testing.
+//!
+//! Min-fill (see [`crate::cpn`]) is the ordering heuristic the paper
+//! names, but verifying its output and short-circuiting already-chordal
+//! graphs both want the classic MCS machinery (Tarjan & Yannakakis
+//! 1984): MCS produces a perfect elimination ordering **iff** the graph
+//! is chordal, testable in `O(n + m·α)`.
+
+use crate::graph::Graph;
+
+/// Maximum cardinality search: repeatedly pick the unvisited vertex with
+/// the most visited neighbors. Returns the visit order (which is a
+/// *reverse* perfect elimination ordering when the graph is chordal).
+pub fn mcs_order(g: &Graph) -> Vec<u32> {
+    let n = g.len();
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !visited[v])
+            .max_by_key(|&v| weight[v])
+            .expect("unvisited vertex exists");
+        visited[v] = true;
+        order.push(v as u32);
+        for &u in g.neighbors(v as u32) {
+            if !visited[u as usize] {
+                weight[u as usize] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Is `order` (read right-to-left) a perfect elimination ordering of `g`?
+///
+/// For each vertex, its earlier-ordered neighbors must contain the
+/// earlier-ordered neighbor closest to it as a dominator: the standard
+/// linear-time PEO check — for vertex `v` with earlier neighbors `E`,
+/// the latest member `p ∈ E` must be adjacent to every other member of
+/// `E`.
+pub fn is_perfect_elimination(g: &Graph, order: &[u32]) -> bool {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    let mut position = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        position[v as usize] = pos;
+    }
+    for (pos, &v) in order.iter().enumerate() {
+        // earlier-ordered neighbors of v
+        let earlier: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| position[u as usize] < pos)
+            .collect();
+        if let Some(&p) = earlier.iter().max_by_key(|&&u| position[u as usize]) {
+            for &u in &earlier {
+                if u != p && !g.has_edge(p, u) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Chordality test: MCS order is a (reversed) PEO iff the graph is
+/// chordal.
+pub fn is_chordal(g: &Graph) -> bool {
+    let order = mcs_order(g);
+    is_perfect_elimination(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trees_and_cliques_are_chordal() {
+        let tree = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        assert!(is_chordal(&tree));
+        let mut k5 = Graph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                k5.add_edge(i, j);
+            }
+        }
+        assert!(is_chordal(&k5));
+        assert!(is_chordal(&Graph::new(0)));
+        assert!(is_chordal(&Graph::new(3)));
+    }
+
+    #[test]
+    fn cycles_are_not_chordal() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(!is_chordal(&c4));
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(!is_chordal(&c5));
+        // adding a chord fixes C4
+        let mut fixed = c4.clone();
+        fixed.add_edge(0, 2);
+        assert!(is_chordal(&fixed));
+    }
+
+    #[test]
+    fn min_fill_output_is_chordal() {
+        // Min-fill's filled graph must pass the chordality test — this
+        // cross-checks the two implementations.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (1, 5)],
+        );
+        let (_, filled) = crate::cpn::min_fill_order(&g);
+        assert!(is_chordal(&filled), "min-fill must triangulate");
+    }
+
+    #[test]
+    fn mcs_order_is_permutation() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut order = mcs_order(&g);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn bad_order_length_panics() {
+        let g = Graph::new(3);
+        is_perfect_elimination(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Clique Partition Number estimation (paper §4.2.1, Algorithm 1).
+//!
+//! The minimum number of cliques needed to cover all vertices of the
+//! necessary-predicate graph lower-bounds the number of distinct entities
+//! among the collapsed groups. Exact CPN is NP-hard; Algorithm 1 computes
+//! a *lower bound*:
+//!
+//! 1. Triangulate the graph with the Min-fill heuristic, implicitly adding
+//!    fill edges. Adding edges can only lower the CPN, so
+//!    `CPN(filled) ≤ CPN(G)`.
+//! 2. Walk the elimination ordering and greedily pick every vertex not
+//!    adjacent (in the filled graph) to an already-picked vertex. The
+//!    picked vertices form an independent set of the filled graph, and no
+//!    clique can contain two members of an independent set, hence
+//!    `picked ≤ CPN(filled) ≤ CPN(G)`.
+//!
+//! For chordal graphs this greedy independent set is maximum and equals
+//! the clique cover number (chordal graphs are perfect), so the bound is
+//! exact whenever Min-fill adds no edges.
+
+use crate::graph::Graph;
+
+/// Min-fill elimination ordering.
+///
+/// Returns the ordering `π` and the *filled* graph (original edges plus
+/// fill edges added so that each vertex's not-yet-eliminated neighbors
+/// form a clique).
+pub fn min_fill_order(g: &Graph) -> (Vec<u32>, Graph) {
+    let n = g.len();
+    let mut filled = g.clone();
+    let mut remaining: Vec<bool> = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+
+    // Number of fill edges needed to complete v's remaining neighborhood.
+    let fill_cost = |filled: &Graph, remaining: &[bool], v: u32| -> usize {
+        let nb: Vec<u32> = filled
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| remaining[u as usize])
+            .collect();
+        let mut missing = 0;
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if !filled.has_edge(a, b) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    };
+
+    for _ in 0..n {
+        // Pick the remaining vertex with minimum fill cost (ties: lowest id,
+        // which keeps the procedure deterministic).
+        let mut best: Option<(usize, u32)> = None;
+        for v in 0..n as u32 {
+            if !remaining[v as usize] {
+                continue;
+            }
+            let c = fill_cost(&filled, &remaining, v);
+            if best.map_or(true, |(bc, _)| c < bc) {
+                best = Some((c, v));
+                if c == 0 {
+                    break; // cannot do better than zero fill
+                }
+            }
+        }
+        let (_, v) = best.expect("at least one vertex remains");
+        // Connect v's remaining neighborhood into a clique.
+        let nb: Vec<u32> = filled
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| remaining[u as usize])
+            .collect();
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                filled.add_edge(a, b);
+            }
+        }
+        order.push(v);
+        remaining[v as usize] = false;
+    }
+    (order, filled)
+}
+
+/// Algorithm 1: lower bound on the Clique Partition Number of `g`.
+pub fn cpn_lower_bound(g: &Graph) -> usize {
+    let (order, filled) = min_fill_order(g);
+    greedy_cover_count(&order, &filled)
+}
+
+/// The second loop of Algorithm 1 over a precomputed ordering and filled
+/// graph: count vertices picked greedily such that no two picked vertices
+/// are adjacent; each pick covers itself and its neighbors.
+pub fn greedy_cover_count(order: &[u32], filled: &Graph) -> usize {
+    let mut covered = vec![false; filled.len()];
+    let mut cpn = 0;
+    for &v in order {
+        if !covered[v as usize] {
+            covered[v as usize] = true;
+            for &u in filled.neighbors(v) {
+                covered[u as usize] = true;
+            }
+            cpn += 1;
+        }
+    }
+    cpn
+}
+
+/// Exact Clique Partition Number by subset dynamic programming.
+///
+/// `O(3^n)`-ish; intended as a test oracle and for the tiny graphs in unit
+/// tests. Panics above 20 vertices.
+pub fn cpn_exact(g: &Graph) -> usize {
+    let n = g.len();
+    assert!(n <= 20, "cpn_exact is exponential; got {n} vertices");
+    if n == 0 {
+        return 0;
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // is_clique[s] via DP: s is a clique iff s minus its lowest vertex is a
+    // clique and that vertex is adjacent to all others.
+    let mut adj_mask = vec![0u32; n];
+    for (v, mask) in adj_mask.iter_mut().enumerate() {
+        for &u in g.neighbors(v as u32) {
+            *mask |= 1 << u;
+        }
+    }
+    let mut is_clique = vec![false; (full as usize) + 1];
+    is_clique[0] = true;
+    for s in 1..=full {
+        let v = s.trailing_zeros() as usize;
+        let rest = s & (s - 1);
+        is_clique[s as usize] =
+            is_clique[rest as usize] && (rest & !adj_mask[v]) == 0;
+    }
+    // f[s] = min cliques to cover s.
+    let mut f = vec![u32::MAX; (full as usize) + 1];
+    f[0] = 0;
+    for s in 1..=full {
+        let v = s.trailing_zeros();
+        let sub_mask = s & !(1 << v); // subsets that must include v
+        // iterate over subsets t of sub_mask; class = t | {v}
+        let mut t = sub_mask;
+        loop {
+            let class = t | (1 << v);
+            if is_clique[class as usize] && f[(s & !class) as usize] != u32::MAX {
+                f[s as usize] = f[s as usize].min(1 + f[(s & !class) as usize]);
+            }
+            if t == 0 {
+                break;
+            }
+            t = (t - 1) & sub_mask;
+        }
+    }
+    f[full as usize] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 example: five groups, optimal clique partition
+    /// is 2 via (c1,c5) and (c2,c3,c4); N(c1,c3) is false.
+    fn figure1() -> Graph {
+        Graph::from_edges(
+            5,
+            &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)],
+        )
+    }
+
+    #[test]
+    fn figure1_cpn_is_two() {
+        let g = figure1();
+        assert_eq!(cpn_exact(&g), 2);
+        let lb = cpn_lower_bound(&g);
+        assert!(lb <= 2);
+        assert_eq!(lb, 2, "Algorithm 1 should be tight on the paper's example");
+    }
+
+    #[test]
+    fn empty_and_singletons() {
+        assert_eq!(cpn_lower_bound(&Graph::new(0)), 0);
+        assert_eq!(cpn_exact(&Graph::new(0)), 0);
+        assert_eq!(cpn_lower_bound(&Graph::new(4)), 4);
+        assert_eq!(cpn_exact(&Graph::new(4)), 4);
+    }
+
+    #[test]
+    fn complete_graph_is_one() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(cpn_lower_bound(&g), 1);
+        assert_eq!(cpn_exact(&g), 1);
+    }
+
+    #[test]
+    fn path_graph() {
+        // Path 0-1-2-3-4: cliques are edges; CPN = ceil(5/2) = 3.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(cpn_exact(&g), 3);
+        let lb = cpn_lower_bound(&g);
+        assert!(lb <= 3);
+        assert_eq!(lb, 3, "paths are chordal; the bound must be exact");
+    }
+
+    #[test]
+    fn cycle_c5() {
+        // C5 is not chordal; exact CPN = 3, bound must be ≤ 3 and ≥ 2.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(cpn_exact(&g), 3);
+        let lb = cpn_lower_bound(&g);
+        assert!(lb == 2 || lb == 3);
+    }
+
+    #[test]
+    fn min_fill_on_chordal_adds_no_edges() {
+        // A tree (chordal): min-fill must not add fill edges.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let (order, filled) = min_fill_order(&g);
+        assert_eq!(order.len(), 6);
+        assert_eq!(filled.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn min_fill_triangulates_c4() {
+        // C4 needs exactly one chord.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (_, filled) = min_fill_order(&g);
+        assert_eq!(filled.edge_count(), 5);
+    }
+
+    #[test]
+    fn star_graph() {
+        // Star K1,4: CPN = 4 (center with one leaf, 3 lone leaves).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(cpn_exact(&g), 4);
+        assert_eq!(cpn_lower_bound(&g), 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! A small undirected graph with sorted adjacency lists.
+//!
+//! Used for the necessary-predicate graph over collapsed groups when
+//! estimating the TopK lower bound (paper §4.2). These graphs are small —
+//! `m` vertices where `m` tracks `K` — so a plain adjacency-vector
+//! representation is the right tool.
+
+/// Undirected graph over vertices `0..n` with deduplicated, sorted
+/// adjacency lists.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// Graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add an undirected edge; self-loops and duplicates are ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        if !self.has_edge(u, v) {
+            let pos = self.adj[u as usize].binary_search(&v).unwrap_err();
+            self.adj[u as usize].insert(pos, v);
+            let pos = self.adj[v as usize].binary_search(&u).unwrap_err();
+            self.adj[v as usize].insert(pos, u);
+        }
+    }
+
+    /// Append a fresh isolated vertex, returning its id.
+    pub fn add_vertex(&mut self) -> u32 {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as u32
+    }
+
+    /// Is there an edge between `u` and `v`?
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Sorted neighbors of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Connected components as vectors of vertices (sorted by smallest
+    /// member).
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for s in 0..n as u32 {
+            if seen[s as usize] {
+                continue;
+            }
+            let mut comp = vec![s];
+            seen[s as usize] = true;
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        comp.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Do the vertices of `set` form a clique?
+    pub fn is_clique(&self, set: &[u32]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_degrees() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 1), (2, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn clique_check() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[0]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn add_vertex_grows() {
+        let mut g = Graph::new(1);
+        let v = g.add_vertex();
+        assert_eq!(v, 1);
+        g.add_edge(0, v);
+        assert!(g.has_edge(0, 1));
+    }
+}

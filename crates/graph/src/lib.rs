@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Graph algorithms for the pruning machinery of the EDBT'09 TopK paper.
+//!
+//! * [`UnionFind`] — disjoint sets used to collapse sufficient-predicate
+//!   duplicates (paper §4.1) and for the transitive-closure baseline.
+//! * [`Graph`] — small undirected adjacency graph over collapsed groups.
+//! * [`min_fill_order`] — Min-fill triangulation ordering (§4.2.1).
+//! * [`cpn_lower_bound`] — Algorithm 1: a provable lower bound on the
+//!   Clique Partition Number via triangulation + greedy independent set.
+//! * [`cpn_exact`] — exponential exact CPN, the test oracle for the bound.
+
+pub mod chordal;
+pub mod cpn;
+pub mod graph;
+pub mod unionfind;
+
+pub use chordal::{is_chordal, is_perfect_elimination, mcs_order};
+pub use cpn::{cpn_exact, cpn_lower_bound, min_fill_order};
+pub use graph::Graph;
+pub use unionfind::UnionFind;

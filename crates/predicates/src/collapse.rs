@@ -1,0 +1,149 @@
+//! Collapse step (paper §4.1): transitive closure of sufficient-predicate
+//! pairs via union-find over blocking-key blocks.
+//!
+//! Correctness relies on the paper's §4.1 argument: every pair inside a
+//! collapsed group is a true duplicate (sufficiency + transitivity of the
+//! duplicate-of relation), so any member can represent the group for
+//! further predicate evaluation.
+
+use topk_graph::UnionFind;
+use topk_records::TokenizedRecord;
+
+use crate::blocking::BlockIndex;
+use crate::traits::SufficientPredicate;
+
+/// A group of collapsed units (indices into the caller's unit array).
+#[derive(Debug, Clone)]
+pub struct CollapsedGroup {
+    /// Unit indices belonging to the group.
+    pub members: Vec<u32>,
+    /// The member chosen to represent the group (the heaviest member;
+    /// §4.1 proves any choice is correct, a heavy member is just a
+    /// reasonable centroid proxy).
+    pub rep: u32,
+    /// Total weight of the group.
+    pub weight: f64,
+}
+
+/// Compute the transitive closure of `s` over `reps` and return the
+/// groups in decreasing weight order.
+///
+/// `reps[i]` is the representative record of unit `i` and `weights[i]`
+/// its accumulated weight (1.0 per raw record on the first level; group
+/// weights on later levels).
+pub fn collapse(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    s: &dyn SufficientPredicate,
+) -> Vec<CollapsedGroup> {
+    assert_eq!(reps.len(), weights.len());
+    let n = reps.len();
+    let mut uf = UnionFind::new(n);
+    let blocks = BlockIndex::build(reps, s);
+    for block in blocks.multi_member_blocks() {
+        if s.exact_on_key() {
+            // Whole block is one group by contract.
+            for &other in &block[1..] {
+                uf.union(block[0], other);
+            }
+        } else {
+            for (i, &a) in block.iter().enumerate() {
+                for &b in &block[i + 1..] {
+                    if !uf.same(a, b) && s.matches(reps[a as usize], reps[b as usize]) {
+                        uf.union(a, b);
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: Vec<CollapsedGroup> = uf
+        .groups()
+        .into_iter()
+        .map(|members| {
+            let weight: f64 = members.iter().map(|&m| weights[m as usize]).sum();
+            let rep = *members
+                .iter()
+                .max_by(|&&a, &&b| weights[a as usize].total_cmp(&weights[b as usize]))
+                .expect("groups are non-empty");
+            CollapsedGroup {
+                members,
+                rep,
+                weight,
+            }
+        })
+        .collect();
+    groups.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.rep.cmp(&b.rep)));
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::ExactFieldsMatch;
+    use topk_records::FieldId;
+
+    fn rec(name: &str) -> TokenizedRecord {
+        TokenizedRecord::from_fields(&[name.to_string()], 1.0)
+    }
+
+    #[test]
+    fn collapses_exact_duplicates() {
+        let rs = [rec("a"), rec("b"), rec("a"), rec("a"), rec("b")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let weights = vec![1.0; 5];
+        let s = ExactFieldsMatch::new("exact", vec![FieldId(0)]);
+        let groups = collapse(&refs, &weights, &s);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].weight, 3.0);
+        assert_eq!(groups[0].members, vec![0, 2, 3]);
+        assert_eq!(groups[1].weight, 2.0);
+    }
+
+    #[test]
+    fn transitive_closure_via_threshold_predicate() {
+        // A predicate where a~b and b~c but not a~c directly: closure must
+        // still put all three together.
+        struct ShareWord;
+        impl SufficientPredicate for ShareWord {
+            fn name(&self) -> &str {
+                "share-word"
+            }
+            fn blocking_keys(&self, r: &TokenizedRecord) -> Vec<u64> {
+                r.field(FieldId(0)).words.as_slice().to_vec()
+            }
+            fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool {
+                a.field(FieldId(0))
+                    .words
+                    .intersection_size(&b.field(FieldId(0)).words)
+                    >= 1
+            }
+        }
+        let rs = [rec("x y"), rec("y z"), rec("z w"), rec("unrelated")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let groups = collapse(&refs, &[1.0; 4], &ShareWord);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heaviest_member_is_rep() {
+        let rs = [rec("q"), rec("q")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let s = ExactFieldsMatch::new("exact", vec![FieldId(0)]);
+        let groups = collapse(&refs, &[1.0, 5.0], &s);
+        assert_eq!(groups[0].rep, 1);
+        assert_eq!(groups[0].weight, 6.0);
+    }
+
+    #[test]
+    fn no_matches_means_singletons_in_weight_order() {
+        let rs = [rec("a"), rec("b"), rec("c")];
+        let refs: Vec<&TokenizedRecord> = rs.iter().collect();
+        let s = ExactFieldsMatch::new("exact", vec![FieldId(0)]);
+        let groups = collapse(&refs, &[1.0, 9.0, 4.0], &s);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].rep, 1);
+        assert_eq!(groups[1].rep, 2);
+        assert_eq!(groups[2].rep, 0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Necessary and sufficient predicates, blocking, and collapse (paper §4).
+//!
+//! * [`NecessaryPredicate`]: must hold for every true duplicate pair —
+//!   `N(a,b) = false ⇒ not duplicates`. Corresponds to canopy/blocking
+//!   predicates; used to bound group sizes and to prune.
+//! * [`SufficientPredicate`]: only holds for true duplicate pairs —
+//!   `S(a,b) = true ⇒ duplicates`. Used to collapse obvious duplicates
+//!   into groups by transitive closure.
+//!
+//! Both traits expose *blocking keys* with the contract that any pair
+//! satisfying the predicate shares at least one key, which is what lets
+//! the pipeline avoid enumerating the Cartesian product of records.
+
+pub mod blocking;
+pub mod canopy;
+pub mod collapse;
+pub mod combine;
+pub mod generic;
+pub mod library;
+pub mod selection;
+pub mod snm;
+pub mod validate;
+pub mod traits;
+
+pub use blocking::{BlockIndex, NecessaryIndex};
+pub use canopy::{build_canopies, Canopies, CanopyConfig};
+pub use collapse::{collapse, CollapsedGroup};
+pub use combine::{AndNecessary, AndSufficient, OrSufficient};
+pub use generic::*;
+pub use library::{
+    address_predicates, citation_predicates, product_predicates, student_predicates,
+    web_predicates, PredicateStack,
+};
+pub use selection::{profile_necessary, profile_stack, profile_sufficient, recommend_order, LevelProfile, PredicateProfile};
+pub use validate::{check_necessary_contract, check_soundness, check_sufficient_contract, Violation, ViolationKind};
+pub use snm::{reversed_key, surname_key, SortedNeighborhood};
+pub use traits::{NecessaryPredicate, SufficientPredicate};

@@ -1,0 +1,227 @@
+//! Predicate profiling and level ordering — the paper's future-work item
+//! ("automatically choosing the necessary and sufficient predicates,
+//! designing a query optimization framework for selecting the best subset
+//! of predicates based on selectivity and running time", §8).
+//!
+//! Profiles are estimated on a record sample: how much a sufficient
+//! predicate collapses, how selective a necessary predicate's candidate
+//! retrieval is, and how expensive each pair evaluation is. The
+//! recommended level order runs cheap, high-yield levels first — the
+//! "increasing cost and increasing tightness" ordering Algorithm 2
+//! assumes, derived from data instead of hand-tuning.
+
+use std::time::Instant;
+
+use topk_records::TokenizedRecord;
+use topk_text::InvertedIndex;
+
+use crate::blocking::BlockIndex;
+use crate::library::PredicateStack;
+use crate::traits::{NecessaryPredicate, SufficientPredicate};
+
+/// Measured characteristics of one predicate on a sample.
+#[derive(Debug, Clone)]
+pub struct PredicateProfile {
+    /// Predicate name.
+    pub name: String,
+    /// Average seconds per pair evaluation.
+    pub seconds_per_pair: f64,
+    /// Average number of blocking keys / candidate tokens per record.
+    pub keys_per_record: f64,
+    /// For sufficient predicates: fraction of sample records merged into
+    /// a non-singleton group. For necessary predicates: average verified
+    /// neighbors per record divided by the sample size (selectivity; 0 is
+    /// maximally selective).
+    pub yield_rate: f64,
+}
+
+/// Profile a sufficient predicate on a sample.
+pub fn profile_sufficient(
+    s: &dyn SufficientPredicate,
+    sample: &[&TokenizedRecord],
+) -> PredicateProfile {
+    let n = sample.len().max(1);
+    let keys_total: usize = sample.iter().map(|r| s.blocking_keys(r).len()).sum();
+    let blocks = BlockIndex::build(sample, s);
+    // Count records that land in a matching pair (capped pairwise work).
+    let mut merged = vec![false; n];
+    let mut evals = 0usize;
+    let mut eval_time = 0.0f64;
+    for block in blocks.multi_member_blocks() {
+        for (i, &a) in block.iter().enumerate() {
+            for &b in block[i + 1..].iter().take(8) {
+                let t = Instant::now();
+                let hit = s.exact_on_key() || s.matches(sample[a as usize], sample[b as usize]);
+                eval_time += t.elapsed().as_secs_f64();
+                evals += 1;
+                if hit {
+                    merged[a as usize] = true;
+                    merged[b as usize] = true;
+                }
+            }
+        }
+        if evals > 20_000 {
+            break;
+        }
+    }
+    PredicateProfile {
+        name: s.name().to_string(),
+        seconds_per_pair: if evals == 0 { 0.0 } else { eval_time / evals as f64 },
+        keys_per_record: keys_total as f64 / n as f64,
+        yield_rate: merged.iter().filter(|&&m| m).count() as f64 / n as f64,
+    }
+}
+
+/// Profile a necessary predicate on a sample.
+pub fn profile_necessary(
+    p: &dyn NecessaryPredicate,
+    sample: &[&TokenizedRecord],
+) -> PredicateProfile {
+    let n = sample.len().max(1);
+    let mut index = InvertedIndex::new();
+    let token_sets: Vec<_> = sample.iter().map(|r| p.candidate_tokens(r)).collect();
+    for (i, ts) in token_sets.iter().enumerate() {
+        index.insert(i as u32, ts);
+    }
+    let keys_total: usize = token_sets.iter().map(|ts| ts.len()).sum();
+    let mut neighbor_total = 0usize;
+    let mut evals = 0usize;
+    let mut eval_time = 0.0f64;
+    for (i, ts) in token_sets.iter().enumerate() {
+        for j in index.candidates(ts, p.min_common_tokens(), Some(i as u32)) {
+            let t = Instant::now();
+            let hit = p.matches(sample[i], sample[j as usize]);
+            eval_time += t.elapsed().as_secs_f64();
+            evals += 1;
+            if hit {
+                neighbor_total += 1;
+            }
+        }
+        if evals > 50_000 {
+            break;
+        }
+    }
+    PredicateProfile {
+        name: p.name().to_string(),
+        seconds_per_pair: if evals == 0 { 0.0 } else { eval_time / evals as f64 },
+        keys_per_record: keys_total as f64 / n as f64,
+        yield_rate: neighbor_total as f64 / (n * n) as f64,
+    }
+}
+
+/// Profile of a whole `(S, N)` level.
+#[derive(Debug, Clone)]
+pub struct LevelProfile {
+    /// Level index in the input stack.
+    pub level: usize,
+    /// Sufficient-predicate profile.
+    pub sufficient: PredicateProfile,
+    /// Necessary-predicate profile.
+    pub necessary: PredicateProfile,
+}
+
+impl LevelProfile {
+    /// Heuristic rank: levels that collapse a lot, with selective
+    /// canopies and cheap evaluations, should run first. Lower is better.
+    pub fn cost_score(&self) -> f64 {
+        let cost = self.sufficient.seconds_per_pair + self.necessary.seconds_per_pair;
+        let benefit = self.sufficient.yield_rate.max(1e-3)
+            * (1.0 - self.necessary.yield_rate).clamp(0.01, 1.0);
+        cost.max(1e-9) / benefit
+    }
+}
+
+/// Profile every level of a stack on a sample.
+pub fn profile_stack(stack: &PredicateStack, sample: &[&TokenizedRecord]) -> Vec<LevelProfile> {
+    stack
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(level, (s, n))| LevelProfile {
+            level,
+            sufficient: profile_sufficient(s.as_ref(), sample),
+            necessary: profile_necessary(n.as_ref(), sample),
+        })
+        .collect()
+}
+
+/// Recommend a level order (indices into the stack) from the profiles:
+/// ascending [`LevelProfile::cost_score`].
+pub fn recommend_order(profiles: &[LevelProfile]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    order.sort_by(|&a, &b| profiles[a].cost_score().total_cmp(&profiles[b].cost_score()));
+    order
+}
+
+impl PredicateStack {
+    /// Reorder levels by the given permutation (as produced by
+    /// [`recommend_order`]).
+    pub fn reordered(mut self, order: &[usize]) -> PredicateStack {
+        assert_eq!(order.len(), self.levels.len(), "order length mismatch");
+        let mut slots: Vec<Option<_>> = self.levels.drain(..).map(Some).collect();
+        let levels = order
+            .iter()
+            .map(|&i| slots[i].take().expect("order must be a permutation"))
+            .collect();
+        PredicateStack { levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::student_predicates;
+    use topk_records::tokenize_dataset;
+
+    fn sample_data() -> (topk_records::Dataset, Vec<TokenizedRecord>) {
+        let d = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+            n_students: 60,
+            n_records: 300,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&d);
+        (d, toks)
+    }
+
+    #[test]
+    fn profiles_have_sane_ranges() {
+        let (d, toks) = sample_data();
+        let refs: Vec<&TokenizedRecord> = toks.iter().collect();
+        let stack = student_predicates(d.schema());
+        let profiles = profile_stack(&stack, &refs);
+        assert_eq!(profiles.len(), 2);
+        for p in &profiles {
+            assert!((0.0..=1.0).contains(&p.sufficient.yield_rate));
+            assert!((0.0..=1.0).contains(&p.necessary.yield_rate));
+            assert!(p.sufficient.keys_per_record > 0.0);
+            assert!(p.necessary.keys_per_record > 0.0);
+            assert!(p.sufficient.seconds_per_pair >= 0.0);
+        }
+        // Students S1 (full exact) collapses a good chunk of exam rows.
+        assert!(profiles[0].sufficient.yield_rate > 0.1);
+        // N predicates are selective: far fewer neighbors than n².
+        assert!(profiles[0].necessary.yield_rate < 0.2);
+    }
+
+    #[test]
+    fn recommend_order_is_permutation() {
+        let (d, toks) = sample_data();
+        let refs: Vec<&TokenizedRecord> = toks.iter().collect();
+        let stack = student_predicates(d.schema());
+        let profiles = profile_stack(&stack, &refs);
+        let order = recommend_order(&profiles);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        // reordering round-trips
+        let stack2 = student_predicates(d.schema()).reordered(&order);
+        assert_eq!(stack2.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "order length")]
+    fn bad_order_panics() {
+        let (d, _) = sample_data();
+        let _ = student_predicates(d.schema()).reordered(&[0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Predicate traits (paper §4).
+//!
+//! Two kinds of cheap binary predicates drive the pruning pipeline:
+//!
+//! * a **necessary** predicate `N` must be true for every duplicate pair
+//!   (`N(a,b) = false ⇒ not duplicates`) — the canopy/blocking side;
+//! * a **sufficient** predicate `S` is only true for duplicate pairs
+//!   (`S(a,b) = true ⇒ duplicates`) — the collapse side.
+//!
+//! Both traits additionally expose *keys* with a soundness contract that
+//! lets the pipeline find all relevant pairs through an inverted index
+//! instead of enumerating the Cartesian product:
+//!
+//! * any pair with `S(a,b) = true` shares at least one *blocking key*;
+//! * any pair with `N(a,b) = true` shares at least `min_common_tokens()`
+//!   *candidate tokens*.
+//!
+//! # Implementing a custom predicate
+//!
+//! ```
+//! use topk_predicates::{NecessaryPredicate, SufficientPredicate};
+//! use topk_records::{FieldId, TokenizedRecord};
+//! use topk_text::tokenize::TokenSet;
+//!
+//! /// S: email-style exact match on field 1.
+//! struct SameEmail;
+//! impl SufficientPredicate for SameEmail {
+//!     fn name(&self) -> &str { "same-email" }
+//!     fn blocking_keys(&self, r: &TokenizedRecord) -> Vec<u64> {
+//!         let t = &r.field(FieldId(1)).text;
+//!         if t.is_empty() { vec![] } else { vec![topk_text::hash::hash_str(t)] }
+//!     }
+//!     fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool {
+//!         let (x, y) = (&a.field(FieldId(1)).text, &b.field(FieldId(1)).text);
+//!         !x.is_empty() && x == y
+//!     }
+//!     fn exact_on_key(&self) -> bool { true }
+//! }
+//!
+//! /// N: names must share a word.
+//! struct ShareNameWord;
+//! impl NecessaryPredicate for ShareNameWord {
+//!     fn name(&self) -> &str { "share-name-word" }
+//!     fn candidate_tokens(&self, r: &TokenizedRecord) -> TokenSet {
+//!         r.field(FieldId(0)).words.clone()
+//!     }
+//!     fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool {
+//!         a.field(FieldId(0)).words.intersection_size(&b.field(FieldId(0)).words) >= 1
+//!     }
+//! }
+//!
+//! // Validate the contracts on sample data before shipping:
+//! let recs = [
+//!     TokenizedRecord::from_fields(&["ann b".into(), "a@x".into()], 1.0),
+//!     TokenizedRecord::from_fields(&["ann c".into(), "a@x".into()], 1.0),
+//! ];
+//! let refs: Vec<&TokenizedRecord> = recs.iter().collect();
+//! assert!(topk_predicates::check_sufficient_contract(&SameEmail, &refs).is_empty());
+//! assert!(topk_predicates::check_necessary_contract(&ShareNameWord, &refs).is_empty());
+//! ```
+
+use topk_records::TokenizedRecord;
+use topk_text::tokenize::TokenSet;
+
+/// A sufficient predicate: `matches(a, b) = true` implies `a` and `b` are
+/// duplicates.
+pub trait SufficientPredicate: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Blocking keys of a record. Soundness contract: if
+    /// `matches(a, b)` then `blocking_keys(a) ∩ blocking_keys(b) ≠ ∅`.
+    fn blocking_keys(&self, r: &TokenizedRecord) -> Vec<u64>;
+
+    /// Evaluate the predicate on a pair.
+    fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool;
+
+    /// When true, *any* pair sharing a blocking key matches; the collapse
+    /// step may then union whole blocks without pairwise checks (the
+    /// common exact-match sufficient predicates).
+    fn exact_on_key(&self) -> bool {
+        false
+    }
+}
+
+/// A necessary predicate: `matches(a, b) = false` implies `a` and `b` are
+/// **not** duplicates.
+pub trait NecessaryPredicate: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Candidate tokens of a record. Soundness contract: if
+    /// `matches(a, b)` then the two records share at least
+    /// [`min_common_tokens`](Self::min_common_tokens) candidate tokens.
+    fn candidate_tokens(&self, r: &TokenizedRecord) -> TokenSet;
+
+    /// Minimum number of shared candidate tokens implied by a match
+    /// (defaults to 1).
+    fn min_common_tokens(&self) -> usize {
+        1
+    }
+
+    /// Evaluate the predicate on a pair.
+    fn matches(&self, a: &TokenizedRecord, b: &TokenizedRecord) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always;
+    impl NecessaryPredicate for Always {
+        fn name(&self) -> &str {
+            "always"
+        }
+        fn candidate_tokens(&self, r: &TokenizedRecord) -> TokenSet {
+            r.field(topk_records::FieldId(0)).words.clone()
+        }
+        fn matches(&self, _: &TokenizedRecord, _: &TokenizedRecord) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn default_min_common_is_one() {
+        assert_eq!(Always.min_common_tokens(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Datasets: a schema, records, and optional ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::partition::Partition;
+use crate::record::{FieldId, Record, RecordId};
+
+/// Field names of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from field names.
+    pub fn new<S: Into<String>>(fields: Vec<S>) -> Self {
+        Schema {
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Look up a field id by name.
+    pub fn field_id(&self, name: &str) -> Option<FieldId> {
+        self.fields.iter().position(|f| f == name).map(FieldId)
+    }
+
+    /// Name of a field.
+    pub fn field_name(&self, f: FieldId) -> &str {
+        &self.fields[f.0]
+    }
+
+    /// All field names.
+    pub fn field_names(&self) -> &[String] {
+        &self.fields
+    }
+}
+
+/// A dataset: schema, records, and (for synthetic / labeled data) the
+/// ground-truth entity partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Record>,
+    truth: Option<Partition>,
+}
+
+impl Dataset {
+    /// Build a dataset without ground truth.
+    pub fn new(schema: Schema, records: Vec<Record>) -> Self {
+        for r in &records {
+            assert_eq!(r.arity(), schema.arity(), "record arity != schema arity");
+        }
+        Dataset {
+            schema,
+            records,
+            truth: None,
+        }
+    }
+
+    /// Build a dataset with ground truth.
+    pub fn with_truth(schema: Schema, records: Vec<Record>, truth: Partition) -> Self {
+        assert_eq!(truth.len(), records.len(), "truth length != record count");
+        let mut d = Dataset::new(schema, records);
+        d.truth = Some(truth);
+        d
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// One record.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id.index()]
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Ground truth partition, if known.
+    pub fn truth(&self) -> Option<&Partition> {
+        self.truth.as_ref()
+    }
+
+    /// Per-record weights as a vector.
+    pub fn weights(&self) -> Vec<f64> {
+        self.records.iter().map(Record::weight).collect()
+    }
+
+    /// Iterate `(RecordId, &Record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u32), r))
+    }
+
+    /// Take a prefix subset of the dataset (records `0..n`), keeping the
+    /// corresponding slice of ground truth. Used by the timing experiment
+    /// (the paper ran Figure 6 on a 45k-record subset).
+    pub fn head(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let records = self.records[..n].to_vec();
+        let truth = self
+            .truth
+            .as_ref()
+            .map(|t| Partition::from_labels(t.labels()[..n].to_vec()));
+        Dataset {
+            schema: self.schema.clone(),
+            records,
+            truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let schema = Schema::new(vec!["name", "city"]);
+        let records = vec![
+            Record::new(vec!["ann".into(), "pune".into()]),
+            Record::new(vec!["ann x".into(), "pune".into()]),
+            Record::new(vec!["bob".into(), "delhi".into()]),
+        ];
+        Dataset::with_truth(schema, records, Partition::from_labels(vec![0, 0, 1]))
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let d = ds();
+        assert_eq!(d.schema().field_id("city"), Some(FieldId(1)));
+        assert_eq!(d.schema().field_id("nope"), None);
+        assert_eq!(d.schema().field_name(FieldId(0)), "name");
+        assert_eq!(d.schema().arity(), 2);
+    }
+
+    #[test]
+    fn record_access() {
+        let d = ds();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.record(RecordId(2)).field(FieldId(0)), "bob");
+        assert_eq!(d.iter().count(), 3);
+        assert_eq!(d.weights(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn truth_attached() {
+        let d = ds();
+        assert!(d.truth().unwrap().same_group(0, 1));
+    }
+
+    #[test]
+    fn head_slices_truth() {
+        let d = ds().head(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.truth().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Dataset::new(
+            Schema::new(vec!["a", "b"]),
+            vec![Record::new(vec!["x".into()])],
+        );
+    }
+}

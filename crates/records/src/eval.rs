@@ -1,0 +1,228 @@
+//! Pairwise clustering evaluation — the metric of the paper's Figure 7.
+//!
+//! Figure 7 "measure[s] accuracy as pairwise F1 value which treats as
+//! positive any pair of records that appears in the same cluster in the
+//! [exact solution], and negative otherwise."
+
+use std::collections::HashMap;
+
+use crate::partition::Partition;
+
+/// Pairwise precision / recall / F1 of a candidate partition against a
+/// reference partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    /// Fraction of candidate same-cluster pairs that the reference also
+    /// puts together.
+    pub precision: f64,
+    /// Fraction of reference same-cluster pairs recovered.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of same-cluster pairs both agree on.
+    pub true_positive_pairs: u64,
+}
+
+fn pairs(n: u64) -> u64 {
+    n * (n - 1) / 2
+}
+
+/// Compute pairwise precision/recall/F1 of `candidate` against `reference`.
+///
+/// Runs in `O(n)` using the label contingency table — no pair enumeration.
+/// When the reference has no positive pairs, recall (and F1) are defined as
+/// 1.0 if the candidate also has none, else 0.0; symmetrically for
+/// precision.
+pub fn pairwise_f1(candidate: &Partition, reference: &Partition) -> PairwiseScores {
+    assert_eq!(candidate.len(), reference.len(), "partition size mismatch");
+    let mut cand_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut ref_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut cell: HashMap<(u32, u32), u64> = HashMap::new();
+    for i in 0..candidate.len() {
+        let (c, r) = (candidate.label(i), reference.label(i));
+        *cand_sizes.entry(c).or_insert(0) += 1;
+        *ref_sizes.entry(r).or_insert(0) += 1;
+        *cell.entry((c, r)).or_insert(0) += 1;
+    }
+    let tp: u64 = cell.values().map(|&n| pairs(n)).sum();
+    let cand_pairs: u64 = cand_sizes.values().map(|&n| pairs(n)).sum();
+    let ref_pairs: u64 = ref_sizes.values().map(|&n| pairs(n)).sum();
+    let precision = if cand_pairs == 0 {
+        if ref_pairs == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        tp as f64 / cand_pairs as f64
+    };
+    let recall = if ref_pairs == 0 {
+        if cand_pairs == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        tp as f64 / ref_pairs as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+        true_positive_pairs: tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let p = Partition::from_labels(vec![0, 0, 1, 1, 2]);
+        let s = pairwise_f1(&p, &p);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.true_positive_pairs, 2);
+    }
+
+    #[test]
+    fn all_singletons_vs_grouped() {
+        let cand = Partition::from_labels(vec![0, 1, 2, 3]);
+        let refp = Partition::from_labels(vec![0, 0, 0, 0]);
+        let s = pairwise_f1(&cand, &refp);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.precision, 0.0); // no candidate pairs at all vs 6 ref pairs
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // cand: {0,1},{2,3}  ref: {0,1,2},{3}
+        let cand = Partition::from_labels(vec![0, 0, 1, 1]);
+        let refp = Partition::from_labels(vec![0, 0, 0, 1]);
+        let s = pairwise_f1(&cand, &refp);
+        // tp = 1 ({0,1}); cand pairs = 2; ref pairs = 3.
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.true_positive_pairs, 1);
+    }
+
+    #[test]
+    fn both_all_singletons() {
+        let p = Partition::from_labels(vec![0, 1, 2]);
+        let q = Partition::from_labels(vec![5, 6, 7]);
+        let s = pairwise_f1(&p, &q);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        pairwise_f1(
+            &Partition::from_labels(vec![0]),
+            &Partition::from_labels(vec![0, 1]),
+        );
+    }
+}
+
+/// B-cubed precision / recall / F1 of a candidate partition against a
+/// reference — the element-centric companion to [`pairwise_f1`], standard
+/// in entity-resolution evaluation (Bagga & Baldwin 1998). Less dominated
+/// by the largest clusters than pairwise F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BCubedScores {
+    /// Mean, over elements, of `|cand ∩ ref| / |cand|`.
+    pub precision: f64,
+    /// Mean, over elements, of `|cand ∩ ref| / |ref|`.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+/// Compute B-cubed scores in `O(n)` via the label contingency table.
+pub fn bcubed(candidate: &Partition, reference: &Partition) -> BCubedScores {
+    assert_eq!(candidate.len(), reference.len(), "partition size mismatch");
+    let n = candidate.len();
+    if n == 0 {
+        return BCubedScores {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
+    }
+    let mut cand_sizes: HashMap<u32, f64> = HashMap::new();
+    let mut ref_sizes: HashMap<u32, f64> = HashMap::new();
+    let mut cell: HashMap<(u32, u32), f64> = HashMap::new();
+    for i in 0..n {
+        *cand_sizes.entry(candidate.label(i)).or_insert(0.0) += 1.0;
+        *ref_sizes.entry(reference.label(i)).or_insert(0.0) += 1.0;
+        *cell
+            .entry((candidate.label(i), reference.label(i)))
+            .or_insert(0.0) += 1.0;
+    }
+    // Each contingency cell of size m contributes m elements, each with
+    // intersection m: precision share m·(m/|cand|), recall share
+    // m·(m/|ref|).
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    for (&(c, r), &m) in &cell {
+        precision += m * m / cand_sizes[&c];
+        recall += m * m / ref_sizes[&r];
+    }
+    precision /= n as f64;
+    recall /= n as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    BCubedScores {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod bcubed_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let p = Partition::from_labels(vec![0, 0, 1, 2]);
+        let s = bcubed(&p, &p);
+        assert!((s.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_vs_one_cluster() {
+        let cand = Partition::from_labels(vec![0, 1, 2, 3]);
+        let refp = Partition::from_labels(vec![0, 0, 0, 0]);
+        let s = bcubed(&cand, &refp);
+        assert!((s.precision - 1.0).abs() < 1e-12, "singletons are pure");
+        assert!((s.recall - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // cand {0,1},{2,3}; ref {0,1,2},{3}
+        let cand = Partition::from_labels(vec![0, 0, 1, 1]);
+        let refp = Partition::from_labels(vec![0, 0, 0, 1]);
+        let s = bcubed(&cand, &refp);
+        // precision: elems 0,1 -> 2/2; elem 2 -> 1/2; elem 3 -> 1/2
+        assert!((s.precision - (1.0 + 1.0 + 0.5 + 0.5) / 4.0).abs() < 1e-12);
+        // recall: elems 0,1 -> 2/3; elem 2 -> 1/3; elem 3 -> 1/1
+        assert!((s.recall - (2.0 / 3.0 + 2.0 / 3.0 + 1.0 / 3.0 + 1.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let e = Partition::from_labels(vec![]);
+        assert_eq!(bcubed(&e, &e).f1, 1.0);
+    }
+}

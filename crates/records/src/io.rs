@@ -1,0 +1,360 @@
+//! Plain TSV persistence for datasets.
+//!
+//! Format: a header line of field names (first column `__weight`, second
+//! `__label` when ground truth is present), then one row per record.
+//! Tabs and newlines inside fields are replaced by spaces on write — the
+//! normalization pass upstream removes them anyway.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::{Dataset, Schema};
+use crate::partition::Partition;
+use crate::record::Record;
+
+/// Write a dataset as TSV.
+pub fn write_tsv(d: &Dataset, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let has_truth = d.truth().is_some();
+    write!(w, "__weight")?;
+    if has_truth {
+        write!(w, "\t__label")?;
+    }
+    for f in d.schema().field_names() {
+        write!(w, "\t{}", clean(f))?;
+    }
+    writeln!(w)?;
+    for (i, r) in d.records().iter().enumerate() {
+        write!(w, "{}", r.weight())?;
+        if let Some(t) = d.truth() {
+            write!(w, "\t{}", t.label(i))?;
+        }
+        for f in r.fields() {
+            write!(w, "\t{}", clean(f))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+fn clean(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+/// Read a dataset written by [`write_tsv`].
+pub fn read_tsv(path: &Path) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    let cols: Vec<&str> = header.split('\t').collect();
+    if cols.first() != Some(&"__weight") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "missing __weight column",
+        ));
+    }
+    let has_truth = cols.get(1) == Some(&"__label");
+    let field_start = if has_truth { 2 } else { 1 };
+    let schema = Schema::new(cols[field_start..].to_vec());
+    let mut records = Vec::new();
+    let mut labels = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != cols.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row has {} columns, expected {}", parts.len(), cols.len()),
+            ));
+        }
+        let weight: f64 = parts[0]
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}")))?;
+        if has_truth {
+            let label: u32 = parts[1].parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad label: {e}"))
+            })?;
+            labels.push(label);
+        }
+        records.push(Record::with_weight(
+            parts[field_start..].iter().map(|s| s.to_string()).collect(),
+            weight,
+        ));
+    }
+    Ok(if has_truth {
+        Dataset::with_truth(schema, records, Partition::from_labels(labels))
+    } else {
+        Dataset::new(schema, records)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Schema;
+
+    fn sample() -> Dataset {
+        Dataset::with_truth(
+            Schema::new(vec!["name", "city"]),
+            vec![
+                Record::with_weight(vec!["ann".into(), "pune".into()], 1.5),
+                Record::new(vec!["bob".into(), "delhi".into()]),
+            ],
+            Partition::from_labels(vec![3, 9]),
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_truth() {
+        let dir = std::env::temp_dir().join("topk_records_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("with_truth.tsv");
+        let d = sample();
+        write_tsv(&d, &path).unwrap();
+        let back = read_tsv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.schema().field_names(), d.schema().field_names());
+        assert_eq!(back.record(crate::RecordId(0)).weight(), 1.5);
+        assert_eq!(back.truth().unwrap().labels(), &[3, 9]);
+    }
+
+    #[test]
+    fn roundtrip_without_truth() {
+        let dir = std::env::temp_dir().join("topk_records_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no_truth.tsv");
+        let d = Dataset::new(
+            Schema::new(vec!["a"]),
+            vec![Record::new(vec!["tab\there".into()])],
+        );
+        write_tsv(&d, &path).unwrap();
+        let back = read_tsv(&path).unwrap();
+        assert!(back.truth().is_none());
+        // tab replaced by space on write
+        assert_eq!(back.record(crate::RecordId(0)).field(crate::FieldId(0)), "tab here");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("topk_records_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.tsv");
+        std::fs::write(&path, "nope\tnope\nrow").unwrap();
+        assert!(read_tsv(&path).is_err());
+    }
+}
+
+/// Options for reading arbitrary delimited files that were not produced
+/// by [`write_tsv`].
+#[derive(Debug, Clone)]
+pub struct ReadOptions {
+    /// Column separator (default `\t`).
+    pub delimiter: char,
+    /// Whether the first row is a header (default true; otherwise columns
+    /// are named `col0`, `col1`, ...).
+    pub has_header: bool,
+    /// Column holding the record weight; `None` gives every record
+    /// weight 1.0. The column is removed from the schema.
+    pub weight_column: Option<String>,
+    /// Column holding a ground-truth integer label; removed from the
+    /// schema when present.
+    pub label_column: Option<String>,
+    /// Normalize field text (lowercase, strip punctuation) on load
+    /// (default true — the similarity kernels assume normalized input).
+    pub normalize: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            delimiter: '\t',
+            has_header: true,
+            weight_column: None,
+            label_column: None,
+            normalize: true,
+        }
+    }
+}
+
+/// Read an arbitrary delimited file under `options`.
+pub fn read_delimited(path: &Path, options: &ReadOptions) -> io::Result<Dataset> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let content = std::fs::read_to_string(path)?;
+    let mut lines = content.lines().filter(|l| !l.is_empty());
+    let first = lines.next().ok_or_else(|| bad("empty file".into()))?;
+    let first_cells: Vec<&str> = first.split(options.delimiter).collect();
+    let n_cols = first_cells.len();
+    let header: Vec<String> = if options.has_header {
+        first_cells.iter().map(|c| c.trim().to_string()).collect()
+    } else {
+        (0..n_cols).map(|i| format!("col{i}")).collect()
+    };
+    let weight_idx = match &options.weight_column {
+        Some(name) => Some(
+            header
+                .iter()
+                .position(|h| h == name)
+                .ok_or_else(|| bad(format!("no weight column `{name}`")))?,
+        ),
+        None => None,
+    };
+    let label_idx = match &options.label_column {
+        Some(name) => Some(
+            header
+                .iter()
+                .position(|h| h == name)
+                .ok_or_else(|| bad(format!("no label column `{name}`")))?,
+        ),
+        None => None,
+    };
+    let field_indices: Vec<usize> = (0..n_cols)
+        .filter(|i| Some(*i) != weight_idx && Some(*i) != label_idx)
+        .collect();
+    if field_indices.is_empty() {
+        return Err(bad("no data columns left".into()));
+    }
+    let schema = Schema::new(
+        field_indices
+            .iter()
+            .map(|&i| header[i].clone())
+            .collect::<Vec<_>>(),
+    );
+
+    let mut records = Vec::new();
+    let mut labels = Vec::new();
+    let data_rows: Box<dyn Iterator<Item = &str>> = if options.has_header {
+        Box::new(lines)
+    } else {
+        Box::new(std::iter::once(first).chain(lines))
+    };
+    for (row_no, line) in data_rows.enumerate() {
+        let cells: Vec<&str> = line.split(options.delimiter).collect();
+        if cells.len() != n_cols {
+            return Err(bad(format!(
+                "row {} has {} columns, expected {n_cols}",
+                row_no + 1,
+                cells.len()
+            )));
+        }
+        let weight = match weight_idx {
+            Some(i) => cells[i]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("bad weight on row {}: {e}", row_no + 1)))?,
+            None => 1.0,
+        };
+        if let Some(i) = label_idx {
+            let label: u32 = cells[i]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("bad label on row {}: {e}", row_no + 1)))?;
+            labels.push(label);
+        }
+        let fields: Vec<String> = field_indices
+            .iter()
+            .map(|&i| {
+                if options.normalize {
+                    topk_text::normalize::normalize(cells[i])
+                } else {
+                    cells[i].to_string()
+                }
+            })
+            .collect();
+        records.push(Record::with_weight(fields, weight));
+    }
+    Ok(if label_idx.is_some() {
+        Dataset::with_truth(schema, records, Partition::from_labels(labels))
+    } else {
+        Dataset::new(schema, records)
+    })
+}
+
+#[cfg(test)]
+mod delimited_tests {
+    use super::*;
+
+    fn dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("topk_records_io_delim");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn reads_csv_with_weight_and_label() {
+        let path = dir().join("data.csv");
+        std::fs::write(&path, "name,city,score,entity\nAnn X.,Pune,2.5,7\nBob,Delhi,1,9\n")
+            .unwrap();
+        let d = read_delimited(
+            &path,
+            &ReadOptions {
+                delimiter: ',',
+                weight_column: Some("score".into()),
+                label_column: Some("entity".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.schema().field_names(), &["name", "city"]);
+        assert_eq!(d.record(crate::RecordId(0)).weight(), 2.5);
+        assert_eq!(d.record(crate::RecordId(0)).field(crate::FieldId(0)), "ann x");
+        assert_eq!(d.truth().unwrap().labels(), &[7, 9]);
+    }
+
+    #[test]
+    fn headerless_columns_get_names() {
+        let path = dir().join("nohdr.tsv");
+        std::fs::write(&path, "a\t1\nb\t2\n").unwrap();
+        let d = read_delimited(
+            &path,
+            &ReadOptions {
+                has_header: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.schema().field_names(), &["col0", "col1"]);
+        assert_eq!(d.len(), 2);
+        assert!(d.truth().is_none());
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_missing_columns() {
+        let path = dir().join("ragged.csv");
+        std::fs::write(&path, "a,b\n1\n").unwrap();
+        let opts = ReadOptions {
+            delimiter: ',',
+            ..Default::default()
+        };
+        assert!(read_delimited(&path, &opts).is_err());
+        let opts2 = ReadOptions {
+            delimiter: ',',
+            weight_column: Some("nope".into()),
+            ..Default::default()
+        };
+        let path2 = dir().join("ok.csv");
+        std::fs::write(&path2, "a,b\n1,2\n").unwrap();
+        assert!(read_delimited(&path2, &opts2).is_err());
+    }
+
+    #[test]
+    fn no_normalize_keeps_raw_text() {
+        let path = dir().join("raw.tsv");
+        std::fs::write(&path, "name\nAnn X.\n").unwrap();
+        let d = read_delimited(
+            &path,
+            &ReadOptions {
+                normalize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.record(crate::RecordId(0)).field(crate::FieldId(0)), "Ann X.");
+    }
+}

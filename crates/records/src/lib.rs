@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Record model, datasets, ground truth, and evaluation metrics.
+//!
+//! A [`Record`] is a flat tuple of normalized string fields plus a weight
+//! (1.0 for plain counting; the Students/Address experiments in the paper
+//! aggregate synthetic scores instead of counts, which is just a non-unit
+//! weight here). A [`Dataset`] couples records with a [`Schema`] and an
+//! optional ground-truth [`Partition`] used by the generators, the
+//! classifier trainer, and the evaluation metrics.
+
+pub mod dataset;
+pub mod eval;
+pub mod io;
+pub mod partition;
+pub mod record;
+pub mod split;
+pub mod tokenized;
+
+pub use dataset::{Dataset, Schema};
+pub use eval::{bcubed, pairwise_f1, BCubedScores, PairwiseScores};
+pub use partition::Partition;
+pub use record::{FieldId, Record, RecordId};
+pub use split::{split_groups_by_half, subset};
+pub use tokenized::{tokenize_dataset, TokenizedField, TokenizedRecord};

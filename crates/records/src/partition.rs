@@ -1,0 +1,179 @@
+//! Partitions of records into entity groups.
+
+use serde::{Deserialize, Serialize};
+
+/// A partition of `n` records into disjoint groups, stored as a label per
+/// record. Labels are arbitrary `u32`s (not required to be dense).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    labels: Vec<u32>,
+}
+
+impl Partition {
+    /// Build from per-record labels.
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        Partition { labels }
+    }
+
+    /// Build from explicit groups of record indices. Records not mentioned
+    /// in any group each get a fresh singleton label.
+    pub fn from_groups(n: usize, groups: &[Vec<usize>]) -> Self {
+        let mut labels: Vec<Option<u32>> = vec![None; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                assert!(labels[m].is_none(), "record {m} listed in two groups");
+                labels[m] = Some(g as u32);
+            }
+        }
+        let mut next = groups.len() as u32;
+        let labels = labels
+            .into_iter()
+            .map(|l| {
+                l.unwrap_or_else(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
+            .collect();
+        Partition { labels }
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the partition covers no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of a record.
+    #[inline]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// Raw label slice.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Are two records in the same group?
+    #[inline]
+    pub fn same_group(&self, i: usize, j: usize) -> bool {
+        self.labels[i] == self.labels[j]
+    }
+
+    /// Materialize groups as vectors of record indices, largest first.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut map: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            map.entry(l).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        out
+    }
+
+    /// Number of distinct groups.
+    pub fn group_count(&self) -> usize {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+
+    /// Group sizes in decreasing order.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.groups().iter().map(|g| g.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Total weight per group given per-record weights, decreasing.
+    pub fn group_weights(&self, weights: &[f64]) -> Vec<f64> {
+        assert_eq!(weights.len(), self.labels.len());
+        let mut map: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            *map.entry(l).or_insert(0.0) += weights[i];
+        }
+        let mut out: Vec<f64> = map.into_values().collect();
+        out.sort_by(|a, b| b.total_cmp(a));
+        out
+    }
+
+    /// Relabel into dense labels `0..k` in first-appearance order.
+    pub fn canonicalize(&self) -> Partition {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| {
+                *map.entry(l).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
+            .collect();
+        Partition { labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_groups_fills_singletons() {
+        let p = Partition::from_groups(5, &[vec![0, 2], vec![1]]);
+        assert!(p.same_group(0, 2));
+        assert!(!p.same_group(0, 1));
+        assert!(!p.same_group(3, 4));
+        assert_eq!(p.group_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn duplicate_membership_panics() {
+        Partition::from_groups(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn groups_sorted_by_size() {
+        let p = Partition::from_labels(vec![9, 9, 9, 4, 4, 7]);
+        let gs = p.groups();
+        assert_eq!(gs[0].len(), 3);
+        assert_eq!(gs[1].len(), 2);
+        assert_eq!(gs[2].len(), 1);
+        assert_eq!(p.group_sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn weights_aggregate() {
+        let p = Partition::from_labels(vec![0, 0, 1]);
+        let w = p.group_weights(&[1.0, 2.0, 10.0]);
+        assert_eq!(w, vec![10.0, 3.0]);
+    }
+
+    #[test]
+    fn canonicalize_dense() {
+        let p = Partition::from_labels(vec![42, 7, 42]);
+        let c = p.canonicalize();
+        assert_eq!(c.labels(), &[0, 1, 0]);
+        assert_eq!(c.group_count(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let p = Partition::from_labels(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.group_count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The record and field identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a record within its dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Index of a field within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldId(pub usize);
+
+/// A single record: normalized string fields plus an aggregation weight.
+///
+/// Weight is 1.0 for plain TopK *count* queries. The paper's Students and
+/// Address datasets aggregate per-record scores (marks, asset worth)
+/// instead; those enter here as non-unit weights and the whole pipeline is
+/// weight-aware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    fields: Vec<String>,
+    weight: f64,
+}
+
+impl Record {
+    /// Build a record from already-normalized fields with unit weight.
+    pub fn new(fields: Vec<String>) -> Self {
+        Record {
+            fields,
+            weight: 1.0,
+        }
+    }
+
+    /// Build a record with an explicit weight.
+    pub fn with_weight(fields: Vec<String>, weight: f64) -> Self {
+        Record { fields, weight }
+    }
+
+    /// Field accessor; panics on out-of-range `FieldId` (schema mismatch is
+    /// a programming error).
+    #[inline]
+    pub fn field(&self, f: FieldId) -> &str {
+        &self.fields[f.0]
+    }
+
+    /// All fields in schema order.
+    #[inline]
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Aggregation weight.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Record::new(vec!["a".into(), "b".into()]);
+        assert_eq!(r.field(FieldId(0)), "a");
+        assert_eq!(r.field(FieldId(1)), "b");
+        assert_eq!(r.weight(), 1.0);
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn weighted() {
+        let r = Record::with_weight(vec!["x".into()], 2.5);
+        assert_eq!(r.weight(), 2.5);
+    }
+
+    #[test]
+    fn record_id_display_and_index() {
+        assert_eq!(RecordId(7).to_string(), "r7");
+        assert_eq!(RecordId(7).index(), 7);
+        assert!(RecordId(1) < RecordId(2));
+    }
+}

@@ -1,0 +1,103 @@
+//! Train/evaluation splitting utilities.
+//!
+//! The paper trains its pairwise classifier on "50% of the groups"
+//! (§6.4) — splitting by *group*, not by record, so that no entity leaks
+//! between train and test. These helpers implement that split plus a
+//! deterministic record shuffle.
+
+use crate::dataset::Dataset;
+use crate::partition::Partition;
+
+/// Deterministic split of ground-truth groups into train/test halves.
+///
+/// Groups are assigned by a hash of their label mixed with `seed`, so
+/// the split is stable under record reordering. Returns
+/// `(train_records, test_records)` as record-index lists.
+pub fn split_groups_by_half(truth: &Partition, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, &label) in truth.labels().iter().enumerate() {
+        // splitmix-style label hash
+        let mut x = (label as u64) ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        if x & 1 == 0 {
+            train.push(i);
+        } else {
+            test.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Restrict a dataset to a subset of record indices (keeping the slice
+/// of ground truth when present).
+pub fn subset(d: &Dataset, indices: &[usize]) -> Dataset {
+    let records = indices.iter().map(|&i| d.records()[i].clone()).collect();
+    match d.truth() {
+        Some(t) => {
+            let labels = indices.iter().map(|&i| t.label(i)).collect();
+            Dataset::with_truth(d.schema().clone(), records, Partition::from_labels(labels))
+        }
+        None => Dataset::new(d.schema().clone(), records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Schema;
+    use crate::record::Record;
+
+    fn labeled(n: usize, groups: usize) -> Dataset {
+        let records = (0..n)
+            .map(|i| Record::new(vec![format!("r{i}")]))
+            .collect();
+        let labels = (0..n).map(|i| (i % groups) as u32).collect();
+        Dataset::with_truth(
+            Schema::new(vec!["f"]),
+            records,
+            Partition::from_labels(labels),
+        )
+    }
+
+    #[test]
+    fn split_covers_everything_once() {
+        let d = labeled(100, 20);
+        let (train, test) = split_groups_by_half(d.truth().unwrap(), 7);
+        assert_eq!(train.len() + test.len(), 100);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn no_entity_straddles_the_split() {
+        let d = labeled(100, 20);
+        let truth = d.truth().unwrap();
+        let (train, test) = split_groups_by_half(truth, 3);
+        let train_labels: std::collections::HashSet<u32> =
+            train.iter().map(|&i| truth.label(i)).collect();
+        let test_labels: std::collections::HashSet<u32> =
+            test.iter().map(|&i| truth.label(i)).collect();
+        assert!(train_labels.is_disjoint(&test_labels));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = labeled(200, 50);
+        let (a, _) = split_groups_by_half(d.truth().unwrap(), 1);
+        let (b, _) = split_groups_by_half(d.truth().unwrap(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subset_slices_truth() {
+        let d = labeled(10, 3);
+        let s = subset(&d, &[0, 5, 7]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.truth().unwrap().label(1), d.truth().unwrap().label(5));
+        assert_eq!(s.record(crate::RecordId(2)).field(crate::FieldId(0)), "r7");
+    }
+}

@@ -1,0 +1,109 @@
+//! Precomputed token views of records.
+//!
+//! Predicates and similarity features repeatedly need word sets, 3-gram
+//! sets, and initials for the same fields; tokenizing once per record when
+//! a dataset is loaded keeps the join loops allocation-free.
+
+use topk_text::tokenize::{initials_set, qgram_set, word_set, TokenSet};
+
+use crate::dataset::Dataset;
+use crate::record::FieldId;
+
+/// Token views of one field.
+#[derive(Debug, Clone)]
+pub struct TokenizedField {
+    /// The normalized field text.
+    pub text: String,
+    /// Distinct word tokens.
+    pub words: TokenSet,
+    /// Distinct character 3-grams.
+    pub qgrams3: TokenSet,
+    /// Distinct word initials.
+    pub initials: TokenSet,
+}
+
+impl TokenizedField {
+    /// Tokenize one normalized field.
+    pub fn new(text: &str) -> Self {
+        TokenizedField {
+            text: text.to_string(),
+            words: word_set(text),
+            qgrams3: qgram_set(text, 3),
+            initials: initials_set(text),
+        }
+    }
+}
+
+/// Token views of one record, indexed by [`FieldId`].
+#[derive(Debug, Clone)]
+pub struct TokenizedRecord {
+    fields: Vec<TokenizedField>,
+    weight: f64,
+}
+
+impl TokenizedRecord {
+    /// Tokenize all fields of a record.
+    pub fn from_fields(fields: &[String], weight: f64) -> Self {
+        TokenizedRecord {
+            fields: fields.iter().map(|f| TokenizedField::new(f)).collect(),
+            weight,
+        }
+    }
+
+    /// Token views of a field.
+    #[inline]
+    pub fn field(&self, f: FieldId) -> &TokenizedField {
+        &self.fields[f.0]
+    }
+
+    /// Record weight.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// Tokenize every record of a dataset.
+pub fn tokenize_dataset(d: &Dataset) -> Vec<TokenizedRecord> {
+    d.records()
+        .iter()
+        .map(|r| TokenizedRecord::from_fields(r.fields(), r.weight()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Schema;
+    use crate::record::Record;
+
+    #[test]
+    fn tokenizes_fields() {
+        let tr = TokenizedRecord::from_fields(&["sunita sarawagi".into(), "iit".into()], 2.0);
+        assert_eq!(tr.arity(), 2);
+        assert_eq!(tr.field(FieldId(0)).words.len(), 2);
+        assert_eq!(tr.field(FieldId(0)).initials.len(), 1); // both start with 's'
+        assert!(!tr.field(FieldId(0)).qgrams3.is_empty());
+        assert_eq!(tr.weight(), 2.0);
+        assert_eq!(tr.field(FieldId(1)).text, "iit");
+    }
+
+    #[test]
+    fn dataset_tokenization() {
+        let d = Dataset::new(
+            Schema::new(vec!["name"]),
+            vec![
+                Record::new(vec!["a b".into()]),
+                Record::new(vec!["c".into()]),
+            ],
+        );
+        let toks = tokenize_dataset(&d);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].field(FieldId(0)).words.len(), 2);
+    }
+}

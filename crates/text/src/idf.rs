@@ -1,0 +1,136 @@
+//! Corpus-level document-frequency / IDF statistics.
+//!
+//! The paper's custom author similarity and its S1 predicate ("minimum IDF
+//! over two author words is at least 13") need per-token inverse document
+//! frequencies computed over the whole dataset. [`CorpusStats`] is built
+//! once per field per dataset and shared read-only afterwards.
+
+use std::collections::HashMap;
+
+use crate::hash::Token;
+use crate::tokenize::TokenSet;
+
+/// Document frequencies and IDF values for a token vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    doc_count: usize,
+    doc_freq: HashMap<Token, u32>,
+}
+
+impl CorpusStats {
+    /// Create empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of documents (each a token set).
+    pub fn from_documents<'a>(docs: impl IntoIterator<Item = &'a TokenSet>) -> Self {
+        let mut s = Self::new();
+        for d in docs {
+            s.add_document(d);
+        }
+        s
+    }
+
+    /// Register one document's token set.
+    pub fn add_document(&mut self, doc: &TokenSet) {
+        self.doc_count += 1;
+        for &t in doc.as_slice() {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents seen.
+    #[inline]
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Document frequency of a token (0 for unseen tokens).
+    #[inline]
+    pub fn doc_freq(&self, t: Token) -> u32 {
+        self.doc_freq.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Smoothed IDF: `ln((1 + N) / (1 + df))`.
+    ///
+    /// Unseen tokens get the maximum IDF (`df = 0`). With N in the hundreds
+    /// of thousands, rare tokens score ~12-13, matching the scale of the
+    /// paper's "IDF at least 13" threshold when natural log base is used
+    /// over a quarter-million documents.
+    pub fn idf(&self, t: Token) -> f64 {
+        ((1.0 + self.doc_count as f64) / (1.0 + self.doc_freq(t) as f64)).ln()
+    }
+
+    /// The maximum IDF any token can have under this corpus.
+    pub fn max_idf(&self) -> f64 {
+        (1.0 + self.doc_count as f64).ln()
+    }
+
+    /// Minimum IDF over the tokens of a set; `None` for an empty set.
+    pub fn min_idf(&self, ts: &TokenSet) -> Option<f64> {
+        ts.as_slice()
+            .iter()
+            .map(|&t| self.idf(t))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Maximum IDF over the tokens of a set; `None` for an empty set.
+    pub fn max_idf_of(&self, ts: &TokenSet) -> Option<f64> {
+        ts.as_slice()
+            .iter()
+            .map(|&t| self.idf(t))
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Number of distinct tokens in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_str;
+    use crate::tokenize::word_set;
+
+    fn corpus() -> CorpusStats {
+        let docs = [word_set("common rare1"),
+            word_set("common x"),
+            word_set("common y"),
+            word_set("common z")];
+        CorpusStats::from_documents(docs.iter())
+    }
+
+    #[test]
+    fn rare_tokens_have_higher_idf() {
+        let c = corpus();
+        assert!(c.idf(hash_str("rare1")) > c.idf(hash_str("common")));
+    }
+
+    #[test]
+    fn unseen_gets_max_idf() {
+        let c = corpus();
+        assert_eq!(c.idf(hash_str("neverseen")), c.max_idf());
+        assert_eq!(c.doc_freq(hash_str("neverseen")), 0);
+    }
+
+    #[test]
+    fn min_max_over_set() {
+        let c = corpus();
+        let ts = word_set("common rare1");
+        let min = c.min_idf(&ts).unwrap();
+        let max = c.max_idf_of(&ts).unwrap();
+        assert!(min < max);
+        assert!(c.min_idf(&word_set("")).is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let c = corpus();
+        assert_eq!(c.doc_count(), 4);
+        assert_eq!(c.doc_freq(hash_str("common")), 4);
+        assert_eq!(c.vocab_size(), 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Inverted index for candidate (canopy) retrieval.
+//!
+//! The necessary-predicate join (§4.3) and the canopy baseline (§3) never
+//! enumerate the full Cartesian product: each record posts its blocking
+//! tokens here, and candidate mates are the union of posting lists,
+//! optionally filtered by a minimum number of shared tokens.
+
+use std::collections::HashMap;
+
+use crate::hash::Token;
+use crate::tokenize::TokenSet;
+
+/// Inverted index from token to the ids of items containing it.
+///
+/// Ids are caller-assigned `u32`s (record or group indices).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<Token, Vec<u32>>,
+    items: usize,
+}
+
+impl InvertedIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `id` under every token of `ts`. Ids should be inserted in
+    /// non-decreasing order for posting lists to stay sorted (all call
+    /// sites insert sequentially); this keeps candidate merging cheap.
+    pub fn insert(&mut self, id: u32, ts: &TokenSet) {
+        for &t in ts.as_slice() {
+            self.postings.entry(t).or_default().push(id);
+        }
+        self.items += 1;
+    }
+
+    /// Number of items inserted.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Posting list for one token.
+    pub fn postings(&self, t: Token) -> &[u32] {
+        self.postings.get(&t).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All distinct ids sharing at least `min_common` tokens with `ts`,
+    /// excluding `self_id` if provided. Candidates are returned sorted.
+    pub fn candidates(&self, ts: &TokenSet, min_common: usize, self_id: Option<u32>) -> Vec<u32> {
+        let mut hits: Vec<u32> = Vec::new();
+        for &t in ts.as_slice() {
+            if let Some(list) = self.postings.get(&t) {
+                hits.extend_from_slice(list);
+            }
+        }
+        hits.sort_unstable();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < hits.len() {
+            let id = hits[i];
+            let mut j = i + 1;
+            while j < hits.len() && hits[j] == id {
+                j += 1;
+            }
+            if j - i >= min_common && Some(id) != self_id {
+                out.push(id);
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// Like [`candidates`](Self::candidates) but with counts of shared
+    /// tokens per candidate.
+    pub fn candidates_with_counts(
+        &self,
+        ts: &TokenSet,
+        self_id: Option<u32>,
+    ) -> Vec<(u32, usize)> {
+        let mut hits: Vec<u32> = Vec::new();
+        for &t in ts.as_slice() {
+            if let Some(list) = self.postings.get(&t) {
+                hits.extend_from_slice(list);
+            }
+        }
+        hits.sort_unstable();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < hits.len() {
+            let id = hits[i];
+            let mut j = i + 1;
+            while j < hits.len() && hits[j] == id {
+                j += 1;
+            }
+            if Some(id) != self_id {
+                out.push((id, j - i));
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// Number of distinct tokens indexed.
+    pub fn vocab_size(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_set;
+
+    fn index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.insert(0, &word_set("alpha beta gamma"));
+        ix.insert(1, &word_set("beta gamma delta"));
+        ix.insert(2, &word_set("epsilon zeta"));
+        ix
+    }
+
+    #[test]
+    fn finds_overlapping_items() {
+        let ix = index();
+        let q = word_set("beta gamma");
+        assert_eq!(ix.candidates(&q, 1, None), vec![0, 1]);
+        assert_eq!(ix.candidates(&q, 2, None), vec![0, 1]);
+        assert!(ix.candidates(&word_set("nothing"), 1, None).is_empty());
+    }
+
+    #[test]
+    fn min_common_filters() {
+        let ix = index();
+        let q = word_set("alpha delta");
+        // item 0 shares alpha, item 1 shares delta — 1 token each.
+        assert_eq!(ix.candidates(&q, 1, None), vec![0, 1]);
+        assert!(ix.candidates(&q, 2, None).is_empty());
+    }
+
+    #[test]
+    fn excludes_self() {
+        let ix = index();
+        let q = word_set("alpha beta gamma");
+        assert_eq!(ix.candidates(&q, 1, Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let ix = index();
+        let q = word_set("beta gamma delta");
+        let cc = ix.candidates_with_counts(&q, None);
+        assert_eq!(cc, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn sizes() {
+        let ix = index();
+        assert_eq!(ix.len(), 3);
+        assert!(!ix.is_empty());
+        assert_eq!(ix.vocab_size(), 6);
+        assert_eq!(ix.postings(crate::hash::hash_str("beta")), &[0, 1]);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! String similarity and indexing substrate for `topk-dedup`.
+//!
+//! This crate provides everything the deduplication layers need to look at
+//! text: normalization, tokenization (words, character q-grams, initials),
+//! corpus-level IDF statistics, an inverted index used for canopy/candidate
+//! retrieval, and the similarity functions used by the EDBT'09 paper
+//! (*Efficient Top-K Count Queries over Imprecise Duplicates*, §6.1):
+//! Jaccard, overlap, Dice, TF-IDF cosine, Levenshtein, Jaro and
+//! Jaro-Winkler, plus the paper's custom author/co-author similarities
+//! (those live in `topk-predicates`, built from the kernels here).
+//!
+//! # Design notes
+//!
+//! Tokens are interned as 64-bit FNV-1a hashes ([`Token`]). Token multisets
+//! are kept sorted ([`TokenSet`]) so that intersections, unions, and
+//! weighted dot products are linear merges with no hashing on the hot path.
+//!
+//! # Example
+//!
+//! ```
+//! use topk_text::{normalize, tokenize, sim};
+//!
+//! let a = tokenize::word_set(&normalize::normalize("J. K. Rowling"));
+//! let b = tokenize::word_set(&normalize::normalize("JK Rowling!"));
+//! assert!(sim::jaccard(&a, &b) > 0.0);
+//! ```
+
+pub mod hash;
+pub mod idf;
+pub mod index;
+pub mod normalize;
+pub mod sim;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use hash::{fnv1a, Token};
+pub use idf::CorpusStats;
+pub use index::InvertedIndex;
+pub use tokenize::TokenSet;

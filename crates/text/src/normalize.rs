@@ -1,0 +1,80 @@
+//! Text normalization applied before any tokenization.
+//!
+//! All record fields pass through [`normalize`] once, when a dataset is
+//! loaded, so downstream similarity kernels can assume lowercase ASCII-ish
+//! text with single-space separators and no punctuation.
+
+/// Lowercase, replace punctuation with spaces, and collapse whitespace.
+///
+/// Keeps alphanumerics (any alphabetic char, not just ASCII) and spaces.
+/// Punctuation becomes a space so that `"J.K.Rowling"` tokenizes into
+/// three words rather than one.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Normalize but keep digits out (useful for name fields where stray digits
+/// are noise).
+pub fn normalize_alpha(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        if ch.is_alphabetic() {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(normalize("J.K. Rowling"), "j k rowling");
+        assert_eq!(normalize("  A--B  "), "a b");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("..."), "");
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(normalize("Flat 12B, MG Road"), "flat 12b mg road");
+    }
+
+    #[test]
+    fn alpha_drops_digits() {
+        assert_eq!(normalize_alpha("Flat 12B"), "flat b");
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(normalize("Ünïted"), "ünïted");
+    }
+}

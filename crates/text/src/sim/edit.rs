@@ -1,0 +1,77 @@
+//! Levenshtein edit distance.
+
+/// Levenshtein distance between two strings (unit costs), computed with a
+/// two-row DP over `char`s.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Distance normalized by the longer string's length, in `[0, 1]`.
+/// Two empty strings have distance 0.
+pub fn levenshtein_normalized(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        0.0
+    } else {
+        levenshtein(a, b) as f64 / max as f64
+    }
+}
+
+/// Similarity `1 - normalized distance`; 0 for a pair of empty strings
+/// (no evidence), per the crate-wide convention.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    1.0 - levenshtein_normalized(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("sarawagi", "sarawgi"), levenshtein("sarawgi", "sarawagi"));
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(levenshtein_normalized("", ""), 0.0);
+        assert_eq!(levenshtein_normalized("a", "b"), 1.0);
+        let s = levenshtein_similarity("deshpande", "deshpnde");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn unicode_chars_counted_once() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+}

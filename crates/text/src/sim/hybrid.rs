@@ -1,0 +1,161 @@
+//! Hybrid token/character similarities from the record-linkage
+//! literature the paper builds on (Cohen, Ravikumar & Fienberg 2003;
+//! Monge & Elkan 1996): Monge-Elkan, SoftTFIDF, and the Smith-Waterman
+//! local-alignment score they both can wrap.
+
+use crate::idf::CorpusStats;
+use crate::sim::jaro::jaro_winkler;
+use crate::tokenize::words;
+
+/// Monge-Elkan similarity: for each word of `a`, its best Jaro-Winkler
+/// match in `b`, averaged. Asymmetric by definition; use
+/// [`monge_elkan_sym`] for the symmetrized variant.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let wa = words(a);
+    let wb = words(b);
+    if wa.is_empty() || wb.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = wa
+        .iter()
+        .map(|x| {
+            wb.iter()
+                .map(|y| jaro_winkler(x, y))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    total / wa.len() as f64
+}
+
+/// Symmetrized Monge-Elkan: the mean of both directions.
+pub fn monge_elkan_sym(a: &str, b: &str) -> f64 {
+    (monge_elkan(a, b) + monge_elkan(b, a)) / 2.0
+}
+
+/// SoftTFIDF (Cohen et al. 2003): TF-IDF cosine where tokens are matched
+/// *approximately* — words `x ∈ a`, `y ∈ b` count as matching when
+/// `jaro_winkler(x, y) ≥ theta`, contributing `idf(x)·idf(y)·jw(x, y)`.
+///
+/// Binary term frequencies, like the rest of this crate.
+pub fn soft_tfidf(a: &str, b: &str, stats: &CorpusStats, theta: f64) -> f64 {
+    let wa = words(a);
+    let wb = words(b);
+    if wa.is_empty() || wb.is_empty() {
+        return 0.0;
+    }
+    let idf = |w: &str| stats.idf(crate::hash::hash_str(w));
+    let mut dot = 0.0;
+    for x in &wa {
+        // best approximate match of x in b
+        let mut best = 0.0f64;
+        let mut best_idf = 0.0;
+        for y in &wb {
+            let s = jaro_winkler(x, y);
+            if s >= theta && s > best {
+                best = s;
+                best_idf = idf(y);
+            }
+        }
+        if best > 0.0 {
+            dot += idf(x) * best_idf * best;
+        }
+    }
+    let norm = |ws: &[&str]| -> f64 {
+        ws.iter()
+            .map(|w| idf(w).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let (na, nb) = (norm(&wa), norm(&wb));
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Smith-Waterman local-alignment similarity over characters, normalized
+/// to `[0, 1]` by the length of the shorter string. Match +2,
+/// mismatch −1, gap −1 (standard small-alphabet defaults).
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    const MATCH: i32 = 2;
+    const MISMATCH: i32 = -1;
+    const GAP: i32 = -1;
+    let mut prev = vec![0i32; b.len() + 1];
+    let mut cur = vec![0i32; b.len() + 1];
+    let mut best = 0i32;
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            let up = prev[j + 1] + GAP;
+            let left = cur[j] + GAP;
+            cur[j + 1] = diag.max(up).max(left).max(0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    let max_possible = (a.len().min(b.len()) as i32) * MATCH;
+    best as f64 / max_possible as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_set;
+
+    #[test]
+    fn monge_elkan_name_variants() {
+        let s = monge_elkan_sym("sunita sarawagi", "s sarawagi");
+        assert!(s > 0.7, "got {s}");
+        assert!(monge_elkan_sym("sunita sarawagi", "qqq zzz") < 0.6);
+        assert_eq!(monge_elkan("", "x"), 0.0);
+        assert_eq!(monge_elkan_sym("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_asymmetry() {
+        // Every word of "sarawagi" matches in the longer string, so that
+        // direction scores 1; the reverse does not.
+        let one_way = monge_elkan("sarawagi", "sunita sarawagi");
+        let other = monge_elkan("sunita sarawagi", "sarawagi");
+        assert_eq!(one_way, 1.0);
+        assert!(other < 1.0);
+    }
+
+    #[test]
+    fn soft_tfidf_tolerates_typos() {
+        let docs = [word_set("sunita sarawagi"),
+            word_set("vinay deshpande"),
+            word_set("sourabh kasliwal"),
+            word_set("common common")];
+        let stats = CorpusStats::from_documents(docs.iter());
+        let typo = soft_tfidf("sunita sarawagi", "sunita sarawagy", &stats, 0.9);
+        let exact = soft_tfidf("sunita sarawagi", "sunita sarawagi", &stats, 0.9);
+        let unrelated = soft_tfidf("sunita sarawagi", "vinay deshpande", &stats, 0.9);
+        assert!(exact > 0.99);
+        assert!(typo > 0.8, "typo pair scored {typo}");
+        assert!(unrelated < 0.2);
+        assert_eq!(soft_tfidf("", "x", &stats, 0.9), 0.0);
+    }
+
+    #[test]
+    fn smith_waterman_local_alignment() {
+        assert_eq!(smith_waterman("abc", "abc"), 1.0);
+        // shared substring scores by the shorter string's length
+        assert!(smith_waterman("xxsarawagiyy", "sarawagi") > 0.99);
+        assert!(smith_waterman("abc", "xyz") < 0.2);
+        assert_eq!(smith_waterman("", "abc"), 0.0);
+        // symmetric
+        assert!(
+            (smith_waterman("deshpande", "deshpnde") - smith_waterman("deshpnde", "deshpande"))
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Jaro and Jaro-Winkler similarity — "an efficient approximation of edit
+//! distance specifically tailored for names" (paper §6.1.1, citing
+//! Bilenko et al. 2003).
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched sequences in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter_map(|(&c, &used)| used.then_some(c))
+        .collect();
+    let t = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// prefix cap of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic published examples.
+        assert!(close(jaro("martha", "marhta"), 0.9444));
+        assert!(close(jaro("dixon", "dicksonx"), 0.7667));
+        assert!(close(jaro("jellyfish", "smellyfish"), 0.8963));
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!(close(jaro_winkler("martha", "marhta"), 0.9611));
+        assert!(close(jaro_winkler("dixon", "dicksonx"), 0.8133));
+    }
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("", ""), 0.0);
+        assert_eq!(jaro_winkler("", ""), 0.0);
+    }
+
+    #[test]
+    fn no_common_chars() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!(close(jaro("prefix", "perfix"), jaro("perfix", "prefix")));
+        assert!(close(
+            jaro_winkler("deshpande", "deshpnade"),
+            jaro_winkler("deshpnade", "deshpande")
+        ));
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        assert!(jaro_winkler("sarawagi", "sarawati") >= jaro("sarawagi", "sarawati"));
+    }
+}

@@ -1,0 +1,96 @@
+//! IDF-weighted set similarities.
+
+use crate::idf::CorpusStats;
+use crate::tokenize::TokenSet;
+
+/// TF-IDF cosine similarity between two token *sets* (binary term
+/// frequency, IDF weighting). This is the "TFIDF similarity" the paper's
+/// canopy discussion refers to (§3, citing McCallum et al. / Cohen &
+/// Richman): cheap to evaluate through an inverted index, unlike edit
+/// distance.
+pub fn tfidf_cosine(a: &TokenSet, b: &TokenSet, stats: &CorpusStats) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = a.intersection(b).map(|t| stats.idf(t).powi(2)).sum();
+    if dot == 0.0 {
+        return 0.0;
+    }
+    let norm = |ts: &TokenSet| -> f64 {
+        ts.as_slice()
+            .iter()
+            .map(|&t| stats.idf(t).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// IDF-weighted Jaccard: `Σ_{t ∈ A∩B} idf(t) / Σ_{t ∈ A∪B} idf(t)`.
+pub fn weighted_jaccard(a: &TokenSet, b: &TokenSet, stats: &CorpusStats) -> f64 {
+    let inter: f64 = a.intersection(b).map(|t| stats.idf(t)).sum();
+    let sum = |ts: &TokenSet| -> f64 { ts.as_slice().iter().map(|&t| stats.idf(t)).sum() };
+    let union = sum(a) + sum(b) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_set;
+
+    fn stats() -> CorpusStats {
+        let docs = [word_set("the cat"),
+            word_set("the dog"),
+            word_set("the bird"),
+            word_set("the rhinoceros")];
+        CorpusStats::from_documents(docs.iter())
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let s = stats();
+        let a = word_set("the cat");
+        assert!((tfidf_cosine(&a, &a, &s) - 1.0).abs() < 1e-12);
+        assert!((weighted_jaccard(&a, &a, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_overlap_beats_common_overlap() {
+        let s = stats();
+        let a = word_set("the rhinoceros");
+        let b = word_set("a rhinoceros");
+        let c = word_set("the zebra");
+        // sharing "rhinoceros" (rare) scores higher than sharing "the".
+        assert!(tfidf_cosine(&a, &b, &s) > tfidf_cosine(&a, &c, &s));
+        assert!(weighted_jaccard(&a, &b, &s) > weighted_jaccard(&a, &c, &s));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = stats();
+        let e = word_set("");
+        let a = word_set("the cat");
+        assert_eq!(tfidf_cosine(&e, &a, &s), 0.0);
+        assert_eq!(weighted_jaccard(&e, &e, &s), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let s = stats();
+        let a = word_set("the cat dog");
+        let b = word_set("the cat bird");
+        let t = tfidf_cosine(&a, &b, &s);
+        assert!((0.0..=1.0).contains(&t));
+    }
+}

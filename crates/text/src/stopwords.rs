@@ -1,0 +1,112 @@
+//! Stop-word lists.
+//!
+//! The paper's Address predicates drop common address words ("street",
+//! "house", …) before counting overlaps (§6.1.3). We ship that hand-compiled
+//! style of list for addresses plus a small English list for titles, and a
+//! [`StopWords`] type callers can build from their own vocabulary.
+
+use crate::hash::{hash_str, Token};
+use crate::tokenize::TokenSet;
+
+/// A set of stop words, matched on interned tokens.
+#[derive(Debug, Clone, Default)]
+pub struct StopWords {
+    set: TokenSet,
+}
+
+impl StopWords {
+    /// Build from an iterator of words (normalized by the caller).
+    pub fn new<'a>(words: impl IntoIterator<Item = &'a str>) -> Self {
+        StopWords {
+            set: TokenSet::from_tokens(words.into_iter().map(hash_str).collect()),
+        }
+    }
+
+    /// Is this token a stop word?
+    #[inline]
+    pub fn is_stop(&self, t: Token) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Is this word a stop word?
+    #[inline]
+    pub fn is_stop_word(&self, w: &str) -> bool {
+        self.set.contains(hash_str(w))
+    }
+
+    /// Remove stop words from a token set.
+    pub fn filter(&self, ts: &TokenSet) -> TokenSet {
+        TokenSet::from_tokens(
+            ts.as_slice()
+                .iter()
+                .copied()
+                .filter(|t| !self.is_stop(*t))
+                .collect(),
+        )
+    }
+
+    /// Number of stop words in the list.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// Common words in postal addresses, in the spirit of the hand-compiled
+/// list the paper used for the Pune address dataset.
+pub const ADDRESS_STOP_WORDS: &[&str] = &[
+    "street", "st", "road", "rd", "lane", "ln", "house", "flat", "apartment", "apt", "block",
+    "plot", "near", "opp", "opposite", "behind", "main", "cross", "nagar", "colony", "society",
+    "chowk", "peth", "marg", "floor", "no", "number", "building", "bldg", "sector", "phase",
+    "area", "east", "west", "north", "south", "new", "old",
+];
+
+/// Common English function words, used for citation titles.
+pub const ENGLISH_STOP_WORDS: &[&str] = &[
+    "a", "an", "the", "of", "on", "in", "for", "and", "or", "to", "with", "by", "at", "from",
+    "is", "are", "as", "its",
+];
+
+/// Stock address stop-word list.
+pub fn address_stopwords() -> StopWords {
+    StopWords::new(ADDRESS_STOP_WORDS.iter().copied())
+}
+
+/// Stock English stop-word list.
+pub fn english_stopwords() -> StopWords {
+    StopWords::new(ENGLISH_STOP_WORDS.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_set;
+
+    #[test]
+    fn filters_address_words() {
+        let sw = address_stopwords();
+        let ts = word_set("12 mg road pune");
+        let filtered = sw.filter(&ts);
+        assert_eq!(filtered.len(), 3); // "road" dropped
+        assert!(sw.is_stop_word("street"));
+        assert!(!sw.is_stop_word("pune"));
+    }
+
+    #[test]
+    fn empty_list() {
+        let sw = StopWords::default();
+        assert!(sw.is_empty());
+        let ts = word_set("a b");
+        assert_eq!(sw.filter(&ts).len(), 2);
+    }
+
+    #[test]
+    fn len_counts_words() {
+        let sw = StopWords::new(["x", "y", "x"]);
+        assert_eq!(sw.len(), 2);
+    }
+}

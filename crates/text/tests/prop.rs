@@ -1,0 +1,104 @@
+//! Property-based tests for the text substrate.
+
+use proptest::prelude::*;
+use topk_text::sim::*;
+use topk_text::tokenize::{qgram_set, word_set};
+use topk_text::{normalize, CorpusStats};
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    "[a-d]{0,6}( [a-d]{0,6}){0,4}"
+}
+
+proptest! {
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in word_strategy(), b in word_strategy()) {
+        let (sa, sb) = (word_set(&a), word_set(&b));
+        let j = jaccard(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&sb, &sa));
+        if !sa.is_empty() {
+            prop_assert_eq!(jaccard(&sa, &sa), 1.0);
+        }
+    }
+
+    #[test]
+    fn dice_ge_jaccard(a in word_strategy(), b in word_strategy()) {
+        let (sa, sb) = (word_set(&a), word_set(&b));
+        // Dice = 2J/(1+J) ≥ J for J in [0,1].
+        prop_assert!(dice(&sa, &sb) + 1e-12 >= jaccard(&sa, &sb));
+    }
+
+    #[test]
+    fn overlap_ge_jaccard(a in word_strategy(), b in word_strategy()) {
+        let (sa, sb) = (word_set(&a), word_set(&b));
+        prop_assert!(overlap_coefficient(&sa, &sb) + 1e-12 >= jaccard(&sa, &sb));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(ab, levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn jaro_winkler_bounds(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((0.0..=1.0).contains(&jw));
+        prop_assert!(jw + 1e-12 >= j);
+        prop_assert!((jaro(&b, &a) - j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_cosine_bounds(a in word_strategy(), b in word_strategy(), c in word_strategy()) {
+        let docs = [word_set(&a), word_set(&b), word_set(&c)];
+        let stats = CorpusStats::from_documents(docs.iter());
+        let s = tfidf_cosine(&docs[0], &docs[1], &stats);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        // Self-similarity is 1 unless every token has zero IDF (appears
+        // in all documents), in which case the vector is zero and the
+        // kernel reports 0 by convention.
+        let has_idf_mass = docs[0].as_slice().iter().any(|&t| stats.idf(t) > 0.0);
+        let self_sim = tfidf_cosine(&docs[0], &docs[0], &stats);
+        if !docs[0].is_empty() && has_idf_mass {
+            prop_assert!((self_sim - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(self_sim == 0.0 || (self_sim - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,30}") {
+        let once = normalize::normalize(&s);
+        prop_assert_eq!(normalize::normalize(&once), once.clone());
+        // normalized text has no double spaces and no leading/trailing space
+        prop_assert!(!once.contains("  "));
+        prop_assert_eq!(once.trim(), &once);
+    }
+
+    #[test]
+    fn qgram_identity(s in "[a-f]{0,12}") {
+        let q = qgram_set(&s, 3);
+        if !s.is_empty() {
+            prop_assert!(!q.is_empty());
+            prop_assert_eq!(jaccard(&q, &qgram_set(&s, 3)), 1.0);
+        }
+    }
+
+    #[test]
+    fn intersection_size_correct(a in word_strategy(), b in word_strategy()) {
+        let (sa, sb) = (word_set(&a), word_set(&b));
+        let brute = sa
+            .as_slice()
+            .iter()
+            .filter(|t| sb.as_slice().contains(t))
+            .count();
+        prop_assert_eq!(sa.intersection_size(&sb), brute);
+        prop_assert_eq!(sa.union_size(&sb), sa.len() + sb.len() - brute);
+    }
+}

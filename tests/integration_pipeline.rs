@@ -1,0 +1,131 @@
+//! Cross-crate integration: the PrunedDedup pipeline on all three
+//! generated datasets, checking the paper's qualitative claims at test
+//! scale: heavy collapse, m tracking K, strong pruning for small K.
+
+use topk_core::{PipelineConfig, PrunedDedup};
+use topk_predicates::{address_predicates, citation_predicates, student_predicates};
+use topk_records::tokenize_dataset;
+
+#[test]
+fn citation_pipeline_prunes_hard_for_small_k() {
+    let data = topk_datagen::generate_citations(&topk_datagen::CitationConfig {
+        n_authors: 500,
+        n_citations: 2_500,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = citation_predicates(data.schema(), &toks);
+    let out = PrunedDedup::new(
+        &toks,
+        &stack,
+        PipelineConfig {
+            k: 1,
+            ..Default::default()
+        },
+    )
+    .run();
+    // Small K must shrink the data dramatically (paper: to ~1%; allow
+    // slack at test scale).
+    assert!(
+        out.stats.final_pct() < 30.0,
+        "pruned to only {:.1}%",
+        out.stats.final_pct()
+    );
+    // m should track K closely for K=1 (paper §6.2 tightness claim).
+    let it = &out.stats.iterations[0];
+    assert!(it.m <= 25, "m={} too loose for K=1", it.m);
+    assert!(it.lower_bound >= 1.0);
+}
+
+#[test]
+fn student_pipeline_monotone_in_k() {
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: 300,
+        n_records: 1_500,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = student_predicates(data.schema());
+    let mut previous = 0usize;
+    for k in [1usize, 5, 20, 80] {
+        let out = PrunedDedup::new(
+            &toks,
+            &stack,
+            PipelineConfig {
+                k,
+                ..Default::default()
+            },
+        )
+        .run();
+        let n_final = out.stats.final_group_count();
+        assert!(
+            n_final >= previous,
+            "larger K must keep at least as many groups (K={k}: {n_final} < {previous})"
+        );
+        assert!(n_final >= k.min(toks.len()));
+        previous = n_final;
+    }
+}
+
+#[test]
+fn address_pipeline_single_level() {
+    let data = topk_datagen::generate_addresses(&topk_datagen::AddressConfig {
+        n_entities: 300,
+        n_records: 1_200,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = address_predicates(data.schema());
+    let out = PrunedDedup::new(
+        &toks,
+        &stack,
+        PipelineConfig {
+            k: 5,
+            ..Default::default()
+        },
+    )
+    .run();
+    assert_eq!(out.stats.iterations.len(), 1, "address stack has one level");
+    assert!(out.stats.final_pct() < 60.0);
+    // All surviving groups' weights are consistent with members.
+    let weights = data.weights();
+    for g in &out.groups {
+        let sum: f64 = g.members.iter().map(|&m| weights[m as usize]).sum();
+        assert!((sum - g.weight).abs() < 1e-6);
+        assert!(g.members.contains(&g.rep));
+    }
+}
+
+#[test]
+fn collapse_never_merges_across_truth() {
+    // Sufficient predicates must be sound: collapsed groups stay within
+    // ground-truth entities on every dataset.
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: 200,
+        n_records: 900,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let stack = student_predicates(data.schema());
+    let truth = data.truth().unwrap();
+    let out = PrunedDedup::new(
+        &toks,
+        &stack,
+        PipelineConfig {
+            k: 5,
+            mode: topk_core::PruningMode::CanopyCollapse,
+            ..Default::default()
+        },
+    )
+    .run();
+    for g in &out.groups {
+        let first = truth.label(g.members[0] as usize);
+        for &m in &g.members {
+            assert_eq!(
+                truth.label(m as usize),
+                first,
+                "collapse merged two distinct students"
+            );
+        }
+    }
+}

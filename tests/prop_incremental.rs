@@ -1,0 +1,73 @@
+//! Property test: the incremental collapse is exactly the batch collapse
+//! on arbitrary insertion prefixes of generated datasets.
+
+use proptest::prelude::*;
+
+use topk_core::IncrementalDedup;
+use topk_datagen::{generate_addresses, AddressConfig};
+use topk_predicates::{address_predicates, collapse};
+use topk_records::{tokenize_dataset, TokenizedRecord};
+
+fn normalized_groups(groups: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    let mut gs = groups;
+    for g in &mut gs {
+        g.sort_unstable();
+    }
+    gs.sort();
+    gs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn incremental_equals_batch_on_any_prefix(
+        seed in 0u64..300,
+        prefix_frac in 0.2f64..1.0,
+    ) {
+        let data = generate_addresses(&AddressConfig {
+            n_entities: 40,
+            n_records: 180,
+            seed,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&data);
+        let stack = address_predicates(data.schema());
+        let s = stack.levels[0].0.as_ref();
+
+        let prefix = ((toks.len() as f64 * prefix_frac) as usize).max(1);
+        let mut inc = IncrementalDedup::new();
+        for t in toks.iter().take(prefix) {
+            inc.insert(t.clone(), s);
+        }
+
+        let refs: Vec<&TokenizedRecord> = toks.iter().take(prefix).collect();
+        let weights: Vec<f64> = refs.iter().map(|t| t.weight()).collect();
+        let batch = collapse(&refs, &weights, s);
+
+        prop_assert_eq!(inc.group_count(), batch.len());
+        let inc_sets = normalized_groups(inc.groups().into_iter().map(|g| g.members).collect());
+        let batch_sets = normalized_groups(batch.into_iter().map(|g| g.members).collect());
+        prop_assert_eq!(inc_sets, batch_sets);
+    }
+
+    #[test]
+    fn incremental_weights_match_inputs(seed in 0u64..300) {
+        let data = generate_addresses(&AddressConfig {
+            n_entities: 30,
+            n_records: 120,
+            seed,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&data);
+        let stack = address_predicates(data.schema());
+        let s = stack.levels[0].0.as_ref();
+        let mut inc = IncrementalDedup::new();
+        for t in &toks {
+            inc.insert(t.clone(), s);
+        }
+        let total_in: f64 = toks.iter().map(|t| t.weight()).sum();
+        let total_out: f64 = inc.groups().iter().map(|g| g.weight).sum();
+        prop_assert!((total_in - total_out).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the pruning guarantees (§4.2-§4.3): pruning must
+//! never discard anything that could participate in a TopK answer.
+
+use proptest::prelude::*;
+
+use topk_core::{PipelineConfig, PrunedDedup, PruningMode};
+use topk_datagen::{generate_addresses, AddressConfig};
+use topk_predicates::address_predicates;
+use topk_records::tokenize_dataset;
+
+fn config(seed: u64, n_entities: usize, n_records: usize) -> AddressConfig {
+    AddressConfig {
+        n_entities,
+        n_records,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Safety: every collapsed group whose weight reaches the certified
+    /// lower bound M survives the prune, and everything the prune keeps
+    /// is an unmodified collapsed group. (Single-level stack so collapse
+    /// output is directly comparable.)
+    #[test]
+    fn heavy_groups_survive_pruning(
+        seed in 0u64..500,
+        k in 1usize..6,
+        n_entities in 30usize..80,
+    ) {
+        let data = generate_addresses(&config(seed, n_entities, n_entities * 4));
+        let toks = tokenize_dataset(&data);
+        let stack = address_predicates(data.schema());
+
+        let all = PrunedDedup::new(&toks, &stack, PipelineConfig {
+            k, mode: PruningMode::CanopyCollapse, ..Default::default()
+        }).run();
+        let pruned = PrunedDedup::new(&toks, &stack, PipelineConfig {
+            k, mode: PruningMode::Full, ..Default::default()
+        }).run();
+        let m_bound = pruned.last_lower_bound;
+
+        let kept: std::collections::HashSet<Vec<u32>> = pruned
+            .groups
+            .iter()
+            .map(|g| {
+                let mut m = g.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        let all_sets: std::collections::HashSet<Vec<u32>> = all
+            .groups
+            .iter()
+            .map(|g| {
+                let mut m = g.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+
+        // Everything kept is a genuine collapsed group.
+        for g in &kept {
+            prop_assert!(all_sets.contains(g), "prune invented a group");
+        }
+        // Every group at or above M survives.
+        for g in &all.groups {
+            if g.weight >= m_bound {
+                let mut m = g.members.clone();
+                m.sort_unstable();
+                prop_assert!(
+                    kept.contains(&m),
+                    "group of weight {} >= M={} was pruned", g.weight, m_bound
+                );
+            }
+        }
+        // And the certified bound is consistent: at least K collapsed
+        // groups weigh >= M (they exist, since M is a lower bound on the
+        // K-th answer group).
+        if m_bound > 0.0 {
+            let heavy = all.groups.iter().filter(|g| g.weight >= m_bound).count();
+            prop_assert!(heavy >= k.min(all.groups.len()),
+                "only {heavy} groups reach M={m_bound} for K={k}");
+        }
+    }
+
+    /// The certified lower bound never exceeds the K-th collapsed group's
+    /// weight, and m ≥ K.
+    #[test]
+    fn lower_bound_sane(
+        seed in 0u64..500,
+        k in 1usize..6,
+    ) {
+        let data = generate_addresses(&config(seed, 50, 200));
+        let toks = tokenize_dataset(&data);
+        let stack = address_predicates(data.schema());
+        let out = PrunedDedup::new(&toks, &stack, PipelineConfig {
+            k, ..Default::default()
+        }).run();
+        let it = &out.stats.iterations[0];
+        if it.lower_bound > 0.0 {
+            prop_assert!(it.m >= k, "m={} < K={k}", it.m);
+            // M = weight of the m-th collapsed group ≤ weight of the K-th
+            // (weights sorted non-increasing, m ≥ K).
+            let all = PrunedDedup::new(&toks, &stack, PipelineConfig {
+                k, mode: PruningMode::CanopyCollapse, ..Default::default()
+            }).run();
+            if all.groups.len() >= k {
+                prop_assert!(it.lower_bound <= all.groups[k - 1].weight + 1e-9);
+            }
+        }
+    }
+}
