@@ -3,7 +3,8 @@
 //! Canopy+Collapse+Prune on a citation subset).
 //!
 //! ```sh
-//! cargo run -p topk-bench --release --bin exp_timing -- [subset_size] [--with-none]
+//! cargo run -p topk-bench --release --bin exp_timing -- [subset_size] [--with-none] \
+//!     [--threads 1,2,4,8]
 //! ```
 //!
 //! All four configurations share the same final step (score candidate
@@ -13,15 +14,21 @@
 //! is quadratic; by default it runs on a 3,000-record sample and reports
 //! a quadratic extrapolation (the paper itself had to cut Figure 6 down
 //! to 45k records because "the Canopy method took too long").
+//!
+//! `--threads` takes a comma-separated list of worker-thread counts
+//! (0 = auto-detect) and appends a per-stage thread-scaling table —
+//! tokenize / collapse / bound / prune / score wall-clock at K=10 for
+//! each count. Results are bit-identical across counts, so the table
+//! measures pure scheduling overhead and speedup.
 
 use std::time::Instant;
 
 use topk_bench::{train_scorer, LearnedScorer, Table};
 use topk_cluster::PairScorer;
-use topk_core::{PipelineConfig, PrunedDedup, PruningMode};
+use topk_core::{Parallelism, PipelineConfig, PrunedDedup, PruningMode};
 use topk_graph::UnionFind;
 use topk_predicates::{citation_predicates, PredicateStack};
-use topk_records::{tokenize_dataset, TokenizedRecord};
+use topk_records::{tokenize_dataset, tokenize_dataset_par, Dataset, TokenizedRecord};
 
 const KS: [usize; 5] = [1, 10, 100, 500, 1000];
 
@@ -82,6 +89,7 @@ fn timed(
     scorer: &LearnedScorer,
     k: usize,
     mode: PruningMode,
+    par: Parallelism,
 ) -> f64 {
     let t0 = Instant::now();
     let out = PrunedDedup::new(
@@ -90,6 +98,7 @@ fn timed(
         PipelineConfig {
             k,
             mode,
+            parallelism: par,
             ..Default::default()
         },
     )
@@ -99,14 +108,76 @@ fn timed(
     t0.elapsed().as_secs_f64()
 }
 
+/// Per-stage wall-clock of one full-pipeline run (K=10) at a given
+/// thread count, for the thread-scaling table.
+struct StageTimes {
+    tokenize: f64,
+    collapse: f64,
+    bound: f64,
+    prune: f64,
+    score: f64,
+    total: f64,
+}
+
+fn staged(
+    data: &Dataset,
+    stack: &PredicateStack,
+    scorer: &LearnedScorer,
+    par: Parallelism,
+) -> StageTimes {
+    let t0 = Instant::now();
+    let toks = tokenize_dataset_par(data, par);
+    let tokenize = t0.elapsed().as_secs_f64();
+    let out = PrunedDedup::new(
+        &toks,
+        stack,
+        PipelineConfig {
+            k: 10,
+            mode: PruningMode::Full,
+            parallelism: par,
+            ..Default::default()
+        },
+    )
+    .run();
+    let sum = |f: fn(&topk_core::IterationStats) -> std::time::Duration| -> f64 {
+        out.stats.iterations.iter().map(|it| f(it).as_secs_f64()).sum()
+    };
+    let t1 = Instant::now();
+    let _top = finish(&toks, &out.groups, stack, scorer, 10, true);
+    StageTimes {
+        tokenize,
+        collapse: sum(|it| it.collapse_time),
+        bound: sum(|it| it.bound_time),
+        prune: sum(|it| it.prune_time),
+        score: t1.elapsed().as_secs_f64(),
+        total: t0.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let with_none = args.iter().any(|a| a == "--with-none");
+    let thread_list: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
+                .collect()
+        })
+        .unwrap_or_default();
     let subset: usize = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads")
+        })
+        .and_then(|(_, a)| a.parse().ok())
         .unwrap_or(20_000);
+    // Figure 6 runs at the first requested thread count (auto when
+    // --threads is absent).
+    let par = Parallelism::threads(thread_list.first().copied().unwrap_or(0));
 
     let data = topk_bench::default_citations(false).head(subset);
     println!(
@@ -124,9 +195,9 @@ fn main() {
         "Canopy+Collapse+Prune (s)",
     ]);
     for k in KS {
-        let canopy = timed(&toks, &stack, &scorer, k, PruningMode::CanopyOnly);
-        let collapse = timed(&toks, &stack, &scorer, k, PruningMode::CanopyCollapse);
-        let full = timed(&toks, &stack, &scorer, k, PruningMode::Full);
+        let canopy = timed(&toks, &stack, &scorer, k, PruningMode::CanopyOnly, par);
+        let collapse = timed(&toks, &stack, &scorer, k, PruningMode::CanopyCollapse, par);
+        let full = timed(&toks, &stack, &scorer, k, PruningMode::Full, par);
         table.row(vec![
             k.to_string(),
             format!("{canopy:.2}"),
@@ -147,7 +218,7 @@ fn main() {
         let sample = data.head(3_000);
         let toks_s = tokenize_dataset(&sample);
         let stack_s = citation_predicates(sample.schema(), &toks_s);
-        let t = timed(&toks_s, &stack_s, &scorer, 10, PruningMode::NoOptimization);
+        let t = timed(&toks_s, &stack_s, &scorer, 10, PruningMode::NoOptimization, par);
         let scale = (data.len() as f64 / sample.len() as f64).powi(2);
         println!(
             "\n'None' (full Cartesian product): {t:.2}s on {} records, \
@@ -156,5 +227,41 @@ fn main() {
             t * scale,
             data.len()
         );
+    }
+
+    if thread_list.len() > 1 {
+        println!(
+            "\nThread scaling (full pipeline, K=10, {} records; \
+             {} core(s) detected):",
+            data.len(),
+            Parallelism::auto().get()
+        );
+        let mut scaling = Table::new(vec![
+            "threads",
+            "tokenize (s)",
+            "collapse (s)",
+            "bound (s)",
+            "prune (s)",
+            "score (s)",
+            "total (s)",
+            "speedup",
+        ]);
+        let mut base_total = None;
+        for &t in &thread_list {
+            let p = Parallelism::threads(t);
+            let st = staged(&data, &stack, &scorer, p);
+            let base = *base_total.get_or_insert(st.total);
+            scaling.row(vec![
+                format!("{}{}", p.get(), if t == 0 { " (auto)" } else { "" }),
+                format!("{:.3}", st.tokenize),
+                format!("{:.3}", st.collapse),
+                format!("{:.3}", st.bound),
+                format!("{:.3}", st.prune),
+                format!("{:.3}", st.score),
+                format!("{:.3}", st.total),
+                format!("{:.2}x", base / st.total.max(1e-9)),
+            ]);
+        }
+        println!("{scaling}");
     }
 }

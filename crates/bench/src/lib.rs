@@ -1,4 +1,23 @@
-//! Shared helpers for the experiment binaries and Criterion benches.
+//! Shared helpers for the experiment binaries and Criterion benches
+//! (paper §6 — every table and figure has a regenerating binary under
+//! `src/bin/`).
+//!
+//! * [`datasets`] — the default generated workloads standing in for the
+//!   paper's proprietary data (§6.1): Citations / Students / Addresses
+//!   at configurable scale, plus the four small labeled accuracy
+//!   datasets of Table 1.
+//! * [`scorers`] — trains the paper's learned pairwise classifier `P`
+//!   (§5.1, logistic regression over string-similarity features) on
+//!   generator ground truth.
+//! * [`table`] — aligned-column text tables for the experiment output,
+//!   in the layout of the paper's Figures 2-4.
+//!
+//! Binaries: `exp_pruning` (Figures 2-4), `exp_timing` (Figure 6 and
+//! the thread-scaling table — see `docs/PARALLELISM.md`), `exp_accuracy`
+//! (Table 1, Figure 7), `exp_blocking`, `exp_scaling`, `exp_quality`
+//! (extensions). See `EXPERIMENTS.md` for measured-vs-paper numbers.
+
+#![warn(missing_docs)]
 
 pub mod datasets;
 pub mod scorers;

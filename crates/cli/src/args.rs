@@ -24,7 +24,10 @@ options:
   --no-header      first row is data, not column names
   --weight-col F   column holding record weights (default: the __weight
                    column of topk-written TSVs, or 1.0 everywhere)
-  --label-col F    column holding ground-truth integer labels";
+  --label-col F    column holding ground-truth integer labels
+  --threads N      worker threads for the parallel pipeline stages
+                   (default 0 = all cores; 1 = sequential; results are
+                   identical for every setting)";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +67,8 @@ pub struct Options {
     pub weight_col: Option<String>,
     /// Label column name, if any.
     pub label_col: Option<String>,
+    /// Worker threads for the parallel stages (0 = auto-detect).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -81,6 +86,7 @@ impl Default for Options {
             has_header: true,
             weight_col: None,
             label_col: None,
+            threads: 0,
         }
     }
 }
@@ -127,6 +133,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--no-header" => opts.has_header = false,
             "--weight-col" => opts.weight_col = Some(next_value("--weight-col", &mut it)?),
             "--label-col" => opts.label_col = Some(next_value("--label-col", &mut it)?),
+            "--threads" => {
+                opts.threads = parse_num(&next_value("--threads", &mut it)?, "--threads")?
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if path.is_some() {
@@ -211,8 +220,19 @@ mod tests {
             Command::Rank(o) => {
                 assert_eq!(o.k, 10);
                 assert_eq!(o.max_df, 30);
+                assert_eq!(o.threads, 0, "threads default to auto-detect");
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_threads() {
+        let c = parse(&argv("count data.tsv --threads 4")).unwrap();
+        match c {
+            Command::Count(o) => assert_eq!(o.threads, 4),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("count data.tsv --threads x")).is_err());
     }
 }

@@ -1,8 +1,9 @@
 //! `topk` — TopK count/rank queries over a TSV dataset from the command
-//! line.
+//! line (the adoption surface over the library; queries are §4-5 count,
+//! §7.1 rank, and §7.2 thresholded).
 //!
 //! ```text
-//! topk count  <data.tsv> --k 10 --r 2 --name-field name [--weight-aware]
+//! topk count  <data.tsv> --k 10 --r 2 --name-field name
 //! topk rank   <data.tsv> --k 10 --name-field name
 //! topk thresh <data.tsv> --threshold 50 --name-field name
 //! ```
@@ -12,6 +13,15 @@
 //! a generic predicate stack over the chosen name field (rare-word
 //! sufficient predicate + 3-gram-overlap necessary predicate) and a
 //! built-in similarity scorer; for custom predicates use the library API.
+//!
+//! `--threads N` bounds the worker threads of the parallel pipeline
+//! stages (0 = auto-detect cores, 1 = sequential). Output is identical
+//! at every setting; see `docs/PARALLELISM.md`.
+//!
+//! Modules: `args` (hand-rolled flag parsing), `run` (load, build the
+//! stack, dispatch the query).
+
+#![warn(missing_docs)]
 
 use std::process::ExitCode;
 

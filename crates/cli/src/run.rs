@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use topk_core::{ThresholdedRankQuery, TopKQuery, TopKRankQuery};
+use topk_core::{Parallelism, ThresholdedRankQuery, TopKQuery, TopKRankQuery};
 use topk_predicates::{PredicateStack, QgramFractionNecessary, RareNameSufficient};
-use topk_records::{tokenize_dataset, Dataset, FieldId, TokenizedRecord};
+use topk_records::{tokenize_dataset_par, Dataset, FieldId, TokenizedRecord};
 use topk_text::CorpusStats;
 
 use crate::args::{Command, Options};
@@ -42,13 +42,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
         return Err("dataset is empty".into());
     }
     let field = resolve_field(&data, opts)?;
-    let toks = tokenize_dataset(&data);
+    let par = Parallelism::threads(opts.threads);
+    let toks = tokenize_dataset_par(&data, par);
     let stack = generic_stack(&toks, field, opts);
     eprintln!(
-        "{} records loaded from {}; matching on field `{}`",
+        "{} records loaded from {}; matching on field `{}` ({} thread{})",
         data.len(),
         opts.path.display(),
-        data.schema().field_name(field)
+        data.schema().field_name(field),
+        par.get(),
+        if par.get() == 1 { "" } else { "s" },
     );
 
     match kind {
@@ -114,6 +117,7 @@ fn run_count(
 ) {
     let mut q = TopKQuery::new(opts.k, opts.r);
     q.alpha = opts.alpha;
+    q.parallelism = Parallelism::threads(opts.threads);
     let scorer = scorer_for(field);
     let res = q.run(toks, stack, &scorer);
     for it in &res.stats.iterations {
@@ -147,7 +151,9 @@ fn run_rank(
     field: FieldId,
     opts: &Options,
 ) {
-    let res = TopKRankQuery::new(opts.k).run(toks, stack);
+    let mut q = TopKRankQuery::new(opts.k);
+    q.parallelism = Parallelism::threads(opts.threads);
+    let res = q.run(toks, stack);
     println!("# rank query, certified: {}", res.certified);
     for (rank, e) in res.entries.iter().enumerate() {
         println!(
@@ -168,7 +174,9 @@ fn run_thresh(
     opts: &Options,
 ) {
     let t = opts.threshold.expect("validated by the parser");
-    let res = ThresholdedRankQuery::new(t).run(toks, stack);
+    let mut q = ThresholdedRankQuery::new(t);
+    q.parallelism = Parallelism::threads(opts.threads);
+    let res = q.run(toks, stack);
     println!("# thresholded query T={t}, certified: {}", res.certified);
     for (rank, e) in res.entries.iter().enumerate() {
         println!(
@@ -228,6 +236,21 @@ mod tests {
         ])
         .unwrap();
         run(thresh).expect("thresh query runs");
+    }
+
+    #[test]
+    fn count_query_with_explicit_threads() {
+        let path = write_sample();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        run(cmd).expect("threaded count query runs");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Binary logistic regression — the paper's learned pairwise predicate
-//! ([31], §6.1): trained on labeled duplicate/non-duplicate pairs, its
+//! (\[31\], §6.1): trained on labeled duplicate/non-duplicate pairs, its
 //! signed log-odds output is exactly the `P(t1, t2)` score §5.1 needs.
 
 /// A trained logistic regression model.

@@ -1,6 +1,7 @@
 //! The decomposable correlation-clustering objective (paper §5.1, Eq. 1-2).
 
 use topk_records::{Partition, TokenizedRecord};
+use topk_text::Parallelism;
 
 use crate::scorer::PairScorer;
 
@@ -31,49 +32,33 @@ impl PairScores {
         weights: &[f64],
         scorer: &dyn PairScorer,
     ) -> Self {
+        Self::from_scorer_weighted_par(items, weights, scorer, Parallelism::auto())
+    }
+
+    /// [`PairScores::from_scorer_weighted`] with an explicit thread
+    /// budget. Each worker computes the `j > i` upper triangle of a
+    /// disjoint set of rows; rows are reassembled in index order and the
+    /// symmetric mirror filled afterwards, so the matrix is bit-identical
+    /// to the sequential result for every thread count.
+    pub fn from_scorer_weighted_par(
+        items: &[&TokenizedRecord],
+        weights: &[f64],
+        scorer: &dyn PairScorer,
+        par: Parallelism,
+    ) -> Self {
         assert_eq!(items.len(), weights.len());
         let n = items.len();
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        let rows = par.map_indices(n, |i| {
+            ((i + 1)..n)
+                .map(|j| scorer.score(items[i], items[j]) * weights[i] * weights[j])
+                .collect::<Vec<f64>>()
+        });
         let mut scores = vec![0.0; n * n];
-        if n < 64 || threads == 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let s = scorer.score(items[i], items[j]) * weights[i] * weights[j];
-                    scores[i * n + j] = s;
-                    scores[j * n + i] = s;
-                }
-            }
-        } else {
-            // Each worker fills whole rows (the j>i upper triangle of its
-            // rows, distributed round-robin so early short rows and late
-            // long rows balance); the symmetric mirror is filled
-            // afterwards so each cell has exactly one writer.
-            let mut batches: Vec<Vec<(usize, &mut [f64])>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (i, row) in scores.chunks_mut(n).enumerate() {
-                batches[i % threads].push((i, row));
-            }
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for batch in batches {
-                    handles.push(scope.spawn(move |_| {
-                        for (i, row) in batch {
-                            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
-                                *cell =
-                                    scorer.score(items[i], items[j]) * weights[i] * weights[j];
-                            }
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("scoring worker panicked");
-                }
-            })
-            .expect("crossbeam scope failed");
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    scores[j * n + i] = scores[i * n + j];
-                }
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, s) in row.into_iter().enumerate() {
+                let j = i + 1 + off;
+                scores[i * n + j] = s;
+                scores[j * n + i] = s;
             }
         }
         PairScores { n, scores }
@@ -308,7 +293,45 @@ mod parallel_tests {
     use topk_records::TokenizedRecord;
 
     /// The parallel path (n ≥ 64) must produce exactly the same matrix as
-    /// the sequential path.
+    /// the sequential path, for every thread count.
+    #[test]
+    fn explicit_thread_counts_match_sequential() {
+        let recs: Vec<TokenizedRecord> = (0..100)
+            .map(|i| TokenizedRecord::from_fields(&[format!("rec{} y{}", i % 9, i)], 1.0))
+            .collect();
+        let items: Vec<&TokenizedRecord> = recs.iter().collect();
+        let weights: Vec<f64> = (0..100).map(|i| 0.5 + (i % 5) as f64).collect();
+        let scorer = |a: &TokenizedRecord, b: &TokenizedRecord| {
+            topk_text::sim::jaccard(
+                &a.field(topk_records::FieldId(0)).words,
+                &b.field(topk_records::FieldId(0)).words,
+            ) - 0.25
+        };
+        let seq = PairScores::from_scorer_weighted_par(
+            &items,
+            &weights,
+            &scorer,
+            Parallelism::sequential(),
+        );
+        for t in [2usize, 4, 8] {
+            let par = PairScores::from_scorer_weighted_par(
+                &items,
+                &weights,
+                &scorer,
+                Parallelism::threads(t),
+            );
+            for i in 0..items.len() {
+                for j in 0..items.len() {
+                    assert_eq!(
+                        seq.get(i, j).to_bits(),
+                        par.get(i, j).to_bits(),
+                        "threads={t} mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn parallel_scoring_matches_sequential() {
         let recs: Vec<TokenizedRecord> = (0..80)

@@ -3,7 +3,7 @@
 use topk_graph::{cpn_lower_bound, Graph};
 use topk_predicates::NecessaryPredicate;
 use topk_records::TokenizedRecord;
-use topk_text::InvertedIndex;
+use topk_text::{InvertedIndex, Parallelism};
 
 /// Output of [`estimate_lower_bound`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,10 +228,38 @@ pub fn prune_groups_fast(
     m_bound: f64,
     refine_iterations: usize,
 ) -> Vec<u32> {
+    prune_groups_fast_par(
+        reps,
+        weights,
+        pred,
+        m_bound,
+        refine_iterations,
+        Parallelism::sequential(),
+    )
+}
+
+/// [`prune_groups_fast`] with an explicit thread budget.
+///
+/// Four sub-stages fan out over scoped threads: candidate-token
+/// extraction, canopy candidate retrieval (read-only index probes), the
+/// refinement passes (each pass reads the *previous* pass's bounds — a
+/// frozen snapshot — and writes disjoint entries, reassembled in index
+/// order), and the final lazy verification filter. Per-group neighbor
+/// sums always iterate that group's candidate list in the same order, so
+/// every float accumulates identically and the kept set is bit-identical
+/// to the sequential path for any thread count.
+pub fn prune_groups_fast_par(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    pred: &dyn NecessaryPredicate,
+    m_bound: f64,
+    refine_iterations: usize,
+    par: Parallelism,
+) -> Vec<u32> {
     assert_eq!(reps.len(), weights.len());
     let n = reps.len();
     let mut index = InvertedIndex::new();
-    let token_sets: Vec<_> = reps.iter().map(|r| pred.candidate_tokens(r)).collect();
+    let token_sets = par.map_slice(reps, |r| pred.candidate_tokens(r));
     for (i, ts) in token_sets.iter().enumerate() {
         index.insert(i as u32, ts);
     }
@@ -239,62 +267,57 @@ pub fn prune_groups_fast(
     // Candidate sets only for light groups — heavy groups are kept
     // unconditionally and (since u ≥ w ≥ M) always contribute to their
     // neighbors' bounds without needing their own bound.
-    let candidates: Vec<Vec<u32>> = (0..n)
-        .map(|i| {
+    let candidates: Vec<Vec<u32>> = par.map_indices(n, |i| {
+        if heavy[i] {
+            Vec::new()
+        } else {
+            index.candidates(&token_sets[i], pred.min_common_tokens(), Some(i as u32))
+        }
+    });
+    let mut upper: Vec<f64> = par.map_indices(n, |i| {
+        if heavy[i] {
+            f64::INFINITY
+        } else {
+            weights[i]
+                + candidates[i]
+                    .iter()
+                    .map(|&j| weights[j as usize])
+                    .sum::<f64>()
+        }
+    });
+    for _ in 0..refine_iterations {
+        let prev = upper;
+        upper = par.map_indices(n, |i| {
             if heavy[i] {
-                Vec::new()
-            } else {
-                index.candidates(&token_sets[i], pred.min_common_tokens(), Some(i as u32))
-            }
-        })
-        .collect();
-    let mut upper: Vec<f64> = (0..n)
-        .map(|i| {
-            if heavy[i] {
-                f64::INFINITY
+                prev[i]
             } else {
                 weights[i]
                     + candidates[i]
                         .iter()
+                        .filter(|&&j| prev[j as usize] > m_bound)
                         .map(|&j| weights[j as usize])
                         .sum::<f64>()
             }
-        })
-        .collect();
-    for _ in 0..refine_iterations {
-        let prev = upper.clone();
-        for i in 0..n {
-            if heavy[i] {
-                continue;
-            }
-            upper[i] = weights[i]
-                + candidates[i]
-                    .iter()
-                    .filter(|&&j| prev[j as usize] > m_bound)
-                    .map(|&j| weights[j as usize])
-                    .sum::<f64>();
-        }
+        });
     }
     // Lazy verification pass for borderline survivors: drop candidates
     // that fail the real predicate or whose own (loose) bound fell to ≤ M.
-    (0..n as u32)
-        .filter(|&i| {
-            let iu = i as usize;
-            if heavy[iu] {
-                return true;
-            }
-            if upper[iu] <= m_bound {
-                return false;
-            }
-            let verified: f64 = candidates[iu]
-                .iter()
-                .filter(|&&j| upper[j as usize] > m_bound)
-                .filter(|&&j| pred.matches(reps[iu], reps[j as usize]))
-                .map(|&j| weights[j as usize])
-                .sum();
-            weights[iu] + verified > m_bound
-        })
-        .collect()
+    let keep = par.map_indices(n, |iu| {
+        if heavy[iu] {
+            return true;
+        }
+        if upper[iu] <= m_bound {
+            return false;
+        }
+        let verified: f64 = candidates[iu]
+            .iter()
+            .filter(|&&j| upper[j as usize] > m_bound)
+            .filter(|&&j| pred.matches(reps[iu], reps[j as usize]))
+            .map(|&j| weights[j as usize])
+            .sum();
+        weights[iu] + verified > m_bound
+    });
+    (0..n as u32).filter(|&i| keep[i as usize]).collect()
 }
 
 #[cfg(test)]

@@ -19,6 +19,22 @@
 //!
 //! Rank-only and thresholded variants (§7) are in [`queries`].
 //!
+//! # Module map
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`pipeline`] | Algorithm 2 (PrunedDedup), Figure 6 ablation modes |
+//! | [`bounds`] | §4.2 lower bound `M` (CPN), §4.3 iterative upper bounds |
+//! | [`queries`] | §5 count query, §7.1 rank, §7.2 thresholded |
+//! | [`stats`] | per-iteration `n, m, M, n′` of Figures 2-4 |
+//! | [`incremental`] | evolving-feed collapse maintenance (extension) |
+//! | [`dedup`] | conventional §3 batch dedup baseline |
+//! | [`avg`] | TopK-average query (conclusion's "more aggregates") |
+//!
+//! The collapse/bound/prune hot paths fan out over a [`Parallelism`]
+//! thread budget ([`PipelineConfig::parallelism`]) with bit-identical
+//! results at every thread count; see `docs/PARALLELISM.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +64,12 @@
 //! assert!(result.stats.final_group_count() < toks.len());
 //! ```
 
+// Compile the README's code blocks (the quickstart) as doctests so the
+// front-page example can never rot.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+struct ReadmeDoctests;
+
 pub mod avg;
 pub mod bounds;
 pub mod dedup;
@@ -70,3 +92,4 @@ pub use avg::{AvgEntry, AvgResult, TopKAvgQuery};
 pub use dedup::{deduplicate, DedupResult};
 pub use incremental::IncrementalDedup;
 pub use stats::{IterationStats, PipelineStats};
+pub use topk_text::Parallelism;

@@ -2,10 +2,11 @@
 
 use std::time::Instant;
 
-use topk_predicates::{collapse, PredicateStack};
+use topk_predicates::{collapse_par, PredicateStack};
 use topk_records::TokenizedRecord;
+use topk_text::Parallelism;
 
-use crate::bounds::{estimate_lower_bound, prune_groups_fast};
+use crate::bounds::{estimate_lower_bound, prune_groups_fast_par};
 use crate::stats::{IterationStats, PipelineStats};
 
 /// Which optimizations to apply — the four configurations compared in the
@@ -36,6 +37,10 @@ pub struct PipelineConfig {
     pub refine_iterations: usize,
     /// Optimization level (Figure 6 ablations).
     pub mode: PruningMode,
+    /// Thread budget for the collapse and prune hot paths. Results are
+    /// identical for every setting (see `docs/PARALLELISM.md`); this only
+    /// trades wall-clock for cores.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +49,7 @@ impl Default for PipelineConfig {
             k: 10,
             refine_iterations: 2,
             mode: PruningMode::Full,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -89,8 +95,10 @@ impl<'a> PrunedDedup<'a> {
     pub fn run(&self) -> PipelineOutcome {
         let start = Instant::now();
         let d = self.toks.len();
+        let par = self.cfg.parallelism;
         let mut stats = PipelineStats {
             original_records: d,
+            threads: par.get(),
             ..Default::default()
         };
         // Current units: (members, rep, weight), initially one per record.
@@ -115,7 +123,7 @@ impl<'a> PrunedDedup<'a> {
                 let reps: Vec<&TokenizedRecord> =
                     units.iter().map(|u| &self.toks[u.rep as usize]).collect();
                 let weights: Vec<f64> = units.iter().map(|u| u.weight).collect();
-                let collapsed = collapse(&reps, &weights, s_pred.as_ref());
+                let collapsed = collapse_par(&reps, &weights, s_pred.as_ref(), par);
                 // Merge member lists according to the collapse result.
                 let mut next_units: Vec<FinalGroup> = collapsed
                     .iter()
@@ -144,12 +152,13 @@ impl<'a> PrunedDedup<'a> {
                     let lb = estimate_lower_bound(&reps, &weights, n_pred.as_ref(), self.cfg.k);
                     let bound_time = t1.elapsed();
                     let t2 = Instant::now();
-                    let kept_ids = prune_groups_fast(
+                    let kept_ids = prune_groups_fast_par(
                         &reps,
                         &weights,
                         n_pred.as_ref(),
                         lb.lower_bound,
                         self.cfg.refine_iterations,
+                        par,
                     );
                     let prune_time = t2.elapsed();
                     let kept: Vec<FinalGroup> = kept_ids

@@ -5,8 +5,9 @@ use topk_cluster::{
     agglomerate, frontier_topr, greedy_embedding, segment_topk, segment_topk_sparse, Linkage,
     PairScorer, PairScores, SegmentConfig, SparseScores,
 };
-use topk_predicates::{collapse, PredicateStack};
+use topk_predicates::{collapse_par, PredicateStack};
 use topk_records::TokenizedRecord;
+use topk_text::Parallelism;
 
 use crate::bounds::prune_groups;
 use crate::pipeline::{FinalGroup, PipelineConfig, PrunedDedup, PruningMode};
@@ -88,6 +89,9 @@ pub struct TopKQuery {
     pub mode: PruningMode,
     /// Which §5 machinery produces the answers.
     pub method: AnswerMethod,
+    /// Thread budget for the pipeline and the final scoring pass;
+    /// results are identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl TopKQuery {
@@ -105,6 +109,7 @@ impl TopKQuery {
             refine_iterations: 2,
             mode: PruningMode::Full,
             method: AnswerMethod::Segmentation,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -122,6 +127,7 @@ impl TopKQuery {
                 k: self.k,
                 refine_iterations: self.refine_iterations,
                 mode: self.mode,
+                parallelism: self.parallelism,
             },
         )
         .run();
@@ -174,16 +180,25 @@ fn final_answers(
         let mut ss = SparseScores::new(weights.clone(), non_canopy_score.min(-1e-9));
         if let Some(n_pred) = last_n {
             let mut index = topk_text::InvertedIndex::new();
-            let token_sets: Vec<_> = reps.iter().map(|rp| n_pred.candidate_tokens(rp)).collect();
+            let token_sets = q.parallelism.map_slice(&reps, |rp| n_pred.candidate_tokens(rp));
             for (i, ts) in token_sets.iter().enumerate() {
                 index.insert(i as u32, ts);
             }
-            for (i, ts) in token_sets.iter().enumerate() {
-                for j in index.candidates(ts, n_pred.min_common_tokens(), Some(i as u32)) {
-                    let j = j as usize;
-                    if j > i && n_pred.matches(reps[i], reps[j]) {
-                        ss.insert(i, j, scorer.score(reps[i], reps[j]) * weights[i] * weights[j]);
-                    }
+            // Score canopy pairs in parallel (row-sharded, read-only
+            // probes), then insert sequentially in row order so the
+            // sparse matrix is built identically for every thread count.
+            let scored = q.parallelism.map_indices(n, |i| {
+                index
+                    .candidates(&token_sets[i], n_pred.min_common_tokens(), Some(i as u32))
+                    .into_iter()
+                    .map(|j| j as usize)
+                    .filter(|&j| j > i && n_pred.matches(reps[i], reps[j]))
+                    .map(|j| (j, scorer.score(reps[i], reps[j]) * weights[i] * weights[j]))
+                    .collect::<Vec<(usize, f64)>>()
+            });
+            for (i, row) in scored.into_iter().enumerate() {
+                for (j, s) in row {
+                    ss.insert(i, j, s);
                 }
             }
         }
@@ -208,18 +223,23 @@ fn final_answers(
         return dedup_answers(candidates, groups, &weights, k, r);
     }
 
-    let mut pairs = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let canopy = last_n.map_or(true, |p| p.matches(reps[i], reps[j]));
-            let s = if canopy {
-                scorer.score(reps[i], reps[j])
-            } else {
-                non_canopy_score
-            };
-            pairs.push((i, j, s * weights[i] * weights[j]));
-        }
-    }
+    // Dense path: score each row's upper triangle in parallel; rows are
+    // reassembled in index order, so the pair list (and hence the score
+    // matrix) matches the sequential double loop exactly.
+    let rows = q.parallelism.map_indices(n, |i| {
+        ((i + 1)..n)
+            .map(|j| {
+                let canopy = last_n.map_or(true, |p| p.matches(reps[i], reps[j]));
+                let s = if canopy {
+                    scorer.score(reps[i], reps[j])
+                } else {
+                    non_canopy_score
+                };
+                (i, j, s * weights[i] * weights[j])
+            })
+            .collect::<Vec<(usize, usize, f64)>>()
+    });
+    let pairs: Vec<(usize, usize, f64)> = rows.into_iter().flatten().collect();
     let ps = PairScores::from_pairs(n, &pairs);
     // Candidate groupings: (score, clusters of unit indices).
     let candidates: Vec<(f64, Vec<Vec<usize>>)> = match method {
@@ -372,6 +392,8 @@ pub struct TopKRankQuery {
     pub k: usize,
     /// Upper-bound refinement passes.
     pub refine_iterations: usize,
+    /// Thread budget for the pipeline stages.
+    pub parallelism: Parallelism,
 }
 
 impl TopKRankQuery {
@@ -380,6 +402,7 @@ impl TopKRankQuery {
         TopKRankQuery {
             k,
             refine_iterations: 2,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -392,6 +415,7 @@ impl TopKRankQuery {
                 k: self.k,
                 refine_iterations: self.refine_iterations,
                 mode: PruningMode::Full,
+                parallelism: self.parallelism,
             },
         )
         .run();
@@ -535,6 +559,8 @@ pub struct ThresholdedRankQuery {
     pub threshold: f64,
     /// Upper-bound refinement passes.
     pub refine_iterations: usize,
+    /// Thread budget for the collapse stages.
+    pub parallelism: Parallelism,
 }
 
 impl ThresholdedRankQuery {
@@ -543,6 +569,7 @@ impl ThresholdedRankQuery {
         ThresholdedRankQuery {
             threshold,
             refine_iterations: 2,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -552,6 +579,7 @@ impl ThresholdedRankQuery {
         let d = toks.len();
         let mut stats = PipelineStats {
             original_records: d,
+            threads: self.parallelism.get(),
             ..Default::default()
         };
         let mut units: Vec<FinalGroup> = (0..d as u32)
@@ -566,7 +594,7 @@ impl ThresholdedRankQuery {
             let t0 = std::time::Instant::now();
             let reps: Vec<&TokenizedRecord> = units.iter().map(|u| &toks[u.rep as usize]).collect();
             let weights: Vec<f64> = units.iter().map(|u| u.weight).collect();
-            let collapsed = collapse(&reps, &weights, s_pred.as_ref());
+            let collapsed = collapse_par(&reps, &weights, s_pred.as_ref(), self.parallelism);
             let next_units: Vec<FinalGroup> = collapsed
                 .iter()
                 .map(|g| {

@@ -39,6 +39,9 @@ pub struct PipelineStats {
     pub iterations: Vec<IterationStats>,
     /// Total pipeline wall-clock time.
     pub total_time: Duration,
+    /// Worker threads the parallel stages were allowed to use (1 =
+    /// sequential; 0 when the run predates thread accounting).
+    pub threads: usize,
 }
 
 impl PipelineStats {
@@ -93,10 +96,12 @@ impl std::fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "pipeline over {} records ({} iterations, {:?} total):",
+            "pipeline over {} records ({} iterations, {:?} total, {} thread{}):",
             self.original_records,
             self.iterations.len(),
-            self.total_time
+            self.total_time,
+            self.threads.max(1),
+            if self.threads.max(1) == 1 { "" } else { "s" },
         )?;
         for it in &self.iterations {
             writeln!(
@@ -140,9 +145,11 @@ mod display_tests {
                 prune_time: Duration::from_millis(2),
             }],
             total_time: Duration::from_millis(9),
+            threads: 4,
         };
         let text = s.to_string();
         assert!(text.contains("10 records"));
+        assert!(text.contains("4 threads"));
         assert!(text.contains("it1"));
         assert!(text.contains("M=3.0"));
     }

@@ -1,5 +1,5 @@
 //! Synthetic product-offer dataset — the comparison-shopping record
-//! linkage scenario of the paper's reference [7] (Bilenko et al.,
+//! linkage scenario of the paper's reference \[7\] (Bilenko et al.,
 //! "Adaptive product normalization"). The TopK query: which products
 //! have the most offers?
 //!

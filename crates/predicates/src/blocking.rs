@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use topk_records::TokenizedRecord;
-use topk_text::InvertedIndex;
+use topk_text::{InvertedIndex, Parallelism};
 
 use crate::traits::{NecessaryPredicate, SufficientPredicate};
 
@@ -17,9 +17,23 @@ pub struct BlockIndex {
 impl BlockIndex {
     /// Build blocks for `reps` under `s`.
     pub fn build(reps: &[&TokenizedRecord], s: &dyn SufficientPredicate) -> Self {
+        Self::build_par(reps, s, Parallelism::sequential())
+    }
+
+    /// [`BlockIndex::build`] with an explicit thread budget: per-record
+    /// blocking-key generation (the expensive part — key derivation
+    /// hashes and normalizes field text) fans out over scoped threads;
+    /// the hash-map insertion runs sequentially in record order, so each
+    /// block's member list is identical to the sequential build.
+    pub fn build_par(
+        reps: &[&TokenizedRecord],
+        s: &dyn SufficientPredicate,
+        par: Parallelism,
+    ) -> Self {
+        let keys: Vec<Vec<u64>> = par.map_slice(reps, |r| s.blocking_keys(r));
         let mut blocks: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, r) in reps.iter().enumerate() {
-            for k in s.blocking_keys(r) {
+        for (i, ks) in keys.iter().enumerate() {
+            for &k in ks {
                 blocks.entry(k).or_default().push(i as u32);
             }
         }

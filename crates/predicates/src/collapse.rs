@@ -8,6 +8,7 @@
 
 use topk_graph::UnionFind;
 use topk_records::TokenizedRecord;
+use topk_text::Parallelism;
 
 use crate::blocking::BlockIndex;
 use crate::traits::SufficientPredicate;
@@ -36,23 +37,74 @@ pub fn collapse(
     weights: &[f64],
     s: &dyn SufficientPredicate,
 ) -> Vec<CollapsedGroup> {
+    collapse_par(reps, weights, s, Parallelism::sequential())
+}
+
+/// [`collapse`] with an explicit thread budget.
+///
+/// Blocking-key generation fans out per record; candidate *pair* search
+/// fans out per shard of blocks, each worker testing `S.matches` inside
+/// its own blocks (with a shard-local union-find to skip pairs already
+/// connected within the shard); all matched pairs then feed a **single
+/// sequential union-find reducer**. Union-find components are invariant
+/// to union order and the groups are sorted by `(weight desc, rep)` at
+/// the end, so the result is identical to the sequential path for every
+/// thread count.
+pub fn collapse_par(
+    reps: &[&TokenizedRecord],
+    weights: &[f64],
+    s: &dyn SufficientPredicate,
+    par: Parallelism,
+) -> Vec<CollapsedGroup> {
     assert_eq!(reps.len(), weights.len());
     let n = reps.len();
     let mut uf = UnionFind::new(n);
-    let blocks = BlockIndex::build(reps, s);
-    for block in blocks.multi_member_blocks() {
-        if s.exact_on_key() {
-            // Whole block is one group by contract.
-            for &other in &block[1..] {
-                uf.union(block[0], other);
-            }
-        } else {
-            for (i, &a) in block.iter().enumerate() {
-                for &b in &block[i + 1..] {
-                    if !uf.same(a, b) && s.matches(reps[a as usize], reps[b as usize]) {
-                        uf.union(a, b);
+    let blocks = BlockIndex::build_par(reps, s, par);
+    if par.is_sequential() {
+        for block in blocks.multi_member_blocks() {
+            if s.exact_on_key() {
+                // Whole block is one group by contract.
+                for &other in &block[1..] {
+                    uf.union(block[0], other);
+                }
+            } else {
+                for (i, &a) in block.iter().enumerate() {
+                    for &b in &block[i + 1..] {
+                        if !uf.same(a, b) && s.matches(reps[a as usize], reps[b as usize]) {
+                            uf.union(a, b);
+                        }
                     }
                 }
+            }
+        }
+    } else {
+        let block_list: Vec<&[u32]> = blocks.multi_member_blocks().collect();
+        let pair_shards: Vec<Vec<(u32, u32)>> = par.map_chunks(block_list.len(), |range| {
+            let mut local = UnionFind::new(n);
+            let mut pairs = Vec::new();
+            for block in &block_list[range] {
+                if s.exact_on_key() {
+                    for &other in &block[1..] {
+                        pairs.push((block[0], other));
+                    }
+                } else {
+                    for (i, &a) in block.iter().enumerate() {
+                        for &b in &block[i + 1..] {
+                            if !local.same(a, b)
+                                && s.matches(reps[a as usize], reps[b as usize])
+                            {
+                                local.union(a, b);
+                                pairs.push((a, b));
+                            }
+                        }
+                    }
+                }
+            }
+            pairs
+        });
+        for shard in pair_shards {
+            for (a, b) in shard {
+                uf.union(a, b);
             }
         }
     }

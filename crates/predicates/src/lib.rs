@@ -26,7 +26,7 @@ pub mod traits;
 
 pub use blocking::{BlockIndex, NecessaryIndex};
 pub use canopy::{build_canopies, Canopies, CanopyConfig};
-pub use collapse::{collapse, CollapsedGroup};
+pub use collapse::{collapse, collapse_par, CollapsedGroup};
 pub use combine::{AndNecessary, AndSufficient, OrSufficient};
 pub use generic::*;
 pub use library::{

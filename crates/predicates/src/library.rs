@@ -169,7 +169,7 @@ pub fn web_predicates(schema: &Schema) -> PredicateStack {
 }
 
 /// Product-offer predicates (comparison-shopping scenario, paper
-/// reference [7]): one level.
+/// reference \[7\]): one level.
 ///
 /// * `S`: titles equal after squashing separators — catches the
 ///   "xk-240"/"xk 240"/"xk240" model re-segmentations merchants produce.

@@ -1,6 +1,6 @@
 //! Pairwise clustering evaluation — the metric of the paper's Figure 7.
 //!
-//! Figure 7 "measure[s] accuracy as pairwise F1 value which treats as
+//! Figure 7 "measure\[s\] accuracy as pairwise F1 value which treats as
 //! positive any pair of records that appears in the same cluster in the
 //! [exact solution], and negative otherwise."
 

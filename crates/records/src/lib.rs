@@ -22,4 +22,4 @@ pub use eval::{bcubed, pairwise_f1, BCubedScores, PairwiseScores};
 pub use partition::Partition;
 pub use record::{FieldId, Record, RecordId};
 pub use split::{split_groups_by_half, subset};
-pub use tokenized::{tokenize_dataset, TokenizedField, TokenizedRecord};
+pub use tokenized::{tokenize_dataset, tokenize_dataset_par, TokenizedField, TokenizedRecord};

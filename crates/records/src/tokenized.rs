@@ -5,6 +5,7 @@
 //! a dataset is loaded keeps the join loops allocation-free.
 
 use topk_text::tokenize::{initials_set, qgram_set, word_set, TokenSet};
+use topk_text::Parallelism;
 
 use crate::dataset::Dataset;
 use crate::record::FieldId;
@@ -74,6 +75,16 @@ pub fn tokenize_dataset(d: &Dataset) -> Vec<TokenizedRecord> {
         .iter()
         .map(|r| TokenizedRecord::from_fields(r.fields(), r.weight()))
         .collect()
+}
+
+/// [`tokenize_dataset`] with an explicit thread budget: records are
+/// tokenized in contiguous chunks across scoped threads and reassembled
+/// in input order, so the output is identical to the sequential version
+/// for every thread count.
+pub fn tokenize_dataset_par(d: &Dataset, par: Parallelism) -> Vec<TokenizedRecord> {
+    par.map_slice(d.records(), |r| {
+        TokenizedRecord::from_fields(r.fields(), r.weight())
+    })
 }
 
 #[cfg(test)]

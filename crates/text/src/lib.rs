@@ -31,6 +31,7 @@ pub mod hash;
 pub mod idf;
 pub mod index;
 pub mod normalize;
+pub mod parallel;
 pub mod sim;
 pub mod stopwords;
 pub mod tokenize;
@@ -38,4 +39,5 @@ pub mod tokenize;
 pub use hash::{fnv1a, Token};
 pub use idf::CorpusStats;
 pub use index::InvertedIndex;
+pub use parallel::Parallelism;
 pub use tokenize::TokenSet;

@@ -1,0 +1,199 @@
+//! Thread-count configuration and deterministic fan-out helpers.
+//!
+//! Every parallel hot path in the pipeline (tokenization, blocking-key
+//! generation, collapse candidate search, upper-bound refinement, pairwise
+//! scoring) funnels through [`Parallelism`] and the two map helpers here.
+//! The helpers split work into **contiguous chunks in input order** and
+//! concatenate per-chunk results **in chunk order**, so the output vector
+//! is bit-identical to a sequential `map` regardless of thread count or
+//! scheduling — the determinism guarantee the differential tests in
+//! `tests/prop_parallel.rs` lock in (see `docs/PARALLELISM.md`).
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a pipeline stage may use.
+///
+/// `threads = 1` means strictly sequential (no scope is created, no
+/// spawn overhead); anything larger fans out over scoped threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Use every core the OS reports (`std::thread::available_parallelism`),
+    /// falling back to sequential when detection fails.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: std::thread::available_parallelism()
+                .unwrap_or(NonZeroUsize::new(1).unwrap()),
+        }
+    }
+
+    /// Strictly sequential execution.
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: NonZeroUsize::new(1).unwrap(),
+        }
+    }
+
+    /// Exactly `n` threads; `0` means auto-detect.
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(t) => Parallelism { threads: t },
+            None => Self::auto(),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn get(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// True when no worker threads will be spawned.
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+
+    /// Map `f` over `items`, preserving input order in the output.
+    ///
+    /// Sequential when `threads == 1` or the input is small; otherwise the
+    /// slice is cut into at most `threads` contiguous chunks, each scored
+    /// on its own scoped thread, and the per-chunk outputs are stitched
+    /// back together in chunk order. Identical output to
+    /// `items.iter().map(f).collect()` for any thread count.
+    pub fn map_slice<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
+    {
+        self.map_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Map `f` over `0..n`, preserving index order in the output.
+    ///
+    /// The workhorse behind every parallel stage: disjoint index ranges
+    /// per thread, outputs concatenated in range order.
+    pub fn map_indices<O, F>(&self, n: usize, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        let threads = self.threads.get().min(n.max(1));
+        if threads == 1 || n < PARALLEL_CUTOFF {
+            return (0..n).map(f).collect();
+        }
+        // Contiguous ranges: chunk c covers [c*chunk, min((c+1)*chunk, n)).
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<O>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(n);
+                    let f = &f;
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<O>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Run `f` once per chunk of `0..n` (at most `threads` chunks) and
+    /// return each chunk's result **in chunk order**. Used by stages that
+    /// reduce per-shard results themselves (e.g. collapse candidate pairs
+    /// feeding one union-find reducer).
+    pub fn map_chunks<O, F>(&self, n: usize, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(std::ops::Range<usize>) -> O + Sync,
+    {
+        let threads = self.threads.get().min(n.max(1));
+        if threads == 1 || n < PARALLEL_CUTOFF {
+            return vec![f(0..n)];
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<O> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(n);
+                    let f = &f;
+                    scope.spawn(move || f(lo..hi))
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel chunk worker panicked"));
+            }
+        });
+        parts
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::auto`].
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Below this many items the spawn overhead outweighs any win; stay
+/// sequential. Chosen conservatively (scoped-thread spawn is ~10µs).
+const PARALLEL_CUTOFF: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = Parallelism::sequential().map_slice(&items, |&x| x * 3 + 1);
+        for t in [2, 3, 4, 8] {
+            let par = Parallelism::threads(t).map_slice(&items, |&x| x * 3 + 1);
+            assert_eq!(seq, par, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn map_indices_order() {
+        let out = Parallelism::threads(4).map_indices(500, |i| i * i);
+        assert_eq!(out.len(), 500);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        let ranges = Parallelism::threads(3).map_chunks(100, |r| r);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        // Sequential fallback yields one chunk.
+        let one = Parallelism::sequential().map_chunks(100, |r| r);
+        assert_eq!(one, vec![0..100]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(Parallelism::threads(0).get() >= 1);
+        assert_eq!(Parallelism::threads(7).get(), 7);
+        assert!(Parallelism::sequential().is_sequential());
+    }
+
+    #[test]
+    fn tiny_inputs_stay_sequential() {
+        // No panic and correct results below the cutoff.
+        let out = Parallelism::threads(8).map_indices(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        let empty = Parallelism::threads(4).map_indices(0, |i| i);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Sandboxed builds cannot download the real `criterion`, so this crate
+//! provides a minimal wall-clock harness with the same surface the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId::new`],
+//! `sample_size`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology is intentionally simple — warm up briefly, time a fixed
+//! batch, report mean time per iteration — because these benches are run
+//! for relative comparisons during development, not for publication-grade
+//! statistics. Swap the real criterion back in when registry access is
+//! available if you need rigorous confidence intervals.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(name: S, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run once (also primes caches/allocations).
+        std::hint::black_box(f());
+        // Calibrate: find an iteration count that takes measurable time,
+        // capped so slow benches still finish quickly.
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(50);
+        let per_sample = ((target.as_nanos() / one.as_nanos()).clamp(1, 1000)) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iters += per_sample;
+        }
+        self.elapsed_per_iter = total / iters.max(1) as u32;
+        self.iters_done = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Use `n` timing samples per benchmark (smaller = faster runs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, b.elapsed_per_iter, b.iters_done);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T: ?Sized, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.elapsed_per_iter, b.iters_done);
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, per_iter: Duration, iters: u64) {
+    let t = per_iter.as_secs_f64();
+    let (value, unit) = if t >= 1.0 {
+        (t, "s")
+    } else if t >= 1e-3 {
+        (t * 1e3, "ms")
+    } else if t >= 1e-6 {
+        (t * 1e6, "µs")
+    } else {
+        (t * 1e9, "ns")
+    };
+    println!("{group}/{id}: {value:.3} {unit}/iter ({iters} iters)");
+}
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (same as `std::hint`).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

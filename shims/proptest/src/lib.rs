@@ -1,0 +1,545 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Sandboxed builds cannot download the real `proptest`, so this crate
+//! reimplements the subset of its API used by the workspace's property
+//! tests: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer
+//! and float range strategies, a regex-subset string strategy for `&str`
+//! literals, [`arbitrary`] `any::<T>()`, [`collection::vec`], the
+//! [`proptest!`] macro, and the `prop_assert*` assertion macros.
+//!
+//! Differences from upstream, deliberately accepted for tests:
+//!
+//! * **no shrinking** — a failing case reports its index and the fixed
+//!   per-test seed instead of a minimized counterexample;
+//! * **deterministic seeding** — each test derives its seed from its own
+//!   name, so failures reproduce exactly on every machine;
+//! * the string strategy supports only the regex subset the tests use:
+//!   literals, `[a-z0-9]` classes with ranges, `(...)` groups, `{m,n}`
+//!   repetition, and `\PC` ("any printable character").
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+pub use rand::RngExt;
+use rand::{RngCore, SeedableRng};
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Box the strategy (API parity; no shrinking state to erase).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                if hi == <$t>::MAX {
+                    // avoid overflow on hi+1: widen through u64 span
+                    if lo == 0 && hi == <$t>::MAX {
+                        return rng.random::<$t>();
+                    }
+                }
+                rng.random_range(lo..hi + 1)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty range");
+        self.start + (rng.random_range(0..span)) as i32
+    }
+}
+
+// --------------------------------------------------------------------------
+// Regex-subset string strategy
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Unit {
+    Literal(char),
+    /// Inclusive char ranges, e.g. `[a-dx]` -> [(a,d),(x,x)].
+    Class(Vec<(char, char)>),
+    Group(Vec<(Unit, usize, usize)>),
+    /// `\PC`: any printable character.
+    AnyPrintable,
+}
+
+/// Printable pool for `\PC`: ASCII printable plus a few multibyte chars so
+/// normalization code sees non-ASCII input.
+const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'Ω', '中', 'ñ', '—'];
+
+fn parse_units(pattern: &str) -> Vec<(Unit, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    parse_sequence(&chars, &mut i, None)
+}
+
+fn parse_sequence(chars: &[char], i: &mut usize, until: Option<char>) -> Vec<(Unit, usize, usize)> {
+    let mut out = Vec::new();
+    while *i < chars.len() {
+        let c = chars[*i];
+        if Some(c) == until {
+            *i += 1;
+            break;
+        }
+        *i += 1;
+        let unit = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                while *i < chars.len() && chars[*i] != ']' {
+                    let lo = chars[*i];
+                    *i += 1;
+                    if *i + 1 < chars.len() && chars[*i] == '-' && chars[*i + 1] != ']' {
+                        let hi = chars[*i + 1];
+                        *i += 2;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                *i += 1; // consume ']'
+                Unit::Class(ranges)
+            }
+            '(' => Unit::Group(parse_sequence(chars, i, Some(')'))),
+            '\\' => {
+                // Only `\PC` (not-a-control-character) is supported.
+                let kind = chars.get(*i).copied().unwrap_or('P');
+                *i += 1;
+                if kind == 'P' {
+                    *i += 1; // consume the class letter (C)
+                    Unit::AnyPrintable
+                } else {
+                    Unit::Literal(kind)
+                }
+            }
+            other => Unit::Literal(other),
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if chars.get(*i) == Some(&'{') {
+            *i += 1;
+            let mut nums = String::new();
+            while *i < chars.len() && chars[*i] != '}' {
+                nums.push(chars[*i]);
+                *i += 1;
+            }
+            *i += 1; // consume '}'
+            match nums.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad quantifier"),
+                    b.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = nums.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((unit, min, max));
+    }
+    out
+}
+
+fn generate_units(units: &[(Unit, usize, usize)], rng: &mut TestRng, out: &mut String) {
+    for (unit, min, max) in units {
+        let reps = if min == max {
+            *min
+        } else {
+            rng.random_range(*min..max + 1)
+        };
+        for _ in 0..reps {
+            match unit {
+                Unit::Literal(c) => out.push(*c),
+                Unit::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let c = char::from_u32(lo as u32 + rng.random_range(0..span as u64) as u32)
+                        .expect("class range spans invalid chars");
+                    out.push(c);
+                }
+                Unit::Group(inner) => generate_units(inner, rng, out),
+                Unit::AnyPrintable => {
+                    // Mostly ASCII printable, occasionally multibyte.
+                    if rng.random_bool(0.1) {
+                        out.push(EXTRA_PRINTABLE[rng.random_range(0..EXTRA_PRINTABLE.len())]);
+                    } else {
+                        out.push(char::from(rng.random_range(0x20u8..0x7f)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let units = parse_units(self);
+        let mut out = String::new();
+        generate_units(&units, rng, &mut out);
+        out
+    }
+}
+
+// --------------------------------------------------------------------------
+// any / collections
+// --------------------------------------------------------------------------
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use rand::{RngExt, Standard};
+
+    /// Strategy yielding uniformly random values of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random()
+        }
+    }
+
+    /// The full uniform strategy for `T`.
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Acceptable length specifications for [`vec()`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(*self.start()..*self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector strategy: `vec(element, 0..40)` / `vec(element, n)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// FNV-1a, used to derive a per-test deterministic seed from its name.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn fresh_rng(name: &str, case: u32) -> TestRng {
+    let mut rng = TestRng::seed_from_u64(seed_for(name) ^ ((case as u64) << 32));
+    // decorrelate the cheap xor seed
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), va, vb
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), va
+            ));
+        }
+    }};
+}
+
+/// Define property tests: each function runs its body over generated
+/// inputs, failing with the case index and seed on the first violation.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::fresh_rng(stringify!($name), case);
+                    let result: ::std::result::Result<(), String> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = result {
+                        panic!(
+                            "property {} failed at case {}/{} (deterministic seed {:#x}): {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            $crate::seed_for(stringify!($name)),
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = crate::fresh_rng("string_strategy", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-d]{0,6}( [a-d]{0,6}){0,4}", &mut rng);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '), "{s:?}");
+            let t = Strategy::generate(&"[a-c]{2,8}", &mut rng);
+            assert!((2..=8).contains(&t.chars().count()), "{t:?}");
+            let p = Strategy::generate(&"\\PC{0,30}", &mut rng);
+            assert!(p.chars().count() <= 30);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::fresh_rng("combinators", 0);
+        let strat = (2usize..10).prop_flat_map(|n| {
+            crate::collection::vec(0u64..100, n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, v in crate::collection::vec(any::<(u8, u8)>(), 0..5)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

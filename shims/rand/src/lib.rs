@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Sandboxed build environments cannot reach a registry, so the workspace
+//! vendors the tiny slice of `rand`'s API it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256++ seeded through
+//! SplitMix64) and the [`Rng`]/[`RngExt`]/[`SeedableRng`] traits with
+//! `random`, `random_range`, and `random_bool`.
+//!
+//! The stream differs from upstream `rand`'s `StdRng`, which is fine for
+//! this workspace: every consumer treats the generator as an arbitrary
+//! deterministic source (datagen reproducibility only requires that the
+//! same seed yields the same dataset on every platform and run, which
+//! xoshiro256++ guarantees).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Marker trait mirroring `rand::Rng`; blanket-implemented for every
+/// [`RngCore`] so generic bounds like `R: Rng + ?Sized` work unchanged.
+pub trait Rng: RngCore {}
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types that can be sampled uniformly from a generator's raw bits
+/// (the `Standard`/`StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Standard, B: Standard> Standard for (A, B) {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (A::from_rng(rng), B::from_rng(rng))
+    }
+}
+
+/// Ranges that `random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Debiased multiply-shift (Lemire); span is far below 2^63
+                // for every call site, so a simple rejection loop is cheap.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + (self.end - self.start) * f64::from_rng(rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator
+/// (mirrors `rand`'s split of `Rng` into core + extension traits).
+pub trait RngExt: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+}
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let u = rng.random_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..50).any(|_| rng.random_bool(0.0)));
+        assert!((0..50).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace tags a handful of plain-data types with
+//! `#[derive(Serialize, Deserialize)]` so downstream users *could* pair
+//! them with a format crate, but no serializer is ever invoked in-tree.
+//! Sandboxed builds cannot download the real `serde`, so this crate
+//! provides the two marker traits and re-exports no-op derive macros from
+//! the sibling `serde_derive` shim. Swapping the real serde back in is a
+//! one-line workspace change and requires no source edits.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose fields are all serializable plain data.
+pub trait Serialize {}
+
+/// Marker for types reconstructible from serialized plain data.
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}

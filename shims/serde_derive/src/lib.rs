@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace never calls a serializer, so the derives only need to
+//! make `#[derive(Serialize, Deserialize)]` attributes compile. Each
+//! macro expands to nothing; the marker traits in the `serde` shim are
+//! documentation-only and no code requires the bounds.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,136 @@
+//! Differential property tests: the parallel pipeline must be
+//! *bit-identical* to the sequential one at every thread count.
+//!
+//! This is the contract documented in `docs/PARALLELISM.md` — every
+//! parallel stage shards work into contiguous chunks and reduces in
+//! input order, so floating-point accumulation order never changes.
+//! These tests exercise the whole PrunedDedup pipeline plus the final
+//! TopK answers over generated datasets and compare against the
+//! `threads = 1` run with exact (`to_bits`) weight equality.
+
+use proptest::prelude::*;
+
+use topk_core::{Parallelism, PipelineConfig, PipelineOutcome, PrunedDedup, TopKQuery};
+use topk_datagen::{generate_addresses, generate_citations, AddressConfig, CitationConfig};
+use topk_records::{tokenize_dataset, FieldId, TokenizedRecord};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn scorer(a: &TokenizedRecord, b: &TokenizedRecord) -> f64 {
+    topk_text::sim::overlap_coefficient(
+        &a.field(FieldId(0)).qgrams3,
+        &b.field(FieldId(0)).qgrams3,
+    ) - 0.5
+}
+
+/// Assert two pipeline outcomes are identical: same groups (members,
+/// reps), bit-identical weights, and the same `M` bound.
+fn assert_outcomes_identical(
+    seq: &PipelineOutcome,
+    par: &PipelineOutcome,
+    threads: usize,
+) -> Result<(), String> {
+    prop_assert_eq!(
+        seq.groups.len(),
+        par.groups.len(),
+        "group count diverged at {} threads",
+        threads
+    );
+    for (gs, gp) in seq.groups.iter().zip(&par.groups) {
+        prop_assert_eq!(gs.rep, gp.rep, "group rep diverged at {} threads", threads);
+        prop_assert_eq!(
+            &gs.members,
+            &gp.members,
+            "group members diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            gs.weight.to_bits(),
+            gp.weight.to_bits(),
+            "group weight not bit-identical at {} threads",
+            threads
+        );
+    }
+    prop_assert_eq!(
+        seq.last_lower_bound.to_bits(),
+        par.last_lower_bound.to_bits(),
+        "M bound not bit-identical at {} threads",
+        threads
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PrunedDedup over citation data: groups, weights, and M must match
+    /// the sequential run exactly for threads ∈ {1, 2, 4}.
+    #[test]
+    fn pipeline_outcome_matches_sequential(seed in 0u64..300, k in 1usize..8) {
+        let data = generate_citations(&CitationConfig {
+            n_authors: 40,
+            n_citations: 180,
+            seed,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&data);
+        let stack = topk_predicates::citation_predicates(data.schema(), &toks);
+
+        let run = |threads: usize| {
+            PrunedDedup::new(&toks, &stack, PipelineConfig {
+                k,
+                parallelism: Parallelism::threads(threads),
+                ..Default::default()
+            })
+            .run()
+        };
+        let seq = run(1);
+        for threads in THREAD_COUNTS {
+            assert_outcomes_identical(&seq, &run(threads), threads)?;
+        }
+    }
+
+    /// The full TopK count query (pipeline + scoring + segmentation DP)
+    /// over address data must return identical answers at every thread
+    /// count: same scores, same groups, bit-identical weights.
+    #[test]
+    fn topk_answers_match_sequential(seed in 0u64..300) {
+        let data = generate_addresses(&AddressConfig {
+            n_entities: 30,
+            n_records: 120,
+            seed,
+            ..Default::default()
+        });
+        let toks = tokenize_dataset(&data);
+        let stack = topk_predicates::address_predicates(data.schema());
+
+        let run = |threads: usize| {
+            let mut q = TopKQuery::new(3, 2);
+            q.parallelism = Parallelism::threads(threads);
+            q.run(&toks, &stack, &scorer)
+        };
+        let seq = run(1);
+        for threads in THREAD_COUNTS {
+            let par = run(threads);
+            prop_assert_eq!(seq.answers.len(), par.answers.len());
+            for (sa, pa) in seq.answers.iter().zip(&par.answers) {
+                prop_assert_eq!(
+                    sa.score.to_bits(),
+                    pa.score.to_bits(),
+                    "answer score diverged at {} threads",
+                    threads
+                );
+                prop_assert_eq!(sa.groups.len(), pa.groups.len());
+                for (gs, gp) in sa.groups.iter().zip(&pa.groups) {
+                    prop_assert_eq!(gs.rep, gp.rep);
+                    prop_assert_eq!(&gs.records, &gp.records);
+                    prop_assert_eq!(gs.weight.to_bits(), gp.weight.to_bits());
+                }
+            }
+            prop_assert_eq!(
+                seq.stats.final_group_count(),
+                par.stats.final_group_count()
+            );
+        }
+    }
+}
