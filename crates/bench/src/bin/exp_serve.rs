@@ -1,0 +1,109 @@
+//! Experiment: resident-server throughput and latency — the serving
+//! extension (no paper counterpart; the paper's pipeline is batch-only).
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_serve -- \
+//!     [n_records] [--clients N] [--queries N] [--k K] [--smoke]
+//! ```
+//!
+//! Spawns a `topk-service` server on an ephemeral loopback port, streams
+//! a generated student corpus into it, then fans out `--clients`
+//! concurrent query clients alternating TopK/TopR. Reports ingest
+//! throughput, the cache-cold first-query cost (which pays the deferred
+//! collapse + bound/prune), steady-state cached query latency
+//! percentiles (client-observed, loopback RTT included), and the
+//! server's cache-hit counters. `--smoke` runs the ≤2 s configuration
+//! used by the tier-1 test flow and exits non-zero if the cache served
+//! nothing.
+
+use topk_bench::serve_load::{run, LoadConfig};
+use topk_bench::Table;
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--clients" => {
+                cfg.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a number")
+            }
+            "--queries" => {
+                cfg.queries_per_client = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries needs a number")
+            }
+            "--k" => {
+                cfg.k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--k needs a number")
+            }
+            other => cfg.n_records = other.parse().expect("n_records must be a number"),
+        }
+    }
+    if smoke {
+        cfg = LoadConfig::smoke();
+    }
+
+    println!(
+        "serve load: {} records, {} clients x {} queries, K={}{}",
+        cfg.n_records,
+        cfg.clients,
+        cfg.queries_per_client,
+        cfg.k,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec![
+        "ingest".into(),
+        format!(
+            "{} records in {:.2}s ({:.0} rec/s)",
+            report.n_records, report.ingest_secs, report.ingest_rps
+        ),
+    ]);
+    table.row(vec![
+        "first query (cold)".into(),
+        format!("{} µs (deferred collapse + prune)", report.cold_query_micros),
+    ]);
+    table.row(vec![
+        "cached queries".into(),
+        format!(
+            "{} in {:.2}s ({:.0} q/s, {} clients)",
+            report.queries, report.query_secs, report.qps, report.clients
+        ),
+    ]);
+    table.row(vec![
+        "latency p50/p95/p99".into(),
+        format!(
+            "{}/{}/{} µs",
+            report.p50_micros, report.p95_micros, report.p99_micros
+        ),
+    ]);
+    table.row(vec![
+        "cache hits/misses".into(),
+        format!("{}/{}", report.cache_hits, report.cache_misses),
+    ]);
+    print!("{table}");
+
+    if smoke && report.cache_hits == 0 {
+        eprintln!("smoke FAILED: the query cache served nothing");
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("smoke OK: cache served {} repeat queries", report.cache_hits);
+    }
+}

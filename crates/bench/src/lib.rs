@@ -12,15 +12,21 @@
 //! * [`table`] — aligned-column text tables for the experiment output,
 //!   in the layout of the paper's Figures 2-4.
 //!
+//! * [`serve_load`] — load generator for the resident `topk-service`
+//!   server (concurrent clients over loopback TCP, throughput + latency
+//!   percentiles, cache-hit accounting).
+//!
 //! Binaries: `exp_pruning` (Figures 2-4), `exp_timing` (Figure 6 and
 //! the thread-scaling table — see `docs/PARALLELISM.md`), `exp_accuracy`
-//! (Table 1, Figure 7), `exp_blocking`, `exp_scaling`, `exp_quality`
-//! (extensions). See `EXPERIMENTS.md` for measured-vs-paper numbers.
+//! (Table 1, Figure 7), `exp_blocking`, `exp_scaling`, `exp_quality`,
+//! `exp_serve` (extensions). See `EXPERIMENTS.md` for
+//! measured-vs-paper numbers.
 
 #![warn(missing_docs)]
 
 pub mod datasets;
 pub mod scorers;
+pub mod serve_load;
 pub mod table;
 
 pub use datasets::{accuracy_suite, default_addresses, default_citations, default_students};

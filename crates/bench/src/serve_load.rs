@@ -1,0 +1,231 @@
+//! Load generator for the resident `topk-service` server.
+//!
+//! Drives a real in-process [`Server`](topk_service::Server) over
+//! loopback TCP: one ingest client streams a generated corpus in
+//! batches, then N concurrent query clients hammer `topk`/`topr`.
+//! Latencies are measured client-side (request write → response read,
+//! i.e. including protocol + loopback RTT) and reported as percentiles;
+//! server-side cache counters come from the `stats` command.
+//!
+//! Used by the `exp_serve` binary (numbers in `EXPERIMENTS.md`) and by
+//! the `--smoke` self-check that tier-1 `cargo test` runs: a ≤2 s pass
+//! proving the generation-keyed query cache actually serves repeat
+//! queries (`cache_hits > 0`) and that served answers stay stable under
+//! concurrency.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use topk_service::{Client, Engine, EngineConfig, Json, Server};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Corpus size (generated student records).
+    pub n_records: usize,
+    /// Concurrent query clients.
+    pub clients: usize,
+    /// Queries each client sends.
+    pub queries_per_client: usize,
+    /// Records per ingest request.
+    pub ingest_batch: usize,
+    /// K of the queries.
+    pub k: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            n_records: 20_000,
+            clients: 4,
+            queries_per_client: 200,
+            ingest_batch: 500,
+            k: 10,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The ≤2 s configuration used by the tier-1 smoke test and
+    /// `exp_serve --smoke`.
+    pub fn smoke() -> Self {
+        LoadConfig {
+            n_records: 300,
+            clients: 2,
+            queries_per_client: 5,
+            ingest_batch: 100,
+            k: 5,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Records ingested.
+    pub n_records: usize,
+    /// Concurrent query clients.
+    pub clients: usize,
+    /// Wall-clock of the ingest phase.
+    pub ingest_secs: f64,
+    /// Ingest throughput (records/second).
+    pub ingest_rps: f64,
+    /// Wall-clock of the first (cache-cold) query — this one pays the
+    /// deferred collapse + bound/prune.
+    pub cold_query_micros: u64,
+    /// Total queries sent by the load phase.
+    pub queries: u64,
+    /// Query-phase wall-clock.
+    pub query_secs: f64,
+    /// Query throughput (queries/second across all clients).
+    pub qps: f64,
+    /// Client-observed latency percentiles (µs).
+    pub p50_micros: u64,
+    /// 95th percentile (µs).
+    pub p95_micros: u64,
+    /// 99th percentile (µs).
+    pub p99_micros: u64,
+    /// Server-side cache hits over the whole run.
+    pub cache_hits: u64,
+    /// Server-side cache misses over the whole run.
+    pub cache_misses: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Run the load: spawn a server on an ephemeral loopback port, ingest a
+/// generated corpus, fan out query clients, read the counters, shut
+/// down.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let data = crate::datasets::students_sized(cfg.n_records);
+    let rows: Vec<(Vec<String>, f64)> = data
+        .records()
+        .iter()
+        .map(|r| (r.fields().to_vec(), r.weight()))
+        .collect();
+
+    let engine = Arc::new(Engine::new(EngineConfig::default())?);
+    let server = Server::bind("127.0.0.1:0", engine)?;
+    let (addr, handle) = server.spawn();
+    let addr = addr.to_string();
+
+    // Ingest phase: one client, fixed-size batches.
+    let mut ingest_client = Client::connect(&addr)?;
+    let t0 = Instant::now();
+    for chunk in rows.chunks(cfg.ingest_batch.max(1)) {
+        ingest_client.ingest_batch(chunk)?;
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    // First query pays the deferred collapse; time it separately so the
+    // steady-state percentiles below measure the cache, not the build.
+    let t_cold = Instant::now();
+    ingest_client.topk(cfg.k)?;
+    let cold_query_micros = t_cold.elapsed().as_micros() as u64;
+    ingest_client.topr(cfg.k)?;
+
+    // Query phase: N concurrent clients, each alternating topk/topr on
+    // a quiet stream — after the two warm-up queries above, every one of
+    // these is answerable from the generation-keyed cache.
+    let t1 = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..cfg.clients {
+        let addr = addr.clone();
+        let (k, q) = (cfg.k, cfg.queries_per_client);
+        workers.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut c = Client::connect(&addr)?;
+            let mut lat = Vec::with_capacity(q);
+            for i in 0..q {
+                let t = Instant::now();
+                if (w + i) % 2 == 0 {
+                    c.topk(k)?;
+                } else {
+                    c.topr(k)?;
+                }
+                lat.push(t.elapsed().as_micros() as u64);
+            }
+            Ok(lat)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().map_err(|_| "query worker panicked")??);
+    }
+    let query_secs = t1.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let stats = ingest_client.stats()?;
+    let counter = |name: &str| -> Result<u64, String> {
+        stats
+            .get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(Json::as_usize)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("stats missing metrics.{name}"))
+    };
+    let cache_hits = counter("cache_hits")?;
+    let cache_misses = counter("cache_misses")?;
+    ingest_client.shutdown()?;
+    handle.join().map_err(|_| "server thread panicked")??;
+
+    let queries = latencies.len() as u64;
+    Ok(LoadReport {
+        n_records: cfg.n_records,
+        clients: cfg.clients,
+        ingest_secs,
+        ingest_rps: cfg.n_records as f64 / ingest_secs.max(1e-9),
+        cold_query_micros,
+        queries,
+        query_secs,
+        qps: queries as f64 / query_secs.max(1e-9),
+        p50_micros: percentile(&latencies, 50.0),
+        p95_micros: percentile(&latencies, 95.0),
+        p99_micros: percentile(&latencies, 99.0),
+        cache_hits,
+        cache_misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tier-1 smoke: the whole serve stack (TCP, protocol, engine,
+    /// cache) in ≤2 s, asserting the cache demonstrably serves repeat
+    /// queries on a quiet stream.
+    #[test]
+    fn smoke_load_run_hits_cache() {
+        let t0 = Instant::now();
+        let report = run(&LoadConfig::smoke()).expect("smoke load run");
+        assert!(
+            report.cache_hits > 0,
+            "repeat queries on a quiet stream must hit the cache: {report:?}"
+        );
+        assert_eq!(report.queries, 10, "2 clients x 5 queries");
+        assert!(report.qps > 0.0);
+        // Cold query includes the deferred collapse; cached queries must
+        // be much cheaper than the cold one on any machine.
+        assert!(report.p50_micros <= report.cold_query_micros.max(1) * 10);
+        assert!(
+            t0.elapsed().as_secs_f64() < 10.0,
+            "smoke config must stay fast"
+        );
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        // Nearest-rank on 0-indexed data: round(0.5 * 99) = index 50.
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+    }
+}

@@ -9,6 +9,9 @@ usage:
   topk count  <data.tsv> [--k N] [--r N] [--name-field F] [--alpha A]
   topk rank   <data.tsv> [--k N] [--name-field F]
   topk thresh <data.tsv> --threshold T [--name-field F]
+  topk serve  [--addr H:P] [--preload data.tsv] [--restore snap]
+              [--snapshot-on-exit snap] [--name-field F]
+  topk client <cmd> [arg] [--addr H:P] [--k N]
 
 options:
   --k N            number of groups to return (default 10)
@@ -27,7 +30,24 @@ options:
   --label-col F    column holding ground-truth integer labels
   --threads N      worker threads for the parallel pipeline stages
                    (default 0 = all cores; 1 = sequential; results are
-                   identical for every setting)";
+                   identical for every setting)
+
+serve options (protocol reference: docs/SERVICE.md):
+  --addr H:P             listen address (default 127.0.0.1:7411)
+  --preload data.tsv     ingest a file before accepting connections
+  --restore snap         start from a snapshot file
+  --snapshot-on-exit p   write a snapshot when the server shuts down
+
+client commands (all take --addr, default 127.0.0.1:7411):
+  topk client ping                  liveness probe
+  topk client stats                 engine + metrics counters
+  topk client topk --k N            TopK count query
+  topk client topr --k N            TopK rank query
+  topk client ingest <data.tsv>     stream a file into the server
+  topk client snapshot <path>       server writes a snapshot to <path>
+  topk client restore <path>        server restores from <path>
+  topk client raw '<json-line>'     send one raw protocol line
+  topk client shutdown              stop the server";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +58,100 @@ pub enum Command {
     Rank(Options),
     /// Thresholded rank query.
     Thresh(Options),
+    /// Run the resident query server.
+    Serve(ServeOptions),
+    /// Talk to a running server.
+    Client(ClientOptions),
+}
+
+/// Options for `topk serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Dataset ingested before the server accepts connections.
+    pub preload: Option<PathBuf>,
+    /// Snapshot restored at startup (before any preload).
+    pub restore: Option<PathBuf>,
+    /// Snapshot written on shutdown.
+    pub snapshot_on_exit: Option<PathBuf>,
+    /// Match field name (None = first data column).
+    pub name_field: Option<String>,
+    /// Rare-word df cap for the sufficient predicate.
+    pub max_df: u32,
+    /// 3-gram overlap fraction for the necessary predicate.
+    pub min_overlap: f64,
+    /// Worker threads (0 = auto-detect).
+    pub threads: usize,
+    /// Preload file: column separator.
+    pub delimiter: char,
+    /// Preload file: first row is a header row.
+    pub has_header: bool,
+    /// Preload file: weight column name.
+    pub weight_col: Option<String>,
+    /// Preload file: label column name.
+    pub label_col: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7411".into(),
+            preload: None,
+            restore: None,
+            snapshot_on_exit: None,
+            name_field: None,
+            max_df: 30,
+            min_overlap: 0.6,
+            threads: 0,
+            delimiter: '\t',
+            has_header: true,
+            weight_col: None,
+            label_col: None,
+        }
+    }
+}
+
+/// What `topk client` should send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Liveness probe.
+    Ping,
+    /// Engine + metrics counters.
+    Stats,
+    /// TopK count query.
+    TopK,
+    /// TopK rank query.
+    TopR,
+    /// Stream a file into the server.
+    Ingest(PathBuf),
+    /// Ask the server to write a snapshot.
+    Snapshot(String),
+    /// Ask the server to restore from a snapshot.
+    Restore(String),
+    /// Send one raw protocol line.
+    Raw(String),
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Options for `topk client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOptions {
+    /// Server address.
+    pub addr: String,
+    /// The command to send.
+    pub action: ClientAction,
+    /// K for topk/topr.
+    pub k: usize,
+    /// Ingest file: column separator.
+    pub delimiter: char,
+    /// Ingest file: first row is a header row.
+    pub has_header: bool,
+    /// Ingest file: weight column name.
+    pub weight_col: Option<String>,
+    /// Ingest file: label column name.
+    pub label_col: Option<String>,
 }
 
 /// Options shared by the subcommands.
@@ -95,6 +209,11 @@ impl Default for Options {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter();
     let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "serve" => return parse_serve(&mut it),
+        "client" => return parse_client(&mut it),
+        _ => {}
+    }
     let mut opts = Options::default();
     let mut path: Option<PathBuf> = None;
 
@@ -165,6 +284,105 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
 }
 
+fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut o = ServeOptions::default();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => o.addr = value("--addr")?,
+            "--preload" => o.preload = Some(PathBuf::from(value("--preload")?)),
+            "--restore" => o.restore = Some(PathBuf::from(value("--restore")?)),
+            "--snapshot-on-exit" => {
+                o.snapshot_on_exit = Some(PathBuf::from(value("--snapshot-on-exit")?))
+            }
+            "--name-field" => o.name_field = Some(value("--name-field")?),
+            "--max-df" => o.max_df = parse_num(&value("--max-df")?, "--max-df")?,
+            "--min-overlap" => {
+                o.min_overlap = parse_float(&value("--min-overlap")?, "--min-overlap")?
+            }
+            "--threads" => o.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--delimiter" => o.delimiter = parse_delimiter(&value("--delimiter")?)?,
+            "--no-header" => o.has_header = false,
+            "--weight-col" => o.weight_col = Some(value("--weight-col")?),
+            "--label-col" => o.label_col = Some(value("--label-col")?),
+            other => return Err(format!("unknown serve argument {other}")),
+        }
+    }
+    Ok(Command::Serve(o))
+}
+
+fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let cmd = it.next().ok_or("client needs a command")?.clone();
+    let mut o = ClientOptions {
+        addr: "127.0.0.1:7411".into(),
+        action: ClientAction::Ping,
+        k: 10,
+        delimiter: '\t',
+        has_header: true,
+        weight_col: None,
+        label_col: None,
+    };
+    let mut positional: Option<String> = None;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => o.addr = value("--addr")?,
+            "--k" => o.k = parse_num(&value("--k")?, "--k")?,
+            "--delimiter" => o.delimiter = parse_delimiter(&value("--delimiter")?)?,
+            "--no-header" => o.has_header = false,
+            "--weight-col" => o.weight_col = Some(value("--weight-col")?),
+            "--label-col" => o.label_col = Some(value("--label-col")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown client flag {other}"))
+            }
+            other => {
+                if positional.is_some() {
+                    return Err(format!("unexpected argument {other}"));
+                }
+                positional = Some(other.to_string());
+            }
+        }
+    }
+    if o.k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    let need = |what: &str, p: Option<String>| -> Result<String, String> {
+        p.ok_or_else(|| format!("client {cmd} needs {what}"))
+    };
+    o.action = match cmd.as_str() {
+        "ping" => ClientAction::Ping,
+        "stats" => ClientAction::Stats,
+        "topk" => ClientAction::TopK,
+        "topr" => ClientAction::TopR,
+        "shutdown" => ClientAction::Shutdown,
+        "ingest" => ClientAction::Ingest(PathBuf::from(need("a data file", positional)?)),
+        "snapshot" => ClientAction::Snapshot(need("a path", positional)?),
+        "restore" => ClientAction::Restore(need("a path", positional)?),
+        "raw" => ClientAction::Raw(need("a JSON line", positional)?),
+        other => return Err(format!("unknown client command {other}")),
+    };
+    Ok(Command::Client(o))
+}
+
+fn parse_delimiter(v: &str) -> Result<char, String> {
+    let mut chars = v.chars();
+    let c = chars
+        .next()
+        .ok_or("--delimiter needs a character".to_string())?;
+    if chars.next().is_some() {
+        return Err("--delimiter must be a single character".into());
+    }
+    Ok(c)
+}
+
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
 }
@@ -224,6 +442,67 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let c = parse(&argv(
+            "serve --addr 127.0.0.1:9000 --preload d.tsv --snapshot-on-exit s.snap --max-df 10",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.addr, "127.0.0.1:9000");
+                assert_eq!(o.preload, Some(PathBuf::from("d.tsv")));
+                assert_eq!(o.snapshot_on_exit, Some(PathBuf::from("s.snap")));
+                assert_eq!(o.max_df, 10);
+                assert_eq!(o.restore, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults.
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(o) => assert_eq!(o.addr, "127.0.0.1:7411"),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("serve positional")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_client() {
+        match parse(&argv("client topk --k 3 --addr h:1")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.action, ClientAction::TopK);
+                assert_eq!(o.k, 3);
+                assert_eq!(o.addr, "h:1");
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client ingest d.tsv")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.action, ClientAction::Ingest(PathBuf::from("d.tsv")))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client snapshot /tmp/x.snap")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.action, ClientAction::Snapshot("/tmp/x.snap".into()))
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse(&argv("client shutdown")).unwrap(),
+            Command::Client(ClientOptions {
+                action: ClientAction::Shutdown,
+                ..
+            })
+        ));
+        assert!(parse(&argv("client")).is_err());
+        assert!(parse(&argv("client frobnicate")).is_err());
+        assert!(parse(&argv("client snapshot")).is_err());
+        assert!(parse(&argv("client topk --k 0")).is_err());
+        assert!(parse(&argv("client ping a b")).is_err());
     }
 
     #[test]

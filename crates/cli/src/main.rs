@@ -6,6 +6,8 @@
 //! topk count  <data.tsv> --k 10 --r 2 --name-field name
 //! topk rank   <data.tsv> --k 10 --name-field name
 //! topk thresh <data.tsv> --threshold 50 --name-field name
+//! topk serve  --addr 127.0.0.1:7411 --preload data.tsv
+//! topk client topk --k 10
 //! ```
 //!
 //! The TSV format is the one written by `topk_records::io::write_tsv`
@@ -13,6 +15,13 @@
 //! a generic predicate stack over the chosen name field (rare-word
 //! sufficient predicate + 3-gram-overlap necessary predicate) and a
 //! built-in similarity scorer; for custom predicates use the library API.
+//!
+//! `serve` keeps the collapsed state resident behind a JSON-lines TCP
+//! protocol (see `docs/SERVICE.md`) so repeated queries skip the load /
+//! tokenize / collapse work entirely; `client` is the matching one-shot
+//! command sender. Both batch and served modes load data through the
+//! same tokenize-once path (`topk_service::corpus`), so their answers
+//! over the same file are byte-identical.
 //!
 //! `--threads N` bounds the worker threads of the parallel pipeline
 //! stages (0 = auto-detect cores, 1 = sequential). Output is identical

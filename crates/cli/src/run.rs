@@ -3,11 +3,11 @@
 use std::sync::Arc;
 
 use topk_core::{Parallelism, ThresholdedRankQuery, TopKQuery, TopKRankQuery};
-use topk_predicates::{PredicateStack, QgramFractionNecessary, RareNameSufficient};
-use topk_records::{tokenize_dataset_par, Dataset, FieldId, TokenizedRecord};
-use topk_text::CorpusStats;
+use topk_predicates::PredicateStack;
+use topk_records::{Dataset, FieldId, TokenizedRecord};
+use topk_service::{Client, CorpusOptions, Engine, EngineConfig, Server};
 
-use crate::args::{Command, Options};
+use crate::args::{ClientAction, ClientOptions, Command, Options, ServeOptions};
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -15,36 +15,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Count(o) => (o, "count"),
         Command::Rank(o) => (o, "rank"),
         Command::Thresh(o) => (o, "thresh"),
+        Command::Serve(o) => return run_serve(o),
+        Command::Client(o) => return run_client(o),
     };
-    // Native topk TSVs (tab-separated with a __weight header) load
-    // through the strict reader; anything else goes through the flexible
-    // delimited reader with the user's options.
-    let use_native = opts.delimiter == '\t'
-        && opts.has_header
-        && opts.weight_col.is_none()
-        && opts.label_col.is_none()
-        && topk_records::io::read_tsv(&opts.path).is_ok();
-    let data = if use_native {
-        topk_records::io::read_tsv(&opts.path)
-            .map_err(|e| format!("cannot read {}: {e}", opts.path.display()))?
-    } else {
-        let read_opts = topk_records::io::ReadOptions {
-            delimiter: opts.delimiter,
-            has_header: opts.has_header,
-            weight_column: opts.weight_col.clone(),
-            label_column: opts.label_col.clone(),
-            normalize: true,
-        };
-        topk_records::io::read_delimited(&opts.path, &read_opts)
-            .map_err(|e| format!("cannot read {}: {e}", opts.path.display()))?
-    };
-    if data.is_empty() {
-        return Err("dataset is empty".into());
-    }
-    let field = resolve_field(&data, opts)?;
+    // The shared load-once/tokenize-once path (`topk_service::corpus`):
+    // the same loader and predicate stack the server uses, so a batch
+    // query and a served query over the same file agree byte-for-byte.
     let par = Parallelism::threads(opts.threads);
-    let toks = tokenize_dataset_par(&data, par);
-    let stack = generic_stack(&toks, field, opts);
+    let corpus = topk_service::load_corpus(&opts.path, &corpus_options(opts, par))?;
+    let stack = corpus.stack(opts.max_df, opts.min_overlap);
+    let (data, toks, field) = (&corpus.data, &corpus.toks, corpus.field);
     eprintln!(
         "{} records loaded from {}; matching on field `{}` ({} thread{})",
         data.len(),
@@ -55,51 +35,112 @@ pub fn run(cmd: Command) -> Result<(), String> {
     );
 
     match kind {
-        "count" => run_count(&data, &toks, &stack, field, opts),
-        "rank" => run_rank(&data, &toks, &stack, field, opts),
-        _ => run_thresh(&data, &toks, &stack, field, opts),
+        "count" => run_count(data, toks, &stack, field, opts),
+        "rank" => run_rank(data, toks, &stack, field, opts),
+        _ => run_thresh(data, toks, &stack, field, opts),
     }
     Ok(())
 }
 
-fn resolve_field(data: &Dataset, opts: &Options) -> Result<FieldId, String> {
-    match &opts.name_field {
-        Some(name) => data
-            .schema()
-            .field_id(name)
-            .ok_or_else(|| format!("no field named `{name}` in the dataset")),
-        None => Ok(FieldId(0)),
+fn corpus_options(opts: &Options, par: Parallelism) -> CorpusOptions {
+    CorpusOptions {
+        delimiter: opts.delimiter,
+        has_header: opts.has_header,
+        weight_col: opts.weight_col.clone(),
+        label_col: opts.label_col.clone(),
+        name_field: opts.name_field.clone(),
+        parallelism: par,
     }
 }
 
-/// A generic one-level stack over the match field: rare-word sufficient
-/// predicate with IDF over distinct values, 3-gram-overlap necessary
-/// predicate.
-fn generic_stack(toks: &[TokenizedRecord], field: FieldId, opts: &Options) -> PredicateStack {
-    let mut seen = std::collections::HashSet::new();
-    let mut stats = CorpusStats::new();
-    for t in toks {
-        let f = t.field(field);
-        if seen.insert(topk_text::hash::hash_str(&f.text)) {
-            stats.add_document(&f.words);
+/// `topk serve`: restore and/or preload, then block in the accept loop
+/// until a client sends `shutdown`.
+fn run_serve(o: &ServeOptions) -> Result<(), String> {
+    let par = Parallelism::threads(o.threads);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        fields: None,
+        name_field: o.name_field.clone(),
+        max_df: o.max_df,
+        min_overlap: o.min_overlap,
+        parallelism: par,
+    })?);
+    if let Some(snap) = &o.restore {
+        let generation = engine.restore(snap)?;
+        eprintln!("restored {} ({generation} records)", snap.display());
+    }
+    if let Some(path) = &o.preload {
+        let corpus = topk_service::load_corpus(
+            path,
+            &CorpusOptions {
+                delimiter: o.delimiter,
+                has_header: o.has_header,
+                weight_col: o.weight_col.clone(),
+                label_col: o.label_col.clone(),
+                name_field: o.name_field.clone(),
+                parallelism: par,
+            },
+        )?;
+        let fields: Vec<String> = (0..corpus.data.schema().arity())
+            .map(|i| corpus.data.schema().field_name(FieldId(i)).to_string())
+            .collect();
+        let generation = engine.ingest_toks(corpus.toks, fields, corpus.field)?;
+        eprintln!("preloaded {} ({generation} records)", path.display());
+    }
+    let mut server = Server::bind(&o.addr, engine)?;
+    server.snapshot_on_exit = o.snapshot_on_exit.clone();
+    eprintln!("listening on {} (protocol: docs/SERVICE.md)", server.local_addr());
+    server.run()
+}
+
+/// `topk client`: send one command, print the response line to stdout.
+fn run_client(o: &ClientOptions) -> Result<(), String> {
+    let mut c = Client::connect(&o.addr)?;
+    let line = match &o.action {
+        ClientAction::Ping => r#"{"cmd":"ping"}"#.to_string(),
+        ClientAction::Stats => r#"{"cmd":"stats"}"#.to_string(),
+        ClientAction::TopK => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
+        ClientAction::TopR => format!(r#"{{"cmd":"topr","k":{}}}"#, o.k),
+        ClientAction::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
+        ClientAction::Raw(line) => line.clone(),
+        ClientAction::Snapshot(path) => {
+            println!("{}", c.snapshot(path)?.to_string());
+            return Ok(());
         }
-    }
-    PredicateStack {
-        levels: vec![(
-            Box::new(RareNameSufficient::new(
-                "S",
-                field,
-                Arc::new(stats),
-                opts.max_df,
-            )),
-            Box::new(QgramFractionNecessary::new(
-                "N",
-                field,
-                opts.min_overlap,
-                false,
-            )),
-        )],
-    }
+        ClientAction::Restore(path) => {
+            println!("{}", c.restore(path)?.to_string());
+            return Ok(());
+        }
+        ClientAction::Ingest(path) => {
+            let data = topk_service::load_dataset(
+                path,
+                &CorpusOptions {
+                    delimiter: o.delimiter,
+                    has_header: o.has_header,
+                    weight_col: o.weight_col.clone(),
+                    label_col: o.label_col.clone(),
+                    name_field: None,
+                    parallelism: Parallelism::sequential(),
+                },
+            )?;
+            let rows: Vec<(Vec<String>, f64)> = data
+                .records()
+                .iter()
+                .map(|r| (r.fields().to_vec(), r.weight()))
+                .collect();
+            // Batch in chunks so one request line stays a sane size.
+            let mut generation = 0;
+            for chunk in rows.chunks(500) {
+                generation = c.ingest_batch(chunk)?;
+            }
+            println!(
+                r#"{{"ok":true,"ingested":{},"generation":{generation}}}"#,
+                rows.len()
+            );
+            return Ok(());
+        }
+    };
+    println!("{}", c.request_raw(&line)?);
+    Ok(())
 }
 
 /// Built-in scorer: the library's default name scorer (3-gram overlap +
@@ -270,6 +311,126 @@ mod tests {
         ])
         .unwrap();
         assert!(run(cmd).is_err());
+    }
+}
+
+#[cfg(test)]
+mod serve_cli_tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn write_sample(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("topk_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let d = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+            n_students: 15,
+            n_records: 60,
+            ..Default::default()
+        });
+        topk_records::io::write_tsv(&d, &path).unwrap();
+        path
+    }
+
+    /// Find a free loopback port (bind, read, drop — the tiny reuse race
+    /// is acceptable in a test).
+    fn free_port() -> u16 {
+        std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port()
+    }
+
+    #[test]
+    fn serve_preload_client_shutdown_end_to_end() {
+        let data = write_sample("preload.tsv");
+        let snap = std::env::temp_dir()
+            .join("topk_cli_serve_test")
+            .join("exit.snap");
+        let _ = std::fs::remove_file(&snap);
+        let port = free_port();
+        let addr = format!("127.0.0.1:{port}");
+        let serve = parse(&[
+            "serve".to_string(),
+            "--addr".into(),
+            addr.clone(),
+            "--preload".into(),
+            data.display().to_string(),
+            "--snapshot-on-exit".into(),
+            snap.display().to_string(),
+            "--threads".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        let server = std::thread::spawn(move || run(serve));
+        // Wait for the listener, then drive it through the CLI client.
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(&addr) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let mut c = client.expect("server came up");
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.get("records").and_then(topk_service::Json::as_usize),
+            Some(60),
+            "preload ingested the file"
+        );
+        // The one-shot CLI client paths against the same server.
+        let mk = |args: &[&str]| {
+            let mut v = vec!["client".to_string()];
+            v.extend(args.iter().map(|s| s.to_string()));
+            parse(&v).unwrap()
+        };
+        run(mk(&["ping", "--addr", &addr])).expect("client ping");
+        run(mk(&["topk", "--k", "3", "--addr", &addr])).expect("client topk");
+        let extra = write_sample("extra.tsv");
+        run(mk(&[
+            "ingest",
+            &extra.display().to_string(),
+            "--addr",
+            &addr,
+        ]))
+        .expect("client ingest");
+        run(mk(&["shutdown", "--addr", &addr])).expect("client shutdown");
+        server.join().unwrap().expect("server ran clean");
+        assert!(snap.exists(), "snapshot-on-exit written");
+        // The snapshot holds preload + client-ingested records.
+        let restore = parse(&[
+            "serve".to_string(),
+            "--addr".into(),
+            format!("127.0.0.1:{}", free_port()),
+            "--restore".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        match restore {
+            Command::Serve(o) => {
+                let engine = Engine::new(EngineConfig::default()).unwrap();
+                let generation = engine.restore(o.restore.as_ref().unwrap()).unwrap();
+                assert_eq!(generation, 120, "60 preloaded + 60 ingested");
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn client_fails_cleanly_without_server() {
+        let cmd = parse(&[
+            "client".to_string(),
+            "ping".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+        ])
+        .unwrap();
+        let err = run(cmd).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 }
 

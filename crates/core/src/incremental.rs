@@ -49,6 +49,27 @@ pub struct IncrementalDedup {
     toks: Vec<TokenizedRecord>,
     uf: UnionFind,
     blocks: std::collections::HashMap<u64, Vec<u32>>,
+    generation: u64,
+}
+
+/// Plain-data snapshot of an [`IncrementalDedup`] — everything needed to
+/// rebuild the collapsed state without replaying the stream (i.e. without
+/// re-running any predicate match). Records are stored as their
+/// normalized field texts plus weight; tokenization is deterministic, so
+/// re-tokenizing on restore reproduces the original
+/// [`TokenizedRecord`]s exactly.
+#[derive(Debug, Clone)]
+pub struct IncrementalState {
+    /// Per record: normalized field texts and weight, in insertion order.
+    pub records: Vec<(Vec<String>, f64)>,
+    /// Union-find parent vector (see `topk_graph::UnionFind::to_vec`).
+    pub parent: Vec<u32>,
+    /// Blocking index as sorted `(key, member ids)` pairs, preserving the
+    /// insert-time blocking keys (which may reflect corpus statistics
+    /// that have since drifted — persisting them keeps restore exact).
+    pub blocks: Vec<(u64, Vec<u32>)>,
+    /// Ingest generation counter at snapshot time.
+    pub generation: u64,
 }
 
 impl IncrementalDedup {
@@ -58,6 +79,7 @@ impl IncrementalDedup {
             toks: Vec::new(),
             uf: UnionFind::new(0),
             blocks: std::collections::HashMap::new(),
+            generation: 0,
         }
     }
 
@@ -76,12 +98,86 @@ impl IncrementalDedup {
         self.uf.set_count()
     }
 
+    /// Monotonically increasing ingest counter: bumped once per
+    /// [`insert`](Self::insert), never reset. Cheap enough to poll per
+    /// query — the service layer keys its query cache on it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Export the collapsed state for persistence (see
+    /// [`IncrementalState`]).
+    pub fn export_state(&self) -> IncrementalState {
+        let mut blocks: Vec<(u64, Vec<u32>)> = self
+            .blocks
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        blocks.sort_unstable_by_key(|&(k, _)| k);
+        IncrementalState {
+            records: self
+                .toks
+                .iter()
+                .map(|t| {
+                    let fields = (0..t.arity())
+                        .map(|f| t.field(topk_records::FieldId(f)).text.clone())
+                        .collect();
+                    (fields, t.weight())
+                })
+                .collect(),
+            parent: self.uf.to_vec(),
+            blocks,
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuild from an exported state. Re-tokenizes the stored field
+    /// texts (deterministic) but re-runs **no** predicate work — the
+    /// union-find and blocking index are restored as persisted. Returns
+    /// an error when the state is internally inconsistent.
+    pub fn from_state(state: IncrementalState) -> Result<Self, String> {
+        let n = state.records.len();
+        if state.parent.len() != n {
+            return Err(format!(
+                "state has {n} records but {} union-find entries",
+                state.parent.len()
+            ));
+        }
+        let uf = UnionFind::from_vec(state.parent)?;
+        let mut blocks = std::collections::HashMap::with_capacity(state.blocks.len());
+        for (key, members) in state.blocks {
+            if let Some(&bad) = members.iter().find(|&&m| m as usize >= n) {
+                return Err(format!("block {key:#x} references record {bad} >= {n}"));
+            }
+            if blocks.insert(key, members).is_some() {
+                return Err(format!("duplicate block key {key:#x}"));
+            }
+        }
+        if state.generation < n as u64 {
+            return Err(format!(
+                "generation {} below record count {n}",
+                state.generation
+            ));
+        }
+        Ok(IncrementalDedup {
+            toks: state
+                .records
+                .iter()
+                .map(|(fields, w)| TokenizedRecord::from_fields(fields, *w))
+                .collect(),
+            uf,
+            blocks,
+            generation: state.generation,
+        })
+    }
+
     /// Insert one record, merging it into the transitive closure of `s`.
     ///
     /// Equivalent to batch collapse: the arriving record is tested
     /// against every same-block record (with same-set skips), exactly the
     /// pairs batch collapse would test.
     pub fn insert(&mut self, record: TokenizedRecord, s: &dyn SufficientPredicate) {
+        self.generation += 1;
         let id = self.uf.push();
         debug_assert_eq!(id as usize, self.toks.len());
         let keys = s.blocking_keys(&record);
@@ -268,6 +364,77 @@ mod tests {
             (top_inc - top_batch).abs() < 1e-6,
             "incremental {top_inc} vs batch {top_batch}"
         );
+    }
+
+    #[test]
+    fn generation_counts_inserts() {
+        let (toks, stack) = setup();
+        let s = stack.levels[0].0.as_ref();
+        let mut inc = IncrementalDedup::new();
+        assert_eq!(inc.generation(), 0);
+        for (i, t) in toks.iter().take(10).enumerate() {
+            inc.insert(t.clone(), s);
+            assert_eq!(inc.generation(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn state_round_trip_preserves_queries() {
+        let (toks, stack) = setup();
+        let s = stack.levels[0].0.as_ref();
+        let mut inc = IncrementalDedup::new();
+        for t in &toks {
+            inc.insert(t.clone(), s);
+        }
+        let state = inc.export_state();
+        let mut back = IncrementalDedup::from_state(state).expect("valid state");
+        assert_eq!(back.len(), inc.len());
+        assert_eq!(back.generation(), inc.generation());
+        assert_eq!(back.group_count(), inc.group_count());
+        // Queries answer identically on the restored state...
+        let a = inc.query(&stack, 3);
+        let b = back.query(&stack, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            assert_eq!(x.rep, y.rep);
+            assert_eq!(x.members, y.members);
+        }
+        // ...and further inserts keep both in lockstep (blocks survived).
+        for t in toks.iter().take(20) {
+            inc.insert(t.clone(), s);
+            back.insert(t.clone(), s);
+        }
+        assert_eq!(back.group_count(), inc.group_count());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistency() {
+        let mut good = IncrementalDedup::new();
+        good.insert(TokenizedRecord::from_fields(&["a b".into()], 1.0), &NoBlock);
+        let mut s = good.export_state();
+        s.parent = vec![0, 0];
+        assert!(IncrementalDedup::from_state(s).is_err(), "parent len mismatch");
+        let mut s = good.export_state();
+        s.blocks = vec![(1, vec![9])];
+        assert!(IncrementalDedup::from_state(s).is_err(), "block id out of range");
+        let mut s = good.export_state();
+        s.generation = 0;
+        assert!(IncrementalDedup::from_state(s).is_err(), "generation regressed");
+    }
+
+    /// A sufficient predicate with no blocking keys (never merges).
+    struct NoBlock;
+    impl topk_predicates::SufficientPredicate for NoBlock {
+        fn name(&self) -> &str {
+            "no-block"
+        }
+        fn blocking_keys(&self, _: &TokenizedRecord) -> Vec<u64> {
+            Vec::new()
+        }
+        fn matches(&self, _: &TokenizedRecord, _: &TokenizedRecord) -> bool {
+            false
+        }
     }
 
     #[test]

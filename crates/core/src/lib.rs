@@ -90,6 +90,6 @@ pub use queries::{
 };
 pub use avg::{AvgEntry, AvgResult, TopKAvgQuery};
 pub use dedup::{deduplicate, DedupResult};
-pub use incremental::IncrementalDedup;
+pub use incremental::{IncrementalDedup, IncrementalState};
 pub use stats::{IterationStats, PipelineStats};
 pub use topk_text::Parallelism;

@@ -93,6 +93,79 @@ impl UnionFind {
         out
     }
 
+    /// The raw parent vector, for persistence. Together with
+    /// [`from_vec`](Self::from_vec) this round-trips the partition: sizes
+    /// and the set count are derivable from the parent pointers, so the
+    /// parent vector alone is a complete snapshot of the structure.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.parent.clone()
+    }
+
+    /// Rebuild a union-find from a parent vector produced by
+    /// [`to_vec`](Self::to_vec) (or any valid parent forest).
+    ///
+    /// Validates that every pointer is in range and that the pointer graph
+    /// is a forest (every chain reaches a self-parent root); returns a
+    /// description of the first violation otherwise. Set sizes and the set
+    /// count are recomputed from the partition, which agrees exactly with
+    /// the original structure: union by size only ever reads the size of
+    /// roots, and a root's recorded size is its component size.
+    pub fn from_vec(parent: Vec<u32>) -> Result<Self, String> {
+        let n = parent.len();
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize >= n {
+                return Err(format!("parent[{i}] = {p} out of range for {n} elements"));
+            }
+        }
+        // Root of every element, memoized; `0` = unvisited, `1` = on the
+        // current chain (a repeat means a cycle), `2` = resolved.
+        let mut state = vec![0u8; n];
+        let mut root = vec![0u32; n];
+        let mut chain = Vec::new();
+        for start in 0..n as u32 {
+            if state[start as usize] == 2 {
+                continue;
+            }
+            chain.clear();
+            let mut x = start;
+            loop {
+                match state[x as usize] {
+                    2 => break, // known root below
+                    1 => return Err(format!("parent pointers cycle through {x}")),
+                    _ => {}
+                }
+                state[x as usize] = 1;
+                chain.push(x);
+                let p = parent[x as usize];
+                if p == x {
+                    break;
+                }
+                x = p;
+            }
+            let r = if state[x as usize] == 2 { root[x as usize] } else { x };
+            for &c in &chain {
+                state[c as usize] = 2;
+                root[c as usize] = r;
+            }
+        }
+        let mut size = vec![0u32; n];
+        let mut sets = 0;
+        for x in 0..n {
+            if root[x] as usize == x {
+                sets += 1;
+            }
+            size[root[x] as usize] += 1;
+        }
+        // Non-root entries keep size 1, matching what `new` + `union`
+        // leave behind only at roots; non-root sizes are never read.
+        for x in 0..n {
+            if size[x] == 0 {
+                size[x] = 1;
+            }
+        }
+        Ok(UnionFind { parent, size, sets })
+    }
+
     /// Per-element dense group labels (`0..set_count`), assigned in order
     /// of each set's first appearance.
     pub fn labels(&mut self) -> Vec<u32> {
@@ -155,5 +228,32 @@ mod tests {
         let mut uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert!(uf.groups().is_empty());
+    }
+
+    #[test]
+    fn vec_round_trip_preserves_partition() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(3, 5);
+        uf.union(1, 2);
+        let mut back = UnionFind::from_vec(uf.to_vec()).unwrap();
+        assert_eq!(back.set_count(), uf.set_count());
+        assert_eq!(back.groups(), uf.groups());
+        assert_eq!(back.set_size(5), 3);
+        // The restored structure keeps working: push + union behave.
+        let id = back.push();
+        back.union(id, 4);
+        assert!(back.same(4, id));
+    }
+
+    #[test]
+    fn from_vec_rejects_garbage() {
+        assert!(UnionFind::from_vec(vec![7]).is_err(), "out of range");
+        assert!(UnionFind::from_vec(vec![1, 0]).is_err(), "2-cycle");
+        assert!(UnionFind::from_vec(vec![0, 2, 1]).is_err(), "deep cycle");
+        assert!(UnionFind::from_vec(vec![]).unwrap().is_empty());
+        // A chain 2 -> 1 -> 0 is a valid (uncompressed) forest.
+        let uf = UnionFind::from_vec(vec![0, 0, 1]).unwrap();
+        assert_eq!(uf.set_count(), 1);
     }
 }

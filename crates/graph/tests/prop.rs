@@ -60,6 +60,32 @@ proptest! {
     }
 
     #[test]
+    fn union_find_vec_round_trip_preserves_find(
+        n in 1usize..40,
+        edges in proptest::collection::vec(any::<(u8, u8)>(), 0..60),
+    ) {
+        // Snapshot persistence contract: to_vec/from_vec must preserve the
+        // partition — every pair's same-set relation, every set size, and
+        // the set count survive the round trip.
+        let mut uf = UnionFind::new(n);
+        for (a, b) in edges {
+            uf.union((a as usize % n) as u32, (b as usize % n) as u32);
+        }
+        let mut back = UnionFind::from_vec(uf.to_vec()).expect("to_vec output is always valid");
+        prop_assert_eq!(back.len(), uf.len());
+        prop_assert_eq!(back.set_count(), uf.set_count());
+        for i in 0..n as u32 {
+            prop_assert_eq!(back.set_size(i), uf.set_size(i), "set size of {}", i);
+            for j in (i + 1)..n as u32 {
+                prop_assert_eq!(back.same(i, j), uf.same(i, j), "pair ({}, {})", i, j);
+            }
+        }
+        // A second round trip (now with partially compressed paths) holds too.
+        let again = UnionFind::from_vec(back.to_vec()).expect("still valid");
+        prop_assert_eq!(again.set_count(), uf.set_count());
+    }
+
+    #[test]
     fn greedy_picks_form_independent_set(g in (2usize..12).prop_flat_map(random_graph)) {
         // Internal invariant behind the bound: the count returned equals
         // the size of some independent set in the *filled* graph, which is

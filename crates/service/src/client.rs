@@ -1,0 +1,200 @@
+//! A small blocking client for the line protocol.
+//!
+//! Wraps a `TcpStream` and exposes one method per command; every method
+//! sends a single request line and blocks for the single response line.
+//! Used by `topk client`, the `exp_serve` load generator, and the
+//! loopback integration test — all clients in this repo speak through
+//! this type so the wire format lives in exactly one place.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crate::json::{obj, parse, Json};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send a request, parse the response, and unwrap the `ok` envelope:
+    /// success responses come back as the parsed body object, error
+    /// envelopes become `Err("code: message")`.
+    pub fn request(&mut self, line: &str) -> Result<Json, String> {
+        let raw = self.request_raw(line)?;
+        let v = parse(&raw).map_err(|e| format!("bad response `{raw}`: {e}"))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => {
+                let code = v
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown");
+                let message = v
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("");
+                Err(format!("{code}: {message}"))
+            }
+            None => Err(format!("response missing `ok`: {raw}")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.request(r#"{"cmd":"ping"}"#).map(|_| ())
+    }
+
+    /// Ingest a batch of (fields, weight) rows; returns the new
+    /// generation counter.
+    pub fn ingest_batch(&mut self, rows: &[(Vec<String>, f64)]) -> Result<u64, String> {
+        let batch = Json::Arr(
+            rows.iter()
+                .map(|(fields, weight)| {
+                    obj(vec![
+                        (
+                            "fields",
+                            Json::Arr(fields.iter().map(|f| Json::Str(f.clone())).collect()),
+                        ),
+                        ("weight", Json::Num(*weight)),
+                    ])
+                })
+                .collect(),
+        );
+        let line = obj(vec![("cmd", Json::Str("ingest".into())), ("batch", batch)]).to_string();
+        let v = self.request(&line)?;
+        v.get("generation")
+            .and_then(Json::as_usize)
+            .map(|g| g as u64)
+            .ok_or_else(|| "ingest response missing `generation`".into())
+    }
+
+    /// TopK count query; returns the full response object.
+    pub fn topk(&mut self, k: usize) -> Result<Json, String> {
+        self.request(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+    }
+
+    /// TopR rank query; returns the full response object.
+    pub fn topr(&mut self, k: usize) -> Result<Json, String> {
+        self.request(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
+    }
+
+    /// Engine + metrics counters.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.request(r#"{"cmd":"stats"}"#)
+    }
+
+    /// Ask the server to write a snapshot to `path` (server-side path).
+    pub fn snapshot(&mut self, path: &str) -> Result<Json, String> {
+        let line = obj(vec![
+            ("cmd", Json::Str("snapshot".into())),
+            ("path", Json::Str(path.into())),
+        ])
+        .to_string();
+        self.request(&line)
+    }
+
+    /// Ask the server to replace its state from a snapshot at `path`.
+    pub fn restore(&mut self, path: &str) -> Result<Json, String> {
+        let line = obj(vec![
+            ("cmd", Json::Str("restore".into())),
+            ("path", Json::Str(path.into())),
+        ])
+        .to_string();
+        self.request(&line)
+    }
+
+    /// Stop the server.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request(r#"{"cmd":"shutdown"}"#).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::server::Server;
+    use std::sync::Arc;
+
+    #[test]
+    fn client_round_trip_against_live_server() {
+        let engine = Arc::new(
+            Engine::new(EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let (addr, handle) = server.spawn();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        c.ping().unwrap();
+        let generation = c
+            .ingest_batch(&[
+                (vec!["maria santos".into()], 1.0),
+                (vec!["maria santos".into()], 2.0),
+                (vec!["john doe".into()], 1.0),
+            ])
+            .unwrap();
+        assert_eq!(generation, 3);
+        let top = c.topk(2).unwrap();
+        let groups = top.get("groups").and_then(Json::as_arr).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0].get("weight").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // Repeat query hits the generation-keyed cache.
+        c.topk(2).unwrap();
+        let stats = c.stats().unwrap();
+        let hits = stats
+            .get("metrics")
+            .and_then(|m| m.get("cache_hits"))
+            .and_then(Json::as_usize)
+            .unwrap();
+        assert!(hits >= 1, "expected a cache hit, stats: {}", stats.to_string());
+        // Errors come back as Err with the code prefix.
+        let err = c.request(r#"{"cmd":"topk","k":0}"#).unwrap_err();
+        assert!(err.starts_with("bad_request"), "{err}");
+        c.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

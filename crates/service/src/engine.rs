@@ -1,0 +1,585 @@
+//! The resident query engine: `IncrementalDedup` behind a `RwLock`, a
+//! generation-keyed query cache, and incremental corpus statistics.
+//!
+//! # Collapse timing
+//!
+//! Ingested records are tokenized immediately (once — the shared
+//! tokenize-once path of [`crate::corpus`]) but merged into the
+//! first-level collapse *lazily, at the next query*: the sufficient
+//! predicate depends on corpus statistics, and deferring the merge to
+//! query time means every record is collapsed under the newest statistics
+//! available. In particular, a stream that is fully ingested before its
+//! first query collapses under exactly the statistics a batch run over
+//! the same file would use, which is what makes served answers
+//! byte-identical to the batch pipeline (`tests/serve_roundtrip.rs`).
+//! Records collapsed by an *earlier* query keep their insert-time
+//! decisions — the documented [`IncrementalDedup`] drift caveat.
+//!
+//! # Query cache
+//!
+//! Responses are cached keyed on the query parameters; every entry also
+//! remembers the ingest generation it was computed at. Ingestion bumps
+//! the generation and clears the cache, so a repeated TopK refresh on a
+//! quiet stream is a hash lookup — O(1) — while any ingestion
+//! invalidates exactly once. The generation check makes staleness
+//! impossible even if an eviction policy ever retains entries across
+//! ingests.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use topk_core::{IncrementalDedup, Parallelism, TopKRankQuery};
+use topk_records::{FieldId, TokenizedRecord};
+use topk_text::CorpusStats;
+
+use crate::corpus::stack_from_stats;
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::snapshot;
+
+/// Maximum cached responses before the cache is wiped (entries are a few
+/// hundred bytes each; distinct live query shapes are few).
+const CACHE_CAP: usize = 128;
+
+/// Engine construction parameters (fixed for the server's lifetime).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Schema field names, when fixed up front. `None` lets the first
+    /// ingested record (or a restore) fix the arity, with fields named
+    /// `col0`, `col1`, ...
+    pub fields: Option<Vec<String>>,
+    /// Name of the match field (`None` = first field).
+    pub name_field: Option<String>,
+    /// Rare-word document-frequency cap for the sufficient predicate.
+    pub max_df: u32,
+    /// 3-gram overlap fraction for the necessary predicate.
+    pub min_overlap: f64,
+    /// Thread budget for the query pipeline stages.
+    pub parallelism: Parallelism,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            fields: None,
+            name_field: None,
+            max_df: 30,
+            min_overlap: 0.6,
+            parallelism: Parallelism::auto(),
+        }
+    }
+}
+
+struct CacheEntry {
+    generation: u64,
+    body: Json,
+}
+
+struct State {
+    /// Resolved schema; `None` until the first record arrives.
+    fields: Option<Vec<String>>,
+    /// Match-field index (valid once `fields` is set).
+    field: FieldId,
+    /// The maintained first-level collapse.
+    inc: IncrementalDedup,
+    /// Ingested but not yet collapsed records (merged at next query).
+    pending: Vec<TokenizedRecord>,
+    /// Document frequencies over distinct match-field values, maintained
+    /// incrementally (`seen` holds hashes of values already counted).
+    stats: CorpusStats,
+    seen: HashSet<u64>,
+    /// Rendered responses keyed by query descriptor.
+    cache: HashMap<String, CacheEntry>,
+}
+
+impl State {
+    fn empty(cfg: &EngineConfig) -> Result<State, String> {
+        let field = match (&cfg.fields, &cfg.name_field) {
+            (Some(fields), Some(name)) => FieldId(
+                fields
+                    .iter()
+                    .position(|f| f == name)
+                    .ok_or_else(|| format!("no field named `{name}` in --fields"))?,
+            ),
+            _ => FieldId(0),
+        };
+        Ok(State {
+            fields: cfg.fields.clone(),
+            field,
+            inc: IncrementalDedup::new(),
+            pending: Vec::new(),
+            stats: CorpusStats::new(),
+            seen: HashSet::new(),
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Total records ingested (collapsed + pending).
+    fn generation(&self) -> u64 {
+        self.inc.generation() + self.pending.len() as u64
+    }
+
+    /// Fix the schema on first contact, or validate arity against it.
+    fn check_schema(&mut self, arity: usize, name_field: &Option<String>) -> Result<(), String> {
+        match &self.fields {
+            Some(fields) => {
+                if fields.len() != arity {
+                    return Err(format!(
+                        "record has {arity} fields, schema has {}",
+                        fields.len()
+                    ));
+                }
+            }
+            None => {
+                if arity == 0 {
+                    return Err("record has no fields".into());
+                }
+                let fields: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+                if let Some(name) = name_field {
+                    self.field = FieldId(
+                        fields
+                            .iter()
+                            .position(|f| f == name)
+                            .ok_or_else(|| format!("no field named `{name}`"))?,
+                    );
+                }
+                self.fields = Some(fields);
+            }
+        }
+        Ok(())
+    }
+
+    /// Count a tokenized record into the incremental corpus statistics.
+    fn count_stats(&mut self, t: &TokenizedRecord) {
+        let f = t.field(self.field);
+        if self.seen.insert(topk_text::hash::hash_str(&f.text)) {
+            self.stats.add_document(&f.words);
+        }
+    }
+
+    /// Merge all pending records into the collapse under the *current*
+    /// corpus statistics.
+    fn flush(&mut self, cfg: &EngineConfig) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let stack = stack_from_stats(
+            Arc::new(self.stats.clone()),
+            self.field,
+            cfg.max_df,
+            cfg.min_overlap,
+        );
+        let s = stack.levels[0].0.as_ref();
+        for t in self.pending.drain(..) {
+            self.inc.insert(t, s);
+        }
+    }
+}
+
+/// Thread-safe resident engine; the server shares one behind an `Arc`.
+pub struct Engine {
+    cfg: EngineConfig,
+    state: RwLock<State>,
+    /// Counters and latency histograms (lock-free, shared with the
+    /// server's stats command and shutdown log).
+    pub metrics: Metrics,
+}
+
+impl Engine {
+    /// Fresh engine with no records.
+    pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
+        let state = State::empty(&cfg)?;
+        Ok(Engine {
+            cfg,
+            state: RwLock::new(state),
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// Ingest raw rows (field texts + weight). Fields are normalized
+    /// exactly like file loading normalizes them, then tokenized once.
+    /// Returns the new ingest generation.
+    pub fn ingest(&self, rows: Vec<(Vec<String>, f64)>) -> Result<u64, String> {
+        let t0 = Instant::now();
+        // Validate and tokenize outside the lock.
+        let mut toks = Vec::with_capacity(rows.len());
+        for (fields, weight) in &rows {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(format!("weight {weight} must be finite and >= 0"));
+            }
+            let normalized: Vec<String> = fields
+                .iter()
+                .map(|f| topk_text::normalize::normalize(f))
+                .collect();
+            toks.push(TokenizedRecord::from_fields(&normalized, *weight));
+        }
+        let mut state = self.state.write().expect("engine lock poisoned");
+        for t in &toks {
+            state.check_schema(t.arity(), &self.cfg.name_field)?;
+        }
+        let n = toks.len();
+        for t in toks {
+            state.count_stats(&t);
+            state.pending.push(t);
+        }
+        state.cache.clear(); // ingestion invalidates every cached answer
+        let generation = state.generation();
+        drop(state);
+        self.metrics
+            .ingested_records
+            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+        Metrics::incr(&self.metrics.ingest_requests);
+        self.metrics.ingest_latency.record(t0.elapsed());
+        Ok(generation)
+    }
+
+    /// Ingest records that are already normalized and tokenized (the
+    /// `--preload` path: the corpus loader tokenized them, no second
+    /// pass). `fields` is the file's schema.
+    pub fn ingest_toks(
+        &self,
+        toks: Vec<TokenizedRecord>,
+        fields: Vec<String>,
+        field: FieldId,
+    ) -> Result<u64, String> {
+        let t0 = Instant::now();
+        let mut state = self.state.write().expect("engine lock poisoned");
+        if let Some(existing) = &state.fields {
+            if existing.len() != fields.len() {
+                return Err(format!(
+                    "preload has {} fields, engine schema has {}",
+                    fields.len(),
+                    existing.len()
+                ));
+            }
+        } else {
+            state.fields = Some(fields);
+            state.field = field;
+        }
+        let n = toks.len();
+        for t in toks {
+            state.count_stats(&t);
+            state.pending.push(t);
+        }
+        state.cache.clear();
+        let generation = state.generation();
+        drop(state);
+        self.metrics
+            .ingested_records
+            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+        Metrics::incr(&self.metrics.ingest_requests);
+        self.metrics.ingest_latency.record(t0.elapsed());
+        Ok(generation)
+    }
+
+    /// TopK count-style query: the K heaviest collapsed groups surviving
+    /// the bound/prune machinery, rendered as a JSON result body.
+    pub fn query_topk(&self, k: usize) -> Result<Json, String> {
+        self.cached_query(format!("topk:k={k}"), |state, cfg| {
+            state.flush(cfg);
+            if state.inc.is_empty() {
+                return Ok(obj(vec![("groups", Json::Arr(Vec::new()))]));
+            }
+            let stack = stack_from_stats(
+                Arc::new(state.stats.clone()),
+                state.field,
+                cfg.max_df,
+                cfg.min_overlap,
+            );
+            let field = state.field;
+            let groups = state.inc.query(&stack, k);
+            let items: Vec<Json> = groups
+                .iter()
+                .take(k)
+                .enumerate()
+                .map(|(rank, g)| {
+                    obj(vec![
+                        ("rank", Json::Num((rank + 1) as f64)),
+                        ("weight", Json::Num(g.weight)),
+                        ("size", Json::Num(g.members.len() as f64)),
+                        ("rep_id", Json::Num(g.rep as f64)),
+                        (
+                            "rep",
+                            Json::Str(
+                                state.inc.records()[g.rep as usize].field(field).text.clone(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(obj(vec![("groups", Json::Arr(items))]))
+        })
+    }
+
+    /// TopR rank-style query (§7.1): group *order* with upper bounds and
+    /// a certification flag — the cheap way to keep a leaderboard fresh.
+    pub fn query_topr(&self, k: usize) -> Result<Json, String> {
+        self.cached_query(format!("topr:k={k}"), |state, cfg| {
+            state.flush(cfg);
+            if state.inc.is_empty() {
+                return Ok(obj(vec![
+                    ("entries", Json::Arr(Vec::new())),
+                    ("certified", Json::Bool(false)),
+                ]));
+            }
+            let stack = stack_from_stats(
+                Arc::new(state.stats.clone()),
+                state.field,
+                cfg.max_df,
+                cfg.min_overlap,
+            );
+            let mut q = TopKRankQuery::new(k);
+            q.parallelism = cfg.parallelism;
+            let res = q.run(state.inc.records(), &stack);
+            let field = state.field;
+            let entries: Vec<Json> = res
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(rank, e)| {
+                    obj(vec![
+                        ("rank", Json::Num((rank + 1) as f64)),
+                        ("weight", Json::Num(e.weight)),
+                        ("upper_bound", Json::Num(e.upper_bound)),
+                        ("size", Json::Num(e.records.len() as f64)),
+                        ("rep_id", Json::Num(e.rep as f64)),
+                        (
+                            "rep",
+                            Json::Str(
+                                state.inc.records()[e.rep as usize].field(field).text.clone(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(obj(vec![
+                ("entries", Json::Arr(entries)),
+                ("certified", Json::Bool(res.certified)),
+            ]))
+        })
+    }
+
+    /// Run `compute` through the generation-keyed cache.
+    fn cached_query<F>(&self, key: String, compute: F) -> Result<Json, String>
+    where
+        F: FnOnce(&mut State, &EngineConfig) -> Result<Json, String>,
+    {
+        let t0 = Instant::now();
+        Metrics::incr(&self.metrics.queries);
+        let mut state = self.state.write().expect("engine lock poisoned");
+        // Pending records change the generation at flush time, so settle
+        // the generation first for a meaningful cache comparison.
+        state.flush(&self.cfg);
+        let generation = state.generation();
+        if let Some(entry) = state.cache.get(&key) {
+            if entry.generation == generation {
+                let body = entry.body.clone();
+                drop(state);
+                Metrics::incr(&self.metrics.cache_hits);
+                self.metrics.query_latency.record(t0.elapsed());
+                return Ok(body);
+            }
+        }
+        Metrics::incr(&self.metrics.cache_misses);
+        let body = compute(&mut state, &self.cfg)?;
+        if state.cache.len() >= CACHE_CAP {
+            state.cache.clear();
+        }
+        state.cache.insert(
+            key,
+            CacheEntry {
+                generation,
+                body: body.clone(),
+            },
+        );
+        drop(state);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok(body)
+    }
+
+    /// Current ingest generation (collapsed + pending records).
+    pub fn generation(&self) -> u64 {
+        self.state.read().expect("engine lock poisoned").generation()
+    }
+
+    /// Engine-level stats body (metrics included).
+    pub fn stats_json(&self) -> Json {
+        let state = self.state.read().expect("engine lock poisoned");
+        let fields = match &state.fields {
+            Some(f) => Json::Arr(f.iter().map(|s| Json::Str(s.clone())).collect()),
+            None => Json::Null,
+        };
+        obj(vec![
+            ("records", Json::Num(state.generation() as f64)),
+            ("collapsed", Json::Num(state.inc.len() as f64)),
+            ("pending", Json::Num(state.pending.len() as f64)),
+            ("groups", Json::Num(state.inc.group_count() as f64)),
+            ("generation", Json::Num(state.generation() as f64)),
+            ("distinct_values", Json::Num(state.seen.len() as f64)),
+            ("fields", fields),
+            ("cache_entries", Json::Num(state.cache.len() as f64)),
+            ("metrics", self.metrics.summary()),
+        ])
+    }
+
+    /// Write a snapshot of the collapsed state to `path`. Pending
+    /// records are flushed first so the snapshot is self-contained.
+    pub fn snapshot(&self, path: &Path) -> Result<u64, String> {
+        let mut state = self.state.write().expect("engine lock poisoned");
+        state.flush(&self.cfg);
+        let fields = state.fields.clone().unwrap_or_default();
+        let bytes = snapshot::write_snapshot(
+            path,
+            &state.inc.export_state(),
+            &fields,
+            state.field,
+        )?;
+        drop(state);
+        Metrics::incr(&self.metrics.snapshots);
+        Ok(bytes)
+    }
+
+    /// Replace the engine state with a snapshot read from `path`. Corpus
+    /// statistics are rebuilt deterministically from the restored
+    /// records; no predicate work is replayed.
+    pub fn restore(&self, path: &Path) -> Result<u64, String> {
+        let (inc_state, fields, field) = snapshot::read_snapshot(path)?;
+        if let Some(cfg_fields) = &self.cfg.fields {
+            if !fields.is_empty() && *cfg_fields != fields {
+                return Err(format!(
+                    "snapshot schema {fields:?} differs from --fields {cfg_fields:?}"
+                ));
+            }
+        }
+        let inc = IncrementalDedup::from_state(inc_state)?;
+        let mut seen = HashSet::new();
+        let mut stats = CorpusStats::new();
+        for t in inc.records() {
+            let f = t.field(field);
+            if seen.insert(topk_text::hash::hash_str(&f.text)) {
+                stats.add_document(&f.words);
+            }
+        }
+        let generation = inc.generation();
+        let mut state = self.state.write().expect("engine lock poisoned");
+        *state = State {
+            fields: if fields.is_empty() { None } else { Some(fields) },
+            field,
+            inc,
+            pending: Vec::new(),
+            stats,
+            seen,
+            cache: HashMap::new(),
+        };
+        drop(state);
+        Metrics::incr(&self.metrics.restores);
+        Ok(generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            parallelism: Parallelism::sequential(),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn row(name: &str) -> (Vec<String>, f64) {
+        (vec![name.to_string()], 1.0)
+    }
+
+    #[test]
+    fn ingest_then_query_groups_duplicates() {
+        let e = engine();
+        e.ingest(vec![
+            row("Grace Hopper"),
+            row("grace hopper"),
+            row("Ada Lovelace"),
+        ])
+        .unwrap();
+        assert_eq!(e.generation(), 3);
+        let body = e.query_topk(2).unwrap();
+        let groups = body.get("groups").unwrap().as_arr().unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].get("size").unwrap().as_usize(), Some(2));
+        assert_eq!(groups[0].get("rep").unwrap().as_str(), Some("grace hopper"));
+    }
+
+    #[test]
+    fn cache_hits_on_quiet_stream_and_invalidates_on_ingest() {
+        let e = engine();
+        e.ingest(vec![row("a b"), row("a b"), row("c d")]).unwrap();
+        let first = e.query_topk(2).unwrap();
+        let second = e.query_topk(2).unwrap();
+        assert_eq!(first.to_string(), second.to_string());
+        assert_eq!(Metrics::get(&e.metrics.cache_hits), 1);
+        assert_eq!(Metrics::get(&e.metrics.cache_misses), 1);
+        // Ingestion invalidates: the next query recomputes.
+        e.ingest(vec![row("e f")]).unwrap();
+        e.query_topk(2).unwrap();
+        assert_eq!(Metrics::get(&e.metrics.cache_hits), 1);
+        assert_eq!(Metrics::get(&e.metrics.cache_misses), 2);
+        // Different parameters are different cache keys.
+        e.query_topk(1).unwrap();
+        assert_eq!(Metrics::get(&e.metrics.cache_misses), 3);
+    }
+
+    #[test]
+    fn schema_fixed_by_first_record() {
+        let e = engine();
+        e.ingest(vec![(vec!["x".into(), "y".into()], 1.0)]).unwrap();
+        let err = e.ingest(vec![row("only one field")]).unwrap_err();
+        assert!(err.contains("fields"), "{err}");
+        let stats = e.stats_json().to_string();
+        assert!(stats.contains("\"fields\":[\"col0\",\"col1\"]"), "{stats}");
+    }
+
+    #[test]
+    fn rejects_bad_weight_and_unknown_name_field() {
+        let e = engine();
+        assert!(e.ingest(vec![(vec!["x".into()], f64::NAN)]).is_err());
+        assert!(e.ingest(vec![(vec!["x".into()], -1.0)]).is_err());
+        let err = Engine::new(EngineConfig {
+            fields: Some(vec!["a".into()]),
+            name_field: Some("missing".into()),
+            ..Default::default()
+        })
+        .err()
+        .unwrap();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn topr_orders_by_weight_with_bounds() {
+        let e = engine();
+        let mut rows = Vec::new();
+        for _ in 0..5 {
+            rows.push(row("big group"));
+        }
+        rows.push(row("small group"));
+        e.ingest(rows).unwrap();
+        let body = e.query_topr(2).unwrap();
+        let entries = body.get("entries").unwrap().as_arr().unwrap();
+        assert!(!entries.is_empty());
+        let w0 = entries[0].get("weight").unwrap().as_f64().unwrap();
+        let ub0 = entries[0].get("upper_bound").unwrap().as_f64().unwrap();
+        assert!(w0 >= 5.0 - 1e-9);
+        assert!(ub0 >= w0);
+    }
+
+    #[test]
+    fn empty_engine_answers_empty() {
+        let e = engine();
+        let body = e.query_topk(3).unwrap();
+        assert_eq!(body.get("groups").unwrap().as_arr().unwrap().len(), 0);
+        let body = e.query_topr(3).unwrap();
+        assert_eq!(body.get("certified").unwrap().as_bool(), Some(false));
+    }
+}

@@ -1,0 +1,199 @@
+//! Service metrics: atomic counters plus log-scale latency histograms.
+//!
+//! Everything here is lock-free (`AtomicU64` with relaxed ordering) so
+//! the hot ingest/query paths never contend on a metrics mutex. Numbers
+//! are exposed through the `stats` protocol command and logged to stderr
+//! when the server shuts down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples with
+/// `2^i` microseconds ≤ latency < `2^(i+1)`; bucket 0 also absorbs
+/// sub-microsecond samples, the last bucket absorbs everything ≥ ~35 min).
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Percentile estimates are upper bounds of the selected bucket, so they
+/// are conservative within a factor of two — plenty for spotting
+/// regressions, with a fixed 256-byte footprint and wait-free recording.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().max(1) as u64;
+        let idx = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding the `p`-th percentile
+    /// sample, `p` in `[0, 100]`. Returns 0 for an empty histogram.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// Render `{count, p50_us, p95_us, p99_us}` for the stats response.
+    pub fn summary(&self) -> crate::json::Json {
+        crate::json::obj(vec![
+            ("count", crate::json::Json::Num(self.count() as f64)),
+            ("p50_us", crate::json::Json::Num(self.percentile_micros(50.0) as f64)),
+            ("p95_us", crate::json::Json::Num(self.percentile_micros(95.0) as f64)),
+            ("p99_us", crate::json::Json::Num(self.percentile_micros(99.0) as f64)),
+        ])
+    }
+}
+
+/// All counters and histograms of one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Records ingested (individual records, not requests).
+    pub ingested_records: AtomicU64,
+    /// `ingest` requests served.
+    pub ingest_requests: AtomicU64,
+    /// `topk`/`topr` queries served (hits + misses).
+    pub queries: AtomicU64,
+    /// Queries answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that ran the pipeline.
+    pub cache_misses: AtomicU64,
+    /// Snapshots written.
+    pub snapshots: AtomicU64,
+    /// Snapshots restored.
+    pub restores: AtomicU64,
+    /// Requests rejected with an error envelope.
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Per-record ingest latency.
+    pub ingest_latency: LatencyHistogram,
+    /// Per-query latency (cache hits included — that is the point).
+    pub query_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Render the full metrics object for the `stats` response.
+    pub fn summary(&self) -> crate::json::Json {
+        use crate::json::{obj, Json};
+        let n = |c: &AtomicU64| Json::Num(Self::get(c) as f64);
+        obj(vec![
+            ("ingested_records", n(&self.ingested_records)),
+            ("ingest_requests", n(&self.ingest_requests)),
+            ("queries", n(&self.queries)),
+            ("cache_hits", n(&self.cache_hits)),
+            ("cache_misses", n(&self.cache_misses)),
+            ("snapshots", n(&self.snapshots)),
+            ("restores", n(&self.restores)),
+            ("errors", n(&self.errors)),
+            ("connections", n(&self.connections)),
+            ("ingest_latency", self.ingest_latency.summary()),
+            ("query_latency", self.query_latency.summary()),
+        ])
+    }
+
+    /// One-line shutdown log, written to stderr when the server exits.
+    pub fn log_line(&self) -> String {
+        format!(
+            "served {} queries ({} cache hits, {} misses), ingested {} records in {} requests, {} snapshots, {} restores, {} errors, {} connections; query p50/p95/p99 {}/{}/{} µs, ingest p50/p95/p99 {}/{}/{} µs",
+            Self::get(&self.queries),
+            Self::get(&self.cache_hits),
+            Self::get(&self.cache_misses),
+            Self::get(&self.ingested_records),
+            Self::get(&self.ingest_requests),
+            Self::get(&self.snapshots),
+            Self::get(&self.restores),
+            Self::get(&self.errors),
+            Self::get(&self.connections),
+            self.query_latency.percentile_micros(50.0),
+            self.query_latency.percentile_micros(95.0),
+            self.query_latency.percentile_micros(99.0),
+            self.ingest_latency.percentile_micros(50.0),
+            self.ingest_latency.percentile_micros(95.0),
+            self.ingest_latency.percentile_micros(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_micros(99.0), 0, "empty histogram");
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.percentile_micros(50.0);
+        let p99 = h.percentile_micros(99.0);
+        assert!(p50 >= 100, "p50 bucket bound covers the median sample");
+        assert!(p99 >= 10_000);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_micros(100.0) > 0);
+    }
+
+    #[test]
+    fn counters_and_log_line() {
+        let m = Metrics::new();
+        Metrics::incr(&m.cache_hits);
+        Metrics::incr(&m.queries);
+        m.query_latency.record(Duration::from_micros(42));
+        assert_eq!(Metrics::get(&m.cache_hits), 1);
+        let line = m.log_line();
+        assert!(line.contains("1 cache hits"), "{line}");
+        let s = m.summary().to_string();
+        assert!(s.contains("\"cache_hits\":1"), "{s}");
+    }
+}

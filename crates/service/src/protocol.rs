@@ -1,0 +1,264 @@
+//! Wire protocol: one JSON object per line, both directions.
+//!
+//! Requests carry a `cmd` discriminator; responses always carry `ok`.
+//! Failures use a uniform error envelope
+//! `{"ok":false,"error":{"code":...,"message":...}}` so clients can
+//! branch on a stable machine-readable `code` while logging the human
+//! message. Full schemas: `docs/SERVICE.md`.
+
+use crate::json::{obj, parse, Json};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Insert records: each row is (field texts, weight).
+    Ingest(Vec<(Vec<String>, f64)>),
+    /// TopK count-style query.
+    TopK {
+        /// Number of groups wanted.
+        k: usize,
+    },
+    /// Rank-style query (order + upper bounds).
+    TopR {
+        /// Number of ranked groups wanted.
+        k: usize,
+    },
+    /// Engine and metrics counters.
+    Stats,
+    /// Persist the collapsed state to a server-side path.
+    Snapshot {
+        /// Destination file path (on the server's filesystem).
+        path: String,
+    },
+    /// Replace the engine state from a snapshot file.
+    Restore {
+        /// Source file path (on the server's filesystem).
+        path: String,
+    },
+    /// Stop the server after draining open connections.
+    Shutdown,
+}
+
+/// A protocol-level failure, carried into the error envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// Stable machine-readable code (`bad_json`, `bad_request`,
+    /// `engine_error`, `io_error`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtoError {
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = parse(line).map_err(|e| ProtoError {
+        code: "bad_json",
+        message: e,
+    })?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::bad_request("missing string `cmd`"))?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "ingest" => parse_ingest(&v),
+        "topk" => Ok(Request::TopK { k: parse_k(&v)? }),
+        "topr" => Ok(Request::TopR { k: parse_k(&v)? }),
+        "snapshot" => Ok(Request::Snapshot { path: parse_path(&v)? }),
+        "restore" => Ok(Request::Restore { path: parse_path(&v)? }),
+        other => Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
+    }
+}
+
+fn parse_k(v: &Json) -> Result<usize, ProtoError> {
+    let k = v
+        .get("k")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ProtoError::bad_request("missing or non-integer `k`"))?;
+    if k == 0 {
+        return Err(ProtoError::bad_request("`k` must be at least 1"));
+    }
+    Ok(k)
+}
+
+fn parse_path(v: &Json) -> Result<String, ProtoError> {
+    v.get("path")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::bad_request("missing string `path`"))
+}
+
+fn parse_ingest(v: &Json) -> Result<Request, ProtoError> {
+    let mut rows = Vec::new();
+    match (v.get("fields"), v.get("batch")) {
+        (Some(_), Some(_)) => {
+            return Err(ProtoError::bad_request(
+                "give either `fields` (single record) or `batch`, not both",
+            ))
+        }
+        (Some(fields), None) => rows.push(parse_row(fields, v.get("weight"))?),
+        (None, Some(batch)) => {
+            let items = batch
+                .as_arr()
+                .ok_or_else(|| ProtoError::bad_request("`batch` must be an array"))?;
+            if items.is_empty() {
+                return Err(ProtoError::bad_request("`batch` is empty"));
+            }
+            for item in items {
+                let fields = item
+                    .get("fields")
+                    .ok_or_else(|| ProtoError::bad_request("batch item missing `fields`"))?;
+                rows.push(parse_row(fields, item.get("weight"))?);
+            }
+        }
+        (None, None) => {
+            return Err(ProtoError::bad_request(
+                "ingest needs `fields` or `batch`",
+            ))
+        }
+    }
+    Ok(Request::Ingest(rows))
+}
+
+fn parse_row(fields: &Json, weight: Option<&Json>) -> Result<(Vec<String>, f64), ProtoError> {
+    let arr = fields
+        .as_arr()
+        .ok_or_else(|| ProtoError::bad_request("`fields` must be an array of strings"))?;
+    let mut texts = Vec::with_capacity(arr.len());
+    for f in arr {
+        texts.push(
+            f.as_str()
+                .ok_or_else(|| ProtoError::bad_request("`fields` must be an array of strings"))?
+                .to_string(),
+        );
+    }
+    let w = match weight {
+        None => 1.0,
+        Some(w) => w
+            .as_f64()
+            .ok_or_else(|| ProtoError::bad_request("`weight` must be a number"))?,
+    };
+    Ok((texts, w))
+}
+
+/// Render a success response: `{"ok":true, ...body members}`.
+pub fn ok_response(body: Json) -> String {
+    let mut members = vec![("ok".to_string(), Json::Bool(true))];
+    match body {
+        Json::Obj(rest) => members.extend(rest),
+        Json::Null => {}
+        other => members.push(("result".to_string(), other)),
+    }
+    Json::Obj(members).to_string()
+}
+
+/// Render the error envelope.
+pub fn err_response(e: &ProtoError) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Json::Str(e.code.to_string())),
+                ("message", Json::Str(e.message.clone())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","k":5}"#).unwrap(),
+            Request::TopK { k: 5 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topr","k":2}"#).unwrap(),
+            Request::TopR { k: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"snapshot","path":"/tmp/x"}"#).unwrap(),
+            Request::Snapshot { path: "/tmp/x".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ingest","fields":["a b","c"],"weight":2}"#).unwrap(),
+            Request::Ingest(vec![(vec!["a b".into(), "c".into()], 2.0)])
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"ingest","batch":[{"fields":["x"]},{"fields":["y"],"weight":3}]}"#
+            )
+            .unwrap(),
+            Request::Ingest(vec![
+                (vec!["x".into()], 1.0),
+                (vec!["y".into()], 3.0)
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, code) in [
+            ("not json", "bad_json"),
+            (r#"{"k":1}"#, "bad_request"),
+            (r#"{"cmd":"nope"}"#, "bad_request"),
+            (r#"{"cmd":"topk"}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":0}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":1.5}"#, "bad_request"),
+            (r#"{"cmd":"snapshot"}"#, "bad_request"),
+            (r#"{"cmd":"ingest"}"#, "bad_request"),
+            (r#"{"cmd":"ingest","batch":[]}"#, "bad_request"),
+            (r#"{"cmd":"ingest","fields":[1]}"#, "bad_request"),
+            (
+                r#"{"cmd":"ingest","fields":["a"],"batch":[]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"cmd":"ingest","fields":["a"],"weight":"x"}"#,
+                "bad_request",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, code, "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn envelopes() {
+        assert_eq!(
+            ok_response(crate::json::obj(vec![("n", Json::Num(3.0))])),
+            r#"{"ok":true,"n":3}"#
+        );
+        assert_eq!(ok_response(Json::Null), r#"{"ok":true}"#);
+        let e = ProtoError::bad_request("boom");
+        assert_eq!(
+            err_response(&e),
+            r#"{"ok":false,"error":{"code":"bad_request","message":"boom"}}"#
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The TCP server: accept loop, per-connection threads, dispatch.
+//!
+//! Plain `std::net` blocking I/O with one thread per connection — the
+//! workspace ships no async runtime, and the expected client population
+//! (analysts, dashboards, the load generator) is tens of connections,
+//! far below where thread-per-connection hurts. All connections share
+//! one [`Engine`] behind its internal `RwLock`.
+//!
+//! Shutdown protocol: any client may send `{"cmd":"shutdown"}`. The
+//! handler acknowledges, raises the shared flag, and pokes the listener
+//! with a loopback connection so the blocking `accept` wakes up; the
+//! accept loop then drains its connection threads, optionally writes a
+//! final snapshot, and logs the metrics line to stderr.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::engine::Engine;
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::protocol::{err_response, ok_response, parse_request, ProtoError, Request};
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    /// Snapshot written right before exit, when set.
+    pub snapshot_on_exit: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:7411`; port 0 picks an ephemeral
+    /// port — read it back with [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Server {
+            listener,
+            engine,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            snapshot_on_exit: None,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Serve until a client sends `shutdown`. Returns after all
+    /// connection threads drained and the metrics line was logged.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr();
+        let mut handles = Vec::new();
+        // Clones of every accepted stream, so the drain below can force
+        // connections blocked in a read to wake up and exit.
+        let mut open: Vec<TcpStream> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    continue;
+                }
+            };
+            Metrics::incr(&self.engine.metrics.connections);
+            if let Ok(clone) = stream.try_clone() {
+                open.push(clone);
+            }
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            handles.push(std::thread::spawn(move || {
+                handle_connection(stream, &engine, &shutdown, addr);
+            }));
+        }
+        // Force-close every connection (idle clients sit in a blocking
+        // read and would otherwise keep the join below waiting forever),
+        // then drain the handler threads.
+        for s in &open {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.snapshot_on_exit {
+            match self.engine.snapshot(path) {
+                Ok(bytes) => eprintln!("exit snapshot: {} ({bytes} bytes)", path.display()),
+                Err(e) => eprintln!("exit snapshot failed: {e}"),
+            }
+        }
+        eprintln!("topk-service: {}", self.engine.metrics.log_line());
+        Ok(())
+    }
+
+    /// Run on a background thread; returns the bound address and the
+    /// join handle (used by tests and the load generator).
+    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
+        let addr = self.local_addr();
+        (addr, std::thread::spawn(move || self.run()))
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client hung up mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = dispatch(&line, engine);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the run loop can exit.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}
+
+/// Execute one request line; returns the response and whether the server
+/// should shut down.
+pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            Metrics::incr(&engine.metrics.errors);
+            return (err_response(&e), false);
+        }
+    };
+    let engine_err = |message: String| ProtoError {
+        code: "engine_error",
+        message,
+    };
+    let result: Result<Json, ProtoError> = match request {
+        Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
+        Request::Stats => Ok(engine.stats_json()),
+        Request::Shutdown => {
+            return (
+                ok_response(obj(vec![("stopping", Json::Bool(true))])),
+                true,
+            )
+        }
+        Request::Ingest(rows) => {
+            let n = rows.len();
+            engine
+                .ingest(rows)
+                .map(|generation| {
+                    obj(vec![
+                        ("ingested", Json::Num(n as f64)),
+                        ("generation", Json::Num(generation as f64)),
+                    ])
+                })
+                .map_err(engine_err)
+        }
+        Request::TopK { k } => engine.query_topk(k).map_err(engine_err),
+        Request::TopR { k } => engine.query_topr(k).map_err(engine_err),
+        Request::Snapshot { path } => engine
+            .snapshot(std::path::Path::new(&path))
+            .map(|bytes| {
+                obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("bytes", Json::Num(bytes as f64)),
+                ])
+            })
+            .map_err(|m| ProtoError {
+                code: "io_error",
+                message: m,
+            }),
+        Request::Restore { path } => engine
+            .restore(std::path::Path::new(&path))
+            .map(|generation| {
+                obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("generation", Json::Num(generation as f64)),
+                ])
+            })
+            .map_err(|m| ProtoError {
+                code: "io_error",
+                message: m,
+            }),
+    };
+    match result {
+        Ok(body) => (ok_response(body), false),
+        Err(e) => {
+            Metrics::incr(&engine.metrics.errors);
+            (err_response(&e), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            parallelism: topk_core::Parallelism::sequential(),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dispatch_ping_ingest_query() {
+        let e = engine();
+        let (r, stop) = dispatch(r#"{"cmd":"ping"}"#, &e);
+        assert_eq!(r, r#"{"ok":true,"pong":true}"#);
+        assert!(!stop);
+        let (r, _) = dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["ann xu"]},{"fields":["ann xu"]}]}"#,
+            &e,
+        );
+        assert_eq!(r, r#"{"ok":true,"ingested":2,"generation":2}"#);
+        let (r, _) = dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        assert!(r.starts_with(r#"{"ok":true,"groups":[{"rank":1,"weight":2,"size":2"#), "{r}");
+    }
+
+    #[test]
+    fn dispatch_errors_count_and_envelope() {
+        let e = engine();
+        let (r, stop) = dispatch("garbage", &e);
+        assert!(r.contains(r#""code":"bad_json""#), "{r}");
+        assert!(!stop);
+        let (r, _) = dispatch(r#"{"cmd":"restore","path":"/nonexistent/x"}"#, &e);
+        assert!(r.contains(r#""code":"io_error""#), "{r}");
+        assert_eq!(Metrics::get(&e.metrics.errors), 2);
+    }
+
+    #[test]
+    fn dispatch_shutdown_flags_stop() {
+        let e = engine();
+        let (r, stop) = dispatch(r#"{"cmd":"shutdown"}"#, &e);
+        assert!(stop);
+        assert!(r.contains("stopping"), "{r}");
+    }
+}

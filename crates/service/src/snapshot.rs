@@ -1,0 +1,325 @@
+//! Versioned binary persistence of the collapsed engine state.
+//!
+//! A snapshot lets a restarted server resume without replaying the
+//! stream: the expensive part of ingestion — sufficient-predicate
+//! matching inside blocks — is never re-run. The file carries the
+//! [`IncrementalState`] (normalized record texts + weights, union-find
+//! parent vector, blocking index, generation counter) plus the schema;
+//! corpus statistics are *not* stored because they are a deterministic
+//! O(n) fold over the stored records, recomputed on restore.
+//!
+//! # Format (version 1, little-endian)
+//!
+//! ```text
+//! magic   b"TKSN"
+//! version u32          (readers reject versions they don't know)
+//! generation u64
+//! schema  u32 count, then count strings     (u32 byte-len + UTF-8)
+//! name_field u32                            (index into schema)
+//! records u32 count, then per record:
+//!         u32 field count, fields as strings, f64 weight (bit pattern)
+//! parent  u32 count, then count u32s        (union-find, to_vec order)
+//! blocks  u32 count, then per block:
+//!         u64 key, u32 member count, members as u32s
+//! checksum u64  (FNV-1a over every payload byte after the version)
+//! ```
+//!
+//! Bumping the format bumps `VERSION`; old readers fail closed with a
+//! clear error rather than misparsing.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use topk_core::IncrementalState;
+use topk_records::FieldId;
+
+const MAGIC: &[u8; 4] = b"TKSN";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Writer that maintains a running FNV-1a checksum of payload bytes.
+struct Sink<W: Write> {
+    w: W,
+    hash: u64,
+    bytes: u64,
+}
+
+impl<W: Write> Sink<W> {
+    fn put(&mut self, data: &[u8]) -> Result<(), String> {
+        self.w.write_all(data).map_err(|e| format!("write: {e}"))?;
+        for &b in data {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.bytes += data.len() as u64;
+        Ok(())
+    }
+    fn u32(&mut self, v: u32) -> Result<(), String> {
+        self.put(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> Result<(), String> {
+        self.put(&v.to_le_bytes())
+    }
+    fn str(&mut self, s: &str) -> Result<(), String> {
+        let len = u32::try_from(s.len()).map_err(|_| "string too long".to_string())?;
+        self.u32(len)?;
+        self.put(s.as_bytes())
+    }
+}
+
+/// Reader mirroring [`Sink`]'s checksum.
+struct Source<R: Read> {
+    r: R,
+    hash: u64,
+}
+
+impl<R: Read> Source<R> {
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), String> {
+        self.r
+            .read_exact(buf)
+            .map_err(|e| format!("truncated snapshot: {e}"))?;
+        for &b in buf.iter() {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn str(&mut self, limit: u64) -> Result<String, String> {
+        let len = self.u32()? as u64;
+        if len > limit {
+            return Err(format!("string length {len} exceeds snapshot size"));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.take(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| "snapshot string is not UTF-8".to_string())
+    }
+}
+
+/// Write `state` to `path`, returning the byte size of the file. The
+/// write goes through a temporary sibling file and an atomic rename, so
+/// a crash mid-write never corrupts an existing snapshot.
+pub fn write_snapshot(
+    path: &Path,
+    state: &IncrementalState,
+    fields: &[String],
+    name_field: FieldId,
+) -> Result<u64, String> {
+    let tmp = path.with_extension("tmp");
+    let file = std::fs::File::create(&tmp)
+        .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+    let mut sink = Sink {
+        w: BufWriter::new(file),
+        hash: FNV_OFFSET,
+        bytes: 0,
+    };
+    sink.w.write_all(MAGIC).map_err(|e| format!("write: {e}"))?;
+    sink.w
+        .write_all(&VERSION.to_le_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    sink.u64(state.generation)?;
+    sink.u32(fields.len() as u32)?;
+    for f in fields {
+        sink.str(f)?;
+    }
+    sink.u32(name_field.0 as u32)?;
+    sink.u32(state.records.len() as u32)?;
+    for (texts, weight) in &state.records {
+        sink.u32(texts.len() as u32)?;
+        for t in texts {
+            sink.str(t)?;
+        }
+        sink.u64(weight.to_bits())?;
+    }
+    sink.u32(state.parent.len() as u32)?;
+    for &p in &state.parent {
+        sink.u32(p)?;
+    }
+    sink.u32(state.blocks.len() as u32)?;
+    for (key, members) in &state.blocks {
+        sink.u64(*key)?;
+        sink.u32(members.len() as u32)?;
+        for &m in members {
+            sink.u32(m)?;
+        }
+    }
+    let checksum = sink.hash;
+    sink.w
+        .write_all(&checksum.to_le_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let total = sink.bytes + 4 + 4 + 8; // payload + magic + version + checksum
+    sink.w.flush().map_err(|e| format!("flush: {e}"))?;
+    drop(sink);
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename into place: {e}"))?;
+    Ok(total)
+}
+
+/// Read a snapshot written by [`write_snapshot`]. Verifies the magic,
+/// version, and checksum before handing the state back.
+pub fn read_snapshot(path: &Path) -> Result<(IncrementalState, Vec<String>, FieldId), String> {
+    let size = std::fs::metadata(path)
+        .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
+        .len();
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut src = Source {
+        r: BufReader::new(file),
+        hash: FNV_OFFSET,
+    };
+    let mut magic = [0u8; 4];
+    src.r
+        .read_exact(&mut magic)
+        .map_err(|e| format!("truncated snapshot: {e}"))?;
+    if &magic != MAGIC {
+        return Err("not a topk snapshot (bad magic)".into());
+    }
+    let mut ver = [0u8; 4];
+    src.r
+        .read_exact(&mut ver)
+        .map_err(|e| format!("truncated snapshot: {e}"))?;
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(format!(
+            "snapshot version {version} not supported (this build reads version {VERSION})"
+        ));
+    }
+    let generation = src.u64()?;
+    let n_fields = src.u32()? as usize;
+    let mut fields = Vec::with_capacity(n_fields.min(1024));
+    for _ in 0..n_fields {
+        fields.push(src.str(size)?);
+    }
+    let name_field = src.u32()? as usize;
+    if !fields.is_empty() && name_field >= fields.len() {
+        return Err(format!(
+            "name field index {name_field} out of range for {} fields",
+            fields.len()
+        ));
+    }
+    let n_records = src.u32()? as usize;
+    let mut records = Vec::with_capacity(n_records.min(1 << 20));
+    for _ in 0..n_records {
+        let arity = src.u32()? as usize;
+        let mut texts = Vec::with_capacity(arity.min(1024));
+        for _ in 0..arity {
+            texts.push(src.str(size)?);
+        }
+        records.push((texts, f64::from_bits(src.u64()?)));
+    }
+    let n_parent = src.u32()? as usize;
+    let mut parent = Vec::with_capacity(n_parent.min(1 << 20));
+    for _ in 0..n_parent {
+        parent.push(src.u32()?);
+    }
+    let n_blocks = src.u32()? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+    for _ in 0..n_blocks {
+        let key = src.u64()?;
+        let n_members = src.u32()? as usize;
+        let mut members = Vec::with_capacity(n_members.min(1 << 20));
+        for _ in 0..n_members {
+            members.push(src.u32()?);
+        }
+        blocks.push((key, members));
+    }
+    let expected = src.hash;
+    let mut ck = [0u8; 8];
+    src.r
+        .read_exact(&mut ck)
+        .map_err(|e| format!("truncated snapshot: {e}"))?;
+    if u64::from_le_bytes(ck) != expected {
+        return Err("snapshot checksum mismatch (file corrupted)".into());
+    }
+    Ok((
+        IncrementalState {
+            records,
+            parent,
+            blocks,
+            generation,
+        },
+        fields,
+        FieldId(name_field),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("topk_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_state() -> IncrementalState {
+        IncrementalState {
+            records: vec![
+                (vec!["grace hopper".into(), "navy".into()], 2.0),
+                (vec!["grace hopper".into(), "navy".into()], 1.5),
+                (vec!["ada lovelace".into(), "math".into()], 1.0),
+            ],
+            parent: vec![0, 0, 2],
+            blocks: vec![(0xdead, vec![0, 1]), (0xbeef, vec![2])],
+            generation: 3,
+        }
+    }
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let path = tmp("rt.snap");
+        let state = sample_state();
+        let fields = vec!["name".to_string(), "org".to_string()];
+        let bytes = write_snapshot(&path, &state, &fields, FieldId(0)).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let (back, back_fields, back_field) = read_snapshot(&path).unwrap();
+        assert_eq!(back_fields, fields);
+        assert_eq!(back_field, FieldId(0));
+        assert_eq!(back.generation, state.generation);
+        assert_eq!(back.parent, state.parent);
+        assert_eq!(back.blocks, state.blocks);
+        assert_eq!(back.records.len(), state.records.len());
+        for ((at, aw), (bt, bw)) in back.records.iter().zip(&state.records) {
+            assert_eq!(at, bt);
+            assert_eq!(aw.to_bits(), bw.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_corruption_and_wrong_version() {
+        let path = tmp("bad.snap");
+        write_snapshot(&path, &sample_state(), &["name".into()], FieldId(0)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte: checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(
+            err.contains("checksum")
+                || err.contains("UTF-8")
+                || err.contains("exceeds")
+                || err.contains("truncated"),
+            "{err}"
+        );
+        // Wrong version fails closed with a version message.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        // Not a snapshot at all.
+        std::fs::write(&path, b"hello world").unwrap();
+        assert!(read_snapshot(&path).unwrap_err().contains("magic"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Loopback integration test for the `topk-service` server.
+//!
+//! Spins a real [`Server`] on an ephemeral port (`127.0.0.1:0`), streams
+//! a generated student dataset through a real [`Client`] in several
+//! batches, and asserts the big claims made in `docs/SERVICE.md`:
+//!
+//! 1. **Batch identity** — once the stream is fully ingested, `topk` and
+//!    `topr` response lines are *byte-identical* to the batch pipeline
+//!    (`PrunedDedup` / `TopKRankQuery`) run over the same records and
+//!    rendered through the same JSON serializer. The group computation
+//!    is genuinely independent on the two sides: served answers come
+//!    from `IncrementalDedup`'s maintained collapse, batch answers from
+//!    Algorithm 2 from scratch.
+//! 2. **Snapshot fidelity** — snapshot → restore into a *fresh* server
+//!    reproduces those answer lines exactly.
+//! 3. **Cache behaviour** — a repeated query is a cache hit, and
+//!    ingestion invalidates the cache (hit counters visible in `stats`).
+//!
+//! A watchdog thread hard-kills the process if the test wedges (a hung
+//! accept loop would otherwise block `cargo test` forever).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use topk_core::{Parallelism, PipelineConfig, PrunedDedup, TopKRankQuery};
+use topk_records::{FieldId, TokenizedRecord};
+use topk_service::json::{obj as obj_json, Json};
+use topk_service::protocol::ok_response;
+use topk_service::{generic_stack, Client, Engine, EngineConfig, Server};
+
+/// Hard ceiling on the whole test; generous — the test normally runs in
+/// well under a second.
+const WATCHDOG_SECS: u64 = 90;
+
+fn start_watchdog() -> Arc<AtomicBool> {
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(WATCHDOG_SECS));
+        if !flag.load(Ordering::SeqCst) {
+            eprintln!("serve_roundtrip: watchdog fired after {WATCHDOG_SECS}s, aborting");
+            std::process::exit(124);
+        }
+    });
+    done
+}
+
+/// The generated corpus as raw ingest rows (field texts + weight), in
+/// dataset order.
+fn sample_rows() -> Vec<(Vec<String>, f64)> {
+    let d = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: 40,
+        n_records: 200,
+        ..Default::default()
+    });
+    d.records()
+        .iter()
+        .map(|r| (r.fields().to_vec(), r.weight()))
+        .collect()
+}
+
+/// Tokenize rows exactly like `Engine::ingest` does (normalize, then
+/// tokenize once).
+fn tokenize_rows(rows: &[(Vec<String>, f64)]) -> Vec<TokenizedRecord> {
+    rows.iter()
+        .map(|(fields, weight)| {
+            let normalized: Vec<String> = fields
+                .iter()
+                .map(|f| topk_text::normalize::normalize(f))
+                .collect();
+            TokenizedRecord::from_fields(&normalized, *weight)
+        })
+        .collect()
+}
+
+/// Render groups the way `Engine::query_topk` renders them.
+fn render_topk(groups: &[topk_core::FinalGroup], toks: &[TokenizedRecord], k: usize) -> String {
+    let field = FieldId(0);
+    let items: Vec<Json> = groups
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, g)| {
+            obj_json(vec![
+                ("rank", Json::Num((rank + 1) as f64)),
+                ("weight", Json::Num(g.weight)),
+                ("size", Json::Num(g.members.len() as f64)),
+                ("rep_id", Json::Num(g.rep as f64)),
+                (
+                    "rep",
+                    Json::Str(toks[g.rep as usize].field(field).text.clone()),
+                ),
+            ])
+        })
+        .collect();
+    ok_response(obj_json(vec![("groups", Json::Arr(items))]))
+}
+
+/// Compute the batch-pipeline `topk` answer line for `rows`.
+fn batch_topk_line(toks: &[TokenizedRecord], k: usize) -> String {
+    let stack = generic_stack(toks, FieldId(0), 30, 0.6);
+    let out = PrunedDedup::new(
+        toks,
+        &stack,
+        PipelineConfig {
+            k,
+            refine_iterations: 2,
+            mode: Default::default(),
+            parallelism: Parallelism::sequential(),
+        },
+    )
+    .run();
+    render_topk(&out.groups, toks, k)
+}
+
+/// Compute the batch-pipeline `topr` answer line for `rows`.
+fn batch_topr_line(toks: &[TokenizedRecord], k: usize) -> String {
+    let stack = generic_stack(toks, FieldId(0), 30, 0.6);
+    let mut q = TopKRankQuery::new(k);
+    q.parallelism = Parallelism::sequential();
+    let res = q.run(toks, &stack);
+    let field = FieldId(0);
+    let entries: Vec<Json> = res
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(rank, e)| {
+            obj_json(vec![
+                ("rank", Json::Num((rank + 1) as f64)),
+                ("weight", Json::Num(e.weight)),
+                ("upper_bound", Json::Num(e.upper_bound)),
+                ("size", Json::Num(e.records.len() as f64)),
+                ("rep_id", Json::Num(e.rep as f64)),
+                (
+                    "rep",
+                    Json::Str(toks[e.rep as usize].field(field).text.clone()),
+                ),
+            ])
+        })
+        .collect();
+    ok_response(obj_json(vec![
+        ("entries", Json::Arr(entries)),
+        ("certified", Json::Bool(res.certified)),
+    ]))
+}
+
+fn spawn_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<Result<(), String>>,
+) {
+    let engine = Arc::new(
+        Engine::new(EngineConfig {
+            parallelism: Parallelism::sequential(),
+            ..Default::default()
+        })
+        .expect("engine"),
+    );
+    Server::bind("127.0.0.1:0", engine)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("stats missing metrics.{name}: {}", stats.to_string()))
+        as u64
+}
+
+#[test]
+fn served_answers_match_batch_and_survive_snapshot() {
+    let done = start_watchdog();
+    let rows = sample_rows();
+    let toks = tokenize_rows(&rows);
+    let k = 5;
+    let expected_topk = batch_topk_line(&toks, k);
+    let expected_topr = batch_topr_line(&toks, k);
+
+    let (addr, handle) = spawn_server();
+    let mut c = Client::connect(&addr.to_string()).expect("connect");
+    c.ping().expect("ping");
+
+    // Stream the corpus in uneven batches; no query until it's all in.
+    let mut sent = 0u64;
+    for chunk in rows.chunks(37) {
+        sent = c.ingest_batch(chunk).expect("ingest");
+    }
+    assert_eq!(sent, rows.len() as u64, "generation counts every record");
+
+    // 1. Byte-identical to the batch pipeline.
+    let served_topk = c
+        .request_raw(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        .expect("topk");
+    assert_eq!(served_topk, expected_topk, "served topk != batch topk");
+    let served_topr = c
+        .request_raw(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
+        .expect("topr");
+    assert_eq!(served_topr, expected_topr, "served topr != batch topr");
+
+    // 3a. The repeat query is answered from the cache, byte-identically.
+    let stats = c.stats().expect("stats");
+    let hits_before = counter(&stats, "cache_hits");
+    let repeat = c
+        .request_raw(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        .expect("repeat topk");
+    assert_eq!(repeat, expected_topk);
+    let stats = c.stats().expect("stats");
+    assert_eq!(counter(&stats, "cache_hits"), hits_before + 1);
+
+    // 3b. Ingestion invalidates: the same query misses afterwards.
+    let misses_before = counter(&stats, "cache_misses");
+    c.ingest_batch(&[(vec!["zz unseen person".into(); rows[0].0.len()], 1.0)])
+        .expect("ingest one more");
+    c.topk(k).expect("topk after ingest");
+    let stats = c.stats().expect("stats");
+    assert_eq!(counter(&stats, "cache_misses"), misses_before + 1);
+
+    // 2. Snapshot, restore into a fresh server, answers are identical.
+    let dir = std::env::temp_dir().join("topk_serve_roundtrip");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snap = dir.join("state.snap");
+    c.snapshot(snap.to_str().unwrap()).expect("snapshot");
+    let expected_after_ingest = c
+        .request_raw(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        .expect("topk post-snapshot");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+
+    let (addr2, handle2) = spawn_server();
+    let mut c2 = Client::connect(&addr2.to_string()).expect("connect 2");
+    c2.restore(snap.to_str().unwrap()).expect("restore");
+    let restored_topk = c2
+        .request_raw(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        .expect("restored topk");
+    assert_eq!(
+        restored_topk, expected_after_ingest,
+        "restored server answers differently"
+    );
+    let restored_topr = c2
+        .request_raw(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
+        .expect("restored topr");
+    assert!(restored_topr.starts_with(r#"{"ok":true,"entries":"#));
+    c2.shutdown().expect("shutdown 2");
+    handle2.join().expect("server thread 2").expect("server run 2");
+
+    done.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    let done = start_watchdog();
+    let (addr, handle) = spawn_server();
+    let mut c = Client::connect(&addr.to_string()).expect("connect");
+    // A garbage line gets the error envelope, and the connection lives on.
+    let raw = c.request_raw("this is not json").expect("raw");
+    assert!(raw.contains(r#""ok":false"#), "{raw}");
+    assert!(raw.contains(r#""code":"bad_json""#), "{raw}");
+    let err = c.request(r#"{"cmd":"ingest"}"#).expect_err("bad ingest");
+    assert!(err.starts_with("bad_request"), "{err}");
+    // Still usable afterwards.
+    c.ingest_batch(&[(vec!["still alive".into()], 1.0)])
+        .expect("ingest");
+    c.topk(1).expect("topk");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("run");
+    done.store(true, Ordering::SeqCst);
+}
