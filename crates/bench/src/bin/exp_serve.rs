@@ -11,7 +11,8 @@
 //! concurrent query clients alternating TopK/TopR. Reports ingest
 //! throughput, the cache-cold first-query cost (which pays the deferred
 //! collapse + bound/prune), steady-state cached query latency
-//! percentiles (client-observed, loopback RTT included), and the
+//! percentiles — client-observed (loopback RTT included) and
+//! server-side (from the `stats` command) side by side — and the
 //! server's cache-hit counters. `--smoke` runs the ≤2 s configuration
 //! used by the tier-1 test flow and exits non-zero if the cache served
 //! nothing.
@@ -62,7 +63,7 @@ fn main() {
     let report = match run(&cfg) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: {e}");
+            topk_obs::error!("{e}");
             std::process::exit(1);
         }
     };
@@ -87,10 +88,17 @@ fn main() {
         ),
     ]);
     table.row(vec![
-        "latency p50/p95/p99".into(),
+        "client latency p50/p95/p99".into(),
         format!(
-            "{}/{}/{} µs",
+            "{}/{}/{} µs (incl. protocol + loopback RTT)",
             report.p50_micros, report.p95_micros, report.p99_micros
+        ),
+    ]);
+    table.row(vec![
+        "server latency p50/p99".into(),
+        format!(
+            "{}/{} µs (engine-side, from `stats`)",
+            report.server_p50_micros, report.server_p99_micros
         ),
     ]);
     table.row(vec![
@@ -100,7 +108,7 @@ fn main() {
     print!("{table}");
 
     if smoke && report.cache_hits == 0 {
-        eprintln!("smoke FAILED: the query cache served nothing");
+        topk_obs::error!("smoke FAILED: the query cache served nothing");
         std::process::exit(1);
     }
     if smoke {

@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run -p topk-bench --release --bin exp_timing -- [subset_size] [--with-none] \
-//!     [--threads 1,2,4,8]
+//!     [--threads 1,2,4,8] [--trace-out trace.json] [--smoke]
 //! ```
 //!
 //! All four configurations share the same final step (score candidate
@@ -20,6 +20,14 @@
 //! tokenize / collapse / bound / prune / score wall-clock at K=10 for
 //! each count. Results are bit-identical across counts, so the table
 //! measures pure scheduling overhead and speedup.
+//!
+//! `--trace-out trace.json` writes a Chrome `trace_event` file of every
+//! pipeline span (open in Perfetto; see `docs/OBSERVABILITY.md`).
+//! `--smoke` skips the Figure 6 sweep and instead runs the ≤5 s traced
+//! validation pass (`topk_bench::timing_smoke`), exiting non-zero if
+//! the trace is empty, malformed, or missing a pipeline stage —
+//! `--trace-out` then names the validated file (default
+//! `/tmp/topk_timing_smoke.json`).
 
 use std::time::Instant;
 
@@ -157,6 +165,7 @@ fn staged(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let with_none = args.iter().any(|a| a == "--with-none");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let thread_list: Vec<usize> = args
         .iter()
         .position(|a| a == "--threads")
@@ -167,14 +176,43 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
+    let trace_out: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .expect("--trace-out needs a path")
+                .into()
+        });
     let subset: usize = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
-            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads")
+            !a.starts_with("--")
+                && (*i == 0 || (args[i - 1] != "--threads" && args[i - 1] != "--trace-out"))
         })
         .and_then(|(_, a)| a.parse().ok())
         .unwrap_or(20_000);
+
+    if smoke {
+        let out = trace_out
+            .unwrap_or_else(|| std::env::temp_dir().join("topk_timing_smoke.json"));
+        match topk_bench::timing_smoke::run_timing_smoke(&out) {
+            Ok(()) => {
+                println!("smoke OK: valid stage-complete trace at {}", out.display());
+                return;
+            }
+            Err(e) => {
+                topk_obs::error!("smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if trace_out.is_some() {
+        topk_obs::span::set_enabled(true);
+        topk_obs::span::take_spans();
+    }
     // Figure 6 runs at the first requested thread count (auto when
     // --threads is absent).
     let par = Parallelism::threads(thread_list.first().copied().unwrap_or(0));
@@ -263,5 +301,17 @@ fn main() {
             ]);
         }
         println!("{scaling}");
+    }
+
+    if let Some(out) = &trace_out {
+        topk_obs::span::set_enabled(false);
+        let spans = topk_obs::span::take_spans();
+        match std::fs::write(out, topk_obs::chrome_trace(&spans)) {
+            Ok(()) => println!("wrote {} spans to {}", spans.len(), out.display()),
+            Err(e) => {
+                topk_obs::error!("cannot write trace to {}: {e}", out.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`serve_load`] — load generator for the resident `topk-service`
 //!   server (concurrent clients over loopback TCP, throughput + latency
 //!   percentiles, cache-hit accounting).
+//! * [`timing_smoke`] — traced Full-mode smoke run validating the
+//!   Chrome trace output end to end (used by `exp_timing --smoke
+//!   --trace-out` and the tier-1 test flow).
 //!
 //! Binaries: `exp_pruning` (Figures 2-4), `exp_timing` (Figure 6 and
 //! the thread-scaling table — see `docs/PARALLELISM.md`), `exp_accuracy`
@@ -28,6 +31,7 @@ pub mod datasets;
 pub mod scorers;
 pub mod serve_load;
 pub mod table;
+pub mod timing_smoke;
 
 pub use datasets::{accuracy_suite, default_addresses, default_citations, default_students};
 pub use scorers::{train_scorer, LearnedScorer};

@@ -1,11 +1,17 @@
 //! Load generator for the resident `topk-service` server.
 //!
-//! Drives a real in-process [`Server`](topk_service::Server) over
+//! Drives a real in-process [`Server`] over
 //! loopback TCP: one ingest client streams a generated corpus in
 //! batches, then N concurrent query clients hammer `topk`/`topr`.
 //! Latencies are measured client-side (request write → response read,
 //! i.e. including protocol + loopback RTT) and reported as percentiles;
-//! server-side cache counters come from the `stats` command.
+//! server-side cache counters and latency percentiles come from the
+//! `stats` command, so a report shows both sides of the wire — the gap
+//! between them is pure protocol + loopback cost. Client-side samples
+//! are also recorded into the process-global
+//! [`topk_obs::Registry::global`] histogram
+//! `topk_client_query_latency_micros`, where any in-process scraper can
+//! read them as Prometheus text.
 //!
 //! Used by the `exp_serve` binary (numbers in `EXPERIMENTS.md`) and by
 //! the `--smoke` self-check that tier-1 `cargo test` runs: a ≤2 s pass
@@ -85,6 +91,11 @@ pub struct LoadReport {
     pub p95_micros: u64,
     /// 99th percentile (µs).
     pub p99_micros: u64,
+    /// Server-side query latency p50 (µs, from the `stats` command —
+    /// excludes protocol + loopback RTT).
+    pub server_p50_micros: u64,
+    /// Server-side query latency p99 (µs).
+    pub server_p99_micros: u64,
     /// Server-side cache hits over the whole run.
     pub cache_hits: u64,
     /// Server-side cache misses over the whole run.
@@ -140,6 +151,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         let (k, q) = (cfg.k, cfg.queries_per_client);
         workers.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
             let mut c = Client::connect(&addr)?;
+            let client_hist = topk_obs::Registry::global()
+                .histogram("topk_client_query_latency_micros");
             let mut lat = Vec::with_capacity(q);
             for i in 0..q {
                 let t = Instant::now();
@@ -148,6 +161,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
                 } else {
                     c.topr(k)?;
                 }
+                client_hist.record(t.elapsed());
                 lat.push(t.elapsed().as_micros() as u64);
             }
             Ok(lat)
@@ -171,6 +185,17 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     };
     let cache_hits = counter("cache_hits")?;
     let cache_misses = counter("cache_misses")?;
+    let server_latency = |p: &str| -> Result<u64, String> {
+        stats
+            .get("metrics")
+            .and_then(|m| m.get("query_latency"))
+            .and_then(|h| h.get(p))
+            .and_then(Json::as_usize)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("stats missing metrics.query_latency.{p}"))
+    };
+    let server_p50_micros = server_latency("p50_us")?;
+    let server_p99_micros = server_latency("p99_us")?;
     ingest_client.shutdown()?;
     handle.join().map_err(|_| "server thread panicked")??;
 
@@ -187,6 +212,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         p50_micros: percentile(&latencies, 50.0),
         p95_micros: percentile(&latencies, 95.0),
         p99_micros: percentile(&latencies, 99.0),
+        server_p50_micros,
+        server_p99_micros,
         cache_hits,
         cache_misses,
     })
@@ -212,6 +239,17 @@ mod tests {
         // Cold query includes the deferred collapse; cached queries must
         // be much cheaper than the cold one on any machine.
         assert!(report.p50_micros <= report.cold_query_micros.max(1) * 10);
+        // Server-side percentiles come back alongside the client-side
+        // ones (histogram answers are power-of-two upper bounds ≥ 2).
+        assert!(report.server_p50_micros >= 2, "{report:?}");
+        assert!(report.server_p99_micros >= report.server_p50_micros);
+        // Client samples land in the process-global registry.
+        let text = topk_obs::Registry::global().prometheus_text();
+        assert!(
+            text.contains("# TYPE topk_client_query_latency_micros histogram"),
+            "{text}"
+        );
+        assert!(text.contains("topk_client_query_latency_micros_count"), "{text}");
         assert!(
             t0.elapsed().as_secs_f64() < 10.0,
             "smoke config must stay fast"

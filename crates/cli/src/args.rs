@@ -31,6 +31,9 @@ options:
   --threads N      worker threads for the parallel pipeline stages
                    (default 0 = all cores; 1 = sequential; results are
                    identical for every setting)
+  --trace-out P    write a Chrome trace_event JSON file covering every
+                   pipeline stage to P (open in Perfetto / about:tracing;
+                   see docs/OBSERVABILITY.md)
 
 serve options (protocol reference: docs/SERVICE.md):
   --addr H:P             listen address (default 127.0.0.1:7411)
@@ -41,6 +44,9 @@ serve options (protocol reference: docs/SERVICE.md):
 client commands (all take --addr, default 127.0.0.1:7411):
   topk client ping                  liveness probe
   topk client stats                 engine + metrics counters
+  topk client metrics               Prometheus text exposition
+  topk client trace [on|off]        toggle/inspect server-side tracing
+       [--out P]                    drain spans to server-side file P
   topk client topk --k N            TopK count query
   topk client topr --k N            TopK rank query
   topk client ingest <data.tsv>     stream a file into the server
@@ -119,6 +125,17 @@ pub enum ClientAction {
     Ping,
     /// Engine + metrics counters.
     Stats,
+    /// Prometheus text exposition of the server's metric registry.
+    Metrics,
+    /// Toggle/inspect server-side span tracing; optionally drain spans
+    /// to a server-side Chrome trace file.
+    Trace {
+        /// `Some(true)`/`Some(false)` to turn tracing on/off, `None`
+        /// to inspect the current state.
+        enabled: Option<bool>,
+        /// Server-side output path for the drained Chrome trace.
+        out: Option<String>,
+    },
     /// TopK count query.
     TopK,
     /// TopK rank query.
@@ -183,6 +200,8 @@ pub struct Options {
     pub label_col: Option<String>,
     /// Worker threads for the parallel stages (0 = auto-detect).
     pub threads: usize,
+    /// Write a Chrome trace_event JSON file of all pipeline spans here.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -201,6 +220,7 @@ impl Default for Options {
             weight_col: None,
             label_col: None,
             threads: 0,
+            trace_out: None,
         }
     }
 }
@@ -254,6 +274,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--label-col" => opts.label_col = Some(next_value("--label-col", &mut it)?),
             "--threads" => {
                 opts.threads = parse_num(&next_value("--threads", &mut it)?, "--threads")?
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(next_value("--trace-out", &mut it)?))
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
@@ -327,6 +350,7 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         label_col: None,
     };
     let mut positional: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
             it.next()
@@ -336,6 +360,7 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         match arg.as_str() {
             "--addr" => o.addr = value("--addr")?,
             "--k" => o.k = parse_num(&value("--k")?, "--k")?,
+            "--out" => trace_out = Some(value("--out")?),
             "--delimiter" => o.delimiter = parse_delimiter(&value("--delimiter")?)?,
             "--no-header" => o.has_header = false,
             "--weight-col" => o.weight_col = Some(value("--weight-col")?),
@@ -360,6 +385,21 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
     o.action = match cmd.as_str() {
         "ping" => ClientAction::Ping,
         "stats" => ClientAction::Stats,
+        "metrics" => ClientAction::Metrics,
+        "trace" => {
+            let enabled = match positional.take().as_deref() {
+                None => None,
+                Some("on") => Some(true),
+                Some("off") => Some(false),
+                Some(other) => {
+                    return Err(format!("client trace takes `on` or `off`, not {other}"))
+                }
+            };
+            ClientAction::Trace {
+                enabled,
+                out: trace_out.take(),
+            }
+        }
         "topk" => ClientAction::TopK,
         "topr" => ClientAction::TopR,
         "shutdown" => ClientAction::Shutdown,
@@ -369,6 +409,9 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         "raw" => ClientAction::Raw(need("a JSON line", positional)?),
         other => return Err(format!("unknown client command {other}")),
     };
+    if trace_out.is_some() {
+        return Err(format!("--out only applies to `client trace`, not `client {cmd}`"));
+    }
     Ok(Command::Client(o))
 }
 
@@ -503,6 +546,55 @@ mod tests {
         assert!(parse(&argv("client snapshot")).is_err());
         assert!(parse(&argv("client topk --k 0")).is_err());
         assert!(parse(&argv("client ping a b")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        match parse(&argv("count data.tsv --trace-out /tmp/trace.json")).unwrap() {
+            Command::Count(o) => {
+                assert_eq!(o.trace_out, Some(PathBuf::from("/tmp/trace.json")))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("rank data.tsv")).unwrap() {
+            Command::Rank(o) => assert_eq!(o.trace_out, None),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("count data.tsv --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parses_client_observability() {
+        match parse(&argv("client metrics")).unwrap() {
+            Command::Client(o) => assert_eq!(o.action, ClientAction::Metrics),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client trace")).unwrap() {
+            Command::Client(o) => assert_eq!(
+                o.action,
+                ClientAction::Trace { enabled: None, out: None }
+            ),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client trace on")).unwrap() {
+            Command::Client(o) => assert_eq!(
+                o.action,
+                ClientAction::Trace { enabled: Some(true), out: None }
+            ),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client trace off --out /tmp/t.json")).unwrap() {
+            Command::Client(o) => assert_eq!(
+                o.action,
+                ClientAction::Trace {
+                    enabled: Some(false),
+                    out: Some("/tmp/t.json".into())
+                }
+            ),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client trace maybe")).is_err());
+        assert!(parse(&argv("client ping --out /tmp/t.json")).is_err());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! stages (0 = auto-detect cores, 1 = sequential). Output is identical
 //! at every setting; see `docs/PARALLELISM.md`.
 //!
+//! Observability (`docs/OBSERVABILITY.md`): `--trace-out trace.json`
+//! writes a Chrome `trace_event` file of every pipeline stage; the
+//! `TOPK_LOG` environment variable (`error`/`warn`/`info`/`debug`)
+//! gates stderr logging; `topk client metrics` returns Prometheus text
+//! and `topk client trace` toggles tracing on a live server.
+//!
 //! Modules: `args` (hand-rolled flag parsing), `run` (load, build the
 //! stack, dispatch the query).
 
@@ -43,13 +49,13 @@ fn main() -> ExitCode {
         Ok(cmd) => match run::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("error: {e}");
+                topk_obs::error!("{e}");
                 ExitCode::FAILURE
             }
         },
         Err(e) => {
-            eprintln!("error: {e}\n");
-            eprintln!("{}", args::USAGE);
+            topk_obs::error!("{e}");
+            println!("{}", args::USAGE);
             ExitCode::from(2)
         }
     }

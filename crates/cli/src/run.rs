@@ -21,11 +21,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
     // The shared load-once/tokenize-once path (`topk_service::corpus`):
     // the same loader and predicate stack the server uses, so a batch
     // query and a served query over the same file agree byte-for-byte.
+    if opts.trace_out.is_some() {
+        // Enable before the load so tokenize spans are captured too;
+        // discard anything buffered by an earlier command in-process.
+        topk_obs::span::set_enabled(true);
+        topk_obs::span::take_spans();
+    }
     let par = Parallelism::threads(opts.threads);
     let corpus = topk_service::load_corpus(&opts.path, &corpus_options(opts, par))?;
     let stack = corpus.stack(opts.max_df, opts.min_overlap);
     let (data, toks, field) = (&corpus.data, &corpus.toks, corpus.field);
-    eprintln!(
+    topk_obs::info!(
         "{} records loaded from {}; matching on field `{}` ({} thread{})",
         data.len(),
         opts.path.display(),
@@ -38,6 +44,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
         "count" => run_count(data, toks, &stack, field, opts),
         "rank" => run_rank(data, toks, &stack, field, opts),
         _ => run_thresh(data, toks, &stack, field, opts),
+    }
+    if let Some(out) = &opts.trace_out {
+        topk_obs::span::set_enabled(false);
+        let spans = topk_obs::span::take_spans();
+        let trace = topk_obs::chrome_trace(&spans);
+        std::fs::write(out, trace)
+            .map_err(|e| format!("cannot write trace to {}: {e}", out.display()))?;
+        topk_obs::info!("wrote {} spans to {}", spans.len(), out.display());
     }
     Ok(())
 }
@@ -66,7 +80,7 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
     })?);
     if let Some(snap) = &o.restore {
         let generation = engine.restore(snap)?;
-        eprintln!("restored {} ({generation} records)", snap.display());
+        topk_obs::info!("restored {} ({generation} records)", snap.display());
     }
     if let Some(path) = &o.preload {
         let corpus = topk_service::load_corpus(
@@ -84,11 +98,14 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
             .map(|i| corpus.data.schema().field_name(FieldId(i)).to_string())
             .collect();
         let generation = engine.ingest_toks(corpus.toks, fields, corpus.field)?;
-        eprintln!("preloaded {} ({generation} records)", path.display());
+        topk_obs::info!("preloaded {} ({generation} records)", path.display());
     }
     let mut server = Server::bind(&o.addr, engine)?;
     server.snapshot_on_exit = o.snapshot_on_exit.clone();
-    eprintln!("listening on {} (protocol: docs/SERVICE.md)", server.local_addr());
+    topk_obs::info!(
+        "listening on {} (protocol: docs/SERVICE.md)",
+        server.local_addr()
+    );
     server.run()
 }
 
@@ -98,6 +115,15 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
     let line = match &o.action {
         ClientAction::Ping => r#"{"cmd":"ping"}"#.to_string(),
         ClientAction::Stats => r#"{"cmd":"stats"}"#.to_string(),
+        ClientAction::Metrics => {
+            // Raw Prometheus text, ready to pipe into a scraper.
+            print!("{}", c.metrics_text()?);
+            return Ok(());
+        }
+        ClientAction::Trace { enabled, out } => {
+            println!("{}", c.trace(*enabled, out.as_deref())?.to_string());
+            return Ok(());
+        }
         ClientAction::TopK => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
         ClientAction::TopR => format!(r#"{{"cmd":"topr","k":{}}}"#, o.k),
         ClientAction::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
@@ -162,7 +188,7 @@ fn run_count(
     let scorer = scorer_for(field);
     let res = q.run(toks, stack, &scorer);
     for it in &res.stats.iterations {
-        eprintln!(
+        topk_obs::debug!(
             "collapse -> {} groups ({:.2}%), M={:.1}, prune -> {} ({:.2}%)",
             it.n_after_collapse,
             it.pct_after_collapse,
@@ -292,6 +318,39 @@ mod tests {
         ])
         .unwrap();
         run(cmd).expect("threaded count query runs");
+    }
+
+    #[test]
+    fn count_query_writes_chrome_trace() {
+        let path = write_sample();
+        let out = std::env::temp_dir()
+            .join("topk_cli_test")
+            .join("count_trace.json");
+        let _ = std::fs::remove_file(&out);
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--trace-out".into(),
+            out.display().to_string(),
+        ])
+        .unwrap();
+        run(cmd).expect("traced count query runs");
+        let trace = std::fs::read_to_string(&out).expect("trace file written");
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        for needle in [
+            "\"name\":\"pipeline.run\"",
+            "\"name\":\"tokenize\"",
+            "\"name\":\"collapse\"",
+            "\"name\":\"lower_bound\"",
+            "\"name\":\"prune\"",
+            "\"m_lower_bound\":",
+            "\"refine_pass\":",
+            "\"groups_pruned\":",
+        ] {
+            assert!(trace.contains(needle), "trace missing {needle}");
+        }
     }
 
     #[test]

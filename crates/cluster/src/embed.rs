@@ -24,6 +24,8 @@ use crate::objective::PairScores;
 pub fn greedy_embedding(ps: &PairScores, alpha: f64) -> Vec<u32> {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     let n = ps.len();
+    let mut sp = topk_obs::Span::enter("embed");
+    sp.record("items", n);
     if n == 0 {
         return Vec::new();
     }

@@ -149,6 +149,10 @@ struct Back {
 /// embedding order (see [`PairScores::permute`]).
 pub fn segment_topk(ps: &PairScores, cfg: &SegmentConfig) -> Vec<SegmentAnswer> {
     let n = ps.len();
+    let mut sp = topk_obs::Span::enter("topr_dp");
+    sp.record("items", n);
+    sp.record("k", cfg.k);
+    sp.record("r", cfg.r);
     if n == 0 {
         return vec![SegmentAnswer {
             score: 0.0,

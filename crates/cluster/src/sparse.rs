@@ -135,6 +135,10 @@ pub fn segment_topk_sparse(
     dense_limit: usize,
 ) -> Vec<SparseAnswer> {
     let r = cfg.r.max(1);
+    let mut sp = topk_obs::Span::enter("topr_dp.sparse");
+    sp.record("items", ss.len());
+    sp.record("k", cfg.k);
+    sp.record("r", r);
     // Global answers: iterative product-merge of per-component TopR lists.
     let mut global: TopR<Vec<Vec<u32>>> = TopR::new(r);
     global.push(0.0, Vec::new());

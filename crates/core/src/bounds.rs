@@ -38,6 +38,9 @@ pub fn estimate_lower_bound(
         "groups must be sorted by non-increasing weight"
     );
     let n = reps.len();
+    let mut sp = topk_obs::Span::enter("lower_bound");
+    sp.record("groups_in", n);
+    sp.record("k", k);
     if n == 0 {
         return LowerBoundResult {
             m: 0,
@@ -86,6 +89,9 @@ pub fn estimate_lower_bound(
             bound += 1;
         }
         if bound >= k {
+            sp.record("m", i + 1);
+            sp.record("m_lower_bound", weights[i]);
+            sp.record("cpn", bound);
             return LowerBoundResult {
                 m: i + 1,
                 lower_bound: weights[i],
@@ -96,9 +102,13 @@ pub fn estimate_lower_bound(
     if bound < k && connected_since_recompute > 0 {
         bound = cpn_lower_bound(&graph).max(bound);
     }
+    let lower_bound = if bound >= k { *weights.last().unwrap() } else { 0.0 };
+    sp.record("m", n);
+    sp.record("m_lower_bound", lower_bound);
+    sp.record("cpn", bound);
     LowerBoundResult {
         m: n,
-        lower_bound: if bound >= k { *weights.last().unwrap() } else { 0.0 },
+        lower_bound,
         cpn: bound,
     }
 }
@@ -258,6 +268,11 @@ pub fn prune_groups_fast_par(
 ) -> Vec<u32> {
     assert_eq!(reps.len(), weights.len());
     let n = reps.len();
+    let mut sp = topk_obs::Span::enter("prune");
+    sp.record("groups_in", n);
+    sp.record("m_lower_bound", m_bound);
+    sp.record("refine_iterations", refine_iterations);
+    sp.record("threads", par.get());
     let mut index = InvertedIndex::new();
     let token_sets = par.map_slice(reps, |r| pred.candidate_tokens(r));
     for (i, ts) in token_sets.iter().enumerate() {
@@ -285,7 +300,9 @@ pub fn prune_groups_fast_par(
                     .sum::<f64>()
         }
     });
-    for _ in 0..refine_iterations {
+    for pass in 0..refine_iterations {
+        let mut pass_sp = topk_obs::Span::enter("prune.refine");
+        pass_sp.record("refine_pass", pass + 1);
         let prev = upper;
         upper = par.map_indices(n, |i| {
             if heavy[i] {
@@ -299,6 +316,12 @@ pub fn prune_groups_fast_par(
                         .sum::<f64>()
             }
         });
+        if pass_sp.is_recording() {
+            // Prunable-so-far count is trace-only work; skip it entirely
+            // when tracing is off.
+            let below = upper.iter().filter(|&&u| u <= m_bound).count();
+            pass_sp.record("groups_pruned", below);
+        }
     }
     // Lazy verification pass for borderline survivors: drop candidates
     // that fail the real predicate or whose own (loose) bound fell to ≤ M.
@@ -317,7 +340,10 @@ pub fn prune_groups_fast_par(
             .sum();
         weights[iu] + verified > m_bound
     });
-    (0..n as u32).filter(|&i| keep[i as usize]).collect()
+    let kept: Vec<u32> = (0..n as u32).filter(|&i| keep[i as usize]).collect();
+    sp.record("groups_pruned", n - kept.len());
+    sp.record("groups_out", kept.len());
+    kept
 }
 
 #[cfg(test)]

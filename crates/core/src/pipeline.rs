@@ -96,6 +96,13 @@ impl<'a> PrunedDedup<'a> {
         let start = Instant::now();
         let d = self.toks.len();
         let par = self.cfg.parallelism;
+        let mut root_sp = topk_obs::Span::enter("pipeline.run");
+        root_sp.record("records", d);
+        root_sp.record("k", self.cfg.k);
+        root_sp.record("threads", par.get());
+        if root_sp.is_recording() {
+            root_sp.record("mode", format!("{:?}", self.cfg.mode));
+        }
         let mut stats = PipelineStats {
             original_records: d,
             threads: par.get(),
@@ -178,6 +185,11 @@ impl<'a> PrunedDedup<'a> {
                 };
                 last_lower_bound = lower_bound;
                 let n_after_prune = kept_units.len();
+                topk_obs::debug!(
+                    "level {level}: collapse -> {n_after_collapse} groups in {collapse_time:?}, \
+                     M={lower_bound:.3} (m={m}) in {bound_time:?}, \
+                     prune -> {n_after_prune} groups in {prune_time:?}"
+                );
                 stats.iterations.push(IterationStats {
                     level,
                     n_after_collapse,
@@ -199,6 +211,8 @@ impl<'a> PrunedDedup<'a> {
 
         units.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.rep.cmp(&b.rep)));
         stats.total_time = start.elapsed();
+        root_sp.record("groups_out", units.len());
+        root_sp.record("iterations", stats.iterations.len());
         PipelineOutcome {
             groups: units,
             last_lower_bound,

@@ -1,0 +1,266 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Renders collected [`SpanRecord`]s in the JSON-object flavour of the
+//! Trace Event Format — complete duration events (`"ph":"X"`) with
+//! microsecond `ts`/`dur`, one `tid` per emitting thread, and span
+//! fields under `args`. Load the file in `chrome://tracing` or drop it
+//! onto <https://ui.perfetto.dev> to see the pipeline stages nested on
+//! a per-thread timeline.
+
+use crate::span::{FieldValue, SpanRecord};
+
+/// Render `spans` as a Chrome trace JSON document.
+///
+/// Timestamps and durations are microseconds with nanosecond precision
+/// kept as three decimals; `pid` is fixed at 1 (single process) and
+/// `tid` is the collector's per-thread id. Span order in the output
+/// follows the input (viewers sort by `ts` themselves).
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_into(&mut out, s.name);
+        out.push_str(",\"cat\":\"topk\",\"ph\":\"X\",\"ts\":");
+        push_micros(&mut out, s.ts_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, s.dur_ns);
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        if !s.fields.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in s.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, key);
+                out.push(':');
+                push_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as microseconds with three decimals (the trace
+/// format's `ts`/`dur` unit is µs; fractions keep sub-µs spans nonzero).
+fn push_micros(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1_000).to_string());
+    let frac = ns % 1_000;
+    if frac != 0 {
+        out.push('.');
+        out.push_str(&format!("{frac:03}"));
+        while out.ends_with('0') {
+            out.pop();
+        }
+    }
+}
+
+fn push_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => out.push_str(&n.to_string()),
+        FieldValue::I64(n) => out.push_str(&n.to_string()),
+        FieldValue::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
+        FieldValue::F64(_) => out.push_str("null"), // NaN/inf are not JSON
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => escape_into(out, s),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{self, Span};
+
+    /// A minimal structural JSON validator for the tests (the workspace
+    /// JSON parser lives in `topk-service`, which this crate must not
+    /// depend on). Returns the rest of the input after one value.
+    fn skip_value(s: &[u8], mut i: usize) -> Result<usize, String> {
+        fn ws(s: &[u8], mut i: usize) -> usize {
+            while i < s.len() && (s[i] as char).is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        i = ws(s, i);
+        match s.get(i) {
+            Some(b'{') => {
+                i += 1;
+                i = ws(s, i);
+                if s.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = skip_value(s, i)?; // key
+                    i = ws(s, i);
+                    if s.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = skip_value(s, i + 1)?;
+                    i = ws(s, i);
+                    match s.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                i += 1;
+                i = ws(s, i);
+                if s.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = skip_value(s, i)?;
+                    i = ws(s, i);
+                    match s.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                i += 1;
+                while i < s.len() {
+                    match s[i] {
+                        b'\\' => i += 2,
+                        b'"' => return Ok(i + 1),
+                        _ => i += 1,
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                while i < s.len()
+                    && matches!(s[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if s[i..].starts_with(lit.as_bytes()) {
+                        return Ok(i + lit.len());
+                    }
+                }
+                Err(format!("unexpected byte at {i}"))
+            }
+        }
+    }
+
+    fn assert_valid_json(text: &str) {
+        let s = text.as_bytes();
+        let end = skip_value(s, 0).unwrap_or_else(|e| panic!("{e} in {text}"));
+        assert!(
+            s[end..].iter().all(|b| (*b as char).is_ascii_whitespace()),
+            "trailing garbage after JSON value"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = chrome_trace(&[]);
+        assert_eq!(t, r#"{"traceEvents":[]}"#);
+        assert_valid_json(&t);
+    }
+
+    /// Satellite: trace shape — valid JSON with `ph`/`ts`/`dur` on every
+    /// event, fields under `args`, durations nonzero.
+    #[test]
+    fn trace_events_have_ph_ts_dur_and_args() {
+        let _g = span::test_lock();
+        span::set_enabled(true);
+        span::clear();
+        {
+            let mut sp = Span::enter("collapse");
+            sp.record("groups_in", 100usize);
+            sp.record("m_lower_bound", 12.25f64);
+            sp.record("mode", "full \"quoted\"\n");
+        }
+        span::set_enabled(false);
+        let spans = span::take_spans();
+        let t = chrome_trace(&spans);
+        assert_valid_json(&t);
+        assert!(t.contains(r#""name":"collapse""#), "{t}");
+        assert!(t.contains(r#""ph":"X""#), "{t}");
+        assert!(t.contains(r#""ts":"#), "{t}");
+        assert!(t.contains(r#""dur":"#), "{t}");
+        assert!(t.contains(r#""groups_in":100"#), "{t}");
+        assert!(t.contains(r#""m_lower_bound":12.25"#), "{t}");
+        assert!(t.contains(r#"\"quoted\""#), "escaping survived: {t}");
+        assert!(!t.contains(r#""dur":0,"#), "durations are nonzero: {t}");
+        assert!(!t.contains(r#""dur":0}"#), "durations are nonzero: {t}");
+    }
+
+    /// Satellite: thread ids must be distinct under the scoped-thread
+    /// fan-out the pipeline uses.
+    #[test]
+    fn scoped_thread_fanout_yields_distinct_tids() {
+        let _g = span::test_lock();
+        span::set_enabled(true);
+        span::clear();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut sp = Span::enter("worker");
+                    sp.record("x", 1u64);
+                });
+            }
+        });
+        span::set_enabled(false);
+        let spans = span::take_spans();
+        let t = chrome_trace(&spans);
+        assert_valid_json(&t);
+        let tids: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == "worker")
+            .map(|s| s.tid)
+            .collect();
+        assert_eq!(tids.len(), 4, "each scoped thread gets its own tid");
+        for tid in tids {
+            assert!(t.contains(&format!("\"tid\":{tid}")), "{t}");
+        }
+    }
+
+    #[test]
+    fn micros_rendering_keeps_sub_microsecond_precision() {
+        let mut s = String::new();
+        push_micros(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        let mut s = String::new();
+        push_micros(&mut s, 1);
+        assert_eq!(s, "0.001");
+        let mut s = String::new();
+        push_micros(&mut s, 5_000);
+        assert_eq!(s, "5");
+        let mut s = String::new();
+        push_micros(&mut s, 5_100);
+        assert_eq!(s, "5.1");
+    }
+}

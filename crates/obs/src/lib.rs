@@ -1,0 +1,54 @@
+//! Observability for the topk-dedup workspace: span tracing, metrics,
+//! and leveled logging — all `std`-only, with zero dependencies.
+//!
+//! The paper's whole contribution (PrunedDedup, §4, Algorithm 2) is
+//! about *work avoided*: records collapsed by sufficient predicates,
+//! groups pruned under the CPN lower bound `M`, upper bounds refined per
+//! pass. This crate makes that work visible without perturbing it:
+//!
+//! * [`span`] — RAII [`Span`] guards with nanosecond timing and typed
+//!   key/value fields. Recording is lock-free on the hot path:
+//!   completed spans land in a thread-local buffer that is drained to
+//!   the global collector in batches (and on thread exit), so scoped
+//!   worker threads never contend on a mutex per span. When tracing is
+//!   disabled (the default), entering a span is a single relaxed atomic
+//!   load.
+//! * [`chrome`] — export collected spans as Chrome `trace_event` JSON,
+//!   viewable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`metrics`] — the log₂-bucketed [`LatencyHistogram`] (grown out of
+//!   `topk-service`) plus a named-counter/gauge/histogram [`Registry`]
+//!   with Prometheus text-format exposition.
+//! * [`logger`] — `error!`/`warn!`/`info!`/`debug!` macros writing to
+//!   stderr, gated by the `TOPK_LOG` environment variable.
+//!
+//! Span names, metric names, and the `TOPK_LOG` contract are catalogued
+//! in `docs/OBSERVABILITY.md`, including the mapping from span names to
+//! the paper sections they instrument.
+//!
+//! # Example
+//!
+//! ```
+//! topk_obs::span::set_enabled(true);
+//! {
+//!     let mut sp = topk_obs::Span::enter("collapse");
+//!     sp.record("groups_in", 100u64);
+//!     // ... do the work ...
+//! } // span closes here, lands in the thread-local buffer
+//! let spans = topk_obs::span::take_spans();
+//! assert!(!spans.is_empty());
+//! let json = topk_obs::chrome_trace(&spans);
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! topk_obs::span::set_enabled(false);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod logger;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::chrome_trace;
+pub use logger::Level;
+pub use metrics::{LatencyHistogram, Registry};
+pub use span::{FieldValue, Span, SpanRecord};

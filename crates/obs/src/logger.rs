@@ -1,0 +1,202 @@
+//! Leveled stderr logging gated by the `TOPK_LOG` environment variable.
+//!
+//! Four levels — `error` < `warn` < `info` < `debug` — with `info` the
+//! default, so user-facing progress lines keep printing exactly as the
+//! old bare `eprintln!`s did while per-stage pipeline timings stay
+//! hidden until `TOPK_LOG=debug` asks for them. The level is parsed
+//! once, lazily, and cached in an atomic; [`set_level`] overrides it at
+//! runtime (used by tests and the server's trace toggle).
+//!
+//! Use the [`error!`](crate::error)/[`warn!`](crate::warn)/
+//! [`info!`](crate::info)/[`debug!`](crate::debug) macros rather than
+//! calling [`log`] directly — they capture `module_path!()` as the
+//! target and skip formatting entirely when the level is disabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// Progress and lifecycle messages (the default level).
+    Info = 3,
+    /// Per-stage timings and other diagnostic chatter.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parse a `TOPK_LOG` value, case-insensitively. Unknown strings
+    /// fall back to `Info` so a typo never silences errors.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "debug" | "trace" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// 0 = not yet initialised from the environment.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn current_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let lvl = std::env::var("TOPK_LOG")
+                .map(|v| Level::parse(&v))
+                .unwrap_or(Level::Info);
+            LEVEL.store(lvl as u8, Ordering::Relaxed);
+            lvl
+        }
+        1 => Level::Error,
+        2 => Level::Warn,
+        4 => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// Override the log level at runtime, superseding `TOPK_LOG`.
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `lvl` would currently be emitted.
+pub fn enabled(lvl: Level) -> bool {
+    lvl <= current_level()
+}
+
+/// Emit one formatted line to stderr: `[LEVEL target] message`.
+///
+/// Prefer the macros; they check [`enabled`] before building `args`.
+pub fn log(lvl: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if enabled(lvl) {
+        eprintln!("[{} {target}] {args}", lvl.as_str());
+    }
+}
+
+/// Log at [`Level::Error`]; the target is the calling module's path.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Error) {
+            $crate::logger::log(
+                $crate::logger::Level::Error,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Log at [`Level::Warn`]; the target is the calling module's path.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Warn) {
+            $crate::logger::log(
+                $crate::logger::Level::Warn,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Log at [`Level::Info`]; the target is the calling module's path.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Info) {
+            $crate::logger::log(
+                $crate::logger::Level::Info,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Log at [`Level::Debug`]; the target is the calling module's path.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Debug) {
+            $crate::logger::log(
+                $crate::logger::Level::Debug,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_case_insensitive_with_info_fallback() {
+        assert_eq!(Level::parse("ERROR"), Level::Error);
+        assert_eq!(Level::parse(" warn "), Level::Warn);
+        assert_eq!(Level::parse("warning"), Level::Warn);
+        assert_eq!(Level::parse("Debug"), Level::Debug);
+        assert_eq!(Level::parse("trace"), Level::Debug);
+        assert_eq!(Level::parse("info"), Level::Info);
+        assert_eq!(Level::parse("bogus"), Level::Info);
+        assert_eq!(Level::parse(""), Level::Info);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // The level cache is process-global; restore Info (the default)
+        // at the end so other tests in this binary see it.
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+
+    #[test]
+    fn macros_expand_and_run() {
+        set_level(Level::Error);
+        // Disabled levels must not evaluate their side effects eagerly:
+        let mut hits = 0u32;
+        crate::debug!("never shown {}", {
+            hits += 1;
+            hits
+        });
+        assert_eq!(hits, 0, "debug args not evaluated when disabled");
+        crate::error!("shown {}", {
+            hits += 1;
+            hits
+        });
+        assert_eq!(hits, 1);
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

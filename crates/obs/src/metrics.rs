@@ -1,0 +1,315 @@
+//! Metrics: the log₂-bucketed latency histogram and a named registry
+//! with Prometheus text-format exposition.
+//!
+//! [`LatencyHistogram`] started life in `topk-service` and moved here so
+//! every layer (CLI, bench load generator, server) shares one
+//! implementation; `topk_service::metrics` re-exports it for existing
+//! callers. Everything is lock-free on the recording path (`AtomicU64`
+//! with relaxed ordering); the [`Registry`] takes a `RwLock` only on
+//! first registration of a name, after which callers hold the `Arc` and
+//! never touch the map again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples with
+/// `2^i` microseconds ≤ latency < `2^(i+1)`; bucket 0 also absorbs
+/// sub-microsecond samples, the last bucket absorbs everything ≥ ~35 min).
+pub const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Percentile estimates are upper bounds of the selected bucket, so they
+/// are conservative within a factor of two — plenty for spotting
+/// regressions, with a fixed footprint and wait-free recording.
+///
+/// # Bucket-0 semantics
+///
+/// [`record`](Self::record) clamps every sample to at least 1 µs before
+/// bucketing, so bucket 0 covers the half-open range **[0 µs, 2 µs)** —
+/// sub-microsecond samples and 1 µs samples are indistinguishable. All
+/// percentiles of an all-sub-microsecond histogram therefore return
+/// `2` (bucket 0's upper bound), which is a *correct* upper bound, not
+/// an artifact: the histogram only ever promises "the p-th percentile
+/// sample took **less than** the returned value".
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of all recorded samples in microseconds (unclamped), for the
+    /// Prometheus `_sum` series.
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, d: Duration) {
+        self.sum_micros
+            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        let micros = d.as_micros().max(1) as u64;
+        let idx = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples, in (unclamped) microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// A relaxed snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        counts
+    }
+
+    /// Upper bound (µs) of the bucket holding the `p`-th percentile
+    /// sample, `p` in `[0, 100]`. Returns 0 for an empty histogram.
+    ///
+    /// Because the returned value is the *upper edge* `2^(i+1)` of the
+    /// selected bucket, the smallest nonzero answer is 2 (see the
+    /// bucket-0 note on [`LatencyHistogram`]), and answers are always
+    /// monotone in `p`.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        // Unreachable when total > 0: the loop always accumulates to
+        // `total >= target`. Kept as the last bucket's upper bound.
+        1u64 << BUCKETS
+    }
+}
+
+/// A process- or component-scoped registry of named counters, gauges,
+/// and latency histograms.
+///
+/// Names should follow Prometheus conventions (`snake_case`, `_total`
+/// suffix on counters, a unit suffix like `_micros` on histograms);
+/// [`prometheus_text`](Self::prometheus_text) exposes everything in the
+/// text format `curl`-able dashboards expect. Registration returns an
+/// `Arc` so hot paths update the atomic directly without re-resolving
+/// the name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<LatencyHistogram>>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry, for components without a natural owner
+    /// (CLI one-shots, the bench load generator's client side). Server
+    /// engines own their *own* `Registry` so concurrently running
+    /// engines never share counters.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create the counter `name` (monotone, `u64`).
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge `name` (signed, settable).
+    pub fn gauge(&self, name: &str) -> Arc<AtomicI64> {
+        if let Some(g) = self.gauges.read().expect("registry lock").get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the latency histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format: `# TYPE` lines, plain samples for counters/gauges, and
+    /// cumulative `_bucket{le="..."}`/`_sum`/`_count` series for
+    /// histograms (bucket edges are this histogram's power-of-two upper
+    /// bounds, in microseconds).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.read().expect("registry lock").iter() {
+            out.push_str(&format!(
+                "# TYPE {name} counter\n{name} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        for (name, g) in self.gauges.read().expect("registry lock").iter() {
+            out.push_str(&format!(
+                "# TYPE {name} gauge\n{name} {}\n",
+                g.load(Ordering::Relaxed)
+            ));
+        }
+        for (name, h) in self.histograms.read().expect("registry lock").iter() {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let counts = h.bucket_counts();
+            let last_nonempty = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            // Emit up to the highest non-empty bucket (the final bucket
+            // is open-ended, so its edge is +Inf below).
+            for (i, &c) in counts.iter().enumerate().take(last_nonempty + 1) {
+                if i >= BUCKETS - 1 {
+                    break;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    1u64 << (i + 1)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                h.count(),
+                h.sum_micros(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_micros(99.0), 0, "empty histogram");
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_micros(), 11_111);
+        let p50 = h.percentile_micros(50.0);
+        let p99 = h.percentile_micros(99.0);
+        assert!(p50 >= 100, "p50 bucket bound covers the median sample");
+        assert!(p99 >= 10_000);
+        assert!(p50 <= p99);
+    }
+
+    /// Satellite: the bucket-0 edge. All-sub-microsecond samples land in
+    /// bucket 0 ([0, 2) µs after clamping) and every percentile answers
+    /// with that bucket's upper bound, 2 — a valid bound, monotone in p.
+    #[test]
+    fn all_sub_microsecond_samples_bound_to_two_micros() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_nanos(300));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.bucket_counts()[0], 100, "all samples in bucket 0");
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                h.percentile_micros(p),
+                2,
+                "p{p} is bucket 0's upper bound"
+            );
+        }
+        // The sum is unclamped: 100 × 0.3 µs truncates to 0 whole µs.
+        assert_eq!(h.sum_micros(), 0);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_micros(100.0) > 0);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("topk_things_total");
+        let b = r.counter("topk_things_total");
+        a.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 3, "same underlying counter");
+        let g = r.gauge("topk_level");
+        g.store(-2, Ordering::Relaxed);
+        let h = r.histogram("topk_latency_micros");
+        h.record(Duration::from_micros(5));
+        assert_eq!(r.histogram("topk_latency_micros").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("topk_cache_hits_total")
+            .fetch_add(7, Ordering::Relaxed);
+        r.gauge("topk_pending").store(-1, Ordering::Relaxed);
+        let h = r.histogram("topk_query_latency_micros");
+        h.record(Duration::from_micros(3)); // bucket 1: [2, 4)
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE topk_cache_hits_total counter\n"), "{text}");
+        assert!(text.contains("topk_cache_hits_total 7\n"), "{text}");
+        assert!(text.contains("topk_pending -1\n"), "{text}");
+        assert!(text.contains("# TYPE topk_query_latency_micros histogram\n"), "{text}");
+        assert!(
+            text.contains("topk_query_latency_micros_bucket{le=\"4\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topk_query_latency_micros_bucket{le=\"128\"} 3\n"),
+            "cumulative buckets: {text}"
+        );
+        assert!(
+            text.contains("topk_query_latency_micros_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("topk_query_latency_micros_sum 106\n"), "{text}");
+        assert!(text.contains("topk_query_latency_micros_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = Registry::global().counter("topk_obs_test_global_total");
+        Registry::global()
+            .counter("topk_obs_test_global_total")
+            .fetch_add(1, Ordering::Relaxed);
+        assert!(a.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! RAII span guards and the in-process collector.
+//!
+//! A [`Span`] measures one region of work with nanosecond resolution and
+//! carries typed key/value [`FieldValue`] fields (pairs compared, the
+//! `M` bound, groups pruned, ...). Completed spans land in a per-thread
+//! buffer whose mutex is uncontended on the hot path (only the owning
+//! thread and an occasional [`take_spans`] touch it), which is what
+//! keeps `--threads N` scaling unchanged when tracing is on. Every
+//! buffer is registered in a process-global list, so [`take_spans`]
+//! sees spans from worker threads even when it runs before their
+//! thread-local storage finishes tearing down — `std::thread::scope`
+//! unblocks as soon as the worker *closure* returns, which can be
+//! before TLS destructors fire, so a destructor-based drain would race.
+//!
+//! Tracing is **off by default**: [`Span::enter`] then costs a single
+//! relaxed atomic load and produces an inert guard whose `record` and
+//! `Drop` are no-ops. Turn it on with [`set_enabled`], harvest with
+//! [`take_spans`] once the traced work is done, and render with
+//! [`crate::chrome_trace`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch, checked (relaxed) on every [`Span::enter`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonically increasing thread ids, assigned lazily per thread on
+/// first span close (id 0 is reserved for "thread-local storage gone").
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// The global collector; per-thread buffers drain here in batches.
+static GLOBAL: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Every live (and not-yet-harvested dead) thread buffer. Entries whose
+/// owning thread has exited are pruned by [`take_spans`] after draining.
+static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+
+/// Per-thread buffer size that triggers a drain to [`GLOBAL`].
+const FLUSH_AT: usize = 256;
+
+/// Process-wide monotonic epoch: all span timestamps are nanoseconds
+/// since the first call (made eagerly by [`set_enabled`], so the epoch
+/// never postdates a span start).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Enable or disable span collection process-wide. Enabling pins the
+/// trace epoch; disabling leaves already-buffered spans in place.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether span collection is currently enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One typed span-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, sizes, byte totals).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (weights, bounds like `M`).
+    F64(f64),
+    /// Boolean (cache hit/miss, certified).
+    Bool(bool),
+    /// Free-form text (query keys, modes).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A completed span as stored by the collector.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (the taxonomy lives in `docs/OBSERVABILITY.md`).
+    pub name: &'static str,
+    /// Start time, nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (clamped to ≥ 1 so rendered durations
+    /// are never zero even on coarse clocks).
+    pub dur_ns: u64,
+    /// Collector-assigned id of the emitting thread (distinct per OS
+    /// thread; 0 only if the thread's storage was already torn down).
+    pub tid: u64,
+    /// Key/value fields recorded on the span, in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// One thread's span buffer. The TLS slot holds one `Arc` strong ref,
+/// [`REGISTRY`] holds another — so when the thread exits (dropping the
+/// TLS ref, at whatever point teardown happens to run), any unflushed
+/// spans stay reachable through the registry until harvested.
+struct ThreadBuf {
+    tid: u64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            spans: Mutex::new(Vec::new()),
+        });
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&buf));
+        buf
+    };
+}
+
+fn drain_into_global(spans: &mut Vec<SpanRecord>) {
+    if spans.is_empty() {
+        return;
+    }
+    let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    global.append(spans);
+}
+
+/// Push one completed span. Falls back to the global collector directly
+/// when the thread-local storage is mid-teardown.
+fn push(rec: SpanRecord) {
+    let mut rec = Some(rec);
+    let done = LOCAL.try_with(|buf| {
+        let mut spans = buf.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let mut r = rec.take().expect("span pushed exactly once");
+        r.tid = buf.tid;
+        spans.push(r);
+        if spans.len() >= FLUSH_AT {
+            let mut batch = std::mem::take(&mut *spans);
+            drop(spans); // release the thread buffer before taking GLOBAL
+            drain_into_global(&mut batch);
+        }
+    });
+    if done.is_err() {
+        if let Some(r) = rec.take() {
+            drain_into_global(&mut vec![r]);
+        }
+    }
+}
+
+/// Drain every registered thread buffer and take everything the global
+/// collector holds. Spans from exited worker threads are included no
+/// matter how their TLS teardown interleaved; only spans still *open*
+/// (guards not yet dropped) on other threads are invisible.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut harvested = Vec::new();
+    {
+        let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        for buf in registry.iter() {
+            let mut spans = buf.spans.lock().unwrap_or_else(|e| e.into_inner());
+            harvested.append(&mut spans);
+        }
+        // A sole strong count means the owning thread's TLS ref is gone
+        // (thread exited) and its buffer was just emptied: forget it.
+        registry.retain(|buf| Arc::strong_count(buf) > 1);
+    }
+    let mut out = std::mem::take(&mut *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()));
+    out.append(&mut harvested);
+    out
+}
+
+/// Discard all buffered spans (every thread buffer + global collector).
+pub fn clear() {
+    drop(take_spans());
+}
+
+/// Number of spans currently buffered across all thread buffers and the
+/// global collector.
+pub fn pending() -> usize {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let local: usize = registry
+        .iter()
+        .map(|buf| buf.spans.lock().unwrap_or_else(|e| e.into_inner()).len())
+        .sum();
+    drop(registry);
+    local + GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Live state of an active (enabled) span.
+struct Inner {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An RAII span guard: created by [`Span::enter`], measured and
+/// recorded when dropped. Inert (all methods no-ops) while tracing is
+/// disabled.
+pub struct Span {
+    inner: Option<Inner>,
+}
+
+impl Span {
+    /// Start a span named `name`. When tracing is disabled this is one
+    /// relaxed atomic load and no allocation.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !is_enabled() {
+            return Span { inner: None };
+        }
+        let _ = epoch(); // pin the epoch before taking `start`
+        Span {
+            inner: Some(Inner {
+                name,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a key/value field. No-op on a disabled span, so callers
+    /// can record unconditionally without checking [`is_enabled`].
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Whether this particular guard is live (tracing was enabled when
+    /// it was entered). Lets callers skip *computing* expensive field
+    /// values, not just recording them.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let ts_ns = inner
+                .start
+                .saturating_duration_since(epoch())
+                .as_nanos() as u64;
+            let dur_ns = (inner.start.elapsed().as_nanos() as u64).max(1);
+            push(SpanRecord {
+                name: inner.name,
+                ts_ns,
+                dur_ns,
+                tid: 0, // assigned by `push`
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // The collector and the enabled flag are process-global; tests that
+    // toggle them must not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        clear();
+        let mut sp = Span::enter("noop");
+        assert!(!sp.is_recording());
+        sp.record("k", 1u64);
+        drop(sp);
+        assert_eq!(pending(), 0);
+    }
+
+    #[test]
+    fn enabled_spans_carry_fields_and_timing() {
+        let _g = test_lock();
+        set_enabled(true);
+        clear();
+        {
+            let mut sp = Span::enter("outer");
+            sp.record("count", 7usize);
+            sp.record("m_lower_bound", 41.5f64);
+            sp.record("hit", true);
+            sp.record("mode", "full");
+            let _inner = Span::enter("inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, outer second.
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.dur_ns >= inner.dur_ns, "outer encloses inner");
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(outer.dur_ns >= 1);
+        assert_eq!(outer.fields.len(), 4);
+        assert_eq!(outer.fields[0], ("count", FieldValue::U64(7)));
+        assert_eq!(outer.fields[1], ("m_lower_bound", FieldValue::F64(41.5)));
+        assert_eq!(outer.fields[2], ("hit", FieldValue::Bool(true)));
+        assert_eq!(outer.fields[3], ("mode", FieldValue::Str("full".into())));
+        assert_eq!(outer.tid, inner.tid, "same thread, same tid");
+    }
+
+    /// Satellite: the collector must not lose spans under concurrency —
+    /// 8 threads × 10_000 spans each, all accounted for after join.
+    #[test]
+    fn no_span_loss_with_eight_threads_times_ten_thousand() {
+        let _g = test_lock();
+        set_enabled(true);
+        clear();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let mut sp = Span::enter("stress");
+                        sp.record("thread", t);
+                        sp.record("i", i);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let spans = take_spans();
+        let stress: Vec<_> = spans.iter().filter(|s| s.name == "stress").collect();
+        assert_eq!(
+            stress.len(),
+            THREADS * PER_THREAD,
+            "collector lost spans under concurrency"
+        );
+        let tids: std::collections::HashSet<u64> = stress.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), THREADS, "one collector tid per worker thread");
+    }
+
+    #[test]
+    fn take_spans_drains_and_clear_discards() {
+        let _g = test_lock();
+        set_enabled(true);
+        clear();
+        drop(Span::enter("a"));
+        assert_eq!(pending(), 1);
+        assert_eq!(take_spans().len(), 1);
+        assert_eq!(pending(), 0);
+        drop(Span::enter("b"));
+        clear();
+        set_enabled(false);
+        assert!(take_spans().is_empty());
+    }
+}

@@ -57,21 +57,32 @@ pub fn collapse_par(
     par: Parallelism,
 ) -> Vec<CollapsedGroup> {
     assert_eq!(reps.len(), weights.len());
+    let mut sp = topk_obs::Span::enter("collapse");
+    sp.record("groups_in", reps.len());
+    sp.record("threads", par.get());
     let n = reps.len();
     let mut uf = UnionFind::new(n);
     let blocks = BlockIndex::build_par(reps, s, par);
+    // Predicate evaluations actually performed (whole-block exact merges
+    // count one per union); the work the canopy/blocking step avoided is
+    // exactly what the paper's §4.1 speedups come from.
+    let mut pairs_compared: u64 = 0;
     if par.is_sequential() {
         for block in blocks.multi_member_blocks() {
             if s.exact_on_key() {
                 // Whole block is one group by contract.
                 for &other in &block[1..] {
                     uf.union(block[0], other);
+                    pairs_compared += 1;
                 }
             } else {
                 for (i, &a) in block.iter().enumerate() {
                     for &b in &block[i + 1..] {
-                        if !uf.same(a, b) && s.matches(reps[a as usize], reps[b as usize]) {
-                            uf.union(a, b);
+                        if !uf.same(a, b) {
+                            pairs_compared += 1;
+                            if s.matches(reps[a as usize], reps[b as usize]) {
+                                uf.union(a, b);
+                            }
                         }
                     }
                 }
@@ -79,35 +90,41 @@ pub fn collapse_par(
         }
     } else {
         let block_list: Vec<&[u32]> = blocks.multi_member_blocks().collect();
-        let pair_shards: Vec<Vec<(u32, u32)>> = par.map_chunks(block_list.len(), |range| {
-            let mut local = UnionFind::new(n);
-            let mut pairs = Vec::new();
-            for block in &block_list[range] {
-                if s.exact_on_key() {
-                    for &other in &block[1..] {
-                        pairs.push((block[0], other));
-                    }
-                } else {
-                    for (i, &a) in block.iter().enumerate() {
-                        for &b in &block[i + 1..] {
-                            if !local.same(a, b)
-                                && s.matches(reps[a as usize], reps[b as usize])
-                            {
-                                local.union(a, b);
-                                pairs.push((a, b));
+        let pair_shards: Vec<(Vec<(u32, u32)>, u64)> =
+            par.map_chunks(block_list.len(), |range| {
+                let mut local = UnionFind::new(n);
+                let mut pairs = Vec::new();
+                let mut compared: u64 = 0;
+                for block in &block_list[range] {
+                    if s.exact_on_key() {
+                        for &other in &block[1..] {
+                            pairs.push((block[0], other));
+                            compared += 1;
+                        }
+                    } else {
+                        for (i, &a) in block.iter().enumerate() {
+                            for &b in &block[i + 1..] {
+                                if !local.same(a, b) {
+                                    compared += 1;
+                                    if s.matches(reps[a as usize], reps[b as usize]) {
+                                        local.union(a, b);
+                                        pairs.push((a, b));
+                                    }
+                                }
                             }
                         }
                     }
                 }
-            }
-            pairs
-        });
-        for shard in pair_shards {
+                (pairs, compared)
+            });
+        for (shard, compared) in pair_shards {
+            pairs_compared += compared;
             for (a, b) in shard {
                 uf.union(a, b);
             }
         }
     }
+    sp.record("pairs_compared", pairs_compared);
     let mut groups: Vec<CollapsedGroup> = uf
         .groups()
         .into_iter()
@@ -125,6 +142,7 @@ pub fn collapse_par(
         })
         .collect();
     groups.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.rep.cmp(&b.rep)));
+    sp.record("groups_out", groups.len());
     groups
 }
 

@@ -71,6 +71,8 @@ impl TokenizedRecord {
 
 /// Tokenize every record of a dataset.
 pub fn tokenize_dataset(d: &Dataset) -> Vec<TokenizedRecord> {
+    let mut sp = topk_obs::Span::enter("tokenize");
+    sp.record("records", d.records().len());
     d.records()
         .iter()
         .map(|r| TokenizedRecord::from_fields(r.fields(), r.weight()))
@@ -82,6 +84,9 @@ pub fn tokenize_dataset(d: &Dataset) -> Vec<TokenizedRecord> {
 /// in input order, so the output is identical to the sequential version
 /// for every thread count.
 pub fn tokenize_dataset_par(d: &Dataset, par: Parallelism) -> Vec<TokenizedRecord> {
+    let mut sp = topk_obs::Span::enter("tokenize");
+    sp.record("records", d.records().len());
+    sp.record("threads", par.get());
     par.map_slice(d.records(), |r| {
         TokenizedRecord::from_fields(r.fields(), r.weight())
     })

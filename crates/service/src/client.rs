@@ -121,6 +121,33 @@ impl Client {
         self.request(r#"{"cmd":"stats"}"#)
     }
 
+    /// Prometheus text exposition of the server's metric registry.
+    pub fn metrics_text(&mut self) -> Result<String, String> {
+        let v = self.request(r#"{"cmd":"metrics"}"#)?;
+        v.get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics response missing `text`".into())
+    }
+
+    /// Toggle server-side span tracing and/or drain buffered spans to a
+    /// server-side Chrome trace file. Both arguments optional: `(None,
+    /// None)` just reports the current state.
+    pub fn trace(
+        &mut self,
+        enabled: Option<bool>,
+        out: Option<&str>,
+    ) -> Result<Json, String> {
+        let mut members = vec![("cmd", Json::Str("trace".into()))];
+        if let Some(on) = enabled {
+            members.push(("enabled", Json::Bool(on)));
+        }
+        if let Some(path) = out {
+            members.push(("out", Json::Str(path.into())));
+        }
+        self.request(&obj(members).to_string())
+    }
+
     /// Ask the server to write a snapshot to `path` (server-side path).
     pub fn snapshot(&mut self, path: &str) -> Result<Json, String> {
         let line = obj(vec![
@@ -194,6 +221,16 @@ mod tests {
         // Errors come back as Err with the code prefix.
         let err = c.request(r#"{"cmd":"topk","k":0}"#).unwrap_err();
         assert!(err.starts_with("bad_request"), "{err}");
+        // Prometheus exposition reflects the same counters.
+        let text = c.metrics_text().unwrap();
+        assert!(text.contains("topk_queries_total 2\n"), "{text}");
+        assert!(text.contains("topk_cache_hits_total 1\n"), "{text}");
+        assert!(
+            text.contains("topk_query_latency_micros_bucket{le=\""),
+            "{text}"
+        );
+        let t = c.trace(None, None).unwrap();
+        assert!(t.get("enabled").and_then(Json::as_bool).is_some());
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();
     }

@@ -203,6 +203,8 @@ impl Engine {
     /// Returns the new ingest generation.
     pub fn ingest(&self, rows: Vec<(Vec<String>, f64)>) -> Result<u64, String> {
         let t0 = Instant::now();
+        let mut sp = topk_obs::Span::enter("service.ingest");
+        sp.record("records", rows.len());
         // Validate and tokenize outside the lock.
         let mut toks = Vec::with_capacity(rows.len());
         for (fields, weight) in &rows {
@@ -245,6 +247,9 @@ impl Engine {
         field: FieldId,
     ) -> Result<u64, String> {
         let t0 = Instant::now();
+        let mut sp = topk_obs::Span::enter("service.ingest");
+        sp.record("records", toks.len());
+        sp.record("preloaded", true);
         let mut state = self.state.write().expect("engine lock poisoned");
         if let Some(existing) = &state.fields {
             if existing.len() != fields.len() {
@@ -367,6 +372,10 @@ impl Engine {
         F: FnOnce(&mut State, &EngineConfig) -> Result<Json, String>,
     {
         let t0 = Instant::now();
+        let mut sp = topk_obs::Span::enter("service.query");
+        if sp.is_recording() {
+            sp.record("key", key.as_str());
+        }
         Metrics::incr(&self.metrics.queries);
         let mut state = self.state.write().expect("engine lock poisoned");
         // Pending records change the generation at flush time, so settle
@@ -379,10 +388,12 @@ impl Engine {
                 drop(state);
                 Metrics::incr(&self.metrics.cache_hits);
                 self.metrics.query_latency.record(t0.elapsed());
+                sp.record("cache_hit", true);
                 return Ok(body);
             }
         }
         Metrics::incr(&self.metrics.cache_misses);
+        sp.record("cache_hit", false);
         let body = compute(&mut state, &self.cfg)?;
         if state.cache.len() >= CACHE_CAP {
             state.cache.clear();
@@ -427,6 +438,7 @@ impl Engine {
     /// Write a snapshot of the collapsed state to `path`. Pending
     /// records are flushed first so the snapshot is self-contained.
     pub fn snapshot(&self, path: &Path) -> Result<u64, String> {
+        let mut sp = topk_obs::Span::enter("service.snapshot");
         let mut state = self.state.write().expect("engine lock poisoned");
         state.flush(&self.cfg);
         let fields = state.fields.clone().unwrap_or_default();
@@ -438,6 +450,7 @@ impl Engine {
         )?;
         drop(state);
         Metrics::incr(&self.metrics.snapshots);
+        sp.record("bytes", bytes);
         Ok(bytes)
     }
 
@@ -445,6 +458,7 @@ impl Engine {
     /// statistics are rebuilt deterministically from the restored
     /// records; no predicate work is replayed.
     pub fn restore(&self, path: &Path) -> Result<u64, String> {
+        let mut sp = topk_obs::Span::enter("service.restore");
         let (inc_state, fields, field) = snapshot::read_snapshot(path)?;
         if let Some(cfg_fields) = &self.cfg.fields {
             if !fields.is_empty() && *cfg_fields != fields {
@@ -475,6 +489,7 @@ impl Engine {
         };
         drop(state);
         Metrics::incr(&self.metrics.restores);
+        sp.record("records", generation);
         Ok(generation)
     }
 }

@@ -1,107 +1,88 @@
 //! Service metrics: atomic counters plus log-scale latency histograms.
 //!
-//! Everything here is lock-free (`AtomicU64` with relaxed ordering) so
-//! the hot ingest/query paths never contend on a metrics mutex. Numbers
-//! are exposed through the `stats` protocol command and logged to stderr
-//! when the server shuts down.
+//! The histogram implementation moved to `topk-obs` (re-exported here
+//! for existing callers); this module keeps the service-specific
+//! [`Metrics`] bundle. Every counter and histogram is **also registered
+//! in a per-engine [`topk_obs::Registry`]** under Prometheus-style
+//! names, so the same atomics back the `stats` JSON response, the
+//! shutdown log line, and the `metrics` protocol command's Prometheus
+//! text. Everything stays lock-free on the hot ingest/query paths
+//! (relaxed `AtomicU64`); registries are per-engine, not global, so two
+//! engines in one process (e.g. concurrent tests) never share counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
 
-/// Number of power-of-two latency buckets (bucket `i` holds samples with
-/// `2^i` microseconds ≤ latency < `2^(i+1)`; bucket 0 also absorbs
-/// sub-microsecond samples, the last bucket absorbs everything ≥ ~35 min).
-const BUCKETS: usize = 32;
+pub use topk_obs::LatencyHistogram;
+use topk_obs::Registry;
 
-/// A log₂-bucketed latency histogram over microseconds.
-///
-/// Percentile estimates are upper bounds of the selected bucket, so they
-/// are conservative within a factor of two — plenty for spotting
-/// regressions, with a fixed 256-byte footprint and wait-free recording.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one latency sample.
-    pub fn record(&self, d: Duration) {
-        let micros = d.as_micros().max(1) as u64;
-        let idx = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Upper bound (µs) of the bucket holding the `p`-th percentile
-    /// sample, `p` in `[0, 100]`. Returns 0 for an empty histogram.
-    pub fn percentile_micros(&self, p: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << BUCKETS
-    }
-
-    /// Render `{count, p50_us, p95_us, p99_us}` for the stats response.
-    pub fn summary(&self) -> crate::json::Json {
-        crate::json::obj(vec![
-            ("count", crate::json::Json::Num(self.count() as f64)),
-            ("p50_us", crate::json::Json::Num(self.percentile_micros(50.0) as f64)),
-            ("p95_us", crate::json::Json::Num(self.percentile_micros(95.0) as f64)),
-            ("p99_us", crate::json::Json::Num(self.percentile_micros(99.0) as f64)),
-        ])
-    }
+/// Latency-summary JSON for the stats response:
+/// `{count, p50_us, p95_us, p99_us}`.
+pub fn histogram_summary(h: &LatencyHistogram) -> crate::json::Json {
+    crate::json::obj(vec![
+        ("count", crate::json::Json::Num(h.count() as f64)),
+        ("p50_us", crate::json::Json::Num(h.percentile_micros(50.0) as f64)),
+        ("p95_us", crate::json::Json::Num(h.percentile_micros(95.0) as f64)),
+        ("p99_us", crate::json::Json::Num(h.percentile_micros(99.0) as f64)),
+    ])
 }
 
 /// All counters and histograms of one server instance.
-#[derive(Debug, Default)]
+///
+/// Fields are `Arc`s shared with the engine's [`Registry`] (deref
+/// coercion keeps `Metrics::incr(&m.cache_hits)` call sites unchanged);
+/// [`Metrics::registry`] renders them as Prometheus text.
+#[derive(Debug)]
 pub struct Metrics {
     /// Records ingested (individual records, not requests).
-    pub ingested_records: AtomicU64,
+    pub ingested_records: Arc<AtomicU64>,
     /// `ingest` requests served.
-    pub ingest_requests: AtomicU64,
+    pub ingest_requests: Arc<AtomicU64>,
     /// `topk`/`topr` queries served (hits + misses).
-    pub queries: AtomicU64,
+    pub queries: Arc<AtomicU64>,
     /// Queries answered from the cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<AtomicU64>,
     /// Queries that ran the pipeline.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<AtomicU64>,
     /// Snapshots written.
-    pub snapshots: AtomicU64,
+    pub snapshots: Arc<AtomicU64>,
     /// Snapshots restored.
-    pub restores: AtomicU64,
+    pub restores: Arc<AtomicU64>,
     /// Requests rejected with an error envelope.
-    pub errors: AtomicU64,
+    pub errors: Arc<AtomicU64>,
     /// Connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Arc<AtomicU64>,
     /// Per-record ingest latency.
-    pub ingest_latency: LatencyHistogram,
+    pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
-    pub query_latency: LatencyHistogram,
+    pub query_latency: Arc<LatencyHistogram>,
+    registry: Registry,
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics backed by a fresh registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        Metrics {
+            ingested_records: registry.counter("topk_ingested_records_total"),
+            ingest_requests: registry.counter("topk_ingest_requests_total"),
+            queries: registry.counter("topk_queries_total"),
+            cache_hits: registry.counter("topk_cache_hits_total"),
+            cache_misses: registry.counter("topk_cache_misses_total"),
+            snapshots: registry.counter("topk_snapshots_total"),
+            restores: registry.counter("topk_restores_total"),
+            errors: registry.counter("topk_errors_total"),
+            connections: registry.counter("topk_connections_total"),
+            ingest_latency: registry.histogram("topk_ingest_latency_micros"),
+            query_latency: registry.histogram("topk_query_latency_micros"),
+            registry,
+        }
+    }
+
+    /// The registry backing these metrics — use
+    /// [`Registry::prometheus_text`] for the `metrics` protocol command.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Bump a counter by one.
@@ -128,8 +109,8 @@ impl Metrics {
             ("restores", n(&self.restores)),
             ("errors", n(&self.errors)),
             ("connections", n(&self.connections)),
-            ("ingest_latency", self.ingest_latency.summary()),
-            ("query_latency", self.query_latency.summary()),
+            ("ingest_latency", histogram_summary(&self.ingest_latency)),
+            ("query_latency", histogram_summary(&self.query_latency)),
         ])
     }
 
@@ -156,33 +137,16 @@ impl Metrics {
     }
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_percentiles_are_monotone_upper_bounds() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.percentile_micros(99.0), 0, "empty histogram");
-        for us in [1u64, 10, 100, 1000, 10_000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 5);
-        let p50 = h.percentile_micros(50.0);
-        let p99 = h.percentile_micros(99.0);
-        assert!(p50 >= 100, "p50 bucket bound covers the median sample");
-        assert!(p99 >= 10_000);
-        assert!(p50 <= p99);
-    }
-
-    #[test]
-    fn histogram_extremes_do_not_panic() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(100_000));
-        assert_eq!(h.count(), 2);
-        assert!(h.percentile_micros(100.0) > 0);
-    }
+    use std::time::Duration;
 
     #[test]
     fn counters_and_log_line() {
@@ -195,5 +159,34 @@ mod tests {
         assert!(line.contains("1 cache hits"), "{line}");
         let s = m.summary().to_string();
         assert!(s.contains("\"cache_hits\":1"), "{s}");
+    }
+
+    #[test]
+    fn metrics_are_registry_backed() {
+        let m = Metrics::new();
+        Metrics::incr(&m.cache_misses);
+        m.query_latency.record(Duration::from_micros(42));
+        let text = m.registry().prometheus_text();
+        assert!(text.contains("topk_cache_misses_total 1\n"), "{text}");
+        assert!(text.contains("topk_cache_hits_total 0\n"), "{text}");
+        assert!(
+            text.contains("# TYPE topk_query_latency_micros histogram\n"),
+            "{text}"
+        );
+        assert!(text.contains("topk_query_latency_micros_count 1\n"), "{text}");
+        // Two engines never share counters: fresh instance starts at zero.
+        let other = Metrics::new();
+        assert_eq!(Metrics::get(&other.cache_misses), 0);
+    }
+
+    #[test]
+    fn stats_summary_uses_shared_histogram() {
+        let m = Metrics::new();
+        for _ in 0..4 {
+            m.ingest_latency.record(Duration::from_micros(10));
+        }
+        let s = m.summary().to_string();
+        assert!(s.contains("\"ingest_latency\""), "{s}");
+        assert!(s.contains("\"count\":4"), "{s}");
     }
 }

@@ -27,6 +27,18 @@ pub enum Request {
     },
     /// Engine and metrics counters.
     Stats,
+    /// Prometheus text exposition of the engine's metric registry.
+    Metrics,
+    /// Inspect or change span tracing at runtime: toggle collection
+    /// and/or write buffered spans to a server-side Chrome trace file.
+    Trace {
+        /// `Some(true)`/`Some(false)` turns collection on/off; `None`
+        /// leaves it as is (pure inspection).
+        enabled: Option<bool>,
+        /// When set, drain buffered spans to this server-side path as
+        /// Chrome `trace_event` JSON.
+        out: Option<String>,
+    },
     /// Persist the collapsed state to a server-side path.
     Snapshot {
         /// Destination file path (on the server's filesystem).
@@ -74,6 +86,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match cmd {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => {
+            let enabled = match v.get("enabled") {
+                None => None,
+                Some(b) => Some(b.as_bool().ok_or_else(|| {
+                    ProtoError::bad_request("`enabled` must be a boolean")
+                })?),
+            };
+            let out = match v.get("out") {
+                None => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or_else(|| ProtoError::bad_request("`out` must be a string path"))?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::Trace { enabled, out })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "ingest" => parse_ingest(&v),
         "topk" => Ok(Request::TopK { k: parse_k(&v)? }),
@@ -206,6 +236,21 @@ mod tests {
             Request::Snapshot { path: "/tmp/x".into() }
         );
         assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace"}"#).unwrap(),
+            Request::Trace { enabled: None, out: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace","enabled":true,"out":"/tmp/t.json"}"#).unwrap(),
+            Request::Trace {
+                enabled: Some(true),
+                out: Some("/tmp/t.json".into())
+            }
+        );
+        assert_eq!(
             parse_request(r#"{"cmd":"ingest","fields":["a b","c"],"weight":2}"#).unwrap(),
             Request::Ingest(vec![(vec!["a b".into(), "c".into()], 2.0)])
         );
@@ -231,6 +276,8 @@ mod tests {
             (r#"{"cmd":"topk","k":0}"#, "bad_request"),
             (r#"{"cmd":"topk","k":1.5}"#, "bad_request"),
             (r#"{"cmd":"snapshot"}"#, "bad_request"),
+            (r#"{"cmd":"trace","enabled":"yes"}"#, "bad_request"),
+            (r#"{"cmd":"trace","out":7}"#, "bad_request"),
             (r#"{"cmd":"ingest"}"#, "bad_request"),
             (r#"{"cmd":"ingest","batch":[]}"#, "bad_request"),
             (r#"{"cmd":"ingest","fields":[1]}"#, "bad_request"),

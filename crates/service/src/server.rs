@@ -66,7 +66,7 @@ impl Server {
             let stream = match conn {
                 Ok(s) => s,
                 Err(e) => {
-                    eprintln!("accept failed: {e}");
+                    topk_obs::warn!("accept failed: {e}");
                     continue;
                 }
             };
@@ -91,11 +91,13 @@ impl Server {
         }
         if let Some(path) = &self.snapshot_on_exit {
             match self.engine.snapshot(path) {
-                Ok(bytes) => eprintln!("exit snapshot: {} ({bytes} bytes)", path.display()),
-                Err(e) => eprintln!("exit snapshot failed: {e}"),
+                Ok(bytes) => {
+                    topk_obs::info!("exit snapshot: {} ({bytes} bytes)", path.display())
+                }
+                Err(e) => topk_obs::error!("exit snapshot failed: {e}"),
             }
         }
-        eprintln!("topk-service: {}", self.engine.metrics.log_line());
+        topk_obs::info!("topk-service: {}", self.engine.metrics.log_line());
         Ok(())
     }
 
@@ -161,6 +163,54 @@ pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
     let result: Result<Json, ProtoError> = match request {
         Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
         Request::Stats => Ok(engine.stats_json()),
+        Request::Metrics => Ok(obj(vec![(
+            "text",
+            Json::Str(engine.metrics.registry().prometheus_text()),
+        )])),
+        Request::Trace { enabled, out } => {
+            if let Some(on) = enabled {
+                topk_obs::span::set_enabled(on);
+            }
+            let mut members = vec![(
+                "enabled",
+                Json::Bool(topk_obs::span::is_enabled()),
+            )];
+            let written = match &out {
+                Some(path) => {
+                    let spans = topk_obs::span::take_spans();
+                    let n = spans.len();
+                    match std::fs::write(path, topk_obs::chrome_trace(&spans)) {
+                        Ok(()) => Some((path.clone(), n)),
+                        Err(e) => {
+                            return {
+                                Metrics::incr(&engine.metrics.errors);
+                                (
+                                    err_response(&ProtoError {
+                                        code: "io_error",
+                                        message: format!("cannot write trace {path}: {e}"),
+                                    }),
+                                    false,
+                                )
+                            }
+                        }
+                    }
+                }
+                None => None,
+            };
+            match written {
+                Some((path, n)) => {
+                    members.push(("out", Json::Str(path)));
+                    members.push(("spans", Json::Num(n as f64)));
+                }
+                None => {
+                    members.push((
+                        "spans_buffered",
+                        Json::Num(topk_obs::span::pending() as f64),
+                    ));
+                }
+            }
+            Ok(obj(members))
+        }
         Request::Shutdown => {
             return (
                 ok_response(obj(vec![("stopping", Json::Bool(true))])),
@@ -252,6 +302,62 @@ mod tests {
         let (r, _) = dispatch(r#"{"cmd":"restore","path":"/nonexistent/x"}"#, &e);
         assert!(r.contains(r#""code":"io_error""#), "{r}");
         assert_eq!(Metrics::get(&e.metrics.errors), 2);
+    }
+
+    #[test]
+    fn dispatch_metrics_returns_prometheus_text() {
+        let e = engine();
+        dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["bo liu"]}]}"#,
+            &e,
+        );
+        dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        let (r, stop) = dispatch(r#"{"cmd":"metrics"}"#, &e);
+        assert!(!stop);
+        let v = crate::json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let text = v.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("topk_queries_total 1\n"), "{text}");
+        assert!(text.contains("topk_cache_misses_total 1\n"), "{text}");
+        assert!(text.contains("topk_cache_hits_total 0\n"), "{text}");
+        assert!(
+            text.contains("# TYPE topk_query_latency_micros histogram\n"),
+            "{text}"
+        );
+        assert!(text.contains("topk_query_latency_micros_bucket{le=\""), "{text}");
+    }
+
+    #[test]
+    fn dispatch_trace_toggles_and_writes() {
+        let e = engine();
+        // Inspection only: reports the current state without changing it.
+        let (r, _) = dispatch(r#"{"cmd":"trace"}"#, &e);
+        assert!(r.contains(r#""spans_buffered":"#), "{r}");
+        let (r, _) = dispatch(r#"{"cmd":"trace","enabled":true}"#, &e);
+        assert!(r.contains(r#""enabled":true"#), "{r}");
+        dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["cam po"]}]}"#,
+            &e,
+        );
+        dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        let path = std::env::temp_dir().join("topk_dispatch_trace_test.json");
+        let line = format!(
+            r#"{{"cmd":"trace","enabled":false,"out":"{}"}}"#,
+            path.display()
+        );
+        let (r, _) = dispatch(&line, &e);
+        assert!(r.contains(r#""enabled":false"#), "{r}");
+        assert!(r.contains(r#""spans":"#), "{r}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.starts_with(r#"{"traceEvents":["#), "{trace}");
+        assert!(trace.contains(r#""name":"service.query""#), "{trace}");
+        let _ = std::fs::remove_file(&path);
+        // Unwritable path yields the io_error envelope.
+        let (r, _) = dispatch(
+            r#"{"cmd":"trace","out":"/nonexistent-dir/x/trace.json"}"#,
+            &e,
+        );
+        assert!(r.contains(r#""code":"io_error""#), "{r}");
     }
 
     #[test]
