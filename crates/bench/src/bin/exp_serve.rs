@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run -p topk-bench --release --bin exp_serve -- \
-//!     [n_records] [--clients N] [--queries N] [--k K] [--smoke]
+//!     [n_records] [--clients N] [--queries N] [--k K] [--smoke] [--chaos]
 //! ```
 //!
 //! Spawns a `topk-service` server on an ephemeral loopback port, streams
@@ -16,6 +16,13 @@
 //! server's cache-hit counters. `--smoke` runs the ≤2 s configuration
 //! used by the tier-1 test flow and exits non-zero if the cache served
 //! nothing.
+//!
+//! `--chaos` additionally runs the packaged fault scenarios from
+//! [`topk_bench::faults`] — shed, retry-through-overload, journal
+//! replay after a simulated `kill -9`, and the overload-latency bound
+//! (accepted requests ≤2× uncontended while the shed path is busy) —
+//! and exits non-zero if any scenario's invariant fails. See
+//! `docs/ROBUSTNESS.md`.
 
 use topk_bench::serve_load::{run, LoadConfig};
 use topk_bench::Table;
@@ -23,10 +30,12 @@ use topk_bench::Table;
 fn main() {
     let mut cfg = LoadConfig::default();
     let mut smoke = false;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--clients" => {
                 cfg.clients = args
                     .next()
@@ -113,5 +122,21 @@ fn main() {
     }
     if smoke {
         println!("smoke OK: cache served {} repeat queries", report.cache_hits);
+    }
+
+    if chaos {
+        println!("chaos pass: shed, retry, journal replay, overload latency");
+        match topk_bench::faults::run_chaos() {
+            Ok(outcomes) => {
+                for o in &outcomes {
+                    println!("  chaos {:<16} OK: {}", o.name, o.detail);
+                }
+                println!("chaos OK: {} scenarios held their invariants", outcomes.len());
+            }
+            Err(e) => {
+                topk_obs::error!("chaos FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,0 +1,593 @@
+//! Fault injection for the resident `topk-service` server.
+//!
+//! Raw-socket misbehavers (slow-loris writers, truncated frames,
+//! garbage bytes, mid-response disconnects, connection floods) plus the
+//! three packaged chaos scenarios `exp_serve --chaos` runs: one shed,
+//! one retry, one journal replay after a simulated `kill -9`. The
+//! integration suite `tests/serve_faults.rs` drives the same helpers
+//! with assertions; the binary prints their one-line outcomes.
+//!
+//! Everything here talks to a real [`Server`] over loopback TCP —
+//! faults are injected on the wire, not by mocking internals, so the
+//! scenarios exercise the same accept loop, deadline reader, and
+//! journal code paths production traffic hits.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use topk_service::{
+    Client, ClientConfig, Engine, EngineConfig, Journal, Server, ServerConfig,
+};
+
+/// A live loopback server plus handles the scenarios need: its address,
+/// the shared engine (for reading counters directly), and the join
+/// handle for a clean shutdown.
+pub struct TestServer {
+    /// `host:port` of the listener.
+    pub addr: String,
+    /// The served engine — counters under `engine.metrics`.
+    pub engine: Arc<Engine>,
+    handle: std::thread::JoinHandle<Result<(), String>>,
+}
+
+impl TestServer {
+    /// Bind an ephemeral loopback server with `config`, optionally
+    /// journaled (the journal is opened and replayed first, exactly as
+    /// `topk serve --journal` does).
+    pub fn spawn(config: ServerConfig, journal: Option<&Path>) -> Result<TestServer, String> {
+        let mut engine = Engine::new(EngineConfig {
+            parallelism: topk_core::Parallelism::sequential(),
+            ..Default::default()
+        })?;
+        if let Some(path) = journal {
+            let (journal, recovery) = Journal::open(path)?;
+            engine.attach_journal(journal);
+            engine.replay_rows(recovery.entries)?;
+        }
+        let engine = Arc::new(engine);
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&engine))?;
+        server.config = config;
+        let (addr, handle) = server.spawn();
+        Ok(TestServer {
+            addr: addr.to_string(),
+            engine,
+            handle,
+        })
+    }
+
+    /// A well-behaved client on this server (no retries, short
+    /// timeouts, so scenario failures surface fast).
+    pub fn client(&self) -> Result<Client, String> {
+        Client::connect_with(
+            &self.addr,
+            ClientConfig {
+                connect_timeout: Duration::from_secs(5),
+                read_timeout: Duration::from_secs(10),
+                write_timeout: Duration::from_secs(10),
+                retries: 0,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Graceful shutdown via the protocol; joins the server thread.
+    /// Retries while the connection cap is still occupied by a
+    /// scenario's parting clients.
+    pub fn shutdown(self) -> Result<(), String> {
+        let mut last = String::new();
+        for _ in 0..200 {
+            match self.client().and_then(|mut c| c.shutdown()) {
+                Ok(()) => {
+                    return self
+                        .handle
+                        .join()
+                        .map_err(|_| "server thread panicked".to_string())?
+                }
+                Err(e) => {
+                    last = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        Err(format!("could not shut the test server down: {last}"))
+    }
+}
+
+/// A [`ServerConfig`] with deadlines tightened for sub-second fault
+/// tests (read 400 ms, idle 800 ms, 4 KiB requests, 64 connections).
+pub fn tight_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_millis(400),
+        idle_timeout: Duration::from_millis(800),
+        max_request_bytes: 4096,
+        max_connections: 64,
+    }
+}
+
+fn raw_connect(addr: &str) -> Result<TcpStream, String> {
+    let s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_nodelay(true).ok();
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
+    Ok(s)
+}
+
+fn read_line_raw(s: &mut TcpStream) -> Result<String, String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match s.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => line.push(byte[0]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    if line.is_empty() {
+        return Err("connection closed without a response".into());
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
+/// Write `line` one byte at a time with `delay` between bytes — the
+/// classic slow-loris. Returns the server's response line (typically the
+/// `err:"timeout"` envelope once the per-request read deadline fires),
+/// or Err if the server cut the connection without a response.
+pub fn slow_loris(addr: &str, line: &str, delay: Duration) -> Result<String, String> {
+    let mut s = raw_connect(addr)?;
+    for b in line.as_bytes() {
+        if s.write_all(std::slice::from_ref(b)).is_err() {
+            break; // server already gave up on us — read what it said
+        }
+        std::thread::sleep(delay);
+    }
+    let _ = s.write_all(b"\n");
+    read_line_raw(&mut s)
+}
+
+/// Send raw `bytes` (no newline appended), then close the write side
+/// without waiting — a truncated frame / abrupt disconnect.
+pub fn send_truncated(addr: &str, bytes: &[u8]) -> Result<(), String> {
+    let mut s = raw_connect(addr)?;
+    s.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    s.shutdown(Shutdown::Both).ok();
+    Ok(())
+}
+
+/// Send `bytes` followed by a newline and read one response line — used
+/// for garbage-byte and oversized-request probes.
+pub fn send_line_raw(addr: &str, bytes: &[u8]) -> Result<String, String> {
+    let mut s = raw_connect(addr)?;
+    s.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    s.write_all(b"\n").map_err(|e| format!("write: {e}"))?;
+    read_line_raw(&mut s)
+}
+
+/// Send a valid request, read only `n` response bytes, then slam the
+/// connection shut mid-response.
+pub fn disconnect_mid_response(addr: &str, line: &str, n: usize) -> Result<(), String> {
+    let mut s = raw_connect(addr)?;
+    s.write_all(line.as_bytes())
+        .and_then(|()| s.write_all(b"\n"))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut buf = vec![0u8; n.max(1)];
+    let _ = s.read(&mut buf);
+    s.shutdown(Shutdown::Both).ok();
+    Ok(())
+}
+
+/// What a connection flood produced.
+#[derive(Debug, Default)]
+pub struct FloodOutcome {
+    /// Connections that got a normal `pong`.
+    pub served: usize,
+    /// Connections refused with the `err:"overloaded"` envelope.
+    pub shed: usize,
+    /// Connections that failed some other way.
+    pub failed: usize,
+}
+
+/// Occupy the server with `hogs` held-open connections, then throw
+/// `extras` more at it; hogs stay parked until the extras are done.
+/// With `hogs >= max_connections` every extra must be shed.
+pub fn flood(addr: &str, hogs: usize, extras: usize) -> Result<FloodOutcome, String> {
+    let release = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicUsize::new(0));
+    let mut hog_handles = Vec::new();
+    for _ in 0..hogs {
+        let addr = addr.to_string();
+        let release = Arc::clone(&release);
+        let parked = Arc::clone(&parked);
+        hog_handles.push(std::thread::spawn(move || {
+            // A hog is a legitimate slow client: one ping, then it sits
+            // on the connection, pinning one server slot.
+            let ok = Client::connect(&addr)
+                .and_then(|mut c| c.ping())
+                .is_ok();
+            parked.fetch_add(1, Ordering::SeqCst);
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            ok
+        }));
+    }
+    // Wait until every hog holds its slot before flooding.
+    let mut spins = 0;
+    while parked.load(Ordering::SeqCst) < hogs {
+        std::thread::sleep(Duration::from_millis(5));
+        spins += 1;
+        if spins > 2000 {
+            release.store(true, Ordering::SeqCst);
+            return Err("hog connections never settled".into());
+        }
+    }
+    let mut outcome = FloodOutcome::default();
+    let mut extra_handles = Vec::new();
+    for _ in 0..extras {
+        let addr = addr.to_string();
+        extra_handles.push(std::thread::spawn(move || {
+            send_line_raw(&addr, br#"{"cmd":"ping"}"#)
+        }));
+    }
+    for h in extra_handles {
+        match h.join().map_err(|_| "flood worker panicked")? {
+            Ok(resp) if resp.contains(r#""code":"overloaded""#) => outcome.shed += 1,
+            Ok(resp) if resp.contains(r#""pong":true"#) => outcome.served += 1,
+            _ => outcome.failed += 1,
+        }
+    }
+    release.store(true, Ordering::SeqCst);
+    for h in hog_handles {
+        if !h.join().map_err(|_| "hog worker panicked")? {
+            outcome.failed += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// One chaos scenario's outcome (printed by `exp_serve --chaos`).
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// One-line human summary of what was observed.
+    pub detail: String,
+}
+
+/// Shed scenario: cap the server at 2 connections, hold both, throw 6
+/// more at it; every extra must get a fast `err:"overloaded"` and the
+/// server must still serve a fresh client afterwards.
+pub fn chaos_shed() -> Result<ChaosOutcome, String> {
+    let ts = TestServer::spawn(
+        ServerConfig {
+            max_connections: 2,
+            ..tight_config()
+        },
+        None,
+    )?;
+    let outcome = flood(&ts.addr, 2, 6)?;
+    if outcome.shed == 0 {
+        return Err(format!("expected shed connections, got {outcome:?}"));
+    }
+    if outcome.failed > 0 {
+        return Err(format!("flood connections failed outright: {outcome:?}"));
+    }
+    let shed_total =
+        topk_service::Metrics::get(&ts.engine.metrics.server_shed);
+    if shed_total < outcome.shed as u64 {
+        return Err(format!(
+            "server_shed_total {shed_total} < observed shed {}",
+            outcome.shed
+        ));
+    }
+    ts.client()?.ping()?; // still healthy after the flood
+    ts.shutdown()?;
+    Ok(ChaosOutcome {
+        name: "shed",
+        detail: format!(
+            "cap 2: {} shed with err:\"overloaded\" (server_shed_total {shed_total}), server healthy after",
+            outcome.shed
+        ),
+    })
+}
+
+/// Retry scenario: saturate a 1-connection server so a retrying client's
+/// first attempts are shed, then free the slot mid-backoff; the
+/// idempotent ping must succeed without the caller seeing any error.
+pub fn chaos_retry() -> Result<ChaosOutcome, String> {
+    let ts = TestServer::spawn(
+        ServerConfig {
+            max_connections: 1,
+            ..tight_config()
+        },
+        None,
+    )?;
+    let release = Arc::new(AtomicBool::new(false));
+    let hogged = Arc::new(AtomicBool::new(false));
+    let hog = {
+        let addr = ts.addr.clone();
+        let release = Arc::clone(&release);
+        let hogged = Arc::clone(&hogged);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr)?;
+            c.ping()?;
+            hogged.store(true, Ordering::SeqCst);
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok::<(), String>(())
+        })
+    };
+    // The hog must own the only slot before the retrying client shows
+    // up, or the roles invert and the hog itself gets shed.
+    let mut spins = 0;
+    while !hogged.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        spins += 1;
+        if spins > 2000 {
+            release.store(true, Ordering::SeqCst);
+            return Err("hog connection never settled".into());
+        }
+    }
+    // Generous retry budget: first attempts hit the shed path while the
+    // hog holds the only slot; the slot frees 150 ms in.
+    let mut retrying = Client::connect_with(
+        &ts.addr,
+        ClientConfig {
+            retries: 8,
+            backoff_base: Duration::from_millis(40),
+            backoff_cap: Duration::from_millis(200),
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        },
+    )?;
+    let releaser = {
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            release.store(true, Ordering::SeqCst);
+        })
+    };
+    let ping = retrying.ping();
+    releaser.join().map_err(|_| "releaser panicked")?;
+    hog.join().map_err(|_| "hog panicked")??;
+    ping.map_err(|e| format!("retrying ping failed despite backoff: {e}"))?;
+    // Free the single slot so the shutdown client can get in.
+    drop(retrying);
+    let shed_total = topk_service::Metrics::get(&ts.engine.metrics.server_shed);
+    let retries = topk_obs::Registry::global()
+        .counter("topk_client_retries_total")
+        .load(Ordering::Relaxed);
+    ts.shutdown()?;
+    Ok(ChaosOutcome {
+        name: "retry",
+        detail: format!(
+            "ping succeeded through overload (server_shed_total {shed_total}, client retries counter {retries})"
+        ),
+    })
+}
+
+/// Journal scenario: ingest through a journaled server, simulate a
+/// `kill -9` (no snapshot, torn half-written append at the tail), then
+/// recover into a fresh engine and compare its topk answer byte-for-byte
+/// against an engine that plainly ingested the surviving batches.
+pub fn chaos_journal_replay() -> Result<ChaosOutcome, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "topk_chaos_journal_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let jpath: PathBuf = dir.join("chaos.wal");
+    let _ = std::fs::remove_file(&jpath);
+
+    let batches: Vec<Vec<(Vec<String>, f64)>> = vec![
+        vec![
+            (vec!["maria santos".to_string()], 1.0),
+            (vec!["maria  santos".to_string()], 2.0),
+        ],
+        vec![
+            (vec!["john doe".to_string()], 1.0),
+            (vec!["maria santos".to_string()], 1.0),
+        ],
+    ];
+
+    // Phase 1: a journaled server ingests both batches; no snapshot is
+    // ever taken, so only the journal holds them.
+    let ts = TestServer::spawn(tight_config(), Some(&jpath))?;
+    let mut c = ts.client()?;
+    for batch in &batches {
+        c.ingest_batch(batch)?;
+    }
+    drop(c);
+    ts.shutdown()?;
+
+    // Simulate dying mid-append: a torn frame (length prefix promising
+    // more bytes than follow) lands after the last durable entry —
+    // exactly what a power cut during `write_all` leaves behind.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| e.to_string())?;
+        f.write_all(&[0xEE, 0xFF, 0x00, 0x00, 0xde, 0xad])
+            .map_err(|e| e.to_string())?;
+    }
+
+    // Phase 2: recovery. The torn tail must be dropped, both real
+    // entries replayed.
+    let (journal, recovery) = Journal::open(&jpath)?;
+    if recovery.dropped_bytes == 0 {
+        return Err("recovery did not report the torn tail".into());
+    }
+    if recovery.entries.len() != batches.len() {
+        return Err(format!(
+            "recovered {} entries, expected {}",
+            recovery.entries.len(),
+            batches.len()
+        ));
+    }
+    let mut recovered = Engine::new(EngineConfig {
+        parallelism: topk_core::Parallelism::sequential(),
+        ..Default::default()
+    })?;
+    recovered.attach_journal(journal);
+    let replayed = recovered.replay_rows(recovery.entries)?;
+
+    // Reference: the same batches ingested into a fresh engine with no
+    // crash anywhere. Answers must match byte for byte.
+    let reference = Engine::new(EngineConfig {
+        parallelism: topk_core::Parallelism::sequential(),
+        ..Default::default()
+    })?;
+    for batch in &batches {
+        reference.ingest(batch.clone())?;
+    }
+    let got = recovered.query_topk(3)?.to_string();
+    let want = reference.query_topk(3)?.to_string();
+    if got != want {
+        return Err(format!(
+            "replayed topk differs from reference:\n  got  {got}\n  want {want}"
+        ));
+    }
+    let _ = std::fs::remove_file(&jpath);
+    Ok(ChaosOutcome {
+        name: "journal-replay",
+        detail: format!(
+            "kill -9 simulated ({} torn bytes dropped); {replayed} records replayed, topk byte-identical to reference",
+            recovery.dropped_bytes
+        ),
+    })
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn median_ping_micros(c: &mut Client, n: usize) -> Result<u64, String> {
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = std::time::Instant::now();
+        c.ping()?;
+        samples.push(t.elapsed().as_micros() as u64);
+    }
+    Ok(median(samples))
+}
+
+/// Overload-latency scenario: accepted requests must not slow down just
+/// because other connections are being shed. Measures the median ping
+/// latency of an in-cap client alone, then again while the cap is full
+/// and a prober keeps bouncing off the shed path, and asserts the
+/// contended median stays within 2× of the uncontended one (plus a
+/// 250 µs absolute floor so scheduler jitter on loopback-microsecond
+/// baselines can't flake the bound). Shed responses themselves must be
+/// fast — they never touch the engine.
+pub fn chaos_overload_latency() -> Result<ChaosOutcome, String> {
+    let ts = TestServer::spawn(
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+        None,
+    )?;
+    let mut c = ts.client()?;
+    for _ in 0..20 {
+        c.ping()?; // warm the path before timing anything
+    }
+    let baseline = median_ping_micros(&mut c, 100)?;
+
+    // Fill the second (and last) slot with a parked hog...
+    let release = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicBool::new(false));
+    let hog = {
+        let addr = ts.addr.clone();
+        let release = Arc::clone(&release);
+        let parked = Arc::clone(&parked);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr)?;
+            c.ping()?;
+            parked.store(true, Ordering::SeqCst);
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok::<(), String>(())
+        })
+    };
+    let mut spins = 0;
+    while !parked.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        spins += 1;
+        if spins > 2000 {
+            release.store(true, Ordering::SeqCst);
+            return Err("hog connection never settled".into());
+        }
+    }
+    // ...then alternate timed accepted pings with shed probes, so the
+    // shed path is genuinely being exercised while we measure. Probing
+    // inline (rather than from a racing thread) guarantees the overload
+    // overlaps the measurement window.
+    let mut ping_micros = Vec::with_capacity(100);
+    let mut shed_micros = Vec::new();
+    for i in 0..100 {
+        if i % 4 == 0 {
+            let t = std::time::Instant::now();
+            match send_line_raw(&ts.addr, br#"{"cmd":"ping"}"#) {
+                Ok(resp) if resp.contains(r#""code":"overloaded""#) => {
+                    shed_micros.push(t.elapsed().as_micros() as u64)
+                }
+                // A reset can outrun the refusal bytes; the shed still
+                // happened (the counter below proves it), we just lost
+                // this latency sample.
+                _ => {}
+            }
+        }
+        let t = std::time::Instant::now();
+        c.ping()?;
+        ping_micros.push(t.elapsed().as_micros() as u64);
+    }
+    let contended = median(ping_micros);
+    release.store(true, Ordering::SeqCst);
+    hog.join().map_err(|_| "hog panicked")??;
+    let shed_total = topk_service::Metrics::get(&ts.engine.metrics.server_shed);
+    drop(c);
+    ts.shutdown()?;
+
+    if shed_total == 0 {
+        return Err("the cap was full but nothing was shed".into());
+    }
+    if shed_micros.is_empty() {
+        return Err("no shed probe got the overloaded envelope back".into());
+    }
+    let shed = median(shed_micros);
+    let bound = (baseline * 2).max(baseline + 250);
+    if contended > bound {
+        return Err(format!(
+            "accepted-request latency degraded under overload: \
+             {contended} µs contended vs {baseline} µs baseline (bound {bound} µs)"
+        ));
+    }
+    Ok(ChaosOutcome {
+        name: "overload-latency",
+        detail: format!(
+            "accepted ping median {contended} µs under shed load vs {baseline} µs uncontended \
+             (≤2× bound held); shed responses median {shed} µs"
+        ),
+    })
+}
+
+/// Run all chaos scenarios in sequence (the `exp_serve --chaos` pass).
+pub fn run_chaos() -> Result<Vec<ChaosOutcome>, String> {
+    Ok(vec![
+        chaos_shed()?,
+        chaos_retry()?,
+        chaos_journal_replay()?,
+        chaos_overload_latency()?,
+    ])
+}

@@ -15,6 +15,10 @@
 //! * [`serve_load`] — load generator for the resident `topk-service`
 //!   server (concurrent clients over loopback TCP, throughput + latency
 //!   percentiles, cache-hit accounting).
+//! * [`faults`] — fault injection for the server (slow-loris, truncated
+//!   frames, garbage bytes, connection floods, simulated `kill -9` with
+//!   journal recovery); drives `exp_serve --chaos` and
+//!   `tests/serve_faults.rs` (fault matrix: docs/ROBUSTNESS.md).
 //! * [`timing_smoke`] — traced Full-mode smoke run validating the
 //!   Chrome trace output end to end (used by `exp_timing --smoke
 //!   --trace-out` and the tier-1 test flow).
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod faults;
 pub mod scorers;
 pub mod serve_load;
 pub mod table;

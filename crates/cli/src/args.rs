@@ -35,11 +35,28 @@ options:
                    pipeline stage to P (open in Perfetto / about:tracing;
                    see docs/OBSERVABILITY.md)
 
-serve options (protocol reference: docs/SERVICE.md):
+serve options (protocol reference: docs/SERVICE.md, robustness
+knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
   --addr H:P             listen address (default 127.0.0.1:7411)
   --preload data.tsv     ingest a file before accepting connections
   --restore snap         start from a snapshot file
   --snapshot-on-exit p   write a snapshot when the server shuts down
+  --journal path         write-ahead ingest journal: appended before
+                         each ingest applies, replayed on startup,
+                         truncated on successful snapshot/restore
+  --read-timeout-ms N    per-request read deadline (default 30000)
+  --write-timeout-ms N   per-response write deadline (default 30000)
+  --idle-timeout-ms N    idle-connection timeout (default 300000)
+  --max-request-bytes N  request-line size cap (default 4194304)
+  --max-connections N    concurrent-connection cap; excess connections
+                         are shed with err:\"overloaded\" (default 256)
+
+client options (retry policy reference: docs/ROBUSTNESS.md):
+  --timeout-ms N         read/write timeout (default 30000, 0 = none)
+  --connect-timeout-ms N connect timeout (default 5000, 0 = none)
+  --retries N            retries for idempotent commands — ping, topk,
+                         topr, stats, metrics (default 3; ingest and
+                         other state-changing commands never retry)
 
 client commands (all take --addr, default 127.0.0.1:7411):
   topk client ping                  liveness probe
@@ -97,6 +114,18 @@ pub struct ServeOptions {
     pub weight_col: Option<String>,
     /// Preload file: label column name.
     pub label_col: Option<String>,
+    /// Write-ahead ingest journal path (crash recovery).
+    pub journal: Option<PathBuf>,
+    /// Per-request read deadline in ms (0 = none).
+    pub read_timeout_ms: u64,
+    /// Per-response write deadline in ms (0 = none).
+    pub write_timeout_ms: u64,
+    /// Idle-connection timeout in ms (0 = none).
+    pub idle_timeout_ms: u64,
+    /// Request-line size cap in bytes (0 = none).
+    pub max_request_bytes: usize,
+    /// Concurrent-connection cap; excess is shed (0 = none).
+    pub max_connections: usize,
 }
 
 impl Default for ServeOptions {
@@ -114,6 +143,12 @@ impl Default for ServeOptions {
             has_header: true,
             weight_col: None,
             label_col: None,
+            journal: None,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            idle_timeout_ms: 300_000,
+            max_request_bytes: 4 << 20,
+            max_connections: 256,
         }
     }
 }
@@ -169,6 +204,12 @@ pub struct ClientOptions {
     pub weight_col: Option<String>,
     /// Ingest file: label column name.
     pub label_col: Option<String>,
+    /// Read/write timeout in ms (0 = none).
+    pub timeout_ms: u64,
+    /// Connect timeout in ms (0 = none).
+    pub connect_timeout_ms: u64,
+    /// Retries for idempotent commands.
+    pub retries: u32,
 }
 
 /// Options shared by the subcommands.
@@ -332,6 +373,24 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
             "--no-header" => o.has_header = false,
             "--weight-col" => o.weight_col = Some(value("--weight-col")?),
             "--label-col" => o.label_col = Some(value("--label-col")?),
+            "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
+            "--read-timeout-ms" => {
+                o.read_timeout_ms = parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                o.write_timeout_ms =
+                    parse_num(&value("--write-timeout-ms")?, "--write-timeout-ms")?
+            }
+            "--idle-timeout-ms" => {
+                o.idle_timeout_ms = parse_num(&value("--idle-timeout-ms")?, "--idle-timeout-ms")?
+            }
+            "--max-request-bytes" => {
+                o.max_request_bytes =
+                    parse_num(&value("--max-request-bytes")?, "--max-request-bytes")?
+            }
+            "--max-connections" => {
+                o.max_connections = parse_num(&value("--max-connections")?, "--max-connections")?
+            }
             other => return Err(format!("unknown serve argument {other}")),
         }
     }
@@ -348,6 +407,9 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         has_header: true,
         weight_col: None,
         label_col: None,
+        timeout_ms: 30_000,
+        connect_timeout_ms: 5_000,
+        retries: 3,
     };
     let mut positional: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -361,6 +423,12 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
             "--addr" => o.addr = value("--addr")?,
             "--k" => o.k = parse_num(&value("--k")?, "--k")?,
             "--out" => trace_out = Some(value("--out")?),
+            "--timeout-ms" => o.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")?,
+            "--connect-timeout-ms" => {
+                o.connect_timeout_ms =
+                    parse_num(&value("--connect-timeout-ms")?, "--connect-timeout-ms")?
+            }
+            "--retries" => o.retries = parse_num(&value("--retries")?, "--retries")?,
             "--delimiter" => o.delimiter = parse_delimiter(&value("--delimiter")?)?,
             "--no-header" => o.has_header = false,
             "--weight-col" => o.weight_col = Some(value("--weight-col")?),
@@ -595,6 +663,60 @@ mod tests {
         }
         assert!(parse(&argv("client trace maybe")).is_err());
         assert!(parse(&argv("client ping --out /tmp/t.json")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_robustness_flags() {
+        let c = parse(&argv(
+            "serve --journal /tmp/j.wal --read-timeout-ms 100 --write-timeout-ms 200 \
+             --idle-timeout-ms 300 --max-request-bytes 1024 --max-connections 4",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.journal, Some(PathBuf::from("/tmp/j.wal")));
+                assert_eq!(o.read_timeout_ms, 100);
+                assert_eq!(o.write_timeout_ms, 200);
+                assert_eq!(o.idle_timeout_ms, 300);
+                assert_eq!(o.max_request_bytes, 1024);
+                assert_eq!(o.max_connections, 4);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: timeouts on, journal off.
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.journal, None);
+                assert_eq!(o.read_timeout_ms, 30_000);
+                assert_eq!(o.idle_timeout_ms, 300_000);
+                assert_eq!(o.max_connections, 256);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("serve --max-connections lots")).is_err());
+    }
+
+    #[test]
+    fn parses_client_retry_flags() {
+        match parse(&argv("client ping --timeout-ms 50 --connect-timeout-ms 70 --retries 9"))
+            .unwrap()
+        {
+            Command::Client(o) => {
+                assert_eq!(o.timeout_ms, 50);
+                assert_eq!(o.connect_timeout_ms, 70);
+                assert_eq!(o.retries, 9);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client ping")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.timeout_ms, 30_000);
+                assert_eq!(o.connect_timeout_ms, 5_000);
+                assert_eq!(o.retries, 3);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client ping --retries many")).is_err());
     }
 
     #[test]

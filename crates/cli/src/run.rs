@@ -5,7 +5,9 @@ use std::sync::Arc;
 use topk_core::{Parallelism, ThresholdedRankQuery, TopKQuery, TopKRankQuery};
 use topk_predicates::PredicateStack;
 use topk_records::{Dataset, FieldId, TokenizedRecord};
-use topk_service::{Client, CorpusOptions, Engine, EngineConfig, Server};
+use topk_service::{
+    Client, ClientConfig, CorpusOptions, Engine, EngineConfig, Journal, Server, ServerConfig,
+};
 
 use crate::args::{ClientAction, ClientOptions, Command, Options, ServeOptions};
 
@@ -71,13 +73,13 @@ fn corpus_options(opts: &Options, par: Parallelism) -> CorpusOptions {
 /// until a client sends `shutdown`.
 fn run_serve(o: &ServeOptions) -> Result<(), String> {
     let par = Parallelism::threads(o.threads);
-    let engine = Arc::new(Engine::new(EngineConfig {
+    let mut engine = Engine::new(EngineConfig {
         fields: None,
         name_field: o.name_field.clone(),
         max_df: o.max_df,
         min_overlap: o.min_overlap,
         parallelism: par,
-    })?);
+    })?;
     if let Some(snap) = &o.restore {
         let generation = engine.restore(snap)?;
         topk_obs::info!("restored {} ({generation} records)", snap.display());
@@ -100,8 +102,36 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
         let generation = engine.ingest_toks(corpus.toks, fields, corpus.field)?;
         topk_obs::info!("preloaded {} ({generation} records)", path.display());
     }
-    let mut server = Server::bind(&o.addr, engine)?;
+    if let Some(path) = &o.journal {
+        // After restore so replay lands on the snapshotted base state —
+        // together they reproduce the pre-crash engine exactly.
+        let (journal, recovery) = Journal::open(path)?;
+        if recovery.dropped_bytes > 0 {
+            topk_obs::warn!(
+                "journal {}: dropped {} bytes of torn tail (crash mid-append)",
+                path.display(),
+                recovery.dropped_bytes
+            );
+        }
+        let n_entries = recovery.entries.len();
+        engine.attach_journal(journal);
+        let replayed = engine.replay_rows(recovery.entries)?;
+        if n_entries > 0 {
+            topk_obs::info!(
+                "journal {}: replayed {replayed} records from {n_entries} entries",
+                path.display()
+            );
+        }
+    }
+    let mut server = Server::bind(&o.addr, Arc::new(engine))?;
     server.snapshot_on_exit = o.snapshot_on_exit.clone();
+    server.config = ServerConfig {
+        read_timeout: std::time::Duration::from_millis(o.read_timeout_ms),
+        write_timeout: std::time::Duration::from_millis(o.write_timeout_ms),
+        idle_timeout: std::time::Duration::from_millis(o.idle_timeout_ms),
+        max_request_bytes: o.max_request_bytes,
+        max_connections: o.max_connections,
+    };
     topk_obs::info!(
         "listening on {} (protocol: docs/SERVICE.md)",
         server.local_addr()
@@ -111,7 +141,17 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
 
 /// `topk client`: send one command, print the response line to stdout.
 fn run_client(o: &ClientOptions) -> Result<(), String> {
-    let mut c = Client::connect(&o.addr)?;
+    let ms = std::time::Duration::from_millis;
+    let mut c = Client::connect_with(
+        &o.addr,
+        ClientConfig {
+            connect_timeout: ms(o.connect_timeout_ms),
+            read_timeout: ms(o.timeout_ms),
+            write_timeout: ms(o.timeout_ms),
+            retries: o.retries,
+            ..Default::default()
+        },
+    )?;
     let line = match &o.action {
         ClientAction::Ping => r#"{"cmd":"ping"}"#.to_string(),
         ClientAction::Stats => r#"{"cmd":"stats"}"#.to_string(),
@@ -121,7 +161,7 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
             return Ok(());
         }
         ClientAction::Trace { enabled, out } => {
-            println!("{}", c.trace(*enabled, out.as_deref())?.to_string());
+            println!("{}", c.trace(*enabled, out.as_deref())?);
             return Ok(());
         }
         ClientAction::TopK => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
@@ -129,11 +169,11 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
         ClientAction::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
         ClientAction::Raw(line) => line.clone(),
         ClientAction::Snapshot(path) => {
-            println!("{}", c.snapshot(path)?.to_string());
+            println!("{}", c.snapshot(path)?);
             return Ok(());
         }
         ClientAction::Restore(path) => {
-            println!("{}", c.restore(path)?.to_string());
+            println!("{}", c.restore(path)?);
             return Ok(());
         }
         ClientAction::Ingest(path) => {
@@ -477,6 +517,61 @@ mod serve_cli_tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn serve_journal_replays_ingests_after_restart() {
+        let dir = std::env::temp_dir().join("topk_cli_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("ingest.wal");
+        let _ = std::fs::remove_file(&jpath);
+        let serve_on = |addr: &str| {
+            parse(&[
+                "serve".to_string(),
+                "--addr".into(),
+                addr.to_string(),
+                "--journal".into(),
+                jpath.display().to_string(),
+                "--threads".into(),
+                "1".into(),
+            ])
+            .unwrap()
+        };
+        let connect = |addr: &str| {
+            for _ in 0..100 {
+                if let Ok(c) = Client::connect(addr) {
+                    return c;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            panic!("server at {addr} never came up");
+        };
+        let addr = format!("127.0.0.1:{}", free_port());
+        let cmd = serve_on(&addr);
+        let server = std::thread::spawn(move || run(cmd));
+        let mut c = connect(&addr);
+        c.ingest_batch(&[
+            (vec!["grace hopper".into()], 1.0),
+            (vec!["grace  hopper".into()], 1.0),
+        ])
+        .unwrap();
+        // Shut down WITHOUT a snapshot: the ingests live only in the
+        // journal, so the restart must get them from replay.
+        c.shutdown().unwrap();
+        server.join().unwrap().expect("server ran clean");
+        assert!(jpath.exists(), "journal file written");
+        let addr = format!("127.0.0.1:{}", free_port());
+        let cmd = serve_on(&addr);
+        let server = std::thread::spawn(move || run(cmd));
+        let mut c = connect(&addr);
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.get("records").and_then(topk_service::Json::as_usize),
+            Some(2),
+            "journal replay restored the ingested records: {stats}"
+        );
+        c.shutdown().unwrap();
+        server.join().unwrap().expect("replayed server ran clean");
     }
 
     #[test]

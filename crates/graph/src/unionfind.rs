@@ -158,9 +158,9 @@ impl UnionFind {
         }
         // Non-root entries keep size 1, matching what `new` + `union`
         // leave behind only at roots; non-root sizes are never read.
-        for x in 0..n {
-            if size[x] == 0 {
-                size[x] = 1;
+        for s in size.iter_mut() {
+            if *s == 0 {
+                *s = 1;
             }
         }
         Ok(UnionFind { parent, size, sets })

@@ -5,44 +5,134 @@
 //! Used by `topk client`, the `exp_serve` load generator, and the
 //! loopback integration test — all clients in this repo speak through
 //! this type so the wire format lives in exactly one place.
+//!
+//! # Timeouts and retries (`docs/ROBUSTNESS.md`)
+//!
+//! Every socket operation is bounded by [`ClientConfig`]'s connect,
+//! read, and write timeouts. **Idempotent** commands — `ping`, `topk`,
+//! `topr`, `stats`, `metrics` — additionally retry on transport
+//! failures and on the server's retryable error codes (`overloaded`,
+//! `timeout`, `internal`), reconnecting between attempts with
+//! exponential backoff plus jitter. `ingest` is **never** retried: a
+//! send that fails after the server read the line would double-apply
+//! the batch, and the engine offers no request IDs to dedup on.
+//! `snapshot`/`restore`/`trace`/`shutdown` are likewise single-shot —
+//! they mutate server state.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::json::{obj, parse, Json};
 
-/// A connected client.
-pub struct Client {
+/// Socket timeouts and the retry policy for idempotent commands.
+/// Zero durations disable the corresponding timeout.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Max time to establish the TCP connection.
+    pub connect_timeout: Duration,
+    /// Max time to wait for a response line.
+    pub read_timeout: Duration,
+    /// Max time for one blocking request write.
+    pub write_timeout: Duration,
+    /// Retries after the first attempt of an idempotent command.
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Error codes the server emits for transient conditions — safe to
+/// retry an idempotent command on, after reconnecting.
+const RETRYABLE_CODES: [&str; 3] = ["overloaded", "timeout", "internal"];
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+enum RequestError {
+    /// The connection is unusable (I/O failure, close, or unparseable
+    /// response) — reconnect before any retry.
+    Transport(String),
+    /// The server answered with an error envelope.
+    Protocol { code: String, message: String },
+}
+
+impl RequestError {
+    fn into_message(self) -> String {
+        match self {
+            RequestError::Transport(m) => m,
+            RequestError::Protocol { code, message } => format!("{code}: {message}"),
+        }
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    conn: Option<Conn>,
+}
+
 impl Client {
-    /// Connect to `addr` (`host:port`).
+    /// Connect to `addr` (`host:port`) with [`ClientConfig::default`].
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("cannot clone stream: {e}"))?,
-        );
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts and retry policy.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, String> {
+        let conn = open(addr, &config)?;
         Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+            addr: addr.to_string(),
+            config,
+            conn: Some(conn),
         })
     }
 
+    /// The retry policy in effect.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    fn reconnect(&mut self) -> Result<(), String> {
+        self.conn = Some(open(&self.addr, &self.config)?);
+        Ok(())
+    }
+
     /// Send one raw request line, return the raw response line.
+    /// Transport errors poison the connection; the next idempotent
+    /// command reconnects.
     pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
-        self.writer
+        self.request_raw_inner(line).inspect_err(|_| {
+            self.conn = None;
+        })
+    }
+
+    fn request_raw_inner(&mut self, line: &str) -> Result<String, String> {
+        let conn = self.conn.as_mut().ok_or("not connected")?;
+        conn.writer
             .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
+            .and_then(|()| conn.writer.write_all(b"\n"))
+            .and_then(|()| conn.writer.flush())
             .map_err(|e| format!("send: {e}"))?;
         let mut response = String::new();
-        let n = self
+        let n = conn
             .reader
             .read_line(&mut response)
             .map_err(|e| format!("receive: {e}"))?;
@@ -52,12 +142,15 @@ impl Client {
         Ok(response.trim_end().to_string())
     }
 
-    /// Send a request, parse the response, and unwrap the `ok` envelope:
-    /// success responses come back as the parsed body object, error
-    /// envelopes become `Err("code: message")`.
-    pub fn request(&mut self, line: &str) -> Result<Json, String> {
-        let raw = self.request_raw(line)?;
-        let v = parse(&raw).map_err(|e| format!("bad response `{raw}`: {e}"))?;
+    fn request_once(&mut self, line: &str) -> Result<Json, RequestError> {
+        let raw = self.request_raw(line).map_err(RequestError::Transport)?;
+        let v = parse(&raw).map_err(|e| {
+            // Half a response followed by a close still parses as a
+            // read_line success; treat undecodable bytes as transport
+            // damage, not as a server verdict.
+            self.conn = None;
+            RequestError::Transport(format!("bad response `{raw}`: {e}"))
+        })?;
         match v.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(v),
             Some(false) => {
@@ -65,25 +158,87 @@ impl Client {
                     .get("error")
                     .and_then(|e| e.get("code"))
                     .and_then(Json::as_str)
-                    .unwrap_or("unknown");
+                    .unwrap_or("unknown")
+                    .to_string();
                 let message = v
                     .get("error")
                     .and_then(|e| e.get("message"))
                     .and_then(Json::as_str)
-                    .unwrap_or("");
-                Err(format!("{code}: {message}"))
+                    .unwrap_or("")
+                    .to_string();
+                Err(RequestError::Protocol { code, message })
             }
-            None => Err(format!("response missing `ok`: {raw}")),
+            None => {
+                self.conn = None;
+                Err(RequestError::Transport(format!("response missing `ok`: {raw}")))
+            }
         }
     }
 
-    /// Liveness probe.
+    /// Send a request, parse the response, and unwrap the `ok` envelope:
+    /// success responses come back as the parsed body object, error
+    /// envelopes become `Err("code: message")`. **Single attempt** — use
+    /// for state-changing commands.
+    pub fn request(&mut self, line: &str) -> Result<Json, String> {
+        self.request_once(line).map_err(RequestError::into_message)
+    }
+
+    /// [`request`](Self::request) plus the retry policy: transport
+    /// failures and retryable server errors reconnect and retry with
+    /// exponential backoff + jitter. Only for idempotent commands.
+    pub fn request_idempotent(&mut self, line: &str) -> Result<Json, String> {
+        let mut attempt: u32 = 0;
+        loop {
+            let error = if self.conn.is_none() {
+                match self.reconnect() {
+                    Ok(()) => None,
+                    Err(e) => Some(RequestError::Transport(e)),
+                }
+            } else {
+                None
+            };
+            let error = match error {
+                Some(e) => e,
+                None => match self.request_once(line) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => e,
+                },
+            };
+            let retryable = match &error {
+                RequestError::Transport(_) => true,
+                RequestError::Protocol { code, .. } => {
+                    RETRYABLE_CODES.contains(&code.as_str())
+                }
+            };
+            if !retryable || attempt >= self.config.retries {
+                return Err(error.into_message());
+            }
+            // A retryable server error (shed, deadline) usually means
+            // the server is about to close this connection anyway.
+            self.conn = None;
+            topk_obs::Registry::global()
+                .counter("topk_client_retries_total")
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            topk_obs::debug!(
+                "retrying idempotent request (attempt {}): {}",
+                attempt + 1,
+                match &error {
+                    RequestError::Transport(m) => m.clone(),
+                    RequestError::Protocol { code, .. } => code.clone(),
+                }
+            );
+            std::thread::sleep(backoff_delay(&self.config, attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Liveness probe (idempotent: retries).
     pub fn ping(&mut self) -> Result<(), String> {
-        self.request(r#"{"cmd":"ping"}"#).map(|_| ())
+        self.request_idempotent(r#"{"cmd":"ping"}"#).map(|_| ())
     }
 
     /// Ingest a batch of (fields, weight) rows; returns the new
-    /// generation counter.
+    /// generation counter. **Never retried** — see the module docs.
     pub fn ingest_batch(&mut self, rows: &[(Vec<String>, f64)]) -> Result<u64, String> {
         let batch = Json::Arr(
             rows.iter()
@@ -106,24 +261,27 @@ impl Client {
             .ok_or_else(|| "ingest response missing `generation`".into())
     }
 
-    /// TopK count query; returns the full response object.
+    /// TopK count query (idempotent: retries); returns the full
+    /// response object.
     pub fn topk(&mut self, k: usize) -> Result<Json, String> {
-        self.request(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        self.request_idempotent(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
     }
 
-    /// TopR rank query; returns the full response object.
+    /// TopR rank query (idempotent: retries); returns the full
+    /// response object.
     pub fn topr(&mut self, k: usize) -> Result<Json, String> {
-        self.request(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
+        self.request_idempotent(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
     }
 
-    /// Engine + metrics counters.
+    /// Engine + metrics counters (idempotent: retries).
     pub fn stats(&mut self) -> Result<Json, String> {
-        self.request(r#"{"cmd":"stats"}"#)
+        self.request_idempotent(r#"{"cmd":"stats"}"#)
     }
 
-    /// Prometheus text exposition of the server's metric registry.
+    /// Prometheus text exposition of the server's metric registry
+    /// (idempotent: retries).
     pub fn metrics_text(&mut self) -> Result<String, String> {
-        let v = self.request(r#"{"cmd":"metrics"}"#)?;
+        let v = self.request_idempotent(r#"{"cmd":"metrics"}"#)?;
         v.get("text")
             .and_then(Json::as_str)
             .map(str::to_string)
@@ -132,7 +290,8 @@ impl Client {
 
     /// Toggle server-side span tracing and/or drain buffered spans to a
     /// server-side Chrome trace file. Both arguments optional: `(None,
-    /// None)` just reports the current state.
+    /// None)` just reports the current state. Mutates server state, so
+    /// single-shot.
     pub fn trace(
         &mut self,
         enabled: Option<bool>,
@@ -172,6 +331,69 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), String> {
         self.request(r#"{"cmd":"shutdown"}"#).map(|_| ())
     }
+}
+
+fn open(addr: &str, cfg: &ClientConfig) -> Result<Conn, String> {
+    let stream = if cfg.connect_timeout.is_zero() {
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?
+    } else {
+        let mut last_err = format!("cannot resolve {addr}");
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {addr}: {e}"))?;
+        let mut stream = None;
+        for sa in addrs {
+            match TcpStream::connect_timeout(&sa, cfg.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = format!("cannot connect to {addr}: {e}"),
+            }
+        }
+        stream.ok_or(last_err)?
+    };
+    stream.set_nodelay(true).ok();
+    if !cfg.read_timeout.is_zero() {
+        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    }
+    if !cfg.write_timeout.is_zero() {
+        let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    }
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    Ok(Conn {
+        reader,
+        writer: BufWriter::new(stream),
+    })
+}
+
+/// `base * 2^attempt`, capped, then scaled by a jitter factor in
+/// [0.5, 1.5) so a thundering herd of retries decorrelates.
+fn backoff_delay(cfg: &ClientConfig, attempt: u32) -> Duration {
+    let base = cfg.backoff_base.as_nanos().max(1) as u64;
+    let exp = base.saturating_mul(1u64 << attempt.min(20));
+    let capped = exp.min(cfg.backoff_cap.as_nanos().max(1) as u64);
+    let jittered = (capped as f64 * (0.5 + jitter01())) as u64;
+    Duration::from_nanos(jittered)
+}
+
+/// Cheap pseudo-random value in [0, 1): one xorshift step over the
+/// clock's nanoseconds. Not statistical-grade — it only needs to spread
+/// concurrent retries apart (the workspace has no `rand` dependency).
+fn jitter01() -> f64 {
+    let mut x = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 | 1)
+        .unwrap_or(0x9e37_79b9)
+        .wrapping_mul(0x2545_f491_4f6c_dd1d);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -217,7 +439,7 @@ mod tests {
             .and_then(|m| m.get("cache_hits"))
             .and_then(Json::as_usize)
             .unwrap();
-        assert!(hits >= 1, "expected a cache hit, stats: {}", stats.to_string());
+        assert!(hits >= 1, "expected a cache hit, stats: {stats}");
         // Errors come back as Err with the code prefix.
         let err = c.request(r#"{"cmd":"topk","k":0}"#).unwrap_err();
         assert!(err.starts_with("bad_request"), "{err}");
@@ -233,5 +455,61 @@ mod tests {
         assert!(t.get("enabled").and_then(Json::as_bool).is_some());
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idempotent_requests_reconnect_and_retry() {
+        let engine = Arc::new(
+            Engine::new(EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let (addr, handle) = server.spawn();
+        let mut c = Client::connect_with(
+            &addr.to_string(),
+            ClientConfig {
+                retries: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+        // Kill the connection from our side; the next idempotent call
+        // must transparently reconnect.
+        c.conn = None;
+        let top = c.topk(1).unwrap();
+        assert_eq!(
+            top.get("groups").and_then(Json::as_arr).map(|g| g.len()),
+            Some(1)
+        );
+        // A non-retryable protocol error surfaces immediately even on
+        // the idempotent path.
+        let err = c.request_idempotent(r#"{"cmd":"topk","k":0}"#).unwrap_err();
+        assert!(err.starts_with("bad_request"), "{err}");
+        c.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_capped() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            ..Default::default()
+        };
+        for attempt in 0..8 {
+            let d = backoff_delay(&cfg, attempt);
+            // Jitter scales by [0.5, 1.5), so the cap can stretch to
+            // at most 150ms and the floor never drops below 5ms.
+            assert!(d >= Duration::from_millis(5), "{d:?} at {attempt}");
+            assert!(d < Duration::from_millis(150), "{d:?} at {attempt}");
+        }
+        let early = backoff_delay(&cfg, 0);
+        assert!(early < Duration::from_millis(15), "{early:?}");
     }
 }

@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use topk_core::{IncrementalDedup, Parallelism, TopKRankQuery};
@@ -35,6 +35,7 @@ use topk_records::{FieldId, TokenizedRecord};
 use topk_text::CorpusStats;
 
 use crate::corpus::stack_from_stats;
+use crate::journal::Journal;
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::snapshot;
@@ -182,6 +183,9 @@ impl State {
 pub struct Engine {
     cfg: EngineConfig,
     state: RwLock<State>,
+    /// Write-ahead ingest journal, when durability is enabled
+    /// (`topk serve --journal`). Appended before an ingest is applied.
+    journal: Option<Journal>,
     /// Counters and latency histograms (lock-free, shared with the
     /// server's stats command and shutdown log).
     pub metrics: Metrics,
@@ -194,14 +198,87 @@ impl Engine {
         Ok(Engine {
             cfg,
             state: RwLock::new(state),
+            journal: None,
             metrics: Metrics::new(),
         })
     }
 
+    /// Acquire the state write lock, recovering from poisoning: a
+    /// handler that panicked while holding the lock must not wedge every
+    /// later request (the state mutations are applied in full before
+    /// anything that can panic runs, so the inner value stays usable).
+    fn write_state(&self) -> RwLockWriteGuard<'_, State> {
+        self.state.write().unwrap_or_else(|poisoned| {
+            Metrics::incr(&self.metrics.lock_recoveries);
+            topk_obs::warn!("engine lock poisoned by a panicked handler; recovering");
+            poisoned.into_inner()
+        })
+    }
+
+    /// Read-lock twin of [`Self::write_state`].
+    fn read_state(&self) -> RwLockReadGuard<'_, State> {
+        self.state.read().unwrap_or_else(|poisoned| {
+            Metrics::incr(&self.metrics.lock_recoveries);
+            topk_obs::warn!("engine lock poisoned by a panicked handler; recovering");
+            poisoned.into_inner()
+        })
+    }
+
+    /// Enable write-ahead journaling. Call before the engine is shared
+    /// (returns the recovered entries so the caller can replay them via
+    /// [`Self::replay_rows`]).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Re-apply rows recovered from the journal at startup, *without*
+    /// re-appending them (they are already durable). Returns the new
+    /// generation.
+    pub fn replay_rows(&self, entries: Vec<Vec<(Vec<String>, f64)>>) -> Result<u64, String> {
+        let mut generation = self.generation();
+        let mut replayed = 0u64;
+        for rows in entries {
+            let n = rows.len() as u64;
+            // An entry that fails to apply (e.g. schema mismatch) failed
+            // identically when it was first ingested — the client got an
+            // error and the state did not change. Skipping it reproduces
+            // that state; aborting would lose everything after it.
+            match self.apply_ingest(rows, false) {
+                Ok(g) => {
+                    generation = g;
+                    replayed += n;
+                }
+                Err(e) => topk_obs::warn!("journal replay: skipping bad entry: {e}"),
+            }
+        }
+        self.metrics
+            .journal_replayed_records
+            .fetch_add(replayed, std::sync::atomic::Ordering::Relaxed);
+        Ok(generation)
+    }
+
     /// Ingest raw rows (field texts + weight). Fields are normalized
     /// exactly like file loading normalizes them, then tokenized once.
+    /// With a journal attached, the rows are made durable *before* they
+    /// are applied, so a crash at any point re-applies them on restart.
     /// Returns the new ingest generation.
     pub fn ingest(&self, rows: Vec<(Vec<String>, f64)>) -> Result<u64, String> {
+        self.apply_ingest(rows, true)
+    }
+
+    /// Tokenize and apply rows to the state. When `journal` is true and
+    /// a journal is attached, the rows are appended (and fsynced) while
+    /// the state lock is held, *before* the state is mutated: the lock
+    /// orders the append against [`Self::snapshot`]'s truncation, so an
+    /// acknowledged ingest is always either in the snapshot or in the
+    /// journal, never in neither. Replay passes `journal: false` — the
+    /// recovered entries are already durable.
+    fn apply_ingest(&self, rows: Vec<(Vec<String>, f64)>, journal: bool) -> Result<u64, String> {
         let t0 = Instant::now();
         let mut sp = topk_obs::Span::enter("service.ingest");
         sp.record("records", rows.len());
@@ -217,9 +294,16 @@ impl Engine {
                 .collect();
             toks.push(TokenizedRecord::from_fields(&normalized, *weight));
         }
-        let mut state = self.state.write().expect("engine lock poisoned");
+        let mut state = self.write_state();
         for t in &toks {
             state.check_schema(t.arity(), &self.cfg.name_field)?;
+        }
+        if journal {
+            if let Some(j) = &self.journal {
+                j.append(&rows)
+                    .map_err(|e| format!("journal append failed, ingest not applied: {e}"))?;
+                Metrics::incr(&self.metrics.journal_appends);
+            }
         }
         let n = toks.len();
         for t in toks {
@@ -250,7 +334,7 @@ impl Engine {
         let mut sp = topk_obs::Span::enter("service.ingest");
         sp.record("records", toks.len());
         sp.record("preloaded", true);
-        let mut state = self.state.write().expect("engine lock poisoned");
+        let mut state = self.write_state();
         if let Some(existing) = &state.fields {
             if existing.len() != fields.len() {
                 return Err(format!(
@@ -377,7 +461,7 @@ impl Engine {
             sp.record("key", key.as_str());
         }
         Metrics::incr(&self.metrics.queries);
-        let mut state = self.state.write().expect("engine lock poisoned");
+        let mut state = self.write_state();
         // Pending records change the generation at flush time, so settle
         // the generation first for a meaningful cache comparison.
         state.flush(&self.cfg);
@@ -412,12 +496,12 @@ impl Engine {
 
     /// Current ingest generation (collapsed + pending records).
     pub fn generation(&self) -> u64 {
-        self.state.read().expect("engine lock poisoned").generation()
+        self.read_state().generation()
     }
 
     /// Engine-level stats body (metrics included).
     pub fn stats_json(&self) -> Json {
-        let state = self.state.read().expect("engine lock poisoned");
+        let state = self.read_state();
         let fields = match &state.fields {
             Some(f) => Json::Arr(f.iter().map(|s| Json::Str(s.clone())).collect()),
             None => Json::Null,
@@ -437,9 +521,14 @@ impl Engine {
 
     /// Write a snapshot of the collapsed state to `path`. Pending
     /// records are flushed first so the snapshot is self-contained.
+    /// With a journal attached, a successful snapshot truncates it —
+    /// the snapshot now carries every journaled ingest. The journal is
+    /// truncated while the state lock is still held, so no concurrent
+    /// ingest can land in the journal between the snapshot and the
+    /// truncation and be silently lost.
     pub fn snapshot(&self, path: &Path) -> Result<u64, String> {
         let mut sp = topk_obs::Span::enter("service.snapshot");
-        let mut state = self.state.write().expect("engine lock poisoned");
+        let mut state = self.write_state();
         state.flush(&self.cfg);
         let fields = state.fields.clone().unwrap_or_default();
         let bytes = snapshot::write_snapshot(
@@ -448,6 +537,10 @@ impl Engine {
             &fields,
             state.field,
         )?;
+        if let Some(journal) = &self.journal {
+            journal.truncate()?;
+            Metrics::incr(&self.metrics.journal_truncations);
+        }
         drop(state);
         Metrics::incr(&self.metrics.snapshots);
         sp.record("bytes", bytes);
@@ -456,7 +549,12 @@ impl Engine {
 
     /// Replace the engine state with a snapshot read from `path`. Corpus
     /// statistics are rebuilt deterministically from the restored
-    /// records; no predicate work is replayed.
+    /// records; no predicate work is replayed. A corrupt or truncated
+    /// snapshot is rejected *before* the state lock is taken, so the
+    /// previous state survives a failed restore untouched. With a
+    /// journal attached, a successful restore truncates it: journaled
+    /// ingests are deltas against the state they were applied to, which
+    /// the restore just discarded.
     pub fn restore(&self, path: &Path) -> Result<u64, String> {
         let mut sp = topk_obs::Span::enter("service.restore");
         let (inc_state, fields, field) = snapshot::read_snapshot(path)?;
@@ -477,7 +575,11 @@ impl Engine {
             }
         }
         let generation = inc.generation();
-        let mut state = self.state.write().expect("engine lock poisoned");
+        let mut state = self.write_state();
+        if let Some(journal) = &self.journal {
+            journal.truncate()?;
+            Metrics::incr(&self.metrics.journal_truncations);
+        }
         *state = State {
             fields: if fields.is_empty() { None } else { Some(fields) },
             field,
@@ -587,6 +689,84 @@ mod tests {
         let ub0 = entries[0].get("upper_bound").unwrap().as_f64().unwrap();
         assert!(w0 >= 5.0 - 1e-9);
         assert!(ub0 >= w0);
+    }
+
+    #[test]
+    fn failed_restore_leaves_previous_state_intact() {
+        let dir = std::env::temp_dir().join("topk_engine_restore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.snap");
+        // A valid snapshot of some other state...
+        let other = engine();
+        other.ingest(vec![row("x y"), row("z w")]).unwrap();
+        other.snapshot(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // ...and the engine under test, with answers we can compare.
+        let e = engine();
+        e.ingest(vec![row("grace hopper"), row("grace  hopper")]).unwrap();
+        let before = e.query_topk(1).unwrap().to_string();
+        // Corrupt the snapshot at several offsets (header, early
+        // payload, middle, checksum tail): every restore must fail and
+        // every failure must leave the engine answering exactly as
+        // before.
+        for offset in [0, 5, good.len() / 3, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                e.restore(&path).is_err(),
+                "corruption at offset {offset} restored"
+            );
+            assert_eq!(
+                e.query_topk(1).unwrap().to_string(),
+                before,
+                "state changed after rejected restore (offset {offset})"
+            );
+            assert_eq!(e.generation(), 2);
+        }
+        // Truncations likewise.
+        for len in [0, 8, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert!(e.restore(&path).is_err(), "truncation to {len} restored");
+            assert_eq!(e.query_topk(1).unwrap().to_string(), before);
+        }
+        // The intact snapshot still restores (the engine is not wedged).
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(e.restore(&path).unwrap(), 2);
+    }
+
+    #[test]
+    fn journal_records_ingests_and_snapshot_truncates() {
+        let dir = std::env::temp_dir().join("topk_engine_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("engine.wal");
+        let _ = std::fs::remove_file(&jpath);
+        let spath = dir.join("engine.snap");
+        let (journal, recovery) = crate::journal::Journal::open(&jpath).unwrap();
+        assert!(recovery.entries.is_empty());
+        let mut e = engine();
+        e.attach_journal(journal);
+        e.ingest(vec![row("ada lovelace")]).unwrap();
+        e.ingest(vec![row("ada  lovelace")]).unwrap();
+        assert_eq!(Metrics::get(&e.metrics.journal_appends), 2);
+        // Replaying what the journal holds reproduces the engine.
+        let (_j2, recovery) = {
+            // Reopen read-only by a second handle (the file is shared).
+            crate::journal::Journal::open(&jpath).unwrap()
+        };
+        assert_eq!(recovery.entries.len(), 2);
+        let replayed = engine();
+        replayed.replay_rows(recovery.entries).unwrap();
+        assert_eq!(
+            replayed.query_topk(1).unwrap().to_string(),
+            e.query_topk(1).unwrap().to_string()
+        );
+        // A successful snapshot empties the journal: those entries are
+        // now covered by the snapshot file.
+        e.snapshot(&spath).unwrap();
+        assert_eq!(Metrics::get(&e.metrics.journal_truncations), 1);
+        let (_j3, recovery) = crate::journal::Journal::open(&jpath).unwrap();
+        assert!(recovery.entries.is_empty(), "journal truncated on snapshot");
     }
 
     #[test]

@@ -83,13 +83,6 @@ impl Json {
         }
     }
 
-    /// Serialize to a single-line JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -120,6 +113,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Single-line JSON serialization — `json.to_string()` is the wire form.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

@@ -33,16 +33,18 @@
 pub mod client;
 pub mod corpus;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use corpus::{generic_stack, load_corpus, load_dataset, stack_from_stats, Corpus, CorpusOptions};
 pub use engine::{Engine, EngineConfig};
+pub use journal::Journal;
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{parse_request, ProtoError, Request};
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -52,6 +52,24 @@ pub struct Metrics {
     pub errors: Arc<AtomicU64>,
     /// Connections accepted.
     pub connections: Arc<AtomicU64>,
+    /// Connections refused with `err:"overloaded"` because the
+    /// concurrent-connection cap was reached.
+    pub server_shed: Arc<AtomicU64>,
+    /// Connections closed by a read/idle deadline.
+    pub server_timeouts: Arc<AtomicU64>,
+    /// Requests rejected with `err:"too_large"` (max-request-size guard).
+    pub server_oversized: Arc<AtomicU64>,
+    /// Request handlers that panicked (isolated; answered with
+    /// `err:"internal"` where the connection was still writable).
+    pub server_panics: Arc<AtomicU64>,
+    /// Times a poisoned engine lock was recovered after a handler panic.
+    pub lock_recoveries: Arc<AtomicU64>,
+    /// Ingest entries appended to the write-ahead journal.
+    pub journal_appends: Arc<AtomicU64>,
+    /// Records re-applied from the journal at startup.
+    pub journal_replayed_records: Arc<AtomicU64>,
+    /// Journal truncations (successful snapshots/restores).
+    pub journal_truncations: Arc<AtomicU64>,
     /// Per-record ingest latency.
     pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
@@ -73,6 +91,14 @@ impl Metrics {
             restores: registry.counter("topk_restores_total"),
             errors: registry.counter("topk_errors_total"),
             connections: registry.counter("topk_connections_total"),
+            server_shed: registry.counter("topk_server_shed_total"),
+            server_timeouts: registry.counter("topk_server_timeouts_total"),
+            server_oversized: registry.counter("topk_server_oversized_total"),
+            server_panics: registry.counter("topk_server_panics_total"),
+            lock_recoveries: registry.counter("topk_lock_recoveries_total"),
+            journal_appends: registry.counter("topk_journal_appends_total"),
+            journal_replayed_records: registry.counter("topk_journal_replayed_records_total"),
+            journal_truncations: registry.counter("topk_journal_truncations_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
             registry,
@@ -109,6 +135,14 @@ impl Metrics {
             ("restores", n(&self.restores)),
             ("errors", n(&self.errors)),
             ("connections", n(&self.connections)),
+            ("server_shed", n(&self.server_shed)),
+            ("server_timeouts", n(&self.server_timeouts)),
+            ("server_oversized", n(&self.server_oversized)),
+            ("server_panics", n(&self.server_panics)),
+            ("lock_recoveries", n(&self.lock_recoveries)),
+            ("journal_appends", n(&self.journal_appends)),
+            ("journal_replayed_records", n(&self.journal_replayed_records)),
+            ("journal_truncations", n(&self.journal_truncations)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),
         ])
@@ -117,7 +151,7 @@ impl Metrics {
     /// One-line shutdown log, written to stderr when the server exits.
     pub fn log_line(&self) -> String {
         format!(
-            "served {} queries ({} cache hits, {} misses), ingested {} records in {} requests, {} snapshots, {} restores, {} errors, {} connections; query p50/p95/p99 {}/{}/{} µs, ingest p50/p95/p99 {}/{}/{} µs",
+            "served {} queries ({} cache hits, {} misses), ingested {} records in {} requests, {} snapshots, {} restores, {} errors, {} connections ({} shed, {} timed out); query p50/p95/p99 {}/{}/{} µs, ingest p50/p95/p99 {}/{}/{} µs",
             Self::get(&self.queries),
             Self::get(&self.cache_hits),
             Self::get(&self.cache_misses),
@@ -127,6 +161,8 @@ impl Metrics {
             Self::get(&self.restores),
             Self::get(&self.errors),
             Self::get(&self.connections),
+            Self::get(&self.server_shed),
+            Self::get(&self.server_timeouts),
             self.query_latency.percentile_micros(50.0),
             self.query_latency.percentile_micros(95.0),
             self.query_latency.percentile_micros(99.0),

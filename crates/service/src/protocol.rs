@@ -56,8 +56,14 @@ pub enum Request {
 /// A protocol-level failure, carried into the error envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtoError {
-    /// Stable machine-readable code (`bad_json`, `bad_request`,
-    /// `engine_error`, `io_error`).
+    /// Stable machine-readable code. Parse/dispatch failures use
+    /// `bad_json`, `bad_request`, `engine_error`, or `io_error`; the
+    /// server's robustness layer adds `overloaded` (connection cap
+    /// reached, retry later), `timeout` (read or idle deadline
+    /// exceeded), `too_large` (request over the size cap, split the
+    /// batch), and `internal` (handler panic, state recovered). The
+    /// first two of those extra codes plus `internal` are safe to
+    /// retry for idempotent commands; see `docs/ROBUSTNESS.md`.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,

@@ -322,4 +322,39 @@ mod tests {
         std::fs::write(&path, b"hello world").unwrap();
         assert!(read_snapshot(&path).unwrap_err().contains("magic"));
     }
+
+    /// Every possible single-byte corruption and every possible
+    /// truncation point must be rejected — magic and version by their
+    /// explicit checks, the checksum field by the mismatch, and every
+    /// payload byte by the FNV-1a verification. No flip may silently
+    /// load as different state.
+    #[test]
+    fn every_byte_flip_and_truncation_point_is_rejected() {
+        let path = tmp("fuzz.snap");
+        write_snapshot(&path, &sample_state(), &["name".into(), "org".into()], FieldId(1))
+            .unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                read_snapshot(&path).is_err(),
+                "bit flip at offset {i} of {} was accepted",
+                good.len()
+            );
+        }
+        for len in 0..good.len() {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert!(
+                read_snapshot(&path).is_err(),
+                "truncation to {len} of {} bytes was accepted",
+                good.len()
+            );
+        }
+        // The untouched original still loads — the harness itself is
+        // not what rejects the mutants.
+        std::fs::write(&path, &good).unwrap();
+        read_snapshot(&path).unwrap();
+    }
 }

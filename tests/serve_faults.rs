@@ -1,0 +1,199 @@
+//! Fault-injection suite for the resident server (fault matrix:
+//! docs/ROBUSTNESS.md).
+//!
+//! Every scenario injects a fault on the wire against a real loopback
+//! [`TestServer`] and then asserts the two robustness invariants:
+//! (1) availability — a well-behaved client gets correct answers during
+//! and after the fault; (2) durability — after a simulated `kill -9`,
+//! journal replay reproduces the surviving ingests byte-identically.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use topk_bench::faults::{
+    chaos_journal_replay, chaos_retry, chaos_shed, disconnect_mid_response, flood,
+    send_line_raw, send_truncated, slow_loris, tight_config, TestServer,
+};
+use topk_service::{Metrics, ServerConfig};
+
+/// Abort the whole test process if a scenario wedges (a hung fault test
+/// would otherwise stall CI until its global timeout).
+fn watchdog(secs: u64) {
+    std::thread::spawn(move || {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_secs(secs));
+        eprintln!("serve_faults watchdog fired after {:?}", t0.elapsed());
+        std::process::exit(99);
+    });
+}
+
+#[test]
+fn slow_loris_writer_is_deadlined_and_server_stays_up() {
+    watchdog(90);
+    let ts = TestServer::spawn(tight_config(), None).unwrap();
+    // 20 bytes x 50 ms ≈ 1 s of dribbling against a 400 ms read
+    // deadline: the server must answer with the timeout envelope (or
+    // cut us off) rather than buffer forever.
+    let result = slow_loris(&ts.addr, r#"{"cmd":"ping"}"#, Duration::from_millis(50));
+    match result {
+        Ok(resp) => assert!(resp.contains(r#""code":"timeout""#), "{resp}"),
+        Err(e) => assert!(e.contains("closed") || e.contains("read"), "{e}"),
+    }
+    assert!(
+        Metrics::get(&ts.engine.metrics.server_timeouts) >= 1,
+        "timeout counter must record the loris"
+    );
+    // Availability: a fast client is unaffected.
+    ts.client().unwrap().ping().unwrap();
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn truncated_frames_and_garbage_do_not_take_the_server_down() {
+    watchdog(90);
+    let ts = TestServer::spawn(tight_config(), None).unwrap();
+    // Truncated frame: half a JSON object, then a hard close.
+    send_truncated(&ts.addr, br#"{"cmd":"ingest","batch":[{"fi"#).unwrap();
+    // Garbage bytes with a newline get the structured bad_json envelope.
+    let resp = send_line_raw(&ts.addr, &[0xde, 0xad, 0xbe, 0xef, b'{', b'~']).unwrap();
+    assert!(resp.contains(r#""code":"bad_json""#), "{resp}");
+    // Binary garbage without a newline, then close.
+    send_truncated(&ts.addr, &[0u8; 512]).unwrap();
+    // The server still answers correct queries afterwards.
+    let mut c = ts.client().unwrap();
+    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+    let top = c.topk(1).unwrap();
+    assert!(top.to_string().contains(r#""rank":1"#), "{top:?}");
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn mid_response_disconnect_is_survivable() {
+    watchdog(90);
+    let ts = TestServer::spawn(tight_config(), None).unwrap();
+    let mut c = ts.client().unwrap();
+    c.ingest_batch(&[
+        (vec!["grace hopper".into()], 1.0),
+        (vec!["grace  hopper".into()], 1.0),
+    ])
+    .unwrap();
+    // Ask for a real (multi-byte) response, read 1 byte, slam shut.
+    disconnect_mid_response(&ts.addr, r#"{"cmd":"topk","k":1}"#, 1).unwrap();
+    disconnect_mid_response(&ts.addr, r#"{"cmd":"stats"}"#, 1).unwrap();
+    // The engine and other connections are unaffected.
+    let top = c.topk(1).unwrap();
+    assert_eq!(
+        top.get("groups")
+            .and_then(topk_service::Json::as_arr)
+            .map(|g| g.len()),
+        Some(1)
+    );
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn connection_flood_is_shed_with_structured_errors() {
+    watchdog(90);
+    let ts = TestServer::spawn(
+        ServerConfig {
+            max_connections: 2,
+            ..tight_config()
+        },
+        None,
+    )
+    .unwrap();
+    let outcome = flood(&ts.addr, 2, 6).unwrap();
+    assert!(outcome.shed >= 1, "cap 2 + 2 hogs must shed extras: {outcome:?}");
+    assert_eq!(outcome.failed, 0, "no connection may fail without an envelope: {outcome:?}");
+    assert!(
+        Metrics::get(&ts.engine.metrics.server_shed) >= outcome.shed as u64,
+        "server_shed_total must count every shed connection"
+    );
+    // Availability after the flood.
+    ts.client().unwrap().ping().unwrap();
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn half_open_connection_hits_the_idle_timeout() {
+    watchdog(90);
+    let ts = TestServer::spawn(
+        ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..tight_config()
+        },
+        None,
+    )
+    .unwrap();
+    // Connect, send nothing. The server must end the connection with
+    // the timeout envelope instead of pinning a thread forever.
+    let t0 = Instant::now();
+    let resp = send_line_raw(&ts.addr, b"");
+    // An empty line is skipped, so the connection then idles into the
+    // 300 ms deadline; either we see the envelope or a clean close.
+    match resp {
+        Ok(r) => assert!(r.contains(r#""code":"timeout""#), "{r}"),
+        Err(e) => assert!(e.contains("closed"), "{e}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "idle reap must be prompt, took {:?}",
+        t0.elapsed()
+    );
+    assert!(Metrics::get(&ts.engine.metrics.server_timeouts) >= 1);
+    ts.client().unwrap().ping().unwrap();
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_requests_get_an_envelope_and_the_connection_survives() {
+    watchdog(90);
+    let ts = TestServer::spawn(tight_config(), None).unwrap(); // 4 KiB cap
+    let mut big = Vec::with_capacity(8192);
+    big.extend_from_slice(br#"{"cmd":"ingest","batch":["#);
+    while big.len() < 8000 {
+        big.extend_from_slice(br#"{"fields":["padding padding padding"]},"#);
+    }
+    big.extend_from_slice(br#"{"fields":["end"]}]}"#);
+    let resp = send_line_raw(&ts.addr, &big).unwrap();
+    assert!(resp.contains(r#""code":"too_large""#), "{resp}");
+    assert!(Metrics::get(&ts.engine.metrics.server_oversized) >= 1);
+    // Nothing of the oversized batch was applied.
+    let stats = ts.client().unwrap().stats().unwrap();
+    assert_eq!(
+        stats.get("records").and_then(topk_service::Json::as_usize),
+        Some(0),
+        "{stats}"
+    );
+    ts.shutdown().unwrap();
+}
+
+#[test]
+fn retry_rides_through_overload() {
+    watchdog(90);
+    let before = topk_obs::Registry::global()
+        .counter("topk_client_retries_total")
+        .load(Ordering::Relaxed);
+    let outcome = chaos_retry().unwrap();
+    assert_eq!(outcome.name, "retry");
+    let after = topk_obs::Registry::global()
+        .counter("topk_client_retries_total")
+        .load(Ordering::Relaxed);
+    assert!(after > before, "retry scenario must actually retry: {outcome:?}");
+}
+
+#[test]
+fn shed_scenario_reports_bounded_overload() {
+    watchdog(90);
+    let outcome = chaos_shed().unwrap();
+    assert_eq!(outcome.name, "shed");
+    assert!(outcome.detail.contains("overloaded"), "{outcome:?}");
+}
+
+#[test]
+fn kill_dash_nine_recovers_byte_identical_state_from_the_journal() {
+    watchdog(90);
+    let outcome = chaos_journal_replay().unwrap();
+    assert_eq!(outcome.name, "journal-replay");
+    assert!(outcome.detail.contains("byte-identical"), "{outcome:?}");
+}

@@ -26,7 +26,7 @@ use topk_core::{Parallelism, PipelineConfig, PrunedDedup, TopKRankQuery};
 use topk_records::{FieldId, TokenizedRecord};
 use topk_service::json::{obj as obj_json, Json};
 use topk_service::protocol::ok_response;
-use topk_service::{generic_stack, Client, Engine, EngineConfig, Server};
+use topk_service::{generic_stack, Client, Engine, EngineConfig, Server, ServerConfig};
 
 /// Hard ceiling on the whole test; generous — the test normally runs in
 /// well under a second.
@@ -148,6 +148,15 @@ fn spawn_server() -> (
     std::net::SocketAddr,
     std::thread::JoinHandle<Result<(), String>>,
 ) {
+    spawn_server_with(ServerConfig::default())
+}
+
+fn spawn_server_with(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<Result<(), String>>,
+) {
     let engine = Arc::new(
         Engine::new(EngineConfig {
             parallelism: Parallelism::sequential(),
@@ -155,9 +164,9 @@ fn spawn_server() -> (
         })
         .expect("engine"),
     );
-    Server::bind("127.0.0.1:0", engine)
-        .expect("bind ephemeral port")
-        .spawn()
+    let mut server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    server.config = config;
+    server.spawn()
 }
 
 fn counter(stats: &Json, name: &str) -> u64 {
@@ -165,7 +174,7 @@ fn counter(stats: &Json, name: &str) -> u64 {
         .get("metrics")
         .and_then(|m| m.get(name))
         .and_then(Json::as_usize)
-        .unwrap_or_else(|| panic!("stats missing metrics.{name}: {}", stats.to_string()))
+        .unwrap_or_else(|| panic!("stats missing metrics.{name}: {stats}"))
         as u64
 }
 
@@ -263,6 +272,89 @@ fn protocol_errors_do_not_kill_the_connection() {
     c.ingest_batch(&[(vec!["still alive".into()], 1.0)])
         .expect("ingest");
     c.topk(1).expect("topk");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("run");
+    done.store(true, Ordering::SeqCst);
+}
+
+/// Protocol edge cases against a server with tight robustness limits:
+/// unknown commands, blank lines, oversized requests, and a half-open
+/// connection that never completes a request. Each gets the documented
+/// structured treatment — never a wedged server.
+#[test]
+fn protocol_edges_get_structured_treatment() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let done = start_watchdog();
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        read_timeout: Duration::from_millis(800),
+        write_timeout: Duration::from_millis(800),
+        idle_timeout: Duration::from_millis(400),
+        max_request_bytes: 1024,
+        ..Default::default()
+    });
+    let addr = addr.to_string();
+
+    // Unknown command: bad_request envelope naming the command.
+    let mut c = Client::connect(&addr).expect("connect");
+    let raw = c.request_raw(r#"{"cmd":"frobnicate"}"#).expect("raw");
+    assert!(raw.contains(r#""code":"bad_request""#), "{raw}");
+    assert!(raw.contains("unknown cmd"), "{raw}");
+
+    // Malformed JSON: bad_json envelope (same connection still alive).
+    let raw = c.request_raw(r#"{"cmd": "#).expect("raw");
+    assert!(raw.contains(r#""code":"bad_json""#), "{raw}");
+
+    // Blank lines are skipped, not answered: the first response on the
+    // wire after an empty line belongs to the next real request.
+    let stream = TcpStream::connect(&addr).expect("raw connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"\n{\"cmd\":\"ping\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "blank line was answered: {line}");
+    drop((reader, w, stream));
+
+    // Oversized request: structured `too_large` envelope, and the
+    // engine never saw the batch.
+    let big = format!(
+        r#"{{"cmd":"ingest","fields":["{}"]}}"#,
+        "x".repeat(4096)
+    );
+    let raw = c.request_raw(&big).expect("oversized raw");
+    assert!(raw.contains(r#""code":"too_large""#), "{raw}");
+    let stats = c.stats().expect("stats");
+    let records = stats.get("records").and_then(Json::as_usize);
+    assert_eq!(records, Some(0), "oversized ingest was applied: {stats}");
+
+    // Half-open peer: connect, never send a complete request. The idle
+    // deadline must end the connection (timeout envelope and/or close)
+    // instead of pinning a handler thread forever.
+    let mut idle = TcpStream::connect(&addr).expect("idle connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let started = std::time::Instant::now();
+    let mut buf = Vec::new();
+    idle.read_to_end(&mut buf).expect("read until close");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "half-open connection lived {elapsed:?}"
+    );
+    let text = String::from_utf8_lossy(&buf);
+    if !text.is_empty() {
+        assert!(text.contains(r#""code":"timeout""#), "{text}");
+    }
+
+    // Our own connection also sat idle past the deadline during the
+    // half-open wait; the idempotent ping reconnects transparently,
+    // then the fresh connection carries the shutdown.
+    c.ping().expect("ping after idle");
     c.shutdown().expect("shutdown");
     handle.join().expect("join").expect("run");
     done.store(true, Ordering::SeqCst);
