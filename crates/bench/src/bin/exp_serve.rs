@@ -3,7 +3,9 @@
 //!
 //! ```sh
 //! cargo run -p topk-bench --release --bin exp_serve -- \
-//!     [n_records] [--clients N] [--queries N] [--k K] [--smoke] [--chaos]
+//!     [n_records] [--clients N] [--queries N] [--k K] [--shards N] \
+//!     [--ingest-clients N] [--mixed N] [--hot N] [--sweep-shards 1,2,4,8] \
+//!     [--bench-out P] [--smoke] [--chaos]
 //! ```
 //!
 //! Spawns a `topk-service` server on an ephemeral loopback port, streams
@@ -17,6 +19,16 @@
 //! used by the tier-1 test flow and exits non-zero if the cache served
 //! nothing.
 //!
+//! `--shards N` runs the server sharded; `--ingest-clients N` streams
+//! the bulk corpus over N concurrent connections; `--mixed N` appends a
+//! mixed phase of N trending-entity bursts each followed by a TopK
+//! refresh (write throughput with a live reader — the shard-scaling
+//! workload of `EXPERIMENTS.md`). `--sweep-shards 1,2,4,8` repeats the
+//! whole load once per shard count and prints the scaling table.
+//! `--smoke` and `--sweep-shards` both write a machine-readable
+//! `BENCH_serve.json` (override the path with `--bench-out`) so the
+//! perf trajectory is tracked per-PR.
+//!
 //! `--chaos` additionally runs the packaged fault scenarios from
 //! [`topk_bench::faults`] — shed, retry-through-overload, journal
 //! replay after a simulated `kill -9`, and the overload-latency bound
@@ -24,13 +36,35 @@
 //! and exits non-zero if any scenario's invariant fails. See
 //! `docs/ROBUSTNESS.md`.
 
-use topk_bench::serve_load::{run, LoadConfig};
+use topk_bench::serve_load::{report_json, run, LoadConfig, LoadReport};
 use topk_bench::Table;
+use topk_service::json::{obj, Json};
+
+/// Write the per-PR perf-trajectory file (`BENCH_serve.json`).
+fn write_bench(path: &str, mode: &str, reports: &[LoadReport]) {
+    let body = obj(vec![
+        ("bench", Json::Str("serve".into())),
+        ("mode", Json::Str(mode.into())),
+        (
+            "runs",
+            Json::Arr(reports.iter().map(report_json).collect()),
+        ),
+    ]);
+    match std::fs::write(path, format!("{body}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            topk_obs::error!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut cfg = LoadConfig::default();
     let mut smoke = false;
     let mut chaos = false;
+    let mut sweep: Vec<usize> = Vec::new();
+    let mut bench_out = "BENCH_serve.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -54,6 +88,41 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--k needs a number")
             }
+            "--shards" => {
+                cfg.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a number")
+            }
+            "--ingest-clients" => {
+                cfg.ingest_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ingest-clients needs a number")
+            }
+            "--mixed" => {
+                cfg.mixed_batches = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mixed needs a number")
+            }
+            "--hot" => {
+                cfg.hot_entities = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--hot needs a number")
+            }
+            "--sweep-shards" => {
+                sweep = args
+                    .next()
+                    .expect("--sweep-shards takes e.g. 1,2,4,8")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sweep-shards takes e.g. 1,2,4,8"))
+                    .collect()
+            }
+            "--bench-out" => {
+                bench_out = args.next().expect("--bench-out needs a path")
+            }
             other => cfg.n_records = other.parse().expect("n_records must be a number"),
         }
     }
@@ -61,9 +130,16 @@ fn main() {
         cfg = LoadConfig::smoke();
     }
 
+    if !sweep.is_empty() {
+        run_sweep(&cfg, &sweep, &bench_out);
+        return;
+    }
+
     println!(
-        "serve load: {} records, {} clients x {} queries, K={}{}",
+        "serve load: {} records, {} shard(s), {} ingest client(s), {} clients x {} queries, K={}{}",
         cfg.n_records,
+        cfg.shards,
+        cfg.ingest_clients,
         cfg.clients,
         cfg.queries_per_client,
         cfg.k,
@@ -114,6 +190,19 @@ fn main() {
         "cache hits/misses".into(),
         format!("{}/{}", report.cache_hits, report.cache_misses),
     ]);
+    if report.mixed_rps > 0.0 {
+        table.row(vec![
+            "mixed ingest (live reader)".into(),
+            format!(
+                "{:.0} rec/s, post-write query p50/p99 {}/{} µs",
+                report.mixed_rps, report.mixed_p50_micros, report.mixed_p99_micros
+            ),
+        ]);
+    }
+    table.row(vec![
+        "flushes / shard skips".into(),
+        format!("{}/{}", report.flushes, report.shard_skips),
+    ]);
     print!("{table}");
 
     if smoke && report.cache_hits == 0 {
@@ -122,6 +211,7 @@ fn main() {
     }
     if smoke {
         println!("smoke OK: cache served {} repeat queries", report.cache_hits);
+        write_bench(&bench_out, "smoke", std::slice::from_ref(&report));
     }
 
     if chaos {
@@ -139,4 +229,59 @@ fn main() {
             }
         }
     }
+}
+
+/// Shard-scaling sweep: the same corpus and mixed workload once per
+/// shard count, with the single-shard run as the speedup baseline. The
+/// table feeds `EXPERIMENTS.md`; the JSON feeds `BENCH_serve.json`.
+fn run_sweep(base: &LoadConfig, shard_counts: &[usize], bench_out: &str) {
+    let mut cfg = base.clone();
+    if cfg.mixed_batches == 0 {
+        // The sweep is about write throughput with a live reader; make
+        // sure the phase actually runs.
+        cfg.mixed_batches = 40;
+    }
+    println!(
+        "shard scaling: {} records base corpus, {} mixed bursts x {} records \
+         ({} trending entities), {} ingest client(s), K={}",
+        cfg.n_records,
+        cfg.mixed_batches,
+        cfg.mixed_batch,
+        cfg.hot_entities,
+        cfg.ingest_clients,
+        cfg.k
+    );
+    let mut table = Table::new(vec![
+        "shards",
+        "bulk ingest (rec/s)",
+        "mixed ingest (rec/s)",
+        "speedup",
+        "post-write p50/p99 (µs)",
+        "shard skips / topk merges",
+    ]);
+    let mut reports = Vec::new();
+    let mut base_mixed = None;
+    for &shards in shard_counts {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        let report = match run(&c) {
+            Ok(r) => r,
+            Err(e) => {
+                topk_obs::error!("sweep at {shards} shard(s): {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = *base_mixed.get_or_insert(report.mixed_rps);
+        table.row(vec![
+            shards.to_string(),
+            format!("{:.0}", report.ingest_rps),
+            format!("{:.0}", report.mixed_rps),
+            format!("{:.2}x", report.mixed_rps / baseline.max(1e-9)),
+            format!("{}/{}", report.mixed_p50_micros, report.mixed_p99_micros),
+            format!("{}/{}", report.shard_skips, report.cache_misses),
+        ]);
+        reports.push(report);
+    }
+    print!("{table}");
+    write_bench(bench_out, "shard_scaling", &reports);
 }

@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run -p topk-bench --release --bin exp_timing -- [subset_size] [--with-none] \
-//!     [--threads 1,2,4,8] [--trace-out trace.json] [--smoke]
+//!     [--threads 1,2,4,8] [--trace-out trace.json] [--smoke] [--bench-out P]
 //! ```
 //!
 //! All four configurations share the same final step (score candidate
@@ -27,7 +27,10 @@
 //! validation pass (`topk_bench::timing_smoke`), exiting non-zero if
 //! the trace is empty, malformed, or missing a pipeline stage —
 //! `--trace-out` then names the validated file (default
-//! `/tmp/topk_timing_smoke.json`).
+//! `/tmp/topk_timing_smoke.json`). The smoke run also times a few
+//! repeated untraced pipeline runs and writes the machine-readable
+//! perf-trajectory file `BENCH_timing.json` (throughput plus p50/p99
+//! wall-clock; override the path with `--bench-out`).
 
 use std::time::Instant;
 
@@ -185,12 +188,19 @@ fn main() {
                 .expect("--trace-out needs a path")
                 .into()
         });
+    let bench_out: String = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_timing.json".to_string());
+    let flags_with_value = ["--threads", "--trace-out", "--bench-out"];
     let subset: usize = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || (args[i - 1] != "--threads" && args[i - 1] != "--trace-out"))
+                && (*i == 0 || !flags_with_value.contains(&args[i - 1].as_str()))
         })
         .and_then(|(_, a)| a.parse().ok())
         .unwrap_or(20_000);
@@ -200,14 +210,37 @@ fn main() {
             .unwrap_or_else(|| std::env::temp_dir().join("topk_timing_smoke.json"));
         match topk_bench::timing_smoke::run_timing_smoke(&out) {
             Ok(()) => {
-                println!("smoke OK: valid stage-complete trace at {}", out.display());
-                return;
+                println!("smoke OK: valid stage-complete trace at {}", out.display())
             }
             Err(e) => {
                 topk_obs::error!("smoke FAILED: {e}");
                 std::process::exit(1);
             }
         }
+        let st = topk_bench::timing_smoke::measure_pipeline(5);
+        let body = topk_service::json::obj(vec![
+            ("bench", topk_service::Json::Str("timing".into())),
+            ("mode", topk_service::Json::Str("smoke".into())),
+            ("records", topk_service::Json::Num(st.records as f64)),
+            ("runs", topk_service::Json::Num(st.runs as f64)),
+            ("pipeline_p50_us", topk_service::Json::Num(st.p50_micros as f64)),
+            ("pipeline_p99_us", topk_service::Json::Num(st.p99_micros as f64)),
+            (
+                "records_per_sec",
+                topk_service::Json::Num(st.records_per_sec.round()),
+            ),
+        ]);
+        match std::fs::write(&bench_out, format!("{body}\n")) {
+            Ok(()) => println!(
+                "wrote {bench_out} ({:.0} rec/s, pipeline p50/p99 {}/{} µs over {} runs)",
+                st.records_per_sec, st.p50_micros, st.p99_micros, st.runs
+            ),
+            Err(e) => {
+                topk_obs::error!("cannot write {bench_out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     if trace_out.is_some() {
         topk_obs::span::set_enabled(true);

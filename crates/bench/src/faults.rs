@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use topk_service::{
-    Client, ClientConfig, Engine, EngineConfig, Journal, Server, ServerConfig,
+    Client, ClientConfig, Engine, EngineConfig, JournalSet, Server, ServerConfig,
 };
 
 /// A live loopback server plus handles the scenarios need: its address,
@@ -44,9 +44,9 @@ impl TestServer {
             ..Default::default()
         })?;
         if let Some(path) = journal {
-            let (journal, recovery) = Journal::open(path)?;
+            let (journal, recovery) = JournalSet::open(path, 1)?;
             engine.attach_journal(journal);
-            engine.replay_rows(recovery.entries)?;
+            engine.replay_rows(recovery)?;
         }
         let engine = Arc::new(engine);
         let mut server = Server::bind("127.0.0.1:0", Arc::clone(&engine))?;
@@ -422,23 +422,25 @@ pub fn chaos_journal_replay() -> Result<ChaosOutcome, String> {
 
     // Phase 2: recovery. The torn tail must be dropped, both real
     // entries replayed.
-    let (journal, recovery) = Journal::open(&jpath)?;
+    let (journal, recovery) = JournalSet::open(&jpath, 1)?;
     if recovery.dropped_bytes == 0 {
         return Err("recovery did not report the torn tail".into());
     }
-    if recovery.entries.len() != batches.len() {
+    if recovery.entries != batches.len() {
         return Err(format!(
             "recovered {} entries, expected {}",
-            recovery.entries.len(),
+            recovery.entries,
             batches.len()
         ));
     }
+    let dropped_bytes = recovery.dropped_bytes;
+    let replayed = recovery.rows.len();
     let mut recovered = Engine::new(EngineConfig {
         parallelism: topk_core::Parallelism::sequential(),
         ..Default::default()
     })?;
     recovered.attach_journal(journal);
-    let replayed = recovered.replay_rows(recovery.entries)?;
+    recovered.replay_rows(recovery)?;
 
     // Reference: the same batches ingested into a fresh engine with no
     // crash anywhere. Answers must match byte for byte.
@@ -460,8 +462,7 @@ pub fn chaos_journal_replay() -> Result<ChaosOutcome, String> {
     Ok(ChaosOutcome {
         name: "journal-replay",
         detail: format!(
-            "kill -9 simulated ({} torn bytes dropped); {replayed} records replayed, topk byte-identical to reference",
-            recovery.dropped_bytes
+            "kill -9 simulated ({dropped_bytes} torn bytes dropped); {replayed} records replayed, topk byte-identical to reference"
         ),
     })
 }

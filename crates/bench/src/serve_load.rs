@@ -22,7 +22,20 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use topk_service::{Client, Engine, EngineConfig, Json, Server};
+use topk_service::{Client, ClientConfig, Engine, EngineConfig, Json, Server};
+
+/// Connect with a read timeout sized for benchmark corpora — the first
+/// query after a bulk ingest pays the whole deferred collapse, which at
+/// large `n_records` can exceed the default 30 s client timeout.
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: std::time::Duration::from_secs(600),
+            ..Default::default()
+        },
+    )
+}
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +50,24 @@ pub struct LoadConfig {
     pub ingest_batch: usize,
     /// K of the queries.
     pub k: usize,
+    /// Engine shards (`topk serve --shards`).
+    pub shards: usize,
+    /// Concurrent clients in the bulk-ingest phase.
+    pub ingest_clients: usize,
+    /// Burst batches in the mixed ingest/query phase (0 = skip it).
+    /// Each burst is followed by one TopK refresh, so every burst pays
+    /// a flush — the phase measures write throughput *with a live
+    /// reader*, where per-shard group caching is supposed to earn its
+    /// keep.
+    pub mixed_batches: usize,
+    /// Records per mixed-phase burst.
+    pub mixed_batch: usize,
+    /// Distinct trending entities the mixed-phase bursts mention. Small
+    /// counts model the paper's skewed workload: bursts touch few
+    /// blocking partitions, so a sharded engine re-collapses and
+    /// re-sorts only the hot shards between queries while a single
+    /// shard invalidates everything.
+    pub hot_entities: usize,
 }
 
 impl Default for LoadConfig {
@@ -47,6 +78,11 @@ impl Default for LoadConfig {
             queries_per_client: 200,
             ingest_batch: 500,
             k: 10,
+            shards: 1,
+            ingest_clients: 1,
+            mixed_batches: 0,
+            mixed_batch: 50,
+            hot_entities: 2,
         }
     }
 }
@@ -61,6 +97,9 @@ impl LoadConfig {
             queries_per_client: 5,
             ingest_batch: 100,
             k: 5,
+            mixed_batches: 2,
+            mixed_batch: 20,
+            ..Default::default()
         }
     }
 }
@@ -72,10 +111,22 @@ pub struct LoadReport {
     pub n_records: usize,
     /// Concurrent query clients.
     pub clients: usize,
+    /// Engine shards the server ran with.
+    pub shards: usize,
+    /// Concurrent bulk-ingest clients.
+    pub ingest_clients: usize,
     /// Wall-clock of the ingest phase.
     pub ingest_secs: f64,
     /// Ingest throughput (records/second).
     pub ingest_rps: f64,
+    /// Mixed-phase throughput (records/second while a reader refreshes
+    /// TopK after every burst); 0 when the phase was skipped.
+    pub mixed_rps: f64,
+    /// Mixed-phase post-write query latency p50 (µs, client-observed —
+    /// each sample pays the flush its burst left pending).
+    pub mixed_p50_micros: u64,
+    /// Mixed-phase post-write query latency p99 (µs).
+    pub mixed_p99_micros: u64,
     /// Wall-clock of the first (cache-cold) query — this one pays the
     /// deferred collapse + bound/prune.
     pub cold_query_micros: u64,
@@ -100,6 +151,10 @@ pub struct LoadReport {
     pub cache_hits: u64,
     /// Server-side cache misses over the whole run.
     pub cache_misses: u64,
+    /// Query-time flushes the engine performed.
+    pub flushes: u64,
+    /// Whole shards skipped by the cross-shard TopK merge.
+    pub shard_skips: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -121,17 +176,38 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         .map(|r| (r.fields().to_vec(), r.weight()))
         .collect();
 
-    let engine = Arc::new(Engine::new(EngineConfig::default())?);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        shards: cfg.shards.max(1),
+        ..Default::default()
+    })?);
     let server = Server::bind("127.0.0.1:0", engine)?;
     let (addr, handle) = server.spawn();
     let addr = addr.to_string();
 
-    // Ingest phase: one client, fixed-size batches.
-    let mut ingest_client = Client::connect(&addr)?;
+    // Bulk-ingest phase: fixed-size batches spread round-robin over
+    // `ingest_clients` concurrent connections.
+    let mut ingest_client = connect(&addr)?;
+    let chunks: Vec<&[(Vec<String>, f64)]> = rows.chunks(cfg.ingest_batch.max(1)).collect();
+    let n_ingesters = cfg.ingest_clients.max(1);
     let t0 = Instant::now();
-    for chunk in rows.chunks(cfg.ingest_batch.max(1)) {
-        ingest_client.ingest_batch(chunk)?;
-    }
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut workers = Vec::new();
+        for w in 0..n_ingesters {
+            let addr = &addr;
+            let chunks = &chunks;
+            workers.push(scope.spawn(move || -> Result<(), String> {
+                let mut c = connect(addr)?;
+                for chunk in chunks.iter().skip(w).step_by(n_ingesters) {
+                    c.ingest_batch(chunk)?;
+                }
+                Ok(())
+            }));
+        }
+        for w in workers {
+            w.join().map_err(|_| "ingest worker panicked")??;
+        }
+        Ok(())
+    })?;
     let ingest_secs = t0.elapsed().as_secs_f64();
 
     // First query pays the deferred collapse; time it separately so the
@@ -140,6 +216,33 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     ingest_client.topk(cfg.k)?;
     let cold_query_micros = t_cold.elapsed().as_micros() as u64;
     ingest_client.topr(cfg.k)?;
+
+    // Mixed phase: bursts of trending-entity mentions, each followed by
+    // a TopK refresh. Every refresh flushes the burst, so throughput
+    // here is write throughput with a live reader — the workload the
+    // per-shard group caches target (only hot shards re-collapse and
+    // re-sort between queries).
+    let mut mixed_rps = 0.0;
+    let mut mixed_lat: Vec<u64> = Vec::new();
+    if cfg.mixed_batches > 0 {
+        let hot: Vec<(Vec<String>, f64)> = (0..cfg.hot_entities.max(1))
+            .map(|i| rows[i * rows.len() / cfg.hot_entities.max(1)].clone())
+            .collect();
+        let t_mixed = Instant::now();
+        for b in 0..cfg.mixed_batches {
+            let burst: Vec<(Vec<String>, f64)> = (0..cfg.mixed_batch.max(1))
+                .map(|i| hot[(b + i) % hot.len()].clone())
+                .collect();
+            ingest_client.ingest_batch(&burst)?;
+            let t_q = Instant::now();
+            ingest_client.topk(cfg.k)?;
+            mixed_lat.push(t_q.elapsed().as_micros() as u64);
+        }
+        let mixed_secs = t_mixed.elapsed().as_secs_f64();
+        mixed_rps =
+            (cfg.mixed_batches * cfg.mixed_batch.max(1)) as f64 / mixed_secs.max(1e-9);
+        mixed_lat.sort_unstable();
+    }
 
     // Query phase: N concurrent clients, each alternating topk/topr on
     // a quiet stream — after the two warm-up queries above, every one of
@@ -150,7 +253,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         let addr = addr.clone();
         let (k, q) = (cfg.k, cfg.queries_per_client);
         workers.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
-            let mut c = Client::connect(&addr)?;
+            let mut c = connect(&addr)?;
             let client_hist = topk_obs::Registry::global()
                 .histogram("topk_client_query_latency_micros");
             let mut lat = Vec::with_capacity(q);
@@ -185,6 +288,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     };
     let cache_hits = counter("cache_hits")?;
     let cache_misses = counter("cache_misses")?;
+    let flushes = counter("flushes")?;
+    let shard_skips = counter("shard_skips")?;
     let server_latency = |p: &str| -> Result<u64, String> {
         stats
             .get("metrics")
@@ -203,8 +308,13 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     Ok(LoadReport {
         n_records: cfg.n_records,
         clients: cfg.clients,
+        shards: cfg.shards.max(1),
+        ingest_clients: n_ingesters,
         ingest_secs,
         ingest_rps: cfg.n_records as f64 / ingest_secs.max(1e-9),
+        mixed_rps,
+        mixed_p50_micros: percentile(&mixed_lat, 50.0),
+        mixed_p99_micros: percentile(&mixed_lat, 99.0),
         cold_query_micros,
         queries,
         query_secs,
@@ -216,7 +326,34 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         server_p99_micros,
         cache_hits,
         cache_misses,
+        flushes,
+        shard_skips,
     })
+}
+
+/// Render a report as the `BENCH_serve.json` entry shape — one flat
+/// object per run, so sequential PRs can diff throughput and latency
+/// without parsing tables.
+pub fn report_json(r: &LoadReport) -> topk_service::Json {
+    use topk_service::json::{obj, Json};
+    obj(vec![
+        ("n_records", Json::Num(r.n_records as f64)),
+        ("shards", Json::Num(r.shards as f64)),
+        ("ingest_clients", Json::Num(r.ingest_clients as f64)),
+        ("ingest_rps", Json::Num(r.ingest_rps.round())),
+        ("mixed_rps", Json::Num(r.mixed_rps.round())),
+        ("mixed_p50_us", Json::Num(r.mixed_p50_micros as f64)),
+        ("mixed_p99_us", Json::Num(r.mixed_p99_micros as f64)),
+        ("cold_query_us", Json::Num(r.cold_query_micros as f64)),
+        ("qps", Json::Num(r.qps.round())),
+        ("query_p50_us", Json::Num(r.p50_micros as f64)),
+        ("query_p99_us", Json::Num(r.p99_micros as f64)),
+        ("server_p50_us", Json::Num(r.server_p50_micros as f64)),
+        ("server_p99_us", Json::Num(r.server_p99_micros as f64)),
+        ("cache_hits", Json::Num(r.cache_hits as f64)),
+        ("flushes", Json::Num(r.flushes as f64)),
+        ("shard_skips", Json::Num(r.shard_skips as f64)),
+    ])
 }
 
 #[cfg(test)]
@@ -236,6 +373,11 @@ mod tests {
         );
         assert_eq!(report.queries, 10, "2 clients x 5 queries");
         assert!(report.qps > 0.0);
+        // The mixed phase ran: bursts forced real flushes and measured
+        // post-write latency.
+        assert!(report.flushes > 0, "{report:?}");
+        assert!(report.mixed_rps > 0.0, "{report:?}");
+        assert!(report.mixed_p99_micros >= report.mixed_p50_micros);
         // Cold query includes the deferred collapse; cached queries must
         // be much cheaper than the cold one on any machine.
         assert!(report.p50_micros <= report.cold_query_micros.max(1) * 10);

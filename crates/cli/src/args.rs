@@ -44,6 +44,11 @@ knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
   --journal path         write-ahead ingest journal: appended before
                          each ingest applies, replayed on startup,
                          truncated on successful snapshot/restore
+                         (one segment file per shard)
+  --shards N             engine shards (default 1); records are routed
+                         by blocking partition so answers are identical
+                         at every N, while ingest and collapse run
+                         shard-parallel (docs/ARCHITECTURE.md)
   --read-timeout-ms N    per-request read deadline (default 30000)
   --write-timeout-ms N   per-response write deadline (default 30000)
   --idle-timeout-ms N    idle-connection timeout (default 300000)
@@ -116,6 +121,8 @@ pub struct ServeOptions {
     pub label_col: Option<String>,
     /// Write-ahead ingest journal path (crash recovery).
     pub journal: Option<PathBuf>,
+    /// Engine shards (at least 1); answers are identical at every count.
+    pub shards: usize,
     /// Per-request read deadline in ms (0 = none).
     pub read_timeout_ms: u64,
     /// Per-response write deadline in ms (0 = none).
@@ -144,6 +151,7 @@ impl Default for ServeOptions {
             weight_col: None,
             label_col: None,
             journal: None,
+            shards: 1,
             read_timeout_ms: 30_000,
             write_timeout_ms: 30_000,
             idle_timeout_ms: 300_000,
@@ -374,6 +382,12 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
             "--weight-col" => o.weight_col = Some(value("--weight-col")?),
             "--label-col" => o.label_col = Some(value("--label-col")?),
             "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
+            "--shards" => {
+                o.shards = parse_num(&value("--shards")?, "--shards")?;
+                if o.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--read-timeout-ms" => {
                 o.read_timeout_ms = parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?
             }
@@ -558,7 +572,7 @@ mod tests {
     #[test]
     fn parses_serve() {
         let c = parse(&argv(
-            "serve --addr 127.0.0.1:9000 --preload d.tsv --snapshot-on-exit s.snap --max-df 10",
+            "serve --addr 127.0.0.1:9000 --preload d.tsv --snapshot-on-exit s.snap --max-df 10 --shards 4",
         ))
         .unwrap();
         match c {
@@ -567,17 +581,22 @@ mod tests {
                 assert_eq!(o.preload, Some(PathBuf::from("d.tsv")));
                 assert_eq!(o.snapshot_on_exit, Some(PathBuf::from("s.snap")));
                 assert_eq!(o.max_df, 10);
+                assert_eq!(o.shards, 4);
                 assert_eq!(o.restore, None);
             }
             _ => panic!("wrong command"),
         }
         // Defaults.
         match parse(&argv("serve")).unwrap() {
-            Command::Serve(o) => assert_eq!(o.addr, "127.0.0.1:7411"),
+            Command::Serve(o) => {
+                assert_eq!(o.addr, "127.0.0.1:7411");
+                assert_eq!(o.shards, 1);
+            }
             _ => panic!("wrong command"),
         }
         assert!(parse(&argv("serve positional")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+        assert!(parse(&argv("serve --shards 0")).is_err());
     }
 
     #[test]

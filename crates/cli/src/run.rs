@@ -6,7 +6,7 @@ use topk_core::{Parallelism, ThresholdedRankQuery, TopKQuery, TopKRankQuery};
 use topk_predicates::PredicateStack;
 use topk_records::{Dataset, FieldId, TokenizedRecord};
 use topk_service::{
-    Client, ClientConfig, CorpusOptions, Engine, EngineConfig, Journal, Server, ServerConfig,
+    Client, ClientConfig, CorpusOptions, Engine, EngineConfig, JournalSet, Server, ServerConfig,
 };
 
 use crate::args::{ClientAction, ClientOptions, Command, Options, ServeOptions};
@@ -79,6 +79,7 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
         max_df: o.max_df,
         min_overlap: o.min_overlap,
         parallelism: par,
+        shards: o.shards,
     })?;
     if let Some(snap) = &o.restore {
         let generation = engine.restore(snap)?;
@@ -105,7 +106,7 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
     if let Some(path) = &o.journal {
         // After restore so replay lands on the snapshotted base state —
         // together they reproduce the pre-crash engine exactly.
-        let (journal, recovery) = Journal::open(path)?;
+        let (journal, recovery) = JournalSet::open(path, o.shards)?;
         if recovery.dropped_bytes > 0 {
             topk_obs::warn!(
                 "journal {}: dropped {} bytes of torn tail (crash mid-append)",
@@ -113,12 +114,13 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
                 recovery.dropped_bytes
             );
         }
-        let n_entries = recovery.entries.len();
+        let n_entries = recovery.entries;
+        let n_rows = recovery.rows.len();
         engine.attach_journal(journal);
-        let replayed = engine.replay_rows(recovery.entries)?;
+        engine.replay_rows(recovery)?;
         if n_entries > 0 {
             topk_obs::info!(
-                "journal {}: replayed {replayed} records from {n_entries} entries",
+                "journal {}: replayed {n_rows} records from {n_entries} entries",
                 path.display()
             );
         }

@@ -172,11 +172,13 @@ impl IncrementalDedup {
     }
 
     /// Insert one record, merging it into the transitive closure of `s`.
+    /// Returns the record's local id (its index into
+    /// [`records`](Self::records)).
     ///
     /// Equivalent to batch collapse: the arriving record is tested
     /// against every same-block record (with same-set skips), exactly the
     /// pairs batch collapse would test.
-    pub fn insert(&mut self, record: TokenizedRecord, s: &dyn SufficientPredicate) {
+    pub fn insert(&mut self, record: TokenizedRecord, s: &dyn SufficientPredicate) -> u32 {
         self.generation += 1;
         let id = self.uf.push();
         debug_assert_eq!(id as usize, self.toks.len());
@@ -198,6 +200,7 @@ impl IncrementalDedup {
             block.push(id);
         }
         self.toks.push(record);
+        id
     }
 
     /// Materialize the current collapsed groups (decreasing weight).

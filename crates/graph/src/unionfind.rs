@@ -166,6 +166,29 @@ impl UnionFind {
         Ok(UnionFind { parent, size, sets })
     }
 
+    /// Canonical parent vector: `parent[i]` is the **minimum member** of
+    /// `i`'s set. The result is a valid one-level forest (each minimum
+    /// member is its own parent) describing exactly the same partition as
+    /// the live structure, but independent of union order and path
+    /// compression history — two structures describing the same partition
+    /// always canonicalize to identical vectors, which makes persisted
+    /// snapshots comparable byte-for-byte.
+    pub fn canonical_parent(&mut self) -> Vec<u32> {
+        let n = self.len();
+        // min[root] = smallest member seen for that root; iterating
+        // ascending makes the first occurrence the minimum.
+        let mut min_of_root = vec![u32::MAX; n];
+        let mut out = Vec::with_capacity(n);
+        for x in 0..n as u32 {
+            let r = self.find(x) as usize;
+            if min_of_root[r] == u32::MAX {
+                min_of_root[r] = x;
+            }
+            out.push(min_of_root[r]);
+        }
+        out
+    }
+
     /// Per-element dense group labels (`0..set_count`), assigned in order
     /// of each set's first appearance.
     pub fn labels(&mut self) -> Vec<u32> {
@@ -244,6 +267,26 @@ mod tests {
         let id = back.push();
         back.union(id, 4);
         assert!(back.same(4, id));
+    }
+
+    #[test]
+    fn canonical_parent_is_union_order_independent() {
+        let mut a = UnionFind::new(6);
+        a.union(0, 3);
+        a.union(3, 5);
+        a.union(1, 2);
+        let mut b = UnionFind::new(6);
+        b.union(5, 3);
+        b.union(2, 1);
+        b.union(3, 0);
+        // Same partition, different union orders -> identical canonical
+        // vectors, and the vector is a valid forest restoring the same
+        // partition.
+        let ca = a.canonical_parent();
+        assert_eq!(ca, b.canonical_parent());
+        assert_eq!(ca, vec![0, 1, 1, 0, 4, 0]);
+        let mut back = UnionFind::from_vec(ca).unwrap();
+        assert_eq!(back.groups(), a.groups());
     }
 
     #[test]

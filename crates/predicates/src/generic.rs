@@ -34,6 +34,20 @@ fn concat_hash(r: &TokenizedRecord, fields: &[FieldId]) -> u64 {
     h
 }
 
+/// Partition key of a name string under the initials + last-word blocking
+/// scheme shared by [`RareNameSufficient`] and
+/// [`InitialsLastCoauthorSufficient`]: the combined hash of the sorted
+/// initials and the last word. Returns `None` when the text has no last
+/// word — such records emit no blocking keys under those predicates and
+/// are permanent singletons, so they may be routed to any shard.
+///
+/// This is a pure function of the text: corpus statistics only gate
+/// *whether* `RareNameSufficient` emits the key, never its value, which
+/// is what makes the partition stable under stats drift.
+pub fn name_partition_key(text: &str) -> Option<u64> {
+    last_word(text).map(|lw| combine(sorted_initials_hash(text), hash_str(lw)))
+}
+
 // ---------------------------------------------------------------------------
 // Sufficient predicates
 // ---------------------------------------------------------------------------
@@ -68,6 +82,9 @@ impl SufficientPredicate for ExactFieldsMatch {
     }
     fn exact_on_key(&self) -> bool {
         true
+    }
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        Some(concat_hash(r, &self.fields))
     }
 }
 
@@ -138,6 +155,13 @@ impl SufficientPredicate for RareNameSufficient {
             && self.all_rare(b)
             && initials_match(&fa.text, &fb.text)
     }
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        // The key value is stats-independent: `all_rare` only decides
+        // whether a blocking key is *emitted*, never what it hashes to,
+        // and `matches` implies equal last words + matching initials,
+        // hence equal partition keys.
+        name_partition_key(&r.field(self.field).text)
+    }
 }
 
 /// S: initials match, last words equal, and at least `min_coauthors`
@@ -184,6 +208,9 @@ impl SufficientPredicate for InitialsLastCoauthorSufficient {
                 .words
                 .intersection_size(&b.field(self.coauthors).words)
                 >= self.min_coauthors
+    }
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        name_partition_key(&r.field(self.author).text)
     }
 }
 
@@ -613,6 +640,71 @@ mod tests {
     }
 
     #[test]
+    fn partition_keys_agree_for_matching_pairs() {
+        // RareNameSufficient: matching pair agrees; key covers every
+        // blocking key the predicate can emit for the record.
+        let docs: Vec<TokenSet> = vec![
+            topk_text::tokenize::word_set("zyxwv qqrst"),
+            topk_text::tokenize::word_set("common name"),
+        ];
+        let stats = Arc::new(CorpusStats::from_documents(docs.iter()));
+        let s = RareNameSufficient::new("s1", FieldId(0), stats, 1);
+        let a = rec1("zyxwv qqrst");
+        let b = rec1("z qqrst");
+        assert!(s.matches(&a, &b));
+        assert_eq!(s.partition_key(&a), s.partition_key(&b));
+        for k in s.blocking_keys(&a) {
+            assert_eq!(s.partition_key(&a), Some(k));
+        }
+        // Records with no last word emit no blocking keys and no key.
+        let empty = rec1("");
+        assert!(s.blocking_keys(&empty).is_empty());
+        assert_eq!(s.partition_key(&empty), None);
+
+        // InitialsLastCoauthorSufficient shares the same key scheme.
+        let s2 = InitialsLastCoauthorSufficient::new("s2", FieldId(0), FieldId(1), 2);
+        let a = rec2("s sarawagi", "vinay deshpande sourabh kasliwal");
+        let b = rec2("sunita sarawagi", "vinay deshpande anil kumar");
+        assert!(s2.matches(&a, &b));
+        assert_eq!(s2.partition_key(&a), s2.partition_key(&b));
+
+        // Exact-match predicates: key is the blocking key itself.
+        let e = ExactFieldsMatch::new("e", vec![FieldId(0)]);
+        assert_eq!(
+            e.partition_key(&rec1("a b")),
+            e.blocking_keys(&rec1("a b")).first().copied()
+        );
+        let m = MultiWordExactMatch::new("m", FieldId(0));
+        assert_eq!(
+            m.partition_key(&rec1("acme widget")),
+            m.blocking_keys(&rec1("acme widget")).first().copied()
+        );
+        assert_eq!(m.partition_key(&rec1("awc")), None);
+        let q = SquashedExactMatch::new("q", FieldId(0));
+        assert_eq!(
+            q.partition_key(&rec1("xk 240")),
+            q.partition_key(&rec1("xk-240"))
+        );
+
+        // Multi-key predicates stay unshardable (default None).
+        let pq = ExactPlusQgramSufficient::new("pq", vec![FieldId(1)], FieldId(0), 0.9);
+        assert_eq!(pq.partition_key(&rec2("ramakrishnan", "sch1")), None);
+    }
+
+    #[test]
+    fn name_partition_key_matches_rare_name_blocking_key() {
+        let k = name_partition_key("sunita sarawagi").expect("has last word");
+        assert_eq!(
+            k,
+            combine(
+                sorted_initials_hash("sunita sarawagi"),
+                hash_str("sarawagi")
+            )
+        );
+        assert_eq!(name_partition_key(""), None);
+    }
+
+    #[test]
     fn sorted_initials_hash_order_insensitive() {
         assert_eq!(
             sorted_initials_hash("alpha beta"),
@@ -661,6 +753,14 @@ impl SufficientPredicate for MultiWordExactMatch {
     }
     fn exact_on_key(&self) -> bool {
         true
+    }
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        let f = r.field(self.field);
+        if f.words.len() >= 2 {
+            Some(hash_str(&f.text))
+        } else {
+            None
+        }
     }
 }
 
@@ -769,6 +869,14 @@ impl SufficientPredicate for SquashedExactMatch {
     }
     fn exact_on_key(&self) -> bool {
         true
+    }
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        let sq = Self::squash(&r.field(self.field).text);
+        if sq.is_empty() {
+            None
+        } else {
+            Some(hash_str(&sq))
+        }
     }
 }
 

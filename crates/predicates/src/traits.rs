@@ -35,6 +35,11 @@
 //!         !x.is_empty() && x == y
 //!     }
 //!     fn exact_on_key(&self) -> bool { true }
+//!     // Exact-match keys are pure functions of the record, so the
+//!     // predicate is statically shardable.
+//!     fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+//!         self.blocking_keys(r).first().copied()
+//!     }
 //! }
 //!
 //! /// N: names must share a word.
@@ -57,6 +62,8 @@
 //! let refs: Vec<&TokenizedRecord> = recs.iter().collect();
 //! assert!(topk_predicates::check_sufficient_contract(&SameEmail, &refs).is_empty());
 //! assert!(topk_predicates::check_necessary_contract(&ShareNameWord, &refs).is_empty());
+//! // Matching records agree on the partition key, so sharding by it is safe.
+//! assert_eq!(SameEmail.partition_key(&recs[0]), SameEmail.partition_key(&recs[1]));
 //! ```
 
 use topk_records::TokenizedRecord;
@@ -80,6 +87,33 @@ pub trait SufficientPredicate: Send + Sync {
     /// common exact-match sufficient predicates).
     fn exact_on_key(&self) -> bool {
         false
+    }
+
+    /// Stable partition key for static sharding, when one exists.
+    ///
+    /// Soundness contract (stronger than the blocking-key contract): if
+    /// this returns `Some`, then
+    ///
+    /// * `matches(a, b)` implies `partition_key(a) == partition_key(b)`,
+    ///   and
+    /// * any two records that share **any** blocking key have equal
+    ///   partition keys (so a blocking partition never spans two
+    ///   different key values).
+    ///
+    /// Together these guarantee that routing records to disjoint engine
+    /// shards by `partition_key % n_shards` can never separate a pair the
+    /// predicate would collapse: the sharded collapse is exactly the
+    /// unsharded collapse. A record for which no key can be derived (e.g.
+    /// an empty field) may return `None` *only if* it also emits no
+    /// blocking keys — such records are permanent singletons under this
+    /// predicate and may be routed anywhere.
+    ///
+    /// The default returns `None`, declaring the predicate not statically
+    /// shardable (typical for multi-key predicates whose blocking keys
+    /// depend on several tokens of the record).
+    fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
+        let _ = r;
+        None
     }
 }
 

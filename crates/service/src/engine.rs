@@ -1,5 +1,25 @@
-//! The resident query engine: `IncrementalDedup` behind a `RwLock`, a
-//! generation-keyed query cache, and incremental corpus statistics.
+//! The resident query engine: N per-shard [`IncrementalDedup`]
+//! collapses behind one reader-writer core lock, a generation-keyed
+//! query cache, and incremental corpus statistics.
+//!
+//! # Sharding
+//!
+//! Records are routed to shards by [`ShardRouter`]: a pure function of
+//! the match-field text whose key agrees with the sufficient
+//! predicate's blocking partition, so **no collapse group ever spans
+//! two shards** (see `crate::shard` for the soundness argument). That
+//! static partition is what makes the whole design equivalence-
+//! preserving: each shard runs the ordinary incremental collapse over
+//! its own records, and a TopK answer is a cross-shard merge of
+//! per-shard group lists — byte-identical to a single unsharded engine
+//! over the same stream, at every shard count (proved by
+//! `tests/serve_shards.rs` and `tests/prop_shards.rs`).
+//!
+//! Concurrency: ingest takes the core lock in **read** mode plus only
+//! the mutexes of the shards it touches, so ingests for different
+//! shards proceed in parallel. Queries take the core lock in **write**
+//! mode, flush every pending record, and merge. The lock order is
+//! core → schema → shard mutexes (ascending index) → cache, everywhere.
 //!
 //! # Collapse timing
 //!
@@ -7,11 +27,11 @@
 //! tokenize-once path of [`crate::corpus`]) but merged into the
 //! first-level collapse *lazily, at the next query*: the sufficient
 //! predicate depends on corpus statistics, and deferring the merge to
-//! query time means every record is collapsed under the newest statistics
-//! available. In particular, a stream that is fully ingested before its
-//! first query collapses under exactly the statistics a batch run over
-//! the same file would use, which is what makes served answers
-//! byte-identical to the batch pipeline (`tests/serve_roundtrip.rs`).
+//! query time means every record is collapsed under the newest
+//! statistics available. Corpus statistics are folded at flush rather
+//! than at ingest (the fold is order-independent, so the folded content
+//! is identical); the only observable consequence is that the
+//! `distinct_values` stat reflects the last flush, not the last ingest.
 //! Records collapsed by an *earlier* query keep their insert-time
 //! decisions — the documented [`IncrementalDedup`] drift caveat.
 //!
@@ -20,24 +40,27 @@
 //! Responses are cached keyed on the query parameters; every entry also
 //! remembers the ingest generation it was computed at. Ingestion bumps
 //! the generation and clears the cache, so a repeated TopK refresh on a
-//! quiet stream is a hash lookup — O(1) — while any ingestion
-//! invalidates exactly once. The generation check makes staleness
-//! impossible even if an eviction policy ever retains entries across
-//! ingests.
+//! quiet stream is a hash lookup — O(1), without touching the core lock
+//! at all — while any ingestion invalidates exactly once. The
+//! generation check makes staleness impossible even if an eviction
+//! policy ever retains entries across ingests.
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
-use topk_core::{IncrementalDedup, Parallelism, TopKRankQuery};
+use topk_core::{IncrementalDedup, IncrementalState, Parallelism, TopKRankQuery};
+use topk_graph::UnionFind;
 use topk_records::{FieldId, TokenizedRecord};
 use topk_text::CorpusStats;
 
 use crate::corpus::stack_from_stats;
-use crate::journal::Journal;
+use crate::journal::{JournalSet, Row, SetRecovery};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::shard::ShardRouter;
 use crate::snapshot;
 
 /// Maximum cached responses before the cache is wiped (entries are a few
@@ -57,8 +80,14 @@ pub struct EngineConfig {
     pub max_df: u32,
     /// 3-gram overlap fraction for the necessary predicate.
     pub min_overlap: f64,
-    /// Thread budget for the query pipeline stages.
+    /// Thread budget for the query pipeline stages and the per-shard
+    /// flush.
     pub parallelism: Parallelism,
+    /// Number of engine shards (at least 1). Records are routed by
+    /// blocking partition ([`ShardRouter`]), so answers are identical at
+    /// every shard count; more shards buy concurrent ingest and
+    /// parallel collapse on multi-core machines.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +98,7 @@ impl Default for EngineConfig {
             max_df: 30,
             min_overlap: 0.6,
             parallelism: Parallelism::auto(),
+            shards: 1,
         }
     }
 }
@@ -78,25 +108,82 @@ struct CacheEntry {
     body: Json,
 }
 
-struct State {
-    /// Resolved schema; `None` until the first record arrives.
+/// Resolved schema; separate from [`Core`] so concurrent ingests can
+/// double-check it under a cheap read lock.
+struct Schema {
+    /// Field names; `None` until the first record arrives.
     fields: Option<Vec<String>>,
     /// Match-field index (valid once `fields` is set).
     field: FieldId,
-    /// The maintained first-level collapse.
-    inc: IncrementalDedup,
-    /// Ingested but not yet collapsed records (merged at next query).
-    pending: Vec<TokenizedRecord>,
-    /// Document frequencies over distinct match-field values, maintained
-    /// incrementally (`seen` holds hashes of values already counted).
-    stats: CorpusStats,
-    seen: HashSet<u64>,
-    /// Rendered responses keyed by query descriptor.
-    cache: HashMap<String, CacheEntry>,
 }
 
-impl State {
-    fn empty(cfg: &EngineConfig) -> Result<State, String> {
+/// One group of one shard, as the cross-shard merge sees it. `Copy` so
+/// merge candidates detach from the shard borrow.
+#[derive(Debug, Clone, Copy)]
+struct GroupView {
+    weight: f64,
+    size: u32,
+    /// Representative's global record id — the cross-shard tie-break.
+    rep_gid: u32,
+    /// Representative's local id, for fetching its text.
+    rep_local: u32,
+}
+
+/// One engine shard: its own collapse, its own pending queue.
+struct Shard {
+    inc: IncrementalDedup,
+    /// Global record id of each local id; strictly increasing, so local
+    /// id order equals global ingest order restricted to this shard.
+    gids: Vec<u32>,
+    /// Ingested but not yet collapsed records, tagged with their global
+    /// record id (rid) so flush can restore the global ingest order.
+    pending: Vec<(u64, TokenizedRecord)>,
+    /// Group views sorted (weight desc, rep asc), rebuilt lazily after
+    /// the collapse changes.
+    groups: Option<Vec<GroupView>>,
+}
+
+/// Everything behind the core reader-writer lock.
+struct Core {
+    shards: Vec<Mutex<Shard>>,
+    /// gid -> (shard index, local id).
+    global: Vec<(u32, u32)>,
+    /// Document frequencies over distinct match-field values, folded at
+    /// flush (`seen` holds hashes of values already counted).
+    stats: CorpusStats,
+    seen: HashSet<u64>,
+    /// All collapsed records in gid order, gathered for TopR when there
+    /// is more than one shard; invalidated by every flush.
+    topr_toks: Option<Vec<TokenizedRecord>>,
+}
+
+/// Thread-safe resident engine; the server shares one behind an `Arc`.
+pub struct Engine {
+    cfg: EngineConfig,
+    schema: RwLock<Schema>,
+    core: RwLock<Core>,
+    cache: Mutex<HashMap<String, CacheEntry>>,
+    /// Total records ever accepted (monotone; restored from snapshots).
+    generation: AtomicU64,
+    /// Next global record id to assign at ingest.
+    next_rid: AtomicU64,
+    /// Write-ahead ingest journal, when durability is enabled
+    /// (`topk serve --journal`): one segment per shard, appended before
+    /// an ingest is applied.
+    journal: Option<JournalSet>,
+    /// Per-shard (records, groups) gauges, refreshed at flush.
+    shard_gauges: Vec<(Arc<AtomicI64>, Arc<AtomicI64>)>,
+    /// Counters and latency histograms (lock-free, shared with the
+    /// server's stats command and shutdown log).
+    pub metrics: Metrics,
+}
+
+impl Engine {
+    /// Fresh engine with no records.
+    pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
+        if cfg.shards == 0 {
+            return Err("shard count must be at least 1".into());
+        }
         let field = match (&cfg.fields, &cfg.name_field) {
             (Some(fields), Some(name)) => FieldId(
                 fields
@@ -106,128 +193,117 @@ impl State {
             ),
             _ => FieldId(0),
         };
-        Ok(State {
-            fields: cfg.fields.clone(),
-            field,
-            inc: IncrementalDedup::new(),
-            pending: Vec::new(),
-            stats: CorpusStats::new(),
-            seen: HashSet::new(),
-            cache: HashMap::new(),
-        })
-    }
-
-    /// Total records ingested (collapsed + pending).
-    fn generation(&self) -> u64 {
-        self.inc.generation() + self.pending.len() as u64
-    }
-
-    /// Fix the schema on first contact, or validate arity against it.
-    fn check_schema(&mut self, arity: usize, name_field: &Option<String>) -> Result<(), String> {
-        match &self.fields {
-            Some(fields) => {
-                if fields.len() != arity {
-                    return Err(format!(
-                        "record has {arity} fields, schema has {}",
-                        fields.len()
-                    ));
-                }
-            }
-            None => {
-                if arity == 0 {
-                    return Err("record has no fields".into());
-                }
-                let fields: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
-                if let Some(name) = name_field {
-                    self.field = FieldId(
-                        fields
-                            .iter()
-                            .position(|f| f == name)
-                            .ok_or_else(|| format!("no field named `{name}`"))?,
-                    );
-                }
-                self.fields = Some(fields);
-            }
-        }
-        Ok(())
-    }
-
-    /// Count a tokenized record into the incremental corpus statistics.
-    fn count_stats(&mut self, t: &TokenizedRecord) {
-        let f = t.field(self.field);
-        if self.seen.insert(topk_text::hash::hash_str(&f.text)) {
-            self.stats.add_document(&f.words);
-        }
-    }
-
-    /// Merge all pending records into the collapse under the *current*
-    /// corpus statistics.
-    fn flush(&mut self, cfg: &EngineConfig) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let stack = stack_from_stats(
-            Arc::new(self.stats.clone()),
-            self.field,
-            cfg.max_df,
-            cfg.min_overlap,
-        );
-        let s = stack.levels[0].0.as_ref();
-        for t in self.pending.drain(..) {
-            self.inc.insert(t, s);
-        }
-    }
-}
-
-/// Thread-safe resident engine; the server shares one behind an `Arc`.
-pub struct Engine {
-    cfg: EngineConfig,
-    state: RwLock<State>,
-    /// Write-ahead ingest journal, when durability is enabled
-    /// (`topk serve --journal`). Appended before an ingest is applied.
-    journal: Option<Journal>,
-    /// Counters and latency histograms (lock-free, shared with the
-    /// server's stats command and shutdown log).
-    pub metrics: Metrics,
-}
-
-impl Engine {
-    /// Fresh engine with no records.
-    pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
-        let state = State::empty(&cfg)?;
+        let metrics = Metrics::new();
+        let shard_gauges = (0..cfg.shards)
+            .map(|i| {
+                (
+                    metrics.registry().gauge(&format!("topk_shard_{i}_records")),
+                    metrics.registry().gauge(&format!("topk_shard_{i}_groups")),
+                )
+            })
+            .collect();
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    inc: IncrementalDedup::new(),
+                    gids: Vec::new(),
+                    pending: Vec::new(),
+                    groups: None,
+                })
+            })
+            .collect();
         Ok(Engine {
-            cfg,
-            state: RwLock::new(state),
+            schema: RwLock::new(Schema {
+                fields: cfg.fields.clone(),
+                field,
+            }),
+            core: RwLock::new(Core {
+                shards,
+                global: Vec::new(),
+                stats: CorpusStats::new(),
+                seen: HashSet::new(),
+                topr_toks: None,
+            }),
+            cache: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            next_rid: AtomicU64::new(0),
             journal: None,
-            metrics: Metrics::new(),
+            shard_gauges,
+            metrics,
+            cfg,
         })
     }
 
-    /// Acquire the state write lock, recovering from poisoning: a
-    /// handler that panicked while holding the lock must not wedge every
-    /// later request (the state mutations are applied in full before
-    /// anything that can panic runs, so the inner value stays usable).
-    fn write_state(&self) -> RwLockWriteGuard<'_, State> {
-        self.state.write().unwrap_or_else(|poisoned| {
-            Metrics::incr(&self.metrics.lock_recoveries);
-            topk_obs::warn!("engine lock poisoned by a panicked handler; recovering");
-            poisoned.into_inner()
+    // ---- lock plumbing (poison-recovering) ------------------------------
+
+    fn recover_poison(&self) {
+        Metrics::incr(&self.metrics.lock_recoveries);
+        topk_obs::warn!("engine lock poisoned by a panicked handler; recovering");
+    }
+
+    fn read_core(&self) -> RwLockReadGuard<'_, Core> {
+        self.core.read().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
         })
     }
 
-    /// Read-lock twin of [`Self::write_state`].
-    fn read_state(&self) -> RwLockReadGuard<'_, State> {
-        self.state.read().unwrap_or_else(|poisoned| {
-            Metrics::incr(&self.metrics.lock_recoveries);
-            topk_obs::warn!("engine lock poisoned by a panicked handler; recovering");
-            poisoned.into_inner()
+    fn write_core(&self) -> RwLockWriteGuard<'_, Core> {
+        self.core.write().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
         })
     }
 
-    /// Enable write-ahead journaling. Call before the engine is shared
-    /// (returns the recovered entries so the caller can replay them via
-    /// [`Self::replay_rows`]).
-    pub fn attach_journal(&mut self, journal: Journal) {
+    fn read_schema(&self) -> RwLockReadGuard<'_, Schema> {
+        self.schema.read().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
+        })
+    }
+
+    fn write_schema(&self) -> RwLockWriteGuard<'_, Schema> {
+        self.schema.write().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
+        })
+    }
+
+    fn lock_shard<'a>(&self, m: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        m.lock().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
+        })
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<String, CacheEntry>> {
+        self.cache.lock().unwrap_or_else(|p| {
+            self.recover_poison();
+            p.into_inner()
+        })
+    }
+
+    /// Exclusive shard access through a held core **write** guard — no
+    /// mutex wait is possible, but a poisoned mutex is still recovered.
+    fn shard_mut(m: &mut Mutex<Shard>) -> &mut Shard {
+        match m.get_mut() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    // ---- journal --------------------------------------------------------
+
+    /// Enable write-ahead journaling. Call before the engine is shared;
+    /// the set must have one segment per engine shard. The caller
+    /// replays what [`JournalSet::open`] recovered via
+    /// [`Self::replay_rows`].
+    pub fn attach_journal(&mut self, journal: JournalSet) {
+        assert_eq!(
+            journal.n_segments(),
+            self.cfg.shards,
+            "journal set must have one segment per shard"
+        );
         self.journal = Some(journal);
     }
 
@@ -237,30 +313,52 @@ impl Engine {
     }
 
     /// Re-apply rows recovered from the journal at startup, *without*
-    /// re-appending them (they are already durable). Returns the new
-    /// generation.
-    pub fn replay_rows(&self, entries: Vec<Vec<(Vec<String>, f64)>>) -> Result<u64, String> {
-        let mut generation = self.generation();
+    /// re-appending them (they are already durable). Rows arrive sorted
+    /// by record id — the global ingest order — and the rid counter is
+    /// resumed above the largest id on disk so future appends sort after
+    /// everything already journaled. Returns the new generation.
+    pub fn replay_rows(&self, recovery: SetRecovery) -> Result<u64, String> {
+        let SetRecovery { rows, max_rid, .. } = recovery;
+        let plain: Vec<(Vec<String>, f64)> =
+            rows.into_iter().map(|(_, fields, w)| (fields, w)).collect();
+        let mut generation = self.generation.load(Ordering::Acquire);
         let mut replayed = 0u64;
-        for rows in entries {
-            let n = rows.len() as u64;
-            // An entry that fails to apply (e.g. schema mismatch) failed
-            // identically when it was first ingested — the client got an
-            // error and the state did not change. Skipping it reproduces
-            // that state; aborting would lose everything after it.
-            match self.apply_ingest(rows, false) {
+        if !plain.is_empty() {
+            match self.apply_ingest(plain.clone(), false) {
                 Ok(g) => {
                     generation = g;
-                    replayed += n;
+                    replayed = plain.len() as u64;
                 }
-                Err(e) => topk_obs::warn!("journal replay: skipping bad entry: {e}"),
+                Err(_) => {
+                    // A row that fails to apply failed identically when
+                    // it was first ingested — the client got an error
+                    // and the state did not change. Skipping it
+                    // reproduces that state; aborting would lose
+                    // everything after it.
+                    for (fields, w) in plain {
+                        match self.apply_ingest(vec![(fields, w)], false) {
+                            Ok(g) => {
+                                generation = g;
+                                replayed += 1;
+                            }
+                            Err(e) => {
+                                topk_obs::warn!("journal replay: skipping bad row: {e}");
+                            }
+                        }
+                    }
+                }
             }
+        }
+        if let Some(m) = max_rid {
+            self.next_rid.fetch_max(m + 1, Ordering::AcqRel);
         }
         self.metrics
             .journal_replayed_records
-            .fetch_add(replayed, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(replayed, Ordering::Relaxed);
         Ok(generation)
     }
+
+    // ---- ingest ---------------------------------------------------------
 
     /// Ingest raw rows (field texts + weight). Fields are normalized
     /// exactly like file loading normalizes them, then tokenized once.
@@ -271,18 +369,99 @@ impl Engine {
         self.apply_ingest(rows, true)
     }
 
-    /// Tokenize and apply rows to the state. When `journal` is true and
-    /// a journal is attached, the rows are appended (and fsynced) while
-    /// the state lock is held, *before* the state is mutated: the lock
-    /// orders the append against [`Self::snapshot`]'s truncation, so an
-    /// acknowledged ingest is always either in the snapshot or in the
-    /// journal, never in neither. Replay passes `journal: false` — the
-    /// recovered entries are already durable.
+    /// Fix the schema on first contact, or validate every record's arity
+    /// against it. Double-checked: once the schema exists this is a read
+    /// lock only. A failing batch may still fix the schema from its
+    /// first record — mirroring that a client's first (rejected) request
+    /// still pins the arity for the session.
+    fn check_schema(&self, toks: &[TokenizedRecord]) -> Result<FieldId, String> {
+        {
+            let schema = self.read_schema();
+            if let Some(fields) = &schema.fields {
+                for t in toks {
+                    if t.arity() != fields.len() {
+                        return Err(format!(
+                            "record has {} fields, schema has {}",
+                            t.arity(),
+                            fields.len()
+                        ));
+                    }
+                }
+                return Ok(schema.field);
+            }
+        }
+        let mut schema = self.write_schema();
+        for t in toks {
+            match &schema.fields {
+                Some(fields) => {
+                    if t.arity() != fields.len() {
+                        return Err(format!(
+                            "record has {} fields, schema has {}",
+                            t.arity(),
+                            fields.len()
+                        ));
+                    }
+                }
+                None => {
+                    if t.arity() == 0 {
+                        return Err("record has no fields".into());
+                    }
+                    let fields: Vec<String> =
+                        (0..t.arity()).map(|i| format!("col{i}")).collect();
+                    if let Some(name) = &self.cfg.name_field {
+                        schema.field = FieldId(
+                            fields
+                                .iter()
+                                .position(|f| f == name)
+                                .ok_or_else(|| format!("no field named `{name}`"))?,
+                        );
+                    }
+                    schema.fields = Some(fields);
+                }
+            }
+        }
+        Ok(schema.field)
+    }
+
+    /// Lock the touched shards in ascending index order, journal the
+    /// batch (all-or-nothing across segments), and stage the records as
+    /// pending. The shard locks are held across the journal append so
+    /// no concurrent snapshot can truncate between durability and
+    /// application.
+    fn stage_pending(
+        &self,
+        core: &Core,
+        buckets: &mut [Vec<(u64, TokenizedRecord)>],
+        seg_rows: Option<&[Vec<Row>]>,
+    ) -> Result<(), String> {
+        let mut guards: Vec<(usize, MutexGuard<'_, Shard>)> = Vec::new();
+        for (i, m) in core.shards.iter().enumerate() {
+            if !buckets[i].is_empty() {
+                guards.push((i, self.lock_shard(m)));
+            }
+        }
+        if let Some(rows) = seg_rows {
+            if let Some(j) = &self.journal {
+                j.append_sharded(rows)
+                    .map_err(|e| format!("journal append failed, ingest not applied: {e}"))?;
+                Metrics::incr(&self.metrics.journal_appends);
+            }
+        }
+        for (i, g) in guards.iter_mut() {
+            g.pending.append(&mut buckets[*i]);
+        }
+        Ok(())
+    }
+
+    /// Tokenize, route, and apply rows. Validation and tokenization run
+    /// outside every lock; the core lock is taken in **read** mode, so
+    /// concurrent ingests only contend on the shard mutexes they
+    /// actually touch. Replay passes `journal: false` — the recovered
+    /// rows are already durable.
     fn apply_ingest(&self, rows: Vec<(Vec<String>, f64)>, journal: bool) -> Result<u64, String> {
         let t0 = Instant::now();
         let mut sp = topk_obs::Span::enter("service.ingest");
         sp.record("records", rows.len());
-        // Validate and tokenize outside the lock.
         let mut toks = Vec::with_capacity(rows.len());
         for (fields, weight) in &rows {
             if !weight.is_finite() || *weight < 0.0 {
@@ -294,28 +473,30 @@ impl Engine {
                 .collect();
             toks.push(TokenizedRecord::from_fields(&normalized, *weight));
         }
-        let mut state = self.write_state();
-        for t in &toks {
-            state.check_schema(t.arity(), &self.cfg.name_field)?;
-        }
-        if journal {
-            if let Some(j) = &self.journal {
-                j.append(&rows)
-                    .map_err(|e| format!("journal append failed, ingest not applied: {e}"))?;
-                Metrics::incr(&self.metrics.journal_appends);
-            }
-        }
+        let core = self.read_core();
+        let field = self.check_schema(&toks)?;
+        let router = ShardRouter::new(self.cfg.shards);
         let n = toks.len();
-        for t in toks {
-            state.count_stats(&t);
-            state.pending.push(t);
+        let base = self.next_rid.fetch_add(n as u64, Ordering::AcqRel);
+        let want_journal = journal && self.journal.is_some();
+        let mut buckets: Vec<Vec<(u64, TokenizedRecord)>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut seg_rows: Vec<Vec<Row>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        for (i, (t, (raw, weight))) in toks.into_iter().zip(rows).enumerate() {
+            let si = router.route(&t.field(field).text);
+            let rid = base + i as u64;
+            if want_journal {
+                seg_rows[si].push((rid, raw, weight));
+            }
+            buckets[si].push((rid, t));
         }
-        state.cache.clear(); // ingestion invalidates every cached answer
-        let generation = state.generation();
-        drop(state);
+        self.stage_pending(&core, &mut buckets, want_journal.then_some(&seg_rows[..]))?;
+        drop(core);
+        let generation = self.generation.fetch_add(n as u64, Ordering::AcqRel) + n as u64;
+        self.lock_cache().clear(); // ingestion invalidates every cached answer
         self.metrics
             .ingested_records
-            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(n as u64, Ordering::Relaxed);
         Metrics::incr(&self.metrics.ingest_requests);
         self.metrics.ingest_latency.record(t0.elapsed());
         Ok(generation)
@@ -334,126 +515,369 @@ impl Engine {
         let mut sp = topk_obs::Span::enter("service.ingest");
         sp.record("records", toks.len());
         sp.record("preloaded", true);
-        let mut state = self.write_state();
-        if let Some(existing) = &state.fields {
-            if existing.len() != fields.len() {
-                return Err(format!(
-                    "preload has {} fields, engine schema has {}",
-                    fields.len(),
-                    existing.len()
-                ));
+        let core = self.read_core();
+        let known = {
+            let schema = self.read_schema();
+            match &schema.fields {
+                Some(existing) if existing.len() != fields.len() => {
+                    return Err(format!(
+                        "preload has {} fields, engine schema has {}",
+                        fields.len(),
+                        existing.len()
+                    ));
+                }
+                Some(_) => Some(schema.field),
+                None => None,
             }
-        } else {
-            state.fields = Some(fields);
-            state.field = field;
-        }
+        };
+        let eng_field = match known {
+            Some(f) => f,
+            None => {
+                let mut schema = self.write_schema();
+                if let Some(existing) = &schema.fields {
+                    if existing.len() != fields.len() {
+                        return Err(format!(
+                            "preload has {} fields, engine schema has {}",
+                            fields.len(),
+                            existing.len()
+                        ));
+                    }
+                } else {
+                    schema.fields = Some(fields);
+                    schema.field = field;
+                }
+                schema.field
+            }
+        };
+        let router = ShardRouter::new(self.cfg.shards);
         let n = toks.len();
-        for t in toks {
-            state.count_stats(&t);
-            state.pending.push(t);
+        let base = self.next_rid.fetch_add(n as u64, Ordering::AcqRel);
+        let mut buckets: Vec<Vec<(u64, TokenizedRecord)>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        for (i, t) in toks.into_iter().enumerate() {
+            let si = router.route(&t.field(eng_field).text);
+            buckets[si].push((base + i as u64, t));
         }
-        state.cache.clear();
-        let generation = state.generation();
-        drop(state);
+        self.stage_pending(&core, &mut buckets, None)?;
+        drop(core);
+        let generation = self.generation.fetch_add(n as u64, Ordering::AcqRel) + n as u64;
+        self.lock_cache().clear();
         self.metrics
             .ingested_records
-            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(n as u64, Ordering::Relaxed);
         Metrics::incr(&self.metrics.ingest_requests);
         self.metrics.ingest_latency.record(t0.elapsed());
         Ok(generation)
     }
 
+    // ---- flush ----------------------------------------------------------
+
+    /// Merge every pending record into its shard's collapse under the
+    /// *current* corpus statistics. Requires the core write lock (shard
+    /// mutexes are reached via `get_mut` — no waiting). Per-shard
+    /// inserts run on scoped threads when parallelism and the shard
+    /// count allow. Returns whether anything was flushed.
+    fn flush_locked(&self, core: &mut Core, field: FieldId) -> bool {
+        let Core {
+            shards,
+            global,
+            stats,
+            seen,
+            topr_toks,
+        } = core;
+        let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().map(Self::shard_mut).collect();
+        let total: usize = shard_refs.iter().map(|s| s.pending.len()).sum();
+        if total == 0 {
+            return false;
+        }
+        let mut sp = topk_obs::Span::enter("service.flush");
+        sp.record("records", total);
+        // Per-shard pending back into rid order (concurrent ingests may
+        // have interleaved): a shard's insert order then equals the
+        // global ingest order restricted to that shard, which is what
+        // keeps the collapse byte-identical to an unsharded engine.
+        for s in shard_refs.iter_mut() {
+            s.pending.sort_by_key(|&(rid, _)| rid);
+        }
+        // Fold corpus statistics for every pending record. The fold is
+        // order-independent (set-guarded counting), so folding shard by
+        // shard produces exactly the statistics the unsharded engine
+        // folds at ingest time.
+        for s in shard_refs.iter() {
+            for (_, t) in &s.pending {
+                let f = t.field(field);
+                if seen.insert(topk_text::hash::hash_str(&f.text)) {
+                    stats.add_document(&f.words);
+                }
+            }
+        }
+        // Dense global ids in global rid order, appended to the gid map.
+        let mut order: Vec<(u64, u32)> = Vec::with_capacity(total);
+        for (si, s) in shard_refs.iter().enumerate() {
+            order.extend(s.pending.iter().map(|&(rid, _)| (rid, si as u32)));
+        }
+        order.sort_unstable();
+        let mut staged_gids: Vec<Vec<u32>> = shard_refs
+            .iter()
+            .map(|s| Vec::with_capacity(s.pending.len()))
+            .collect();
+        let mut next_local: Vec<u32> = shard_refs.iter().map(|s| s.inc.len() as u32).collect();
+        for &(_, si) in &order {
+            let gid = global.len() as u32;
+            global.push((si, next_local[si as usize]));
+            next_local[si as usize] += 1;
+            staged_gids[si as usize].push(gid);
+        }
+        // One predicate stack under the settled statistics: every shard
+        // collapses under the same statistics a single engine would use.
+        let stack = stack_from_stats(
+            Arc::new(stats.clone()),
+            field,
+            self.cfg.max_df,
+            self.cfg.min_overlap,
+        );
+        let s_pred = stack.levels[0].0.as_ref();
+        let insert = |shard: &mut Shard, gids: Vec<u32>| {
+            for ((_, t), gid) in shard.pending.drain(..).zip(gids) {
+                let local = shard.inc.insert(t, s_pred);
+                debug_assert_eq!(local as usize, shard.gids.len());
+                shard.gids.push(gid);
+            }
+            shard.groups = None;
+        };
+        let work: Vec<(&mut Shard, Vec<u32>)> = shard_refs
+            .into_iter()
+            .zip(staged_gids)
+            .filter(|(s, _)| !s.pending.is_empty())
+            .collect();
+        if self.cfg.parallelism.is_sequential() || work.len() <= 1 {
+            for (shard, gids) in work {
+                insert(shard, gids);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let insert = &insert;
+                for (shard, gids) in work {
+                    scope.spawn(move || insert(shard, gids));
+                }
+            });
+        }
+        *topr_toks = None;
+        for (i, m) in shards.iter_mut().enumerate() {
+            let s = Self::shard_mut(m);
+            self.shard_gauges[i].0.store(s.inc.len() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .1
+                .store(s.inc.group_count() as i64, Ordering::Relaxed);
+        }
+        Metrics::incr(&self.metrics.flushes);
+        true
+    }
+
+    // ---- queries --------------------------------------------------------
+
     /// TopK count-style query: the K heaviest collapsed groups surviving
     /// the bound/prune machinery, rendered as a JSON result body.
     pub fn query_topk(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topk:k={k}"), |state, cfg| {
-            state.flush(cfg);
-            if state.inc.is_empty() {
-                return Ok(obj(vec![("groups", Json::Arr(Vec::new()))]));
-            }
-            let stack = stack_from_stats(
-                Arc::new(state.stats.clone()),
-                state.field,
-                cfg.max_df,
-                cfg.min_overlap,
-            );
-            let field = state.field;
-            let groups = state.inc.query(&stack, k);
-            let items: Vec<Json> = groups
-                .iter()
-                .take(k)
-                .enumerate()
-                .map(|(rank, g)| {
-                    obj(vec![
-                        ("rank", Json::Num((rank + 1) as f64)),
-                        ("weight", Json::Num(g.weight)),
-                        ("size", Json::Num(g.members.len() as f64)),
-                        ("rep_id", Json::Num(g.rep as f64)),
-                        (
-                            "rep",
-                            Json::Str(
-                                state.inc.records()[g.rep as usize].field(field).text.clone(),
-                            ),
-                        ),
-                    ])
-                })
-                .collect();
-            Ok(obj(vec![("groups", Json::Arr(items))]))
+        self.cached_query(format!("topk:k={k}"), |engine, core, field| {
+            Ok(engine.compute_topk(core, field, k))
         })
     }
 
     /// TopR rank-style query (§7.1): group *order* with upper bounds and
     /// a certification flag — the cheap way to keep a leaderboard fresh.
     pub fn query_topr(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topr:k={k}"), |state, cfg| {
-            state.flush(cfg);
-            if state.inc.is_empty() {
-                return Ok(obj(vec![
-                    ("entries", Json::Arr(Vec::new())),
-                    ("certified", Json::Bool(false)),
-                ]));
-            }
-            let stack = stack_from_stats(
-                Arc::new(state.stats.clone()),
-                state.field,
-                cfg.max_df,
-                cfg.min_overlap,
-            );
-            let mut q = TopKRankQuery::new(k);
-            q.parallelism = cfg.parallelism;
-            let res = q.run(state.inc.records(), &stack);
-            let field = state.field;
-            let entries: Vec<Json> = res
-                .entries
-                .iter()
-                .enumerate()
-                .map(|(rank, e)| {
-                    obj(vec![
-                        ("rank", Json::Num((rank + 1) as f64)),
-                        ("weight", Json::Num(e.weight)),
-                        ("upper_bound", Json::Num(e.upper_bound)),
-                        ("size", Json::Num(e.records.len() as f64)),
-                        ("rep_id", Json::Num(e.rep as f64)),
-                        (
-                            "rep",
-                            Json::Str(
-                                state.inc.records()[e.rep as usize].field(field).text.clone(),
-                            ),
-                        ),
-                    ])
-                })
-                .collect();
-            Ok(obj(vec![
-                ("entries", Json::Arr(entries)),
-                ("certified", Json::Bool(res.certified)),
-            ]))
+        self.cached_query(format!("topr:k={k}"), |engine, core, field| {
+            Ok(engine.compute_topr(core, field, k))
         })
     }
 
-    /// Run `compute` through the generation-keyed cache.
+    /// Cross-shard TopK merge. Per-shard group lists are each sorted
+    /// (weight desc, rep asc) — identical to the order a single engine's
+    /// pruned query renders, because every survivor of the prune with
+    /// weight at or above the k-th group is kept unconditionally, so the
+    /// rendered top k equals the global top k of *all* groups. Shards
+    /// are visited in descending best-group weight; once k candidates
+    /// are held, a shard whose best group is strictly below the current
+    /// k-th weight (and therefore every shard after it) is skipped
+    /// whole — the `shard_skips` metric counts them.
+    fn compute_topk(&self, core: &mut Core, field: FieldId, k: usize) -> Json {
+        let Core { shards, .. } = core;
+        {
+            let all_empty = shards
+                .iter_mut()
+                .all(|m| Self::shard_mut(m).inc.is_empty());
+            if all_empty {
+                return obj(vec![("groups", Json::Arr(Vec::new()))]);
+            }
+        }
+        assert!(k >= 1, "K must be at least 1");
+        // Rebuild group views for shards whose collapse changed since
+        // the last query (parallel: each rebuild sorts its group list).
+        let build = |s: &mut Shard| {
+            let views: Vec<GroupView> = s
+                .inc
+                .groups()
+                .into_iter()
+                .map(|g| GroupView {
+                    weight: g.weight,
+                    size: g.members.len() as u32,
+                    rep_gid: s.gids[g.rep as usize],
+                    rep_local: g.rep,
+                })
+                .collect();
+            // groups() sorts (weight desc, local rep asc); local rep
+            // order equals global rep order because gids are strictly
+            // increasing per shard.
+            s.groups = Some(views);
+        };
+        let stale: Vec<&mut Shard> = shards
+            .iter_mut()
+            .map(Self::shard_mut)
+            .filter(|s| s.groups.is_none())
+            .collect();
+        if self.cfg.parallelism.is_sequential() || stale.len() <= 1 {
+            for s in stale {
+                build(s);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let build = &build;
+                for s in stale {
+                    scope.spawn(move || build(s));
+                }
+            });
+        }
+        let views: Vec<&Vec<GroupView>> = shards
+            .iter_mut()
+            .map(|m| Self::shard_mut(m).groups.as_ref().expect("views just built"))
+            .collect();
+        let mut visit: Vec<usize> = (0..views.len()).filter(|&i| !views[i].is_empty()).collect();
+        visit.sort_by(|&a, &b| {
+            views[b][0]
+                .weight
+                .total_cmp(&views[a][0].weight)
+                .then(views[a][0].rep_gid.cmp(&views[b][0].rep_gid))
+        });
+        let by_rank = |a: &(u32, GroupView), b: &(u32, GroupView)| {
+            b.1.weight
+                .total_cmp(&a.1.weight)
+                .then(a.1.rep_gid.cmp(&b.1.rep_gid))
+        };
+        let mut cands: Vec<(u32, GroupView)> = Vec::new();
+        let mut skips = 0u64;
+        for (pos, &si) in visit.iter().enumerate() {
+            if cands.len() >= k {
+                // Strict <: a shard whose best group ties the current
+                // k-th weight must still merge — the global tie-break is
+                // by representative id.
+                if views[si][0].weight < cands[k - 1].1.weight {
+                    skips += (visit.len() - pos) as u64;
+                    break;
+                }
+            }
+            // The global top k holds at most k groups of any one shard,
+            // so each shard's sorted k-prefix suffices.
+            cands.extend(views[si].iter().take(k).map(|g| (si as u32, *g)));
+            cands.sort_by(by_rank);
+            cands.truncate(k);
+        }
+        if skips > 0 {
+            self.metrics.shard_skips.fetch_add(skips, Ordering::Relaxed);
+        }
+        drop(views);
+        let mut items = Vec::with_capacity(cands.len());
+        for (rank, (si, g)) in cands.iter().enumerate() {
+            let s = Self::shard_mut(&mut shards[*si as usize]);
+            let rep = s.inc.records()[g.rep_local as usize]
+                .field(field)
+                .text
+                .clone();
+            items.push(obj(vec![
+                ("rank", Json::Num((rank + 1) as f64)),
+                ("weight", Json::Num(g.weight)),
+                ("size", Json::Num(g.size as f64)),
+                ("rep_id", Json::Num(g.rep_gid as f64)),
+                ("rep", Json::Str(rep)),
+            ]));
+        }
+        obj(vec![("groups", Json::Arr(items))])
+    }
+
+    /// TopR over all shards: the rank query runs over the records in
+    /// global id order — exactly the slice a single engine would hand
+    /// it, so answers are byte-identical at every shard count. With one
+    /// shard the records are borrowed in place; with more they are
+    /// gathered (clones) into a cache invalidated by the next flush.
+    fn compute_topr(&self, core: &mut Core, field: FieldId, k: usize) -> Json {
+        let Core {
+            shards,
+            global,
+            stats,
+            topr_toks,
+            ..
+        } = core;
+        if global.is_empty() {
+            return obj(vec![
+                ("entries", Json::Arr(Vec::new())),
+                ("certified", Json::Bool(false)),
+            ]);
+        }
+        let stack = stack_from_stats(
+            Arc::new(stats.clone()),
+            field,
+            self.cfg.max_df,
+            self.cfg.min_overlap,
+        );
+        let toks: &[TokenizedRecord] = if shards.len() == 1 {
+            Self::shard_mut(&mut shards[0]).inc.records()
+        } else {
+            if topr_toks.is_none() {
+                let refs: Vec<&Shard> =
+                    shards.iter_mut().map(|m| &*Self::shard_mut(m)).collect();
+                let mut all = Vec::with_capacity(global.len());
+                for &(si, li) in global.iter() {
+                    all.push(refs[si as usize].inc.records()[li as usize].clone());
+                }
+                *topr_toks = Some(all);
+            }
+            topr_toks.as_deref().expect("gathered above")
+        };
+        let mut q = TopKRankQuery::new(k);
+        q.parallelism = self.cfg.parallelism;
+        let res = q.run(toks, &stack);
+        let entries: Vec<Json> = res
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(rank, e)| {
+                obj(vec![
+                    ("rank", Json::Num((rank + 1) as f64)),
+                    ("weight", Json::Num(e.weight)),
+                    ("upper_bound", Json::Num(e.upper_bound)),
+                    ("size", Json::Num(e.records.len() as f64)),
+                    ("rep_id", Json::Num(e.rep as f64)),
+                    (
+                        "rep",
+                        Json::Str(toks[e.rep as usize].field(field).text.clone()),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("entries", Json::Arr(entries)),
+            ("certified", Json::Bool(res.certified)),
+        ])
+    }
+
+    /// Run `compute` through the generation-keyed cache. A hit at the
+    /// current generation returns without touching the core lock at all
+    /// (it linearizes before any in-flight ingest); a miss takes the
+    /// write lock, flushes, computes, and caches at the settled
+    /// generation.
     fn cached_query<F>(&self, key: String, compute: F) -> Result<Json, String>
     where
-        F: FnOnce(&mut State, &EngineConfig) -> Result<Json, String>,
+        F: FnOnce(&Engine, &mut Core, FieldId) -> Result<Json, String>,
     {
         let t0 = Instant::now();
         let mut sp = topk_obs::Span::enter("service.query");
@@ -461,103 +885,276 @@ impl Engine {
             sp.record("key", key.as_str());
         }
         Metrics::incr(&self.metrics.queries);
-        let mut state = self.write_state();
-        // Pending records change the generation at flush time, so settle
-        // the generation first for a meaningful cache comparison.
-        state.flush(&self.cfg);
-        let generation = state.generation();
-        if let Some(entry) = state.cache.get(&key) {
-            if entry.generation == generation {
-                let body = entry.body.clone();
-                drop(state);
-                Metrics::incr(&self.metrics.cache_hits);
-                self.metrics.query_latency.record(t0.elapsed());
-                sp.record("cache_hit", true);
-                return Ok(body);
+        let observed = self.generation.load(Ordering::Acquire);
+        {
+            let cache = self.lock_cache();
+            if let Some(entry) = cache.get(&key) {
+                if entry.generation == observed {
+                    let body = entry.body.clone();
+                    drop(cache);
+                    Metrics::incr(&self.metrics.cache_hits);
+                    self.metrics.query_latency.record(t0.elapsed());
+                    sp.record("cache_hit", true);
+                    return Ok(body);
+                }
             }
         }
         Metrics::incr(&self.metrics.cache_misses);
         sp.record("cache_hit", false);
-        let body = compute(&mut state, &self.cfg)?;
-        if state.cache.len() >= CACHE_CAP {
-            state.cache.clear();
+        let mut core = self.write_core();
+        let field = self.read_schema().field;
+        self.flush_locked(&mut core, field);
+        let generation = self.generation.load(Ordering::Acquire);
+        let body = compute(self, &mut core, field)?;
+        drop(core);
+        let mut cache = self.lock_cache();
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
         }
-        state.cache.insert(
+        cache.insert(
             key,
             CacheEntry {
                 generation,
                 body: body.clone(),
             },
         );
-        drop(state);
+        drop(cache);
         self.metrics.query_latency.record(t0.elapsed());
         Ok(body)
     }
 
-    /// Current ingest generation (collapsed + pending records).
+    /// Current ingest generation (total records ever accepted).
     pub fn generation(&self) -> u64 {
-        self.read_state().generation()
+        self.generation.load(Ordering::Acquire)
     }
 
-    /// Engine-level stats body (metrics included).
+    /// Engine-level stats body (per-shard detail and metrics included).
     pub fn stats_json(&self) -> Json {
-        let state = self.read_state();
-        let fields = match &state.fields {
+        let core = self.read_core();
+        let fields = match &self.read_schema().fields {
             Some(f) => Json::Arr(f.iter().map(|s| Json::Str(s.clone())).collect()),
             None => Json::Null,
         };
+        let (mut collapsed, mut pending, mut groups) = (0usize, 0usize, 0usize);
+        let mut detail = Vec::with_capacity(core.shards.len());
+        for (i, m) in core.shards.iter().enumerate() {
+            let s = self.lock_shard(m);
+            collapsed += s.inc.len();
+            pending += s.pending.len();
+            groups += s.inc.group_count();
+            detail.push(obj(vec![
+                ("shard", Json::Num(i as f64)),
+                ("records", Json::Num(s.inc.len() as f64)),
+                ("pending", Json::Num(s.pending.len() as f64)),
+                ("groups", Json::Num(s.inc.group_count() as f64)),
+            ]));
+        }
+        let generation = self.generation.load(Ordering::Acquire);
         obj(vec![
-            ("records", Json::Num(state.generation() as f64)),
-            ("collapsed", Json::Num(state.inc.len() as f64)),
-            ("pending", Json::Num(state.pending.len() as f64)),
-            ("groups", Json::Num(state.inc.group_count() as f64)),
-            ("generation", Json::Num(state.generation() as f64)),
-            ("distinct_values", Json::Num(state.seen.len() as f64)),
+            ("records", Json::Num(generation as f64)),
+            ("collapsed", Json::Num(collapsed as f64)),
+            ("pending", Json::Num(pending as f64)),
+            ("groups", Json::Num(groups as f64)),
+            ("generation", Json::Num(generation as f64)),
+            ("distinct_values", Json::Num(core.seen.len() as f64)),
             ("fields", fields),
-            ("cache_entries", Json::Num(state.cache.len() as f64)),
+            ("shards", Json::Num(core.shards.len() as f64)),
+            ("shard_detail", Json::Arr(detail)),
+            ("cache_entries", Json::Num(self.lock_cache().len() as f64)),
             ("metrics", self.metrics.summary()),
         ])
     }
 
+    // ---- snapshot / restore --------------------------------------------
+
+    /// Stitch the per-shard states into one global [`IncrementalState`]
+    /// in gid order. The union-find parent is canonicalized (min-member
+    /// form), and block keys are unique to one shard (partition
+    /// contract), so the assembled state — and therefore the snapshot
+    /// file — is byte-identical at every shard count.
+    fn assemble_state(&self, core: &mut Core) -> IncrementalState {
+        let Core { shards, global, .. } = core;
+        let shard_refs: Vec<&Shard> = shards.iter_mut().map(|m| &*Self::shard_mut(m)).collect();
+        let mut exports = Vec::with_capacity(shard_refs.len());
+        for s in &shard_refs {
+            let ex = s.inc.export_state();
+            let mut uf = UnionFind::from_vec(ex.parent.clone())
+                .expect("a live union-find is a valid forest");
+            let canon = uf.canonical_parent();
+            exports.push((ex, canon));
+        }
+        let mut records = Vec::with_capacity(global.len());
+        let mut parent = Vec::with_capacity(global.len());
+        for &(si, li) in global.iter() {
+            let (ex, canon) = &exports[si as usize];
+            records.push(ex.records[li as usize].clone());
+            // Min local member maps to min global member: gids are
+            // strictly increasing per shard.
+            parent.push(shard_refs[si as usize].gids[canon[li as usize] as usize]);
+        }
+        let mut blocks: Vec<(u64, Vec<u32>)> = Vec::new();
+        for (si, (ex, _)) in exports.iter().enumerate() {
+            let gids = &shard_refs[si].gids;
+            for (key, members) in &ex.blocks {
+                blocks.push((*key, members.iter().map(|&m| gids[m as usize]).collect()));
+            }
+        }
+        blocks.sort_unstable_by_key(|&(key, _)| key);
+        IncrementalState {
+            records,
+            parent,
+            blocks,
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+
     /// Write a snapshot of the collapsed state to `path`. Pending
     /// records are flushed first so the snapshot is self-contained.
-    /// With a journal attached, a successful snapshot truncates it —
-    /// the snapshot now carries every journaled ingest. The journal is
-    /// truncated while the state lock is still held, so no concurrent
-    /// ingest can land in the journal between the snapshot and the
-    /// truncation and be silently lost.
+    /// With a journal attached, a successful snapshot truncates every
+    /// segment (and deletes orphan segments) — the snapshot now carries
+    /// every journaled ingest. Truncation happens while the core lock is
+    /// still held, so no concurrent ingest can land in the journal
+    /// between the snapshot and the truncation and be silently lost.
     pub fn snapshot(&self, path: &Path) -> Result<u64, String> {
         let mut sp = topk_obs::Span::enter("service.snapshot");
-        let mut state = self.write_state();
-        state.flush(&self.cfg);
-        let fields = state.fields.clone().unwrap_or_default();
-        let bytes = snapshot::write_snapshot(
-            path,
-            &state.inc.export_state(),
-            &fields,
-            state.field,
-        )?;
+        let mut core = self.write_core();
+        let (field, fields) = {
+            let schema = self.read_schema();
+            (schema.field, schema.fields.clone().unwrap_or_default())
+        };
+        self.flush_locked(&mut core, field);
+        let state = self.assemble_state(&mut core);
+        let bytes = snapshot::write_snapshot(path, &state, &fields, field)?;
         if let Some(journal) = &self.journal {
-            journal.truncate()?;
+            journal.truncate_all()?;
             Metrics::incr(&self.metrics.journal_truncations);
         }
-        drop(state);
+        drop(core);
         Metrics::incr(&self.metrics.snapshots);
         sp.record("bytes", bytes);
         Ok(bytes)
     }
 
+    /// Project a global snapshot state onto this engine's shards:
+    /// re-tokenize, route every record, split the canonicalized
+    /// union-find and the blocking index per shard, and rebuild corpus
+    /// statistics. Fails (without touching engine state) when the file
+    /// is internally inconsistent or its groups/blocks straddle the
+    /// partition — i.e. it was not produced by these predicates.
+    #[allow(clippy::type_complexity)]
+    fn project_state(
+        &self,
+        state: IncrementalState,
+        field: FieldId,
+    ) -> Result<(Vec<Shard>, Vec<(u32, u32)>, CorpusStats, HashSet<u64>), String> {
+        let IncrementalState {
+            records,
+            parent,
+            blocks,
+            generation: _,
+        } = state;
+        let n = records.len();
+        if parent.len() != n {
+            return Err(format!(
+                "state has {n} records but {} union-find entries",
+                parent.len()
+            ));
+        }
+        let n_shards = self.cfg.shards;
+        let router = ShardRouter::new(n_shards);
+        let toks: Vec<TokenizedRecord> = records
+            .iter()
+            .map(|(texts, w)| TokenizedRecord::from_fields(texts, *w))
+            .collect();
+        let mut uf = UnionFind::from_vec(parent)?;
+        let canon = uf.canonical_parent();
+        let mut global: Vec<(u32, u32)> = Vec::with_capacity(n);
+        let mut s_records: Vec<Vec<(Vec<String>, f64)>> = vec![Vec::new(); n_shards];
+        let mut s_gids: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (gid, (t, rec)) in toks.iter().zip(&records).enumerate() {
+            let si = router.route(&t.field(field).text) as u32;
+            global.push((si, s_records[si as usize].len() as u32));
+            s_records[si as usize].push(rec.clone());
+            s_gids[si as usize].push(gid as u32);
+        }
+        let mut s_parent: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for gid in 0..n {
+            let p = canon[gid] as usize;
+            let (si, _) = global[gid];
+            let (psi, pli) = global[p];
+            if psi != si {
+                return Err(format!(
+                    "snapshot group {{{p}, {gid}}} spans shards — the file was not \
+                     produced under this engine's blocking partition"
+                ));
+            }
+            s_parent[si as usize].push(pli);
+        }
+        let mut s_blocks: Vec<Vec<(u64, Vec<u32>)>> = vec![Vec::new(); n_shards];
+        for (key, members) in blocks {
+            let si = match members.first() {
+                Some(&m0) if (m0 as usize) < n => global[m0 as usize].0,
+                Some(&m0) => {
+                    return Err(format!("block {key:#x} references record {m0} >= {n}"));
+                }
+                None => (key % n_shards as u64) as u32,
+            };
+            let mut locals = Vec::with_capacity(members.len());
+            for m in members {
+                if m as usize >= n {
+                    return Err(format!("block {key:#x} references record {m} >= {n}"));
+                }
+                let (msi, mli) = global[m as usize];
+                if msi != si {
+                    return Err(format!(
+                        "snapshot block {key:#x} spans shards — the file was not \
+                         produced under this engine's blocking partition"
+                    ));
+                }
+                locals.push(mli);
+            }
+            s_blocks[si as usize].push((key, locals));
+        }
+        let mut stats = CorpusStats::new();
+        let mut seen = HashSet::new();
+        for t in &toks {
+            let f = t.field(field);
+            if seen.insert(topk_text::hash::hash_str(&f.text)) {
+                stats.add_document(&f.words);
+            }
+        }
+        let mut out = Vec::with_capacity(n_shards);
+        for si in 0..n_shards {
+            let n_local = s_records[si].len() as u64;
+            let mut blocks = std::mem::take(&mut s_blocks[si]);
+            blocks.sort_unstable_by_key(|&(key, _)| key);
+            let inc = IncrementalDedup::from_state(IncrementalState {
+                records: std::mem::take(&mut s_records[si]),
+                parent: std::mem::take(&mut s_parent[si]),
+                blocks,
+                generation: n_local,
+            })?;
+            out.push(Shard {
+                inc,
+                gids: std::mem::take(&mut s_gids[si]),
+                pending: Vec::new(),
+                groups: None,
+            });
+        }
+        Ok((out, global, stats, seen))
+    }
+
     /// Replace the engine state with a snapshot read from `path`. Corpus
     /// statistics are rebuilt deterministically from the restored
-    /// records; no predicate work is replayed. A corrupt or truncated
-    /// snapshot is rejected *before* the state lock is taken, so the
-    /// previous state survives a failed restore untouched. With a
-    /// journal attached, a successful restore truncates it: journaled
-    /// ingests are deltas against the state they were applied to, which
-    /// the restore just discarded.
+    /// records; no predicate work is replayed. A corrupt, truncated, or
+    /// partition-incompatible snapshot is rejected *before* any lock is
+    /// taken, so the previous state survives a failed restore untouched.
+    /// With a journal attached, a successful restore truncates it:
+    /// journaled ingests are deltas against the state they were applied
+    /// to, which the restore just discarded.
     pub fn restore(&self, path: &Path) -> Result<u64, String> {
         let mut sp = topk_obs::Span::enter("service.restore");
-        let (inc_state, fields, field) = snapshot::read_snapshot(path)?;
+        let (state, fields, field) = snapshot::read_snapshot(path)?;
         if let Some(cfg_fields) = &self.cfg.fields {
             if !fields.is_empty() && *cfg_fields != fields {
                 return Err(format!(
@@ -565,31 +1162,37 @@ impl Engine {
                 ));
             }
         }
-        let inc = IncrementalDedup::from_state(inc_state)?;
-        let mut seen = HashSet::new();
-        let mut stats = CorpusStats::new();
-        for t in inc.records() {
-            let f = t.field(field);
-            if seen.insert(topk_text::hash::hash_str(&f.text)) {
-                stats.add_document(&f.words);
-            }
-        }
-        let generation = inc.generation();
-        let mut state = self.write_state();
+        let generation = state.generation;
+        let (new_shards, global, stats, seen) = self.project_state(state, field)?;
+        let n = global.len() as u64;
+        let mut core = self.write_core();
         if let Some(journal) = &self.journal {
-            journal.truncate()?;
+            journal.truncate_all()?;
             Metrics::incr(&self.metrics.journal_truncations);
         }
-        *state = State {
-            fields: if fields.is_empty() { None } else { Some(fields) },
-            field,
-            inc,
-            pending: Vec::new(),
+        *core = Core {
+            shards: new_shards.into_iter().map(Mutex::new).collect(),
+            global,
             stats,
             seen,
-            cache: HashMap::new(),
+            topr_toks: None,
         };
-        drop(state);
+        {
+            let mut schema = self.write_schema();
+            schema.fields = if fields.is_empty() { None } else { Some(fields) };
+            schema.field = field;
+        }
+        self.generation.store(generation, Ordering::Release);
+        self.next_rid.store(n, Ordering::Release);
+        for (i, m) in core.shards.iter_mut().enumerate() {
+            let s = Self::shard_mut(m);
+            self.shard_gauges[i].0.store(s.inc.len() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .1
+                .store(s.inc.group_count() as i64, Ordering::Relaxed);
+        }
+        drop(core);
+        self.lock_cache().clear();
         Metrics::incr(&self.metrics.restores);
         sp.record("records", generation);
         Ok(generation)
@@ -692,6 +1295,45 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_answers_like_a_single_engine() {
+        let single = engine();
+        let sharded = Engine::new(EngineConfig {
+            parallelism: Parallelism::sequential(),
+            shards: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let names = [
+            "grace hopper",
+            "Grace  Hopper",
+            "g hopper",
+            "ada lovelace",
+            "alan turing",
+            "a turing",
+            "katherine johnson",
+            "annie easley",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            let r = vec![(vec![name.to_string()], 1.0 + (i % 3) as f64)];
+            single.ingest(r.clone()).unwrap();
+            sharded.ingest(r).unwrap();
+        }
+        for k in [1, 2, 3, 50] {
+            assert_eq!(
+                single.query_topk(k).unwrap().to_string(),
+                sharded.query_topk(k).unwrap().to_string(),
+                "topk k={k}"
+            );
+            assert_eq!(
+                single.query_topr(k).unwrap().to_string(),
+                sharded.query_topr(k).unwrap().to_string(),
+                "topr k={k}"
+            );
+        }
+        assert_eq!(single.generation(), sharded.generation());
+    }
+
+    #[test]
     fn failed_restore_leaves_previous_state_intact() {
         let dir = std::env::temp_dir().join("topk_engine_restore_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -742,8 +1384,8 @@ mod tests {
         let jpath = dir.join("engine.wal");
         let _ = std::fs::remove_file(&jpath);
         let spath = dir.join("engine.snap");
-        let (journal, recovery) = crate::journal::Journal::open(&jpath).unwrap();
-        assert!(recovery.entries.is_empty());
+        let (journal, recovery) = crate::journal::JournalSet::open(&jpath, 1).unwrap();
+        assert!(recovery.rows.is_empty());
         let mut e = engine();
         e.attach_journal(journal);
         e.ingest(vec![row("ada lovelace")]).unwrap();
@@ -751,12 +1393,13 @@ mod tests {
         assert_eq!(Metrics::get(&e.metrics.journal_appends), 2);
         // Replaying what the journal holds reproduces the engine.
         let (_j2, recovery) = {
-            // Reopen read-only by a second handle (the file is shared).
-            crate::journal::Journal::open(&jpath).unwrap()
+            // Reopen by a second handle (the file is shared).
+            crate::journal::JournalSet::open(&jpath, 1).unwrap()
         };
-        assert_eq!(recovery.entries.len(), 2);
+        assert_eq!(recovery.entries, 2);
+        assert_eq!(recovery.rows.len(), 2);
         let replayed = engine();
-        replayed.replay_rows(recovery.entries).unwrap();
+        replayed.replay_rows(recovery).unwrap();
         assert_eq!(
             replayed.query_topk(1).unwrap().to_string(),
             e.query_topk(1).unwrap().to_string()
@@ -765,8 +1408,8 @@ mod tests {
         // now covered by the snapshot file.
         e.snapshot(&spath).unwrap();
         assert_eq!(Metrics::get(&e.metrics.journal_truncations), 1);
-        let (_j3, recovery) = crate::journal::Journal::open(&jpath).unwrap();
-        assert!(recovery.entries.is_empty(), "journal truncated on snapshot");
+        let (_j3, recovery) = crate::journal::JournalSet::open(&jpath, 1).unwrap();
+        assert!(recovery.rows.is_empty(), "journal truncated on snapshot");
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //!
 //! The batch pipeline answers one query per process: load, tokenize,
 //! collapse, prune, exit. This crate keeps the collapsed state resident
-//! instead. A [`Server`] owns one [`Engine`] — an
-//! [`IncrementalDedup`](topk_core::IncrementalDedup) behind a
-//! reader-writer lock — and speaks a line-oriented JSON protocol over
-//! TCP (one JSON object per line in each direction; see
-//! `docs/SERVICE.md` for schemas). Clients stream records in and ask
-//! TopK/TopR questions between ingests without ever re-reading or
-//! re-tokenizing the corpus.
+//! instead. A [`Server`] owns one [`Engine`] — N per-shard
+//! [`IncrementalDedup`](topk_core::IncrementalDedup) collapses, routed
+//! by blocking partition ([`shard`]), behind a reader-writer core lock —
+//! and speaks a line-oriented JSON protocol over TCP (one JSON object
+//! per line in each direction; see `docs/SERVICE.md` for schemas).
+//! Clients stream records in and ask TopK/TopR questions between
+//! ingests without ever re-reading or re-tokenizing the corpus.
 //!
 //! Three properties the design leans on:
 //!
@@ -38,13 +38,15 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 
 pub use client::{Client, ClientConfig};
 pub use corpus::{generic_stack, load_corpus, load_dataset, stack_from_stats, Corpus, CorpusOptions};
 pub use engine::{Engine, EngineConfig};
-pub use journal::Journal;
+pub use journal::{Journal, JournalSet, Row, SetRecovery};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{parse_request, ProtoError, Request};
 pub use server::{Server, ServerConfig};
+pub use shard::ShardRouter;

@@ -70,6 +70,11 @@ pub struct Metrics {
     pub journal_replayed_records: Arc<AtomicU64>,
     /// Journal truncations (successful snapshots/restores).
     pub journal_truncations: Arc<AtomicU64>,
+    /// Whole shards skipped during a cross-shard TopK merge because
+    /// their best group's weight could not enter the top-k frontier.
+    pub shard_skips: Arc<AtomicU64>,
+    /// Query-time flushes that actually collapsed pending records.
+    pub flushes: Arc<AtomicU64>,
     /// Per-record ingest latency.
     pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
@@ -99,6 +104,8 @@ impl Metrics {
             journal_appends: registry.counter("topk_journal_appends_total"),
             journal_replayed_records: registry.counter("topk_journal_replayed_records_total"),
             journal_truncations: registry.counter("topk_journal_truncations_total"),
+            shard_skips: registry.counter("topk_shard_skips_total"),
+            flushes: registry.counter("topk_flushes_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
             registry,
@@ -143,6 +150,8 @@ impl Metrics {
             ("journal_appends", n(&self.journal_appends)),
             ("journal_replayed_records", n(&self.journal_replayed_records)),
             ("journal_truncations", n(&self.journal_truncations)),
+            ("shard_skips", n(&self.shard_skips)),
+            ("flushes", n(&self.flushes)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),
         ])

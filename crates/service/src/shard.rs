@@ -1,0 +1,96 @@
+//! Shard routing: mapping records to engine shards by blocking
+//! partition.
+//!
+//! The engine's sufficient predicate ([`RareNameSufficient`] via
+//! [`crate::corpus::stack_from_stats`]) derives its blocking key from
+//! the match field alone: the combined hash of the name's sorted
+//! initials and its last word. Two records the predicate can ever
+//! collapse share that key, and the key's *value* never depends on
+//! corpus statistics (statistics only gate whether a key is emitted).
+//! Routing records by `key % n_shards` therefore yields a **static,
+//! semantics-preserving partition**: every collapse group lives wholly
+//! inside one shard, for any shard count, forever — the formal contract
+//! is [`SufficientPredicate::partition_key`].
+//!
+//! Records whose match field has no last word emit no blocking keys at
+//! all — they are permanent singletons under the predicate — so they
+//! are spread by a plain text hash purely for balance.
+//!
+//! [`RareNameSufficient`]: topk_predicates::RareNameSufficient
+//! [`SufficientPredicate::partition_key`]: topk_predicates::SufficientPredicate::partition_key
+
+use topk_predicates::name_partition_key;
+use topk_text::hash::hash_str;
+
+/// Routes match-field texts to shards `0..n_shards` by blocking
+/// partition.
+///
+/// The routing function is a pure function of the text and the shard
+/// count: the same text always lands on the same shard, and any two
+/// texts the engine's sufficient predicate could ever judge duplicates
+/// land on the same shard. That invariant is what lets the sharded
+/// engine collapse each shard independently and still produce answers
+/// byte-identical to a single engine over the same stream.
+///
+/// ```
+/// use topk_service::shard::ShardRouter;
+///
+/// let router = ShardRouter::new(4);
+/// // Deterministic: the same text always routes identically.
+/// assert_eq!(router.route("sunita sarawagi"), router.route("sunita sarawagi"));
+/// // Matching variants share the blocking partition (equal last word,
+/// // matching initials), so they must land on the same shard.
+/// assert_eq!(router.route("s sarawagi"), router.route("sunita sarawagi"));
+/// // One shard degenerates to the unsharded engine.
+/// assert_eq!(ShardRouter::new(1).route("anything at all"), 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    n_shards: usize,
+}
+
+impl ShardRouter {
+    /// Router over `n_shards` shards (at least 1).
+    pub fn new(n_shards: usize) -> ShardRouter {
+        assert!(n_shards >= 1, "need at least one shard");
+        ShardRouter { n_shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Stable routing key of a match-field text: the blocking partition
+    /// key when one exists, otherwise a plain hash of the text (such
+    /// records never merge with anything, so any placement is sound).
+    pub fn key(text: &str) -> u64 {
+        name_partition_key(text).unwrap_or_else(|| hash_str(text))
+    }
+
+    /// The shard `text` belongs to.
+    pub fn route(&self, text: &str) -> usize {
+        (Self::key(text) % self.n_shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_partition_contract() {
+        let r = ShardRouter::new(8);
+        // Same partition key -> same shard (initialed variant).
+        assert_eq!(r.route("s sarawagi"), r.route("sunita sarawagi"));
+        // Key is word-order sensitive only through initials + last word.
+        assert_eq!(r.route("grace  hopper"), r.route("grace hopper"));
+        // No-last-word texts still route deterministically.
+        assert_eq!(r.route(""), r.route(""));
+        for n in 1..=8 {
+            let r = ShardRouter::new(n);
+            assert!(r.route("ada lovelace") < n);
+            assert_eq!(r.n_shards(), n);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test: for random corpora, random batch splits, and every
+//! shard count 1–8, the sharded engine's TopK and TopR responses are
+//! byte-identical to a single-shard engine over the same stream.
+//!
+//! This is the shard-count half of the equivalence argument (the
+//! single-shard engine is itself tied to the batch pipeline by
+//! `serve_roundtrip.rs`), so together the two suites pin the sharded
+//! server to Algorithm 2's answers.
+
+use proptest::prelude::*;
+
+use topk_core::Parallelism;
+use topk_service::{Engine, EngineConfig};
+
+fn build(shards: usize, rows: &[(Vec<String>, f64)], batch: usize, query_between: bool) -> Engine {
+    let e = Engine::new(EngineConfig {
+        parallelism: Parallelism::sequential(),
+        shards,
+        ..Default::default()
+    })
+    .expect("engine");
+    for chunk in rows.chunks(batch) {
+        e.ingest(chunk.to_vec()).expect("ingest");
+        if query_between {
+            // Force a flush mid-stream: collapse decisions then depend
+            // on partial corpus statistics, which both engines must
+            // arrive at identically.
+            e.query_topk(2).expect("interleaved query");
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_topk_topr_equal_single_engine(
+        seed in 0u64..300,
+        shards in 2usize..=8,
+        batch in 10usize..80,
+        query_between in any::<bool>(),
+    ) {
+        let data = topk_datagen::generate_citations(&topk_datagen::CitationConfig {
+            n_authors: 30,
+            n_citations: 120,
+            seed,
+            ..Default::default()
+        });
+        let rows: Vec<(Vec<String>, f64)> = data
+            .records()
+            .iter()
+            .map(|r| (r.fields().to_vec(), r.weight()))
+            .collect();
+        let single = build(1, &rows, batch, query_between);
+        let sharded = build(shards, &rows, batch, query_between);
+        for k in [1usize, 4, 1000] {
+            prop_assert_eq!(
+                single.query_topk(k).unwrap().to_string(),
+                sharded.query_topk(k).unwrap().to_string(),
+                "topk k={} shards={} seed={}", k, shards, seed
+            );
+            prop_assert_eq!(
+                single.query_topr(k).unwrap().to_string(),
+                sharded.query_topr(k).unwrap().to_string(),
+                "topr k={} shards={} seed={}", k, shards, seed
+            );
+        }
+        prop_assert_eq!(single.generation(), sharded.generation());
+        prop_assert_eq!(
+            single.stats_json().get("groups").unwrap().to_string(),
+            sharded.stats_json().get("groups").unwrap().to_string()
+        );
+    }
+}
