@@ -1,0 +1,113 @@
+//! Append-only perf-trajectory logs (`BENCH_*.json`).
+//!
+//! Each `exp_*` smoke/sweep invocation appends one run record
+//! `{bench, mode, commit, timestamp, metrics}` to its `BENCH_<name>.json`
+//! instead of overwriting the file, so successive commits accumulate a
+//! machine-readable trajectory that `EXPERIMENTS.md` and CI can diff.
+//! Legacy single-object files (written by earlier revisions) are folded
+//! in as the first record on the next append.
+
+use topk_service::json::{obj, parse, Json};
+
+/// Short commit id of the working tree, or `"unknown"` outside a git
+/// checkout (the bench must still run from a source tarball).
+pub fn commit_id() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Append one `{bench, mode, commit, timestamp, metrics}` record to the
+/// JSON array at `path`, creating the file if needed. A pre-existing
+/// single-object file becomes the array's first record; unparseable
+/// content is replaced. Returns how many records the file now holds.
+pub fn append_run(path: &str, bench: &str, mode: &str, metrics: Json) -> std::io::Result<usize> {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => match parse(text.trim()) {
+            Ok(Json::Arr(items)) => items,
+            Ok(legacy @ Json::Obj(_)) => vec![legacy],
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    runs.push(obj(vec![
+        ("bench", Json::Str(bench.into())),
+        ("mode", Json::Str(mode.into())),
+        ("commit", Json::Str(commit_id())),
+        ("timestamp", Json::Num(unix_timestamp() as f64)),
+        ("metrics", metrics),
+    ]));
+    let n = runs.len();
+    std::fs::write(path, format!("{}\n", Json::Arr(runs)))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("topk_bench_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn appends_run_records() {
+        let path = tmp("fresh.json");
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap();
+        assert_eq!(
+            append_run(p, "t", "smoke", obj(vec![("x", Json::Num(1.0))])).unwrap(),
+            1
+        );
+        assert_eq!(
+            append_run(p, "t", "smoke", obj(vec![("x", Json::Num(2.0))])).unwrap(),
+            2
+        );
+        let v = parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        let runs = v.as_arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("bench").unwrap().as_str(), Some("t"));
+        assert_eq!(
+            runs[1].get("metrics").unwrap().get("x").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert!(runs[0].get("commit").unwrap().as_str().is_some());
+        assert!(runs[0].get("timestamp").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn folds_in_legacy_single_object_files() {
+        let path = tmp("legacy.json");
+        std::fs::write(&path, "{\"bench\":\"old\",\"records\":7}\n").unwrap();
+        let p = path.to_str().unwrap();
+        assert_eq!(append_run(p, "t", "smoke", Json::Null).unwrap(), 2);
+        let v = parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        let runs = v.as_arr().unwrap();
+        assert_eq!(runs[0].get("bench").unwrap().as_str(), Some("old"));
+        assert_eq!(runs[1].get("mode").unwrap().as_str(), Some("smoke"));
+    }
+
+    #[test]
+    fn replaces_garbage_files() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let p = path.to_str().unwrap();
+        assert_eq!(append_run(p, "t", "full", Json::Null).unwrap(), 1);
+    }
+}

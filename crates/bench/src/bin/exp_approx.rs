@@ -1,0 +1,137 @@
+//! Experiment: approximate top-k (bottom-m sampling + confidence
+//! intervals + exact escalation, `crates/approx`) against the exact
+//! incremental collapse, sweeping the relative-error target ε.
+//!
+//! ```sh
+//! cargo run -p topk-bench --release --bin exp_approx -- \
+//!     [n_records] [--k K] [--bench-out P] [--smoke]
+//! ```
+//!
+//! Generates a heavily skewed student corpus (Zipf exponent 1.1, so the
+//! head groups every top-k query cares about are densely sampled), runs
+//! the exact collapse once as the baseline, then for each ε runs the
+//! full approximate path the CLI and engine use: build the bottom-m
+//! sketch, collapse only the sample, compute per-group confidence
+//! intervals, escalate the partitions whose interval overlaps the
+//! K-boundary, and merge. Reports wall-clock speedup, whether the
+//! approximate top-k matches the exact one rank for rank, mean relative
+//! error of the surviving estimates, and the escalation count.
+//!
+//! `--smoke` runs a ≤2 s configuration, exits non-zero if the
+//! approximate top-k disagrees with the exact one, and appends a run
+//! record to `BENCH_approx.json` (override with `--bench-out`) for the
+//! per-PR perf trajectory.
+
+use std::time::Instant;
+
+use topk_approx::sample_size;
+use topk_bench::approx_smoke::{approx_topk, exact_topk, mean_rel_err, topk_matches};
+use topk_bench::Table;
+use topk_records::tokenize_dataset;
+use topk_service::json::{obj, Json};
+
+fn main() {
+    let mut smoke = false;
+    let mut k = 10usize;
+    let mut n_records = 100_000usize;
+    let mut bench_out = "BENCH_approx.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--k" => {
+                k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--k needs a number")
+            }
+            "--bench-out" => bench_out = args.next().expect("--bench-out needs a path"),
+            other => n_records = other.parse().expect("n_records must be a number"),
+        }
+    }
+    if smoke {
+        n_records = 4_000;
+    }
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: (n_records / 5).max(50),
+        n_records,
+        zipf_exponent: 1.1,
+        ..Default::default()
+    });
+    let toks = tokenize_dataset(&data);
+    let field = data.schema().field_id("name").expect("student name field");
+    let stack = topk_service::generic_stack(&toks, field, 30, 0.6);
+    let s_pred = stack.levels[0].0.as_ref();
+    println!(
+        "approx top-k on {} skewed student records (K={k}, Zipf 1.1)",
+        toks.len()
+    );
+
+    let t0 = Instant::now();
+    let exact = exact_topk(&toks, s_pred, k);
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("exact collapse: {exact_ms:.0} ms, {} top groups", exact.len());
+
+    let sweep: &[f64] = if smoke { &[0.1] } else { &[0.02, 0.05, 0.1, 0.2] };
+    let mut table = Table::new(vec![
+        "epsilon",
+        "sample m",
+        "exact (ms)",
+        "approx (ms)",
+        "speedup",
+        "escalated",
+        "topk match",
+        "mean rel err",
+    ]);
+    let mut smoke_row: Option<(f64, f64, usize, bool, f64)> = None;
+    for &eps in sweep {
+        let t0 = Instant::now();
+        let (top, escalated) = approx_topk(&toks, field, s_pred, k, eps);
+        let approx_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let matched = topk_matches(&exact, &top, &toks, field);
+        let err = mean_rel_err(&exact, &top);
+        table.row(vec![
+            format!("{eps}"),
+            sample_size(eps).to_string(),
+            format!("{exact_ms:.0}"),
+            format!("{approx_ms:.0}"),
+            format!("{:.1}x", exact_ms / approx_ms),
+            escalated.to_string(),
+            matched.to_string(),
+            format!("{err:.4}"),
+        ]);
+        smoke_row = Some((eps, approx_ms, escalated, matched, err));
+    }
+    println!("\n{table}");
+
+    if smoke {
+        let (eps, approx_ms, escalated, matched, err) =
+            smoke_row.expect("smoke sweep ran one epsilon");
+        let metrics = obj(vec![
+            ("records", Json::Num(toks.len() as f64)),
+            ("k", Json::Num(k as f64)),
+            ("epsilon", Json::Num(eps)),
+            ("exact_ms", Json::Num((exact_ms * 100.0).round() / 100.0)),
+            ("approx_ms", Json::Num((approx_ms * 100.0).round() / 100.0)),
+            (
+                "speedup",
+                Json::Num(((exact_ms / approx_ms) * 100.0).round() / 100.0),
+            ),
+            ("escalated_partitions", Json::Num(escalated as f64)),
+            ("topk_match", Json::Bool(matched)),
+            ("mean_rel_err", Json::Num((err * 1e4).round() / 1e4)),
+        ]);
+        match topk_bench::bench_log::append_run(&bench_out, "approx", "smoke", metrics) {
+            Ok(n) => println!("appended run {n} to {bench_out}"),
+            Err(e) => {
+                topk_obs::error!("cannot write {bench_out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !matched {
+            topk_obs::error!("smoke FAILED: approximate top-{k} disagrees with exact");
+            std::process::exit(1);
+        }
+        println!("smoke OK: approximate top-{k} matches exact with escalation on");
+    }
+}

@@ -40,18 +40,14 @@ use topk_bench::serve_load::{report_json, run, LoadConfig, LoadReport};
 use topk_bench::Table;
 use topk_service::json::{obj, Json};
 
-/// Write the per-PR perf-trajectory file (`BENCH_serve.json`).
+/// Append to the per-PR perf-trajectory file (`BENCH_serve.json`).
 fn write_bench(path: &str, mode: &str, reports: &[LoadReport]) {
-    let body = obj(vec![
-        ("bench", Json::Str("serve".into())),
-        ("mode", Json::Str(mode.into())),
-        (
-            "runs",
-            Json::Arr(reports.iter().map(report_json).collect()),
-        ),
-    ]);
-    match std::fs::write(path, format!("{body}\n")) {
-        Ok(()) => println!("wrote {path}"),
+    let metrics = obj(vec![(
+        "runs",
+        Json::Arr(reports.iter().map(report_json).collect()),
+    )]);
+    match topk_bench::bench_log::append_run(path, "serve", mode, metrics) {
+        Ok(n) => println!("appended run {n} to {path}"),
         Err(e) => {
             topk_obs::error!("cannot write {path}: {e}");
             std::process::exit(1);

@@ -218,9 +218,7 @@ fn main() {
             }
         }
         let st = topk_bench::timing_smoke::measure_pipeline(5);
-        let body = topk_service::json::obj(vec![
-            ("bench", topk_service::Json::Str("timing".into())),
-            ("mode", topk_service::Json::Str("smoke".into())),
+        let metrics = topk_service::json::obj(vec![
             ("records", topk_service::Json::Num(st.records as f64)),
             ("runs", topk_service::Json::Num(st.runs as f64)),
             ("pipeline_p50_us", topk_service::Json::Num(st.p50_micros as f64)),
@@ -230,9 +228,9 @@ fn main() {
                 topk_service::Json::Num(st.records_per_sec.round()),
             ),
         ]);
-        match std::fs::write(&bench_out, format!("{body}\n")) {
-            Ok(()) => println!(
-                "wrote {bench_out} ({:.0} rec/s, pipeline p50/p99 {}/{} µs over {} runs)",
+        match topk_bench::bench_log::append_run(&bench_out, "timing", "smoke", metrics) {
+            Ok(n) => println!(
+                "appended run {n} to {bench_out} ({:.0} rec/s, pipeline p50/p99 {}/{} µs over {} runs)",
                 st.records_per_sec, st.p50_micros, st.p99_micros, st.runs
             ),
             Err(e) => {

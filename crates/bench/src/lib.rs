@@ -22,15 +22,22 @@
 //! * [`timing_smoke`] — traced Full-mode smoke run validating the
 //!   Chrome trace output end to end (used by `exp_timing --smoke
 //!   --trace-out` and the tier-1 test flow).
+//! * [`approx_smoke`] — exact-vs-approximate top-k differential (the
+//!   sampled estimator of `crates/approx`); drives `exp_approx` and its
+//!   tier-1 smoke test.
+//! * [`bench_log`] — the append-only `BENCH_*.json` perf-trajectory
+//!   files the `--smoke` flags write, one run record per commit.
 //!
 //! Binaries: `exp_pruning` (Figures 2-4), `exp_timing` (Figure 6 and
 //! the thread-scaling table — see `docs/PARALLELISM.md`), `exp_accuracy`
 //! (Table 1, Figure 7), `exp_blocking`, `exp_scaling`, `exp_quality`,
-//! `exp_serve` (extensions). See `EXPERIMENTS.md` for
+//! `exp_serve`, `exp_approx` (extensions). See `EXPERIMENTS.md` for
 //! measured-vs-paper numbers.
 
 #![warn(missing_docs)]
 
+pub mod approx_smoke;
+pub mod bench_log;
 pub mod datasets;
 pub mod faults;
 pub mod scorers;

@@ -6,7 +6,8 @@ use std::path::PathBuf;
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
-  topk count  <data.tsv> [--k N] [--r N] [--name-field F] [--alpha A]
+  topk count  <data.tsv> [--k N] [--r N] [--approx E] [--name-field F]
+              [--alpha A]
   topk rank   <data.tsv> [--k N] [--name-field F]
   topk thresh <data.tsv> --threshold T [--name-field F]
   topk serve  [--addr H:P] [--preload data.tsv] [--restore snap]
@@ -16,6 +17,10 @@ usage:
 options:
   --k N            number of groups to return (default 10)
   --r N            number of alternative answers, count query only (default 1)
+  --approx E       count query only: answer approximately from a weighted
+                   sample with relative-error target E in (0,1); groups
+                   whose confidence interval overlaps the K-boundary are
+                   escalated to the exact pipeline (docs/APPROX.md)
   --name-field F   field used for matching (default: first data column)
   --threshold T    weight threshold for `thresh`
   --alpha A        embedding decay in (0,1] (default 0.6)
@@ -69,8 +74,8 @@ client commands (all take --addr, default 127.0.0.1:7411):
   topk client metrics               Prometheus text exposition
   topk client trace [on|off]        toggle/inspect server-side tracing
        [--out P]                    drain spans to server-side file P
-  topk client topk --k N            TopK count query
-  topk client topr --k N            TopK rank query
+  topk client topk --k N [--approx E]  TopK count query
+  topk client topr --k N [--approx E]  TopK rank query
   topk client ingest <data.tsv>     stream a file into the server
   topk client snapshot <path>       server writes a snapshot to <path>
   topk client restore <path>        server restores from <path>
@@ -204,6 +209,8 @@ pub struct ClientOptions {
     pub action: ClientAction,
     /// K for topk/topr.
     pub k: usize,
+    /// Relative-error target for approximate topk/topr (None = exact).
+    pub approx: Option<f64>,
     /// Ingest file: column separator.
     pub delimiter: char,
     /// Ingest file: first row is a header row.
@@ -229,6 +236,8 @@ pub struct Options {
     pub k: usize,
     /// R (count query only).
     pub r: usize,
+    /// Relative-error target for a sampled count query (None = exact).
+    pub approx: Option<f64>,
     /// Name of the match field (None = first data column).
     pub name_field: Option<String>,
     /// Threshold for `thresh`.
@@ -259,6 +268,7 @@ impl Default for Options {
             path: PathBuf::new(),
             k: 10,
             r: 1,
+            approx: None,
             name_field: None,
             threshold: None,
             alpha: 0.6,
@@ -296,6 +306,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         match arg.as_str() {
             "--k" => opts.k = parse_num(&next_value("--k", &mut it)?, "--k")?,
             "--r" => opts.r = parse_num(&next_value("--r", &mut it)?, "--r")?,
+            "--approx" => {
+                opts.approx = Some(parse_float(&next_value("--approx", &mut it)?, "--approx")?)
+            }
             "--name-field" => opts.name_field = Some(next_value("--name-field", &mut it)?),
             "--threshold" => {
                 opts.threshold = Some(parse_float(&next_value("--threshold", &mut it)?, "--threshold")?)
@@ -342,6 +355,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
     if !(opts.alpha > 0.0 && opts.alpha <= 1.0) {
         return Err("--alpha must be in (0, 1]".into());
+    }
+    if let Some(eps) = opts.approx {
+        topk_approx::validate_epsilon(eps).map_err(|e| format!("--approx: {e}"))?;
+        if sub != "count" {
+            return Err("--approx only applies to `count`".into());
+        }
     }
     match sub.as_str() {
         "count" => Ok(Command::Count(opts)),
@@ -417,6 +436,7 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         addr: "127.0.0.1:7411".into(),
         action: ClientAction::Ping,
         k: 10,
+        approx: None,
         delimiter: '\t',
         has_header: true,
         weight_col: None,
@@ -436,6 +456,7 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         match arg.as_str() {
             "--addr" => o.addr = value("--addr")?,
             "--k" => o.k = parse_num(&value("--k")?, "--k")?,
+            "--approx" => o.approx = Some(parse_float(&value("--approx")?, "--approx")?),
             "--out" => trace_out = Some(value("--out")?),
             "--timeout-ms" => o.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")?,
             "--connect-timeout-ms" => {
@@ -460,6 +481,12 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
     }
     if o.k == 0 {
         return Err("--k must be at least 1".into());
+    }
+    if let Some(eps) = o.approx {
+        topk_approx::validate_epsilon(eps).map_err(|e| format!("--approx: {e}"))?;
+        if cmd != "topk" && cmd != "topr" {
+            return Err("--approx only applies to `client topk` and `client topr`".into());
+        }
     }
     let need = |what: &str, p: Option<String>| -> Result<String, String> {
         p.ok_or_else(|| format!("client {cmd} needs {what}"))
@@ -736,6 +763,32 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse(&argv("client ping --retries many")).is_err());
+    }
+
+    #[test]
+    fn parses_approx() {
+        match parse(&argv("count data.tsv --approx 0.05")).unwrap() {
+            Command::Count(o) => assert_eq!(o.approx, Some(0.05)),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("count data.tsv")).unwrap() {
+            Command::Count(o) => assert_eq!(o.approx, None),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("count data.tsv --approx 0")).is_err());
+        assert!(parse(&argv("count data.tsv --approx 1.5")).is_err());
+        assert!(parse(&argv("count data.tsv --approx nope")).is_err());
+        assert!(parse(&argv("rank data.tsv --approx 0.1")).is_err());
+        match parse(&argv("client topk --k 3 --approx 0.1")).unwrap() {
+            Command::Client(o) => assert_eq!(o.approx, Some(0.1)),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client topr --approx 0.2")).unwrap() {
+            Command::Client(o) => assert_eq!(o.approx, Some(0.2)),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client topk --approx 2")).is_err());
+        assert!(parse(&argv("client ping --approx 0.1")).is_err());
     }
 
     #[test]

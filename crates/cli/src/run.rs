@@ -43,7 +43,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
     );
 
     match kind {
-        "count" => run_count(data, toks, &stack, field, opts),
+        "count" => match opts.approx {
+            Some(eps) => run_count_approx(data, toks, &stack, field, opts, eps),
+            None => run_count(data, toks, &stack, field, opts),
+        },
         "rank" => run_rank(data, toks, &stack, field, opts),
         _ => run_thresh(data, toks, &stack, field, opts),
     }
@@ -166,8 +169,14 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
             println!("{}", c.trace(*enabled, out.as_deref())?);
             return Ok(());
         }
-        ClientAction::TopK => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
-        ClientAction::TopR => format!(r#"{{"cmd":"topr","k":{}}}"#, o.k),
+        ClientAction::TopK => match o.approx {
+            Some(eps) => format!(r#"{{"cmd":"topk","k":{},"approx":{eps}}}"#, o.k),
+            None => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
+        },
+        ClientAction::TopR => match o.approx {
+            Some(eps) => format!(r#"{{"cmd":"topr","k":{},"approx":{eps}}}"#, o.k),
+            None => format!(r#"{{"cmd":"topr","k":{}}}"#, o.k),
+        },
         ClientAction::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
         ClientAction::Raw(line) => line.clone(),
         ClientAction::Snapshot(path) => {
@@ -250,6 +259,97 @@ fn run_count(
                 data.record(topk_records::RecordId(g.rep)).field(field)
             );
         }
+    }
+}
+
+/// `topk count --approx E`: estimate group weights from a bottom-m
+/// sample and escalate only the partitions whose confidence interval
+/// overlaps the K-boundary to the exact collapse (docs/APPROX.md).
+fn run_count_approx(
+    data: &Dataset,
+    toks: &[TokenizedRecord],
+    stack: &PredicateStack,
+    field: FieldId,
+    opts: &Options,
+    eps: f64,
+) {
+    use topk_approx::{merge_sketches, sample_size, ApproxGroup, Population, Sketch};
+    use topk_core::IncrementalDedup;
+    use topk_predicates::collapse_partition_key;
+
+    let m = sample_size(eps);
+    let mut sketch = Sketch::new(topk_approx::DEFAULT_SEED, m);
+    let mut max_weight = 0.0f64;
+    for (rid, t) in toks.iter().enumerate() {
+        sketch.offer(rid as u64, collapse_partition_key(&t.field(field).text), t);
+        max_weight = max_weight.max(t.weight());
+    }
+    let s_pred = stack.levels[0].0.as_ref();
+    let pop = Population {
+        n: toks.len() as u64,
+        max_weight,
+    };
+    let sample = merge_sketches([&sketch], m);
+    let used = sample.len();
+    let estimates = topk_approx::estimate_groups(&sample, pop, field, s_pred);
+    let (_tau, parts) = topk_approx::escalation_partitions(&estimates, opts.k);
+
+    // Exact collapse over every record of every escalated partition
+    // (not just the sampled ones), in record order so ties break the
+    // same way as the exact pipeline's.
+    let mut cands: Vec<ApproxGroup> = Vec::new();
+    if !parts.is_empty() {
+        let mut inc = IncrementalDedup::new();
+        let mut rids = Vec::new();
+        for (rid, t) in toks.iter().enumerate() {
+            if parts.contains(&collapse_partition_key(&t.field(field).text)) {
+                inc.insert(t.clone(), s_pred);
+                rids.push(rid);
+            }
+        }
+        for g in inc.groups() {
+            let rep = rids[g.rep as usize];
+            cands.push(ApproxGroup {
+                estimate: g.weight,
+                lo: g.weight,
+                hi: g.weight,
+                size: g.members.len() as u32,
+                escalated: true,
+                rep_rid: rep as u64,
+                rep_text: toks[rep].field(field).text.clone(),
+            });
+        }
+    }
+    for e in estimates {
+        if !parts.contains(&e.partition) {
+            cands.push(ApproxGroup {
+                estimate: e.estimate,
+                lo: e.lo,
+                hi: e.hi,
+                size: e.sampled as u32,
+                escalated: false,
+                rep_rid: e.rep_rid,
+                rep_text: e.rep_text,
+            });
+        }
+    }
+    let top = topk_approx::merge_topk(cands, opts.k);
+    println!(
+        "# approx answer (epsilon {eps}, sample {used}/{}, escalated {} partitions)",
+        toks.len(),
+        parts.len()
+    );
+    for (rank, g) in top.iter().enumerate() {
+        println!(
+            "{}\t{:.3}\t[{:.3}, {:.3}]\t{}\t{}\t{}",
+            rank + 1,
+            g.estimate,
+            g.lo,
+            g.hi,
+            g.size,
+            if g.escalated { "exact" } else { "approx" },
+            data.record(topk_records::RecordId(g.rep_rid as u32)).field(field)
+        );
     }
 }
 
@@ -345,6 +445,23 @@ mod tests {
         ])
         .unwrap();
         run(thresh).expect("thresh query runs");
+    }
+
+    #[test]
+    fn approx_count_query_end_to_end() {
+        let path = write_sample();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--approx".into(),
+            "0.1".into(),
+            "--name-field".into(),
+            "author".into(),
+        ])
+        .unwrap();
+        run(cmd).expect("approx count query runs");
     }
 
     #[test]

@@ -48,6 +48,17 @@ pub fn name_partition_key(text: &str) -> Option<u64> {
     last_word(text).map(|lw| combine(sorted_initials_hash(text), hash_str(lw)))
 }
 
+/// Total partition key of a match-field text: [`name_partition_key`]
+/// when one exists, otherwise a plain hash of the text. Records without
+/// a last word emit no blocking keys and are permanent singletons, so
+/// hashing them anywhere is sound. This single function is what both
+/// engine sharding (`topk-service`) and the sampled estimator
+/// (`topk-approx`) stand on: every group the sufficient predicate can
+/// ever form has exactly one key under it.
+pub fn collapse_partition_key(text: &str) -> u64 {
+    name_partition_key(text).unwrap_or_else(|| hash_str(text))
+}
+
 // ---------------------------------------------------------------------------
 // Sufficient predicates
 // ---------------------------------------------------------------------------

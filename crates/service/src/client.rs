@@ -273,6 +273,20 @@ impl Client {
         self.request_idempotent(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
     }
 
+    /// Approximate TopK count query with relative-error target
+    /// `epsilon` (idempotent: retries); returns the full response
+    /// object with `estimate`/`lo`/`hi` per group.
+    pub fn topk_approx(&mut self, k: usize, epsilon: f64) -> Result<Json, String> {
+        self.request_idempotent(&format!(r#"{{"cmd":"topk","k":{k},"approx":{epsilon}}}"#))
+    }
+
+    /// Approximate TopR rank query with relative-error target
+    /// `epsilon` (idempotent: retries); returns the full response
+    /// object.
+    pub fn topr_approx(&mut self, k: usize, epsilon: f64) -> Result<Json, String> {
+        self.request_idempotent(&format!(r#"{{"cmd":"topr","k":{k},"approx":{epsilon}}}"#))
+    }
+
     /// Engine + metrics counters (idempotent: retries).
     pub fn stats(&mut self) -> Result<Json, String> {
         self.request_idempotent(r#"{"cmd":"stats"}"#)

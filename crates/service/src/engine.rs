@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
+use topk_approx::{ApproxGroup, Population, SampleEntry, Sketch};
 use topk_core::{IncrementalDedup, IncrementalState, Parallelism, TopKRankQuery};
 use topk_graph::UnionFind;
 use topk_records::{FieldId, TokenizedRecord};
@@ -141,6 +142,10 @@ struct Shard {
     /// Group views sorted (weight desc, rep asc), rebuilt lazily after
     /// the collapse changes.
     groups: Option<Vec<GroupView>>,
+    /// Bottom-m sample sketch over this shard's collapsed records,
+    /// maintained at flush; merged across shards at approximate-query
+    /// time (`docs/APPROX.md`).
+    sample: Sketch,
 }
 
 /// Everything behind the core reader-writer lock.
@@ -155,6 +160,9 @@ struct Core {
     /// All collapsed records in gid order, gathered for TopR when there
     /// is more than one shard; invalidated by every flush.
     topr_toks: Option<Vec<TokenizedRecord>>,
+    /// Largest single-record weight ever collapsed — the bound the
+    /// approximate estimator's fallback interval stands on.
+    max_weight: f64,
 }
 
 /// Thread-safe resident engine; the server shares one behind an `Arc`.
@@ -171,8 +179,8 @@ pub struct Engine {
     /// (`topk serve --journal`): one segment per shard, appended before
     /// an ingest is applied.
     journal: Option<JournalSet>,
-    /// Per-shard (records, groups) gauges, refreshed at flush.
-    shard_gauges: Vec<(Arc<AtomicI64>, Arc<AtomicI64>)>,
+    /// Per-shard (records, groups, sample) gauges, refreshed at flush.
+    shard_gauges: Vec<(Arc<AtomicI64>, Arc<AtomicI64>, Arc<AtomicI64>)>,
     /// Counters and latency histograms (lock-free, shared with the
     /// server's stats command and shutdown log).
     pub metrics: Metrics,
@@ -199,6 +207,7 @@ impl Engine {
                 (
                     metrics.registry().gauge(&format!("topk_shard_{i}_records")),
                     metrics.registry().gauge(&format!("topk_shard_{i}_groups")),
+                    metrics.registry().gauge(&format!("topk_shard_{i}_sample")),
                 )
             })
             .collect();
@@ -209,6 +218,7 @@ impl Engine {
                     gids: Vec::new(),
                     pending: Vec::new(),
                     groups: None,
+                    sample: Sketch::with_defaults(),
                 })
             })
             .collect();
@@ -223,6 +233,7 @@ impl Engine {
                 stats: CorpusStats::new(),
                 seen: HashSet::new(),
                 topr_toks: None,
+                max_weight: 0.0,
             }),
             cache: Mutex::new(HashMap::new()),
             generation: AtomicU64::new(0),
@@ -584,6 +595,7 @@ impl Engine {
             stats,
             seen,
             topr_toks,
+            max_weight,
         } = core;
         let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().map(Self::shard_mut).collect();
         let total: usize = shard_refs.iter().map(|s| s.pending.len()).sum();
@@ -608,6 +620,9 @@ impl Engine {
                 let f = t.field(field);
                 if seen.insert(topk_text::hash::hash_str(&f.text)) {
                     stats.add_document(&f.words);
+                }
+                if t.weight() > *max_weight {
+                    *max_weight = t.weight();
                 }
             }
         }
@@ -639,6 +654,9 @@ impl Engine {
         let s_pred = stack.levels[0].0.as_ref();
         let insert = |shard: &mut Shard, gids: Vec<u32>| {
             for ((_, t), gid) in shard.pending.drain(..).zip(gids) {
+                shard
+                    .sample
+                    .offer(gid as u64, ShardRouter::key(&t.field(field).text), &t);
                 let local = shard.inc.insert(t, s_pred);
                 debug_assert_eq!(local as usize, shard.gids.len());
                 shard.gids.push(gid);
@@ -669,6 +687,9 @@ impl Engine {
             self.shard_gauges[i]
                 .1
                 .store(s.inc.group_count() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .2
+                .store(s.sample.len() as i64, Ordering::Relaxed);
         }
         Metrics::incr(&self.metrics.flushes);
         true
@@ -692,6 +713,214 @@ impl Engine {
         })
     }
 
+    /// Approximate TopK (`docs/APPROX.md`): estimate group weights from
+    /// the merged per-shard sample sketches, escalate every blocking
+    /// partition whose confidence interval overlaps the K-boundary to
+    /// the exact collapse, and merge. Each returned group carries
+    /// `(estimate, lo, hi, escalated)`.
+    pub fn query_topk_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
+        topk_approx::validate_epsilon(epsilon)?;
+        Metrics::incr(&self.metrics.approx_queries);
+        self.cached_query(format!("topk:k={k}:approx={epsilon}"), move |engine, core, field| {
+            Ok(engine.compute_approx(core, field, k, epsilon, false))
+        })
+    }
+
+    /// Approximate TopR: the same sampled estimator answering in the
+    /// rank-query shape (`entries` + `certified`). The deeper rank
+    /// refinement applies only to exact mode, so `certified` is true
+    /// exactly when every returned entry is exact (escalated or fully
+    /// sampled).
+    pub fn query_topr_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
+        topk_approx::validate_epsilon(epsilon)?;
+        Metrics::incr(&self.metrics.approx_queries);
+        self.cached_query(format!("topr:k={k}:approx={epsilon}"), move |engine, core, field| {
+            Ok(engine.compute_approx(core, field, k, epsilon, true))
+        })
+    }
+
+    /// Shared implementation of the approximate queries: sample →
+    /// estimate → escalate → merge. `as_topr` switches the rendered
+    /// shape (`entries`/`certified` vs `groups`).
+    fn compute_approx(
+        &self,
+        core: &mut Core,
+        field: FieldId,
+        k: usize,
+        epsilon: f64,
+        as_topr: bool,
+    ) -> Json {
+        assert!(k >= 1, "K must be at least 1");
+        let Core {
+            shards,
+            global,
+            stats,
+            max_weight,
+            ..
+        } = core;
+        let m = topk_approx::sample_size(epsilon);
+        let n = global.len() as u64;
+        let render = |items: Vec<Json>, escalated_parts: usize, used: usize, certified: bool| {
+            let mut body = vec![
+                ("epsilon", Json::Num(epsilon)),
+                ("sample_size", Json::Num(used as f64)),
+                ("population", Json::Num(n as f64)),
+                ("escalated_partitions", Json::Num(escalated_parts as f64)),
+            ];
+            if as_topr {
+                body.push(("entries", Json::Arr(items)));
+                body.push(("certified", Json::Bool(certified)));
+            } else {
+                body.push(("groups", Json::Arr(items)));
+            }
+            obj(body)
+        };
+        if global.is_empty() {
+            return render(Vec::new(), 0, 0, false);
+        }
+        // Sample: the merged per-shard sketches reproduce exactly the
+        // bottom-m of the whole stream, at every shard count.
+        let (estimates, used) = {
+            let mut sp = topk_obs::Span::enter("service.approx_sample");
+            sp.record("requested", m);
+            let shard_refs: Vec<&Shard> =
+                shards.iter_mut().map(|mu| &*Self::shard_mut(mu)).collect();
+            let sample: Vec<&SampleEntry> =
+                topk_approx::merge_sketches(shard_refs.iter().map(|s| &s.sample), m);
+            sp.record("sampled", sample.len());
+            drop(sp);
+            let stack = stack_from_stats(
+                Arc::new(stats.clone()),
+                field,
+                self.cfg.max_df,
+                self.cfg.min_overlap,
+            );
+            let s_pred = stack.levels[0].0.as_ref();
+            let used = sample.len();
+            (
+                topk_approx::estimate_groups(
+                    &sample,
+                    Population {
+                        n,
+                        max_weight: *max_weight,
+                    },
+                    field,
+                    s_pred,
+                ),
+                used,
+            )
+        };
+        let (_tau, parts) = topk_approx::escalation_partitions(&estimates, k);
+        self.metrics
+            .approx_escalations
+            .fetch_add(parts.len() as u64, Ordering::Relaxed);
+        // Escalate: gather the *exact* groups of every escalated
+        // partition from the per-shard collapses — including groups the
+        // sample never saw (fragment repair).
+        let n_shards = shards.len();
+        let touched: HashSet<usize> = parts
+            .iter()
+            .map(|p| (p % n_shards as u64) as usize)
+            .collect();
+        self.build_views(shards, Some(&touched));
+        let mut cands: Vec<ApproxGroup> = Vec::new();
+        for (si, mu) in shards.iter_mut().enumerate() {
+            if !touched.contains(&si) {
+                continue;
+            }
+            let s = Self::shard_mut(mu);
+            let views = s.groups.as_ref().expect("views built for touched shards");
+            for g in views {
+                let text = &s.inc.records()[g.rep_local as usize].field(field).text;
+                if parts.contains(&ShardRouter::key(text)) {
+                    cands.push(ApproxGroup {
+                        estimate: g.weight,
+                        lo: g.weight,
+                        hi: g.weight,
+                        size: g.size,
+                        escalated: true,
+                        rep_rid: g.rep_gid as u64,
+                        rep_text: text.clone(),
+                    });
+                }
+            }
+        }
+        for e in estimates {
+            if !parts.contains(&e.partition) {
+                cands.push(ApproxGroup {
+                    estimate: e.estimate,
+                    lo: e.lo,
+                    hi: e.hi,
+                    size: e.sampled as u32,
+                    escalated: false,
+                    rep_rid: e.rep_rid,
+                    rep_text: e.rep_text,
+                });
+            }
+        }
+        let top = topk_approx::merge_topk(cands, k);
+        let certified = top.iter().all(|g| g.escalated || g.lo == g.hi);
+        let items: Vec<Json> = top
+            .into_iter()
+            .enumerate()
+            .map(|(rank, g)| {
+                obj(vec![
+                    ("rank", Json::Num((rank + 1) as f64)),
+                    ("estimate", Json::Num(g.estimate)),
+                    ("lo", Json::Num(g.lo)),
+                    ("hi", Json::Num(g.hi)),
+                    ("size", Json::Num(g.size as f64)),
+                    ("escalated", Json::Bool(g.escalated)),
+                    ("rep_id", Json::Num(g.rep_rid as f64)),
+                    ("rep", Json::Str(g.rep_text)),
+                ])
+            })
+            .collect();
+        render(items, parts.len(), used, certified)
+    }
+
+    /// Rebuild group views for shards whose collapse changed since the
+    /// last query (parallel: each rebuild sorts its group list). With
+    /// `only`, restricted to those shard indices.
+    fn build_views(&self, shards: &mut [Mutex<Shard>], only: Option<&HashSet<usize>>) {
+        let build = |s: &mut Shard| {
+            let views: Vec<GroupView> = s
+                .inc
+                .groups()
+                .into_iter()
+                .map(|g| GroupView {
+                    weight: g.weight,
+                    size: g.members.len() as u32,
+                    rep_gid: s.gids[g.rep as usize],
+                    rep_local: g.rep,
+                })
+                .collect();
+            // groups() sorts (weight desc, local rep asc); local rep
+            // order equals global rep order because gids are strictly
+            // increasing per shard.
+            s.groups = Some(views);
+        };
+        let stale: Vec<&mut Shard> = shards
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| only.map_or(true, |set| set.contains(i)))
+            .map(|(_, m)| Self::shard_mut(m))
+            .filter(|s| s.groups.is_none())
+            .collect();
+        if self.cfg.parallelism.is_sequential() || stale.len() <= 1 {
+            for s in stale {
+                build(s);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let build = &build;
+                for s in stale {
+                    scope.spawn(move || build(s));
+                }
+            });
+        }
+    }
+
     /// Cross-shard TopK merge. Per-shard group lists are each sorted
     /// (weight desc, rep asc) — identical to the order a single engine's
     /// pruned query renders, because every survivor of the prune with
@@ -712,42 +941,7 @@ impl Engine {
             }
         }
         assert!(k >= 1, "K must be at least 1");
-        // Rebuild group views for shards whose collapse changed since
-        // the last query (parallel: each rebuild sorts its group list).
-        let build = |s: &mut Shard| {
-            let views: Vec<GroupView> = s
-                .inc
-                .groups()
-                .into_iter()
-                .map(|g| GroupView {
-                    weight: g.weight,
-                    size: g.members.len() as u32,
-                    rep_gid: s.gids[g.rep as usize],
-                    rep_local: g.rep,
-                })
-                .collect();
-            // groups() sorts (weight desc, local rep asc); local rep
-            // order equals global rep order because gids are strictly
-            // increasing per shard.
-            s.groups = Some(views);
-        };
-        let stale: Vec<&mut Shard> = shards
-            .iter_mut()
-            .map(Self::shard_mut)
-            .filter(|s| s.groups.is_none())
-            .collect();
-        if self.cfg.parallelism.is_sequential() || stale.len() <= 1 {
-            for s in stale {
-                build(s);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let build = &build;
-                for s in stale {
-                    scope.spawn(move || build(s));
-                }
-            });
-        }
+        self.build_views(shards, None);
         let views: Vec<&Vec<GroupView>> = shards
             .iter_mut()
             .map(|m| Self::shard_mut(m).groups.as_ref().expect("views just built"))
@@ -1046,7 +1240,7 @@ impl Engine {
         &self,
         state: IncrementalState,
         field: FieldId,
-    ) -> Result<(Vec<Shard>, Vec<(u32, u32)>, CorpusStats, HashSet<u64>), String> {
+    ) -> Result<(Vec<Shard>, Vec<(u32, u32)>, CorpusStats, HashSet<u64>, f64), String> {
         let IncrementalState {
             records,
             parent,
@@ -1139,9 +1333,24 @@ impl Engine {
                 gids: std::mem::take(&mut s_gids[si]),
                 pending: Vec::new(),
                 groups: None,
+                sample: Sketch::with_defaults(),
             });
         }
-        Ok((out, global, stats, seen))
+        // Rebuild the per-shard sample sketches and the max-weight
+        // bound: priorities are pure functions of (seed, partition,
+        // gid), so the rebuilt sketches equal the ones an engine that
+        // ingested this stream live would hold.
+        let mut max_weight = 0.0f64;
+        for (gid, t) in toks.iter().enumerate() {
+            let (si, _) = global[gid];
+            out[si as usize]
+                .sample
+                .offer(gid as u64, ShardRouter::key(&t.field(field).text), t);
+            if t.weight() > max_weight {
+                max_weight = t.weight();
+            }
+        }
+        Ok((out, global, stats, seen, max_weight))
     }
 
     /// Replace the engine state with a snapshot read from `path`. Corpus
@@ -1163,7 +1372,7 @@ impl Engine {
             }
         }
         let generation = state.generation;
-        let (new_shards, global, stats, seen) = self.project_state(state, field)?;
+        let (new_shards, global, stats, seen, max_weight) = self.project_state(state, field)?;
         let n = global.len() as u64;
         let mut core = self.write_core();
         if let Some(journal) = &self.journal {
@@ -1176,6 +1385,7 @@ impl Engine {
             stats,
             seen,
             topr_toks: None,
+            max_weight,
         };
         {
             let mut schema = self.write_schema();
@@ -1190,6 +1400,9 @@ impl Engine {
             self.shard_gauges[i]
                 .1
                 .store(s.inc.group_count() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .2
+                .store(s.sample.len() as i64, Ordering::Relaxed);
         }
         drop(core);
         self.lock_cache().clear();
@@ -1331,6 +1544,121 @@ mod tests {
             );
         }
         assert_eq!(single.generation(), sharded.generation());
+    }
+
+    #[test]
+    fn approx_answers_are_shard_count_invariant() {
+        // Bottom-m sketches merge to the global bottom-m, so the
+        // approximate answer must be byte-identical at any shard count.
+        let engines: Vec<Engine> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&shards| {
+                Engine::new(EngineConfig {
+                    parallelism: Parallelism::sequential(),
+                    shards,
+                    ..Default::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        let names = [
+            "grace hopper",
+            "Grace  Hopper",
+            "g hopper",
+            "ada lovelace",
+            "alan turing",
+            "a turing",
+            "katherine johnson",
+            "annie easley",
+            "annie  easley",
+            "mary jackson",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            let r = vec![(vec![name.to_string()], 1.0 + (i % 3) as f64)];
+            for e in &engines {
+                e.ingest(r.clone()).unwrap();
+            }
+        }
+        for k in [1, 2, 3, 50] {
+            for eps in [0.05, 0.5, 0.9] {
+                let want = engines[0].query_topk_approx(k, eps).unwrap().to_string();
+                let want_r = engines[0].query_topr_approx(k, eps).unwrap().to_string();
+                for e in &engines[1..] {
+                    assert_eq!(
+                        e.query_topk_approx(k, eps).unwrap().to_string(),
+                        want,
+                        "topk k={k} eps={eps}"
+                    );
+                    assert_eq!(
+                        e.query_topr_approx(k, eps).unwrap().to_string(),
+                        want_r,
+                        "topr k={k} eps={eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_with_full_sample_matches_exact_topk() {
+        // A tight epsilon makes the sample the whole corpus; every
+        // contested group escalates, so ranks, sizes and weights must
+        // equal the exact answer.
+        let e = engine();
+        let mut rows = Vec::new();
+        for _ in 0..6 {
+            rows.push(row("grace hopper"));
+        }
+        for _ in 0..3 {
+            rows.push(row("ada lovelace"));
+        }
+        rows.push(row("alan turing"));
+        e.ingest(rows).unwrap();
+        let exact = e.query_topk(2).unwrap();
+        let approx = e.query_topk_approx(2, 0.05).unwrap();
+        let eg = exact.get("groups").unwrap().as_arr().unwrap();
+        let ag = approx.get("groups").unwrap().as_arr().unwrap();
+        assert_eq!(eg.len(), ag.len());
+        for (ex, ap) in eg.iter().zip(ag) {
+            assert_eq!(ex.get("rep").unwrap().as_str(), ap.get("rep").unwrap().as_str());
+            assert_eq!(ex.get("size").unwrap().as_usize(), ap.get("size").unwrap().as_usize());
+            assert_eq!(
+                ex.get("weight").unwrap().as_f64(),
+                ap.get("estimate").unwrap().as_f64()
+            );
+            assert_eq!(ap.get("escalated").unwrap().as_bool(), Some(true));
+        }
+        assert!(Metrics::get(&e.metrics.approx_escalations) >= 1);
+    }
+
+    #[test]
+    fn approx_queries_cache_under_their_own_keys() {
+        let e = engine();
+        e.ingest(vec![row("a b"), row("a b"), row("c d")]).unwrap();
+        let first = e.query_topk_approx(2, 0.1).unwrap().to_string();
+        let second = e.query_topk_approx(2, 0.1).unwrap().to_string();
+        assert_eq!(first, second);
+        assert_eq!(Metrics::get(&e.metrics.cache_hits), 1);
+        assert_eq!(Metrics::get(&e.metrics.cache_misses), 1);
+        // Exact and approx never share a cache entry, nor do two epsilons.
+        e.query_topk(2).unwrap();
+        e.query_topk_approx(2, 0.2).unwrap();
+        assert_eq!(Metrics::get(&e.metrics.cache_misses), 3);
+        assert_eq!(Metrics::get(&e.metrics.approx_queries), 3);
+    }
+
+    #[test]
+    fn approx_on_empty_engine_and_bad_epsilon() {
+        let e = engine();
+        let body = e.query_topk_approx(3, 0.1).unwrap();
+        assert_eq!(
+            body.get("groups").unwrap().as_arr().map(<[_]>::len),
+            Some(0)
+        );
+        assert_eq!(body.get("population").unwrap().as_usize(), Some(0));
+        assert!(e.query_topk_approx(3, 0.0).is_err());
+        assert!(e.query_topk_approx(3, 1.0).is_err());
+        assert!(e.query_topk_approx(3, f64::NAN).is_err());
     }
 
     #[test]

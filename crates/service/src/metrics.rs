@@ -73,6 +73,11 @@ pub struct Metrics {
     /// Whole shards skipped during a cross-shard TopK merge because
     /// their best group's weight could not enter the top-k frontier.
     pub shard_skips: Arc<AtomicU64>,
+    /// Approximate (`approx` epsilon set) TopK/TopR queries served.
+    pub approx_queries: Arc<AtomicU64>,
+    /// Blocking partitions escalated to the exact pipeline because
+    /// their confidence interval overlapped the K-boundary.
+    pub approx_escalations: Arc<AtomicU64>,
     /// Query-time flushes that actually collapsed pending records.
     pub flushes: Arc<AtomicU64>,
     /// Per-record ingest latency.
@@ -105,6 +110,8 @@ impl Metrics {
             journal_replayed_records: registry.counter("topk_journal_replayed_records_total"),
             journal_truncations: registry.counter("topk_journal_truncations_total"),
             shard_skips: registry.counter("topk_shard_skips_total"),
+            approx_queries: registry.counter("topk_approx_queries_total"),
+            approx_escalations: registry.counter("topk_approx_escalations_total"),
             flushes: registry.counter("topk_flushes_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
@@ -151,6 +158,8 @@ impl Metrics {
             ("journal_replayed_records", n(&self.journal_replayed_records)),
             ("journal_truncations", n(&self.journal_truncations)),
             ("shard_skips", n(&self.shard_skips)),
+            ("approx_queries", n(&self.approx_queries)),
+            ("approx_escalations", n(&self.approx_escalations)),
             ("flushes", n(&self.flushes)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),

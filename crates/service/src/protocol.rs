@@ -19,11 +19,19 @@ pub enum Request {
     TopK {
         /// Number of groups wanted.
         k: usize,
+        /// When set, answer approximately from the ingest-time sample
+        /// with this relative-error target (0 < ε < 1); groups whose
+        /// confidence interval overlaps the K-boundary are escalated
+        /// to the exact pipeline.
+        approx: Option<f64>,
     },
     /// Rank-style query (order + upper bounds).
     TopR {
         /// Number of ranked groups wanted.
         k: usize,
+        /// Same as [`Request::TopK::approx`]: optional relative-error
+        /// target for a sampled answer with exact escalation.
+        approx: Option<f64>,
     },
     /// Engine and metrics counters.
     Stats,
@@ -112,8 +120,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }
         "shutdown" => Ok(Request::Shutdown),
         "ingest" => parse_ingest(&v),
-        "topk" => Ok(Request::TopK { k: parse_k(&v)? }),
-        "topr" => Ok(Request::TopR { k: parse_k(&v)? }),
+        "topk" => Ok(Request::TopK {
+            k: parse_k(&v)?,
+            approx: parse_approx(&v)?,
+        }),
+        "topr" => Ok(Request::TopR {
+            k: parse_k(&v)?,
+            approx: parse_approx(&v)?,
+        }),
         "snapshot" => Ok(Request::Snapshot { path: parse_path(&v)? }),
         "restore" => Ok(Request::Restore { path: parse_path(&v)? }),
         other => Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
@@ -129,6 +143,17 @@ fn parse_k(v: &Json) -> Result<usize, ProtoError> {
         return Err(ProtoError::bad_request("`k` must be at least 1"));
     }
     Ok(k)
+}
+
+fn parse_approx(v: &Json) -> Result<Option<f64>, ProtoError> {
+    let Some(a) = v.get("approx") else {
+        return Ok(None);
+    };
+    let eps = a
+        .as_f64()
+        .ok_or_else(|| ProtoError::bad_request("`approx` must be a number"))?;
+    topk_approx::validate_epsilon(eps).map_err(ProtoError::bad_request)?;
+    Ok(Some(eps))
 }
 
 fn parse_path(v: &Json) -> Result<String, ProtoError> {
@@ -231,11 +256,25 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","k":5}"#).unwrap(),
-            Request::TopK { k: 5 }
+            Request::TopK { k: 5, approx: None }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topr","k":2}"#).unwrap(),
-            Request::TopR { k: 2 }
+            Request::TopR { k: 2, approx: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","k":5,"approx":0.05}"#).unwrap(),
+            Request::TopK {
+                k: 5,
+                approx: Some(0.05)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topr","k":3,"approx":0.2}"#).unwrap(),
+            Request::TopR {
+                k: 3,
+                approx: Some(0.2)
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"snapshot","path":"/tmp/x"}"#).unwrap(),
@@ -281,6 +320,10 @@ mod tests {
             (r#"{"cmd":"topk"}"#, "bad_request"),
             (r#"{"cmd":"topk","k":0}"#, "bad_request"),
             (r#"{"cmd":"topk","k":1.5}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":5,"approx":"tight"}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":5,"approx":0}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":5,"approx":1.5}"#, "bad_request"),
+            (r#"{"cmd":"topr","k":5,"approx":-0.1}"#, "bad_request"),
             (r#"{"cmd":"snapshot"}"#, "bad_request"),
             (r#"{"cmd":"trace","enabled":"yes"}"#, "bad_request"),
             (r#"{"cmd":"trace","out":7}"#, "bad_request"),

@@ -567,8 +567,16 @@ pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
                 })
                 .map_err(engine_err)
         }
-        Request::TopK { k } => engine.query_topk(k).map_err(engine_err),
-        Request::TopR { k } => engine.query_topr(k).map_err(engine_err),
+        Request::TopK { k, approx: None } => engine.query_topk(k).map_err(engine_err),
+        Request::TopK {
+            k,
+            approx: Some(eps),
+        } => engine.query_topk_approx(k, eps).map_err(engine_err),
+        Request::TopR { k, approx: None } => engine.query_topr(k).map_err(engine_err),
+        Request::TopR {
+            k,
+            approx: Some(eps),
+        } => engine.query_topr_approx(k, eps).map_err(engine_err),
         Request::Snapshot { path } => engine
             .snapshot(std::path::Path::new(&path))
             .map(|bytes| {
@@ -629,6 +637,28 @@ mod tests {
         assert_eq!(r, r#"{"ok":true,"ingested":2,"generation":2}"#);
         let (r, _) = dispatch(r#"{"cmd":"topk","k":1}"#, &e);
         assert!(r.starts_with(r#"{"ok":true,"groups":[{"rank":1,"weight":2,"size":2"#), "{r}");
+    }
+
+    #[test]
+    fn dispatch_approx_query_and_bad_epsilon() {
+        let e = engine();
+        dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["ann xu"]},{"fields":["ann xu"]},{"fields":["bo liu"]}]}"#,
+            &e,
+        );
+        let (r, stop) = dispatch(r#"{"cmd":"topk","k":2,"approx":0.5}"#, &e);
+        assert!(!stop);
+        let v = crate::json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(v.get("epsilon").unwrap().as_f64(), Some(0.5), "{r}");
+        assert!(v.get("groups").is_some(), "{r}");
+        let (r, _) = dispatch(r#"{"cmd":"topr","k":2,"approx":0.5}"#, &e);
+        assert!(r.contains(r#""entries":"#), "{r}");
+        assert!(r.contains(r#""certified":"#), "{r}");
+        // Invalid epsilon is rejected at parse time with the uniform envelope.
+        let (r, _) = dispatch(r#"{"cmd":"topk","k":2,"approx":7}"#, &e);
+        assert!(r.contains(r#""code":"bad_request""#), "{r}");
+        assert_eq!(Metrics::get(&e.metrics.approx_queries), 2);
     }
 
     #[test]

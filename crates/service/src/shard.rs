@@ -19,8 +19,7 @@
 //! [`RareNameSufficient`]: topk_predicates::RareNameSufficient
 //! [`SufficientPredicate::partition_key`]: topk_predicates::SufficientPredicate::partition_key
 
-use topk_predicates::name_partition_key;
-use topk_text::hash::hash_str;
+use topk_predicates::collapse_partition_key;
 
 /// Routes match-field texts to shards `0..n_shards` by blocking
 /// partition.
@@ -64,8 +63,11 @@ impl ShardRouter {
     /// Stable routing key of a match-field text: the blocking partition
     /// key when one exists, otherwise a plain hash of the text (such
     /// records never merge with anything, so any placement is sound).
+    /// Delegates to [`topk_predicates::collapse_partition_key`] — the
+    /// same key the sampled estimator (`topk-approx`) partitions by, so
+    /// escalation and routing can never disagree.
     pub fn key(text: &str) -> u64 {
-        name_partition_key(text).unwrap_or_else(|| hash_str(text))
+        collapse_partition_key(text)
     }
 
     /// The shard `text` belongs to.

@@ -1,0 +1,178 @@
+//! Statistical guarantees of the `topk-approx` sampler and intervals,
+//! checked empirically on datagen corpora with ground truth.
+//!
+//! * **Unbiasedness**: the Horvitz–Thompson estimate of a true group's
+//!   weight, averaged over many independent sketch seeds, lands within
+//!   a few standard errors of the truth.
+//! * **Coverage**: the nominal 95% confidence intervals contain the
+//!   true group weight in at least 90% of (seed, group) trials.
+//! * **Invariants** (property tests): intervals always bracket the
+//!   estimate, and splitting a stream across sketches never changes
+//!   the merged sample.
+//!
+//! Everything here is deterministic — fixed corpora, enumerated seeds —
+//! so a failure is a real regression, not noise.
+
+use proptest::prelude::*;
+use topk_approx::{confidence_interval, merge_sketches, sample_size, Sketch};
+use topk_predicates::collapse_partition_key;
+use topk_records::{tokenize_dataset, FieldId, TokenizedRecord};
+
+/// A labeled student corpus: tokenized records, ground-truth labels,
+/// and per-record weights.
+fn corpus() -> (Vec<TokenizedRecord>, Vec<u32>, Vec<f64>) {
+    let data = topk_datagen::generate_students(&topk_datagen::StudentConfig {
+        n_students: 200,
+        n_records: 4_000,
+        ..Default::default()
+    });
+    let labels = data.truth().expect("students have ground truth").labels().to_vec();
+    let weights = data.weights();
+    let toks = tokenize_dataset(&data);
+    (toks, labels, weights)
+}
+
+/// The bottom-m sample for one seed, as record ids.
+fn draw(toks: &[TokenizedRecord], field: FieldId, seed: u64, m: usize) -> Vec<usize> {
+    let mut sketch = Sketch::new(seed, m);
+    for (rid, t) in toks.iter().enumerate() {
+        sketch.offer(rid as u64, collapse_partition_key(&t.field(field).text), t);
+    }
+    merge_sketches([&sketch], m)
+        .iter()
+        .map(|e| e.rid as usize)
+        .collect()
+}
+
+#[test]
+fn ht_estimator_is_unbiased_over_seeds() {
+    let (toks, labels, weights) = corpus();
+    let field = FieldId(0);
+    let m = sample_size(0.1); // 800 of 4000: p = 0.2
+    let p = m as f64 / toks.len() as f64;
+    // Target: the largest true group.
+    let mut true_w = std::collections::HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        *true_w.entry(l).or_insert(0.0) += weights[i];
+    }
+    let (&target, &w_true) = true_w
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("nonempty corpus");
+    assert!(w_true >= 20.0, "need a sizable head group, got {w_true}");
+    let n_seeds = 200u64;
+    let mut sum = 0.0;
+    for seed in 0..n_seeds {
+        let sampled_w: f64 = draw(&toks, field, seed, m)
+            .into_iter()
+            .filter(|&i| labels[i] == target)
+            .map(|i| weights[i])
+            .sum();
+        sum += sampled_w / p;
+    }
+    let mean = sum / n_seeds as f64;
+    // Standard error of the mean estimate from the HT variance
+    // (1−p)/p·Σw² over the group's actual weights; 4 standard errors is
+    // a generous deterministic tolerance.
+    let sum_sq: f64 = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == target)
+        .map(|(i, _)| weights[i] * weights[i])
+        .sum();
+    let se = ((1.0 - p) / p * sum_sq).sqrt() / (n_seeds as f64).sqrt();
+    assert!(
+        (mean - w_true).abs() <= 4.0 * se.max(1.0),
+        "HT estimator biased: mean {mean:.2} vs true {w_true:.2} (se {se:.3})"
+    );
+}
+
+#[test]
+fn nominal_95_intervals_cover_at_least_90_percent() {
+    let (toks, labels, weights) = corpus();
+    let field = FieldId(0);
+    let m = sample_size(0.1);
+    let p = m as f64 / toks.len() as f64;
+    let max_weight = weights.iter().cloned().fold(0.0, f64::max);
+    let mut true_w = std::collections::HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        *true_w.entry(l).or_insert(0.0) += weights[i];
+    }
+    // Every true group the sampler can say anything about (≥ 2 records,
+    // so both interval branches get exercised across trials).
+    let targets: Vec<(u32, f64)> = true_w
+        .iter()
+        .filter(|(_, &w)| w >= 2.0)
+        .map(|(&l, &w)| (l, w))
+        .collect();
+    assert!(targets.len() >= 50, "corpus too concentrated: {}", targets.len());
+    let mut covered = 0usize;
+    let mut trials = 0usize;
+    for seed in 0..40u64 {
+        let sample = draw(&toks, field, seed, m);
+        let mut sampled: std::collections::HashMap<u32, (f64, f64, usize)> =
+            std::collections::HashMap::new();
+        for &i in &sample {
+            let e = sampled.entry(labels[i]).or_insert((0.0, 0.0, 0));
+            e.0 += weights[i];
+            e.1 += weights[i] * weights[i];
+            e.2 += 1;
+        }
+        for &(label, w_true) in &targets {
+            let (sw, ssq, k) = sampled.get(&label).copied().unwrap_or((0.0, 0.0, 0));
+            let (_est, lo, hi) = confidence_interval(sw, ssq, k, p, max_weight);
+            trials += 1;
+            if lo <= w_true && w_true <= hi {
+                covered += 1;
+            }
+        }
+    }
+    let coverage = covered as f64 / trials as f64;
+    assert!(
+        coverage >= 0.90,
+        "nominal 95% intervals covered only {:.1}% of {trials} trials",
+        coverage * 100.0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_always_brackets_estimate(
+        sampled in 0usize..50,
+        w in 0.5f64..10.0,
+        p_mil in 1u32..=1_000_000,
+        max_w in 1.0f64..10.0,
+    ) {
+        let p = p_mil as f64 / 1e6;
+        let sampled_weight = w * sampled as f64;
+        let sum_sq = w * w * sampled as f64;
+        let (est, lo, hi) = confidence_interval(sampled_weight, sum_sq, sampled, p, max_w);
+        prop_assert!(lo <= est && est <= hi, "lo {} est {} hi {}", lo, est, hi);
+        prop_assert!(lo >= sampled_weight - 1e-9, "lo below certain weight");
+        if p >= 1.0 {
+            prop_assert_eq!((est, lo, hi), (sampled_weight, sampled_weight, sampled_weight));
+        }
+    }
+
+    #[test]
+    fn merged_sample_is_split_invariant(
+        seed in 0u64..1000,
+        n in 1u64..400,
+        shards in 1usize..8,
+        m in 1usize..64,
+    ) {
+        let r = TokenizedRecord::from_fields(&["a b".to_string()], 1.0);
+        let mut global = Sketch::new(seed, m);
+        let mut parts: Vec<Sketch> = (0..shards).map(|_| Sketch::new(seed, m)).collect();
+        for rid in 0..n {
+            let partition = rid.wrapping_mul(0x9e37_79b9) % 17;
+            global.offer(rid, partition, &r);
+            parts[(partition as usize) % shards].offer(rid, partition, &r);
+        }
+        let g: Vec<u64> = merge_sketches([&global], m).iter().map(|e| e.rid).collect();
+        let s: Vec<u64> = merge_sketches(parts.iter(), m).iter().map(|e| e.rid).collect();
+        prop_assert_eq!(g, s);
+    }
+}

@@ -268,6 +268,24 @@ fn protocol_errors_do_not_kill_the_connection() {
     assert!(raw.contains(r#""code":"bad_json""#), "{raw}");
     let err = c.request(r#"{"cmd":"ingest"}"#).expect_err("bad ingest");
     assert!(err.starts_with("bad_request"), "{err}");
+    // Invalid approx epsilons get the same uniform bad_request envelope:
+    // wrong type, out of range, and the degenerate endpoints.
+    for bad in [
+        r#"{"cmd":"topk","k":2,"approx":"tight"}"#,
+        r#"{"cmd":"topk","k":2,"approx":1.5}"#,
+        r#"{"cmd":"topr","k":2,"approx":0}"#,
+        r#"{"cmd":"topr","k":2,"approx":-0.1}"#,
+    ] {
+        let raw = c.request_raw(bad).expect("raw bad approx");
+        assert!(raw.contains(r#""ok":false"#), "{bad} -> {raw}");
+        assert!(raw.contains(r#""code":"bad_request""#), "{bad} -> {raw}");
+    }
+    // A valid epsilon on the same connection answers in the approx shape.
+    c.ingest_batch(&[(vec!["approx probe".into()], 1.0)])
+        .expect("ingest probe");
+    let body = c.topk_approx(1, 0.5).expect("approx topk");
+    assert_eq!(body.get("epsilon").and_then(Json::as_f64), Some(0.5), "{body}");
+    assert!(body.get("groups").is_some(), "{body}");
     // Still usable afterwards.
     c.ingest_batch(&[(vec!["still alive".into()], 1.0)])
         .expect("ingest");
