@@ -199,6 +199,16 @@ fn main() {
         "flushes / shard skips".into(),
         format!("{}/{}", report.flushes, report.shard_skips),
     ]);
+    table.row(vec![
+        "SLO (1m window)".into(),
+        format!(
+            "{}, {} queries, {} errors, p99 {} µs (from `health`)",
+            if report.healthy { "healthy" } else { "UNHEALTHY" },
+            report.slo_1m_total,
+            report.slo_1m_errors,
+            report.slo_1m_p99_micros
+        ),
+    ]);
     print!("{table}");
 
     if smoke && report.cache_hits == 0 {

@@ -155,6 +155,16 @@ pub struct LoadReport {
     pub flushes: u64,
     /// Whole shards skipped by the cross-shard TopK merge.
     pub shard_skips: u64,
+    /// Server's overall health verdict at the end of the run (`health`
+    /// command; every rolling window within its p99 + availability
+    /// targets).
+    pub healthy: bool,
+    /// Queries the server's 1-minute SLO window tracked.
+    pub slo_1m_total: u64,
+    /// Errors in the 1-minute SLO window.
+    pub slo_1m_errors: u64,
+    /// p99 of the 1-minute SLO window (µs).
+    pub slo_1m_p99_micros: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -301,6 +311,35 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     };
     let server_p50_micros = server_latency("p50_us")?;
     let server_p99_micros = server_latency("p99_us")?;
+    // SLO snapshot while the server is still up: the whole run fits in
+    // the 1-minute window, so its totals must account for every query
+    // the phases above issued.
+    let health = ingest_client.health()?;
+    let healthy = health
+        .get("healthy")
+        .and_then(Json::as_bool)
+        .ok_or("health missing healthy")?;
+    let window_1m = health
+        .get("slo")
+        .and_then(|s| s.get("windows"))
+        .and_then(Json::as_arr)
+        .and_then(|w| {
+            w.iter().find(|e| {
+                e.get("window").and_then(Json::as_str) == Some("1m")
+            })
+        })
+        .ok_or("health missing 1m SLO window")?
+        .clone();
+    let window_u64 = |name: &str| -> Result<u64, String> {
+        window_1m
+            .get(name)
+            .and_then(Json::as_usize)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("1m SLO window missing {name}"))
+    };
+    let slo_1m_total = window_u64("total")?;
+    let slo_1m_errors = window_u64("errors")?;
+    let slo_1m_p99_micros = window_u64("p99_micros")?;
     ingest_client.shutdown()?;
     handle.join().map_err(|_| "server thread panicked")??;
 
@@ -328,6 +367,10 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         cache_misses,
         flushes,
         shard_skips,
+        healthy,
+        slo_1m_total,
+        slo_1m_errors,
+        slo_1m_p99_micros,
     })
 }
 
@@ -353,6 +396,10 @@ pub fn report_json(r: &LoadReport) -> topk_service::Json {
         ("cache_hits", Json::Num(r.cache_hits as f64)),
         ("flushes", Json::Num(r.flushes as f64)),
         ("shard_skips", Json::Num(r.shard_skips as f64)),
+        ("healthy", Json::Bool(r.healthy)),
+        ("slo_1m_total", Json::Num(r.slo_1m_total as f64)),
+        ("slo_1m_errors", Json::Num(r.slo_1m_errors as f64)),
+        ("slo_1m_p99_us", Json::Num(r.slo_1m_p99_micros as f64)),
     ])
 }
 
@@ -385,6 +432,18 @@ mod tests {
         // ones (histogram answers are power-of-two upper bounds ≥ 2).
         assert!(report.server_p50_micros >= 2, "{report:?}");
         assert!(report.server_p99_micros >= report.server_p50_micros);
+        // SLO window accuracy: the whole smoke run finishes well inside
+        // the 1-minute window, so its totals must account for exactly
+        // the query-class requests the run issued — 2 warm-ups (topk +
+        // topr), one topk per mixed batch, and clients x queries_per_client
+        // load queries. All succeed, so the error count is zero.
+        let cfg = LoadConfig::smoke();
+        let expected = 2
+            + cfg.mixed_batches as u64
+            + (cfg.clients * cfg.queries_per_client) as u64;
+        assert_eq!(report.slo_1m_total, expected, "{report:?}");
+        assert_eq!(report.slo_1m_errors, 0, "{report:?}");
+        assert!(report.slo_1m_p99_micros >= 1, "{report:?}");
         // Client samples land in the process-global registry.
         let text = topk_obs::Registry::global().prometheus_text();
         assert!(

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 pub const USAGE: &str = "\
 usage:
   topk count  <data.tsv> [--k N] [--r N] [--approx E] [--name-field F]
-              [--alpha A]
+              [--alpha A] [--explain]
   topk rank   <data.tsv> [--k N] [--name-field F]
   topk thresh <data.tsv> --threshold T [--name-field F]
   topk serve  [--addr H:P] [--preload data.tsv] [--restore snap]
@@ -39,6 +39,8 @@ options:
   --trace-out P    write a Chrome trace_event JSON file covering every
                    pipeline stage to P (open in Perfetto / about:tracing;
                    see docs/OBSERVABILITY.md)
+  --explain        count query only: print a per-stage query profile
+                   line after the answers (docs/OBSERVABILITY.md)
 
 serve options (protocol reference: docs/SERVICE.md, robustness
 knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
@@ -60,6 +62,15 @@ knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
   --max-request-bytes N  request-line size cap (default 4194304)
   --max-connections N    concurrent-connection cap; excess connections
                          are shed with err:\"overloaded\" (default 256)
+  --slo-p99-ms N         per-window p99 latency target for the rolling
+                         SLO tracker / `health` command (default 50)
+  --slo-availability-pct X  availability target as a percentage in
+                         (0, 100] (default 99.9)
+  --slow-log P           append a JSON line per slow request to P
+                         (docs/OBSERVABILITY.md; off by default)
+  --slow-log-ms N        slow-request latency threshold (default 500)
+  --slow-log-max-bytes N rotate the slow log to P.1 past this size;
+                         0 disables rotation (default 16777216)
 
 client options (retry policy reference: docs/ROBUSTNESS.md):
   --timeout-ms N         read/write timeout (default 30000, 0 = none)
@@ -71,11 +82,17 @@ client options (retry policy reference: docs/ROBUSTNESS.md):
 client commands (all take --addr, default 127.0.0.1:7411):
   topk client ping                  liveness probe
   topk client stats                 engine + metrics counters
-  topk client metrics               Prometheus text exposition
+  topk client metrics [--watch N]   Prometheus text exposition; with
+                                    --watch, redraw every N seconds
+  topk client health                rolling SLO health report
+  topk client profiles              drain recent query profiles
   topk client trace [on|off]        toggle/inspect server-side tracing
        [--out P]                    drain spans to server-side file P
   topk client topk --k N [--approx E]  TopK count query
   topk client topr --k N [--approx E]  TopK rank query
+       [--explain]                  attach the server's query profile
+       [--trace-out P]              run the query traced and write a
+                                    stitched client+server Chrome trace
   topk client ingest <data.tsv>     stream a file into the server
   topk client snapshot <path>       server writes a snapshot to <path>
   topk client restore <path>        server restores from <path>
@@ -138,6 +155,16 @@ pub struct ServeOptions {
     pub max_request_bytes: usize,
     /// Concurrent-connection cap; excess is shed (0 = none).
     pub max_connections: usize,
+    /// Rolling-SLO p99 latency target in ms.
+    pub slo_p99_ms: u64,
+    /// Rolling-SLO availability target as a percentage in (0, 100].
+    pub slo_availability_pct: f64,
+    /// Slow-query log path (None = disabled).
+    pub slow_log: Option<PathBuf>,
+    /// Slow-query latency threshold in ms.
+    pub slow_log_ms: u64,
+    /// Slow-log rotation size in bytes (0 = never rotate).
+    pub slow_log_max_bytes: u64,
 }
 
 impl Default for ServeOptions {
@@ -162,6 +189,11 @@ impl Default for ServeOptions {
             idle_timeout_ms: 300_000,
             max_request_bytes: 4 << 20,
             max_connections: 256,
+            slo_p99_ms: 50,
+            slo_availability_pct: 99.9,
+            slow_log: None,
+            slow_log_ms: 500,
+            slow_log_max_bytes: 16 << 20,
         }
     }
 }
@@ -174,7 +206,14 @@ pub enum ClientAction {
     /// Engine + metrics counters.
     Stats,
     /// Prometheus text exposition of the server's metric registry.
-    Metrics,
+    Metrics {
+        /// Redraw interval in seconds (None = print once and exit).
+        watch: Option<u64>,
+    },
+    /// Rolling SLO health report.
+    Health,
+    /// Drain the server's ring of recent query profiles.
+    Profiles,
     /// Toggle/inspect server-side span tracing; optionally drain spans
     /// to a server-side Chrome trace file.
     Trace {
@@ -211,6 +250,11 @@ pub struct ClientOptions {
     pub k: usize,
     /// Relative-error target for approximate topk/topr (None = exact).
     pub approx: Option<f64>,
+    /// Ask the server to attach a query profile (topk/topr only).
+    pub explain: bool,
+    /// Run the query traced and write a stitched client+server Chrome
+    /// trace here (topk/topr only).
+    pub trace_out: Option<PathBuf>,
     /// Ingest file: column separator.
     pub delimiter: char,
     /// Ingest file: first row is a header row.
@@ -260,6 +304,8 @@ pub struct Options {
     pub threads: usize,
     /// Write a Chrome trace_event JSON file of all pipeline spans here.
     pub trace_out: Option<PathBuf>,
+    /// Print a per-stage query profile after the answers (count only).
+    pub explain: bool,
 }
 
 impl Default for Options {
@@ -280,6 +326,7 @@ impl Default for Options {
             label_col: None,
             threads: 0,
             trace_out: None,
+            explain: false,
         }
     }
 }
@@ -340,6 +387,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--trace-out" => {
                 opts.trace_out = Some(PathBuf::from(next_value("--trace-out", &mut it)?))
             }
+            "--explain" => opts.explain = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if path.is_some() {
@@ -361,6 +409,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         if sub != "count" {
             return Err("--approx only applies to `count`".into());
         }
+    }
+    if opts.explain && sub != "count" {
+        return Err("--explain only applies to `count`".into());
     }
     match sub.as_str() {
         "count" => Ok(Command::Count(opts)),
@@ -424,6 +475,22 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
             "--max-connections" => {
                 o.max_connections = parse_num(&value("--max-connections")?, "--max-connections")?
             }
+            "--slo-p99-ms" => o.slo_p99_ms = parse_num(&value("--slo-p99-ms")?, "--slo-p99-ms")?,
+            "--slo-availability-pct" => {
+                o.slo_availability_pct =
+                    parse_float(&value("--slo-availability-pct")?, "--slo-availability-pct")?;
+                if !(o.slo_availability_pct > 0.0 && o.slo_availability_pct <= 100.0) {
+                    return Err("--slo-availability-pct must be in (0, 100]".into());
+                }
+            }
+            "--slow-log" => o.slow_log = Some(PathBuf::from(value("--slow-log")?)),
+            "--slow-log-ms" => {
+                o.slow_log_ms = parse_num(&value("--slow-log-ms")?, "--slow-log-ms")?
+            }
+            "--slow-log-max-bytes" => {
+                o.slow_log_max_bytes =
+                    parse_num(&value("--slow-log-max-bytes")?, "--slow-log-max-bytes")?
+            }
             other => return Err(format!("unknown serve argument {other}")),
         }
     }
@@ -437,6 +504,8 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         action: ClientAction::Ping,
         k: 10,
         approx: None,
+        explain: false,
+        trace_out: None,
         delimiter: '\t',
         has_header: true,
         weight_col: None,
@@ -447,6 +516,7 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
     };
     let mut positional: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut watch: Option<u64> = None;
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
             it.next()
@@ -458,6 +528,15 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
             "--k" => o.k = parse_num(&value("--k")?, "--k")?,
             "--approx" => o.approx = Some(parse_float(&value("--approx")?, "--approx")?),
             "--out" => trace_out = Some(value("--out")?),
+            "--explain" => o.explain = true,
+            "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--watch" => {
+                let n: u64 = parse_num(&value("--watch")?, "--watch")?;
+                if n == 0 {
+                    return Err("--watch must be at least 1 second".into());
+                }
+                watch = Some(n);
+            }
             "--timeout-ms" => o.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")?,
             "--connect-timeout-ms" => {
                 o.connect_timeout_ms =
@@ -491,10 +570,21 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
     let need = |what: &str, p: Option<String>| -> Result<String, String> {
         p.ok_or_else(|| format!("client {cmd} needs {what}"))
     };
+    if o.explain && cmd != "topk" && cmd != "topr" {
+        return Err("--explain only applies to `client topk` and `client topr`".into());
+    }
+    if o.trace_out.is_some() && cmd != "topk" && cmd != "topr" {
+        return Err("--trace-out only applies to `client topk` and `client topr`".into());
+    }
+    if watch.is_some() && cmd != "metrics" {
+        return Err("--watch only applies to `client metrics`".into());
+    }
     o.action = match cmd.as_str() {
         "ping" => ClientAction::Ping,
         "stats" => ClientAction::Stats,
-        "metrics" => ClientAction::Metrics,
+        "metrics" => ClientAction::Metrics { watch: watch.take() },
+        "health" => ClientAction::Health,
+        "profiles" => ClientAction::Profiles,
         "trace" => {
             let enabled = match positional.take().as_deref() {
                 None => None,
@@ -680,9 +770,25 @@ mod tests {
     #[test]
     fn parses_client_observability() {
         match parse(&argv("client metrics")).unwrap() {
-            Command::Client(o) => assert_eq!(o.action, ClientAction::Metrics),
+            Command::Client(o) => assert_eq!(o.action, ClientAction::Metrics { watch: None }),
             _ => panic!("wrong command"),
         }
+        match parse(&argv("client metrics --watch 2")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.action, ClientAction::Metrics { watch: Some(2) })
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client health")).unwrap() {
+            Command::Client(o) => assert_eq!(o.action, ClientAction::Health),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client profiles")).unwrap() {
+            Command::Client(o) => assert_eq!(o.action, ClientAction::Profiles),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client metrics --watch 0")).is_err());
+        assert!(parse(&argv("client ping --watch 2")).is_err());
         match parse(&argv("client trace")).unwrap() {
             Command::Client(o) => assert_eq!(
                 o.action,
@@ -709,6 +815,69 @@ mod tests {
         }
         assert!(parse(&argv("client trace maybe")).is_err());
         assert!(parse(&argv("client ping --out /tmp/t.json")).is_err());
+    }
+
+    #[test]
+    fn parses_explain_flags() {
+        match parse(&argv("count data.tsv --explain")).unwrap() {
+            Command::Count(o) => assert!(o.explain),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("rank data.tsv --explain")).is_err());
+        match parse(&argv("client topk --k 3 --explain")).unwrap() {
+            Command::Client(o) => {
+                assert!(o.explain);
+                assert_eq!(o.action, ClientAction::TopK);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client topr --explain --trace-out /tmp/t.json")).unwrap() {
+            Command::Client(o) => {
+                assert!(o.explain);
+                assert_eq!(o.trace_out, Some(PathBuf::from("/tmp/t.json")));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client topk")).unwrap() {
+            Command::Client(o) => {
+                assert!(!o.explain);
+                assert_eq!(o.trace_out, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client ping --explain")).is_err());
+        assert!(parse(&argv("client stats --trace-out /tmp/t.json")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_slo_and_slow_log_flags() {
+        let c = parse(&argv(
+            "serve --slo-p99-ms 20 --slo-availability-pct 99.5 \
+             --slow-log /tmp/slow.jsonl --slow-log-ms 250 --slow-log-max-bytes 1024",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.slo_p99_ms, 20);
+                assert_eq!(o.slo_availability_pct, 99.5);
+                assert_eq!(o.slow_log, Some(PathBuf::from("/tmp/slow.jsonl")));
+                assert_eq!(o.slow_log_ms, 250);
+                assert_eq!(o.slow_log_max_bytes, 1024);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.slo_p99_ms, 50);
+                assert_eq!(o.slo_availability_pct, 99.9);
+                assert_eq!(o.slow_log, None);
+                assert_eq!(o.slow_log_ms, 500);
+                assert_eq!(o.slow_log_max_bytes, 16 << 20);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("serve --slo-availability-pct 0")).is_err());
+        assert!(parse(&argv("serve --slo-availability-pct 101")).is_err());
     }
 
     #[test]

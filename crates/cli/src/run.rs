@@ -30,8 +30,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
         topk_obs::span::take_spans();
     }
     let par = Parallelism::threads(opts.threads);
+    let t_load = std::time::Instant::now();
     let corpus = topk_service::load_corpus(&opts.path, &corpus_options(opts, par))?;
     let stack = corpus.stack(opts.max_df, opts.min_overlap);
+    let load_elapsed = t_load.elapsed();
     let (data, toks, field) = (&corpus.data, &corpus.toks, corpus.field);
     topk_obs::info!(
         "{} records loaded from {}; matching on field `{}` ({} thread{})",
@@ -44,8 +46,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
 
     match kind {
         "count" => match opts.approx {
-            Some(eps) => run_count_approx(data, toks, &stack, field, opts, eps),
-            None => run_count(data, toks, &stack, field, opts),
+            Some(eps) => run_count_approx(data, toks, &stack, field, opts, eps, load_elapsed),
+            None => run_count(data, toks, &stack, field, opts, load_elapsed),
         },
         "rank" => run_rank(data, toks, &stack, field, opts),
         _ => run_thresh(data, toks, &stack, field, opts),
@@ -83,6 +85,9 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
         min_overlap: o.min_overlap,
         parallelism: par,
         shards: o.shards,
+        slo_p99_micros: o.slo_p99_ms.saturating_mul(1000),
+        // Percentage to parts-per-million: 99.9% -> 999_000.
+        slo_availability_ppm: (o.slo_availability_pct * 10_000.0).round() as u64,
     })?;
     if let Some(snap) = &o.restore {
         let generation = engine.restore(snap)?;
@@ -130,6 +135,20 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
     }
     let mut server = Server::bind(&o.addr, Arc::new(engine))?;
     server.snapshot_on_exit = o.snapshot_on_exit.clone();
+    if let Some(path) = &o.slow_log {
+        let log = topk_service::SlowQueryLog::open(
+            path,
+            std::time::Duration::from_millis(o.slow_log_ms),
+            o.slow_log_max_bytes,
+        )
+        .map_err(|e| format!("cannot open slow-query log {}: {e}", path.display()))?;
+        topk_obs::info!(
+            "slow-query log: {} (threshold {}ms)",
+            path.display(),
+            o.slow_log_ms
+        );
+        server.slow_log = Some(Arc::new(log));
+    }
     server.config = ServerConfig {
         read_timeout: std::time::Duration::from_millis(o.read_timeout_ms),
         write_timeout: std::time::Duration::from_millis(o.write_timeout_ms),
@@ -158,26 +177,58 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
         },
     )?;
     let line = match &o.action {
-        ClientAction::Ping => r#"{"cmd":"ping"}"#.to_string(),
-        ClientAction::Stats => r#"{"cmd":"stats"}"#.to_string(),
-        ClientAction::Metrics => {
-            // Raw Prometheus text, ready to pipe into a scraper.
-            print!("{}", c.metrics_text()?);
+        // Through the stamped client paths (trace id on the wire;
+        // ping retries as an idempotent probe) — only `raw` sends a
+        // line verbatim.
+        ClientAction::Ping => {
+            println!("{}", c.request_idempotent(r#"{"cmd":"ping"}"#)?);
+            return Ok(());
+        }
+        ClientAction::Shutdown => {
+            println!("{}", c.request(r#"{"cmd":"shutdown"}"#)?);
+            return Ok(());
+        }
+        ClientAction::Stats => {
+            println!("{}", c.request_idempotent(r#"{"cmd":"stats"}"#)?);
+            return Ok(());
+        }
+        ClientAction::Metrics { watch } => {
+            // Raw Prometheus text, ready to pipe into a scraper. With
+            // --watch, clear the screen and redraw every N seconds
+            // until interrupted (a terminal-friendly `watch(1)`).
+            match watch {
+                None => print!("{}", c.metrics_text()?),
+                Some(secs) => loop {
+                    let text = c.metrics_text()?;
+                    print!("\x1b[2J\x1b[H{text}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(std::time::Duration::from_secs(*secs));
+                },
+            }
+            return Ok(());
+        }
+        ClientAction::Health => {
+            println!("{}", c.health()?);
+            return Ok(());
+        }
+        ClientAction::Profiles => {
+            println!("{}", topk_service::Json::Arr(c.profiles()?));
             return Ok(());
         }
         ClientAction::Trace { enabled, out } => {
             println!("{}", c.trace(*enabled, out.as_deref())?);
             return Ok(());
         }
-        ClientAction::TopK => match o.approx {
-            Some(eps) => format!(r#"{{"cmd":"topk","k":{},"approx":{eps}}}"#, o.k),
-            None => format!(r#"{{"cmd":"topk","k":{}}}"#, o.k),
-        },
-        ClientAction::TopR => match o.approx {
-            Some(eps) => format!(r#"{{"cmd":"topr","k":{},"approx":{eps}}}"#, o.k),
-            None => format!(r#"{{"cmd":"topr","k":{}}}"#, o.k),
-        },
-        ClientAction::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
+        ClientAction::TopK | ClientAction::TopR => {
+            let rank = o.action == ClientAction::TopR;
+            let response = match &o.trace_out {
+                None => c.query(rank, o.k, o.approx, o.explain)?,
+                Some(out) => run_traced_query(&mut c, rank, o, out)?,
+            };
+            println!("{response}");
+            return Ok(());
+        }
         ClientAction::Raw(line) => line.clone(),
         ClientAction::Snapshot(path) => {
             println!("{}", c.snapshot(path)?);
@@ -220,6 +271,71 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// `topk client topk/topr --trace-out P`: run one traced query and
+/// write a Chrome trace holding both the client's and the server's
+/// spans as two named processes, joined by the request's trace id.
+fn run_traced_query(
+    c: &mut Client,
+    rank: bool,
+    o: &ClientOptions,
+    out: &std::path::Path,
+) -> Result<topk_service::Json, String> {
+    use topk_service::Json;
+    // Start both collectors clean: anything buffered before this query
+    // belongs to someone else's timeline. `trace_drain_inline(true)`
+    // discards the server's backlog and enables tracing in one request.
+    topk_obs::span::set_enabled(true);
+    topk_obs::span::take_spans();
+    c.trace_drain_inline(Some(true))?;
+    let response = c.query(rank, o.k, o.approx, o.explain)?;
+    let trace_id = c.last_trace_id().unwrap_or("?").to_string();
+    let drained = c.trace_drain_inline(Some(false))?;
+    topk_obs::span::set_enabled(false);
+    let local = topk_obs::span::take_spans();
+    // Partition by span name, not by where a span was collected: when
+    // client and server share a process (tests, loopback experiments)
+    // both halves land in one buffer, and the name prefix is the only
+    // reliable process marker.
+    let pid_for = |name: &str| if name.starts_with("client.") { 1 } else { 2 };
+    let mut events: Vec<topk_obs::TraceEvent> = local
+        .iter()
+        .map(|s| topk_obs::TraceEvent::from_span(s, pid_for(s.name)))
+        .collect();
+    for s in drained.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = s.get("name").and_then(Json::as_str).unwrap_or("span").to_string();
+        let num = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let mut fields = Vec::new();
+        if let Some(Json::Obj(members)) = s.get("fields") {
+            for (k, v) in members {
+                let fv = match v {
+                    Json::Num(n) => topk_obs::FieldValue::F64(*n),
+                    Json::Bool(b) => topk_obs::FieldValue::Bool(*b),
+                    Json::Str(t) => topk_obs::FieldValue::Str(t.clone()),
+                    _ => continue,
+                };
+                fields.push((k.clone(), fv));
+            }
+        }
+        events.push(topk_obs::TraceEvent {
+            pid: pid_for(&name),
+            tid: num("tid"),
+            ts_ns: num("ts_ns"),
+            dur_ns: num("dur_ns"),
+            name,
+            fields,
+        });
+    }
+    let trace = topk_obs::chrome_trace_events(&[(1, "client"), (2, "server")], &events);
+    std::fs::write(out, trace)
+        .map_err(|e| format!("cannot write trace to {}: {e}", out.display()))?;
+    topk_obs::info!(
+        "wrote stitched trace ({} events, trace id {trace_id}) to {}",
+        events.len(),
+        out.display()
+    );
+    Ok(response)
+}
+
 /// Built-in scorer: the library's default name scorer (3-gram overlap +
 /// Jaro-Winkler with a 0.55 decision threshold).
 fn scorer_for(field: FieldId) -> topk_cluster::SimilarityScorer {
@@ -232,12 +348,15 @@ fn run_count(
     stack: &PredicateStack,
     field: FieldId,
     opts: &Options,
+    load_elapsed: std::time::Duration,
 ) {
     let mut q = TopKQuery::new(opts.k, opts.r);
     q.alpha = opts.alpha;
     q.parallelism = Parallelism::threads(opts.threads);
     let scorer = scorer_for(field);
+    let t_query = std::time::Instant::now();
     let res = q.run(toks, stack, &scorer);
+    let query_elapsed = t_query.elapsed();
     for it in &res.stats.iterations {
         topk_obs::debug!(
             "collapse -> {} groups ({:.2}%), M={:.1}, prune -> {} ({:.2}%)",
@@ -260,6 +379,16 @@ fn run_count(
             );
         }
     }
+    if opts.explain {
+        // The same profile shape the server attaches under
+        // `"explain":true`, assembled for the batch pipeline.
+        let mut p = topk_service::QueryProfile::new("topk", opts.k);
+        p.stage("load", load_elapsed);
+        p.stage("query", query_elapsed);
+        p.groups_returned = res.answers.first().map_or(0, |a| a.groups.len());
+        p.total_micros = (load_elapsed + query_elapsed).as_micros() as u64;
+        println!("# profile\t{}", p.render());
+    }
 }
 
 /// `topk count --approx E`: estimate group weights from a bottom-m
@@ -272,11 +401,13 @@ fn run_count_approx(
     field: FieldId,
     opts: &Options,
     eps: f64,
+    load_elapsed: std::time::Duration,
 ) {
     use topk_approx::{merge_sketches, sample_size, ApproxGroup, Population, Sketch};
     use topk_core::IncrementalDedup;
     use topk_predicates::collapse_partition_key;
 
+    let t_query = std::time::Instant::now();
     let m = sample_size(eps);
     let mut sketch = Sketch::new(topk_approx::DEFAULT_SEED, m);
     let mut max_weight = 0.0f64;
@@ -351,6 +482,28 @@ fn run_count_approx(
             data.record(topk_records::RecordId(g.rep_rid as u32)).field(field)
         );
     }
+    if opts.explain {
+        let query_elapsed = t_query.elapsed();
+        let mut p = topk_service::QueryProfile::new("topk", opts.k);
+        p.stage("load", load_elapsed);
+        p.stage("query", query_elapsed);
+        p.groups_returned = top.len();
+        let mut escalated: Vec<u64> = parts.iter().copied().collect();
+        escalated.sort_unstable();
+        p.approx = Some(topk_service::ApproxProfile {
+            epsilon: eps,
+            sample_requested: m,
+            sample_size: used,
+            population: toks.len() as u64,
+            escalated_partitions: escalated,
+            // Escalated partitions were collapsed exactly; everything
+            // else carries its interval, so the answer as printed is
+            // certified iff nothing stayed approximate.
+            certified: top.iter().all(|g| g.escalated),
+        });
+        p.total_micros = (load_elapsed + query_elapsed).as_micros() as u64;
+        println!("# profile\t{}", p.render());
+    }
 }
 
 fn run_rank(
@@ -397,6 +550,11 @@ fn run_thresh(
         );
     }
 }
+
+/// Span enable/drain state is process-global; tests that toggle or
+/// drain it (in any test module of this binary) must not interleave.
+#[cfg(test)]
+static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
@@ -480,7 +638,33 @@ mod tests {
     }
 
     #[test]
+    fn count_query_with_explain() {
+        let path = write_sample();
+        let cmd = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--explain".into(),
+        ])
+        .unwrap();
+        run(cmd).expect("explained count query runs");
+        let approx = parse(&[
+            "count".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "3".into(),
+            "--approx".into(),
+            "0.1".into(),
+            "--explain".into(),
+        ])
+        .unwrap();
+        run(approx).expect("explained approx count query runs");
+    }
+
+    #[test]
     fn count_query_writes_chrome_trace() {
+        let _guard = super::TRACE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let path = write_sample();
         let out = std::env::temp_dir()
             .join("topk_cli_test")
@@ -691,6 +875,103 @@ mod serve_cli_tests {
         );
         c.shutdown().unwrap();
         server.join().unwrap().expect("replayed server ran clean");
+    }
+
+    #[test]
+    fn serve_observability_end_to_end() {
+        let _guard = super::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let data = write_sample("obs.tsv");
+        let dir = std::env::temp_dir().join("topk_cli_serve_test");
+        let slow = dir.join("slow.jsonl");
+        let stitched = dir.join("stitched.json");
+        let _ = std::fs::remove_file(&slow);
+        let _ = std::fs::remove_file(&stitched);
+        let port = free_port();
+        let addr = format!("127.0.0.1:{port}");
+        let serve = parse(&[
+            "serve".to_string(),
+            "--addr".into(),
+            addr.clone(),
+            "--preload".into(),
+            data.display().to_string(),
+            "--threads".into(),
+            "1".into(),
+            // Threshold 0: every request is "slow", so the log is
+            // deterministic to assert on.
+            "--slow-log".into(),
+            slow.display().to_string(),
+            "--slow-log-ms".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        let server = std::thread::spawn(move || run(serve));
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(&addr) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let mut c = client.expect("server came up");
+        let mk = |args: &[&str]| {
+            let mut v = vec!["client".to_string()];
+            v.extend(args.iter().map(|s| s.to_string()));
+            parse(&v).unwrap()
+        };
+        // Stitched trace: one traced explained query through the CLI.
+        run(mk(&[
+            "topk",
+            "--k",
+            "3",
+            "--explain",
+            "--trace-out",
+            &stitched.display().to_string(),
+            "--addr",
+            &addr,
+        ]))
+        .expect("traced explained client topk");
+        let trace = std::fs::read_to_string(&stitched).expect("stitched trace written");
+        assert!(trace.contains(r#""name":"client.request""#), "{trace}");
+        assert!(trace.contains(r#""name":"service.request""#), "{trace}");
+        assert!(trace.contains(r#""process_name""#), "{trace}");
+        // Both halves carry the same trace id: every id stamped on a
+        // span appears at least twice (client span + server span).
+        let ids: Vec<&str> = trace
+            .match_indices(r#""trace":"c"#)
+            .map(|(i, _)| {
+                let rest = &trace[i + 9..];
+                &rest[..rest.find('"').map_or(rest.len(), |j| j + 1)]
+            })
+            .collect();
+        assert!(!ids.is_empty(), "spans carry trace ids: {trace}");
+        // The CLI observability paths all run against the live server.
+        run(mk(&["health", "--addr", &addr])).expect("client health");
+        run(mk(&["profiles", "--addr", &addr])).expect("client profiles");
+        run(mk(&["metrics", "--addr", &addr])).expect("client metrics");
+        // Direct assertions on what those commands return.
+        let h = c.health().unwrap();
+        assert!(
+            h.get("healthy")
+                .and_then(topk_service::Json::as_bool)
+                .is_some(),
+            "{h}"
+        );
+        let explained = c.query(false, 2, None, true).unwrap();
+        assert!(explained.get("profile").is_some(), "{explained}");
+        c.shutdown().unwrap();
+        server.join().unwrap().expect("server ran clean");
+        // Slow log (threshold 0) recorded every request with its
+        // client-stamped trace id.
+        let text = std::fs::read_to_string(&slow).expect("slow log written");
+        assert!(text.lines().count() >= 3, "{text}");
+        assert!(text.contains(r#""trace":"c"#), "{text}");
+        assert!(text.contains(r#""cmd":"topk""#), "{text}");
+        assert!(text.contains(r#""latency_micros":"#), "{text}");
     }
 
     #[test]

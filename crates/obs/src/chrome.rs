@@ -48,6 +48,104 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// One renderable trace event with an explicit process id — the
+/// multi-process flavour of [`SpanRecord`], used to stitch spans
+/// harvested from *different processes* (a client and the server it
+/// talked to) into one Chrome trace. Unlike `SpanRecord`, names and
+/// field keys are owned strings so events can be rebuilt from spans
+/// that crossed the wire as JSON.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (usually a span name from the taxonomy).
+    pub name: String,
+    /// Process id; give each participating process its own and name it
+    /// via the `processes` argument of [`chrome_trace_events`].
+    pub pid: u64,
+    /// Thread id within the process.
+    pub tid: u64,
+    /// Start time, nanoseconds since that process's trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key/value fields, rendered under `args`.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Lift a locally-collected span into an event owned by `pid`.
+    pub fn from_span(span: &SpanRecord, pid: u64) -> TraceEvent {
+        TraceEvent {
+            name: span.name.to_string(),
+            pid,
+            tid: span.tid,
+            ts_ns: span.ts_ns,
+            dur_ns: span.dur_ns,
+            fields: span
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Render a multi-process trace: one `process_name` metadata event per
+/// `(pid, name)` in `processes`, then every event in `events` as a
+/// complete duration event under its own `pid`.
+///
+/// Each process's timestamps are relative to its *own* trace epoch
+/// (processes don't share a clock), so the per-process timelines are
+/// internally exact but only loosely aligned against each other —
+/// viewers still show both processes' rows of one request side by
+/// side, which is the point.
+pub fn chrome_trace_events(processes: &[(u64, &str)], events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + processes.len() * 64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in processes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        out.push_str(&pid.to_string());
+        out.push_str(",\"tid\":0,\"args\":{\"name\":");
+        escape_into(&mut out, name);
+        out.push_str("}}");
+    }
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        escape_into(&mut out, &e.name);
+        out.push_str(",\"cat\":\"topk\",\"ph\":\"X\",\"ts\":");
+        push_micros(&mut out, e.ts_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, e.dur_ns);
+        out.push_str(",\"pid\":");
+        out.push_str(&e.pid.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&e.tid.to_string());
+        if !e.fields.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, key);
+                out.push(':');
+                push_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Nanoseconds rendered as microseconds with three decimals (the trace
 /// format's `ts`/`dur` unit is µs; fractions keep sub-µs spans nonzero).
 fn push_micros(out: &mut String, ns: u64) {
@@ -246,6 +344,59 @@ mod tests {
         for tid in tids {
             assert!(t.contains(&format!("\"tid\":{tid}")), "{t}");
         }
+    }
+
+    /// A two-process stitched trace carries `process_name` metadata for
+    /// both pids and events under each.
+    #[test]
+    fn multi_process_trace_names_both_processes() {
+        let client = TraceEvent {
+            name: "client.request".into(),
+            pid: 1,
+            tid: 1,
+            ts_ns: 1_000,
+            dur_ns: 9_000,
+            fields: vec![("trace".into(), FieldValue::Str("t-abc".into()))],
+        };
+        let server = TraceEvent {
+            name: "service.request".into(),
+            pid: 2,
+            tid: 3,
+            ts_ns: 2_000,
+            dur_ns: 5_000,
+            fields: vec![("trace".into(), FieldValue::Str("t-abc".into()))],
+        };
+        let t = chrome_trace_events(&[(1, "client"), (2, "server")], &[client, server]);
+        assert_valid_json(&t);
+        assert!(t.contains(r#""name":"process_name","ph":"M","pid":1"#), "{t}");
+        assert!(t.contains(r#""args":{"name":"client"}"#), "{t}");
+        assert!(t.contains(r#""args":{"name":"server"}"#), "{t}");
+        assert!(t.contains(r#""name":"client.request""#), "{t}");
+        assert!(t.contains(r#""name":"service.request""#), "{t}");
+        assert!(t.contains(r#""pid":2,"tid":3"#), "{t}");
+        assert_eq!(t.matches(r#""trace":"t-abc""#).count(), 2, "{t}");
+    }
+
+    /// `TraceEvent::from_span` preserves timing, tid, and fields.
+    #[test]
+    fn from_span_round_trips_span_records() {
+        let _g = span::test_lock();
+        span::set_enabled(true);
+        span::clear();
+        {
+            let mut sp = Span::enter("service.query");
+            sp.record("cache_hit", true);
+        }
+        span::set_enabled(false);
+        let spans = span::take_spans();
+        let s = spans.iter().find(|s| s.name == "service.query").unwrap();
+        let e = TraceEvent::from_span(s, 7);
+        assert_eq!(e.name, "service.query");
+        assert_eq!(e.pid, 7);
+        assert_eq!(e.tid, s.tid);
+        assert_eq!(e.ts_ns, s.ts_ns);
+        assert_eq!(e.dur_ns, s.dur_ns);
+        assert_eq!(e.fields, vec![("cache_hit".to_string(), FieldValue::Bool(true))]);
     }
 
     #[test]

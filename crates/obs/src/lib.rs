@@ -14,7 +14,11 @@
 //!   disabled (the default), entering a span is a single relaxed atomic
 //!   load.
 //! * [`chrome`] — export collected spans as Chrome `trace_event` JSON,
-//!   viewable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!   viewable in `chrome://tracing` or <https://ui.perfetto.dev> —
+//!   including multi-process stitched traces ([`TraceEvent`]) that show
+//!   a client and the server it called on one timeline.
+//! * [`slo`] — rolling-window (1m/5m/1h) latency-objective and
+//!   error-budget tracking behind the service's `health` command.
 //! * [`metrics`] — the log₂-bucketed [`LatencyHistogram`] (grown out of
 //!   `topk-service`) plus a named-counter/gauge/histogram [`Registry`]
 //!   with Prometheus text-format exposition.
@@ -46,9 +50,11 @@
 pub mod chrome;
 pub mod logger;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_events, TraceEvent};
 pub use logger::Level;
 pub use metrics::{LatencyHistogram, Registry};
+pub use slo::{SloReport, SloTracker};
 pub use span::{FieldValue, Span, SpanRecord};

@@ -1,0 +1,377 @@
+//! Rolling-window SLO tracking: latency objectives and error budgets.
+//!
+//! An [`SloTracker`] ingests one `(latency, ok)` sample per tracked
+//! request and answers, for each of three rolling windows (1m / 5m /
+//! 1h), "are we meeting the p99 latency target, and how much of the
+//! availability error budget is left?". It is the data source behind
+//! the service's `health` protocol command and the `topk_slo_*`
+//! Prometheus gauges (`docs/OBSERVABILITY.md`, *SLOs & health*).
+//!
+//! The implementation is a ring of per-second buckets (one hour deep,
+//! so the largest window is exact, not estimated): each bucket holds a
+//! request count, an error count, and the same log₂ microsecond
+//! latency buckets as [`crate::LatencyHistogram`]. Recording takes one
+//! short mutex hold; reporting merges at most 3600 buckets. Percentile
+//! answers follow the histogram contract — the selected bucket's upper
+//! bound, so the smallest nonzero answer is 2 µs.
+//!
+//! Every clocked entry point has a deterministic `_at` twin taking an
+//! explicit seconds-since-start timestamp, so window arithmetic is
+//! testable without sleeping.
+
+use crate::metrics::BUCKETS;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Ring depth in seconds — equal to the largest reporting window, so
+/// every window is computed from exact per-second data.
+const RING_SECS: u64 = 3600;
+
+/// The reporting windows: `(seconds, label)`.
+pub const WINDOWS: [(u64, &str); 3] = [(60, "1m"), (300, "5m"), (3600, "1h")];
+
+/// One part-per-million, the unit used for availability and budget.
+const PPM: u64 = 1_000_000;
+
+/// One second of samples.
+struct Bucket {
+    /// Absolute second (since tracker start) this bucket currently
+    /// represents; a write to a different second resets it first.
+    sec: u64,
+    total: u64,
+    errors: u64,
+    /// log₂ microsecond latency counts, same layout as
+    /// [`crate::LatencyHistogram`].
+    lat: [u64; BUCKETS],
+}
+
+impl Bucket {
+    fn reset(&mut self, sec: u64) {
+        self.sec = sec;
+        self.total = 0;
+        self.errors = 0;
+        self.lat = [0; BUCKETS];
+    }
+}
+
+/// One window's SLO evaluation, as returned by [`SloTracker::report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloReport {
+    /// Human label of the window (`"1m"`, `"5m"`, `"1h"`).
+    pub window: &'static str,
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests that failed (error envelope) in the window.
+    pub errors: u64,
+    /// Successful fraction in parts per million (`1_000_000` when the
+    /// window is empty — no traffic is not an outage).
+    pub availability_ppm: u64,
+    /// p99 latency over the window, µs (bucket upper bound; 0 if empty).
+    pub p99_micros: u64,
+    /// The configured p99 objective, µs.
+    pub p99_target_micros: u64,
+    /// Whether the window meets the latency objective (vacuously true
+    /// when empty).
+    pub p99_ok: bool,
+    /// Share of the availability error budget still unspent, in parts
+    /// per million of the budget itself: `1_000_000` means no errors,
+    /// `0` means the budget is exhausted or overrun.
+    pub error_budget_remaining_ppm: u64,
+}
+
+impl SloReport {
+    /// Whether this window meets both objectives: latency on target and
+    /// error budget not exhausted.
+    pub fn healthy(&self) -> bool {
+        self.p99_ok && (self.total == 0 || self.error_budget_remaining_ppm > 0)
+    }
+}
+
+/// Rolling-window availability and latency-objective tracker.
+///
+/// ```
+/// use std::time::Duration;
+/// let slo = topk_obs::SloTracker::new(50_000, 999_000); // p99 ≤ 50ms, 99.9%
+/// slo.record(Duration::from_micros(800), true);
+/// let reports = slo.report();
+/// assert_eq!(reports.len(), 3);
+/// assert!(reports.iter().all(|r| r.healthy()));
+/// ```
+pub struct SloTracker {
+    p99_target_micros: u64,
+    availability_target_ppm: u64,
+    start: Instant,
+    ring: Mutex<Vec<Bucket>>,
+}
+
+impl SloTracker {
+    /// New tracker with a p99 latency objective (µs) and an
+    /// availability objective in parts per million (e.g. `999_000`
+    /// for 99.9%). The availability target is clamped to `[0, 1e6]`.
+    pub fn new(p99_target_micros: u64, availability_target_ppm: u64) -> Self {
+        let mut ring = Vec::with_capacity(RING_SECS as usize);
+        for _ in 0..RING_SECS {
+            ring.push(Bucket {
+                sec: u64::MAX,
+                total: 0,
+                errors: 0,
+                lat: [0; BUCKETS],
+            });
+        }
+        SloTracker {
+            p99_target_micros,
+            availability_target_ppm: availability_target_ppm.min(PPM),
+            start: Instant::now(),
+            ring: Mutex::new(ring),
+        }
+    }
+
+    /// The configured p99 objective, µs.
+    pub fn p99_target_micros(&self) -> u64 {
+        self.p99_target_micros
+    }
+
+    /// The configured availability objective, ppm.
+    pub fn availability_target_ppm(&self) -> u64 {
+        self.availability_target_ppm
+    }
+
+    /// Seconds since the tracker was created (the clock used by
+    /// [`record`](Self::record) and [`report`](Self::report)).
+    pub fn now_sec(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Record one request outcome at the current time.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        self.record_at(self.now_sec(), latency.as_micros() as u64, ok);
+    }
+
+    /// Deterministic twin of [`record`](Self::record): record one
+    /// outcome at an explicit second-since-start.
+    pub fn record_at(&self, sec: u64, latency_micros: u64, ok: bool) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let b = &mut ring[(sec % RING_SECS) as usize];
+        if b.sec != sec {
+            b.reset(sec);
+        }
+        b.total += 1;
+        if !ok {
+            b.errors += 1;
+        }
+        let micros = latency_micros.max(1);
+        let idx = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        b.lat[idx] += 1;
+    }
+
+    /// Evaluate every window in [`WINDOWS`] at the current time.
+    pub fn report(&self) -> Vec<SloReport> {
+        self.report_at(self.now_sec())
+    }
+
+    /// Deterministic twin of [`report`](Self::report): evaluate every
+    /// window as of an explicit second-since-start.
+    pub fn report_at(&self, now_sec: u64) -> Vec<SloReport> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        WINDOWS
+            .iter()
+            .map(|&(window_secs, window)| {
+                let mut total = 0u64;
+                let mut errors = 0u64;
+                let mut lat = [0u64; BUCKETS];
+                let oldest = now_sec.saturating_sub(window_secs - 1);
+                for b in ring.iter() {
+                    // `sec == u64::MAX` marks a never-written bucket.
+                    if b.sec == u64::MAX || b.sec < oldest || b.sec > now_sec {
+                        continue;
+                    }
+                    total += b.total;
+                    errors += b.errors;
+                    for (acc, c) in lat.iter_mut().zip(&b.lat) {
+                        *acc += c;
+                    }
+                }
+                let p99_micros = percentile(&lat, total, 99.0);
+                let availability_ppm = (total - errors)
+                    .saturating_mul(PPM)
+                    .checked_div(total)
+                    .unwrap_or(PPM);
+                SloReport {
+                    window,
+                    window_secs,
+                    total,
+                    errors,
+                    availability_ppm,
+                    p99_micros,
+                    p99_target_micros: self.p99_target_micros,
+                    p99_ok: total == 0 || p99_micros <= self.p99_target_micros,
+                    error_budget_remaining_ppm: budget_remaining(
+                        total,
+                        errors,
+                        self.availability_target_ppm,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether every window currently meets both objectives.
+    pub fn healthy(&self) -> bool {
+        self.report().iter().all(|r| r.healthy())
+    }
+}
+
+/// Same percentile contract as [`crate::LatencyHistogram`]: the upper
+/// bound `2^(i+1)` of the bucket holding the p-th sample, 0 if empty.
+fn percentile(lat: &[u64; BUCKETS], total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in lat.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << BUCKETS
+}
+
+/// Fraction of the availability error budget left, in ppm of the
+/// budget itself. With target availability `a` (ppm), the budget is
+/// `1e6 - a` errors-per-million; observing an error rate `e` leaves
+/// `(budget - e) / budget` of it. Empty windows have a full budget; a
+/// zero-width budget (target 100%) is exhausted by the first error.
+fn budget_remaining(total: u64, errors: u64, availability_target_ppm: u64) -> u64 {
+    if total == 0 {
+        return PPM;
+    }
+    let budget_ppm = PPM - availability_target_ppm;
+    let err_ppm = errors.saturating_mul(PPM) / total;
+    if budget_ppm == 0 {
+        return if errors == 0 { PPM } else { 0 };
+    }
+    budget_ppm
+        .saturating_sub(err_ppm)
+        .saturating_mul(PPM)
+        / budget_ppm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SloTracker {
+        SloTracker::new(50_000, 999_000) // p99 ≤ 50ms, 99.9%
+    }
+
+    #[test]
+    fn empty_windows_are_healthy_with_full_budget() {
+        let slo = tracker();
+        for r in slo.report_at(0) {
+            assert_eq!(r.total, 0);
+            assert_eq!(r.availability_ppm, PPM);
+            assert_eq!(r.error_budget_remaining_ppm, PPM);
+            assert_eq!(r.p99_micros, 0);
+            assert!(r.p99_ok && r.healthy(), "{r:?}");
+        }
+    }
+
+    /// Window arithmetic is exact: samples older than the window fall
+    /// out, newer windows see a strict subset of older ones.
+    #[test]
+    fn windows_are_accurate_to_the_second() {
+        let slo = tracker();
+        // 1 sample per second for 400 seconds, 1ms each, all ok.
+        for sec in 0..400 {
+            slo.record_at(sec, 1_000, true);
+        }
+        let at = |now: u64| slo.report_at(now);
+        let r = at(399);
+        assert_eq!(r[0].total, 60, "1m window: exactly 60 seconds");
+        assert_eq!(r[1].total, 300, "5m window: exactly 300 seconds");
+        assert_eq!(r[2].total, 400, "1h window: everything so far");
+        // 100 seconds later with no traffic, the 1m window is empty.
+        let r = at(499);
+        assert_eq!(r[0].total, 0);
+        assert_eq!(r[1].total, 200, "5m window kept secs 200..=399");
+        assert_eq!(r[2].total, 400);
+    }
+
+    #[test]
+    fn p99_is_the_bucket_upper_bound_and_gates_health() {
+        let slo = tracker();
+        // 99 fast samples and 1 slow one: p99 lands on the fast bucket.
+        for i in 0..99 {
+            slo.record_at(10, 1_000 + i, true); // bucket [1024, 2048)
+        }
+        slo.record_at(10, 400_000, true); // 400ms, over the 50ms target
+        let r = &slo.report_at(10)[0];
+        assert_eq!(r.total, 100);
+        assert_eq!(r.p99_micros, 2048, "p99 excludes the single outlier");
+        assert!(r.p99_ok);
+        // Two slow samples in 100 push p99 into the slow bucket.
+        slo.record_at(11, 400_000, true);
+        let r = &slo.report_at(11)[0];
+        assert_eq!(r.p99_micros, 524_288, "400ms sample's bucket bound");
+        assert!(!r.p99_ok && !r.healthy());
+    }
+
+    #[test]
+    fn error_budget_burns_linearly_and_exhausts() {
+        let slo = tracker(); // 99.9% target => budget 1000 ppm
+        // 1 error in 2000 = 500 ppm error rate: half the budget left.
+        for i in 0..2000 {
+            slo.record_at(5, 100, i != 0);
+        }
+        let r = &slo.report_at(5)[0];
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.availability_ppm, 999_500);
+        assert_eq!(r.error_budget_remaining_ppm, 500_000, "{r:?}");
+        assert!(r.healthy());
+        // 10 more errors blow straight past the budget.
+        for _ in 0..10 {
+            slo.record_at(6, 100, false);
+        }
+        let r = &slo.report_at(6)[0];
+        assert_eq!(r.error_budget_remaining_ppm, 0);
+        assert!(!r.healthy());
+    }
+
+    /// The ring reuses slots after an hour: a second that maps onto a
+    /// stale bucket resets it rather than merging two epochs.
+    #[test]
+    fn ring_wraparound_resets_stale_buckets() {
+        let slo = tracker();
+        slo.record_at(10, 1_000, true);
+        slo.record_at(10 + RING_SECS, 1_000, true); // same slot, later epoch
+        let r = slo.report_at(10 + RING_SECS);
+        assert_eq!(r[0].total, 1, "old epoch's sample did not leak in");
+        assert_eq!(r[2].total, 1);
+    }
+
+    #[test]
+    fn perfect_availability_target_tolerates_zero_errors() {
+        let slo = SloTracker::new(1_000, PPM); // 100% availability target
+        slo.record_at(0, 10, true);
+        assert_eq!(slo.report_at(0)[0].error_budget_remaining_ppm, PPM);
+        slo.record_at(0, 10, false);
+        let r = &slo.report_at(0)[0];
+        assert_eq!(r.error_budget_remaining_ppm, 0);
+        assert!(!r.healthy());
+    }
+
+    #[test]
+    fn wall_clock_entry_points_agree_with_deterministic_ones() {
+        let slo = tracker();
+        slo.record(Duration::from_micros(700), true);
+        slo.record(Duration::from_micros(900), false);
+        let r = slo.report();
+        assert_eq!(r[0].total, 2);
+        assert_eq!(r[0].errors, 1);
+        assert!(!slo.healthy(), "50% availability is way over budget");
+    }
+}

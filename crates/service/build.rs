@@ -1,0 +1,21 @@
+//! Embeds the git revision as `TOPK_GIT_REV` for the `topk_build_info`
+//! Prometheus identity line. Falls back to `"unknown"` outside a git
+//! checkout (e.g. a source tarball) so the build never fails on it.
+
+use std::process::Command;
+
+fn main() {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=TOPK_GIT_REV={rev}");
+    // Re-run when HEAD moves (new commit / checkout), not on every build.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -18,12 +18,43 @@
 //! the batch, and the engine offers no request IDs to dedup on.
 //! `snapshot`/`restore`/`trace`/`shutdown` are likewise single-shot —
 //! they mutate server state.
+//!
+//! # Trace propagation (`docs/OBSERVABILITY.md`)
+//!
+//! Every request sent through [`Client::request`] /
+//! [`Client::request_idempotent`] (and therefore every typed method)
+//! carries a client-generated `"trace"` id; the server stamps it onto
+//! its `service.request` span, and the client opens a matching
+//! `client.request` span around the call when local tracing is on. The
+//! id of the most recent request is readable via
+//! [`Client::last_trace_id`], which is how `topk client ... --trace-out`
+//! stitches the two timelines into one Chrome trace. Retries of one
+//! logical request share one id. [`Client::request_raw`] stays raw —
+//! no id, no span.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::json::{obj, parse, Json};
+
+/// Process-wide sequence number for trace ids: combined with the
+/// process id and a clock read, ids are unique across concurrent
+/// clients and across processes without any coordination.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh trace id: `c<pid>-<clock>-<seq>` in hex. Readable enough to
+/// grep in a slow-query log, unique enough to join client and server
+/// spans on.
+fn next_trace_id() -> String {
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    format!("c{:x}-{:x}-{seq:x}", std::process::id(), nanos & 0xffff_ffff_ffff)
+}
 
 /// Socket timeouts and the retry policy for idempotent commands.
 /// Zero durations disable the corresponding timeout.
@@ -87,6 +118,7 @@ pub struct Client {
     addr: String,
     config: ClientConfig,
     conn: Option<Conn>,
+    last_trace: Option<String>,
 }
 
 impl Client {
@@ -97,12 +129,44 @@ impl Client {
 
     /// Connect with explicit timeouts and retry policy.
     pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, String> {
+        // Pre-register the client-side metrics in the process-global
+        // registry so an exposition sees them at zero instead of only
+        // after the first retry happens to create them.
+        let global = topk_obs::Registry::global();
+        global.counter("topk_client_retries_total");
+        global.histogram("topk_client_query_latency_micros");
         let conn = open(addr, &config)?;
         Ok(Client {
             addr: addr.to_string(),
             config,
             conn: Some(conn),
+            last_trace: None,
         })
+    }
+
+    /// The trace id stamped on the most recent request sent through
+    /// [`request`](Self::request) or
+    /// [`request_idempotent`](Self::request_idempotent) — join it
+    /// against the server's `service.request` spans or slow-query log.
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace.as_deref()
+    }
+
+    /// Stamp a fresh trace id onto a request line (every request is a
+    /// JSON object, so the member splices in before the closing brace)
+    /// and remember it for [`Client::last_trace_id`].
+    fn stamp_trace(&mut self, line: &str) -> String {
+        let id = next_trace_id();
+        let stamped = match line.rfind('}') {
+            Some(i) => {
+                let body = line[..i].trim_end();
+                let sep = if body.ends_with('{') { "" } else { "," };
+                format!("{body}{sep}\"trace\":\"{id}\"}}")
+            }
+            None => line.to_string(),
+        };
+        self.last_trace = Some(id);
+        stamped
     }
 
     /// The retry policy in effect.
@@ -178,15 +242,34 @@ impl Client {
     /// Send a request, parse the response, and unwrap the `ok` envelope:
     /// success responses come back as the parsed body object, error
     /// envelopes become `Err("code: message")`. **Single attempt** — use
-    /// for state-changing commands.
+    /// for state-changing commands. Stamps a trace id and opens a
+    /// `client.request` span when local tracing is enabled.
     pub fn request(&mut self, line: &str) -> Result<Json, String> {
-        self.request_once(line).map_err(RequestError::into_message)
+        let traced = self.stamp_trace(line);
+        let mut sp = topk_obs::Span::enter("client.request");
+        if sp.is_recording() {
+            if let Some(id) = &self.last_trace {
+                sp.record("trace", id.as_str());
+            }
+        }
+        self.request_once(&traced).map_err(RequestError::into_message)
     }
 
     /// [`request`](Self::request) plus the retry policy: transport
     /// failures and retryable server errors reconnect and retry with
     /// exponential backoff + jitter. Only for idempotent commands.
+    /// All attempts of one logical request share one trace id; the
+    /// `client.request` span covers the whole retry loop, so its
+    /// duration is what the caller actually waited.
     pub fn request_idempotent(&mut self, line: &str) -> Result<Json, String> {
+        let line = self.stamp_trace(line);
+        let line = line.as_str();
+        let mut sp = topk_obs::Span::enter("client.request");
+        if sp.is_recording() {
+            if let Some(id) = &self.last_trace {
+                sp.record("trace", id.as_str());
+            }
+        }
         let mut attempt: u32 = 0;
         loop {
             let error = if self.conn.is_none() {
@@ -261,35 +344,90 @@ impl Client {
             .ok_or_else(|| "ingest response missing `generation`".into())
     }
 
+    /// TopK/TopR query with every wire option: `rank` selects `topr`,
+    /// `approx` sets the epsilon member, `explain` asks the server to
+    /// attach a [`QueryProfile`](crate::QueryProfile) under `"profile"`
+    /// (idempotent: retries).
+    pub fn query(
+        &mut self,
+        rank: bool,
+        k: usize,
+        approx: Option<f64>,
+        explain: bool,
+    ) -> Result<Json, String> {
+        let mut members = vec![
+            ("cmd", Json::Str(if rank { "topr" } else { "topk" }.into())),
+            ("k", Json::Num(k as f64)),
+        ];
+        if let Some(epsilon) = approx {
+            members.push(("approx", Json::Num(epsilon)));
+        }
+        if explain {
+            members.push(("explain", Json::Bool(true)));
+        }
+        self.request_idempotent(&obj(members).to_string())
+    }
+
     /// TopK count query (idempotent: retries); returns the full
     /// response object.
     pub fn topk(&mut self, k: usize) -> Result<Json, String> {
-        self.request_idempotent(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
+        self.query(false, k, None, false)
     }
 
     /// TopR rank query (idempotent: retries); returns the full
     /// response object.
     pub fn topr(&mut self, k: usize) -> Result<Json, String> {
-        self.request_idempotent(&format!(r#"{{"cmd":"topr","k":{k}}}"#))
+        self.query(true, k, None, false)
     }
 
     /// Approximate TopK count query with relative-error target
     /// `epsilon` (idempotent: retries); returns the full response
     /// object with `estimate`/`lo`/`hi` per group.
     pub fn topk_approx(&mut self, k: usize, epsilon: f64) -> Result<Json, String> {
-        self.request_idempotent(&format!(r#"{{"cmd":"topk","k":{k},"approx":{epsilon}}}"#))
+        self.query(false, k, Some(epsilon), false)
     }
 
     /// Approximate TopR rank query with relative-error target
     /// `epsilon` (idempotent: retries); returns the full response
     /// object.
     pub fn topr_approx(&mut self, k: usize, epsilon: f64) -> Result<Json, String> {
-        self.request_idempotent(&format!(r#"{{"cmd":"topr","k":{k},"approx":{epsilon}}}"#))
+        self.query(true, k, Some(epsilon), false)
     }
 
     /// Engine + metrics counters (idempotent: retries).
     pub fn stats(&mut self) -> Result<Json, String> {
         self.request_idempotent(r#"{"cmd":"stats"}"#)
+    }
+
+    /// Rolling SLO health report: per-window p99 / availability /
+    /// error-budget plus uptime (idempotent: retries).
+    pub fn health(&mut self) -> Result<Json, String> {
+        self.request_idempotent(r#"{"cmd":"health"}"#)
+    }
+
+    /// Drain the server's ring of recent query profiles. A destructive
+    /// read — each profile is returned exactly once — so single-shot.
+    pub fn profiles(&mut self) -> Result<Vec<Json>, String> {
+        let v = self.request(r#"{"cmd":"profiles"}"#)?;
+        v.get("profiles")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| "profiles response missing `profiles`".into())
+    }
+
+    /// Like [`trace`](Self::trace), but drains the server's buffered
+    /// spans *into the response* (`"spans"` array) instead of a
+    /// server-side file — how a remote client collects the server half
+    /// of a stitched trace. Destructive read, single-shot.
+    pub fn trace_drain_inline(&mut self, enabled: Option<bool>) -> Result<Json, String> {
+        let mut members = vec![
+            ("cmd", Json::Str("trace".into())),
+            ("inline", Json::Bool(true)),
+        ];
+        if let Some(on) = enabled {
+            members.push(("enabled", Json::Bool(on)));
+        }
+        self.request(&obj(members).to_string())
     }
 
     /// Prometheus text exposition of the server's metric registry
@@ -505,6 +643,54 @@ mod tests {
         // the idempotent path.
         let err = c.request_idempotent(r#"{"cmd":"topk","k":0}"#).unwrap_err();
         assert!(err.starts_with("bad_request"), "{err}");
+        c.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn client_stamps_trace_ids_and_reads_explain_health_profiles() {
+        let engine = Arc::new(
+            Engine::new(EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let (addr, handle) = server.spawn();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        assert!(c.last_trace_id().is_none(), "no request sent yet");
+        c.ingest_batch(&[
+            (vec!["grace hopper".into()], 1.0),
+            (vec!["grace hopper".into()], 1.0),
+        ])
+        .unwrap();
+        let first = c.last_trace_id().expect("ingest stamped an id").to_string();
+        // Explained query: profile rides on the response, and the ring
+        // retains a copy for `profiles` to drain exactly once.
+        let v = c.query(false, 1, None, true).unwrap();
+        assert!(v.get("profile").is_some(), "{v}");
+        let second = c.last_trace_id().unwrap().to_string();
+        assert_ne!(first, second, "each request gets a fresh id");
+        let profs = c.profiles().unwrap();
+        assert_eq!(profs.len(), 1, "{profs:?}");
+        assert!(c.profiles().unwrap().is_empty(), "drain is destructive");
+        // Health: the explained query above was recorded into every
+        // rolling window.
+        let h = c.health().unwrap();
+        assert!(h.get("healthy").and_then(Json::as_bool).is_some(), "{h}");
+        let windows = h
+            .get("slo")
+            .and_then(|s| s.get("windows"))
+            .and_then(Json::as_arr)
+            .expect("health carries slo.windows");
+        assert_eq!(windows.len(), 3, "{h}");
+        for w in windows {
+            assert!(
+                w.get("total").and_then(Json::as_usize).unwrap() >= 1,
+                "{h}"
+            );
+        }
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();
     }

@@ -49,15 +49,17 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use topk_approx::{ApproxGroup, Population, SampleEntry, Sketch};
 use topk_core::{IncrementalDedup, IncrementalState, Parallelism, TopKRankQuery};
 use topk_graph::UnionFind;
+use topk_obs::SloTracker;
 use topk_records::{FieldId, TokenizedRecord};
 use topk_text::CorpusStats;
 
 use crate::corpus::stack_from_stats;
+use crate::introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfile};
 use crate::journal::{JournalSet, Row, SetRecovery};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
@@ -67,6 +69,10 @@ use crate::snapshot;
 /// Maximum cached responses before the cache is wiped (entries are a few
 /// hundred bytes each; distinct live query shapes are few).
 const CACHE_CAP: usize = 128;
+
+/// Profiles of explained queries retained for the `profiles` protocol
+/// command (a flight recorder, not a log — oldest entries fall off).
+const PROFILE_RING_CAP: usize = 64;
 
 /// Engine construction parameters (fixed for the server's lifetime).
 #[derive(Debug, Clone)]
@@ -89,6 +95,11 @@ pub struct EngineConfig {
     /// every shard count; more shards buy concurrent ingest and
     /// parallel collapse on multi-core machines.
     pub shards: usize,
+    /// p99 latency objective for the SLO tracker, µs (`health`
+    /// command; `docs/OBSERVABILITY.md`, *SLOs & health*).
+    pub slo_p99_micros: u64,
+    /// Availability objective in parts per million (999_000 = 99.9%).
+    pub slo_availability_ppm: u64,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +111,8 @@ impl Default for EngineConfig {
             min_overlap: 0.6,
             parallelism: Parallelism::auto(),
             shards: 1,
+            slo_p99_micros: 50_000,
+            slo_availability_ppm: 999_000,
         }
     }
 }
@@ -181,6 +194,22 @@ pub struct Engine {
     journal: Option<JournalSet>,
     /// Per-shard (records, groups, sample) gauges, refreshed at flush.
     shard_gauges: Vec<(Arc<AtomicI64>, Arc<AtomicI64>, Arc<AtomicI64>)>,
+    /// Per-shard journal-segment byte gauges, registered by
+    /// [`Self::attach_journal`] and refreshed at exposition time.
+    journal_gauges: Vec<Arc<AtomicI64>>,
+    /// Per-window `[p99_micros, availability_ppm, budget_ppm]` gauges,
+    /// refreshed from [`Self::slo`] at exposition time.
+    slo_gauges: Vec<[Arc<AtomicI64>; 3]>,
+    /// `topk_uptime_seconds`, refreshed at exposition time.
+    uptime_gauge: Arc<AtomicI64>,
+    /// Engine creation time (the `uptime_seconds` epoch).
+    start: Instant,
+    /// Rolling-window SLO tracker behind the `health` command; the
+    /// server records one sample per served request.
+    slo: SloTracker,
+    /// Profiles of explained queries, drained by the `profiles`
+    /// protocol command.
+    profiles: ProfileRing,
     /// Counters and latency histograms (lock-free, shared with the
     /// server's stats command and shutdown log).
     pub metrics: Metrics,
@@ -211,6 +240,21 @@ impl Engine {
                 )
             })
             .collect();
+        let slo_gauges = topk_obs::slo::WINDOWS
+            .iter()
+            .map(|(_, w)| {
+                [
+                    metrics.registry().gauge(&format!("topk_slo_{w}_p99_micros")),
+                    metrics
+                        .registry()
+                        .gauge(&format!("topk_slo_{w}_availability_ppm")),
+                    metrics
+                        .registry()
+                        .gauge(&format!("topk_slo_{w}_error_budget_remaining_ppm")),
+                ]
+            })
+            .collect();
+        let uptime_gauge = metrics.registry().gauge("topk_uptime_seconds");
         let shards = (0..cfg.shards)
             .map(|_| {
                 Mutex::new(Shard {
@@ -240,6 +284,12 @@ impl Engine {
             next_rid: AtomicU64::new(0),
             journal: None,
             shard_gauges,
+            journal_gauges: Vec::new(),
+            slo_gauges,
+            uptime_gauge,
+            start: Instant::now(),
+            slo: SloTracker::new(cfg.slo_p99_micros, cfg.slo_availability_ppm),
+            profiles: ProfileRing::new(PROFILE_RING_CAP),
             metrics,
             cfg,
         })
@@ -315,6 +365,13 @@ impl Engine {
             self.cfg.shards,
             "journal set must have one segment per shard"
         );
+        self.journal_gauges = (0..journal.n_segments())
+            .map(|i| {
+                self.metrics
+                    .registry()
+                    .gauge(&format!("topk_journal_segment_{i}_bytes"))
+            })
+            .collect();
         self.journal = Some(journal);
     }
 
@@ -700,17 +757,36 @@ impl Engine {
     /// TopK count-style query: the K heaviest collapsed groups surviving
     /// the bound/prune machinery, rendered as a JSON result body.
     pub fn query_topk(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topk:k={k}"), |engine, core, field| {
-            Ok(engine.compute_topk(core, field, k))
+        self.cached_query(format!("topk:k={k}"), None, |engine, core, field, prof| {
+            Ok(engine.compute_topk(core, field, k, prof))
         })
+    }
+
+    /// [`Self::query_topk`] with a [`QueryProfile`] appended as the
+    /// body's `profile` member (the `"explain":true` protocol path).
+    pub fn query_topk_explained(&self, k: usize) -> Result<Json, String> {
+        let mut p = QueryProfile::new("topk", k);
+        let body = self.cached_query(format!("topk:k={k}"), Some(&mut p), |engine, core, field, prof| {
+            Ok(engine.compute_topk(core, field, k, prof))
+        })?;
+        Ok(self.finish_explained(body, p))
     }
 
     /// TopR rank-style query (§7.1): group *order* with upper bounds and
     /// a certification flag — the cheap way to keep a leaderboard fresh.
     pub fn query_topr(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topr:k={k}"), |engine, core, field| {
-            Ok(engine.compute_topr(core, field, k))
+        self.cached_query(format!("topr:k={k}"), None, |engine, core, field, prof| {
+            Ok(engine.compute_topr(core, field, k, prof))
         })
+    }
+
+    /// [`Self::query_topr`] with a `profile` member.
+    pub fn query_topr_explained(&self, k: usize) -> Result<Json, String> {
+        let mut p = QueryProfile::new("topr", k);
+        let body = self.cached_query(format!("topr:k={k}"), Some(&mut p), |engine, core, field, prof| {
+            Ok(engine.compute_topr(core, field, k, prof))
+        })?;
+        Ok(self.finish_explained(body, p))
     }
 
     /// Approximate TopK (`docs/APPROX.md`): estimate group weights from
@@ -721,9 +797,29 @@ impl Engine {
     pub fn query_topk_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
         topk_approx::validate_epsilon(epsilon)?;
         Metrics::incr(&self.metrics.approx_queries);
-        self.cached_query(format!("topk:k={k}:approx={epsilon}"), move |engine, core, field| {
-            Ok(engine.compute_approx(core, field, k, epsilon, false))
-        })
+        self.cached_query(
+            format!("topk:k={k}:approx={epsilon}"),
+            None,
+            move |engine, core, field, prof| {
+                Ok(engine.compute_approx(core, field, k, epsilon, false, prof))
+            },
+        )
+    }
+
+    /// [`Self::query_topk_approx`] with a `profile` member (including
+    /// the sampled tier's escalated-partition list).
+    pub fn query_topk_approx_explained(&self, k: usize, epsilon: f64) -> Result<Json, String> {
+        topk_approx::validate_epsilon(epsilon)?;
+        Metrics::incr(&self.metrics.approx_queries);
+        let mut p = QueryProfile::new("topk", k);
+        let body = self.cached_query(
+            format!("topk:k={k}:approx={epsilon}"),
+            Some(&mut p),
+            move |engine, core, field, prof| {
+                Ok(engine.compute_approx(core, field, k, epsilon, false, prof))
+            },
+        )?;
+        Ok(self.finish_explained(body, p))
     }
 
     /// Approximate TopR: the same sampled estimator answering in the
@@ -734,9 +830,52 @@ impl Engine {
     pub fn query_topr_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
         topk_approx::validate_epsilon(epsilon)?;
         Metrics::incr(&self.metrics.approx_queries);
-        self.cached_query(format!("topr:k={k}:approx={epsilon}"), move |engine, core, field| {
-            Ok(engine.compute_approx(core, field, k, epsilon, true))
-        })
+        self.cached_query(
+            format!("topr:k={k}:approx={epsilon}"),
+            None,
+            move |engine, core, field, prof| {
+                Ok(engine.compute_approx(core, field, k, epsilon, true, prof))
+            },
+        )
+    }
+
+    /// [`Self::query_topr_approx`] with a `profile` member.
+    pub fn query_topr_approx_explained(&self, k: usize, epsilon: f64) -> Result<Json, String> {
+        topk_approx::validate_epsilon(epsilon)?;
+        Metrics::incr(&self.metrics.approx_queries);
+        let mut p = QueryProfile::new("topr", k);
+        let body = self.cached_query(
+            format!("topr:k={k}:approx={epsilon}"),
+            Some(&mut p),
+            move |engine, core, field, prof| {
+                Ok(engine.compute_approx(core, field, k, epsilon, true, prof))
+            },
+        )?;
+        Ok(self.finish_explained(body, p))
+    }
+
+    /// Seal an explained query: count it, push the rendered profile
+    /// into the ring for `profiles`, and append it to the response
+    /// body. The *cache* stores the unprofiled body (the profile
+    /// describes one execution, not the answer), so explain-on and
+    /// explain-off queries share cache entries.
+    fn finish_explained(&self, body: Json, profile: QueryProfile) -> Json {
+        Metrics::incr(&self.metrics.explained_queries);
+        let rendered = profile.render();
+        self.profiles.push(rendered.clone());
+        match body {
+            Json::Obj(mut members) => {
+                members.push(("profile".to_string(), rendered));
+                Json::Obj(members)
+            }
+            other => other,
+        }
+    }
+
+    /// Take every buffered explained-query profile, oldest first (the
+    /// `profiles` protocol command).
+    pub fn drain_profiles(&self) -> Vec<Json> {
+        self.profiles.drain()
     }
 
     /// Shared implementation of the approximate queries: sample →
@@ -749,6 +888,7 @@ impl Engine {
         k: usize,
         epsilon: f64,
         as_topr: bool,
+        mut prof: Option<&mut QueryProfile>,
     ) -> Json {
         assert!(k >= 1, "K must be at least 1");
         let Core {
@@ -776,8 +916,25 @@ impl Engine {
             obj(body)
         };
         if global.is_empty() {
+            if let Some(p) = prof.as_deref_mut() {
+                p.shards = Some(ShardProfile {
+                    total: shards.len(),
+                    scanned: 0,
+                    skipped: 0,
+                    empty: shards.len(),
+                });
+                p.approx = Some(ApproxProfile {
+                    epsilon,
+                    sample_requested: m,
+                    sample_size: 0,
+                    population: 0,
+                    escalated_partitions: Vec::new(),
+                    certified: false,
+                });
+            }
             return render(Vec::new(), 0, 0, false);
         }
+        let t_sample = Instant::now();
         // Sample: the merged per-shard sketches reproduce exactly the
         // bottom-m of the whole stream, at every shard count.
         let (estimates, used) = {
@@ -810,6 +967,10 @@ impl Engine {
                 used,
             )
         };
+        if let Some(p) = prof.as_deref_mut() {
+            p.stage("sample", t_sample.elapsed());
+        }
+        let t_escalate = Instant::now();
         let (_tau, parts) = topk_approx::escalation_partitions(&estimates, k);
         self.metrics
             .approx_escalations
@@ -858,6 +1019,10 @@ impl Engine {
                 });
             }
         }
+        if let Some(p) = prof.as_deref_mut() {
+            p.stage("escalate", t_escalate.elapsed());
+        }
+        let t_merge = Instant::now();
         let top = topk_approx::merge_topk(cands, k);
         let certified = top.iter().all(|g| g.escalated || g.lo == g.hi);
         let items: Vec<Json> = top
@@ -876,6 +1041,28 @@ impl Engine {
                 ])
             })
             .collect();
+        if let Some(p) = prof {
+            p.stage("merge", t_merge.elapsed());
+            // For an approximate query "scanned" means touched by
+            // escalation — the shards whose exact collapse was read.
+            p.shards = Some(ShardProfile {
+                total: n_shards,
+                scanned: touched.len(),
+                skipped: n_shards - touched.len(),
+                empty: 0,
+            });
+            p.groups_returned = items.len();
+            let mut escalated: Vec<u64> = parts.iter().copied().collect();
+            escalated.sort_unstable();
+            p.approx = Some(ApproxProfile {
+                epsilon,
+                sample_requested: m,
+                sample_size: used,
+                population: n,
+                escalated_partitions: escalated,
+                certified,
+            });
+        }
         render(items, parts.len(), used, certified)
     }
 
@@ -930,18 +1117,37 @@ impl Engine {
     /// are held, a shard whose best group is strictly below the current
     /// k-th weight (and therefore every shard after it) is skipped
     /// whole — the `shard_skips` metric counts them.
-    fn compute_topk(&self, core: &mut Core, field: FieldId, k: usize) -> Json {
+    fn compute_topk(
+        &self,
+        core: &mut Core,
+        field: FieldId,
+        k: usize,
+        mut prof: Option<&mut QueryProfile>,
+    ) -> Json {
         let Core { shards, .. } = core;
         {
             let all_empty = shards
                 .iter_mut()
                 .all(|m| Self::shard_mut(m).inc.is_empty());
             if all_empty {
+                if let Some(p) = prof {
+                    p.shards = Some(ShardProfile {
+                        total: shards.len(),
+                        scanned: 0,
+                        skipped: 0,
+                        empty: shards.len(),
+                    });
+                }
                 return obj(vec![("groups", Json::Arr(Vec::new()))]);
             }
         }
         assert!(k >= 1, "K must be at least 1");
+        let t_views = Instant::now();
         self.build_views(shards, None);
+        if let Some(p) = prof.as_deref_mut() {
+            p.stage("build_views", t_views.elapsed());
+        }
+        let t_merge = Instant::now();
         let views: Vec<&Vec<GroupView>> = shards
             .iter_mut()
             .map(|m| Self::shard_mut(m).groups.as_ref().expect("views just built"))
@@ -960,6 +1166,8 @@ impl Engine {
         };
         let mut cands: Vec<(u32, GroupView)> = Vec::new();
         let mut skips = 0u64;
+        let mut scanned = 0usize;
+        let mut groups_scanned = 0u64;
         for (pos, &si) in visit.iter().enumerate() {
             if cands.len() >= k {
                 // Strict <: a shard whose best group ties the current
@@ -972,12 +1180,24 @@ impl Engine {
             }
             // The global top k holds at most k groups of any one shard,
             // so each shard's sorted k-prefix suffices.
+            scanned += 1;
+            groups_scanned += views[si].len().min(k) as u64;
             cands.extend(views[si].iter().take(k).map(|g| (si as u32, *g)));
             cands.sort_by(by_rank);
             cands.truncate(k);
         }
         if skips > 0 {
             self.metrics.shard_skips.fetch_add(skips, Ordering::Relaxed);
+        }
+        if let Some(p) = prof.as_deref_mut() {
+            p.shards = Some(ShardProfile {
+                total: views.len(),
+                scanned,
+                skipped: skips as usize,
+                empty: views.len() - visit.len(),
+            });
+            p.groups_scanned = groups_scanned;
+            p.groups_returned = cands.len();
         }
         drop(views);
         let mut items = Vec::with_capacity(cands.len());
@@ -995,6 +1215,9 @@ impl Engine {
                 ("rep", Json::Str(rep)),
             ]));
         }
+        if let Some(p) = prof {
+            p.stage("merge", t_merge.elapsed());
+        }
         obj(vec![("groups", Json::Arr(items))])
     }
 
@@ -1003,7 +1226,13 @@ impl Engine {
     /// it, so answers are byte-identical at every shard count. With one
     /// shard the records are borrowed in place; with more they are
     /// gathered (clones) into a cache invalidated by the next flush.
-    fn compute_topr(&self, core: &mut Core, field: FieldId, k: usize) -> Json {
+    fn compute_topr(
+        &self,
+        core: &mut Core,
+        field: FieldId,
+        k: usize,
+        mut prof: Option<&mut QueryProfile>,
+    ) -> Json {
         let Core {
             shards,
             global,
@@ -1011,12 +1240,28 @@ impl Engine {
             topr_toks,
             ..
         } = core;
+        if let Some(p) = prof.as_deref_mut() {
+            // The rank query scans every collapsed record, so no shard
+            // is ever skipped — only empty shards contribute nothing.
+            let empty = shards
+                .iter_mut()
+                .map(Self::shard_mut)
+                .filter(|s| s.inc.is_empty())
+                .count();
+            p.shards = Some(ShardProfile {
+                total: shards.len(),
+                scanned: shards.len() - empty,
+                skipped: 0,
+                empty,
+            });
+        }
         if global.is_empty() {
             return obj(vec![
                 ("entries", Json::Arr(Vec::new())),
                 ("certified", Json::Bool(false)),
             ]);
         }
+        let t_gather = Instant::now();
         let stack = stack_from_stats(
             Arc::new(stats.clone()),
             field,
@@ -1037,6 +1282,10 @@ impl Engine {
             }
             topr_toks.as_deref().expect("gathered above")
         };
+        if let Some(p) = prof.as_deref_mut() {
+            p.stage("gather", t_gather.elapsed());
+        }
+        let t_rank = Instant::now();
         let mut q = TopKRankQuery::new(k);
         q.parallelism = self.cfg.parallelism;
         let res = q.run(toks, &stack);
@@ -1058,6 +1307,11 @@ impl Engine {
                 ])
             })
             .collect();
+        if let Some(p) = prof {
+            p.stage("rank_query", t_rank.elapsed());
+            p.groups_scanned = toks.len() as u64;
+            p.groups_returned = entries.len();
+        }
         obj(vec![
             ("entries", Json::Arr(entries)),
             ("certified", Json::Bool(res.certified)),
@@ -1069,9 +1323,19 @@ impl Engine {
     /// (it linearizes before any in-flight ingest); a miss takes the
     /// write lock, flushes, computes, and caches at the settled
     /// generation.
-    fn cached_query<F>(&self, key: String, compute: F) -> Result<Json, String>
+    ///
+    /// With `profile` set (the `"explain":true` path) the execution is
+    /// additionally described into it; explain-off queries pass `None`
+    /// and pay nothing beyond a null check. The cache stores the
+    /// *unprofiled* body, so both paths share entries.
+    fn cached_query<F>(
+        &self,
+        key: String,
+        mut profile: Option<&mut QueryProfile>,
+        compute: F,
+    ) -> Result<Json, String>
     where
-        F: FnOnce(&Engine, &mut Core, FieldId) -> Result<Json, String>,
+        F: FnOnce(&Engine, &mut Core, FieldId, Option<&mut QueryProfile>) -> Result<Json, String>,
     {
         let t0 = Instant::now();
         let mut sp = topk_obs::Span::enter("service.query");
@@ -1089,17 +1353,31 @@ impl Engine {
                     Metrics::incr(&self.metrics.cache_hits);
                     self.metrics.query_latency.record(t0.elapsed());
                     sp.record("cache_hit", true);
+                    if let Some(p) = profile {
+                        p.cache_hit = true;
+                        p.generation = observed;
+                        p.total_micros = t0.elapsed().as_micros() as u64;
+                    }
                     return Ok(body);
                 }
             }
         }
         Metrics::incr(&self.metrics.cache_misses);
         sp.record("cache_hit", false);
+        let t_lock = Instant::now();
         let mut core = self.write_core();
         let field = self.read_schema().field;
-        self.flush_locked(&mut core, field);
+        if let Some(p) = profile.as_deref_mut() {
+            p.stage("lock_wait", t_lock.elapsed());
+        }
+        let t_flush = Instant::now();
+        if self.flush_locked(&mut core, field) {
+            if let Some(p) = profile.as_deref_mut() {
+                p.stage("flush", t_flush.elapsed());
+            }
+        }
         let generation = self.generation.load(Ordering::Acquire);
-        let body = compute(self, &mut core, field)?;
+        let body = compute(self, &mut core, field, profile.as_deref_mut())?;
         drop(core);
         let mut cache = self.lock_cache();
         if cache.len() >= CACHE_CAP {
@@ -1114,12 +1392,106 @@ impl Engine {
         );
         drop(cache);
         self.metrics.query_latency.record(t0.elapsed());
+        if let Some(p) = profile {
+            p.generation = generation;
+            p.total_micros = t0.elapsed().as_micros() as u64;
+        }
         Ok(body)
     }
 
     /// Current ingest generation (total records ever accepted).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    // ---- health / SLO / exposition --------------------------------------
+
+    /// Seconds since this engine was constructed.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Feed one served-request outcome into the rolling SLO windows.
+    /// The server calls this for every query-class request (`topk`,
+    /// `topr`), successes and failures alike.
+    pub fn record_query_outcome(&self, latency: Duration, ok: bool) {
+        self.slo.record(latency, ok);
+    }
+
+    /// The SLO tracker (reports back the `health` command).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// Body of the `health` protocol response: overall verdict, uptime,
+    /// and one per-window SLO evaluation
+    /// (`docs/OBSERVABILITY.md`, *SLOs & health*).
+    pub fn health_json(&self) -> Json {
+        let reports = self.slo.report();
+        let healthy = reports.iter().all(|r| r.healthy());
+        let windows: Vec<Json> = reports
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("window", Json::Str(r.window.to_string())),
+                    ("total", Json::Num(r.total as f64)),
+                    ("errors", Json::Num(r.errors as f64)),
+                    ("availability_ppm", Json::Num(r.availability_ppm as f64)),
+                    ("p99_micros", Json::Num(r.p99_micros as f64)),
+                    ("p99_ok", Json::Bool(r.p99_ok)),
+                    (
+                        "error_budget_remaining_ppm",
+                        Json::Num(r.error_budget_remaining_ppm as f64),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("healthy", Json::Bool(healthy)),
+            ("uptime_seconds", Json::Num(self.uptime_seconds() as f64)),
+            ("generation", Json::Num(self.generation() as f64)),
+            (
+                "slo",
+                obj(vec![
+                    (
+                        "p99_target_micros",
+                        Json::Num(self.slo.p99_target_micros() as f64),
+                    ),
+                    (
+                        "availability_target_ppm",
+                        Json::Num(self.slo.availability_target_ppm() as f64),
+                    ),
+                    ("windows", Json::Arr(windows)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Full Prometheus exposition: refresh the point-in-time gauges
+    /// (uptime, SLO windows, journal segment sizes), then render the
+    /// registry prefixed with a `topk_build_info` identity line
+    /// (version + git revision as labels, constant value 1 — the
+    /// standard build-info idiom).
+    pub fn prometheus_text(&self) -> String {
+        self.uptime_gauge
+            .store(self.uptime_seconds() as i64, Ordering::Relaxed);
+        for (r, g) in self.slo.report().iter().zip(&self.slo_gauges) {
+            g[0].store(r.p99_micros as i64, Ordering::Relaxed);
+            g[1].store(r.availability_ppm as i64, Ordering::Relaxed);
+            g[2].store(r.error_budget_remaining_ppm as i64, Ordering::Relaxed);
+        }
+        if let Some(j) = &self.journal {
+            for (i, g) in self.journal_gauges.iter().enumerate() {
+                g.store(j.segment(i).len_bytes() as i64, Ordering::Relaxed);
+            }
+        }
+        let mut text = format!(
+            "# TYPE topk_build_info gauge\ntopk_build_info{{version=\"{}\",rev=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            env!("TOPK_GIT_REV"),
+        );
+        text.push_str(&self.metrics.registry().prometheus_text());
+        text
     }
 
     /// Engine-level stats body (per-shard detail and metrics included).

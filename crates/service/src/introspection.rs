@@ -1,0 +1,410 @@
+//! Query introspection: per-query EXPLAIN profiles, the profile ring,
+//! and the slow-query log.
+//!
+//! The paper's contribution is the work a query *avoids* — groups
+//! pruned under the CPN bound, whole shards skipped by the cross-shard
+//! merge, partitions the sampled estimator never escalates. Aggregate
+//! counters (`crate::metrics`) say how much was avoided overall; this
+//! module answers it **per query**: any `topk`/`topr` request may set
+//! `"explain":true` and receive a [`QueryProfile`] describing exactly
+//! what that one query did (see `docs/OBSERVABILITY.md`, *EXPLAIN &
+//! profiles*).
+//!
+//! Profiles of explained queries are also pushed into a bounded
+//! [`ProfileRing`] drained by the `profiles` protocol command, and the
+//! server writes a [`SlowQueryLog`] JSON-line for every request over a
+//! configurable latency threshold — so "why was *this* query slow" is
+//! answerable after the fact, without having asked in advance.
+//!
+//! Everything deterministic in a profile (shard scan/skip counts, cache
+//! status, the escalated-partition list) renders byte-identically for
+//! identical corpus + query, which `tests/serve_explain.rs` pins
+//! across shard counts 1–8; wall-time fields are the only
+//! run-dependent members.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+
+/// Per-shard-merge detail of one query (how the strict-below-kth rule
+/// played out).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Shards the engine holds.
+    pub total: usize,
+    /// Shards whose group lists entered the merge (for an approximate
+    /// query: shards touched by escalation).
+    pub scanned: usize,
+    /// Shards skipped whole because their best group's weight was
+    /// strictly below the running k-th candidate (exact merge), or
+    /// untouched by escalation (approximate).
+    pub skipped: usize,
+    /// Shards holding no groups at all (never enter the merge).
+    pub empty: usize,
+}
+
+/// Approximate-tier detail of one query (`docs/APPROX.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxProfile {
+    /// Requested relative-error target.
+    pub epsilon: f64,
+    /// Sample size the ε target asked for.
+    pub sample_requested: usize,
+    /// Entries the merged bottom-m sketches actually held.
+    pub sample_size: usize,
+    /// Collapsed population the estimates extrapolate to.
+    pub population: u64,
+    /// Blocking partitions escalated to the exact collapse because
+    /// their confidence interval overlapped the K-boundary, sorted.
+    /// Partition keys are shard-count-invariant (the sketch merge is
+    /// exact), so this list is byte-identical at every shard count.
+    pub escalated_partitions: Vec<u64>,
+    /// Whether every returned entry was exact (escalated or fully
+    /// sampled).
+    pub certified: bool,
+}
+
+/// Everything one `topk`/`topr` query did, assembled when the request
+/// carries `"explain":true` and rendered as the response's `profile`
+/// member.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// `"topk"` or `"topr"`.
+    pub query: &'static str,
+    /// The requested K.
+    pub k: usize,
+    /// Ingest generation the answer was computed (or cached) at.
+    pub generation: u64,
+    /// Whether the generation-keyed cache answered.
+    pub cache_hit: bool,
+    /// Per-stage wall time, µs, in execution order (empty on a hit).
+    pub stages: Vec<(&'static str, u64)>,
+    /// Cross-shard merge detail (absent on a hit — nothing was scanned).
+    pub shards: Option<ShardProfile>,
+    /// Group views that entered the merge across all scanned shards.
+    pub groups_scanned: u64,
+    /// Groups/entries in the rendered answer.
+    pub groups_returned: usize,
+    /// Approximate-tier detail, when `approx` was set.
+    pub approx: Option<ApproxProfile>,
+    /// End-to-end engine time, µs.
+    pub total_micros: u64,
+}
+
+impl QueryProfile {
+    /// Fresh profile for a query about to run.
+    pub fn new(query: &'static str, k: usize) -> QueryProfile {
+        QueryProfile {
+            query,
+            k,
+            generation: 0,
+            cache_hit: false,
+            stages: Vec::new(),
+            shards: None,
+            groups_scanned: 0,
+            groups_returned: 0,
+            approx: None,
+            total_micros: 0,
+        }
+    }
+
+    /// Append a stage timing.
+    pub fn stage(&mut self, name: &'static str, took: Duration) {
+        self.stages.push((name, took.as_micros() as u64));
+    }
+
+    /// Render the profile as the response's `profile` member.
+    pub fn render(&self) -> Json {
+        let mut members = vec![
+            ("query", Json::Str(self.query.to_string())),
+            ("k", Json::Num(self.k as f64)),
+            ("generation", Json::Num(self.generation as f64)),
+            (
+                "cache",
+                Json::Str(if self.cache_hit { "hit" } else { "miss" }.to_string()),
+            ),
+        ];
+        if let Some(s) = &self.shards {
+            members.push((
+                "shards",
+                obj(vec![
+                    ("total", Json::Num(s.total as f64)),
+                    ("scanned", Json::Num(s.scanned as f64)),
+                    ("skipped", Json::Num(s.skipped as f64)),
+                    ("empty", Json::Num(s.empty as f64)),
+                ]),
+            ));
+            members.push((
+                "groups",
+                obj(vec![
+                    ("scanned", Json::Num(self.groups_scanned as f64)),
+                    ("returned", Json::Num(self.groups_returned as f64)),
+                ]),
+            ));
+        }
+        if let Some(a) = &self.approx {
+            members.push((
+                "approx",
+                obj(vec![
+                    ("epsilon", Json::Num(a.epsilon)),
+                    ("sample_requested", Json::Num(a.sample_requested as f64)),
+                    ("sample_size", Json::Num(a.sample_size as f64)),
+                    ("population", Json::Num(a.population as f64)),
+                    (
+                        // Hex strings: partition keys are 64-bit hashes,
+                        // beyond f64's exact-integer range.
+                        "escalated_partitions",
+                        Json::Arr(
+                            a.escalated_partitions
+                                .iter()
+                                .map(|p| Json::Str(format!("{p:016x}")))
+                                .collect(),
+                        ),
+                    ),
+                    ("certified", Json::Bool(a.certified)),
+                ]),
+            ));
+        }
+        if !self.stages.is_empty() {
+            members.push((
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|(name, micros)| {
+                            obj(vec![
+                                ("stage", Json::Str(name.to_string())),
+                                ("micros", Json::Num(*micros as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        members.push(("total_micros", Json::Num(self.total_micros as f64)));
+        obj(members)
+    }
+}
+
+/// Bounded FIFO of rendered profiles from explained queries, drained by
+/// the `profiles` protocol command. Oldest profiles fall off when the
+/// ring is full — it is a flight recorder, not a log.
+pub struct ProfileRing {
+    cap: usize,
+    inner: Mutex<VecDeque<Json>>,
+}
+
+impl ProfileRing {
+    /// Ring holding at most `cap` profiles.
+    pub fn new(cap: usize) -> ProfileRing {
+        ProfileRing {
+            cap,
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one rendered profile, evicting the oldest at capacity.
+    pub fn push(&self, profile: Json) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.cap {
+            q.pop_front();
+        }
+        q.push_back(profile);
+    }
+
+    /// Take every buffered profile, oldest first.
+    pub fn drain(&self) -> Vec<Json> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+
+    /// Buffered profile count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Structured JSON-lines log of requests slower than a threshold, with
+/// single-file rotation: when the active file would exceed `max_bytes`
+/// it is renamed to `<path>.1` (replacing any previous rotation) and a
+/// fresh file is started — bounded disk use, and at least one rotation
+/// of history.
+pub struct SlowQueryLog {
+    path: PathBuf,
+    threshold: Duration,
+    max_bytes: u64,
+    file: Mutex<(File, u64)>,
+}
+
+impl SlowQueryLog {
+    /// Open (appending) or create the log at `path`. Requests at or over
+    /// `threshold` should be logged; `max_bytes == 0` disables rotation.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        threshold: Duration,
+        max_bytes: u64,
+    ) -> io::Result<SlowQueryLog> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(SlowQueryLog {
+            path,
+            threshold,
+            max_bytes,
+            file: Mutex::new((file, len)),
+        })
+    }
+
+    /// The latency threshold this log was configured with.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// The active log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record as a JSON line, rotating first if the file
+    /// would outgrow `max_bytes`.
+    pub fn log(&self, record: &Json) -> io::Result<()> {
+        let mut line = record.to_string();
+        line.push('\n');
+        let mut guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if self.max_bytes > 0 && guard.1 > 0 && guard.1 + line.len() as u64 > self.max_bytes {
+            let rotated = {
+                let mut os = self.path.clone().into_os_string();
+                os.push(".1");
+                PathBuf::from(os)
+            };
+            std::fs::rename(&self.path, &rotated)?;
+            *guard = (
+                OpenOptions::new().create(true).append(true).open(&self.path)?,
+                0,
+            );
+        }
+        guard.0.write_all(line.as_bytes())?;
+        guard.1 += line.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_renders_deterministic_members() {
+        let mut p = QueryProfile::new("topk", 3);
+        p.generation = 8;
+        p.shards = Some(ShardProfile {
+            total: 4,
+            scanned: 2,
+            skipped: 1,
+            empty: 1,
+        });
+        p.groups_scanned = 17;
+        p.groups_returned = 3;
+        p.approx = Some(ApproxProfile {
+            epsilon: 0.1,
+            sample_requested: 800,
+            sample_size: 10,
+            population: 10,
+            escalated_partitions: vec![0x1f, 0xabc],
+            certified: true,
+        });
+        p.stage("flush", Duration::from_micros(12));
+        p.total_micros = 99;
+        let text = p.render().to_string();
+        assert!(text.contains(r#""query":"topk""#), "{text}");
+        assert!(text.contains(r#""cache":"miss""#), "{text}");
+        assert!(
+            text.contains(r#""shards":{"total":4,"scanned":2,"skipped":1,"empty":1}"#),
+            "{text}"
+        );
+        assert!(text.contains(r#""groups":{"scanned":17,"returned":3}"#), "{text}");
+        assert!(
+            text.contains(r#""escalated_partitions":["000000000000001f","0000000000000abc"]"#),
+            "{text}"
+        );
+        assert!(text.contains(r#""stages":[{"stage":"flush","micros":12}]"#), "{text}");
+        // A cache hit renders no shard/group/stage members at all.
+        let mut hit = QueryProfile::new("topr", 2);
+        hit.cache_hit = true;
+        let text = hit.render().to_string();
+        assert!(text.contains(r#""cache":"hit""#), "{text}");
+        assert!(!text.contains("shards"), "{text}");
+        assert!(!text.contains("stages"), "{text}");
+    }
+
+    #[test]
+    fn ring_bounds_and_drains_fifo() {
+        let ring = ProfileRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(Json::Num(i as f64));
+        }
+        assert_eq!(ring.len(), 3, "oldest two evicted");
+        let drained = ring.drain();
+        assert_eq!(
+            drained,
+            vec![Json::Num(2.0), Json::Num(3.0), Json::Num(4.0)],
+            "FIFO order, oldest first"
+        );
+        assert!(ring.is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn slow_log_appends_and_rotates() {
+        let dir = std::env::temp_dir().join("topk_slow_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let rotated = dir.join("slow.jsonl.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        let log = SlowQueryLog::open(&path, Duration::from_millis(5), 80).unwrap();
+        assert_eq!(log.threshold(), Duration::from_millis(5));
+        let rec = |i: usize| {
+            obj(vec![
+                ("cmd", Json::Str("topk".into())),
+                ("latency_micros", Json::Num(7_000.0 + i as f64)),
+            ])
+        };
+        log.log(&rec(0)).unwrap();
+        log.log(&rec(1)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| crate::json::parse(l).is_ok()), "{text}");
+        // The third record pushes past 80 bytes: the first two rotate
+        // out to `.1`, the active file starts over.
+        log.log(&rec(2)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            1,
+            "fresh active file"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&rotated).unwrap().lines().count(),
+            2,
+            "previous records preserved in the rotation"
+        );
+        // Reopening appends (restart does not clobber history).
+        drop(log);
+        let log = SlowQueryLog::open(&path, Duration::from_millis(5), 0).unwrap();
+        log.log(&rec(3)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+    }
+}

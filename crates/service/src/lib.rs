@@ -33,6 +33,7 @@
 pub mod client;
 pub mod corpus;
 pub mod engine;
+pub mod introspection;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -44,9 +45,10 @@ pub mod snapshot;
 pub use client::{Client, ClientConfig};
 pub use corpus::{generic_stack, load_corpus, load_dataset, stack_from_stats, Corpus, CorpusOptions};
 pub use engine::{Engine, EngineConfig};
+pub use introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfile, SlowQueryLog};
 pub use journal::{Journal, JournalSet, Row, SetRecovery};
 pub use json::Json;
 pub use metrics::Metrics;
-pub use protocol::{parse_request, ProtoError, Request};
+pub use protocol::{parse_request, parse_request_meta, ProtoError, Request};
 pub use server::{Server, ServerConfig};
 pub use shard::ShardRouter;

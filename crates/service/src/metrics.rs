@@ -80,6 +80,10 @@ pub struct Metrics {
     pub approx_escalations: Arc<AtomicU64>,
     /// Query-time flushes that actually collapsed pending records.
     pub flushes: Arc<AtomicU64>,
+    /// Queries served with `"explain":true` (profile assembled).
+    pub explained_queries: Arc<AtomicU64>,
+    /// Requests slower than the slow-query-log threshold.
+    pub slow_queries: Arc<AtomicU64>,
     /// Per-record ingest latency.
     pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
@@ -113,6 +117,8 @@ impl Metrics {
             approx_queries: registry.counter("topk_approx_queries_total"),
             approx_escalations: registry.counter("topk_approx_escalations_total"),
             flushes: registry.counter("topk_flushes_total"),
+            explained_queries: registry.counter("topk_explained_queries_total"),
+            slow_queries: registry.counter("topk_slow_queries_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
             registry,
@@ -161,6 +167,8 @@ impl Metrics {
             ("approx_queries", n(&self.approx_queries)),
             ("approx_escalations", n(&self.approx_escalations)),
             ("flushes", n(&self.flushes)),
+            ("explained_queries", n(&self.explained_queries)),
+            ("slow_queries", n(&self.slow_queries)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),
         ])

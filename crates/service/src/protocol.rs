@@ -5,6 +5,13 @@
 //! `{"ok":false,"error":{"code":...,"message":...}}` so clients can
 //! branch on a stable machine-readable `code` while logging the human
 //! message. Full schemas: `docs/SERVICE.md`.
+//!
+//! Two opt-in members ride on top of the core schema: any request may
+//! carry a `"trace":"<id>"` string (surfaced by [`parse_request_meta`];
+//! the server stamps it onto its spans and the slow-query log so a
+//! client-generated id stitches both timelines), and the query commands
+//! accept `"explain":true` to get a `profile` member back
+//! (`docs/OBSERVABILITY.md`).
 
 use crate::json::{obj, parse, Json};
 
@@ -24,6 +31,8 @@ pub enum Request {
         /// confidence interval overlaps the K-boundary are escalated
         /// to the exact pipeline.
         approx: Option<f64>,
+        /// Attach a `QueryProfile` to the response as `profile`.
+        explain: bool,
     },
     /// Rank-style query (order + upper bounds).
     TopR {
@@ -32,13 +41,20 @@ pub enum Request {
         /// Same as [`Request::TopK::approx`]: optional relative-error
         /// target for a sampled answer with exact escalation.
         approx: Option<f64>,
+        /// Attach a `QueryProfile` to the response as `profile`.
+        explain: bool,
     },
     /// Engine and metrics counters.
     Stats,
     /// Prometheus text exposition of the engine's metric registry.
     Metrics,
+    /// Rolling-window SLO evaluation (availability, p99 vs target,
+    /// error-budget burn over 1m/5m/1h) plus uptime.
+    Health,
+    /// Drain the ring buffer of explained-query profiles.
+    Profiles,
     /// Inspect or change span tracing at runtime: toggle collection
-    /// and/or write buffered spans to a server-side Chrome trace file.
+    /// and/or drain buffered spans (to a server-side file, or inline).
     Trace {
         /// `Some(true)`/`Some(false)` turns collection on/off; `None`
         /// leaves it as is (pure inspection).
@@ -46,6 +62,10 @@ pub enum Request {
         /// When set, drain buffered spans to this server-side path as
         /// Chrome `trace_event` JSON.
         out: Option<String>,
+        /// When true, drain buffered spans into the response itself
+        /// (a `spans` array) — how a remote client fetches server
+        /// spans to stitch a cross-process trace.
+        inline: bool,
     },
     /// Persist the collapsed state to a server-side path.
     Snapshot {
@@ -87,20 +107,38 @@ impl ProtoError {
     }
 }
 
-/// Parse one request line.
+/// Parse one request line, discarding the optional trace id (callers
+/// that don't propagate traces).
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    parse_request_meta(line).map(|(req, _)| req)
+}
+
+/// Parse one request line plus its optional `"trace"` id. The id is an
+/// opaque client-chosen string stamped onto server spans and slow-query
+/// records for cross-process correlation.
+pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), ProtoError> {
     let v = parse(line).map_err(|e| ProtoError {
         code: "bad_json",
         message: e,
     })?;
+    let trace = match v.get("trace") {
+        None => None,
+        Some(t) => Some(
+            t.as_str()
+                .ok_or_else(|| ProtoError::bad_request("`trace` must be a string id"))?
+                .to_string(),
+        ),
+    };
     let cmd = v
         .get("cmd")
         .and_then(Json::as_str)
         .ok_or_else(|| ProtoError::bad_request("missing string `cmd`"))?;
-    match cmd {
-        "ping" => Ok(Request::Ping),
-        "stats" => Ok(Request::Stats),
-        "metrics" => Ok(Request::Metrics),
+    let req = match cmd {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "health" => Request::Health,
+        "profiles" => Request::Profiles,
         "trace" => {
             let enabled = match v.get("enabled") {
                 None => None,
@@ -116,21 +154,35 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                         .to_string(),
                 ),
             };
-            Ok(Request::Trace { enabled, out })
+            let inline = parse_flag(&v, "inline")?;
+            Request::Trace { enabled, out, inline }
         }
-        "shutdown" => Ok(Request::Shutdown),
-        "ingest" => parse_ingest(&v),
-        "topk" => Ok(Request::TopK {
+        "shutdown" => Request::Shutdown,
+        "ingest" => parse_ingest(&v)?,
+        "topk" => Request::TopK {
             k: parse_k(&v)?,
             approx: parse_approx(&v)?,
-        }),
-        "topr" => Ok(Request::TopR {
+            explain: parse_flag(&v, "explain")?,
+        },
+        "topr" => Request::TopR {
             k: parse_k(&v)?,
             approx: parse_approx(&v)?,
-        }),
-        "snapshot" => Ok(Request::Snapshot { path: parse_path(&v)? }),
-        "restore" => Ok(Request::Restore { path: parse_path(&v)? }),
-        other => Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
+            explain: parse_flag(&v, "explain")?,
+        },
+        "snapshot" => Request::Snapshot { path: parse_path(&v)? },
+        "restore" => Request::Restore { path: parse_path(&v)? },
+        other => return Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
+    };
+    Ok((req, trace))
+}
+
+/// An optional boolean member, defaulting to false.
+fn parse_flag(v: &Json, name: &str) -> Result<bool, ProtoError> {
+    match v.get(name) {
+        None => Ok(false),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| ProtoError::bad_request(format!("`{name}` must be a boolean"))),
     }
 }
 
@@ -256,25 +308,48 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","k":5}"#).unwrap(),
-            Request::TopK { k: 5, approx: None }
+            Request::TopK { k: 5, approx: None, explain: false }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topr","k":2}"#).unwrap(),
-            Request::TopR { k: 2, approx: None }
+            Request::TopR { k: 2, approx: None, explain: false }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","k":5,"approx":0.05}"#).unwrap(),
             Request::TopK {
                 k: 5,
-                approx: Some(0.05)
+                approx: Some(0.05),
+                explain: false
             }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topr","k":3,"approx":0.2}"#).unwrap(),
             Request::TopR {
                 k: 3,
-                approx: Some(0.2)
+                approx: Some(0.2),
+                explain: false
             }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","k":5,"explain":true}"#).unwrap(),
+            Request::TopK {
+                k: 5,
+                approx: None,
+                explain: true
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topr","k":1,"approx":0.1,"explain":true}"#).unwrap(),
+            Request::TopR {
+                k: 1,
+                approx: Some(0.1),
+                explain: true
+            }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(
+            parse_request(r#"{"cmd":"profiles"}"#).unwrap(),
+            Request::Profiles
         );
         assert_eq!(
             parse_request(r#"{"cmd":"snapshot","path":"/tmp/x"}"#).unwrap(),
@@ -286,13 +361,22 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"trace"}"#).unwrap(),
-            Request::Trace { enabled: None, out: None }
+            Request::Trace { enabled: None, out: None, inline: false }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"trace","enabled":true,"out":"/tmp/t.json"}"#).unwrap(),
             Request::Trace {
                 enabled: Some(true),
-                out: Some("/tmp/t.json".into())
+                out: Some("/tmp/t.json".into()),
+                inline: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace","enabled":false,"inline":true}"#).unwrap(),
+            Request::Trace {
+                enabled: Some(false),
+                out: None,
+                inline: true
             }
         );
         assert_eq!(
@@ -327,6 +411,9 @@ mod tests {
             (r#"{"cmd":"snapshot"}"#, "bad_request"),
             (r#"{"cmd":"trace","enabled":"yes"}"#, "bad_request"),
             (r#"{"cmd":"trace","out":7}"#, "bad_request"),
+            (r#"{"cmd":"trace","inline":"yes"}"#, "bad_request"),
+            (r#"{"cmd":"topk","k":5,"explain":"yes"}"#, "bad_request"),
+            (r#"{"cmd":"ping","trace":7}"#, "bad_request"),
             (r#"{"cmd":"ingest"}"#, "bad_request"),
             (r#"{"cmd":"ingest","batch":[]}"#, "bad_request"),
             (r#"{"cmd":"ingest","fields":[1]}"#, "bad_request"),
@@ -342,6 +429,25 @@ mod tests {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, code, "{line}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn trace_id_rides_on_any_request() {
+        let (req, trace) =
+            parse_request_meta(r#"{"cmd":"topk","k":3,"trace":"cli-42"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::TopK { k: 3, approx: None, explain: false }
+        );
+        assert_eq!(trace.as_deref(), Some("cli-42"));
+        let (req, trace) = parse_request_meta(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(req, Request::Ping);
+        assert_eq!(trace, None);
+        // parse_request drops the id but accepts the member.
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping","trace":"t"}"#).unwrap(),
+            Request::Ping
+        );
     }
 
     #[test]

@@ -46,12 +46,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::engine::Engine;
+use crate::introspection::SlowQueryLog;
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::protocol::{err_response, ok_response, parse_request, ProtoError, Request};
+use crate::protocol::{err_response, ok_response, parse_request_meta, ProtoError, Request};
 
 /// Per-connection limits and deadlines. All knobs surface as
 /// `topk serve` flags; a zero duration or zero count disables that
@@ -89,6 +90,10 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     /// Snapshot written right before exit, when set.
     pub snapshot_on_exit: Option<PathBuf>,
+    /// When set, requests slower than the log's threshold are appended
+    /// as JSON lines (`topk serve --slow-log`;
+    /// `docs/OBSERVABILITY.md`, *Slow-query log*).
+    pub slow_log: Option<Arc<SlowQueryLog>>,
     /// Limits and deadlines; adjust before [`run`](Self::run).
     pub config: ServerConfig,
 }
@@ -104,6 +109,7 @@ impl Server {
             engine,
             shutdown: Arc::new(AtomicBool::new(false)),
             snapshot_on_exit: None,
+            slow_log: None,
             config: ServerConfig::default(),
         })
     }
@@ -167,8 +173,9 @@ impl Server {
             let shutdown = Arc::clone(&self.shutdown);
             let cfg = Arc::clone(&cfg);
             let active = Arc::clone(&active);
+            let slow_log = self.slow_log.clone();
             handles.push(std::thread::spawn(move || {
-                handle_connection(stream, &engine, &shutdown, addr, &cfg);
+                handle_connection(stream, &engine, &shutdown, addr, &cfg, slow_log.as_deref());
                 done.store(true, Ordering::Relaxed);
                 active.fetch_sub(1, Ordering::SeqCst);
             }));
@@ -384,6 +391,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     addr: SocketAddr,
     cfg: &ServerConfig,
+    slow_log: Option<&SlowQueryLog>,
 ) {
     let writer = match stream.try_clone() {
         Ok(s) => s,
@@ -404,7 +412,30 @@ fn handle_connection(
                     // Blank keep-alive lines are ignored, not errors.
                     continue;
                 }
-                let (response, stop) = dispatch_isolated(&line, engine);
+                let t0 = Instant::now();
+                let mut sp = topk_obs::Span::enter("service.request");
+                let (response, stop, info) = dispatch_isolated(&line, engine);
+                if sp.is_recording() {
+                    sp.record("cmd", info.cmd);
+                    if let Some(t) = &info.trace {
+                        // The client-chosen id that stitches this
+                        // span to the client's own timeline.
+                        sp.record("trace", t.as_str());
+                    }
+                }
+                drop(sp);
+                let latency = t0.elapsed();
+                if info.is_query {
+                    engine.record_query_outcome(latency, info.ok);
+                }
+                if let Some(log) = slow_log {
+                    if latency >= log.threshold() {
+                        Metrics::incr(&engine.metrics.slow_queries);
+                        if let Err(e) = log.log(&slow_record(&line, latency, &info)) {
+                            topk_obs::warn!("slow-query log write failed: {e}");
+                        }
+                    }
+                }
                 if write_line(&mut writer, &response).is_err() {
                     break;
                 }
@@ -458,11 +489,69 @@ fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
     writer.flush()
 }
 
-/// [`dispatch`] under `catch_unwind`: a panicking handler must not take
-/// the connection thread down mid-protocol — the client gets a
+/// What the connection handler needs to know about a dispatched
+/// request beyond its response bytes: SLO accounting, span stamping,
+/// and the slow-query log all key off it.
+#[derive(Debug, Clone)]
+pub struct RequestInfo {
+    /// Protocol command name (`"invalid"` when the line didn't parse,
+    /// `"panic"` when the handler panicked).
+    pub cmd: &'static str,
+    /// Client-provided trace id, when the request carried one.
+    pub trace: Option<String>,
+    /// Whether this was a query-class request (`topk`/`topr`) — the
+    /// population the SLO windows track.
+    pub is_query: bool,
+    /// Whether the response is a success envelope.
+    pub ok: bool,
+}
+
+impl RequestInfo {
+    fn failed(cmd: &'static str) -> RequestInfo {
+        RequestInfo {
+            cmd,
+            trace: None,
+            is_query: false,
+            ok: false,
+        }
+    }
+}
+
+/// The slow-query log record: timestamp, correlation id, what ran, how
+/// long it took, and how it ended. The raw request line (truncated) is
+/// the profile summary — it carries `k`, `approx`, `explain`, and the
+/// batch size, which is what "why was this slow" starts from.
+fn slow_record(line: &str, latency: Duration, info: &RequestInfo) -> Json {
+    const MAX_REQUEST_ECHO: usize = 256;
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut echo: String = line.chars().take(MAX_REQUEST_ECHO).collect();
+    if echo.len() < line.len() {
+        echo.push_str("...");
+    }
+    obj(vec![
+        ("ts_unix_ms", Json::Num(ts_ms as f64)),
+        ("cmd", Json::Str(info.cmd.to_string())),
+        (
+            "trace",
+            match &info.trace {
+                Some(t) => Json::Str(t.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("latency_micros", Json::Num(latency.as_micros() as f64)),
+        ("ok", Json::Bool(info.ok)),
+        ("request", Json::Str(echo)),
+    ])
+}
+
+/// [`dispatch_full`] under `catch_unwind`: a panicking handler must not
+/// take the connection thread down mid-protocol — the client gets a
 /// structured `err:"internal"` and the connection keeps serving.
-fn dispatch_isolated(line: &str, engine: &Engine) -> (String, bool) {
-    match catch_unwind(AssertUnwindSafe(|| dispatch(line, engine))) {
+fn dispatch_isolated(line: &str, engine: &Engine) -> (String, bool, RequestInfo) {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_full(line, engine))) {
         Ok(result) => result,
         Err(panic) => {
             let what = panic
@@ -479,81 +568,121 @@ fn dispatch_isolated(line: &str, engine: &Engine) -> (String, bool) {
                     message: "request handler panicked; state recovered".into(),
                 }),
                 false,
+                RequestInfo::failed("panic"),
             )
         }
     }
 }
 
 /// Execute one request line; returns the response and whether the server
-/// should shut down.
+/// should shut down. Thin wrapper over [`dispatch_full`] for callers
+/// that don't need the request metadata.
 pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
-    let request = match parse_request(line) {
+    let (response, stop, _) = dispatch_full(line, engine);
+    (response, stop)
+}
+
+/// Execute one request line; returns the response, whether the server
+/// should shut down, and the [`RequestInfo`] the connection handler
+/// feeds into SLO tracking and the slow-query log.
+pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo) {
+    let (request, trace) = match parse_request_meta(line) {
         Ok(r) => r,
         Err(e) => {
             Metrics::incr(&engine.metrics.errors);
-            return (err_response(&e), false);
+            return (err_response(&e), false, RequestInfo::failed("invalid"));
         }
     };
+    let cmd = match &request {
+        Request::Ping => "ping",
+        Request::Ingest(_) => "ingest",
+        Request::TopK { .. } => "topk",
+        Request::TopR { .. } => "topr",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Health => "health",
+        Request::Profiles => "profiles",
+        Request::Trace { .. } => "trace",
+        Request::Snapshot { .. } => "snapshot",
+        Request::Restore { .. } => "restore",
+        Request::Shutdown => "shutdown",
+    };
+    let is_query = matches!(request, Request::TopK { .. } | Request::TopR { .. });
     let engine_err = |message: String| ProtoError {
         code: "engine_error",
         message,
     };
+    let mut stop = false;
     let result: Result<Json, ProtoError> = match request {
         Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
         Request::Stats => Ok(engine.stats_json()),
         Request::Metrics => Ok(obj(vec![(
             "text",
-            Json::Str(engine.metrics.registry().prometheus_text()),
+            Json::Str(engine.prometheus_text()),
         )])),
-        Request::Trace { enabled, out } => {
-            if let Some(on) = enabled {
-                topk_obs::span::set_enabled(on);
-            }
-            let mut members = vec![(
-                "enabled",
-                Json::Bool(topk_obs::span::is_enabled()),
-            )];
-            let written = match &out {
-                Some(path) => {
-                    let spans = topk_obs::span::take_spans();
-                    let n = spans.len();
-                    match std::fs::write(path, topk_obs::chrome_trace(&spans)) {
-                        Ok(()) => Some((path.clone(), n)),
-                        Err(e) => {
-                            return {
-                                Metrics::incr(&engine.metrics.errors);
-                                (
-                                    err_response(&ProtoError {
-                                        code: "io_error",
-                                        message: format!("cannot write trace {path}: {e}"),
-                                    }),
-                                    false,
-                                )
+        Request::Health => Ok(engine.health_json()),
+        Request::Profiles => Ok(obj(vec![(
+            "profiles",
+            Json::Arr(engine.drain_profiles()),
+        )])),
+        Request::Trace { enabled, out, inline } => {
+            if inline && out.is_some() {
+                Err(ProtoError::bad_request(
+                    "give either `out` (server-side file) or `inline`, not both",
+                ))
+            } else {
+                if let Some(on) = enabled {
+                    topk_obs::span::set_enabled(on);
+                }
+                let mut members = vec![(
+                    "enabled",
+                    Json::Bool(topk_obs::span::is_enabled()),
+                )];
+                let io_failed: Option<ProtoError> = match &out {
+                    Some(path) => {
+                        let spans = topk_obs::span::take_spans();
+                        let n = spans.len();
+                        match std::fs::write(path, topk_obs::chrome_trace(&spans)) {
+                            Ok(()) => {
+                                members.push(("out", Json::Str(path.clone())));
+                                members.push(("spans", Json::Num(n as f64)));
+                                None
                             }
+                            Err(e) => Some(ProtoError {
+                                code: "io_error",
+                                message: format!("cannot write trace {path}: {e}"),
+                            }),
                         }
                     }
-                }
-                None => None,
-            };
-            match written {
-                Some((path, n)) => {
-                    members.push(("out", Json::Str(path)));
-                    members.push(("spans", Json::Num(n as f64)));
-                }
-                None => {
-                    members.push((
-                        "spans_buffered",
-                        Json::Num(topk_obs::span::pending() as f64),
-                    ));
+                    None if inline => {
+                        // Drain into the response: how a *remote*
+                        // client fetches server spans to stitch a
+                        // cross-process trace (`topk client ...
+                        // --trace-out`).
+                        let spans = topk_obs::span::take_spans();
+                        members.push((
+                            "spans",
+                            Json::Arr(spans.iter().map(span_json).collect()),
+                        ));
+                        None
+                    }
+                    None => {
+                        members.push((
+                            "spans_buffered",
+                            Json::Num(topk_obs::span::pending() as f64),
+                        ));
+                        None
+                    }
+                };
+                match io_failed {
+                    Some(e) => Err(e),
+                    None => Ok(obj(members)),
                 }
             }
-            Ok(obj(members))
         }
         Request::Shutdown => {
-            return (
-                ok_response(obj(vec![("stopping", Json::Bool(true))])),
-                true,
-            )
+            stop = true;
+            Ok(obj(vec![("stopping", Json::Bool(true))]))
         }
         Request::Ingest(rows) => {
             let n = rows.len();
@@ -567,16 +696,20 @@ pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
                 })
                 .map_err(engine_err)
         }
-        Request::TopK { k, approx: None } => engine.query_topk(k).map_err(engine_err),
-        Request::TopK {
-            k,
-            approx: Some(eps),
-        } => engine.query_topk_approx(k, eps).map_err(engine_err),
-        Request::TopR { k, approx: None } => engine.query_topr(k).map_err(engine_err),
-        Request::TopR {
-            k,
-            approx: Some(eps),
-        } => engine.query_topr_approx(k, eps).map_err(engine_err),
+        Request::TopK { k, approx, explain } => match (approx, explain) {
+            (None, false) => engine.query_topk(k),
+            (None, true) => engine.query_topk_explained(k),
+            (Some(eps), false) => engine.query_topk_approx(k, eps),
+            (Some(eps), true) => engine.query_topk_approx_explained(k, eps),
+        }
+        .map_err(engine_err),
+        Request::TopR { k, approx, explain } => match (approx, explain) {
+            (None, false) => engine.query_topr(k),
+            (None, true) => engine.query_topr_explained(k),
+            (Some(eps), false) => engine.query_topr_approx(k, eps),
+            (Some(eps), true) => engine.query_topr_approx_explained(k, eps),
+        }
+        .map_err(engine_err),
         Request::Snapshot { path } => engine
             .snapshot(std::path::Path::new(&path))
             .map(|bytes| {
@@ -603,12 +736,58 @@ pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
             }),
     };
     match result {
-        Ok(body) => (ok_response(body), false),
+        Ok(body) => (
+            ok_response(body),
+            stop,
+            RequestInfo {
+                cmd,
+                trace,
+                is_query,
+                ok: true,
+            },
+        ),
         Err(e) => {
             Metrics::incr(&engine.metrics.errors);
-            (err_response(&e), false)
+            (
+                err_response(&e),
+                false,
+                RequestInfo {
+                    cmd,
+                    trace,
+                    is_query,
+                    ok: false,
+                },
+            )
         }
     }
+}
+
+/// Render one span record as JSON for the `trace` command's inline
+/// drain: everything a client needs to rebuild a
+/// [`topk_obs::TraceEvent`] on its side of a stitched trace.
+fn span_json(s: &topk_obs::SpanRecord) -> Json {
+    let field = |v: &topk_obs::FieldValue| match v {
+        topk_obs::FieldValue::U64(n) => Json::Num(*n as f64),
+        topk_obs::FieldValue::I64(n) => Json::Num(*n as f64),
+        topk_obs::FieldValue::F64(n) => Json::Num(*n),
+        topk_obs::FieldValue::Bool(b) => Json::Bool(*b),
+        topk_obs::FieldValue::Str(t) => Json::Str(t.clone()),
+    };
+    obj(vec![
+        ("name", Json::Str(s.name.to_string())),
+        ("ts_ns", Json::Num(s.ts_ns as f64)),
+        ("dur_ns", Json::Num(s.dur_ns as f64)),
+        ("tid", Json::Num(s.tid as f64)),
+        (
+            "fields",
+            Json::Obj(
+                s.fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), field(v)))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -695,10 +874,32 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("topk_query_latency_micros_bucket{le=\""), "{text}");
+        // The engine-level exposition adds build info, uptime, and the
+        // rolling SLO gauges on top of the registry counters.
+        assert!(text.starts_with("# TYPE topk_build_info gauge\n"), "{text}");
+        assert!(text.contains("topk_build_info{version=\""), "{text}");
+        assert!(text.contains(",rev=\""), "{text}");
+        assert!(text.contains("topk_uptime_seconds "), "{text}");
+        for (_, label) in topk_obs::slo::WINDOWS {
+            assert!(text.contains(&format!("topk_slo_{label}_p99_micros ")), "{text}");
+            assert!(
+                text.contains(&format!("topk_slo_{label}_availability_ppm ")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("topk_slo_{label}_error_budget_remaining_ppm ")),
+                "{text}"
+            );
+        }
     }
+
+    /// Span enable/drain state is process-global (one collector per
+    /// process); tests that toggle or drain it must not interleave.
+    static SPAN_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn dispatch_trace_toggles_and_writes() {
+        let _guard = SPAN_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         let e = engine();
         // Inspection only: reports the current state without changing it.
         let (r, _) = dispatch(r#"{"cmd":"trace"}"#, &e);
@@ -731,6 +932,153 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_trace_inline_drains_spans() {
+        let _guard = SPAN_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let e = engine();
+        let (r, _) = dispatch(r#"{"cmd":"trace","enabled":true}"#, &e);
+        assert!(r.contains(r#""enabled":true"#), "{r}");
+        dispatch(r#"{"cmd":"ingest","batch":[{"fields":["di wu"]}]}"#, &e);
+        dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        let (r, _) = dispatch(r#"{"cmd":"trace","enabled":false,"inline":true}"#, &e);
+        let v = crate::json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        let spans = match v.get("spans") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("inline drain must return a spans array, got {other:?}"),
+        };
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"service.query"), "{names:?}");
+        for s in spans {
+            assert!(s.get("ts_ns").is_some() && s.get("dur_ns").is_some(), "{r}");
+        }
+        // Drained: a second inline drain returns an empty array.
+        let (r, _) = dispatch(r#"{"cmd":"trace","inline":true}"#, &e);
+        assert!(r.contains(r#""spans":[]"#), "{r}");
+        // `out` and `inline` are mutually exclusive.
+        let (r, _) = dispatch(r#"{"cmd":"trace","inline":true,"out":"/tmp/x.json"}"#, &e);
+        assert!(r.contains(r#""code":"bad_request""#), "{r}");
+    }
+
+    #[test]
+    fn dispatch_explain_appends_profile_and_profiles_drains_ring() {
+        let e = engine();
+        dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["ann xu"]},{"fields":["ann xu"]}]}"#,
+            &e,
+        );
+        // Explain off: the response bytes are exactly the pinned shape —
+        // no profile member, no observable cost.
+        let (plain, _) = dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        assert!(!plain.contains(r#""profile""#), "{plain}");
+        // Explain on: same groups, plus a trailing profile object. The
+        // first explained run re-uses the cached body (cache:"hit"
+        // because the plain query above populated it).
+        let (r, _) = dispatch(r#"{"cmd":"topk","k":1,"explain":true}"#, &e);
+        let v = crate::json::parse(&r).unwrap();
+        let profile = v.get("profile").expect("explain:true must attach a profile");
+        assert_eq!(
+            profile.get("cache").and_then(|c| c.as_str()),
+            Some("hit"),
+            "{r}"
+        );
+        assert!(r.starts_with(r#"{"ok":true,"groups":["#), "{r}");
+        // A fresh ingest invalidates the cache; the next explained query
+        // records a miss with per-shard scan accounting and stage times.
+        dispatch(r#"{"cmd":"ingest","batch":[{"fields":["bo liu"]}]}"#, &e);
+        let (r, _) = dispatch(r#"{"cmd":"topk","k":2,"explain":true}"#, &e);
+        let v = crate::json::parse(&r).unwrap();
+        let profile = v.get("profile").unwrap();
+        assert_eq!(profile.get("cache").and_then(|c| c.as_str()), Some("miss"));
+        let shards = profile.get("shards").expect("miss profile has shards");
+        let total = shards.get("total").and_then(|n| n.as_f64()).unwrap();
+        let scanned = shards.get("scanned").and_then(|n| n.as_f64()).unwrap();
+        let skipped = shards.get("skipped").and_then(|n| n.as_f64()).unwrap();
+        let empty = shards.get("empty").and_then(|n| n.as_f64()).unwrap();
+        assert_eq!(scanned + skipped + empty, total, "{r}");
+        assert!(profile.get("stages").is_some(), "{r}");
+        assert_eq!(Metrics::get(&e.metrics.explained_queries), 2);
+        // The ring holds both profiles; `profiles` drains oldest-first
+        // and a second drain is empty.
+        let (r, _) = dispatch(r#"{"cmd":"profiles"}"#, &e);
+        let v = crate::json::parse(&r).unwrap();
+        match v.get("profiles") {
+            Some(Json::Arr(a)) => assert_eq!(a.len(), 2, "{r}"),
+            other => panic!("profiles must be an array, got {other:?}"),
+        }
+        let (r, _) = dispatch(r#"{"cmd":"profiles"}"#, &e);
+        assert!(r.contains(r#""profiles":[]"#), "{r}");
+    }
+
+    #[test]
+    fn dispatch_health_reports_slo_windows() {
+        let e = engine();
+        e.record_query_outcome(std::time::Duration::from_micros(800), true);
+        e.record_query_outcome(std::time::Duration::from_micros(900), false);
+        let (r, stop) = dispatch(r#"{"cmd":"health"}"#, &e);
+        assert!(!stop);
+        let v = crate::json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert!(v.get("healthy").is_some(), "{r}");
+        assert!(v.get("uptime_seconds").is_some(), "{r}");
+        let slo = v.get("slo").expect("health carries an slo object");
+        let windows = match slo.get("windows") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("slo.windows must be an array, got {other:?}"),
+        };
+        assert_eq!(windows.len(), topk_obs::slo::WINDOWS.len(), "{r}");
+        for w in windows {
+            assert_eq!(w.get("total").and_then(|n| n.as_f64()), Some(2.0), "{r}");
+            assert_eq!(w.get("errors").and_then(|n| n.as_f64()), Some(1.0), "{r}");
+            assert!(w.get("error_budget_remaining_ppm").is_some(), "{r}");
+        }
+    }
+
+    #[test]
+    fn dispatch_full_reports_request_info() {
+        let e = engine();
+        let (_, _, info) = dispatch_full(r#"{"cmd":"ping","trace":"t-42"}"#, &e);
+        assert_eq!(info.cmd, "ping");
+        assert_eq!(info.trace.as_deref(), Some("t-42"));
+        assert!(!info.is_query);
+        assert!(info.ok);
+        let (_, _, info) = dispatch_full(r#"{"cmd":"topk","k":1}"#, &e);
+        assert_eq!(info.cmd, "topk");
+        assert!(info.is_query && info.ok);
+        let (_, _, info) = dispatch_full(r#"{"cmd":"topk"}"#, &e);
+        assert_eq!(info.cmd, "invalid");
+        assert!(!info.ok);
+        let (_, _, info) = dispatch_full("not json", &e);
+        assert_eq!(info.cmd, "invalid");
+        assert!(!info.ok && !info.is_query);
+    }
+
+    #[test]
+    fn slow_record_shape() {
+        let long_line = format!(r#"{{"cmd":"topk","k":1,"pad":"{}"}}"#, "x".repeat(400));
+        let info = RequestInfo {
+            cmd: "topk",
+            trace: Some("t-7".into()),
+            is_query: true,
+            ok: true,
+        };
+        let rec = slow_record(&long_line, Duration::from_millis(12), &info);
+        let text = rec.to_string();
+        assert!(text.contains(r#""cmd":"topk""#), "{text}");
+        assert!(text.contains(r#""trace":"t-7""#), "{text}");
+        assert!(text.contains(r#""latency_micros":12000"#), "{text}");
+        assert!(text.contains(r#""ok":true"#), "{text}");
+        let echoed = rec.get("request").unwrap().as_str().unwrap();
+        assert!(echoed.ends_with("..."), "long requests are truncated");
+        assert!(echoed.len() < long_line.len(), "{echoed}");
+        // No trace id renders as null, keeping the record shape fixed.
+        let rec = slow_record("{}", Duration::from_micros(5), &RequestInfo::failed("invalid"));
+        assert!(rec.to_string().contains(r#""trace":null"#), "{}", rec.to_string());
+    }
+
+    #[test]
     fn dispatch_shutdown_flags_stop() {
         let e = engine();
         let (r, stop) = dispatch(r#"{"cmd":"shutdown"}"#, &e);
@@ -742,10 +1090,10 @@ mod tests {
     fn dispatch_isolated_turns_panics_into_internal_errors() {
         let e = engine();
         // A handler panic must produce the envelope, not unwind further.
-        let (r, stop) = match catch_unwind(AssertUnwindSafe(|| {
+        let (r, stop, _) = match catch_unwind(AssertUnwindSafe(|| {
             dispatch_isolated("__panic_probe__", &e)
         })) {
-            Ok(pair) => pair,
+            Ok(triple) => triple,
             Err(_) => panic!("dispatch_isolated let a panic escape"),
         };
         // "__panic_probe__" is not JSON, so it exercises the normal

@@ -1,0 +1,153 @@
+//! The metric table in `docs/OBSERVABILITY.md` is a contract, and this
+//! test enforces it in both directions against a live exposition:
+//!
+//! 1. **Documented ⇒ emitted.** Every `topk_*` row of the table must
+//!    appear in the Prometheus text of a real engine (journal attached,
+//!    served over a socket so the client-side global-registry metrics
+//!    register too), with exactly the documented type.
+//! 2. **Emitted ⇒ documented.** Every `# TYPE topk_*` line the live
+//!    exposition renders must match a table row.
+//!
+//! Rows may use two placeholders, expanded against the live
+//! configuration: `{i}` (a shard index, `0..shards`) and `{w}` (an SLO
+//! window label from [`topk_obs::slo::WINDOWS`]). Adding a metric
+//! without documenting it — or documenting one that no longer exists —
+//! fails tier-1.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use topk_core::Parallelism;
+use topk_service::{Client, Engine, EngineConfig, JournalSet, Server};
+
+const SHARDS: usize = 2;
+
+/// `(name-pattern, type)` rows of the markdown metric table.
+fn documented_rows() -> Vec<(String, String)> {
+    let doc = include_str!("../docs/OBSERVABILITY.md");
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        // A table row whose first cell is a `topk_...` code literal.
+        let Some(rest) = line.strip_prefix("| `topk_") else {
+            continue;
+        };
+        let mut cells = rest.split('|');
+        let name = format!(
+            "topk_{}",
+            cells
+                .next()
+                .expect("name cell")
+                .trim()
+                .trim_end_matches('`')
+        );
+        let kind = cells.next().expect("type cell").trim().to_string();
+        assert!(
+            matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+            "unknown metric type in doc row: {line}"
+        );
+        rows.push((name, kind));
+    }
+    assert!(
+        rows.len() >= 30,
+        "metric table went missing from docs/OBSERVABILITY.md? found {rows:?}"
+    );
+    rows
+}
+
+/// Expand one documented pattern into the concrete names the live
+/// configuration emits.
+fn expand(pattern: &str) -> Vec<String> {
+    let mut names = vec![pattern.to_string()];
+    if pattern.contains("{i}") {
+        names = (0..SHARDS)
+            .map(|i| pattern.replace("{i}", &i.to_string()))
+            .collect();
+    }
+    if pattern.contains("{w}") {
+        names = names
+            .iter()
+            .flat_map(|n| {
+                topk_obs::slo::WINDOWS
+                    .iter()
+                    .map(|(_, w)| n.replace("{w}", w))
+            })
+            .collect();
+    }
+    names
+}
+
+/// `name -> type` from `# TYPE` lines of a Prometheus exposition.
+fn emitted_types(text: &str) -> BTreeMap<String, String> {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (
+                it.next().expect("metric name").to_string(),
+                it.next().expect("metric type").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn metric_table_matches_live_exposition_bidirectionally() {
+    // A live engine with every optional metric source active: sharded
+    // (per-shard gauges), journal attached (segment-size gauges), and
+    // served over a socket so `Client::connect` registers the
+    // client-side metrics in the process-global registry.
+    let dir = std::env::temp_dir().join("topk_metrics_contract");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (j0, _) = JournalSet::open(&dir.join("wal"), SHARDS).unwrap();
+    j0.truncate_all().unwrap();
+    drop(j0);
+    let (journal, _) = JournalSet::open(&dir.join("wal"), SHARDS).unwrap();
+    let mut engine = Engine::new(EngineConfig {
+        parallelism: Parallelism::sequential(),
+        shards: SHARDS,
+        ..Default::default()
+    })
+    .unwrap();
+    engine.attach_journal(journal);
+
+    let server = Server::bind("127.0.0.1:0", Arc::new(engine)).expect("bind");
+    let (addr, handle) = server.spawn();
+    let mut c = Client::connect(&addr.to_string()).expect("connect");
+    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+    c.topk(1).unwrap();
+    let engine_text = c.metrics_text().expect("metrics command");
+    c.shutdown().unwrap();
+    handle.join().expect("server thread").expect("serve");
+    let global_text = topk_obs::Registry::global().prometheus_text();
+
+    let mut live = emitted_types(&engine_text);
+    live.extend(emitted_types(&global_text));
+
+    // Documented ⇒ emitted, with the documented type.
+    let mut documented: BTreeSet<String> = BTreeSet::new();
+    for (pattern, kind) in documented_rows() {
+        for name in expand(&pattern) {
+            match live.get(&name) {
+                None => panic!(
+                    "documented metric `{name}` (from `{pattern}`) is not \
+                     emitted by the live exposition"
+                ),
+                Some(t) if *t != kind => panic!(
+                    "documented metric `{name}` has type {kind} in the docs \
+                     but {t} in the exposition"
+                ),
+                Some(_) => {}
+            }
+            documented.insert(name);
+        }
+    }
+
+    // Emitted ⇒ documented.
+    for name in live.keys().filter(|n| n.starts_with("topk_")) {
+        assert!(
+            documented.contains(name),
+            "live exposition emits `{name}` but docs/OBSERVABILITY.md's \
+             metric table has no row for it"
+        );
+    }
+}

@@ -377,3 +377,74 @@ fn protocol_edges_get_structured_treatment() {
     handle.join().expect("join").expect("run");
     done.store(true, Ordering::SeqCst);
 }
+
+/// Span collection is process-global state toggled over the wire; this
+/// pins that flipping it on/off and draining buffered spans — from
+/// separate connections, concurrently with live queries — never
+/// corrupts the protocol, panics a handler, or wedges the server.
+/// Every in-flight query still gets its well-formed answer, and the
+/// server stays fully coherent afterwards.
+#[test]
+fn concurrent_trace_toggles_and_drains_do_not_corrupt_the_protocol() {
+    let done = start_watchdog();
+    let (addr, handle) = spawn_server();
+    let mut c = Client::connect(&addr.to_string()).expect("connect");
+    c.ingest_batch(&sample_rows()[..50]).expect("ingest");
+
+    const ROUNDS: usize = 40;
+    let addr = addr.to_string();
+    std::thread::scope(|s| {
+        // Query workers: exact answers must keep flowing throughout.
+        for w in 0..2 {
+            let addr = &addr;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("worker connect");
+                for i in 0..ROUNDS {
+                    let body = if (w + i) % 2 == 0 {
+                        c.topk(3).expect("topk under trace churn")
+                    } else {
+                        c.topr(3).expect("topr under trace churn")
+                    };
+                    assert!(
+                        body.get("groups").or_else(|| body.get("entries")).is_some(),
+                        "{body}"
+                    );
+                }
+            });
+        }
+        // Toggler: flips collection on and off as fast as it can.
+        let toggler_addr = &addr;
+        s.spawn(move || {
+            let mut c = Client::connect(toggler_addr).expect("toggler connect");
+            for i in 0..ROUNDS {
+                let resp = c
+                    .request_raw(&format!(r#"{{"cmd":"trace","enabled":{}}}"#, i % 2 == 0))
+                    .expect("toggle");
+                assert!(resp.contains(r#""ok":true"#), "{resp}");
+            }
+        });
+        // Drainer: destructive inline reads racing both of the above.
+        let drainer_addr = &addr;
+        s.spawn(move || {
+            let mut c = Client::connect(drainer_addr).expect("drainer connect");
+            for _ in 0..ROUNDS {
+                let v = c.trace_drain_inline(None).expect("inline drain");
+                assert!(
+                    v.get("spans").and_then(Json::as_arr).is_some(),
+                    "drain response lost its spans array: {v}"
+                );
+            }
+        });
+    });
+
+    // Afterwards: collection off, one final drain answers cleanly, and
+    // the engine still serves queries on the original connection.
+    let final_drain = c
+        .request_raw(r#"{"cmd":"trace","enabled":false,"inline":true}"#)
+        .expect("final drain");
+    assert!(final_drain.contains(r#""ok":true"#), "{final_drain}");
+    c.topk(3).expect("topk after trace churn");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("run");
+    done.store(true, Ordering::SeqCst);
+}
