@@ -248,10 +248,7 @@ pub fn merge_sketches<'a, I>(sketches: I, m: usize) -> Vec<&'a SampleEntry>
 where
     I: IntoIterator<Item = &'a Sketch>,
 {
-    let mut all: Vec<&SampleEntry> = sketches
-        .into_iter()
-        .flat_map(|s| s.entries())
-        .collect();
+    let mut all: Vec<&SampleEntry> = sketches.into_iter().flat_map(|s| s.entries()).collect();
     all.sort_by_key(|e| (e.priority, e.rid));
     all.truncate(m);
     all
@@ -525,7 +522,10 @@ mod tests {
         }
         for m in [1, 8, 32] {
             let g: Vec<u64> = merge_sketches([&global], m).iter().map(|e| e.rid).collect();
-            let s: Vec<u64> = merge_sketches(parts.iter(), m).iter().map(|e| e.rid).collect();
+            let s: Vec<u64> = merge_sketches(parts.iter(), m)
+                .iter()
+                .map(|e| e.rid)
+                .collect();
             assert_eq!(g, s, "m={m}");
         }
     }
@@ -551,28 +551,50 @@ mod tests {
         let mut sketch = Sketch::new(3, 11);
         let mut all = Vec::new();
         for rid in 0..22u64 {
-            let name = if rid < 20 { "grace hopper" } else { "ada lovelace" };
+            let name = if rid < 20 {
+                "grace hopper"
+            } else {
+                "ada lovelace"
+            };
             let r = rec(name, 1.0);
             sketch.offer(rid, collapse_partition_key(name), &r);
             all.push(r);
         }
         let sample = merge_sketches([&sketch], 11);
-        let pop = Population { n: 22, max_weight: 1.0 };
+        let pop = Population {
+            n: 22,
+            max_weight: 1.0,
+        };
         let est = estimate_groups(&sample, pop, FieldId(0), &SamePartition);
         assert!(!est.is_empty());
         let total: f64 = est.iter().map(|e| e.sampled).sum::<usize>() as f64;
-        assert_eq!(total as usize, 11, "every sampled record in exactly one group");
+        assert_eq!(
+            total as usize, 11,
+            "every sampled record in exactly one group"
+        );
         for e in &est {
             assert!(e.lo <= e.estimate && e.estimate <= e.hi);
-            assert!((e.estimate - e.sampled_weight * 2.0).abs() < 1e-9, "p = 1/2");
+            assert!(
+                (e.estimate - e.sampled_weight * 2.0).abs() < 1e-9,
+                "p = 1/2"
+            );
         }
         let (tau, parts) = escalation_partitions(&est, 1);
         assert!(tau.is_finite());
-        assert!(parts.contains(&est[0].partition), "top group straddles its own bound");
+        assert!(
+            parts.contains(&est[0].partition),
+            "top group straddles its own bound"
+        );
         // Fewer estimates than k: escalate everything.
         let (tau, parts) = escalation_partitions(&est, 100);
         assert_eq!(tau, f64::NEG_INFINITY);
-        assert_eq!(parts.len(), est.iter().map(|e| e.partition).collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            parts.len(),
+            est.iter()
+                .map(|e| e.partition)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(7);
 
-    let mut table1 = Table::new(vec!["Name", "# Records", "# Groups (truth)", "# Groups exact"]);
+    let mut table1 = Table::new(vec![
+        "Name",
+        "# Records",
+        "# Groups (truth)",
+        "# Groups exact",
+    ]);
     let mut fig7 = Table::new(vec![
         "Dataset",
         "Embedding+Segmentation F1",

@@ -70,9 +70,16 @@ fn main() {
     let t0 = Instant::now();
     let exact = exact_topk(&toks, s_pred, k);
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("exact collapse: {exact_ms:.0} ms, {} top groups", exact.len());
+    println!(
+        "exact collapse: {exact_ms:.0} ms, {} top groups",
+        exact.len()
+    );
 
-    let sweep: &[f64] = if smoke { &[0.1] } else { &[0.02, 0.05, 0.1, 0.2] };
+    let sweep: &[f64] = if smoke {
+        &[0.1]
+    } else {
+        &[0.02, 0.05, 0.1, 0.2]
+    };
     let mut table = Table::new(vec![
         "epsilon",
         "sample m",

@@ -80,7 +80,13 @@ fn main() {
             }
         }
     }
-    evaluate("necessary predicate N1", &n1_pairs, &truth_pairs, n, &mut table);
+    evaluate(
+        "necessary predicate N1",
+        &n1_pairs,
+        &truth_pairs,
+        n,
+        &mut table,
+    );
 
     // 2. McCallum canopies over author words.
     for (label, cfg) in [
@@ -96,7 +102,13 @@ fn main() {
     for w in [5usize, 20] {
         let snm = SortedNeighborhood::new(w, vec![surname_key(FieldId(0))]);
         let pairs: HashSet<(u32, u32)> = snm.candidate_pairs(&refs).into_iter().collect();
-        evaluate(&format!("sorted neighborhood w={w}"), &pairs, &truth_pairs, n, &mut table);
+        evaluate(
+            &format!("sorted neighborhood w={w}"),
+            &pairs,
+            &truth_pairs,
+            n,
+            &mut table,
+        );
     }
 
     println!("\n{table}");

@@ -8,9 +8,11 @@
 
 use topk_bench::Table;
 use topk_core::{
-    estimate_lower_bound, estimate_lower_bound_weak, PipelineConfig, PruningMode, PrunedDedup,
+    estimate_lower_bound, estimate_lower_bound_weak, PipelineConfig, PrunedDedup, PruningMode,
 };
-use topk_predicates::{address_predicates, citation_predicates, student_predicates, PredicateStack};
+use topk_predicates::{
+    address_predicates, citation_predicates, student_predicates, PredicateStack,
+};
 use topk_records::{tokenize_dataset, Dataset, TokenizedRecord};
 
 const KS: [usize; 7] = [1, 5, 10, 50, 100, 500, 1000];
@@ -67,7 +69,12 @@ fn run_dataset(name: &str, data: &Dataset, stack: &PredicateStack, levels: usize
 
     // §6.2 ablation: refinement passes (the paper: two iterations gave
     // two-fold more pruning than one).
-    let mut ab = Table::new(vec!["K", "n'% (0 passes)", "n'% (1 pass)", "n'% (2 passes)"]);
+    let mut ab = Table::new(vec![
+        "K",
+        "n'% (0 passes)",
+        "n'% (1 pass)",
+        "n'% (2 passes)",
+    ]);
     for k in [1, 10, 100] {
         let mut row = vec![k.to_string()];
         for refine in [0usize, 1, 2] {
@@ -107,7 +114,13 @@ fn run_dataset(name: &str, data: &Dataset, stack: &PredicateStack, levels: usize
         .collect();
     let weights: Vec<f64> = collapsed.groups.iter().map(|g| g.weight).collect();
     let n_pred = stack.levels[0].1.as_ref();
-    let mut mt = Table::new(vec!["K", "m (CPN bound)", "m (weak baseline)", "M (CPN)", "M (weak)"]);
+    let mut mt = Table::new(vec![
+        "K",
+        "m (CPN bound)",
+        "m (weak baseline)",
+        "M (CPN)",
+        "M (weak)",
+    ]);
     for k in [1usize, 10, 100] {
         let cpn = estimate_lower_bound(&reps, &weights, n_pred, k);
         let weak = estimate_lower_bound_weak(&reps, &weights, n_pred, k);

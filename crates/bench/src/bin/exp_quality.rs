@@ -112,7 +112,12 @@ fn main() {
             format!("{:.1}", 100.0 * f1_closure),
             if res.exact { "yes" } else { "no" }.to_string(),
         ]);
-        println!("{name}: F1 {:.1}%, B3 {:.1}%, closure {:.1}%", 100.0 * f1, 100.0 * b3, 100.0 * f1_closure);
+        println!(
+            "{name}: F1 {:.1}%, B3 {:.1}%, closure {:.1}%",
+            100.0 * f1,
+            100.0 * b3,
+            100.0 * f1_closure
+        );
     }
     println!("\n{table}");
 }

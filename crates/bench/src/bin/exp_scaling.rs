@@ -26,12 +26,7 @@ fn main() {
         "PrunedDedup scaling on citation prefixes (K={k}, {} records max)",
         full.len()
     );
-    let mut table = Table::new(vec![
-        "records",
-        "pipeline (s)",
-        "doubling exponent",
-        "n' %",
-    ]);
+    let mut table = Table::new(vec!["records", "pipeline (s)", "doubling exponent", "n' %"]);
     let mut prev: Option<(usize, f64)> = None;
     let sizes = [5_000usize, 10_000, 20_000, 40_000];
     for &n in sizes.iter().filter(|&&n| n <= full.len()) {
@@ -59,7 +54,10 @@ fn main() {
             exponent,
             format!("{:.2}", out.stats.final_pct()),
         ]);
-        println!("{n} records: {secs:.2}s, {} groups survive", out.groups.len());
+        println!(
+            "{n} records: {secs:.2}s, {} groups survive",
+            out.groups.len()
+        );
     }
     println!("\n{table}");
     println!(

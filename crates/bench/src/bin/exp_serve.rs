@@ -31,9 +31,11 @@
 //!
 //! `--chaos` additionally runs the packaged fault scenarios from
 //! [`topk_bench::faults`] — shed, retry-through-overload, journal
-//! replay after a simulated `kill -9`, and the overload-latency bound
-//! (accepted requests ≤2× uncontended while the shed path is busy) —
-//! and exits non-zero if any scenario's invariant fails. See
+//! replay after a simulated `kill -9`, the overload-latency bound
+//! (accepted requests ≤2× uncontended while the shed path is busy),
+//! replication (bootstrap, tail, primary death, promotion,
+//! divergence check), and client endpoint failover — and exits
+//! non-zero if any scenario's invariant fails. See
 //! `docs/ROBUSTNESS.md`.
 
 use topk_bench::serve_load::{report_json, run, LoadConfig, LoadReport};
@@ -116,9 +118,7 @@ fn main() {
                     .map(|s| s.trim().parse().expect("--sweep-shards takes e.g. 1,2,4,8"))
                     .collect()
             }
-            "--bench-out" => {
-                bench_out = args.next().expect("--bench-out needs a path")
-            }
+            "--bench-out" => bench_out = args.next().expect("--bench-out needs a path"),
             other => cfg.n_records = other.parse().expect("n_records must be a number"),
         }
     }
@@ -159,7 +159,10 @@ fn main() {
     ]);
     table.row(vec![
         "first query (cold)".into(),
-        format!("{} µs (deferred collapse + prune)", report.cold_query_micros),
+        format!(
+            "{} µs (deferred collapse + prune)",
+            report.cold_query_micros
+        ),
     ]);
     table.row(vec![
         "cached queries".into(),
@@ -203,7 +206,11 @@ fn main() {
         "SLO (1m window)".into(),
         format!(
             "{}, {} queries, {} errors, p99 {} µs (from `health`)",
-            if report.healthy { "healthy" } else { "UNHEALTHY" },
+            if report.healthy {
+                "healthy"
+            } else {
+                "UNHEALTHY"
+            },
             report.slo_1m_total,
             report.slo_1m_errors,
             report.slo_1m_p99_micros
@@ -216,18 +223,26 @@ fn main() {
         std::process::exit(1);
     }
     if smoke {
-        println!("smoke OK: cache served {} repeat queries", report.cache_hits);
+        println!(
+            "smoke OK: cache served {} repeat queries",
+            report.cache_hits
+        );
         write_bench(&bench_out, "smoke", std::slice::from_ref(&report));
     }
 
     if chaos {
-        println!("chaos pass: shed, retry, journal replay, overload latency");
+        println!(
+            "chaos pass: shed, retry, journal replay, overload latency, replication, failover"
+        );
         match topk_bench::faults::run_chaos() {
             Ok(outcomes) => {
                 for o in &outcomes {
                     println!("  chaos {:<16} OK: {}", o.name, o.detail);
                 }
-                println!("chaos OK: {} scenarios held their invariants", outcomes.len());
+                println!(
+                    "chaos OK: {} scenarios held their invariants",
+                    outcomes.len()
+                );
             }
             Err(e) => {
                 topk_obs::error!("chaos FAILED: {e}");

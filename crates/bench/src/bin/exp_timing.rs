@@ -67,9 +67,7 @@ fn finish(
         for i in 0..n {
             for j in index.candidates(&token_sets[i], n_pred.min_common_tokens(), Some(i as u32)) {
                 let j = j as usize;
-                if j > i
-                    && n_pred.matches(reps[i], reps[j])
-                    && scorer.score(reps[i], reps[j]) > 0.0
+                if j > i && n_pred.matches(reps[i], reps[j]) && scorer.score(reps[i], reps[j]) > 0.0
                 {
                     uf.union(i as u32, j as u32);
                 }
@@ -151,7 +149,11 @@ fn staged(
     )
     .run();
     let sum = |f: fn(&topk_core::IterationStats) -> std::time::Duration| -> f64 {
-        out.stats.iterations.iter().map(|it| f(it).as_secs_f64()).sum()
+        out.stats
+            .iterations
+            .iter()
+            .map(|it| f(it).as_secs_f64())
+            .sum()
     };
     let t1 = Instant::now();
     let _top = finish(&toks, &out.groups, stack, scorer, 10, true);
@@ -179,10 +181,8 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
-    let trace_out: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--trace-out")
-        .map(|i| {
+    let trace_out: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--trace-out").map(|i| {
             args.get(i + 1)
                 .filter(|v| !v.starts_with("--"))
                 .expect("--trace-out needs a path")
@@ -199,15 +199,13 @@ fn main() {
         .iter()
         .enumerate()
         .find(|(i, a)| {
-            !a.starts_with("--")
-                && (*i == 0 || !flags_with_value.contains(&args[i - 1].as_str()))
+            !a.starts_with("--") && (*i == 0 || !flags_with_value.contains(&args[i - 1].as_str()))
         })
         .and_then(|(_, a)| a.parse().ok())
         .unwrap_or(20_000);
 
     if smoke {
-        let out = trace_out
-            .unwrap_or_else(|| std::env::temp_dir().join("topk_timing_smoke.json"));
+        let out = trace_out.unwrap_or_else(|| std::env::temp_dir().join("topk_timing_smoke.json"));
         match topk_bench::timing_smoke::run_timing_smoke(&out) {
             Ok(()) => {
                 println!("smoke OK: valid stage-complete trace at {}", out.display())
@@ -221,8 +219,14 @@ fn main() {
         let metrics = topk_service::json::obj(vec![
             ("records", topk_service::Json::Num(st.records as f64)),
             ("runs", topk_service::Json::Num(st.runs as f64)),
-            ("pipeline_p50_us", topk_service::Json::Num(st.p50_micros as f64)),
-            ("pipeline_p99_us", topk_service::Json::Num(st.p99_micros as f64)),
+            (
+                "pipeline_p50_us",
+                topk_service::Json::Num(st.p50_micros as f64),
+            ),
+            (
+                "pipeline_p99_us",
+                topk_service::Json::Num(st.p99_micros as f64),
+            ),
             (
                 "records_per_sec",
                 topk_service::Json::Num(st.records_per_sec.round()),
@@ -287,7 +291,14 @@ fn main() {
         let sample = data.head(3_000);
         let toks_s = tokenize_dataset(&sample);
         let stack_s = citation_predicates(sample.schema(), &toks_s);
-        let t = timed(&toks_s, &stack_s, &scorer, 10, PruningMode::NoOptimization, par);
+        let t = timed(
+            &toks_s,
+            &stack_s,
+            &scorer,
+            10,
+            PruningMode::NoOptimization,
+            par,
+        );
         let scale = (data.len() as f64 / sample.len() as f64).powi(2);
         println!(
             "\n'None' (full Cartesian product): {t:.2}s on {} records, \

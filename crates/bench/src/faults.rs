@@ -2,10 +2,13 @@
 //!
 //! Raw-socket misbehavers (slow-loris writers, truncated frames,
 //! garbage bytes, mid-response disconnects, connection floods) plus the
-//! three packaged chaos scenarios `exp_serve --chaos` runs: one shed,
-//! one retry, one journal replay after a simulated `kill -9`. The
-//! integration suite `tests/serve_faults.rs` drives the same helpers
-//! with assertions; the binary prints their one-line outcomes.
+//! packaged chaos scenarios `exp_serve --chaos` runs: shed, retry,
+//! journal replay after a simulated `kill -9`, overload latency,
+//! replication failover (lost primary -> promote -> divergence check),
+//! and client endpoint failover. The integration suites
+//! `tests/serve_faults.rs` / `tests/serve_replication.rs` drive the
+//! same helpers with assertions; the binary prints their one-line
+//! outcomes.
 //!
 //! Everything here talks to a real [`Server`] over loopback TCP —
 //! faults are injected on the wire, not by mocking internals, so the
@@ -20,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use topk_service::{
-    Client, ClientConfig, Engine, EngineConfig, JournalSet, Server, ServerConfig,
+    Client, ClientConfig, Engine, EngineConfig, JournalSet, Json, Server, ServerConfig,
 };
 
 /// A live loopback server plus handles the scenarios need: its address,
@@ -32,6 +35,8 @@ pub struct TestServer {
     /// The served engine — counters under `engine.metrics`.
     pub engine: Arc<Engine>,
     handle: std::thread::JoinHandle<Result<(), String>>,
+    /// Replica servers also own their tailer thread and its stop flag.
+    tailer: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
 }
 
 impl TestServer {
@@ -39,10 +44,24 @@ impl TestServer {
     /// journaled (the journal is opened and replayed first, exactly as
     /// `topk serve --journal` does).
     pub fn spawn(config: ServerConfig, journal: Option<&Path>) -> Result<TestServer, String> {
-        let mut engine = Engine::new(EngineConfig {
-            parallelism: topk_core::Parallelism::sequential(),
-            ..Default::default()
-        })?;
+        TestServer::spawn_with(
+            config,
+            EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            },
+            journal,
+        )
+    }
+
+    /// [`TestServer::spawn`] with an explicit [`EngineConfig`] (shard
+    /// counts, parallelism) for differential suites.
+    pub fn spawn_with(
+        config: ServerConfig,
+        engine_config: EngineConfig,
+        journal: Option<&Path>,
+    ) -> Result<TestServer, String> {
+        let mut engine = Engine::new(engine_config)?;
         if let Some(path) = journal {
             let (journal, recovery) = JournalSet::open(path, 1)?;
             engine.attach_journal(journal);
@@ -56,6 +75,49 @@ impl TestServer {
             addr: addr.to_string(),
             engine,
             handle,
+            tailer: None,
+        })
+    }
+
+    /// Bind an ephemeral loopback *replica* of the primary at
+    /// `primary_addr`: role set before the listener opens, tailer
+    /// thread bootstrapping and applying the primary's journal stream —
+    /// the same wiring as `topk serve --replica-of`.
+    pub fn spawn_replica(config: ServerConfig, primary_addr: &str) -> Result<TestServer, String> {
+        TestServer::spawn_replica_with(
+            config,
+            EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            },
+            primary_addr,
+        )
+    }
+
+    /// [`TestServer::spawn_replica`] with an explicit [`EngineConfig`] —
+    /// the replica's shard count is independent of the primary's, and
+    /// answers must still match byte for byte.
+    pub fn spawn_replica_with(
+        config: ServerConfig,
+        engine_config: EngineConfig,
+        primary_addr: &str,
+    ) -> Result<TestServer, String> {
+        let engine = Arc::new(Engine::new(engine_config)?);
+        engine.set_role(topk_service::Role::Replica);
+        let stop = Arc::new(AtomicBool::new(false));
+        let tailer = topk_service::spawn_tailer(
+            Arc::clone(&engine),
+            primary_addr.to_string(),
+            Arc::clone(&stop),
+        );
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&engine))?;
+        server.config = config;
+        let (addr, handle) = server.spawn();
+        Ok(TestServer {
+            addr: addr.to_string(),
+            engine,
+            handle,
+            tailer: Some((stop, tailer)),
         })
     }
 
@@ -74,18 +136,18 @@ impl TestServer {
         )
     }
 
-    /// Graceful shutdown via the protocol; joins the server thread.
-    /// Retries while the connection cap is still occupied by a
-    /// scenario's parting clients.
+    /// Graceful shutdown via the protocol; joins the server thread
+    /// (and, for replicas, stops and joins the tailer). Retries while
+    /// the connection cap is still occupied by a scenario's parting
+    /// clients.
     pub fn shutdown(self) -> Result<(), String> {
         let mut last = String::new();
+        let mut sent = false;
         for _ in 0..200 {
             match self.client().and_then(|mut c| c.shutdown()) {
                 Ok(()) => {
-                    return self
-                        .handle
-                        .join()
-                        .map_err(|_| "server thread panicked".to_string())?
+                    sent = true;
+                    break;
                 }
                 Err(e) => {
                     last = e;
@@ -93,7 +155,18 @@ impl TestServer {
                 }
             }
         }
-        Err(format!("could not shut the test server down: {last}"))
+        if !sent {
+            return Err(format!("could not shut the test server down: {last}"));
+        }
+        let result = self
+            .handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?;
+        if let Some((stop, handle)) = self.tailer {
+            stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        result
     }
 }
 
@@ -206,9 +279,7 @@ pub fn flood(addr: &str, hogs: usize, extras: usize) -> Result<FloodOutcome, Str
         hog_handles.push(std::thread::spawn(move || {
             // A hog is a legitimate slow client: one ping, then it sits
             // on the connection, pinning one server slot.
-            let ok = Client::connect(&addr)
-                .and_then(|mut c| c.ping())
-                .is_ok();
+            let ok = Client::connect(&addr).and_then(|mut c| c.ping()).is_ok();
             parked.fetch_add(1, Ordering::SeqCst);
             while !release.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_millis(5));
@@ -277,8 +348,7 @@ pub fn chaos_shed() -> Result<ChaosOutcome, String> {
     if outcome.failed > 0 {
         return Err(format!("flood connections failed outright: {outcome:?}"));
     }
-    let shed_total =
-        topk_service::Metrics::get(&ts.engine.metrics.server_shed);
+    let shed_total = topk_service::Metrics::get(&ts.engine.metrics.server_shed);
     if shed_total < outcome.shed as u64 {
         return Err(format!(
             "server_shed_total {shed_total} < observed shed {}",
@@ -345,6 +415,7 @@ pub fn chaos_retry() -> Result<ChaosOutcome, String> {
             connect_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     )?;
     let releaser = {
@@ -378,10 +449,7 @@ pub fn chaos_retry() -> Result<ChaosOutcome, String> {
 /// recover into a fresh engine and compare its topk answer byte-for-byte
 /// against an engine that plainly ingested the surviving batches.
 pub fn chaos_journal_replay() -> Result<ChaosOutcome, String> {
-    let dir = std::env::temp_dir().join(format!(
-        "topk_chaos_journal_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("topk_chaos_journal_{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let jpath: PathBuf = dir.join("chaos.wal");
     let _ = std::fs::remove_file(&jpath);
@@ -583,6 +651,178 @@ pub fn chaos_overload_latency() -> Result<ChaosOutcome, String> {
     })
 }
 
+/// Poll the replica's `stats` until it reports at least `want` records
+/// (bootstrap + tail applied), or fail after `timeout`.
+pub fn wait_replica_records(ts: &TestServer, want: usize, timeout: Duration) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let records = ts
+            .engine
+            .stats_json()
+            .get("records")
+            .and_then(Json::as_usize)
+            .unwrap_or(0);
+        if records >= want {
+            return Ok(());
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!(
+                "replica stuck at {records}/{want} records after {timeout:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Replication scenario: a replica bootstraps from a live primary,
+/// tails its journal stream to byte-identical answers, survives the
+/// primary's death, is promoted (epoch bump), accepts writes of its
+/// own, and still matches a reference engine that ingested every batch
+/// directly.
+pub fn chaos_replication() -> Result<ChaosOutcome, String> {
+    let batches: Vec<Vec<(Vec<String>, f64)>> = vec![
+        vec![
+            (vec!["maria santos".to_string()], 1.0),
+            (vec!["maria  santos".to_string()], 2.0),
+        ],
+        vec![
+            (vec!["john doe".to_string()], 1.0),
+            (vec!["maria santos".to_string()], 1.0),
+        ],
+        vec![
+            (vec!["jane roe".to_string()], 3.0),
+            (vec!["john  doe".to_string()], 1.0),
+        ],
+    ];
+
+    // Two batches land on the primary before the replica even exists,
+    // so the bootstrap snapshot (not just the tail) carries real state.
+    let primary = TestServer::spawn(tight_config(), None)?;
+    let mut pc = primary.client()?;
+    pc.ingest_batch(&batches[0])?;
+    let replica = TestServer::spawn_replica(tight_config(), &primary.addr)?;
+    pc.ingest_batch(&batches[1])?;
+    drop(pc);
+    wait_replica_records(&replica, 4, Duration::from_secs(15))?;
+
+    let primary_topk = primary.engine.query_topk(5)?.to_string();
+    let replica_topk = replica.engine.query_topk(5)?.to_string();
+    if replica_topk != primary_topk {
+        return Err(format!(
+            "replica diverged from primary:\n  replica {replica_topk}\n  primary {primary_topk}"
+        ));
+    }
+
+    // Writes must bounce off the replica while it is still a replica.
+    let mut rc = replica.client()?;
+    match rc.ingest_batch(&batches[2]) {
+        Err(e) if e.contains("not_primary") => {}
+        other => return Err(format!("replica accepted a write pre-promote: {other:?}")),
+    }
+
+    // Lose the primary, promote the replica, and keep writing.
+    primary.shutdown()?;
+    let promoted = rc.promote()?;
+    let epoch = promoted.get("epoch").and_then(Json::as_usize).unwrap_or(0);
+    let role = promoted
+        .get("role")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    if role != "primary" || epoch < 2 {
+        return Err(format!("promote left role={role} epoch={epoch}"));
+    }
+    rc.ingest_batch(&batches[2])?;
+    drop(rc);
+
+    // Reference: every batch ingested into a fresh engine, no
+    // replication anywhere. Answers must match byte for byte.
+    let reference = Engine::new(EngineConfig {
+        parallelism: topk_core::Parallelism::sequential(),
+        ..Default::default()
+    })?;
+    for batch in &batches {
+        reference.ingest(batch.clone())?;
+    }
+    let got = replica.engine.query_topk(5)?.to_string();
+    let want = reference.query_topk(5)?.to_string();
+    replica.shutdown()?;
+    if got != want {
+        return Err(format!(
+            "promoted replica differs from reference:\n  got  {got}\n  want {want}"
+        ));
+    }
+    Ok(ChaosOutcome {
+        name: "replication",
+        detail: format!(
+            "replica caught up byte-identical, refused writes, promoted to epoch {epoch} after primary death, final topk matches reference"
+        ),
+    })
+}
+
+/// Failover scenario: a client holding both endpoints keeps answering
+/// idempotent queries across the primary's death — the retry loop
+/// rotates to the replica without the caller seeing any error.
+pub fn chaos_failover() -> Result<ChaosOutcome, String> {
+    let primary = TestServer::spawn(tight_config(), None)?;
+    let mut pc = primary.client()?;
+    pc.ingest_batch(&[
+        (vec!["maria santos".to_string()], 1.0),
+        (vec!["maria  santos".to_string()], 2.0),
+    ])?;
+    drop(pc);
+    let replica = TestServer::spawn_replica(tight_config(), &primary.addr)?;
+    wait_replica_records(&replica, 2, Duration::from_secs(15))?;
+
+    let endpoints = vec![primary.addr.clone(), replica.addr.clone()];
+    let mut c = Client::connect_endpoints(
+        &endpoints,
+        ClientConfig {
+            retries: 8,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(100),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            total_timeout: Duration::from_secs(30),
+        },
+    )?;
+    let failovers_before = topk_obs::Registry::global()
+        .counter("topk_client_failovers_total")
+        .load(Ordering::Relaxed);
+    let before = c.topk(3)?.to_string();
+
+    // The primary dies; the next idempotent query must rotate to the
+    // replica and return the same answer, with no caller-visible error.
+    primary.shutdown()?;
+    let (_, epoch) = replica.engine.promote();
+    let after = c
+        .topk(3)
+        .map_err(|e| format!("query failed despite a live replica endpoint: {e}"))?
+        .to_string();
+    if after != before {
+        return Err(format!(
+            "failover answer diverged:\n  before {before}\n  after  {after}"
+        ));
+    }
+    let failovers = topk_obs::Registry::global()
+        .counter("topk_client_failovers_total")
+        .load(Ordering::Relaxed)
+        - failovers_before;
+    if failovers == 0 {
+        return Err("query succeeded but no endpoint rotation was recorded".into());
+    }
+    drop(c);
+    replica.shutdown()?;
+    Ok(ChaosOutcome {
+        name: "failover",
+        detail: format!(
+            "primary killed mid-session: client rotated endpoints ({failovers} failovers), \
+             answer byte-identical from the promoted replica (epoch {epoch})"
+        ),
+    })
+}
+
 /// Run all chaos scenarios in sequence (the `exp_serve --chaos` pass).
 pub fn run_chaos() -> Result<Vec<ChaosOutcome>, String> {
     Ok(vec![
@@ -590,5 +830,7 @@ pub fn run_chaos() -> Result<Vec<ChaosOutcome>, String> {
         chaos_retry()?,
         chaos_journal_replay()?,
         chaos_overload_latency()?,
+        chaos_replication()?,
+        chaos_failover()?,
     ])
 }

@@ -148,6 +148,11 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&dup) > mean(&non) + 0.5, "dup {} non {}", mean(&dup), mean(&non));
+        assert!(
+            mean(&dup) > mean(&non) + 0.5,
+            "dup {} non {}",
+            mean(&dup),
+            mean(&non)
+        );
     }
 }

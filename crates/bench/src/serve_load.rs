@@ -249,8 +249,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
             mixed_lat.push(t_q.elapsed().as_micros() as u64);
         }
         let mixed_secs = t_mixed.elapsed().as_secs_f64();
-        mixed_rps =
-            (cfg.mixed_batches * cfg.mixed_batch.max(1)) as f64 / mixed_secs.max(1e-9);
+        mixed_rps = (cfg.mixed_batches * cfg.mixed_batch.max(1)) as f64 / mixed_secs.max(1e-9);
         mixed_lat.sort_unstable();
     }
 
@@ -264,8 +263,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         let (k, q) = (cfg.k, cfg.queries_per_client);
         workers.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
             let mut c = connect(&addr)?;
-            let client_hist = topk_obs::Registry::global()
-                .histogram("topk_client_query_latency_micros");
+            let client_hist =
+                topk_obs::Registry::global().histogram("topk_client_query_latency_micros");
             let mut lat = Vec::with_capacity(q);
             for i in 0..q {
                 let t = Instant::now();
@@ -324,9 +323,8 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         .and_then(|s| s.get("windows"))
         .and_then(Json::as_arr)
         .and_then(|w| {
-            w.iter().find(|e| {
-                e.get("window").and_then(Json::as_str) == Some("1m")
-            })
+            w.iter()
+                .find(|e| e.get("window").and_then(Json::as_str) == Some("1m"))
         })
         .ok_or("health missing 1m SLO window")?
         .clone();
@@ -438,9 +436,7 @@ mod tests {
         // topr), one topk per mixed batch, and clients x queries_per_client
         // load queries. All succeed, so the error count is zero.
         let cfg = LoadConfig::smoke();
-        let expected = 2
-            + cfg.mixed_batches as u64
-            + (cfg.clients * cfg.queries_per_client) as u64;
+        let expected = 2 + cfg.mixed_batches as u64 + (cfg.clients * cfg.queries_per_client) as u64;
         assert_eq!(report.slo_1m_total, expected, "{report:?}");
         assert_eq!(report.slo_1m_errors, 0, "{report:?}");
         assert!(report.slo_1m_p99_micros >= 1, "{report:?}");
@@ -450,7 +446,10 @@ mod tests {
             text.contains("# TYPE topk_client_query_latency_micros histogram"),
             "{text}"
         );
-        assert!(text.contains("topk_client_query_latency_micros_count"), "{text}");
+        assert!(
+            text.contains("topk_client_query_latency_micros_count"),
+            "{text}"
+        );
         assert!(
             t0.elapsed().as_secs_f64() < 10.0,
             "smoke config must stay fast"

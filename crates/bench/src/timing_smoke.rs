@@ -67,7 +67,10 @@ pub fn measure_pipeline(runs: usize) -> SmokeStats {
         let mut q = TopKQuery::new(5, 2);
         q.parallelism = Parallelism::sequential();
         let res = q.run(&toks, &stack, &scorer);
-        assert!(!res.answers.is_empty(), "timed smoke query returned no answers");
+        assert!(
+            !res.answers.is_empty(),
+            "timed smoke query returned no answers"
+        );
         lat.push(t.elapsed().as_micros() as u64);
     }
     let total = t0.elapsed().as_secs_f64();
@@ -117,8 +120,7 @@ pub fn run_timing_smoke(trace_out: &Path) -> Result<(), String> {
 pub fn validate_trace_file(path: &Path) -> Result<(), String> {
     let raw = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let v = topk_service::json::parse(&raw)
-        .map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let v = topk_service::json::parse(&raw).map_err(|e| format!("trace is not valid JSON: {e}"))?;
     let events = v
         .get("traceEvents")
         .and_then(Json::as_arr)

@@ -12,7 +12,8 @@ usage:
   topk thresh <data.tsv> --threshold T [--name-field F]
   topk serve  [--addr H:P] [--preload data.tsv] [--restore snap]
               [--snapshot-on-exit snap] [--name-field F]
-  topk client <cmd> [arg] [--addr H:P] [--k N]
+              [--replica-of H:P]
+  topk client <cmd> [arg] [--addr H:P] [--endpoints A,B,..] [--k N]
 
 options:
   --k N            number of groups to return (default 10)
@@ -71,6 +72,11 @@ knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
   --slow-log-ms N        slow-request latency threshold (default 500)
   --slow-log-max-bytes N rotate the slow log to P.1 past this size;
                          0 disables rotation (default 16777216)
+  --replica-of H:P       start as a read-only replica of the primary at
+                         H:P: bootstrap from its snapshot over the wire,
+                         then tail its journal stream; writes are
+                         refused with err:\"not_primary\" until a
+                         `promote` (docs/ROBUSTNESS.md, Replication)
 
 client options (retry policy reference: docs/ROBUSTNESS.md):
   --timeout-ms N         read/write timeout (default 30000, 0 = none)
@@ -78,6 +84,13 @@ client options (retry policy reference: docs/ROBUSTNESS.md):
   --retries N            retries for idempotent commands — ping, topk,
                          topr, stats, metrics (default 3; ingest and
                          other state-changing commands never retry)
+  --total-timeout-ms N   wall-clock budget for one idempotent command
+                         across all retries and backoff (default 0 =
+                         unbounded)
+  --endpoints A,B,..     failover set (primary + replicas, any order);
+                         idempotent commands rotate to the next endpoint
+                         on connect failures, retryable errors, and
+                         not_primary refusals; overrides --addr
 
 client commands (all take --addr, default 127.0.0.1:7411):
   topk client ping                  liveness probe
@@ -97,6 +110,8 @@ client commands (all take --addr, default 127.0.0.1:7411):
   topk client snapshot <path>       server writes a snapshot to <path>
   topk client restore <path>        server restores from <path>
   topk client raw '<json-line>'     send one raw protocol line
+  topk client promote               promote a replica to primary
+  topk client replstatus            replication role, epoch, and lag
   topk client shutdown              stop the server";
 
 /// Parsed command.
@@ -165,6 +180,8 @@ pub struct ServeOptions {
     pub slow_log_ms: u64,
     /// Slow-log rotation size in bytes (0 = never rotate).
     pub slow_log_max_bytes: u64,
+    /// Start as a replica of this primary (`host:port`); None = primary.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -194,6 +211,7 @@ impl Default for ServeOptions {
             slow_log: None,
             slow_log_ms: 500,
             slow_log_max_bytes: 16 << 20,
+            replica_of: None,
         }
     }
 }
@@ -235,6 +253,10 @@ pub enum ClientAction {
     Restore(String),
     /// Send one raw protocol line.
     Raw(String),
+    /// Promote a replica to primary.
+    Promote,
+    /// Replication role, epoch, and lag.
+    ReplStatus,
     /// Stop the server.
     Shutdown,
 }
@@ -269,6 +291,10 @@ pub struct ClientOptions {
     pub connect_timeout_ms: u64,
     /// Retries for idempotent commands.
     pub retries: u32,
+    /// Wall-clock budget across retries in ms (0 = unbounded).
+    pub total_timeout_ms: u64,
+    /// Failover endpoint set; empty means use `addr` alone.
+    pub endpoints: Vec<String>,
 }
 
 /// Options shared by the subcommands.
@@ -343,11 +369,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut opts = Options::default();
     let mut path: Option<PathBuf> = None;
 
-    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("flag {flag} needs a value"))
-    };
+    let next_value =
+        |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -358,7 +385,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             "--name-field" => opts.name_field = Some(next_value("--name-field", &mut it)?),
             "--threshold" => {
-                opts.threshold = Some(parse_float(&next_value("--threshold", &mut it)?, "--threshold")?)
+                opts.threshold = Some(parse_float(
+                    &next_value("--threshold", &mut it)?,
+                    "--threshold",
+                )?)
             }
             "--alpha" => opts.alpha = parse_float(&next_value("--alpha", &mut it)?, "--alpha")?,
             "--max-df" => {
@@ -462,8 +492,7 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
                 o.read_timeout_ms = parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?
             }
             "--write-timeout-ms" => {
-                o.write_timeout_ms =
-                    parse_num(&value("--write-timeout-ms")?, "--write-timeout-ms")?
+                o.write_timeout_ms = parse_num(&value("--write-timeout-ms")?, "--write-timeout-ms")?
             }
             "--idle-timeout-ms" => {
                 o.idle_timeout_ms = parse_num(&value("--idle-timeout-ms")?, "--idle-timeout-ms")?
@@ -491,6 +520,7 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
                 o.slow_log_max_bytes =
                     parse_num(&value("--slow-log-max-bytes")?, "--slow-log-max-bytes")?
             }
+            "--replica-of" => o.replica_of = Some(value("--replica-of")?),
             other => return Err(format!("unknown serve argument {other}")),
         }
     }
@@ -513,6 +543,8 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         timeout_ms: 30_000,
         connect_timeout_ms: 5_000,
         retries: 3,
+        total_timeout_ms: 0,
+        endpoints: Vec::new(),
     };
     let mut positional: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -543,13 +575,25 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
                     parse_num(&value("--connect-timeout-ms")?, "--connect-timeout-ms")?
             }
             "--retries" => o.retries = parse_num(&value("--retries")?, "--retries")?,
+            "--total-timeout-ms" => {
+                o.total_timeout_ms = parse_num(&value("--total-timeout-ms")?, "--total-timeout-ms")?
+            }
+            "--endpoints" => {
+                o.endpoints = value("--endpoints")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if o.endpoints.is_empty() {
+                    return Err("--endpoints needs at least one host:port".into());
+                }
+            }
             "--delimiter" => o.delimiter = parse_delimiter(&value("--delimiter")?)?,
             "--no-header" => o.has_header = false,
             "--weight-col" => o.weight_col = Some(value("--weight-col")?),
             "--label-col" => o.label_col = Some(value("--label-col")?),
-            other if other.starts_with("--") => {
-                return Err(format!("unknown client flag {other}"))
-            }
+            other if other.starts_with("--") => return Err(format!("unknown client flag {other}")),
             other => {
                 if positional.is_some() {
                     return Err(format!("unexpected argument {other}"));
@@ -582,7 +626,9 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
     o.action = match cmd.as_str() {
         "ping" => ClientAction::Ping,
         "stats" => ClientAction::Stats,
-        "metrics" => ClientAction::Metrics { watch: watch.take() },
+        "metrics" => ClientAction::Metrics {
+            watch: watch.take(),
+        },
         "health" => ClientAction::Health,
         "profiles" => ClientAction::Profiles,
         "trace" => {
@@ -606,10 +652,14 @@ fn parse_client(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String
         "snapshot" => ClientAction::Snapshot(need("a path", positional)?),
         "restore" => ClientAction::Restore(need("a path", positional)?),
         "raw" => ClientAction::Raw(need("a JSON line", positional)?),
+        "promote" => ClientAction::Promote,
+        "replstatus" => ClientAction::ReplStatus,
         other => return Err(format!("unknown client command {other}")),
     };
     if trace_out.is_some() {
-        return Err(format!("--out only applies to `client trace`, not `client {cmd}`"));
+        return Err(format!(
+            "--out only applies to `client trace`, not `client {cmd}`"
+        ));
     }
     Ok(Command::Client(o))
 }
@@ -792,14 +842,20 @@ mod tests {
         match parse(&argv("client trace")).unwrap() {
             Command::Client(o) => assert_eq!(
                 o.action,
-                ClientAction::Trace { enabled: None, out: None }
+                ClientAction::Trace {
+                    enabled: None,
+                    out: None
+                }
             ),
             _ => panic!("wrong command"),
         }
         match parse(&argv("client trace on")).unwrap() {
             Command::Client(o) => assert_eq!(
                 o.action,
-                ClientAction::Trace { enabled: Some(true), out: None }
+                ClientAction::Trace {
+                    enabled: Some(true),
+                    out: None
+                }
             ),
             _ => panic!("wrong command"),
         }
@@ -913,8 +969,10 @@ mod tests {
 
     #[test]
     fn parses_client_retry_flags() {
-        match parse(&argv("client ping --timeout-ms 50 --connect-timeout-ms 70 --retries 9"))
-            .unwrap()
+        match parse(&argv(
+            "client ping --timeout-ms 50 --connect-timeout-ms 70 --retries 9",
+        ))
+        .unwrap()
         {
             Command::Client(o) => {
                 assert_eq!(o.timeout_ms, 50);
@@ -932,6 +990,52 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse(&argv("client ping --retries many")).is_err());
+    }
+
+    #[test]
+    fn parses_replication_flags() {
+        match parse(&argv("serve --replica-of 10.0.0.1:7411")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.replica_of.as_deref(), Some("10.0.0.1:7411"))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(o) => assert_eq!(o.replica_of, None),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("serve --replica-of")).is_err());
+        match parse(&argv("client promote --addr h:1")).unwrap() {
+            Command::Client(o) => {
+                assert_eq!(o.action, ClientAction::Promote);
+                assert_eq!(o.addr, "h:1");
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client replstatus")).unwrap() {
+            Command::Client(o) => assert_eq!(o.action, ClientAction::ReplStatus),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv(
+            "client topk --endpoints a:1,b:2 --total-timeout-ms 1500",
+        ))
+        .unwrap()
+        {
+            Command::Client(o) => {
+                assert_eq!(o.endpoints, vec!["a:1".to_string(), "b:2".to_string()]);
+                assert_eq!(o.total_timeout_ms, 1500);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("client ping")).unwrap() {
+            Command::Client(o) => {
+                assert!(o.endpoints.is_empty());
+                assert_eq!(o.total_timeout_ms, 0);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&argv("client ping --endpoints ,")).is_err());
+        assert!(parse(&argv("client ping --total-timeout-ms soon")).is_err());
     }
 
     #[test]

@@ -133,7 +133,21 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
             );
         }
     }
-    let mut server = Server::bind(&o.addr, Arc::new(engine))?;
+    let engine = Arc::new(engine);
+    // Replica mode: mark the role before the listener opens so not even
+    // the first connection can sneak a write in, then start the tailer
+    // that bootstraps from the primary and applies its journal stream.
+    let tailer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let tailer = o.replica_of.as_ref().map(|primary| {
+        engine.set_role(topk_service::Role::Replica);
+        topk_obs::info!("replica of {primary}; writes refused until `promote`");
+        topk_service::spawn_tailer(
+            Arc::clone(&engine),
+            primary.clone(),
+            Arc::clone(&tailer_stop),
+        )
+    });
+    let mut server = Server::bind(&o.addr, Arc::clone(&engine))?;
     server.snapshot_on_exit = o.snapshot_on_exit.clone();
     if let Some(path) = &o.slow_log {
         let log = topk_service::SlowQueryLog::open(
@@ -160,22 +174,30 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
         "listening on {} (protocol: docs/SERVICE.md)",
         server.local_addr()
     );
-    server.run()
+    let result = server.run();
+    tailer_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(handle) = tailer {
+        let _ = handle.join();
+    }
+    result
 }
 
 /// `topk client`: send one command, print the response line to stdout.
 fn run_client(o: &ClientOptions) -> Result<(), String> {
     let ms = std::time::Duration::from_millis;
-    let mut c = Client::connect_with(
-        &o.addr,
-        ClientConfig {
-            connect_timeout: ms(o.connect_timeout_ms),
-            read_timeout: ms(o.timeout_ms),
-            write_timeout: ms(o.timeout_ms),
-            retries: o.retries,
-            ..Default::default()
-        },
-    )?;
+    let config = ClientConfig {
+        connect_timeout: ms(o.connect_timeout_ms),
+        read_timeout: ms(o.timeout_ms),
+        write_timeout: ms(o.timeout_ms),
+        retries: o.retries,
+        total_timeout: ms(o.total_timeout_ms),
+        ..Default::default()
+    };
+    let mut c = if o.endpoints.is_empty() {
+        Client::connect_with(&o.addr, config)?
+    } else {
+        Client::connect_endpoints(&o.endpoints, config)?
+    };
     let line = match &o.action {
         // Through the stamped client paths (trace id on the wire;
         // ping retries as an idempotent probe) — only `raw` sends a
@@ -230,6 +252,14 @@ fn run_client(o: &ClientOptions) -> Result<(), String> {
             return Ok(());
         }
         ClientAction::Raw(line) => line.clone(),
+        ClientAction::Promote => {
+            println!("{}", c.promote()?);
+            return Ok(());
+        }
+        ClientAction::ReplStatus => {
+            println!("{}", c.replstatus()?);
+            return Ok(());
+        }
         ClientAction::Snapshot(path) => {
             println!("{}", c.snapshot(path)?);
             return Ok(());
@@ -302,7 +332,11 @@ fn run_traced_query(
         .map(|s| topk_obs::TraceEvent::from_span(s, pid_for(s.name)))
         .collect();
     for s in drained.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
-        let name = s.get("name").and_then(Json::as_str).unwrap_or("span").to_string();
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("span")
+            .to_string();
         let num = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
         let mut fields = Vec::new();
         if let Some(Json::Obj(members)) = s.get("fields") {
@@ -479,7 +513,8 @@ fn run_count_approx(
             g.hi,
             g.size,
             if g.escalated { "exact" } else { "approx" },
-            data.record(topk_records::RecordId(g.rep_rid as u32)).field(field)
+            data.record(topk_records::RecordId(g.rep_rid as u32))
+                .field(field)
         );
     }
     if opts.explain {
@@ -592,8 +627,13 @@ mod tests {
     #[test]
     fn rank_and_thresh_end_to_end() {
         let path = write_sample();
-        let rank = parse(&["rank".into(), path.display().to_string(), "--k".into(), "2".into()])
-            .unwrap();
+        let rank = parse(&[
+            "rank".into(),
+            path.display().to_string(),
+            "--k".into(),
+            "2".into(),
+        ])
+        .unwrap();
         run(rank).expect("rank query runs");
         let thresh = parse(&[
             "thresh".into(),
@@ -664,7 +704,9 @@ mod tests {
 
     #[test]
     fn count_query_writes_chrome_trace() {
-        let _guard = super::TRACE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = super::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let path = write_sample();
         let out = std::env::temp_dir()
             .join("topk_cli_test")

@@ -103,9 +103,7 @@ pub fn spectral_embedding(ps: &PairScores) -> Vec<u32> {
     }
     // Weights: positive part of the scores.
     let w = |i: usize, j: usize| ps.get(i, j).max(0.0);
-    let degree: Vec<f64> = (0..n)
-        .map(|i| (0..n).map(|j| w(i, j)).sum())
-        .collect();
+    let degree: Vec<f64> = (0..n).map(|i| (0..n).map(|j| w(i, j)).sum()).collect();
     let sigma = 2.0 * degree.iter().cloned().fold(0.0, f64::max) + 1.0;
 
     // x ← (σI − L)x, orthogonalized against 1 and normalized.
@@ -181,10 +179,7 @@ mod tests {
     }
 
     fn cluster_contiguous(order: &[u32]) -> bool {
-        let first: Vec<usize> = order
-            .iter()
-            .map(|&i| if i < 3 { 0 } else { 1 })
-            .collect();
+        let first: Vec<usize> = order.iter().map(|&i| if i < 3 { 0 } else { 1 }).collect();
         // all items of one cluster adjacent <=> at most one switch point
         first.windows(2).filter(|w| w[0] != w[1]).count() <= 1
     }

@@ -288,7 +288,10 @@ pub(crate) fn greedy_local(ps: &PairScores) -> Vec<u32> {
             break;
         }
     }
-    Partition::from_labels(labels).canonicalize().labels().to_vec()
+    Partition::from_labels(labels)
+        .canonicalize()
+        .labels()
+        .to_vec()
 }
 
 fn group_lists(labels: &[u32]) -> Vec<Vec<usize>> {
@@ -333,7 +336,16 @@ mod tests {
     fn matches_brute_force_small() {
         let cases = vec![
             PairScores::from_pairs(4, &[(0, 1, 2.0), (1, 2, 1.0), (0, 2, -3.0), (2, 3, 0.5)]),
-            PairScores::from_pairs(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (0, 4, -5.0)]),
+            PairScores::from_pairs(
+                5,
+                &[
+                    (0, 1, 1.0),
+                    (1, 2, 1.0),
+                    (2, 3, 1.0),
+                    (3, 4, 1.0),
+                    (0, 4, -5.0),
+                ],
+            ),
             PairScores::from_pairs(3, &[(0, 1, -1.0), (1, 2, -1.0), (0, 2, -1.0)]),
         ];
         for ps in cases {

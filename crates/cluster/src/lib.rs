@@ -20,8 +20,8 @@ pub mod hierarchy;
 pub mod logistic;
 pub mod objective;
 pub mod scorer;
-pub mod simscorer;
 pub mod segment;
+pub mod simscorer;
 pub mod sparse;
 pub mod topr;
 
@@ -33,7 +33,7 @@ pub use hierarchy::{agglomerate, frontier_topr, Dendrogram, Linkage, Merge};
 pub use logistic::{LogisticModel, LogisticSnapshot};
 pub use objective::{correlation_score, group_score, within_sum, PairScores};
 pub use scorer::PairScorer;
-pub use simscorer::{Kernel, SimilarityScorer, Term};
 pub use segment::{segment_topk, SegmentAnswer, SegmentConfig};
+pub use simscorer::{Kernel, SimilarityScorer, Term};
 pub use sparse::{segment_topk_sparse, SparseAnswer, SparseScores};
 pub use topr::TopR;

@@ -253,7 +253,10 @@ mod tests {
             let p = Partition::from_labels(labels);
             let c = correlation_score(&p, &ps);
             let w = within_sum(&p, &ps);
-            assert!((c - (2.0 * w - 2.0 * neg_total)).abs() < 1e-9, "c={c} w={w}");
+            assert!(
+                (c - (2.0 * w - 2.0 * neg_total)).abs() < 1e-9,
+                "c={c} w={w}"
+            );
         }
     }
 
@@ -281,8 +284,7 @@ mod tests {
         let a = TokenizedRecord::from_fields(&["x".into()], 2.0);
         let b = TokenizedRecord::from_fields(&["x".into()], 3.0);
         let scorer = |_: &TokenizedRecord, _: &TokenizedRecord| 1.0;
-        let ps =
-            PairScores::from_scorer_weighted(&[&a, &b], &[2.0, 3.0], &scorer);
+        let ps = PairScores::from_scorer_weighted(&[&a, &b], &[2.0, 3.0], &scorer);
         assert_eq!(ps.get(0, 1), 6.0);
     }
 }

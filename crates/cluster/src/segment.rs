@@ -176,8 +176,7 @@ pub fn segment_topk(ps: &PairScores, cfg: &SegmentConfig) -> Vec<SegmentAnswer> 
     }
     for &ell in &ells {
         // table[k][i]: TopR of (score, Back).
-        let mut table: Vec<Vec<TopR<Back>>> =
-            vec![vec![TopR::new(r); n + 1]; k_budget + 1];
+        let mut table: Vec<Vec<TopR<Back>>> = vec![vec![TopR::new(r); n + 1]; k_budget + 1];
         for k_tab in table.iter_mut() {
             k_tab[0].push(
                 0.0,

@@ -8,9 +8,7 @@
 //! the duplicate/non-duplicate verdict.
 
 use topk_records::{FieldId, TokenizedRecord};
-use topk_text::sim::{
-    jaccard, jaro_winkler, monge_elkan_sym, overlap_coefficient, smith_waterman,
-};
+use topk_text::sim::{jaccard, jaro_winkler, monge_elkan_sym, overlap_coefficient, smith_waterman};
 
 use crate::scorer::PairScorer;
 

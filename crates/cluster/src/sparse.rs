@@ -168,9 +168,7 @@ pub fn segment_topk_sparse(
                     let clusters: Vec<Vec<u32>> = a
                         .segments
                         .iter()
-                        .map(|&(s, e)| {
-                            (s..e).map(|pos| comp[order[pos] as usize]).collect()
-                        })
+                        .map(|&(s, e)| (s..e).map(|pos| comp[order[pos] as usize]).collect())
                         .collect();
                     (a.score, clusters)
                 })

@@ -24,9 +24,7 @@ impl<T: Clone> TopR<T> {
         if !score.is_finite() {
             return;
         }
-        let pos = self
-            .entries
-            .partition_point(|(s, _)| *s >= score);
+        let pos = self.entries.partition_point(|(s, _)| *s >= score);
         if pos >= self.capacity {
             return;
         }

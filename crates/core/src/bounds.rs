@@ -102,7 +102,11 @@ pub fn estimate_lower_bound(
     if bound < k && connected_since_recompute > 0 {
         bound = cpn_lower_bound(&graph).max(bound);
     }
-    let lower_bound = if bound >= k { *weights.last().unwrap() } else { 0.0 };
+    let lower_bound = if bound >= k {
+        *weights.last().unwrap()
+    } else {
+        0.0
+    };
     sp.record("m", n);
     sp.record("m_lower_bound", lower_bound);
     sp.record("cpn", bound);
@@ -199,7 +203,13 @@ pub fn prune_groups(
         .collect();
 
     let mut upper: Vec<f64> = (0..n)
-        .map(|i| weights[i] + adjacency[i].iter().map(|&j| weights[j as usize]).sum::<f64>())
+        .map(|i| {
+            weights[i]
+                + adjacency[i]
+                    .iter()
+                    .map(|&j| weights[j as usize])
+                    .sum::<f64>()
+        })
         .collect();
     for _ in 0..refine_iterations {
         let prev = upper.clone();

@@ -72,14 +72,22 @@ pub fn deduplicate(
             for j in index.candidates(ts, n_pred.min_common_tokens(), Some(i as u32)) {
                 let j = j as usize;
                 if j > i && n_pred.matches(reps[i], reps[j]) {
-                    ss.insert(i, j, scorer.score(reps[i], reps[j]) * weights[i] * weights[j]);
+                    ss.insert(
+                        i,
+                        j,
+                        scorer.score(reps[i], reps[j]) * weights[i] * weights[j],
+                    );
                 }
             }
         }
     } else {
         for i in 0..n {
             for j in (i + 1)..n {
-                ss.insert(i, j, scorer.score(reps[i], reps[j]) * weights[i] * weights[j]);
+                ss.insert(
+                    i,
+                    j,
+                    scorer.score(reps[i], reps[j]) * weights[i] * weights[j],
+                );
             }
         }
     }

@@ -108,11 +108,8 @@ impl IncrementalDedup {
     /// Export the collapsed state for persistence (see
     /// [`IncrementalState`]).
     pub fn export_state(&self) -> IncrementalState {
-        let mut blocks: Vec<(u64, Vec<u32>)> = self
-            .blocks
-            .iter()
-            .map(|(&k, v)| (k, v.clone()))
-            .collect();
+        let mut blocks: Vec<(u64, Vec<u32>)> =
+            self.blocks.iter().map(|(&k, v)| (k, v.clone())).collect();
         blocks.sort_unstable_by_key(|&(k, _)| k);
         IncrementalState {
             records: self
@@ -191,8 +188,7 @@ impl IncrementalDedup {
                 }
             } else {
                 for &other in block.iter() {
-                    if !self.uf.same(id, other) && s.matches(&record, &self.toks[other as usize])
-                    {
+                    if !self.uf.same(id, other) && s.matches(&record, &self.toks[other as usize]) {
                         self.uf.union(id, other);
                     }
                 }
@@ -269,10 +265,7 @@ impl IncrementalDedup {
             let weights: Vec<f64> = units.iter().map(|u| u.weight).collect();
             let lb = estimate_lower_bound(&reps, &weights, n_pred.as_ref(), k);
             let kept = prune_groups_fast(&reps, &weights, n_pred.as_ref(), lb.lower_bound, 2);
-            units = kept
-                .iter()
-                .map(|&i| units[i as usize].clone())
-                .collect();
+            units = kept.iter().map(|&i| units[i as usize].clone()).collect();
             if units.len() <= k {
                 break;
             }
@@ -417,13 +410,22 @@ mod tests {
         good.insert(TokenizedRecord::from_fields(&["a b".into()], 1.0), &NoBlock);
         let mut s = good.export_state();
         s.parent = vec![0, 0];
-        assert!(IncrementalDedup::from_state(s).is_err(), "parent len mismatch");
+        assert!(
+            IncrementalDedup::from_state(s).is_err(),
+            "parent len mismatch"
+        );
         let mut s = good.export_state();
         s.blocks = vec![(1, vec![9])];
-        assert!(IncrementalDedup::from_state(s).is_err(), "block id out of range");
+        assert!(
+            IncrementalDedup::from_state(s).is_err(),
+            "block id out of range"
+        );
         let mut s = good.export_state();
         s.generation = 0;
-        assert!(IncrementalDedup::from_state(s).is_err(), "generation regressed");
+        assert!(
+            IncrementalDedup::from_state(s).is_err(),
+            "generation regressed"
+        );
     }
 
     /// A sufficient predicate with no blocking keys (never merges).

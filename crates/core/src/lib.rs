@@ -78,18 +78,17 @@ pub mod pipeline;
 pub mod queries;
 pub mod stats;
 
+pub use avg::{AvgEntry, AvgResult, TopKAvgQuery};
 pub use bounds::{
     estimate_lower_bound, estimate_lower_bound_weak, prune_groups, prune_groups_fast,
     LowerBoundResult, PruneResult,
 };
-pub use pipeline::{FinalGroup, PipelineConfig, PipelineOutcome, PrunedDedup, PruningMode};
-pub use queries::{
-    AnswerMethod,
-    AnswerGroup, RankEntry, RankResult, ThresholdedRankQuery, TopKAnswer, TopKQuery, TopKRankQuery,
-    TopKResult,
-};
-pub use avg::{AvgEntry, AvgResult, TopKAvgQuery};
 pub use dedup::{deduplicate, DedupResult};
 pub use incremental::{IncrementalDedup, IncrementalState};
+pub use pipeline::{FinalGroup, PipelineConfig, PipelineOutcome, PrunedDedup, PruningMode};
+pub use queries::{
+    AnswerGroup, AnswerMethod, RankEntry, RankResult, ThresholdedRankQuery, TopKAnswer, TopKQuery,
+    TopKRankQuery, TopKResult,
+};
 pub use stats::{IterationStats, PipelineStats};
 pub use topk_text::Parallelism;

@@ -86,7 +86,11 @@ pub struct PrunedDedup<'a> {
 
 impl<'a> PrunedDedup<'a> {
     /// Set up the pipeline over tokenized records and a predicate stack.
-    pub fn new(toks: &'a [TokenizedRecord], stack: &'a PredicateStack, cfg: PipelineConfig) -> Self {
+    pub fn new(
+        toks: &'a [TokenizedRecord],
+        stack: &'a PredicateStack,
+        cfg: PipelineConfig,
+    ) -> Self {
         assert!(cfg.k >= 1, "K must be at least 1");
         PrunedDedup { toks, stack, cfg }
     }

@@ -163,10 +163,7 @@ fn final_answers(
     let reps: Vec<&TokenizedRecord> = groups.iter().map(|g| &toks[g.rep as usize]).collect();
     let weights: Vec<f64> = groups.iter().map(|g| g.weight).collect();
     // Algorithm 2 line 9: apply P only on pairs passing the last N.
-    let last_n = stack
-        .levels
-        .last()
-        .map(|(_, n_pred)| n_pred.as_ref());
+    let last_n = stack.levels.last().map(|(_, n_pred)| n_pred.as_ref());
     // Two distinct groupings can designate the same K largest groups
     // (they differ only in how the tail is split); such answers are the
     // same TopK result, so request spare groupings and deduplicate by
@@ -180,7 +177,9 @@ fn final_answers(
         let mut ss = SparseScores::new(weights.clone(), non_canopy_score.min(-1e-9));
         if let Some(n_pred) = last_n {
             let mut index = topk_text::InvertedIndex::new();
-            let token_sets = q.parallelism.map_slice(&reps, |rp| n_pred.candidate_tokens(rp));
+            let token_sets = q
+                .parallelism
+                .map_slice(&reps, |rp| n_pred.candidate_tokens(rp));
             for (i, ts) in token_sets.iter().enumerate() {
                 index.insert(i as u32, ts);
             }
@@ -316,8 +315,7 @@ fn build_answer(
     k: usize,
 ) -> TopKAnswer {
     let mut idx: Vec<usize> = (0..clusters.len()).collect();
-    let cluster_weight =
-        |c: &[usize]| -> f64 { c.iter().map(|&u| weights[u]).sum() };
+    let cluster_weight = |c: &[usize]| -> f64 { c.iter().map(|&u| weights[u]).sum() };
     idx.sort_by(|&x, &y| {
         cluster_weight(&clusters[y])
             .total_cmp(&cluster_weight(&clusters[x]))
@@ -816,11 +814,7 @@ mod tests {
         let top_count = &count.answers[0].groups[0];
         let top_rank = &rank.entries[0];
         let set: std::collections::HashSet<u32> = top_count.records.iter().copied().collect();
-        let contained = top_rank
-            .records
-            .iter()
-            .filter(|r| set.contains(r))
-            .count();
+        let contained = top_rank.records.iter().filter(|r| set.contains(r)).count();
         assert!(
             contained * 2 >= top_rank.records.len(),
             "top rank entry mostly inside top count group"

@@ -24,8 +24,8 @@ const MIDS: &[&str] = &[
 ];
 const CODAS: &[&str] = &[
     "n", "sh", "m", "r", "l", "t", "k", "d", "s", "v", "gi", "ni", "ta", "ne", "ya", "an", "ar",
-    "al", "at", "wal", "ber", "cki", "dze", "ffe", "ghy", "hne", "itz", "jor", "kov", "lde",
-    "mbe", "nov", "oss", "pul", "quet", "rth", "sky", "tte", "urn", "vic",
+    "al", "at", "wal", "ber", "cki", "dze", "ffe", "ghy", "hne", "itz", "jor", "kov", "lde", "mbe",
+    "nov", "oss", "pul", "quet", "rth", "sky", "tte", "urn", "vic",
 ];
 
 /// Deterministic pseudo-random mixing of an index (splitmix64).

@@ -154,9 +154,7 @@ mod tests {
         // popular products appear with multiple title renderings
         assert!(titles.len() >= 2, "titles: {titles:?}");
         // squashed titles agree within the entity (brand+model survive)
-        let squash = |t: &str| -> String {
-            t.chars().filter(|c| c.is_alphanumeric()).collect()
-        };
+        let squash = |t: &str| -> String { t.chars().filter(|c| c.is_alphanumeric()).collect() };
         let sq: std::collections::HashSet<String> = titles
             .iter()
             .map(|t| {

@@ -78,11 +78,7 @@ impl SmallDatasetKind {
 
 /// Mention counts per entity: every entity gets one record, remaining
 /// records go to a skewed prefix of entities.
-fn mention_counts<R: Rng + ?Sized>(
-    rng: &mut R,
-    n_entities: usize,
-    n_records: usize,
-) -> Vec<usize> {
+fn mention_counts<R: Rng + ?Sized>(rng: &mut R, n_entities: usize, n_records: usize) -> Vec<usize> {
     let mut counts = vec![1usize; n_entities];
     let extra = n_records - n_entities;
     let z = crate::zipf::ZipfSampler::new(n_entities, 1.0);
@@ -184,8 +180,9 @@ pub fn small_dataset(kind: SmallDatasetKind, seed: u64) -> Dataset {
             let schema = Schema::new(vec!["author", "coauthors"]);
             let mut records = Vec::new();
             let mut labels = Vec::new();
-            let coauthor_pool: Vec<String> =
-                (0..400).map(|i| person_name(90_000 + i, 260, 1500)).collect();
+            let coauthor_pool: Vec<String> = (0..400)
+                .map(|i| person_name(90_000 + i, 260, 1500))
+                .collect();
             for (e, &c) in counts.iter().enumerate() {
                 let clean = person_name(50_000 + e as u64, 260, 1500);
                 for _ in 0..c {
@@ -198,9 +195,7 @@ pub fn small_dataset(kind: SmallDatasetKind, seed: u64) -> Dataset {
                     }
                     let n_co = rng.random_range(0..4usize);
                     let co: Vec<&str> = (0..n_co)
-                        .map(|_| {
-                            coauthor_pool[rng.random_range(0..coauthor_pool.len())].as_str()
-                        })
+                        .map(|_| coauthor_pool[rng.random_range(0..coauthor_pool.len())].as_str())
                         .collect();
                     records.push(Record::new(vec![m, co.join(" ")]));
                     labels.push(e as u32);

@@ -94,14 +94,18 @@ pub fn generate_students(cfg: &StudentConfig) -> Dataset {
         }
         let birthdate = if rng.random_bool(cfg.p_wrong_date) {
             // "current date instead of the birth date"
-            format!("2008{:02}{:02}", 1 + rng.random_range(0..12u32), 1 + rng.random_range(0..28u32))
+            format!(
+                "2008{:02}{:02}",
+                1 + rng.random_range(0..12u32),
+                1 + rng.random_range(0..28u32)
+            )
         } else {
             st.birthdate.clone()
         };
         let paper = format!("p{}", rng.random_range(0..40u32));
         // Marks: 50 + 15 * proficiency + small per-paper noise, in [0,100].
-        let marks = (50.0 + 15.0 * st.proficiency + 5.0 * noise::gaussian(&mut rng))
-            .clamp(0.0, 100.0);
+        let marks =
+            (50.0 + 15.0 * st.proficiency + 5.0 * noise::gaussian(&mut rng)).clamp(0.0, 100.0);
         records.push(Record::with_weight(
             vec![name, birthdate, st.class.clone(), st.school.clone(), paper],
             marks,
@@ -149,7 +153,10 @@ mod tests {
         let t = d.truth().unwrap();
         // all records of one entity share class and school exactly
         let groups = t.groups();
-        let g = groups.iter().find(|g| g.len() >= 3).expect("a repeated pupil");
+        let g = groups
+            .iter()
+            .find(|g| g.len() >= 3)
+            .expect("a repeated pupil");
         let class0 = d.records()[g[0]].field(FieldId(2));
         let school0 = d.records()[g[0]].field(FieldId(3));
         for &i in g {

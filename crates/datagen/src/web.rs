@@ -52,7 +52,15 @@ impl Default for WebConfig {
     }
 }
 
-const LEGAL_FORMS: &[&str] = &["inc", "ltd", "corp", "labs", "group", "systems", "institute"];
+const LEGAL_FORMS: &[&str] = &[
+    "inc",
+    "ltd",
+    "corp",
+    "labs",
+    "group",
+    "systems",
+    "institute",
+];
 
 struct Org {
     full: String,
@@ -115,7 +123,6 @@ pub fn generate_web_mentions(cfg: &WebConfig) -> Dataset {
     }
     Dataset::with_truth(schema, records, Partition::from_labels(labels))
 }
-
 
 #[cfg(test)]
 mod tests {

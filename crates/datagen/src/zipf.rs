@@ -17,7 +17,10 @@ impl ZipfSampler {
     /// uniform; `s ≈ 1` is classic Zipf).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs at least one id");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {

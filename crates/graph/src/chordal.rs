@@ -110,7 +110,17 @@ mod tests {
         // cross-checks the two implementations.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (1, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (1, 5),
+            ],
         );
         let (_, filled) = crate::cpn::min_fill_order(&g);
         assert!(is_chordal(&filled), "min-fill must triangulate");

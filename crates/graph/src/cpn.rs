@@ -133,8 +133,7 @@ pub fn cpn_exact(g: &Graph) -> usize {
     for s in 1..=full {
         let v = s.trailing_zeros() as usize;
         let rest = s & (s - 1);
-        is_clique[s as usize] =
-            is_clique[rest as usize] && (rest & !adj_mask[v]) == 0;
+        is_clique[s as usize] = is_clique[rest as usize] && (rest & !adj_mask[v]) == 0;
     }
     // f[s] = min cliques to cover s.
     let mut f = vec![u32::MAX; (full as usize) + 1];
@@ -142,7 +141,7 @@ pub fn cpn_exact(g: &Graph) -> usize {
     for s in 1..=full {
         let v = s.trailing_zeros();
         let sub_mask = s & !(1 << v); // subsets that must include v
-        // iterate over subsets t of sub_mask; class = t | {v}
+                                      // iterate over subsets t of sub_mask; class = t | {v}
         let mut t = sub_mask;
         loop {
             let class = t | (1 << v);
@@ -165,10 +164,7 @@ mod tests {
     /// The paper's Figure 1 example: five groups, optimal clique partition
     /// is 2 via (c1,c5) and (c2,c3,c4); N(c1,c3) is false.
     fn figure1() -> Graph {
-        Graph::from_edges(
-            5,
-            &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
+        Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (3, 4)])
     }
 
     #[test]

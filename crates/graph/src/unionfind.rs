@@ -84,7 +84,8 @@ impl UnionFind {
     /// smallest member.
     pub fn groups(&mut self) -> Vec<Vec<u32>> {
         let n = self.len();
-        let mut by_root: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut by_root: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for x in 0..n as u32 {
             by_root.entry(self.find(x)).or_default().push(x);
         }
@@ -142,7 +143,11 @@ impl UnionFind {
                 }
                 x = p;
             }
-            let r = if state[x as usize] == 2 { root[x as usize] } else { x };
+            let r = if state[x as usize] == 2 {
+                root[x as usize]
+            } else {
+                x
+            };
             for &c in &chain {
                 state[c as usize] = 2;
                 root[c as usize] = r;

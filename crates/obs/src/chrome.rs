@@ -254,8 +254,7 @@ mod tests {
                 Err("unterminated string".into())
             }
             Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                while i < s.len()
-                    && matches!(s[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                while i < s.len() && matches!(s[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
                 {
                     i += 1;
                 }
@@ -368,7 +367,10 @@ mod tests {
         };
         let t = chrome_trace_events(&[(1, "client"), (2, "server")], &[client, server]);
         assert_valid_json(&t);
-        assert!(t.contains(r#""name":"process_name","ph":"M","pid":1"#), "{t}");
+        assert!(
+            t.contains(r#""name":"process_name","ph":"M","pid":1"#),
+            "{t}"
+        );
         assert!(t.contains(r#""args":{"name":"client"}"#), "{t}");
         assert!(t.contains(r#""args":{"name":"server"}"#), "{t}");
         assert!(t.contains(r#""name":"client.request""#), "{t}");
@@ -396,7 +398,10 @@ mod tests {
         assert_eq!(e.tid, s.tid);
         assert_eq!(e.ts_ns, s.ts_ns);
         assert_eq!(e.dur_ns, s.dur_ns);
-        assert_eq!(e.fields, vec![("cache_hit".to_string(), FieldValue::Bool(true))]);
+        assert_eq!(
+            e.fields,
+            vec![("cache_hit".to_string(), FieldValue::Bool(true))]
+        );
     }
 
     #[test]

@@ -240,11 +240,7 @@ mod tests {
         assert_eq!(h.count(), 100);
         assert_eq!(h.bucket_counts()[0], 100, "all samples in bucket 0");
         for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
-            assert_eq!(
-                h.percentile_micros(p),
-                2,
-                "p{p} is bucket 0's upper bound"
-            );
+            assert_eq!(h.percentile_micros(p), 2, "p{p} is bucket 0's upper bound");
         }
         // The sum is unclamped: 100 × 0.3 µs truncates to 0 whole µs.
         assert_eq!(h.sum_micros(), 0);
@@ -284,10 +280,16 @@ mod tests {
         h.record(Duration::from_micros(3));
         h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
         let text = r.prometheus_text();
-        assert!(text.contains("# TYPE topk_cache_hits_total counter\n"), "{text}");
+        assert!(
+            text.contains("# TYPE topk_cache_hits_total counter\n"),
+            "{text}"
+        );
         assert!(text.contains("topk_cache_hits_total 7\n"), "{text}");
         assert!(text.contains("topk_pending -1\n"), "{text}");
-        assert!(text.contains("# TYPE topk_query_latency_micros histogram\n"), "{text}");
+        assert!(
+            text.contains("# TYPE topk_query_latency_micros histogram\n"),
+            "{text}"
+        );
         assert!(
             text.contains("topk_query_latency_micros_bucket{le=\"4\"} 2\n"),
             "{text}"
@@ -300,8 +302,14 @@ mod tests {
             text.contains("topk_query_latency_micros_bucket{le=\"+Inf\"} 3\n"),
             "{text}"
         );
-        assert!(text.contains("topk_query_latency_micros_sum 106\n"), "{text}");
-        assert!(text.contains("topk_query_latency_micros_count 3\n"), "{text}");
+        assert!(
+            text.contains("topk_query_latency_micros_sum 106\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("topk_query_latency_micros_count 3\n"),
+            "{text}"
+        );
     }
 
     #[test]

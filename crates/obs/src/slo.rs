@@ -254,10 +254,7 @@ fn budget_remaining(total: u64, errors: u64, availability_target_ppm: u64) -> u6
     if budget_ppm == 0 {
         return if errors == 0 { PPM } else { 0 };
     }
-    budget_ppm
-        .saturating_sub(err_ppm)
-        .saturating_mul(PPM)
-        / budget_ppm
+    budget_ppm.saturating_sub(err_ppm).saturating_mul(PPM) / budget_ppm
 }
 
 #[cfg(test)]
@@ -323,7 +320,7 @@ mod tests {
     #[test]
     fn error_budget_burns_linearly_and_exhausts() {
         let slo = tracker(); // 99.9% target => budget 1000 ppm
-        // 1 error in 2000 = 500 ppm error rate: half the budget left.
+                             // 1 error in 2000 = 500 ppm error rate: half the budget left.
         for i in 0..2000 {
             slo.record_at(5, 100, i != 0);
         }

@@ -279,10 +279,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            let ts_ns = inner
-                .start
-                .saturating_duration_since(epoch())
-                .as_nanos() as u64;
+            let ts_ns = inner.start.saturating_duration_since(epoch()).as_nanos() as u64;
             let dur_ns = (inner.start.elapsed().as_nanos() as u64).max(1);
             push(SpanRecord {
                 name: inner.name,

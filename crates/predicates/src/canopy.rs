@@ -180,7 +180,11 @@ mod tests {
     fn tight_threshold_removes_near_duplicates_from_pool() {
         // Identical items: the first becomes a center, the rest fall
         // inside t2 and never spawn their own canopies.
-        let rs = [rec("same words here"), rec("same words here"), rec("same words here")];
+        let rs = [
+            rec("same words here"),
+            rec("same words here"),
+            rec("same words here"),
+        ];
         let refs: Vec<&TokenizedRecord> = rs.iter().collect();
         let canopies = build_canopies(&refs, words, CanopyConfig { t1: 0.3, t2: 0.8 });
         assert_eq!(canopies.len(), 1);
@@ -189,7 +193,9 @@ mod tests {
 
     #[test]
     fn selectivity_is_small_on_disjoint_data() {
-        let rs: Vec<TokenizedRecord> = (0..20).map(|i| rec(&format!("unique{i} token{i}"))).collect();
+        let rs: Vec<TokenizedRecord> = (0..20)
+            .map(|i| rec(&format!("unique{i} token{i}")))
+            .collect();
         let refs: Vec<&TokenizedRecord> = rs.iter().collect();
         let canopies = build_canopies(&refs, words, CanopyConfig::default());
         assert_eq!(canopies.pair_selectivity(), 0.0);

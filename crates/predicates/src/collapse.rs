@@ -90,33 +90,32 @@ pub fn collapse_par(
         }
     } else {
         let block_list: Vec<&[u32]> = blocks.multi_member_blocks().collect();
-        let pair_shards: Vec<(Vec<(u32, u32)>, u64)> =
-            par.map_chunks(block_list.len(), |range| {
-                let mut local = UnionFind::new(n);
-                let mut pairs = Vec::new();
-                let mut compared: u64 = 0;
-                for block in &block_list[range] {
-                    if s.exact_on_key() {
-                        for &other in &block[1..] {
-                            pairs.push((block[0], other));
-                            compared += 1;
-                        }
-                    } else {
-                        for (i, &a) in block.iter().enumerate() {
-                            for &b in &block[i + 1..] {
-                                if !local.same(a, b) {
-                                    compared += 1;
-                                    if s.matches(reps[a as usize], reps[b as usize]) {
-                                        local.union(a, b);
-                                        pairs.push((a, b));
-                                    }
+        let pair_shards: Vec<(Vec<(u32, u32)>, u64)> = par.map_chunks(block_list.len(), |range| {
+            let mut local = UnionFind::new(n);
+            let mut pairs = Vec::new();
+            let mut compared: u64 = 0;
+            for block in &block_list[range] {
+                if s.exact_on_key() {
+                    for &other in &block[1..] {
+                        pairs.push((block[0], other));
+                        compared += 1;
+                    }
+                } else {
+                    for (i, &a) in block.iter().enumerate() {
+                        for &b in &block[i + 1..] {
+                            if !local.same(a, b) {
+                                compared += 1;
+                                if s.matches(reps[a as usize], reps[b as usize]) {
+                                    local.union(a, b);
+                                    pairs.push((a, b));
                                 }
                             }
                         }
                     }
                 }
-                (pairs, compared)
-            });
+            }
+            (pairs, compared)
+        });
         for (shard, compared) in pair_shards {
             pairs_compared += compared;
             for (a, b) in shard {

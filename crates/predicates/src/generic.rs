@@ -161,10 +161,7 @@ impl SufficientPredicate for RareNameSufficient {
             (Some(x), Some(y)) => x == y && x.chars().count() >= 2,
             _ => false,
         };
-        last_eq
-            && self.all_rare(a)
-            && self.all_rare(b)
-            && initials_match(&fa.text, &fb.text)
+        last_eq && self.all_rare(a) && self.all_rare(b) && initials_match(&fa.text, &fb.text)
     }
     fn partition_key(&self, r: &TokenizedRecord) -> Option<u64> {
         // The key value is stats-independent: `all_rare` only decides
@@ -264,8 +261,10 @@ impl SufficientPredicate for ExactPlusQgramSufficient {
         self.exact
             .iter()
             .all(|&f| a.field(f).text == b.field(f).text)
-            && overlap_fraction_of_smaller(&a.field(self.fuzzy).qgrams3, &b.field(self.fuzzy).qgrams3)
-                >= self.min_overlap
+            && overlap_fraction_of_smaller(
+                &a.field(self.fuzzy).qgrams3,
+                &b.field(self.fuzzy).qgrams3,
+            ) >= self.min_overlap
     }
 }
 
@@ -348,7 +347,12 @@ pub struct QgramFractionNecessary {
 
 impl QgramFractionNecessary {
     /// See type docs.
-    pub fn new(name: &str, field: FieldId, min_fraction: f64, require_common_initial: bool) -> Self {
+    pub fn new(
+        name: &str,
+        field: FieldId,
+        min_fraction: f64,
+        require_common_initial: bool,
+    ) -> Self {
         QgramFractionNecessary {
             name: name.to_string(),
             field,
@@ -537,14 +541,8 @@ mod tests {
         assert!(s.matches(&rec1("a b"), &rec1("a b")));
         assert!(!s.matches(&rec1("a b"), &rec1("a c")));
         assert!(s.exact_on_key());
-        assert_eq!(
-            s.blocking_keys(&rec1("a b")),
-            s.blocking_keys(&rec1("a b"))
-        );
-        assert_ne!(
-            s.blocking_keys(&rec1("a b")),
-            s.blocking_keys(&rec1("a c"))
-        );
+        assert_eq!(s.blocking_keys(&rec1("a b")), s.blocking_keys(&rec1("a b")));
+        assert_ne!(s.blocking_keys(&rec1("a b")), s.blocking_keys(&rec1("a c")));
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub mod generic;
 pub mod library;
 pub mod selection;
 pub mod snm;
-pub mod validate;
 pub mod traits;
+pub mod validate;
 
 pub use blocking::{BlockIndex, NecessaryIndex};
 pub use canopy::{build_canopies, Canopies, CanopyConfig};
@@ -33,7 +33,12 @@ pub use library::{
     address_predicates, citation_predicates, product_predicates, student_predicates,
     web_predicates, PredicateStack,
 };
-pub use selection::{profile_necessary, profile_stack, profile_sufficient, recommend_order, LevelProfile, PredicateProfile};
-pub use validate::{check_necessary_contract, check_soundness, check_sufficient_contract, Violation, ViolationKind};
+pub use selection::{
+    profile_necessary, profile_stack, profile_sufficient, recommend_order, LevelProfile,
+    PredicateProfile,
+};
 pub use snm::{reversed_key, surname_key, SortedNeighborhood};
 pub use traits::{NecessaryPredicate, SufficientPredicate};
+pub use validate::{
+    check_necessary_contract, check_soundness, check_sufficient_contract, Violation, ViolationKind,
+};

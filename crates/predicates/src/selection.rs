@@ -66,7 +66,11 @@ pub fn profile_sufficient(
     }
     PredicateProfile {
         name: s.name().to_string(),
-        seconds_per_pair: if evals == 0 { 0.0 } else { eval_time / evals as f64 },
+        seconds_per_pair: if evals == 0 {
+            0.0
+        } else {
+            eval_time / evals as f64
+        },
         keys_per_record: keys_total as f64 / n as f64,
         yield_rate: merged.iter().filter(|&&m| m).count() as f64 / n as f64,
     }
@@ -103,7 +107,11 @@ pub fn profile_necessary(
     }
     PredicateProfile {
         name: p.name().to_string(),
-        seconds_per_pair: if evals == 0 { 0.0 } else { eval_time / evals as f64 },
+        seconds_per_pair: if evals == 0 {
+            0.0
+        } else {
+            eval_time / evals as f64
+        },
         keys_per_record: keys_total as f64 / n as f64,
         yield_rate: neighbor_total as f64 / (n * n) as f64,
     }
@@ -149,7 +157,11 @@ pub fn profile_stack(stack: &PredicateStack, sample: &[&TokenizedRecord]) -> Vec
 /// ascending [`LevelProfile::cost_score`].
 pub fn recommend_order(profiles: &[LevelProfile]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..profiles.len()).collect();
-    order.sort_by(|&a, &b| profiles[a].cost_score().total_cmp(&profiles[b].cost_score()));
+    order.sort_by(|&a, &b| {
+        profiles[a]
+            .cost_score()
+            .total_cmp(&profiles[b].cost_score())
+    });
     order
 }
 

@@ -109,9 +109,12 @@ mod tests {
         // separate.
         let rs3 = [rec("abc xyz"), rec("mmm nnn"), rec("qbc xyz")];
         let refs3: Vec<&TokenizedRecord> = rs3.iter().collect();
-        let one_pass = SortedNeighborhood::new(2, vec![Box::new(|r: &TokenizedRecord| {
-            r.field(FieldId(0)).text.clone()
-        })]);
+        let one_pass = SortedNeighborhood::new(
+            2,
+            vec![Box::new(|r: &TokenizedRecord| {
+                r.field(FieldId(0)).text.clone()
+            })],
+        );
         let p1 = one_pass.candidate_pairs(&refs3);
         assert!(!p1.contains(&(0, 2)), "lexicographic pass misses the pair");
         let two_pass = SortedNeighborhood::new(

@@ -54,9 +54,7 @@ pub fn check_sufficient_contract(
     let mut out = Vec::new();
     for i in 0..sample.len() {
         for j in (i + 1)..sample.len() {
-            if s.matches(sample[i], sample[j])
-                && !keys[i].iter().any(|k| keys[j].contains(k))
-            {
+            if s.matches(sample[i], sample[j]) && !keys[i].iter().any(|k| keys[j].contains(k)) {
                 out.push(Violation {
                     pair: (i, j),
                     kind: ViolationKind::MissingBlockingKey,

@@ -137,7 +137,10 @@ mod tests {
         let back = read_tsv(&path).unwrap();
         assert!(back.truth().is_none());
         // tab replaced by space on write
-        assert_eq!(back.record(crate::RecordId(0)).field(crate::FieldId(0)), "tab here");
+        assert_eq!(
+            back.record(crate::RecordId(0)).field(crate::FieldId(0)),
+            "tab here"
+        );
     }
 
     #[test]
@@ -288,8 +291,11 @@ mod delimited_tests {
     #[test]
     fn reads_csv_with_weight_and_label() {
         let path = dir().join("data.csv");
-        std::fs::write(&path, "name,city,score,entity\nAnn X.,Pune,2.5,7\nBob,Delhi,1,9\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "name,city,score,entity\nAnn X.,Pune,2.5,7\nBob,Delhi,1,9\n",
+        )
+        .unwrap();
         let d = read_delimited(
             &path,
             &ReadOptions {
@@ -303,7 +309,10 @@ mod delimited_tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d.schema().field_names(), &["name", "city"]);
         assert_eq!(d.record(crate::RecordId(0)).weight(), 2.5);
-        assert_eq!(d.record(crate::RecordId(0)).field(crate::FieldId(0)), "ann x");
+        assert_eq!(
+            d.record(crate::RecordId(0)).field(crate::FieldId(0)),
+            "ann x"
+        );
         assert_eq!(d.truth().unwrap().labels(), &[7, 9]);
     }
 
@@ -355,6 +364,9 @@ mod delimited_tests {
             },
         )
         .unwrap();
-        assert_eq!(d.record(crate::RecordId(0)).field(crate::FieldId(0)), "Ann X.");
+        assert_eq!(
+            d.record(crate::RecordId(0)).field(crate::FieldId(0)),
+            "Ann X."
+        );
     }
 }

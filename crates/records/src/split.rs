@@ -50,9 +50,7 @@ mod tests {
     use crate::record::Record;
 
     fn labeled(n: usize, groups: usize) -> Dataset {
-        let records = (0..n)
-            .map(|i| Record::new(vec![format!("r{i}")]))
-            .collect();
+        let records = (0..n).map(|i| Record::new(vec![format!("r{i}")])).collect();
         let labels = (0..n).map(|i| (i % groups) as u32).collect();
         Dataset::with_truth(
             Schema::new(vec!["f"]),

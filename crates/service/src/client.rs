@@ -13,11 +13,24 @@
 //! `topr`, `stats`, `metrics` — additionally retry on transport
 //! failures and on the server's retryable error codes (`overloaded`,
 //! `timeout`, `internal`), reconnecting between attempts with
-//! exponential backoff plus jitter. `ingest` is **never** retried: a
-//! send that fails after the server read the line would double-apply
-//! the batch, and the engine offers no request IDs to dedup on.
-//! `snapshot`/`restore`/`trace`/`shutdown` are likewise single-shot —
-//! they mutate server state.
+//! exponential backoff plus jitter. The whole retry loop is bounded by
+//! [`ClientConfig::total_timeout`] — a wall-clock budget across
+//! attempts and backoff sleeps, so a caller-facing deadline holds even
+//! when every attempt times out individually. `ingest` is **never**
+//! retried: a send that fails after the server read the line would
+//! double-apply the batch, and the engine offers no request IDs to
+//! dedup on. `snapshot`/`restore`/`trace`/`shutdown` are likewise
+//! single-shot — they mutate server state.
+//!
+//! # Failover (`docs/ROBUSTNESS.md`, *Replication*)
+//!
+//! [`Client::connect_endpoints`] takes a list of `host:port` addresses
+//! (a primary and its replicas, in any order). Idempotent commands
+//! rotate to the next endpoint on connect failures, transport errors,
+//! retryable server codes, and `not_primary` refusals — so a query
+//! stream rides through a primary kill + replica promotion without
+//! caller-visible errors. Single-shot commands never fail over: they
+//! run against whichever endpoint the client currently holds.
 //!
 //! # Trace propagation (`docs/OBSERVABILITY.md`)
 //!
@@ -35,7 +48,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::json::{obj, parse, Json};
 
@@ -53,7 +66,11 @@ fn next_trace_id() -> String {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
-    format!("c{:x}-{:x}-{seq:x}", std::process::id(), nanos & 0xffff_ffff_ffff)
+    format!(
+        "c{:x}-{:x}-{seq:x}",
+        std::process::id(),
+        nanos & 0xffff_ffff_ffff
+    )
 }
 
 /// Socket timeouts and the retry policy for idempotent commands.
@@ -72,6 +89,11 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Wall-clock budget for one idempotent call across all attempts
+    /// and backoff sleeps (zero disables). An in-flight read is still
+    /// bounded by `read_timeout`, so the worst case is roughly
+    /// `total_timeout + read_timeout`.
+    pub total_timeout: Duration,
 }
 
 impl Default for ClientConfig {
@@ -83,6 +105,7 @@ impl Default for ClientConfig {
             retries: 3,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
+            total_timeout: Duration::ZERO,
         }
     }
 }
@@ -115,7 +138,9 @@ impl RequestError {
 
 /// A connected client.
 pub struct Client {
-    addr: String,
+    /// Failover set, tried round-robin; `current` is the live one.
+    endpoints: Vec<String>,
+    current: usize,
     config: ClientConfig,
     conn: Option<Conn>,
     last_trace: Option<String>,
@@ -129,19 +154,44 @@ impl Client {
 
     /// Connect with explicit timeouts and retry policy.
     pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, String> {
+        Self::connect_endpoints(&[addr.to_string()], config)
+    }
+
+    /// Connect to the first reachable endpoint of a failover set (a
+    /// primary and its replicas, in any order). Idempotent commands
+    /// rotate through the set on failures — see the module docs.
+    pub fn connect_endpoints(endpoints: &[String], config: ClientConfig) -> Result<Client, String> {
+        if endpoints.is_empty() {
+            return Err("no endpoints given".into());
+        }
         // Pre-register the client-side metrics in the process-global
         // registry so an exposition sees them at zero instead of only
         // after the first retry happens to create them.
         let global = topk_obs::Registry::global();
         global.counter("topk_client_retries_total");
+        global.counter("topk_client_failovers_total");
         global.histogram("topk_client_query_latency_micros");
-        let conn = open(addr, &config)?;
-        Ok(Client {
-            addr: addr.to_string(),
-            config,
-            conn: Some(conn),
-            last_trace: None,
-        })
+        let mut last_err = String::new();
+        for (i, addr) in endpoints.iter().enumerate() {
+            match open(addr, &config) {
+                Ok(conn) => {
+                    return Ok(Client {
+                        endpoints: endpoints.to_vec(),
+                        current: i,
+                        config,
+                        conn: Some(conn),
+                        last_trace: None,
+                    })
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The endpoint the client currently targets.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoints[self.current]
     }
 
     /// The trace id stamped on the most recent request sent through
@@ -175,8 +225,20 @@ impl Client {
     }
 
     fn reconnect(&mut self) -> Result<(), String> {
-        self.conn = Some(open(&self.addr, &self.config)?);
+        self.conn = Some(open(&self.endpoints[self.current], &self.config)?);
         Ok(())
+    }
+
+    /// Advance to the next endpoint of the failover set (no-op with a
+    /// single endpoint). The next reconnect targets it.
+    fn rotate_endpoint(&mut self) {
+        if self.endpoints.len() > 1 {
+            self.current = (self.current + 1) % self.endpoints.len();
+            topk_obs::Registry::global()
+                .counter("topk_client_failovers_total")
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            topk_obs::debug!("failing over to {}", self.endpoints[self.current]);
+        }
     }
 
     /// Send one raw request line, return the raw response line.
@@ -234,7 +296,9 @@ impl Client {
             }
             None => {
                 self.conn = None;
-                Err(RequestError::Transport(format!("response missing `ok`: {raw}")))
+                Err(RequestError::Transport(format!(
+                    "response missing `ok`: {raw}"
+                )))
             }
         }
     }
@@ -252,15 +316,19 @@ impl Client {
                 sp.record("trace", id.as_str());
             }
         }
-        self.request_once(&traced).map_err(RequestError::into_message)
+        self.request_once(&traced)
+            .map_err(RequestError::into_message)
     }
 
     /// [`request`](Self::request) plus the retry policy: transport
     /// failures and retryable server errors reconnect and retry with
-    /// exponential backoff + jitter. Only for idempotent commands.
-    /// All attempts of one logical request share one trace id; the
-    /// `client.request` span covers the whole retry loop, so its
-    /// duration is what the caller actually waited.
+    /// exponential backoff + jitter, rotating through the endpoint set
+    /// (`not_primary` refusals rotate too — that's how a query stream
+    /// follows a promotion). Only for idempotent commands. The whole
+    /// loop respects [`ClientConfig::total_timeout`]. All attempts of
+    /// one logical request share one trace id; the `client.request`
+    /// span covers the whole retry loop, so its duration is what the
+    /// caller actually waited.
     pub fn request_idempotent(&mut self, line: &str) -> Result<Json, String> {
         let line = self.stamp_trace(line);
         let line = line.as_str();
@@ -270,6 +338,11 @@ impl Client {
                 sp.record("trace", id.as_str());
             }
         }
+        let deadline = if self.config.total_timeout.is_zero() {
+            None
+        } else {
+            Some(Instant::now() + self.config.total_timeout)
+        };
         let mut attempt: u32 = 0;
         loop {
             let error = if self.conn.is_none() {
@@ -291,14 +364,33 @@ impl Client {
                 RequestError::Transport(_) => true,
                 RequestError::Protocol { code, .. } => {
                     RETRYABLE_CODES.contains(&code.as_str())
+                        // A replica refusing a write is permanent *for
+                        // that endpoint* but transient for the set —
+                        // with somewhere else to go, rotate.
+                        || (code == "not_primary" && self.endpoints.len() > 1)
                 }
             };
             if !retryable || attempt >= self.config.retries {
                 return Err(error.into_message());
             }
+            let remaining = match deadline {
+                None => Duration::MAX,
+                Some(d) => match d.checked_duration_since(Instant::now()) {
+                    Some(r) if !r.is_zero() => r,
+                    _ => {
+                        return Err(format!(
+                            "retry budget of {:?} exhausted after {} attempts; last error: {}",
+                            self.config.total_timeout,
+                            attempt + 1,
+                            error.into_message()
+                        ))
+                    }
+                },
+            };
             // A retryable server error (shed, deadline) usually means
             // the server is about to close this connection anyway.
             self.conn = None;
+            self.rotate_endpoint();
             topk_obs::Registry::global()
                 .counter("topk_client_retries_total")
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -310,7 +402,7 @@ impl Client {
                     RequestError::Protocol { code, .. } => code.clone(),
                 }
             );
-            std::thread::sleep(backoff_delay(&self.config, attempt));
+            std::thread::sleep(backoff_delay(&self.config, attempt).min(remaining));
             attempt += 1;
         }
     }
@@ -444,11 +536,7 @@ impl Client {
     /// server-side Chrome trace file. Both arguments optional: `(None,
     /// None)` just reports the current state. Mutates server state, so
     /// single-shot.
-    pub fn trace(
-        &mut self,
-        enabled: Option<bool>,
-        out: Option<&str>,
-    ) -> Result<Json, String> {
+    pub fn trace(&mut self, enabled: Option<bool>, out: Option<&str>) -> Result<Json, String> {
         let mut members = vec![("cmd", Json::Str("trace".into()))];
         if let Some(on) = enabled {
             members.push(("enabled", Json::Bool(on)));
@@ -477,6 +565,20 @@ impl Client {
         ])
         .to_string();
         self.request(&line)
+    }
+
+    /// Promote the *current endpoint* to primary (replication
+    /// failover). Deliberately single-shot and never rotated: the
+    /// caller chose which server to promote.
+    pub fn promote(&mut self) -> Result<Json, String> {
+        self.request(r#"{"cmd":"promote"}"#)
+    }
+
+    /// Replication role, epoch, and lag of the current endpoint
+    /// (idempotent: retries, but never rotates on success — the answer
+    /// describes whichever server responded).
+    pub fn replstatus(&mut self) -> Result<Json, String> {
+        self.request_idempotent(r#"{"cmd":"replstatus"}"#)
     }
 
     /// Stop the server.
@@ -579,10 +681,7 @@ mod tests {
         let top = c.topk(2).unwrap();
         let groups = top.get("groups").and_then(Json::as_arr).unwrap();
         assert_eq!(groups.len(), 2);
-        assert_eq!(
-            groups[0].get("weight").and_then(Json::as_f64),
-            Some(3.0)
-        );
+        assert_eq!(groups[0].get("weight").and_then(Json::as_f64), Some(3.0));
         // Repeat query hits the generation-keyed cache.
         c.topk(2).unwrap();
         let stats = c.stats().unwrap();
@@ -630,7 +729,8 @@ mod tests {
             },
         )
         .unwrap();
-        c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+        c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)])
+            .unwrap();
         // Kill the connection from our side; the next idempotent call
         // must transparently reconnect.
         c.conn = None;
@@ -686,11 +786,85 @@ mod tests {
             .expect("health carries slo.windows");
         assert_eq!(windows.len(), 3, "{h}");
         for w in windows {
-            assert!(
-                w.get("total").and_then(Json::as_usize).unwrap() >= 1,
-                "{h}"
-            );
+            assert!(w.get("total").and_then(Json::as_usize).unwrap() >= 1, "{h}");
         }
+        c.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn retry_budget_bounds_a_never_responding_endpoint() {
+        // A listener that accepts connections and then never answers:
+        // the worst case for a retry loop, because every attempt burns
+        // a full read_timeout instead of failing fast.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for s in listener.incoming().flatten() {
+                held.push(s);
+            }
+        });
+        let mut c = Client::connect_with(
+            &addr,
+            ClientConfig {
+                read_timeout: Duration::from_millis(50),
+                retries: 1000,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                total_timeout: Duration::from_millis(300),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t0 = std::time::Instant::now();
+        let err = c.ping().unwrap_err();
+        assert!(err.contains("retry budget"), "{err}");
+        // 1000 retries x 50ms would be 50s; the budget must cut that to
+        // ~total_timeout + one in-flight read_timeout.
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "budget did not bound the call: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn connect_endpoints_skips_dead_and_rotates_on_failure() {
+        let engine = Arc::new(
+            Engine::new(EngineConfig {
+                parallelism: topk_core::Parallelism::sequential(),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let (addr, handle) = server.spawn();
+        // Port 1 refuses connections instantly on loopback.
+        let endpoints = vec!["127.0.0.1:1".to_string(), addr.to_string()];
+        let mut c = Client::connect_endpoints(
+            &endpoints,
+            ClientConfig {
+                connect_timeout: Duration::from_millis(500),
+                retries: 3,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            c.endpoint(),
+            addr.to_string(),
+            "initial connect skipped the dead one"
+        );
+        c.ping().unwrap();
+        // Point the client back at the dead endpoint mid-stream; the
+        // next idempotent call must rotate to the live one.
+        c.conn = None;
+        c.current = 0;
+        c.ping().unwrap();
+        assert_eq!(c.endpoint(), addr.to_string());
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();
     }

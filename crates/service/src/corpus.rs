@@ -177,21 +177,15 @@ mod tests {
         )
         .expect("loads");
         assert_eq!(corpus.toks.len(), corpus.data.len());
-        assert_eq!(
-            corpus.data.schema().field_name(corpus.field),
-            "name"
-        );
+        assert_eq!(corpus.data.schema().field_name(corpus.field), "name");
         let stack = corpus.stack(30, 0.6);
         assert_eq!(stack.levels.len(), 1);
     }
 
     #[test]
     fn rejects_unknown_field_and_missing_file() {
-        let err = load_corpus(
-            Path::new("/nonexistent/x.tsv"),
-            &CorpusOptions::default(),
-        )
-        .unwrap_err();
+        let err =
+            load_corpus(Path::new("/nonexistent/x.tsv"), &CorpusOptions::default()).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
     }
 }

@@ -47,7 +47,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
@@ -60,9 +60,10 @@ use topk_text::CorpusStats;
 
 use crate::corpus::stack_from_stats;
 use crate::introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfile};
-use crate::journal::{JournalSet, Row, SetRecovery};
+use crate::journal::{self, JournalSet, Row, SetRecovery};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::replication::{ReplLog, ReplicaStatus, Role, REPL_LOG_CAP};
 use crate::shard::ShardRouter;
 use crate::snapshot;
 
@@ -210,6 +211,25 @@ pub struct Engine {
     /// Profiles of explained queries, drained by the `profiles`
     /// protocol command.
     profiles: ProfileRing,
+    /// This server's replication role (primary by default; `--replica-of`
+    /// makes it a replica at startup).
+    role: AtomicU8,
+    /// Replication epoch: starts at 1, bumped by every promotion. The
+    /// handshake compares epochs both ways to refuse stale leaders.
+    epoch: AtomicU64,
+    /// In-memory window of encoded ingest entries, published under the
+    /// core read guard so log order equals apply order; `replicate`
+    /// streams tail it.
+    repl_log: ReplLog,
+    /// Replica-side progress (meaningful while the role is replica).
+    replica: Mutex<ReplicaStatus>,
+    /// Serializes replica applies against promotion: `promote` holds it
+    /// while flipping the role, so no half-applied entry can straddle
+    /// the role change.
+    apply_gate: Mutex<()>,
+    /// `topk_epoch`, `topk_replica_connected`, `topk_replica_lag_entries`,
+    /// `topk_replica_lag_ms` — refreshed at exposition time.
+    repl_gauges: [Arc<AtomicI64>; 4],
     /// Counters and latency histograms (lock-free, shared with the
     /// server's stats command and shutdown log).
     pub metrics: Metrics,
@@ -244,7 +264,9 @@ impl Engine {
             .iter()
             .map(|(_, w)| {
                 [
-                    metrics.registry().gauge(&format!("topk_slo_{w}_p99_micros")),
+                    metrics
+                        .registry()
+                        .gauge(&format!("topk_slo_{w}_p99_micros")),
                     metrics
                         .registry()
                         .gauge(&format!("topk_slo_{w}_availability_ppm")),
@@ -255,6 +277,13 @@ impl Engine {
             })
             .collect();
         let uptime_gauge = metrics.registry().gauge("topk_uptime_seconds");
+        let repl_gauges = [
+            metrics.registry().gauge("topk_epoch"),
+            metrics.registry().gauge("topk_replica_connected"),
+            metrics.registry().gauge("topk_replica_lag_entries"),
+            metrics.registry().gauge("topk_replica_lag_ms"),
+        ];
+        repl_gauges[0].store(1, Ordering::Relaxed);
         let shards = (0..cfg.shards)
             .map(|_| {
                 Mutex::new(Shard {
@@ -290,6 +319,12 @@ impl Engine {
             start: Instant::now(),
             slo: SloTracker::new(cfg.slo_p99_micros, cfg.slo_availability_ppm),
             profiles: ProfileRing::new(PROFILE_RING_CAP),
+            role: AtomicU8::new(Role::Primary.as_u8()),
+            epoch: AtomicU64::new(1),
+            repl_log: ReplLog::new(REPL_LOG_CAP),
+            replica: Mutex::new(ReplicaStatus::default()),
+            apply_gate: Mutex::new(()),
+            repl_gauges,
             metrics,
             cfg,
         })
@@ -378,6 +413,12 @@ impl Engine {
     /// Whether a journal is attached.
     pub fn has_journal(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// The attached journal set, when durability is enabled — exposed so
+    /// fault-injection tests can reach [`JournalSet::set_fail_appends`].
+    pub fn journal_set(&self) -> Option<&JournalSet> {
+        self.journal.as_ref()
     }
 
     /// Re-apply rows recovered from the journal at startup, *without*
@@ -474,8 +515,7 @@ impl Engine {
                     if t.arity() == 0 {
                         return Err("record has no fields".into());
                     }
-                    let fields: Vec<String> =
-                        (0..t.arity()).map(|i| format!("col{i}")).collect();
+                    let fields: Vec<String> = (0..t.arity()).map(|i| format!("col{i}")).collect();
                     if let Some(name) = &self.cfg.name_field {
                         schema.field = FieldId(
                             fields
@@ -510,8 +550,10 @@ impl Engine {
         }
         if let Some(rows) = seg_rows {
             if let Some(j) = &self.journal {
-                j.append_sharded(rows)
-                    .map_err(|e| format!("journal append failed, ingest not applied: {e}"))?;
+                j.append_sharded(rows).map_err(|e| {
+                    Metrics::incr(&self.metrics.journal_errors);
+                    format!("journal append failed, ingest not applied: {e}")
+                })?;
                 Metrics::incr(&self.metrics.journal_appends);
             }
         }
@@ -550,15 +592,22 @@ impl Engine {
         let mut buckets: Vec<Vec<(u64, TokenizedRecord)>> =
             (0..self.cfg.shards).map(|_| Vec::new()).collect();
         let mut seg_rows: Vec<Vec<Row>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut entry_rows: Vec<Row> = Vec::with_capacity(n);
         for (i, (t, (raw, weight))) in toks.into_iter().zip(rows).enumerate() {
             let si = router.route(&t.field(field).text);
             let rid = base + i as u64;
             if want_journal {
-                seg_rows[si].push((rid, raw, weight));
+                seg_rows[si].push((rid, raw.clone(), weight));
             }
+            entry_rows.push((rid, raw, weight));
             buckets[si].push((rid, t));
         }
+        let repl_payload = journal::encode_entry(&entry_rows)?;
         self.stage_pending(&core, &mut buckets, want_journal.then_some(&seg_rows[..]))?;
+        // Publish while the core read guard is still held: a snapshot
+        // cut for a bootstrapping replica takes the write lock, so its
+        // cursor can never miss an entry that is already staged.
+        self.repl_log.publish(repl_payload);
         drop(core);
         let generation = self.generation.fetch_add(n as u64, Ordering::AcqRel) + n as u64;
         self.lock_cache().clear(); // ingestion invalidates every cached answer
@@ -634,6 +683,75 @@ impl Engine {
             .ingested_records
             .fetch_add(n as u64, Ordering::Relaxed);
         Metrics::incr(&self.metrics.ingest_requests);
+        self.metrics.ingest_latency.record(t0.elapsed());
+        Ok(generation)
+    }
+
+    /// Apply one replicated journal entry, **preserving the primary's
+    /// record ids**: flush sorts pending rows by rid, so re-applying the
+    /// primary's entries — in any arrival order — collapses into the
+    /// exact state the primary holds, at any shard count. The entry is
+    /// journaled locally (same rids) and re-published to this server's
+    /// own replication log, so replicas can chain.
+    ///
+    /// Returns `Ok(false)` without touching state when the engine is no
+    /// longer a replica (a concurrent `promote` won the apply gate).
+    pub fn apply_replica_entry(&self, rows: Vec<Row>) -> Result<bool, String> {
+        let _gate = self.apply_gate.lock().unwrap_or_else(|p| p.into_inner());
+        if self.role() != Role::Replica {
+            return Ok(false);
+        }
+        self.apply_rows(rows)?;
+        Ok(true)
+    }
+
+    /// Ingest rows that already carry record ids (the replication apply
+    /// path). Mirrors [`Self::apply_ingest`] except the rids are kept
+    /// and the rid counter is raised above the largest one seen.
+    fn apply_rows(&self, rows: Vec<Row>) -> Result<u64, String> {
+        let t0 = Instant::now();
+        let mut sp = topk_obs::Span::enter("service.replica_apply");
+        sp.record("records", rows.len());
+        let mut toks = Vec::with_capacity(rows.len());
+        for (_, fields, weight) in &rows {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(format!("weight {weight} must be finite and >= 0"));
+            }
+            let normalized: Vec<String> = fields
+                .iter()
+                .map(|f| topk_text::normalize::normalize(f))
+                .collect();
+            toks.push(TokenizedRecord::from_fields(&normalized, *weight));
+        }
+        let core = self.read_core();
+        let field = self.check_schema(&toks)?;
+        let router = ShardRouter::new(self.cfg.shards);
+        let n = rows.len();
+        let want_journal = self.journal.is_some();
+        let mut buckets: Vec<Vec<(u64, TokenizedRecord)>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut seg_rows: Vec<Vec<Row>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut entry_rows: Vec<Row> = Vec::with_capacity(n);
+        let mut max_rid = 0u64;
+        for (t, (rid, raw, weight)) in toks.into_iter().zip(rows) {
+            let si = router.route(&t.field(field).text);
+            max_rid = max_rid.max(rid);
+            if want_journal {
+                seg_rows[si].push((rid, raw.clone(), weight));
+            }
+            entry_rows.push((rid, raw, weight));
+            buckets[si].push((rid, t));
+        }
+        let repl_payload = journal::encode_entry(&entry_rows)?;
+        self.stage_pending(&core, &mut buckets, want_journal.then_some(&seg_rows[..]))?;
+        self.repl_log.publish(repl_payload);
+        drop(core);
+        self.next_rid.fetch_max(max_rid + 1, Ordering::AcqRel);
+        let generation = self.generation.fetch_add(n as u64, Ordering::AcqRel) + n as u64;
+        self.lock_cache().clear();
+        self.metrics
+            .ingested_records
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.metrics.ingest_latency.record(t0.elapsed());
         Ok(generation)
     }
@@ -740,7 +858,9 @@ impl Engine {
         *topr_toks = None;
         for (i, m) in shards.iter_mut().enumerate() {
             let s = Self::shard_mut(m);
-            self.shard_gauges[i].0.store(s.inc.len() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .0
+                .store(s.inc.len() as i64, Ordering::Relaxed);
             self.shard_gauges[i]
                 .1
                 .store(s.inc.group_count() as i64, Ordering::Relaxed);
@@ -766,9 +886,11 @@ impl Engine {
     /// body's `profile` member (the `"explain":true` protocol path).
     pub fn query_topk_explained(&self, k: usize) -> Result<Json, String> {
         let mut p = QueryProfile::new("topk", k);
-        let body = self.cached_query(format!("topk:k={k}"), Some(&mut p), |engine, core, field, prof| {
-            Ok(engine.compute_topk(core, field, k, prof))
-        })?;
+        let body = self.cached_query(
+            format!("topk:k={k}"),
+            Some(&mut p),
+            |engine, core, field, prof| Ok(engine.compute_topk(core, field, k, prof)),
+        )?;
         Ok(self.finish_explained(body, p))
     }
 
@@ -783,9 +905,11 @@ impl Engine {
     /// [`Self::query_topr`] with a `profile` member.
     pub fn query_topr_explained(&self, k: usize) -> Result<Json, String> {
         let mut p = QueryProfile::new("topr", k);
-        let body = self.cached_query(format!("topr:k={k}"), Some(&mut p), |engine, core, field, prof| {
-            Ok(engine.compute_topr(core, field, k, prof))
-        })?;
+        let body = self.cached_query(
+            format!("topr:k={k}"),
+            Some(&mut p),
+            |engine, core, field, prof| Ok(engine.compute_topr(core, field, k, prof)),
+        )?;
         Ok(self.finish_explained(body, p))
     }
 
@@ -1126,9 +1250,7 @@ impl Engine {
     ) -> Json {
         let Core { shards, .. } = core;
         {
-            let all_empty = shards
-                .iter_mut()
-                .all(|m| Self::shard_mut(m).inc.is_empty());
+            let all_empty = shards.iter_mut().all(|m| Self::shard_mut(m).inc.is_empty());
             if all_empty {
                 if let Some(p) = prof {
                     p.shards = Some(ShardProfile {
@@ -1150,7 +1272,12 @@ impl Engine {
         let t_merge = Instant::now();
         let views: Vec<&Vec<GroupView>> = shards
             .iter_mut()
-            .map(|m| Self::shard_mut(m).groups.as_ref().expect("views just built"))
+            .map(|m| {
+                Self::shard_mut(m)
+                    .groups
+                    .as_ref()
+                    .expect("views just built")
+            })
             .collect();
         let mut visit: Vec<usize> = (0..views.len()).filter(|&i| !views[i].is_empty()).collect();
         visit.sort_by(|&a, &b| {
@@ -1272,8 +1399,7 @@ impl Engine {
             Self::shard_mut(&mut shards[0]).inc.records()
         } else {
             if topr_toks.is_none() {
-                let refs: Vec<&Shard> =
-                    shards.iter_mut().map(|m| &*Self::shard_mut(m)).collect();
+                let refs: Vec<&Shard> = shards.iter_mut().map(|m| &*Self::shard_mut(m)).collect();
                 let mut all = Vec::with_capacity(global.len());
                 for &(si, li) in global.iter() {
                     all.push(refs[si as usize].inc.records()[li as usize].clone());
@@ -1404,6 +1530,131 @@ impl Engine {
         self.generation.load(Ordering::Acquire)
     }
 
+    // ---- replication ----------------------------------------------------
+
+    /// This server's current replication role.
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    /// Set the role. Called once at startup (`--replica-of` makes the
+    /// server a replica); later changes go through [`Self::promote`].
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role.as_u8(), Ordering::Release);
+    }
+
+    /// Current replication epoch (starts at 1; bumped by promotion).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Adopt the primary's epoch (replica handshake, only upward).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Promote this server to primary: stops replica applies (under the
+    /// apply gate, so no entry straddles the change), flips the role,
+    /// and bumps the epoch. Idempotent — promoting a primary changes
+    /// nothing. Returns `(promoted_now, epoch)`.
+    pub fn promote(&self) -> (bool, u64) {
+        let _gate = self.apply_gate.lock().unwrap_or_else(|p| p.into_inner());
+        if self.role() == Role::Primary {
+            return (false, self.epoch());
+        }
+        self.set_role(Role::Primary);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        topk_obs::info!("promoted to primary at epoch {epoch}");
+        (true, epoch)
+    }
+
+    /// The in-memory replication window `replicate` streams tail.
+    pub(crate) fn repl_log(&self) -> &ReplLog {
+        &self.repl_log
+    }
+
+    /// Seal the replication window: wake every tailing stream so it can
+    /// end cleanly. Called on server shutdown.
+    pub fn seal_replication(&self) {
+        self.repl_log.seal();
+    }
+
+    /// A point-in-time copy of this replica's progress.
+    pub fn replica_status(&self) -> ReplicaStatus {
+        self.replica
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Mutate the replica progress record (tailer-side bookkeeping).
+    pub(crate) fn update_replica_status(&self, f: impl FnOnce(&mut ReplicaStatus)) {
+        let mut st = self.replica.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut st);
+    }
+
+    /// The `replica` JSON object shared by `stats` and `replstatus`:
+    /// source, connectivity, and lag in entries + milliseconds.
+    fn replica_json(&self) -> Json {
+        let st = self.replica_status();
+        let opt = |v: Option<u64>| v.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null);
+        obj(vec![
+            ("source", Json::Str(st.source.clone())),
+            ("connected", Json::Bool(st.connected)),
+            ("applied_seq", opt(st.applied_seq)),
+            ("head_seq", opt(st.head_seq)),
+            ("lag_entries", opt(st.lag_entries())),
+            ("lag_ms", opt(st.lag_ms())),
+        ])
+    }
+
+    /// Body of the `replstatus` protocol response.
+    pub fn replstatus_json(&self) -> Json {
+        let mut members = vec![
+            ("role", Json::Str(self.role().as_str().to_string())),
+            ("epoch", Json::Num(self.epoch() as f64)),
+            ("repl_next_seq", Json::Num(self.repl_log.next() as f64)),
+        ];
+        if self.role() == Role::Replica {
+            members.push(("replica", self.replica_json()));
+        }
+        obj(members)
+    }
+
+    /// Encode the current collapsed state as snapshot bytes plus the
+    /// replication cursor the stream continues from. Taking the core
+    /// write lock excludes in-flight applies (which publish before they
+    /// release their read guards), so the pair is consistent: everything
+    /// at/after the cursor is *not* in the snapshot, everything before
+    /// it is.
+    pub fn snapshot_bytes(&self) -> Result<(Vec<u8>, u64), String> {
+        let mut sp = topk_obs::Span::enter("service.snapshot_bytes");
+        let mut core = self.write_core();
+        let (field, fields) = {
+            let schema = self.read_schema();
+            (schema.field, schema.fields.clone().unwrap_or_default())
+        };
+        self.flush_locked(&mut core, field);
+        let state = self.assemble_state(&mut core);
+        let cursor = self.repl_log.next();
+        drop(core);
+        let bytes = snapshot::encode_snapshot(&state, &fields, field)?;
+        sp.record("bytes", bytes.len());
+        sp.record("cursor", cursor);
+        Ok((bytes, cursor))
+    }
+
+    /// Replace the engine state from snapshot bytes received over the
+    /// wire (replica bootstrap). Same guarantees as [`Self::restore`].
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<u64, String> {
+        let mut sp = topk_obs::Span::enter("service.restore");
+        sp.record("from_bytes", true);
+        let (state, fields, field) = snapshot::decode_snapshot(bytes)?;
+        let generation = self.install_state(state, fields, field)?;
+        sp.record("records", generation);
+        Ok(generation)
+    }
+
     // ---- health / SLO / exposition --------------------------------------
 
     /// Seconds since this engine was constructed.
@@ -1450,6 +1701,8 @@ impl Engine {
             ("healthy", Json::Bool(healthy)),
             ("uptime_seconds", Json::Num(self.uptime_seconds() as f64)),
             ("generation", Json::Num(self.generation() as f64)),
+            ("role", Json::Str(self.role().as_str().to_string())),
+            ("epoch", Json::Num(self.epoch() as f64)),
             (
                 "slo",
                 obj(vec![
@@ -1485,6 +1738,17 @@ impl Engine {
                 g.store(j.segment(i).len_bytes() as i64, Ordering::Relaxed);
             }
         }
+        self.repl_gauges[0].store(self.epoch() as i64, Ordering::Relaxed);
+        if self.role() == Role::Replica {
+            let st = self.replica_status();
+            self.repl_gauges[1].store(st.connected as i64, Ordering::Relaxed);
+            self.repl_gauges[2].store(st.lag_entries().unwrap_or(0) as i64, Ordering::Relaxed);
+            self.repl_gauges[3].store(st.lag_ms().unwrap_or(0) as i64, Ordering::Relaxed);
+        } else {
+            self.repl_gauges[1].store(0, Ordering::Relaxed);
+            self.repl_gauges[2].store(0, Ordering::Relaxed);
+            self.repl_gauges[3].store(0, Ordering::Relaxed);
+        }
         let mut text = format!(
             "# TYPE topk_build_info gauge\ntopk_build_info{{version=\"{}\",rev=\"{}\"}} 1\n",
             env!("CARGO_PKG_VERSION"),
@@ -1516,19 +1780,25 @@ impl Engine {
             ]));
         }
         let generation = self.generation.load(Ordering::Acquire);
-        obj(vec![
+        let mut members = vec![
             ("records", Json::Num(generation as f64)),
             ("collapsed", Json::Num(collapsed as f64)),
             ("pending", Json::Num(pending as f64)),
             ("groups", Json::Num(groups as f64)),
             ("generation", Json::Num(generation as f64)),
+            ("role", Json::Str(self.role().as_str().to_string())),
+            ("epoch", Json::Num(self.epoch() as f64)),
             ("distinct_values", Json::Num(core.seen.len() as f64)),
             ("fields", fields),
             ("shards", Json::Num(core.shards.len() as f64)),
             ("shard_detail", Json::Arr(detail)),
             ("cache_entries", Json::Num(self.lock_cache().len() as f64)),
             ("metrics", self.metrics.summary()),
-        ])
+        ];
+        if self.role() == Role::Replica {
+            members.push(("replica", self.replica_json()));
+        }
+        obj(members)
     }
 
     // ---- snapshot / restore --------------------------------------------
@@ -1736,6 +2006,20 @@ impl Engine {
     pub fn restore(&self, path: &Path) -> Result<u64, String> {
         let mut sp = topk_obs::Span::enter("service.restore");
         let (state, fields, field) = snapshot::read_snapshot(path)?;
+        let generation = self.install_state(state, fields, field)?;
+        Metrics::incr(&self.metrics.restores);
+        sp.record("records", generation);
+        Ok(generation)
+    }
+
+    /// Swap in a decoded snapshot state ([`Self::restore`] from a file,
+    /// [`Self::restore_bytes`] from the replication bootstrap stream).
+    fn install_state(
+        &self,
+        state: IncrementalState,
+        fields: Vec<String>,
+        field: FieldId,
+    ) -> Result<u64, String> {
         if let Some(cfg_fields) = &self.cfg.fields {
             if !fields.is_empty() && *cfg_fields != fields {
                 return Err(format!(
@@ -1761,14 +2045,24 @@ impl Engine {
         };
         {
             let mut schema = self.write_schema();
-            schema.fields = if fields.is_empty() { None } else { Some(fields) };
+            schema.fields = if fields.is_empty() {
+                None
+            } else {
+                Some(fields)
+            };
             schema.field = field;
         }
         self.generation.store(generation, Ordering::Release);
         self.next_rid.store(n, Ordering::Release);
+        // Drop the in-memory replication window: cursors tailing the
+        // replaced state no longer describe this engine, so every
+        // follower is forced to re-bootstrap from a fresh snapshot.
+        self.repl_log.invalidate();
         for (i, m) in core.shards.iter_mut().enumerate() {
             let s = Self::shard_mut(m);
-            self.shard_gauges[i].0.store(s.inc.len() as i64, Ordering::Relaxed);
+            self.shard_gauges[i]
+                .0
+                .store(s.inc.len() as i64, Ordering::Relaxed);
             self.shard_gauges[i]
                 .1
                 .store(s.inc.group_count() as i64, Ordering::Relaxed);
@@ -1778,8 +2072,6 @@ impl Engine {
         }
         drop(core);
         self.lock_cache().clear();
-        Metrics::incr(&self.metrics.restores);
-        sp.record("records", generation);
         Ok(generation)
     }
 }
@@ -1992,8 +2284,14 @@ mod tests {
         let ag = approx.get("groups").unwrap().as_arr().unwrap();
         assert_eq!(eg.len(), ag.len());
         for (ex, ap) in eg.iter().zip(ag) {
-            assert_eq!(ex.get("rep").unwrap().as_str(), ap.get("rep").unwrap().as_str());
-            assert_eq!(ex.get("size").unwrap().as_usize(), ap.get("size").unwrap().as_usize());
+            assert_eq!(
+                ex.get("rep").unwrap().as_str(),
+                ap.get("rep").unwrap().as_str()
+            );
+            assert_eq!(
+                ex.get("size").unwrap().as_usize(),
+                ap.get("size").unwrap().as_usize()
+            );
             assert_eq!(
                 ex.get("weight").unwrap().as_f64(),
                 ap.get("estimate").unwrap().as_f64()
@@ -2045,7 +2343,8 @@ mod tests {
         let good = std::fs::read(&path).unwrap();
         // ...and the engine under test, with answers we can compare.
         let e = engine();
-        e.ingest(vec![row("grace hopper"), row("grace  hopper")]).unwrap();
+        e.ingest(vec![row("grace hopper"), row("grace  hopper")])
+            .unwrap();
         let before = e.query_topk(1).unwrap().to_string();
         // Corrupt the snapshot at several offsets (header, early
         // payload, middle, checksum tail): every restore must fail and

@@ -292,7 +292,10 @@ impl SlowQueryLog {
             };
             std::fs::rename(&self.path, &rotated)?;
             *guard = (
-                OpenOptions::new().create(true).append(true).open(&self.path)?,
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
                 0,
             );
         }
@@ -335,12 +338,18 @@ mod tests {
             text.contains(r#""shards":{"total":4,"scanned":2,"skipped":1,"empty":1}"#),
             "{text}"
         );
-        assert!(text.contains(r#""groups":{"scanned":17,"returned":3}"#), "{text}");
+        assert!(
+            text.contains(r#""groups":{"scanned":17,"returned":3}"#),
+            "{text}"
+        );
         assert!(
             text.contains(r#""escalated_partitions":["000000000000001f","0000000000000abc"]"#),
             "{text}"
         );
-        assert!(text.contains(r#""stages":[{"stage":"flush","micros":12}]"#), "{text}");
+        assert!(
+            text.contains(r#""stages":[{"stage":"flush","micros":12}]"#),
+            "{text}"
+        );
         // A cache hit renders no shard/group/stage members at all.
         let mut hit = QueryProfile::new("topr", 2);
         hit.cache_hit = true;
@@ -387,7 +396,10 @@ mod tests {
         log.log(&rec(1)).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
-        assert!(text.lines().all(|l| crate::json::parse(l).is_ok()), "{text}");
+        assert!(
+            text.lines().all(|l| crate::json::parse(l).is_ok()),
+            "{text}"
+        );
         // The third record pushes past 80 bytes: the first two rotate
         // out to `.1`, the active file starts over.
         log.log(&rec(2)).unwrap();
@@ -406,5 +418,107 @@ mod tests {
         let log = SlowQueryLog::open(&path, Duration::from_millis(5), 0).unwrap();
         log.log(&rec(3)).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn slow_log_rotation_boundary_is_exact() {
+        let dir = std::env::temp_dir().join("topk_slow_log_boundary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let rotated = dir.join("slow.jsonl.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        // A `Json::Str` of 7 `x`s renders as 9 bytes plus the newline:
+        // every record is exactly 10 bytes on disk.
+        let rec = Json::Str("x".repeat(7));
+        let line_len = {
+            let mut s = rec.to_string();
+            s.push('\n');
+            s.len() as u64
+        };
+        assert_eq!(line_len, 10);
+        let log = SlowQueryLog::open(&path, Duration::ZERO, 3 * line_len).unwrap();
+        // Three records land the file at exactly `max_bytes` — filling
+        // the budget to the last byte must NOT rotate.
+        for _ in 0..3 {
+            log.log(&rec).unwrap();
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 3 * line_len);
+        assert!(!rotated.exists(), "exact fit must not rotate");
+        // One byte over the budget rotates: the full file moves to `.1`
+        // and the new record starts a fresh active file.
+        log.log(&rec).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), line_len);
+        assert_eq!(std::fs::metadata(&rotated).unwrap().len(), 3 * line_len);
+    }
+
+    #[test]
+    fn slow_log_concurrent_writers_never_tear_lines() {
+        let dir = std::env::temp_dir().join("topk_slow_log_concurrent_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Rotation disabled: every write from every thread survives as
+        // one intact JSON line.
+        let path = dir.join("slow_all.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = SlowQueryLog::open(&path, Duration::ZERO, 0).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let log = &log;
+                s.spawn(move || {
+                    for i in 0..50usize {
+                        let rec = obj(vec![
+                            ("thread", Json::Num(t as f64)),
+                            ("seq", Json::Num(i as f64)),
+                        ]);
+                        log.log(&rec).unwrap();
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 400, "all 8 x 50 writes must land");
+        assert!(text.ends_with('\n'), "no torn trailing line");
+        assert!(
+            text.lines().all(|l| crate::json::parse(l).is_ok()),
+            "torn line in {path:?}"
+        );
+
+        // Rotation enabled under contention: rotations may discard older
+        // history (single-file rotation), but neither the active file
+        // nor the rotation may ever hold a torn or interleaved line.
+        let path = dir.join("slow_rot.jsonl");
+        let rotated = dir.join("slow_rot.jsonl.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        let log = SlowQueryLog::open(&path, Duration::ZERO, 256).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let log = &log;
+                s.spawn(move || {
+                    for i in 0..50usize {
+                        let rec = obj(vec![
+                            ("thread", Json::Num(t as f64)),
+                            ("seq", Json::Num(i as f64)),
+                            ("pad", Json::Str("p".repeat(16))),
+                        ]);
+                        log.log(&rec).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            rotated.exists(),
+            "256-byte budget must rotate under 400 writes"
+        );
+        for p in [&path, &rotated] {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(!text.is_empty(), "{p:?} must hold at least one record");
+            assert!(text.ends_with('\n'), "no torn trailing line in {p:?}");
+            assert!(
+                text.lines().all(|l| crate::json::parse(l).is_ok()),
+                "torn line in {p:?}"
+            );
+        }
     }
 }

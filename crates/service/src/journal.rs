@@ -48,6 +48,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 const MAGIC: &[u8; 4] = b"TKJL";
@@ -57,7 +58,7 @@ pub const VERSION: u32 = 2;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
@@ -95,6 +96,11 @@ struct Inner {
 pub struct Journal {
     path: PathBuf,
     inner: Mutex<Inner>,
+    /// Fault injection: when set, every append fails before touching the
+    /// file. Lets tests exercise the disk-full path (structured
+    /// `journal` errors, engine state unchanged) without a real full
+    /// disk.
+    fail_appends: AtomicBool,
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), String> {
@@ -104,15 +110,16 @@ fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Serialize one entry's payload.
-fn encode_entry(rows: &[Row]) -> Result<Vec<u8>, String> {
+/// Serialize one entry's payload. Also the payload format of a
+/// replication wire frame (`replication` module), so a replica can
+/// journal what it receives byte-for-byte.
+pub(crate) fn encode_entry(rows: &[Row]) -> Result<Vec<u8>, String> {
     let mut buf = Vec::with_capacity(72 * rows.len().max(1));
     let n = u32::try_from(rows.len()).map_err(|_| "journal entry too large".to_string())?;
     buf.extend_from_slice(&n.to_le_bytes());
     for (rid, fields, weight) in rows {
         buf.extend_from_slice(&rid.to_le_bytes());
-        let arity =
-            u32::try_from(fields.len()).map_err(|_| "journal row too wide".to_string())?;
+        let arity = u32::try_from(fields.len()).map_err(|_| "journal row too wide".to_string())?;
         buf.extend_from_slice(&arity.to_le_bytes());
         for f in fields {
             put_str(&mut buf, f)?;
@@ -151,7 +158,7 @@ impl<'a> Cur<'a> {
 }
 
 /// Parse one entry's payload (the inverse of [`encode_entry`]).
-fn decode_entry(payload: &[u8]) -> Result<Entry, String> {
+pub(crate) fn decode_entry(payload: &[u8]) -> Result<Entry, String> {
     let mut cur = Cur { b: payload, pos: 0 };
     let n_rows = cur.u32()? as usize;
     let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
@@ -192,10 +199,7 @@ fn decode_entry_v1(payload: &[u8]) -> Result<Vec<(Vec<String>, f64)>, String> {
 /// Scan framed entries out of `bytes` (after the 8-byte header), decoding
 /// each payload with `decode`. Stops at the first torn or corrupt entry,
 /// returning the decoded entries and the end offset of the last good one.
-fn scan_entries<T>(
-    bytes: &[u8],
-    decode: impl Fn(&[u8]) -> Result<T, String>,
-) -> (Vec<T>, u64) {
+fn scan_entries<T>(bytes: &[u8], decode: impl Fn(&[u8]) -> Result<T, String>) -> (Vec<T>, u64) {
     let mut entries = Vec::new();
     let mut good = 8u64;
     let mut pos = 8usize;
@@ -250,7 +254,8 @@ impl Journal {
         let mut size = size;
         if size == 0 {
             // Fresh journal: write the header.
-            file.write_all(MAGIC).map_err(|e| format!("journal write: {e}"))?;
+            file.write_all(MAGIC)
+                .map_err(|e| format!("journal write: {e}"))?;
             file.write_all(&VERSION.to_le_bytes())
                 .map_err(|e| format!("journal write: {e}"))?;
             file.sync_data().map_err(|e| format!("journal sync: {e}"))?;
@@ -299,10 +304,12 @@ impl Journal {
                     }
                     let tmp = path.with_extension("upgrade.tmp");
                     {
-                        let mut tf = File::create(&tmp)
+                        let mut tf =
+                            File::create(&tmp).map_err(|e| format!("journal upgrade: {e}"))?;
+                        tf.write_all(&out)
                             .map_err(|e| format!("journal upgrade: {e}"))?;
-                        tf.write_all(&out).map_err(|e| format!("journal upgrade: {e}"))?;
-                        tf.sync_data().map_err(|e| format!("journal upgrade sync: {e}"))?;
+                        tf.sync_data()
+                            .map_err(|e| format!("journal upgrade sync: {e}"))?;
                     }
                     std::fs::rename(&tmp, path)
                         .map_err(|e| format!("journal upgrade rename: {e}"))?;
@@ -346,6 +353,7 @@ impl Journal {
                     file,
                     len: good.max(8),
                 }),
+                fail_appends: AtomicBool::new(false),
             },
             Recovery {
                 entries,
@@ -357,9 +365,12 @@ impl Journal {
     /// Append one ingest entry and fsync it. Returns only after the
     /// entry is durable; the caller applies the ingest afterwards.
     pub fn append(&self, rows: &[Row]) -> Result<(), String> {
+        if self.fail_appends.load(Ordering::Relaxed) {
+            return Err("journal append: injected failure".to_string());
+        }
         let payload = encode_entry(rows)?;
-        let len = u32::try_from(payload.len())
-            .map_err(|_| "journal entry too large".to_string())?;
+        let len =
+            u32::try_from(payload.len()).map_err(|_| "journal entry too large".to_string())?;
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&payload);
@@ -427,6 +438,12 @@ impl Journal {
     /// The journal's path on disk.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Fault injection: make every future append fail (`true`) or
+    /// restore normal operation (`false`). See [`Journal::fail_appends`].
+    pub fn set_fail_appends(&self, fail: bool) {
+        self.fail_appends.store(fail, Ordering::Relaxed);
     }
 }
 
@@ -585,6 +602,14 @@ impl JournalSet {
     pub fn len_bytes(&self) -> u64 {
         self.segments.iter().map(|j| j.len_bytes()).sum()
     }
+
+    /// Fault injection across every live segment — see
+    /// [`Journal::set_fail_appends`].
+    pub fn set_fail_appends(&self, fail: bool) {
+        for j in &self.segments {
+            j.set_fail_appends(fail);
+        }
+    }
 }
 
 /// Find orphan segment files `base.sN` with `N >= shards`.
@@ -690,8 +715,7 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         let entry_ends: Vec<usize> = {
             // Reconstruct the two entry end offsets from the format.
-            let len1 =
-                u32::from_le_bytes(full[8..12].try_into().unwrap()) as usize;
+            let len1 = u32::from_le_bytes(full[8..12].try_into().unwrap()) as usize;
             let end1 = 8 + 4 + len1 + 8;
             let len2 = u32::from_le_bytes(full[end1..end1 + 4].try_into().unwrap()) as usize;
             vec![end1, end1 + 4 + len2 + 8]
@@ -797,7 +821,11 @@ mod tests {
         assert_eq!(rec.entries, 2);
         assert_eq!(rec.max_rid, Some(3));
         let texts: Vec<&str> = rec.rows.iter().map(|(_, f, _)| f[0].as_str()).collect();
-        assert_eq!(texts, vec!["a", "b", "c", "d"], "merged back into rid order");
+        assert_eq!(
+            texts,
+            vec!["a", "b", "c", "d"],
+            "merged back into rid order"
+        );
     }
 
     #[test]

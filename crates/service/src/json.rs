@@ -338,7 +338,12 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 /// Shorthand for building an object literal in rendering code.
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
-    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -379,10 +384,7 @@ mod tests {
     fn unicode_escapes() {
         assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
         // Surrogate pair: U+1F600.
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            Json::Str("\u{1F600}".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("\u{1F600}".into()));
         assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate");
         // Raw multi-byte UTF-8 passes through.
         let v = parse("\"caf\u{e9}\"").unwrap();
@@ -412,7 +414,10 @@ mod tests {
         assert_eq!(v.get("k").and_then(Json::as_usize), Some(3));
         assert_eq!(v.get("name").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
-        assert_eq!(v.get("items").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(
+            v.get("items").and_then(Json::as_arr).map(|a| a.len()),
+            Some(1)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Num(1.5).as_usize(), None);
         assert_eq!(Json::Num(-1.0).as_usize(), None);

@@ -38,17 +38,21 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
 
 pub use client::{Client, ClientConfig};
-pub use corpus::{generic_stack, load_corpus, load_dataset, stack_from_stats, Corpus, CorpusOptions};
+pub use corpus::{
+    generic_stack, load_corpus, load_dataset, stack_from_stats, Corpus, CorpusOptions,
+};
 pub use engine::{Engine, EngineConfig};
 pub use introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfile, SlowQueryLog};
 pub use journal::{Journal, JournalSet, Row, SetRecovery};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{parse_request, parse_request_meta, ProtoError, Request};
+pub use replication::{spawn_tailer, ReplicaStatus, Role};
 pub use server::{Server, ServerConfig};
 pub use shard::ShardRouter;

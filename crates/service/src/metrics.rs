@@ -21,9 +21,18 @@ use topk_obs::Registry;
 pub fn histogram_summary(h: &LatencyHistogram) -> crate::json::Json {
     crate::json::obj(vec![
         ("count", crate::json::Json::Num(h.count() as f64)),
-        ("p50_us", crate::json::Json::Num(h.percentile_micros(50.0) as f64)),
-        ("p95_us", crate::json::Json::Num(h.percentile_micros(95.0) as f64)),
-        ("p99_us", crate::json::Json::Num(h.percentile_micros(99.0) as f64)),
+        (
+            "p50_us",
+            crate::json::Json::Num(h.percentile_micros(50.0) as f64),
+        ),
+        (
+            "p95_us",
+            crate::json::Json::Num(h.percentile_micros(95.0) as f64),
+        ),
+        (
+            "p99_us",
+            crate::json::Json::Num(h.percentile_micros(99.0) as f64),
+        ),
     ])
 }
 
@@ -84,6 +93,17 @@ pub struct Metrics {
     pub explained_queries: Arc<AtomicU64>,
     /// Requests slower than the slow-query-log threshold.
     pub slow_queries: Arc<AtomicU64>,
+    /// Journal appends that failed (disk full, I/O error); the ingest
+    /// was refused with `err:"journal"` and the engine state unchanged.
+    pub journal_errors: Arc<AtomicU64>,
+    /// Replication frames applied by this replica.
+    pub replica_frames: Arc<AtomicU64>,
+    /// Snapshot bootstraps completed by this replica.
+    pub replica_bootstraps: Arc<AtomicU64>,
+    /// Times the replica tailer reconnected to the primary.
+    pub replica_reconnects: Arc<AtomicU64>,
+    /// `replicate` streams served by this server (it acted as primary).
+    pub repl_streams: Arc<AtomicU64>,
     /// Per-record ingest latency.
     pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
@@ -119,6 +139,11 @@ impl Metrics {
             flushes: registry.counter("topk_flushes_total"),
             explained_queries: registry.counter("topk_explained_queries_total"),
             slow_queries: registry.counter("topk_slow_queries_total"),
+            journal_errors: registry.counter("topk_journal_errors_total"),
+            replica_frames: registry.counter("topk_replica_frames_total"),
+            replica_bootstraps: registry.counter("topk_replica_bootstraps_total"),
+            replica_reconnects: registry.counter("topk_replica_reconnects_total"),
+            repl_streams: registry.counter("topk_repl_streams_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
             registry,
@@ -161,7 +186,10 @@ impl Metrics {
             ("server_panics", n(&self.server_panics)),
             ("lock_recoveries", n(&self.lock_recoveries)),
             ("journal_appends", n(&self.journal_appends)),
-            ("journal_replayed_records", n(&self.journal_replayed_records)),
+            (
+                "journal_replayed_records",
+                n(&self.journal_replayed_records),
+            ),
             ("journal_truncations", n(&self.journal_truncations)),
             ("shard_skips", n(&self.shard_skips)),
             ("approx_queries", n(&self.approx_queries)),
@@ -169,6 +197,11 @@ impl Metrics {
             ("flushes", n(&self.flushes)),
             ("explained_queries", n(&self.explained_queries)),
             ("slow_queries", n(&self.slow_queries)),
+            ("journal_errors", n(&self.journal_errors)),
+            ("replica_frames", n(&self.replica_frames)),
+            ("replica_bootstraps", n(&self.replica_bootstraps)),
+            ("replica_reconnects", n(&self.replica_reconnects)),
+            ("repl_streams", n(&self.repl_streams)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),
         ])
@@ -235,7 +268,10 @@ mod tests {
             text.contains("# TYPE topk_query_latency_micros histogram\n"),
             "{text}"
         );
-        assert!(text.contains("topk_query_latency_micros_count 1\n"), "{text}");
+        assert!(
+            text.contains("topk_query_latency_micros_count 1\n"),
+            "{text}"
+        );
         // Two engines never share counters: fresh instance starts at zero.
         let other = Metrics::new();
         assert_eq!(Metrics::get(&other.cache_misses), 0);

@@ -79,6 +79,25 @@ pub enum Request {
     },
     /// Stop the server after draining open connections.
     Shutdown,
+    /// Switch the connection into a one-way replication stream: the
+    /// server answers with a JSON header (snapshot bootstrap or tail
+    /// resume), then ships checksummed journal-entry frames until the
+    /// connection drops. Only meaningful on a dedicated connection —
+    /// see `crate::replication` for the wire format.
+    Replicate {
+        /// The requesting replica's epoch; a server whose own epoch is
+        /// older refuses with `err:"not_primary"` (it is stale).
+        epoch: u64,
+        /// Resume cursor: the next entry sequence the replica expects.
+        /// Absent on first boot — forces a snapshot bootstrap.
+        from: Option<u64>,
+    },
+    /// Promote a replica to primary (manual failover): stops its
+    /// tailer, bumps the epoch, and starts accepting writes. Idempotent
+    /// on a primary.
+    Promote,
+    /// Replication status: role, epoch, stream position, replica lag.
+    ReplStatus,
 }
 
 /// A protocol-level failure, carried into the error envelope.
@@ -89,9 +108,13 @@ pub struct ProtoError {
     /// server's robustness layer adds `overloaded` (connection cap
     /// reached, retry later), `timeout` (read or idle deadline
     /// exceeded), `too_large` (request over the size cap, split the
-    /// batch), and `internal` (handler panic, state recovered). The
-    /// first two of those extra codes plus `internal` are safe to
-    /// retry for idempotent commands; see `docs/ROBUSTNESS.md`.
+    /// batch), `internal` (handler panic, state recovered), `journal`
+    /// (write-ahead append failed — disk full or I/O error; the ingest
+    /// was **not** applied), and `not_primary` (the server is a replica
+    /// or a stale ex-primary; send writes to the current primary —
+    /// failover-aware clients rotate endpoints on this code). Of these,
+    /// `overloaded`, `timeout`, and `internal` are safe to retry for
+    /// idempotent commands; see `docs/ROBUSTNESS.md`.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
@@ -142,9 +165,10 @@ pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), Proto
         "trace" => {
             let enabled = match v.get("enabled") {
                 None => None,
-                Some(b) => Some(b.as_bool().ok_or_else(|| {
-                    ProtoError::bad_request("`enabled` must be a boolean")
-                })?),
+                Some(b) => Some(
+                    b.as_bool()
+                        .ok_or_else(|| ProtoError::bad_request("`enabled` must be a boolean"))?,
+                ),
             };
             let out = match v.get("out") {
                 None => None,
@@ -155,7 +179,11 @@ pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), Proto
                 ),
             };
             let inline = parse_flag(&v, "inline")?;
-            Request::Trace { enabled, out, inline }
+            Request::Trace {
+                enabled,
+                out,
+                inline,
+            }
         }
         "shutdown" => Request::Shutdown,
         "ingest" => parse_ingest(&v)?,
@@ -169,8 +197,34 @@ pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), Proto
             approx: parse_approx(&v)?,
             explain: parse_flag(&v, "explain")?,
         },
-        "snapshot" => Request::Snapshot { path: parse_path(&v)? },
-        "restore" => Request::Restore { path: parse_path(&v)? },
+        "snapshot" => Request::Snapshot {
+            path: parse_path(&v)?,
+        },
+        "restore" => Request::Restore {
+            path: parse_path(&v)?,
+        },
+        "replicate" => {
+            let epoch = v
+                .get("epoch")
+                .and_then(Json::as_f64)
+                .filter(|e| e.fract() == 0.0 && *e >= 0.0)
+                .map(|e| e as u64)
+                .ok_or_else(|| ProtoError::bad_request("missing or non-integer `epoch`"))?;
+            let from = match v.get("from") {
+                None => None,
+                Some(f) => Some(
+                    f.as_f64()
+                        .filter(|s| s.fract() == 0.0 && *s >= 0.0)
+                        .map(|s| s as u64)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request("`from` must be a non-negative integer")
+                        })?,
+                ),
+            };
+            Request::Replicate { epoch, from }
+        }
+        "promote" => Request::Promote,
+        "replstatus" => Request::ReplStatus,
         other => return Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
     };
     Ok((req, trace))
@@ -238,11 +292,7 @@ fn parse_ingest(v: &Json) -> Result<Request, ProtoError> {
                 rows.push(parse_row(fields, item.get("weight"))?);
             }
         }
-        (None, None) => {
-            return Err(ProtoError::bad_request(
-                "ingest needs `fields` or `batch`",
-            ))
-        }
+        (None, None) => return Err(ProtoError::bad_request("ingest needs `fields` or `batch`")),
     }
     Ok(Request::Ingest(rows))
 }
@@ -308,11 +358,19 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","k":5}"#).unwrap(),
-            Request::TopK { k: 5, approx: None, explain: false }
+            Request::TopK {
+                k: 5,
+                approx: None,
+                explain: false
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topr","k":2}"#).unwrap(),
-            Request::TopR { k: 2, approx: None, explain: false }
+            Request::TopR {
+                k: 2,
+                approx: None,
+                explain: false
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","k":5,"approx":0.05}"#).unwrap(),
@@ -346,22 +404,53 @@ mod tests {
                 explain: true
             }
         );
-        assert_eq!(parse_request(r#"{"cmd":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(
+            parse_request(r#"{"cmd":"health"}"#).unwrap(),
+            Request::Health
+        );
         assert_eq!(
             parse_request(r#"{"cmd":"profiles"}"#).unwrap(),
             Request::Profiles
         );
         assert_eq!(
             parse_request(r#"{"cmd":"snapshot","path":"/tmp/x"}"#).unwrap(),
-            Request::Snapshot { path: "/tmp/x".into() }
+            Request::Snapshot {
+                path: "/tmp/x".into()
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
             Request::Metrics
         );
         assert_eq!(
+            parse_request(r#"{"cmd":"replicate","epoch":1}"#).unwrap(),
+            Request::Replicate {
+                epoch: 1,
+                from: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"replicate","epoch":3,"from":42}"#).unwrap(),
+            Request::Replicate {
+                epoch: 3,
+                from: Some(42)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"promote"}"#).unwrap(),
+            Request::Promote
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"replstatus"}"#).unwrap(),
+            Request::ReplStatus
+        );
+        assert_eq!(
             parse_request(r#"{"cmd":"trace"}"#).unwrap(),
-            Request::Trace { enabled: None, out: None, inline: false }
+            Request::Trace {
+                enabled: None,
+                out: None,
+                inline: false
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"trace","enabled":true,"out":"/tmp/t.json"}"#).unwrap(),
@@ -388,10 +477,7 @@ mod tests {
                 r#"{"cmd":"ingest","batch":[{"fields":["x"]},{"fields":["y"],"weight":3}]}"#
             )
             .unwrap(),
-            Request::Ingest(vec![
-                (vec!["x".into()], 1.0),
-                (vec!["y".into()], 3.0)
-            ])
+            Request::Ingest(vec![(vec!["x".into()], 1.0), (vec!["y".into()], 3.0)])
         );
     }
 
@@ -409,6 +495,10 @@ mod tests {
             (r#"{"cmd":"topk","k":5,"approx":1.5}"#, "bad_request"),
             (r#"{"cmd":"topr","k":5,"approx":-0.1}"#, "bad_request"),
             (r#"{"cmd":"snapshot"}"#, "bad_request"),
+            (r#"{"cmd":"replicate"}"#, "bad_request"),
+            (r#"{"cmd":"replicate","epoch":1.5}"#, "bad_request"),
+            (r#"{"cmd":"replicate","epoch":1,"from":-3}"#, "bad_request"),
+            (r#"{"cmd":"replicate","epoch":1,"from":"x"}"#, "bad_request"),
             (r#"{"cmd":"trace","enabled":"yes"}"#, "bad_request"),
             (r#"{"cmd":"trace","out":7}"#, "bad_request"),
             (r#"{"cmd":"trace","inline":"yes"}"#, "bad_request"),
@@ -433,11 +523,14 @@ mod tests {
 
     #[test]
     fn trace_id_rides_on_any_request() {
-        let (req, trace) =
-            parse_request_meta(r#"{"cmd":"topk","k":3,"trace":"cli-42"}"#).unwrap();
+        let (req, trace) = parse_request_meta(r#"{"cmd":"topk","k":3,"trace":"cli-42"}"#).unwrap();
         assert_eq!(
             req,
-            Request::TopK { k: 3, approx: None, explain: false }
+            Request::TopK {
+                k: 3,
+                approx: None,
+                explain: false
+            }
         );
         assert_eq!(trace.as_deref(), Some("cli-42"));
         let (req, trace) = parse_request_meta(r#"{"cmd":"ping"}"#).unwrap();

@@ -53,6 +53,7 @@ use crate::introspection::SlowQueryLog;
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::protocol::{err_response, ok_response, parse_request_meta, ProtoError, Request};
+use crate::replication::{self, Role, Wait};
 
 /// Per-connection limits and deadlines. All knobs surface as
 /// `topk serve` flags; a zero duration or zero count disables that
@@ -102,8 +103,7 @@ impl Server {
     /// Bind to `addr` (e.g. `127.0.0.1:7411`; port 0 picks an ephemeral
     /// port — read it back with [`local_addr`](Self::local_addr)).
     pub fn bind(addr: &str, engine: Arc<Engine>) -> Result<Server, String> {
-        let listener =
-            TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Server {
             listener,
             engine,
@@ -116,7 +116,9 @@ impl Server {
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has an address")
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
     }
 
     /// Serve until a client sends `shutdown`. Returns after all
@@ -126,10 +128,12 @@ impl Server {
         let cfg = Arc::new(self.config.clone());
         let active = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
-        // Clones of every live stream plus a done flag per handler, so
-        // the drain below can half-close connections blocked in a read
-        // (and the list stays bounded by pruning finished ones).
-        let mut open: Vec<(TcpStream, Arc<AtomicBool>)> = Vec::new();
+        // Clones of every live stream plus a done flag and an
+        // is-replication flag per handler, so the drain below can
+        // half-close connections blocked in a read and sequence the
+        // replication seal after ordinary handlers finish (the list
+        // stays bounded by pruning finished ones).
+        let mut open: Vec<(TcpStream, Arc<AtomicBool>, Arc<AtomicBool>)> = Vec::new();
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -143,18 +147,13 @@ impl Server {
                     continue;
                 }
             };
-            open.retain(|(_, done)| !done.load(Ordering::Relaxed));
-            if cfg.max_connections > 0
-                && active.load(Ordering::SeqCst) >= cfg.max_connections
-            {
+            open.retain(|(_, done, _)| !done.load(Ordering::Relaxed));
+            if cfg.max_connections > 0 && active.load(Ordering::SeqCst) >= cfg.max_connections {
                 // Load shedding: a fast structured refusal on a
                 // throwaway thread — a malicious peer that never reads
                 // must not block the accept loop for even a second.
                 Metrics::incr(&self.engine.metrics.server_shed);
-                topk_obs::debug!(
-                    "shedding connection (cap {} reached)",
-                    cfg.max_connections
-                );
+                topk_obs::debug!("shedding connection (cap {} reached)", cfg.max_connections);
                 std::thread::spawn(move || {
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                     let mut s = stream;
@@ -166,8 +165,9 @@ impl Server {
             Metrics::incr(&self.engine.metrics.connections);
             active.fetch_add(1, Ordering::SeqCst);
             let done = Arc::new(AtomicBool::new(false));
+            let repl = Arc::new(AtomicBool::new(false));
             if let Ok(clone) = stream.try_clone() {
-                open.push((clone, Arc::clone(&done)));
+                open.push((clone, Arc::clone(&done), Arc::clone(&repl)));
             }
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
@@ -175,16 +175,50 @@ impl Server {
             let active = Arc::clone(&active);
             let slow_log = self.slow_log.clone();
             handles.push(std::thread::spawn(move || {
-                handle_connection(stream, &engine, &shutdown, addr, &cfg, slow_log.as_deref());
+                handle_connection(
+                    stream,
+                    &engine,
+                    &shutdown,
+                    addr,
+                    &cfg,
+                    slow_log.as_deref(),
+                    &repl,
+                );
                 done.store(true, Ordering::Relaxed);
                 active.fetch_sub(1, Ordering::SeqCst);
             }));
         }
-        // Graceful drain: half-close the read side of every connection.
-        // Handlers blocked in a read wake with EOF and exit; handlers
-        // mid-request finish computing and their response write still
-        // succeeds (the write side stays open until they return).
-        for (s, _) in &open {
+        // Graceful drain, in three phases so the acked prefix reaches
+        // connected replicas:
+        //
+        // 1. Half-close the read side of every *ordinary* connection.
+        //    Handlers blocked in a read wake with EOF and exit;
+        //    handlers mid-request finish computing (publishing their
+        //    journal entry) and their response write still succeeds
+        //    (the write side stays open until they return).
+        for (s, _, repl) in &open {
+            if !repl.load(Ordering::Relaxed) {
+                let _ = s.shutdown(Shutdown::Read);
+            }
+        }
+        // 2. Wait for those handlers to drain, so every entry that was
+        //    (or will be) acked is in the replication log before it
+        //    seals. Bounded: their reads EOF'd and writes carry the
+        //    configured write timeout.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while open
+            .iter()
+            .any(|(_, done, repl)| !repl.load(Ordering::Relaxed) && !done.load(Ordering::Relaxed))
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // 3. Seal the log. Replication streams block in
+        //    `ReplLog::wait_from`, not a socket read — the seal wakes
+        //    them, they flush any tail entries, end their streams, and
+        //    join below.
+        self.engine.seal_replication();
+        for (s, _, _) in &open {
             let _ = s.shutdown(Shutdown::Read);
         }
         for h in handles {
@@ -286,9 +320,7 @@ impl LineReader {
                         return ReadOutcome::Line(line);
                     }
                 }
-                None if cfg.max_request_bytes > 0
-                    && self.buf.len() > cfg.max_request_bytes =>
-                {
+                None if cfg.max_request_bytes > 0 && self.buf.len() > cfg.max_request_bytes => {
                     return ReadOutcome::TooLarge;
                 }
                 None => {}
@@ -297,9 +329,10 @@ impl LineReader {
             // of a request is in, the (typically shorter) read deadline
             // takes over.
             let (deadline, timeout_kind) = match self.started {
-                Some(t0) if !self.buf.is_empty() => {
-                    (checked_deadline(t0, cfg.read_timeout), ReadOutcome::ReadTimeout)
-                }
+                Some(t0) if !self.buf.is_empty() => (
+                    checked_deadline(t0, cfg.read_timeout),
+                    ReadOutcome::ReadTimeout,
+                ),
                 _ => (
                     checked_deadline(idle_since, cfg.idle_timeout),
                     ReadOutcome::IdleTimeout,
@@ -392,6 +425,7 @@ fn handle_connection(
     addr: SocketAddr,
     cfg: &ServerConfig,
     slow_log: Option<&SlowQueryLog>,
+    repl: &AtomicBool,
 ) {
     let writer = match stream.try_clone() {
         Ok(s) => s,
@@ -411,6 +445,21 @@ fn handle_connection(
                 if line.trim().is_empty() {
                     // Blank keep-alive lines are ignored, not errors.
                     continue;
+                }
+                // `replicate` takes over the whole connection: after the
+                // handshake the primary pushes frames until the stream
+                // ends, so the request/response loop stops here. The
+                // substring check keeps the common path free of a second
+                // parse; false positives fall through to a real parse.
+                if line.contains("\"replicate\"") {
+                    if let Ok((Request::Replicate { epoch, from }, _)) = parse_request_meta(&line) {
+                        // Mark the connection before the stream starts:
+                        // the graceful drain sequences the replication
+                        // seal after ordinary handlers, keyed on this.
+                        repl.store(true, Ordering::SeqCst);
+                        serve_replication(&mut writer, engine, epoch, from);
+                        break;
+                    }
                 }
                 let t0 = Instant::now();
                 let mut sp = topk_obs::Span::enter("service.request");
@@ -476,6 +525,155 @@ fn handle_connection(
         }
     }
     let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Serve one replication stream on a taken-over connection: epoch
+/// check, header line, optional snapshot bytes, then entry frames and
+/// 150ms heartbeats until the stream ends (replica gone, log sealed,
+/// or the cursor fell out of the window).
+///
+/// Wire protocol (`docs/SERVICE.md`, *Replication*): the header is one
+/// JSON line `{"ok":true,"mode":"snapshot"|"tail","epoch":E,"seq":S,
+/// "head":H[,"snapshot_bytes":N]}`; `seq` is the cursor the frame
+/// stream starts from. In snapshot mode exactly `snapshot_bytes` raw
+/// bytes follow the header before the first frame.
+fn serve_replication(
+    writer: &mut TcpStream,
+    engine: &Engine,
+    requester_epoch: u64,
+    from: Option<u64>,
+) {
+    Metrics::incr(&engine.metrics.repl_streams);
+    let _ = writer.set_nodelay(true);
+    let epoch = engine.epoch();
+    if requester_epoch > epoch {
+        // The requester has witnessed a newer epoch than ours: a
+        // promotion happened elsewhere and *we* are the stale side.
+        // Refusing keeps a partitioned ex-primary from feeding a
+        // diverged history to followers (split-brain guard).
+        Metrics::incr(&engine.metrics.errors);
+        let e = ProtoError {
+            code: "not_primary",
+            message: format!(
+                "requester epoch {requester_epoch} > ours {epoch}; this primary is stale"
+            ),
+        };
+        let _ = write_line(writer, &err_response(&e));
+        return;
+    }
+    let mut sp = topk_obs::Span::enter("service.replicate");
+    let log = engine.repl_log();
+    // Tail when the follower's cursor is still inside the window;
+    // anything else (no cursor, evicted cursor, or a cursor from a
+    // different history claiming entries we never published) gets a
+    // fresh snapshot.
+    let tail_ok = match from {
+        Some(f) => f <= log.next() && !matches!(log.wait_from(f, Duration::ZERO), Wait::Behind),
+        None => false,
+    };
+    let mut cursor;
+    if tail_ok {
+        cursor = from.expect("tail_ok implies a cursor");
+        let header = obj(vec![
+            ("ok", Json::Bool(true)),
+            ("mode", Json::Str("tail".into())),
+            ("epoch", Json::Num(epoch as f64)),
+            ("seq", Json::Num(cursor as f64)),
+            ("head", Json::Num(log.next() as f64)),
+        ]);
+        if write_line(writer, &header.to_string()).is_err() {
+            return;
+        }
+    } else {
+        // `snapshot_bytes` captures the state and its replication
+        // cursor under one core lock, so the frame stream resumes
+        // exactly where the snapshot left off — no gap, no double
+        // apply.
+        let (bytes, seq) = match engine.snapshot_bytes() {
+            Ok(pair) => pair,
+            Err(e) => {
+                Metrics::incr(&engine.metrics.errors);
+                let e = ProtoError {
+                    code: "internal",
+                    message: format!("cannot encode bootstrap snapshot: {e}"),
+                };
+                let _ = write_line(writer, &err_response(&e));
+                return;
+            }
+        };
+        cursor = seq;
+        let header = obj(vec![
+            ("ok", Json::Bool(true)),
+            ("mode", Json::Str("snapshot".into())),
+            ("epoch", Json::Num(epoch as f64)),
+            ("seq", Json::Num(cursor as f64)),
+            ("head", Json::Num(cursor as f64)),
+            ("snapshot_bytes", Json::Num(bytes.len() as f64)),
+        ]);
+        if write_line(writer, &header.to_string()).is_err() {
+            return;
+        }
+        if writer.write_all(&bytes).is_err() {
+            return;
+        }
+        if sp.is_recording() {
+            sp.record("snapshot_bytes", bytes.len() as u64);
+        }
+    }
+    if sp.is_recording() {
+        sp.record("mode", if tail_ok { "tail" } else { "snapshot" });
+        sp.record("seq", cursor);
+    }
+    drop(sp);
+    let now_ms = || {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    };
+    // No shutdown-flag check here: the drain in [`Server::run`] seals
+    // the log only after every ordinary handler finished (and so after
+    // every acked entry was published), and `Wait::Sealed` ends the
+    // stream — exiting any earlier could drop an acked entry.
+    loop {
+        match log.wait_from(cursor, Duration::from_millis(150)) {
+            Wait::Entries(first, payloads) => {
+                let mut seq = first;
+                for p in payloads {
+                    let frame =
+                        replication::encode_frame(replication::FRAME_ENTRY, seq, now_ms(), &p);
+                    if writer.write_all(&frame).is_err() {
+                        return;
+                    }
+                    seq += 1;
+                }
+                cursor = seq;
+            }
+            Wait::Timeout => {
+                // Heartbeats double as lag probes: the replica learns
+                // the primary's head even when no entries flow.
+                let frame = replication::encode_frame(
+                    replication::FRAME_HEARTBEAT,
+                    log.next(),
+                    now_ms(),
+                    &[],
+                );
+                if writer.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            Wait::Behind => {
+                // The window moved past this stream's cursor (eviction
+                // or a restore-driven invalidation). Tell the replica
+                // to re-bootstrap and end the stream.
+                let frame =
+                    replication::encode_frame(replication::FRAME_RESYNC, cursor, now_ms(), &[]);
+                let _ = writer.write_all(&frame);
+                return;
+            }
+            Wait::Sealed => return,
+        }
+    }
 }
 
 fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
@@ -606,26 +804,44 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
         Request::Snapshot { .. } => "snapshot",
         Request::Restore { .. } => "restore",
         Request::Shutdown => "shutdown",
+        Request::Replicate { .. } => "replicate",
+        Request::Promote => "promote",
+        Request::ReplStatus => "replstatus",
     };
     let is_query = matches!(request, Request::TopK { .. } | Request::TopR { .. });
     let engine_err = |message: String| ProtoError {
         code: "engine_error",
         message,
     };
+    // Replicas refuse writes: a client that lands an `ingest` or
+    // `restore` on a follower gets a structured `not_primary` so a
+    // failover-aware client rotates endpoints instead of silently
+    // forking state.
+    if engine.role() == Role::Replica
+        && matches!(request, Request::Ingest(_) | Request::Restore { .. })
+    {
+        Metrics::incr(&engine.metrics.errors);
+        let e = ProtoError {
+            code: "not_primary",
+            message: format!(
+                "this server is a replica (epoch {}); send writes to the primary",
+                engine.epoch()
+            ),
+        };
+        return (err_response(&e), false, RequestInfo::failed(cmd));
+    }
     let mut stop = false;
     let result: Result<Json, ProtoError> = match request {
         Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
         Request::Stats => Ok(engine.stats_json()),
-        Request::Metrics => Ok(obj(vec![(
-            "text",
-            Json::Str(engine.prometheus_text()),
-        )])),
+        Request::Metrics => Ok(obj(vec![("text", Json::Str(engine.prometheus_text()))])),
         Request::Health => Ok(engine.health_json()),
-        Request::Profiles => Ok(obj(vec![(
-            "profiles",
-            Json::Arr(engine.drain_profiles()),
-        )])),
-        Request::Trace { enabled, out, inline } => {
+        Request::Profiles => Ok(obj(vec![("profiles", Json::Arr(engine.drain_profiles()))])),
+        Request::Trace {
+            enabled,
+            out,
+            inline,
+        } => {
             if inline && out.is_some() {
                 Err(ProtoError::bad_request(
                     "give either `out` (server-side file) or `inline`, not both",
@@ -634,10 +850,7 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                 if let Some(on) = enabled {
                     topk_obs::span::set_enabled(on);
                 }
-                let mut members = vec![(
-                    "enabled",
-                    Json::Bool(topk_obs::span::is_enabled()),
-                )];
+                let mut members = vec![("enabled", Json::Bool(topk_obs::span::is_enabled()))];
                 let io_failed: Option<ProtoError> = match &out {
                     Some(path) => {
                         let spans = topk_obs::span::take_spans();
@@ -660,10 +873,7 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                         // cross-process trace (`topk client ...
                         // --trace-out`).
                         let spans = topk_obs::span::take_spans();
-                        members.push((
-                            "spans",
-                            Json::Arr(spans.iter().map(span_json).collect()),
-                        ));
+                        members.push(("spans", Json::Arr(spans.iter().map(span_json).collect())));
                         None
                     }
                     None => {
@@ -694,7 +904,19 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                         ("generation", Json::Num(generation as f64)),
                     ])
                 })
-                .map_err(engine_err)
+                .map_err(|m| {
+                    if m.starts_with("journal") {
+                        // Durability failure, not a bad request: the
+                        // engine rejected the batch without applying it
+                        // (`docs/ROBUSTNESS.md`, *Journal write errors*).
+                        ProtoError {
+                            code: "journal",
+                            message: m,
+                        }
+                    } else {
+                        engine_err(m)
+                    }
+                })
         }
         Request::TopK { k, approx, explain } => match (approx, explain) {
             (None, false) => engine.query_topk(k),
@@ -734,6 +956,24 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                 code: "io_error",
                 message: m,
             }),
+        Request::Replicate { .. } => {
+            // Real replication streams are intercepted in
+            // `handle_connection` before dispatch; reaching this arm
+            // means the caller came through `dispatch()` (tests, CLI
+            // one-shots), which has no connection to take over.
+            Err(ProtoError::bad_request(
+                "replicate requires a dedicated connection",
+            ))
+        }
+        Request::Promote => {
+            let (promoted, epoch) = engine.promote();
+            Ok(obj(vec![
+                ("role", Json::Str(engine.role().as_str().to_string())),
+                ("epoch", Json::Num(epoch as f64)),
+                ("promoted", Json::Bool(promoted)),
+            ]))
+        }
+        Request::ReplStatus => Ok(engine.replstatus_json()),
     };
     match result {
         Ok(body) => (
@@ -815,7 +1055,10 @@ mod tests {
         );
         assert_eq!(r, r#"{"ok":true,"ingested":2,"generation":2}"#);
         let (r, _) = dispatch(r#"{"cmd":"topk","k":1}"#, &e);
-        assert!(r.starts_with(r#"{"ok":true,"groups":[{"rank":1,"weight":2,"size":2"#), "{r}");
+        assert!(
+            r.starts_with(r#"{"ok":true,"groups":[{"rank":1,"weight":2,"size":2"#),
+            "{r}"
+        );
     }
 
     #[test]
@@ -854,10 +1097,7 @@ mod tests {
     #[test]
     fn dispatch_metrics_returns_prometheus_text() {
         let e = engine();
-        dispatch(
-            r#"{"cmd":"ingest","batch":[{"fields":["bo liu"]}]}"#,
-            &e,
-        );
+        dispatch(r#"{"cmd":"ingest","batch":[{"fields":["bo liu"]}]}"#, &e);
         dispatch(r#"{"cmd":"topk","k":1}"#, &e);
         let (r, stop) = dispatch(r#"{"cmd":"metrics"}"#, &e);
         assert!(!stop);
@@ -873,7 +1113,10 @@ mod tests {
             text.contains("# TYPE topk_query_latency_micros histogram\n"),
             "{text}"
         );
-        assert!(text.contains("topk_query_latency_micros_bucket{le=\""), "{text}");
+        assert!(
+            text.contains("topk_query_latency_micros_bucket{le=\""),
+            "{text}"
+        );
         // The engine-level exposition adds build info, uptime, and the
         // rolling SLO gauges on top of the registry counters.
         assert!(text.starts_with("# TYPE topk_build_info gauge\n"), "{text}");
@@ -881,7 +1124,10 @@ mod tests {
         assert!(text.contains(",rev=\""), "{text}");
         assert!(text.contains("topk_uptime_seconds "), "{text}");
         for (_, label) in topk_obs::slo::WINDOWS {
-            assert!(text.contains(&format!("topk_slo_{label}_p99_micros ")), "{text}");
+            assert!(
+                text.contains(&format!("topk_slo_{label}_p99_micros ")),
+                "{text}"
+            );
             assert!(
                 text.contains(&format!("topk_slo_{label}_availability_ppm ")),
                 "{text}"
@@ -906,10 +1152,7 @@ mod tests {
         assert!(r.contains(r#""spans_buffered":"#), "{r}");
         let (r, _) = dispatch(r#"{"cmd":"trace","enabled":true}"#, &e);
         assert!(r.contains(r#""enabled":true"#), "{r}");
-        dispatch(
-            r#"{"cmd":"ingest","batch":[{"fields":["cam po"]}]}"#,
-            &e,
-        );
+        dispatch(r#"{"cmd":"ingest","batch":[{"fields":["cam po"]}]}"#, &e);
         dispatch(r#"{"cmd":"topk","k":1}"#, &e);
         let path = std::env::temp_dir().join("topk_dispatch_trace_test.json");
         let line = format!(
@@ -978,7 +1221,9 @@ mod tests {
         // because the plain query above populated it).
         let (r, _) = dispatch(r#"{"cmd":"topk","k":1,"explain":true}"#, &e);
         let v = crate::json::parse(&r).unwrap();
-        let profile = v.get("profile").expect("explain:true must attach a profile");
+        let profile = v
+            .get("profile")
+            .expect("explain:true must attach a profile");
         assert_eq!(
             profile.get("cache").and_then(|c| c.as_str()),
             Some("hit"),
@@ -1074,8 +1319,16 @@ mod tests {
         assert!(echoed.ends_with("..."), "long requests are truncated");
         assert!(echoed.len() < long_line.len(), "{echoed}");
         // No trace id renders as null, keeping the record shape fixed.
-        let rec = slow_record("{}", Duration::from_micros(5), &RequestInfo::failed("invalid"));
-        assert!(rec.to_string().contains(r#""trace":null"#), "{}", rec.to_string());
+        let rec = slow_record(
+            "{}",
+            Duration::from_micros(5),
+            &RequestInfo::failed("invalid"),
+        );
+        assert!(
+            rec.to_string().contains(r#""trace":null"#),
+            "{}",
+            rec.to_string()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! Bumping the format bumps `VERSION`; old readers fail closed with a
 //! clear error rather than misparsing.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use topk_core::IncrementalState;
@@ -44,7 +44,6 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 struct Sink<W: Write> {
     w: W,
     hash: u64,
-    bytes: u64,
 }
 
 impl<W: Write> Sink<W> {
@@ -53,7 +52,6 @@ impl<W: Write> Sink<W> {
         for &b in data {
             self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
         }
-        self.bytes += data.len() as u64;
         Ok(())
     }
     fn u32(&mut self, v: u32) -> Result<(), String> {
@@ -106,22 +104,17 @@ impl<R: Read> Source<R> {
     }
 }
 
-/// Write `state` to `path`, returning the byte size of the file. The
-/// write goes through a temporary sibling file and an atomic rename, so
-/// a crash mid-write never corrupts an existing snapshot.
-pub fn write_snapshot(
-    path: &Path,
+/// Serialize `state` into the snapshot wire/file format (magic, version,
+/// payload, checksum). The same bytes work on disk ([`write_snapshot`])
+/// and over the wire (replication bootstrap streams them to a replica).
+pub fn encode_snapshot(
     state: &IncrementalState,
     fields: &[String],
     name_field: FieldId,
-) -> Result<u64, String> {
-    let tmp = path.with_extension("tmp");
-    let file = std::fs::File::create(&tmp)
-        .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+) -> Result<Vec<u8>, String> {
     let mut sink = Sink {
-        w: BufWriter::new(file),
+        w: Vec::new(),
         hash: FNV_OFFSET,
-        bytes: 0,
     };
     sink.w.write_all(MAGIC).map_err(|e| format!("write: {e}"))?;
     sink.w
@@ -157,23 +150,37 @@ pub fn write_snapshot(
     sink.w
         .write_all(&checksum.to_le_bytes())
         .map_err(|e| format!("write: {e}"))?;
-    let total = sink.bytes + 4 + 4 + 8; // payload + magic + version + checksum
-    sink.w.flush().map_err(|e| format!("flush: {e}"))?;
-    drop(sink);
-    std::fs::rename(&tmp, path).map_err(|e| format!("rename into place: {e}"))?;
-    Ok(total)
+    Ok(sink.w)
 }
 
-/// Read a snapshot written by [`write_snapshot`]. Verifies the magic,
-/// version, and checksum before handing the state back.
-pub fn read_snapshot(path: &Path) -> Result<(IncrementalState, Vec<String>, FieldId), String> {
-    let size = std::fs::metadata(path)
-        .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
-        .len();
-    let file =
-        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+/// Write `state` to `path`, returning the byte size of the file. The
+/// write goes through a temporary sibling file and an atomic rename, so
+/// a crash mid-write never corrupts an existing snapshot.
+pub fn write_snapshot(
+    path: &Path,
+    state: &IncrementalState,
+    fields: &[String],
+    name_field: FieldId,
+) -> Result<u64, String> {
+    let bytes = encode_snapshot(state, fields, name_field)?;
+    let tmp = path.with_extension("tmp");
+    {
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut w = BufWriter::new(file);
+        w.write_all(&bytes).map_err(|e| format!("write: {e}"))?;
+        w.flush().map_err(|e| format!("flush: {e}"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename into place: {e}"))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Parse snapshot bytes produced by [`encode_snapshot`]. Verifies the
+/// magic, version, and checksum before handing the state back.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(IncrementalState, Vec<String>, FieldId), String> {
+    let size = bytes.len() as u64;
     let mut src = Source {
-        r: BufReader::new(file),
+        r: bytes,
         hash: FNV_OFFSET,
     };
     let mut magic = [0u8; 4];
@@ -250,6 +257,13 @@ pub fn read_snapshot(path: &Path) -> Result<(IncrementalState, Vec<String>, Fiel
         fields,
         FieldId(name_field),
     ))
+}
+
+/// Read a snapshot written by [`write_snapshot`]. Verifies the magic,
+/// version, and checksum before handing the state back.
+pub fn read_snapshot(path: &Path) -> Result<(IncrementalState, Vec<String>, FieldId), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    decode_snapshot(&bytes)
 }
 
 #[cfg(test)]
@@ -331,8 +345,13 @@ mod tests {
     #[test]
     fn every_byte_flip_and_truncation_point_is_rejected() {
         let path = tmp("fuzz.snap");
-        write_snapshot(&path, &sample_state(), &["name".into(), "org".into()], FieldId(1))
-            .unwrap();
+        write_snapshot(
+            &path,
+            &sample_state(),
+            &["name".into(), "org".into()],
+            FieldId(1),
+        )
+        .unwrap();
         let good = std::fs::read(&path).unwrap();
         for i in 0..good.len() {
             let mut bad = good.clone();

@@ -96,10 +96,12 @@ mod tests {
     use crate::tokenize::word_set;
 
     fn corpus() -> CorpusStats {
-        let docs = [word_set("common rare1"),
+        let docs = [
+            word_set("common rare1"),
             word_set("common x"),
             word_set("common y"),
-            word_set("common z")];
+            word_set("common z"),
+        ];
         CorpusStats::from_documents(docs.iter())
     }
 

@@ -78,11 +78,7 @@ impl InvertedIndex {
 
     /// Like [`candidates`](Self::candidates) but with counts of shared
     /// tokens per candidate.
-    pub fn candidates_with_counts(
-        &self,
-        ts: &TokenSet,
-        self_id: Option<u32>,
-    ) -> Vec<(u32, usize)> {
+    pub fn candidates_with_counts(&self, ts: &TokenSet, self_id: Option<u32>) -> Vec<(u32, usize)> {
         let mut hits: Vec<u32> = Vec::new();
         for &t in ts.as_slice() {
             if let Some(list) = self.postings.get(&t) {

@@ -25,8 +25,7 @@ impl Parallelism {
     /// falling back to sequential when detection fails.
     pub fn auto() -> Self {
         Parallelism {
-            threads: std::thread::available_parallelism()
-                .unwrap_or(NonZeroUsize::new(1).unwrap()),
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).unwrap()),
         }
     }
 

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(levenshtein("sarawagi", "sarawgi"), levenshtein("sarawgi", "sarawagi"));
+        assert_eq!(
+            levenshtein("sarawagi", "sarawgi"),
+            levenshtein("sarawgi", "sarawagi")
+        );
     }
 
     #[test]

@@ -18,11 +18,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     }
     let total: f64 = wa
         .iter()
-        .map(|x| {
-            wb.iter()
-                .map(|y| jaro_winkler(x, y))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|x| wb.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max))
         .sum();
     total / wa.len() as f64
 }
@@ -60,12 +56,7 @@ pub fn soft_tfidf(a: &str, b: &str, stats: &CorpusStats, theta: f64) -> f64 {
             dot += idf(x) * best_idf * best;
         }
     }
-    let norm = |ws: &[&str]| -> f64 {
-        ws.iter()
-            .map(|w| idf(w).powi(2))
-            .sum::<f64>()
-            .sqrt()
-    };
+    let norm = |ws: &[&str]| -> f64 { ws.iter().map(|w| idf(w).powi(2)).sum::<f64>().sqrt() };
     let (na, nb) = (norm(&wa), norm(&wb));
     if na == 0.0 || nb == 0.0 {
         0.0
@@ -130,10 +121,12 @@ mod tests {
 
     #[test]
     fn soft_tfidf_tolerates_typos() {
-        let docs = [word_set("sunita sarawagi"),
+        let docs = [
+            word_set("sunita sarawagi"),
             word_set("vinay deshpande"),
             word_set("sourabh kasliwal"),
-            word_set("common common")];
+            word_set("common common"),
+        ];
         let stats = CorpusStats::from_documents(docs.iter());
         let typo = soft_tfidf("sunita sarawagi", "sunita sarawagy", &stats, 0.9);
         let exact = soft_tfidf("sunita sarawagi", "sunita sarawagi", &stats, 0.9);

@@ -50,10 +50,12 @@ mod tests {
     use crate::tokenize::word_set;
 
     fn stats() -> CorpusStats {
-        let docs = [word_set("the cat"),
+        let docs = [
+            word_set("the cat"),
             word_set("the dog"),
             word_set("the bird"),
-            word_set("the rhinoceros")];
+            word_set("the rhinoceros"),
+        ];
         CorpusStats::from_documents(docs.iter())
     }
 

@@ -59,16 +59,50 @@ impl StopWords {
 /// Common words in postal addresses, in the spirit of the hand-compiled
 /// list the paper used for the Pune address dataset.
 pub const ADDRESS_STOP_WORDS: &[&str] = &[
-    "street", "st", "road", "rd", "lane", "ln", "house", "flat", "apartment", "apt", "block",
-    "plot", "near", "opp", "opposite", "behind", "main", "cross", "nagar", "colony", "society",
-    "chowk", "peth", "marg", "floor", "no", "number", "building", "bldg", "sector", "phase",
-    "area", "east", "west", "north", "south", "new", "old",
+    "street",
+    "st",
+    "road",
+    "rd",
+    "lane",
+    "ln",
+    "house",
+    "flat",
+    "apartment",
+    "apt",
+    "block",
+    "plot",
+    "near",
+    "opp",
+    "opposite",
+    "behind",
+    "main",
+    "cross",
+    "nagar",
+    "colony",
+    "society",
+    "chowk",
+    "peth",
+    "marg",
+    "floor",
+    "no",
+    "number",
+    "building",
+    "bldg",
+    "sector",
+    "phase",
+    "area",
+    "east",
+    "west",
+    "north",
+    "south",
+    "new",
+    "old",
 ];
 
 /// Common English function words, used for citation titles.
 pub const ENGLISH_STOP_WORDS: &[&str] = &[
-    "a", "an", "the", "of", "on", "in", "for", "and", "or", "to", "with", "by", "at", "from",
-    "is", "are", "as", "its",
+    "a", "an", "the", "of", "on", "in", "for", "and", "or", "to", "with", "by", "at", "from", "is",
+    "are", "as", "its",
 ];
 
 /// Stock address stop-word list.

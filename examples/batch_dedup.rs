@@ -38,7 +38,11 @@ fn main() {
     let toks = tokenize_dataset(&data);
     let stack = product_predicates(data.schema());
     let truth = data.truth().unwrap();
-    println!("{} product offers, {} true products", data.len(), truth.group_count());
+    println!(
+        "{} product offers, {} true products",
+        data.len(),
+        truth.group_count()
+    );
 
     // 1. Batch dedup: resolve everything.
     let t0 = std::time::Instant::now();

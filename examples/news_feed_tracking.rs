@@ -54,7 +54,11 @@ fn main() {
         }
         println!(
             "  ranking certified: {}\n",
-            if result.certified { "yes" } else { "no (bounds overlap)" }
+            if result.certified {
+                "yes"
+            } else {
+                "no (bounds overlap)"
+            }
         );
     }
 

@@ -19,10 +19,8 @@ use topk_records::{tokenize_dataset, FieldId, TokenizedRecord};
 /// shows the trained-classifier alternative.)
 fn scorer(a: &TokenizedRecord, b: &TokenizedRecord) -> f64 {
     let author = FieldId(0);
-    let gram = topk_text::sim::overlap_coefficient(
-        &a.field(author).qgrams3,
-        &b.field(author).qgrams3,
-    );
+    let gram =
+        topk_text::sim::overlap_coefficient(&a.field(author).qgrams3, &b.field(author).qgrams3);
     let initial_ok = a
         .field(author)
         .initials

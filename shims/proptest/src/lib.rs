@@ -455,7 +455,9 @@ macro_rules! prop_assert_ne {
         if va == vb {
             return Err(format!(
                 "assertion failed: {} != {} (both {:?})",
-                stringify!($a), stringify!($b), va
+                stringify!($a),
+                stringify!($b),
+                va
             ));
         }
     }};
@@ -509,7 +511,10 @@ mod tests {
         let mut rng = crate::fresh_rng("string_strategy", 0);
         for _ in 0..200 {
             let s = Strategy::generate(&"[a-d]{0,6}( [a-d]{0,6}){0,4}", &mut rng);
-            assert!(s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '), "{s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '),
+                "{s:?}"
+            );
             let t = Strategy::generate(&"[a-c]{2,8}", &mut rng);
             assert!((2..=8).contains(&t.chars().count()), "{t:?}");
             let p = Strategy::generate(&"\\PC{0,30}", &mut rng);
@@ -521,9 +526,8 @@ mod tests {
     #[test]
     fn combinators_compose() {
         let mut rng = crate::fresh_rng("combinators", 0);
-        let strat = (2usize..10).prop_flat_map(|n| {
-            crate::collection::vec(0u64..100, n).prop_map(move |v| (n, v))
-        });
+        let strat = (2usize..10)
+            .prop_flat_map(|n| crate::collection::vec(0u64..100, n).prop_map(move |v| (n, v)));
         for _ in 0..100 {
             let (n, v) = Strategy::generate(&strat, &mut rng);
             assert_eq!(v.len(), n);

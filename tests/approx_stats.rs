@@ -26,7 +26,11 @@ fn corpus() -> (Vec<TokenizedRecord>, Vec<u32>, Vec<f64>) {
         n_records: 4_000,
         ..Default::default()
     });
-    let labels = data.truth().expect("students have ground truth").labels().to_vec();
+    let labels = data
+        .truth()
+        .expect("students have ground truth")
+        .labels()
+        .to_vec();
     let weights = data.weights();
     let toks = tokenize_dataset(&data);
     (toks, labels, weights)
@@ -105,7 +109,11 @@ fn nominal_95_intervals_cover_at_least_90_percent() {
         .filter(|(_, &w)| w >= 2.0)
         .map(|(&l, &w)| (l, w))
         .collect();
-    assert!(targets.len() >= 50, "corpus too concentrated: {}", targets.len());
+    assert!(
+        targets.len() >= 50,
+        "corpus too concentrated: {}",
+        targets.len()
+    );
     let mut covered = 0usize;
     let mut trials = 0usize;
     for seed in 0..40u64 {

@@ -113,7 +113,8 @@ fn metric_table_matches_live_exposition_bidirectionally() {
     let server = Server::bind("127.0.0.1:0", Arc::new(engine)).expect("bind");
     let (addr, handle) = server.spawn();
     let mut c = Client::connect(&addr.to_string()).expect("connect");
-    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)])
+        .unwrap();
     c.topk(1).unwrap();
     let engine_text = c.metrics_text().expect("metrics command");
     c.shutdown().unwrap();

@@ -165,7 +165,11 @@ fn tight_epsilon_samples_everything_and_certifies() {
     let rows = rows(30, 150, 0.8, 9);
     let e = engine(2, &rows);
     let body = e.query_topr_approx(3, 0.05).unwrap();
-    assert_eq!(body.get("certified").unwrap().as_bool(), Some(true), "{body}");
+    assert_eq!(
+        body.get("certified").unwrap().as_bool(),
+        Some(true),
+        "{body}"
+    );
     assert_eq!(
         body.get("sample_size").unwrap().as_usize(),
         Some(150),
@@ -182,7 +186,10 @@ fn tight_epsilon_samples_everything_and_certifies() {
             x.get("weight").unwrap().as_f64(),
             a.get("estimate").unwrap().as_f64()
         );
-        assert_eq!(x.get("rep").unwrap().as_str(), a.get("rep").unwrap().as_str());
+        assert_eq!(
+            x.get("rep").unwrap().as_str(),
+            a.get("rep").unwrap().as_str()
+        );
     }
 }
 
@@ -213,6 +220,9 @@ fn served_approx_matches_engine_and_counts_metrics() {
     );
     assert!(text.contains("topk_shard_0_sample "), "{text}");
     c.shutdown().expect("shutdown");
-    handle.join().expect("server thread").expect("server ran clean");
+    handle
+        .join()
+        .expect("server thread")
+        .expect("server ran clean");
     done.store(true, Ordering::SeqCst);
 }

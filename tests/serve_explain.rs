@@ -74,11 +74,19 @@ fn profile(line: &str, e: &Engine) -> Json {
 /// The deterministic subset of a rendered profile: every member except
 /// the wall-time ones (`stages`, `total_micros`).
 fn deterministic(profile: &Json) -> String {
-    ["query", "k", "generation", "cache", "shards", "groups", "approx"]
-        .iter()
-        .filter_map(|key| profile.get(key).map(|v| format!("{key}:{v}")))
-        .collect::<Vec<_>>()
-        .join(",")
+    [
+        "query",
+        "k",
+        "generation",
+        "cache",
+        "shards",
+        "groups",
+        "approx",
+    ]
+    .iter()
+    .filter_map(|key| profile.get(key).map(|v| format!("{key}:{v}")))
+    .collect::<Vec<_>>()
+    .join(",")
 }
 
 /// `scanned + skipped + empty == total == configured shard count`.
@@ -122,7 +130,11 @@ fn exact_profiles_byte_stable_run_over_run_at_every_shard_count() {
         // The repeat of an identical query is a cache hit, and a hit
         // profile carries no shard detail (nothing was scanned).
         let hit = profile(r#"{"cmd":"topk","k":5,"explain":true}"#, &a);
-        assert_eq!(hit.get("cache").and_then(Json::as_str), Some("hit"), "{hit}");
+        assert_eq!(
+            hit.get("cache").and_then(Json::as_str),
+            Some("hit"),
+            "{hit}"
+        );
         assert!(hit.get("shards").is_none(), "{hit}");
     }
 }
@@ -132,8 +144,7 @@ fn approx_profiles_escalation_invariant_across_shard_counts() {
     let rows = rows(0x5EED);
     let mut saw_escalation = false;
     for eps in ["0.05", "0.3"] {
-        let line =
-            format!(r#"{{"cmd":"topk","k":5,"approx":{eps},"explain":true}}"#);
+        let line = format!(r#"{{"cmd":"topk","k":5,"approx":{eps},"explain":true}}"#);
         let single = profile(&line, &engine(1, &rows));
         let want = single
             .get("approx")
@@ -194,7 +205,10 @@ fn explain_off_bytes_are_unchanged_and_profiles_drain_fifo() {
     assert_eq!(drained[1].get("query").and_then(Json::as_str), Some("topr"));
     let again = ok_response(r#"{"cmd":"profiles"}"#, &e);
     assert_eq!(
-        again.get("profiles").and_then(Json::as_arr).map(<[Json]>::len),
+        again
+            .get("profiles")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
         Some(0),
         "drain empties the ring: {again}"
     );

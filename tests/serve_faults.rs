@@ -11,10 +11,10 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use topk_bench::faults::{
-    chaos_journal_replay, chaos_retry, chaos_shed, disconnect_mid_response, flood,
-    send_line_raw, send_truncated, slow_loris, tight_config, TestServer,
+    chaos_journal_replay, chaos_retry, chaos_shed, disconnect_mid_response, flood, send_line_raw,
+    send_truncated, slow_loris, tight_config, TestServer,
 };
-use topk_service::{Metrics, ServerConfig};
+use topk_service::{JournalSet, Metrics, ServerConfig};
 
 /// Abort the whole test process if a scenario wedges (a hung fault test
 /// would otherwise stall CI until its global timeout).
@@ -61,7 +61,8 @@ fn truncated_frames_and_garbage_do_not_take_the_server_down() {
     send_truncated(&ts.addr, &[0u8; 512]).unwrap();
     // The server still answers correct queries afterwards.
     let mut c = ts.client().unwrap();
-    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)]).unwrap();
+    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)])
+        .unwrap();
     let top = c.topk(1).unwrap();
     assert!(top.to_string().contains(r#""rank":1"#), "{top:?}");
     ts.shutdown().unwrap();
@@ -103,8 +104,14 @@ fn connection_flood_is_shed_with_structured_errors() {
     )
     .unwrap();
     let outcome = flood(&ts.addr, 2, 6).unwrap();
-    assert!(outcome.shed >= 1, "cap 2 + 2 hogs must shed extras: {outcome:?}");
-    assert_eq!(outcome.failed, 0, "no connection may fail without an envelope: {outcome:?}");
+    assert!(
+        outcome.shed >= 1,
+        "cap 2 + 2 hogs must shed extras: {outcome:?}"
+    );
+    assert_eq!(
+        outcome.failed, 0,
+        "no connection may fail without an envelope: {outcome:?}"
+    );
     assert!(
         Metrics::get(&ts.engine.metrics.server_shed) >= outcome.shed as u64,
         "server_shed_total must count every shed connection"
@@ -169,6 +176,60 @@ fn oversized_requests_get_an_envelope_and_the_connection_survives() {
 }
 
 #[test]
+fn journal_write_failure_refuses_the_ingest_and_leaves_state_unchanged() {
+    watchdog(90);
+    let dir = std::env::temp_dir().join(format!("topk_journal_fail_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jpath = dir.join("fail.wal");
+    let _ = std::fs::remove_file(&jpath);
+    let ts = TestServer::spawn(tight_config(), Some(&jpath)).unwrap();
+    let mut c = ts.client().unwrap();
+    c.ingest_batch(&[(vec!["ada lovelace".into()], 1.0)])
+        .unwrap();
+    let before_topk = ts.engine.query_topk(3).unwrap().to_string();
+
+    // Disk goes bad: every append fails. The ingest must come back as
+    // a structured `err:"journal"`, not a dropped connection, and the
+    // engine must not apply what it could not make durable.
+    ts.engine.journal_set().unwrap().set_fail_appends(true);
+    let err = c
+        .ingest_batch(&[(vec!["grace hopper".into()], 1.0)])
+        .unwrap_err();
+    assert!(err.contains("journal"), "{err}");
+    assert_eq!(
+        Metrics::get(&ts.engine.metrics.journal_errors),
+        1,
+        "topk_journal_errors_total must count the refusal"
+    );
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.get("records").and_then(topk_service::Json::as_usize),
+        Some(1),
+        "refused ingest must not change the record count: {stats}"
+    );
+    assert_eq!(
+        ts.engine.query_topk(3).unwrap().to_string(),
+        before_topk,
+        "refused ingest must not change query answers"
+    );
+
+    // The disk recovers: ingests flow again and replay sees only the
+    // durable entries.
+    ts.engine.journal_set().unwrap().set_fail_appends(false);
+    c.ingest_batch(&[(vec!["grace hopper".into()], 1.0)])
+        .unwrap();
+    drop(c);
+    ts.shutdown().unwrap();
+    let (_, recovery) = JournalSet::open(&jpath, 1).unwrap();
+    assert_eq!(
+        recovery.rows.len(),
+        2,
+        "only the two acked rows are durable"
+    );
+    let _ = std::fs::remove_file(&jpath);
+}
+
+#[test]
 fn retry_rides_through_overload() {
     watchdog(90);
     let before = topk_obs::Registry::global()
@@ -179,7 +240,10 @@ fn retry_rides_through_overload() {
     let after = topk_obs::Registry::global()
         .counter("topk_client_retries_total")
         .load(Ordering::Relaxed);
-    assert!(after > before, "retry scenario must actually retry: {outcome:?}");
+    assert!(
+        after > before,
+        "retry scenario must actually retry: {outcome:?}"
+    );
 }
 
 #[test]

@@ -174,8 +174,7 @@ fn counter(stats: &Json, name: &str) -> u64 {
         .get("metrics")
         .and_then(|m| m.get(name))
         .and_then(Json::as_usize)
-        .unwrap_or_else(|| panic!("stats missing metrics.{name}: {stats}"))
-        as u64
+        .unwrap_or_else(|| panic!("stats missing metrics.{name}: {stats}")) as u64
 }
 
 #[test]
@@ -210,6 +209,14 @@ fn served_answers_match_batch_and_survive_snapshot() {
 
     // 3a. The repeat query is answered from the cache, byte-identically.
     let stats = c.stats().expect("stats");
+    // A standalone server is the primary of epoch 1 — `stats` and
+    // `health` both pin the pair so a failed-over client can always
+    // tell what it is talking to (docs/ROBUSTNESS.md).
+    assert_eq!(stats.get("role").and_then(Json::as_str), Some("primary"));
+    assert_eq!(stats.get("epoch").and_then(Json::as_usize), Some(1));
+    let health = c.health().expect("health");
+    assert_eq!(health.get("role").and_then(Json::as_str), Some("primary"));
+    assert_eq!(health.get("epoch").and_then(Json::as_usize), Some(1));
     let hits_before = counter(&stats, "cache_hits");
     let repeat = c
         .request_raw(&format!(r#"{{"cmd":"topk","k":{k}}}"#))
@@ -252,7 +259,10 @@ fn served_answers_match_batch_and_survive_snapshot() {
         .expect("restored topr");
     assert!(restored_topr.starts_with(r#"{"ok":true,"entries":"#));
     c2.shutdown().expect("shutdown 2");
-    handle2.join().expect("server thread 2").expect("server run 2");
+    handle2
+        .join()
+        .expect("server thread 2")
+        .expect("server run 2");
 
     done.store(true, Ordering::SeqCst);
 }
@@ -284,7 +294,11 @@ fn protocol_errors_do_not_kill_the_connection() {
     c.ingest_batch(&[(vec!["approx probe".into()], 1.0)])
         .expect("ingest probe");
     let body = c.topk_approx(1, 0.5).expect("approx topk");
-    assert_eq!(body.get("epsilon").and_then(Json::as_f64), Some(0.5), "{body}");
+    assert_eq!(
+        body.get("epsilon").and_then(Json::as_f64),
+        Some(0.5),
+        "{body}"
+    );
     assert!(body.get("groups").is_some(), "{body}");
     // Still usable afterwards.
     c.ingest_batch(&[(vec!["still alive".into()], 1.0)])
@@ -336,15 +350,15 @@ fn protocol_edges_get_structured_treatment() {
     w.write_all(b"\n{\"cmd\":\"ping\"}\n").unwrap();
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();
-    assert!(line.contains(r#""ok":true"#), "blank line was answered: {line}");
+    assert!(
+        line.contains(r#""ok":true"#),
+        "blank line was answered: {line}"
+    );
     drop((reader, w, stream));
 
     // Oversized request: structured `too_large` envelope, and the
     // engine never saw the batch.
-    let big = format!(
-        r#"{{"cmd":"ingest","fields":["{}"]}}"#,
-        "x".repeat(4096)
-    );
+    let big = format!(r#"{{"cmd":"ingest","fields":["{}"]}}"#, "x".repeat(4096));
     let raw = c.request_raw(&big).expect("oversized raw");
     assert!(raw.contains(r#""code":"too_large""#), "{raw}");
     let stats = c.stats().expect("stats");
@@ -355,7 +369,8 @@ fn protocol_edges_get_structured_treatment() {
     // deadline must end the connection (timeout envelope and/or close)
     // instead of pinning a handler thread forever.
     let mut idle = TcpStream::connect(&addr).expect("idle connect");
-    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     let started = std::time::Instant::now();
     let mut buf = Vec::new();
     idle.read_to_end(&mut buf).expect("read until close");

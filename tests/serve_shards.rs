@@ -99,7 +99,10 @@ fn empty_and_single_shard_corner_cases() {
     .collect();
     single.ingest(rows.clone()).unwrap();
     sharded.ingest(rows).unwrap();
-    assert_eq!(answers(&sharded, &[1, 2, 50]), answers(&single, &[1, 2, 50]));
+    assert_eq!(
+        answers(&sharded, &[1, 2, 50]),
+        answers(&single, &[1, 2, 50])
+    );
 }
 
 #[test]
