@@ -232,7 +232,8 @@ fn main() {
 
     if chaos {
         println!(
-            "chaos pass: shed, retry, journal replay, overload latency, replication, failover"
+            "chaos pass: shed, retry, journal replay, overload latency, replication, \
+             failover, memory pressure, deadline storm"
         );
         match topk_bench::faults::run_chaos() {
             Ok(outcomes) => {

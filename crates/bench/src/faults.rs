@@ -5,7 +5,9 @@
 //! packaged chaos scenarios `exp_serve --chaos` runs: shed, retry,
 //! journal replay after a simulated `kill -9`, overload latency,
 //! replication failover (lost primary -> promote -> divergence check),
-//! and client endpoint failover. The integration suites
+//! client endpoint failover, a memory-pressure ramp against a byte
+//! budget, and a storm of already-expired deadlines. The integration
+//! suites
 //! `tests/serve_faults.rs` / `tests/serve_replication.rs` drive the
 //! same helpers with assertions; the binary prints their one-line
 //! outcomes.
@@ -823,6 +825,120 @@ pub fn chaos_failover() -> Result<ChaosOutcome, String> {
     })
 }
 
+/// Memory-pressure scenario: a server with a 64 KiB resident budget is
+/// rammed with several times its budget of unique rows. Ingests past the
+/// budget must be refused with `err:"memory_pressure"` (plus a
+/// `retry_after_ms` hint), the resident gauge must stay at or below the
+/// budget, and the server must keep answering pings and queries
+/// throughout.
+pub fn chaos_memory_pressure() -> Result<ChaosOutcome, String> {
+    let budget: u64 = 64 * 1024;
+    let ts = TestServer::spawn_with(
+        tight_config(),
+        EngineConfig {
+            parallelism: topk_core::Parallelism::sequential(),
+            memory_budget_bytes: budget,
+            ..Default::default()
+        },
+        None,
+    )?;
+    let mut c = ts.client()?;
+    let (mut accepted, mut refused) = (0usize, 0usize);
+    // 40 batches × 20 unique rows is ~4× the budget at the record-bytes
+    // estimate — plenty of headroom past the refusal point.
+    for batch_no in 0..40 {
+        let rows: Vec<(Vec<String>, f64)> = (0..20)
+            .map(|i| (vec![format!("person {batch_no} {i} alpha beta")], 1.0))
+            .collect();
+        match c.ingest_batch(&rows) {
+            Ok(_) => accepted += 1,
+            Err(e) if e.contains("memory_pressure") => refused += 1,
+            Err(e) => return Err(format!("unexpected ingest error under pressure: {e}")),
+        }
+        // The server must stay responsive while refusing writes.
+        if batch_no % 8 == 0 {
+            c.ping()?;
+        }
+    }
+    if accepted == 0 {
+        return Err("no batch fit inside the budget — the ramp never started".into());
+    }
+    if refused == 0 {
+        return Err(format!(
+            "ingested ~4x the budget but nothing was refused (accepted {accepted})"
+        ));
+    }
+    let resident = ts.engine.overload().total_bytes();
+    if resident > budget {
+        return Err(format!(
+            "resident gauge {resident} bytes exceeds the {budget}-byte budget"
+        ));
+    }
+    let pressure_total = topk_service::Metrics::get(&ts.engine.metrics.memory_pressure);
+    if pressure_total < refused as u64 {
+        return Err(format!(
+            "memory_pressure_total {pressure_total} < observed refusals {refused}"
+        ));
+    }
+    // Queries still answer (possibly degraded — memory sits at the high
+    // watermark — but always ok:true).
+    c.topk(3)?;
+    drop(c);
+    ts.shutdown()?;
+    Ok(ChaosOutcome {
+        name: "memory-pressure",
+        detail: format!(
+            "budget {budget} B: {accepted} batches admitted, {refused} refused with \
+             err:\"memory_pressure\" (counter {pressure_total}), resident gauge {resident} B \
+             ≤ budget, server answering throughout"
+        ),
+    })
+}
+
+/// Deadline-storm scenario: a burst of queries stamped `deadline_ms:0`
+/// must every one abort with `err:"deadline_exceeded"` at the admission
+/// boundary — no partial work, no connection damage — and a follow-up
+/// query with a generous deadline must answer normally.
+pub fn chaos_deadline_storm() -> Result<ChaosOutcome, String> {
+    let ts = TestServer::spawn(tight_config(), None)?;
+    let mut c = ts.client()?;
+    c.ingest_batch(&[
+        (vec!["maria santos".to_string()], 1.0),
+        (vec!["maria  santos".to_string()], 2.0),
+        (vec!["john doe".to_string()], 1.0),
+    ])?;
+    let mut exceeded = 0usize;
+    for _ in 0..20 {
+        let resp = send_line_raw(&ts.addr, br#"{"cmd":"topk","k":3,"deadline_ms":0}"#)?;
+        if resp.contains(r#""code":"deadline_exceeded""#) {
+            exceeded += 1;
+        } else {
+            return Err(format!("expired deadline was not honored: {resp}"));
+        }
+    }
+    let counter = topk_service::Metrics::get(&ts.engine.metrics.deadline_exceeded);
+    if counter < exceeded as u64 {
+        return Err(format!(
+            "deadline_exceeded_total {counter} < observed aborts {exceeded}"
+        ));
+    }
+    // A sane budget answers normally after the storm.
+    let relaxed = send_line_raw(&ts.addr, br#"{"cmd":"topk","k":3,"deadline_ms":60000}"#)?;
+    if !relaxed.contains(r#""ok":true"#) {
+        return Err(format!("post-storm query failed: {relaxed}"));
+    }
+    c.topk(3)?;
+    drop(c);
+    ts.shutdown()?;
+    Ok(ChaosOutcome {
+        name: "deadline-storm",
+        detail: format!(
+            "{exceeded}/20 zero-budget queries aborted with err:\"deadline_exceeded\" \
+             (counter {counter}); a 60 s-budget query then answered normally"
+        ),
+    })
+}
+
 /// Run all chaos scenarios in sequence (the `exp_serve --chaos` pass).
 pub fn run_chaos() -> Result<Vec<ChaosOutcome>, String> {
     Ok(vec![
@@ -832,5 +948,7 @@ pub fn run_chaos() -> Result<Vec<ChaosOutcome>, String> {
         chaos_overload_latency()?,
         chaos_replication()?,
         chaos_failover()?,
+        chaos_memory_pressure()?,
+        chaos_deadline_storm()?,
     ])
 }

@@ -63,6 +63,11 @@ knobs: docs/ROBUSTNESS.md; 0 disables a timeout/limit):
   --max-request-bytes N  request-line size cap (default 4194304)
   --max-connections N    concurrent-connection cap; excess connections
                          are shed with err:\"overloaded\" (default 256)
+  --memory-budget-bytes N  resident-memory budget for ingested records;
+                         ingests that would cross it are refused with
+                         err:\"memory_pressure\" and brownout degrades
+                         exact queries past the high watermark
+                         (docs/ROBUSTNESS.md; default 0 = unlimited)
   --slo-p99-ms N         per-window p99 latency target for the rolling
                          SLO tracker / `health` command (default 50)
   --slo-availability-pct X  availability target as a percentage in
@@ -170,6 +175,9 @@ pub struct ServeOptions {
     pub max_request_bytes: usize,
     /// Concurrent-connection cap; excess is shed (0 = none).
     pub max_connections: usize,
+    /// Resident-memory budget in bytes for ingested records
+    /// (0 = unlimited); see `docs/ROBUSTNESS.md`, *Overload control*.
+    pub memory_budget_bytes: u64,
     /// Rolling-SLO p99 latency target in ms.
     pub slo_p99_ms: u64,
     /// Rolling-SLO availability target as a percentage in (0, 100].
@@ -206,6 +214,7 @@ impl Default for ServeOptions {
             idle_timeout_ms: 300_000,
             max_request_bytes: 4 << 20,
             max_connections: 256,
+            memory_budget_bytes: 0,
             slo_p99_ms: 50,
             slo_availability_pct: 99.9,
             slow_log: None,
@@ -503,6 +512,10 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String>
             }
             "--max-connections" => {
                 o.max_connections = parse_num(&value("--max-connections")?, "--max-connections")?
+            }
+            "--memory-budget-bytes" => {
+                o.memory_budget_bytes =
+                    parse_num(&value("--memory-budget-bytes")?, "--memory-budget-bytes")?
             }
             "--slo-p99-ms" => o.slo_p99_ms = parse_num(&value("--slo-p99-ms")?, "--slo-p99-ms")?,
             "--slo-availability-pct" => {
@@ -940,7 +953,8 @@ mod tests {
     fn parses_serve_robustness_flags() {
         let c = parse(&argv(
             "serve --journal /tmp/j.wal --read-timeout-ms 100 --write-timeout-ms 200 \
-             --idle-timeout-ms 300 --max-request-bytes 1024 --max-connections 4",
+             --idle-timeout-ms 300 --max-request-bytes 1024 --max-connections 4 \
+             --memory-budget-bytes 65536",
         ))
         .unwrap();
         match c {
@@ -951,6 +965,7 @@ mod tests {
                 assert_eq!(o.idle_timeout_ms, 300);
                 assert_eq!(o.max_request_bytes, 1024);
                 assert_eq!(o.max_connections, 4);
+                assert_eq!(o.memory_budget_bytes, 65536);
             }
             _ => panic!("wrong command"),
         }
@@ -961,6 +976,7 @@ mod tests {
                 assert_eq!(o.read_timeout_ms, 30_000);
                 assert_eq!(o.idle_timeout_ms, 300_000);
                 assert_eq!(o.max_connections, 256);
+                assert_eq!(o.memory_budget_bytes, 0);
             }
             _ => panic!("wrong command"),
         }

@@ -88,6 +88,7 @@ fn run_serve(o: &ServeOptions) -> Result<(), String> {
         slo_p99_micros: o.slo_p99_ms.saturating_mul(1000),
         // Percentage to parts-per-million: 99.9% -> 999_000.
         slo_availability_ppm: (o.slo_availability_pct * 10_000.0).round() as u64,
+        memory_budget_bytes: o.memory_budget_bytes,
     })?;
     if let Some(snap) = &o.restore {
         let generation = engine.restore(snap)?;

@@ -16,10 +16,17 @@
 //! exponential backoff plus jitter. The whole retry loop is bounded by
 //! [`ClientConfig::total_timeout`] — a wall-clock budget across
 //! attempts and backoff sleeps, so a caller-facing deadline holds even
-//! when every attempt times out individually. `ingest` is **never**
-//! retried: a send that fails after the server read the line would
-//! double-apply the batch, and the engine offers no request IDs to
-//! dedup on. `snapshot`/`restore`/`trace`/`shutdown` are likewise
+//! when every attempt times out individually. When that budget is set,
+//! every attempt also stamps the *remaining* budget onto the request as
+//! `"deadline_ms"`, so the server aborts work the client will no longer
+//! wait for; and when the server's error envelope carries a
+//! `retry_after_ms` hint (sheds, memory pressure), the backoff sleeps
+//! that hint instead of guessing — still capped by the remaining
+//! budget. `deadline_exceeded` is **not** retried: the budget that
+//! expired is the same one a retry would run under. `ingest` is
+//! **never** retried: a send that fails after the server read the line
+//! would double-apply the batch, and the engine offers no request IDs
+//! to dedup on. `snapshot`/`restore`/`trace`/`shutdown` are likewise
 //! single-shot — they mutate server state.
 //!
 //! # Failover (`docs/ROBUSTNESS.md`, *Replication*)
@@ -123,15 +130,20 @@ enum RequestError {
     /// The connection is unusable (I/O failure, close, or unparseable
     /// response) — reconnect before any retry.
     Transport(String),
-    /// The server answered with an error envelope.
-    Protocol { code: String, message: String },
+    /// The server answered with an error envelope; `retry_after_ms` is
+    /// its backoff hint, when the envelope carried one.
+    Protocol {
+        code: String,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl RequestError {
     fn into_message(self) -> String {
         match self {
             RequestError::Transport(m) => m,
-            RequestError::Protocol { code, message } => format!("{code}: {message}"),
+            RequestError::Protocol { code, message, .. } => format!("{code}: {message}"),
         }
     }
 }
@@ -202,19 +214,11 @@ impl Client {
         self.last_trace.as_deref()
     }
 
-    /// Stamp a fresh trace id onto a request line (every request is a
-    /// JSON object, so the member splices in before the closing brace)
-    /// and remember it for [`Client::last_trace_id`].
+    /// Stamp a fresh trace id onto a request line and remember it for
+    /// [`Client::last_trace_id`].
     fn stamp_trace(&mut self, line: &str) -> String {
         let id = next_trace_id();
-        let stamped = match line.rfind('}') {
-            Some(i) => {
-                let body = line[..i].trim_end();
-                let sep = if body.ends_with('{') { "" } else { "," };
-                format!("{body}{sep}\"trace\":\"{id}\"}}")
-            }
-            None => line.to_string(),
-        };
+        let stamped = splice_member(line, &format!("\"trace\":\"{id}\""));
         self.last_trace = Some(id);
         stamped
     }
@@ -292,7 +296,17 @@ impl Client {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string();
-                Err(RequestError::Protocol { code, message })
+                let retry_after_ms = v
+                    .get("error")
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(Json::as_f64)
+                    .filter(|ms| *ms >= 0.0)
+                    .map(|ms| ms as u64);
+                Err(RequestError::Protocol {
+                    code,
+                    message,
+                    retry_after_ms,
+                })
             }
             None => {
                 self.conn = None;
@@ -345,6 +359,17 @@ impl Client {
         };
         let mut attempt: u32 = 0;
         loop {
+            // Each attempt stamps the budget still remaining — the
+            // server aborts (deadline_exceeded) rather than compute an
+            // answer this client will no longer wait for.
+            let attempt_line = match deadline {
+                None => None,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now()).as_millis() as u64;
+                    Some(splice_member(line, &format!("\"deadline_ms\":{left}")))
+                }
+            };
+            let attempt_line = attempt_line.as_deref().unwrap_or(line);
             let error = if self.conn.is_none() {
                 match self.reconnect() {
                     Ok(()) => None,
@@ -355,7 +380,7 @@ impl Client {
             };
             let error = match error {
                 Some(e) => e,
-                None => match self.request_once(line) {
+                None => match self.request_once(attempt_line) {
                     Ok(v) => return Ok(v),
                     Err(e) => e,
                 },
@@ -402,7 +427,17 @@ impl Client {
                     RequestError::Protocol { code, .. } => code.clone(),
                 }
             );
-            std::thread::sleep(backoff_delay(&self.config, attempt).min(remaining));
+            // The server knows its own recovery horizon better than an
+            // exponential guess: honor its hint when it sent one,
+            // always capped by the caller's remaining budget.
+            let sleep = match &error {
+                RequestError::Protocol {
+                    retry_after_ms: Some(ms),
+                    ..
+                } => Duration::from_millis(*ms),
+                _ => backoff_delay(&self.config, attempt),
+            };
+            std::thread::sleep(sleep.min(remaining));
             attempt += 1;
         }
     }
@@ -625,6 +660,20 @@ fn open(addr: &str, cfg: &ClientConfig) -> Result<Conn, String> {
     })
 }
 
+/// Splice a rendered JSON member (e.g. `"trace":"id"`) into a request
+/// line before its closing brace. Every request is a JSON object, so
+/// this is how opt-in metadata rides on arbitrary command lines.
+fn splice_member(line: &str, member: &str) -> String {
+    match line.rfind('}') {
+        Some(i) => {
+            let body = line[..i].trim_end();
+            let sep = if body.ends_with('{') { "" } else { "," };
+            format!("{body}{sep}{member}}}")
+        }
+        None => line.to_string(),
+    }
+}
+
 /// `base * 2^attempt`, capped, then scaled by a jitter factor in
 /// [0.5, 1.5) so a thundering herd of retries decorrelates.
 fn backoff_delay(cfg: &ClientConfig, attempt: u32) -> Duration {
@@ -651,6 +700,7 @@ fn jitter01() -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::engine::{Engine, EngineConfig};
@@ -867,6 +917,80 @@ mod tests {
         assert_eq!(c.endpoint(), addr.to_string());
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn retry_honors_server_backoff_hint_and_stamps_deadlines() {
+        // A hand-rolled server: the first request is answered with an
+        // `overloaded` envelope carrying a 60ms backoff hint, the
+        // second with success. Every received line is kept so the test
+        // can assert the client stamped its remaining budget.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let seen = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let seen_srv = Arc::clone(&seen);
+        std::thread::spawn(move || {
+            for (n, s) in listener.incoming().flatten().enumerate() {
+                let mut reader = BufReader::new(match s.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                });
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() {
+                    continue;
+                }
+                seen_srv.lock().unwrap().push(line);
+                let resp = if n == 0 {
+                    concat!(
+                        r#"{"ok":false,"error":{"code":"overloaded","#,
+                        r#""message":"shed","retry_after_ms":60}}"#,
+                        "\n"
+                    )
+                } else {
+                    "{\"ok\":true,\"pong\":true}\n"
+                };
+                let mut w = s;
+                let _ = w.write_all(resp.as_bytes());
+            }
+        });
+        let mut c = Client::connect_with(
+            &addr,
+            ClientConfig {
+                retries: 3,
+                // Without the hint, backoff would sleep ~1-3ms — the
+                // elapsed-time assertion below separates the two.
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+                total_timeout: Duration::from_secs(10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        c.ping().unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(60),
+            "client must sleep the server's hint, elapsed {:?}",
+            t0.elapsed()
+        );
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "{seen:?}");
+        for line in seen.iter() {
+            assert!(
+                line.contains(r#""deadline_ms":"#),
+                "total_timeout set, so every attempt stamps its remaining budget: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn splice_member_handles_empty_and_populated_objects() {
+        assert_eq!(splice_member("{}", r#""a":1"#), r#"{"a":1}"#);
+        assert_eq!(
+            splice_member(r#"{"cmd":"ping"}"#, r#""a":1"#),
+            r#"{"cmd":"ping","a":1}"#
+        );
+        assert_eq!(splice_member("not json", r#""a":1"#), "not json");
     }
 
     #[test]

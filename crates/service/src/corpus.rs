@@ -154,6 +154,7 @@ pub fn stack_from_stats(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -63,6 +63,7 @@ use crate::introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfil
 use crate::journal::{self, JournalSet, Row, SetRecovery};
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::overload::{self, OverloadControl, Transition};
 use crate::replication::{ReplLog, ReplicaStatus, Role, REPL_LOG_CAP};
 use crate::shard::ShardRouter;
 use crate::snapshot;
@@ -101,6 +102,11 @@ pub struct EngineConfig {
     pub slo_p99_micros: u64,
     /// Availability objective in parts per million (999_000 = 99.9%).
     pub slo_availability_ppm: u64,
+    /// Resident-memory budget in estimated bytes (0 = unlimited).
+    /// Ingests that would cross it are refused with
+    /// `err:"memory_pressure"`; crossing the 80% high watermark enters
+    /// brownout (`docs/ROBUSTNESS.md`, *Overload control*).
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +120,7 @@ impl Default for EngineConfig {
             shards: 1,
             slo_p99_micros: 50_000,
             slo_availability_ppm: 999_000,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -230,6 +237,9 @@ pub struct Engine {
     /// `topk_epoch`, `topk_replica_connected`, `topk_replica_lag_entries`,
     /// `topk_replica_lag_ms` — refreshed at exposition time.
     repl_gauges: [Arc<AtomicI64>; 4],
+    /// Overload control: memory accounting/budget, brownout state, and
+    /// per-class query-cost EWMAs (`crate::overload`).
+    overload: OverloadControl,
     /// Counters and latency histograms (lock-free, shared with the
     /// server's stats command and shutdown log).
     pub metrics: Metrics,
@@ -284,6 +294,8 @@ impl Engine {
             metrics.registry().gauge("topk_replica_lag_ms"),
         ];
         repl_gauges[0].store(1, Ordering::Relaxed);
+        let overload =
+            OverloadControl::new(cfg.memory_budget_bytes, cfg.shards, metrics.registry());
         let shards = (0..cfg.shards)
             .map(|_| {
                 Mutex::new(Shard {
@@ -325,6 +337,7 @@ impl Engine {
             replica: Mutex::new(ReplicaStatus::default()),
             apply_gate: Mutex::new(()),
             repl_gauges,
+            overload,
             metrics,
             cfg,
         })
@@ -386,6 +399,57 @@ impl Engine {
             Ok(s) => s,
             Err(p) => p.into_inner(),
         }
+    }
+
+    // ---- overload helpers ----------------------------------------------
+
+    /// Estimated bytes of each shard's slice of a routed batch.
+    fn bucket_bytes(buckets: &[Vec<(u64, TokenizedRecord)>]) -> Vec<u64> {
+        buckets
+            .iter()
+            .map(|b| b.iter().map(|(_, t)| overload::record_bytes(t)).sum())
+            .collect()
+    }
+
+    /// Gate an ingest on the memory budget; on refusal bump the
+    /// backpressure metric and emit the transition span.
+    fn admit_ingest(&self, incoming: u64) -> Result<(), String> {
+        self.overload.admit(incoming).map_err(|e| {
+            Metrics::incr(&self.metrics.memory_pressure);
+            let mut sp = topk_obs::Span::enter("service.overload");
+            sp.record("event", "memory_pressure");
+            sp.record("incoming_bytes", incoming);
+            topk_obs::warn!("{e}");
+            e
+        })
+    }
+
+    /// Fold staged bytes into the per-shard memory gauges.
+    fn account_staged(&self, shard_bytes: &[u64]) {
+        for (si, &n) in shard_bytes.iter().enumerate() {
+            if n > 0 {
+                self.overload.add(si, n);
+            }
+        }
+    }
+
+    /// Abort with `deadline_exceeded` when the request's deadline has
+    /// passed — called at every stage boundary of the query pipeline so
+    /// no work burns past the budget.
+    fn check_deadline(&self, deadline: Option<Instant>, stage: &'static str) -> Result<(), String> {
+        let Some(d) = deadline else {
+            return Ok(());
+        };
+        if Instant::now() >= d {
+            Metrics::incr(&self.metrics.deadline_exceeded);
+            let mut sp = topk_obs::Span::enter("service.overload");
+            sp.record("event", "deadline_exceeded");
+            sp.record("stage", stage);
+            return Err(format!(
+                "deadline_exceeded: request budget exhausted before {stage}"
+            ));
+        }
+        Ok(())
     }
 
     // ---- journal --------------------------------------------------------
@@ -603,7 +667,10 @@ impl Engine {
             buckets[si].push((rid, t));
         }
         let repl_payload = journal::encode_entry(&entry_rows)?;
+        let shard_bytes = Self::bucket_bytes(&buckets);
+        self.admit_ingest(shard_bytes.iter().sum())?;
         self.stage_pending(&core, &mut buckets, want_journal.then_some(&seg_rows[..]))?;
+        self.account_staged(&shard_bytes);
         // Publish while the core read guard is still held: a snapshot
         // cut for a bootstrapping replica takes the write lock, so its
         // cursor can never miss an entry that is already staged.
@@ -675,7 +742,10 @@ impl Engine {
             let si = router.route(&t.field(eng_field).text);
             buckets[si].push((base + i as u64, t));
         }
+        let shard_bytes = Self::bucket_bytes(&buckets);
+        self.admit_ingest(shard_bytes.iter().sum())?;
         self.stage_pending(&core, &mut buckets, None)?;
+        self.account_staged(&shard_bytes);
         drop(core);
         let generation = self.generation.fetch_add(n as u64, Ordering::AcqRel) + n as u64;
         self.lock_cache().clear();
@@ -743,7 +813,13 @@ impl Engine {
             buckets[si].push((rid, t));
         }
         let repl_payload = journal::encode_entry(&entry_rows)?;
+        let shard_bytes = Self::bucket_bytes(&buckets);
+        // Replicas stand under the same watermarks as the primary: an
+        // over-budget apply is refused here and surfaced as pressure by
+        // the tailer instead of silently growing past the budget.
+        self.admit_ingest(shard_bytes.iter().sum())?;
         self.stage_pending(&core, &mut buckets, want_journal.then_some(&seg_rows[..]))?;
+        self.account_staged(&shard_bytes);
         self.repl_log.publish(repl_payload);
         drop(core);
         self.next_rid.fetch_max(max_rid + 1, Ordering::AcqRel);
@@ -874,43 +950,85 @@ impl Engine {
 
     // ---- queries --------------------------------------------------------
 
+    /// The one query entry point every `topk`/`topr` variant funnels
+    /// through: `rank` selects the TopR shape, `approx` the sampled tier
+    /// at ε, `explain` attaches a profile, and `deadline` is the
+    /// request's remaining wall-clock budget — checked at every stage
+    /// boundary, so an expired request aborts with a
+    /// `deadline_exceeded`-prefixed error instead of burning work.
+    /// Successful executions feed the per-class cost EWMA that
+    /// cost-based admission (`Self::overload_gate`) reads.
+    pub fn query_with(
+        &self,
+        rank: bool,
+        k: usize,
+        approx: Option<f64>,
+        explain: bool,
+        deadline: Option<Instant>,
+    ) -> Result<Json, String> {
+        if let Some(epsilon) = approx {
+            topk_approx::validate_epsilon(epsilon)?;
+            Metrics::incr(&self.metrics.approx_queries);
+        }
+        self.check_deadline(deadline, "admission")?;
+        let cmd = if rank { "topr" } else { "topk" };
+        let key = match approx {
+            Some(epsilon) => format!("{cmd}:k={k}:approx={epsilon}"),
+            None => format!("{cmd}:k={k}"),
+        };
+        let t0 = Instant::now();
+        let compute = move |engine: &Engine,
+                            core: &mut Core,
+                            field: FieldId,
+                            prof: Option<&mut QueryProfile>| {
+            // The deadline may have expired while waiting for the core
+            // lock or flushing pending records.
+            engine.check_deadline(deadline, "compute")?;
+            match approx {
+                Some(epsilon) => {
+                    engine.compute_approx(core, field, k, epsilon, rank, deadline, prof)
+                }
+                None if rank => engine.compute_topr(core, field, k, deadline, prof),
+                None => engine.compute_topk(core, field, k, deadline, prof),
+            }
+        };
+        let res = if explain {
+            let mut p = QueryProfile::new(cmd, k);
+            self.cached_query(key, Some(&mut p), compute)
+                .map(|body| self.finish_explained(body, p))
+        } else {
+            self.cached_query(key, None, compute)
+        };
+        if res.is_ok() {
+            self.overload.record_cost(
+                overload::cost_class(rank, approx.is_some()),
+                t0.elapsed().as_micros() as u64,
+            );
+        }
+        res
+    }
+
     /// TopK count-style query: the K heaviest collapsed groups surviving
     /// the bound/prune machinery, rendered as a JSON result body.
     pub fn query_topk(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topk:k={k}"), None, |engine, core, field, prof| {
-            Ok(engine.compute_topk(core, field, k, prof))
-        })
+        self.query_with(false, k, None, false, None)
     }
 
     /// [`Self::query_topk`] with a [`QueryProfile`] appended as the
     /// body's `profile` member (the `"explain":true` protocol path).
     pub fn query_topk_explained(&self, k: usize) -> Result<Json, String> {
-        let mut p = QueryProfile::new("topk", k);
-        let body = self.cached_query(
-            format!("topk:k={k}"),
-            Some(&mut p),
-            |engine, core, field, prof| Ok(engine.compute_topk(core, field, k, prof)),
-        )?;
-        Ok(self.finish_explained(body, p))
+        self.query_with(false, k, None, true, None)
     }
 
     /// TopR rank-style query (§7.1): group *order* with upper bounds and
     /// a certification flag — the cheap way to keep a leaderboard fresh.
     pub fn query_topr(&self, k: usize) -> Result<Json, String> {
-        self.cached_query(format!("topr:k={k}"), None, |engine, core, field, prof| {
-            Ok(engine.compute_topr(core, field, k, prof))
-        })
+        self.query_with(true, k, None, false, None)
     }
 
     /// [`Self::query_topr`] with a `profile` member.
     pub fn query_topr_explained(&self, k: usize) -> Result<Json, String> {
-        let mut p = QueryProfile::new("topr", k);
-        let body = self.cached_query(
-            format!("topr:k={k}"),
-            Some(&mut p),
-            |engine, core, field, prof| Ok(engine.compute_topr(core, field, k, prof)),
-        )?;
-        Ok(self.finish_explained(body, p))
+        self.query_with(true, k, None, true, None)
     }
 
     /// Approximate TopK (`docs/APPROX.md`): estimate group weights from
@@ -919,31 +1037,13 @@ impl Engine {
     /// the exact collapse, and merge. Each returned group carries
     /// `(estimate, lo, hi, escalated)`.
     pub fn query_topk_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
-        topk_approx::validate_epsilon(epsilon)?;
-        Metrics::incr(&self.metrics.approx_queries);
-        self.cached_query(
-            format!("topk:k={k}:approx={epsilon}"),
-            None,
-            move |engine, core, field, prof| {
-                Ok(engine.compute_approx(core, field, k, epsilon, false, prof))
-            },
-        )
+        self.query_with(false, k, Some(epsilon), false, None)
     }
 
     /// [`Self::query_topk_approx`] with a `profile` member (including
     /// the sampled tier's escalated-partition list).
     pub fn query_topk_approx_explained(&self, k: usize, epsilon: f64) -> Result<Json, String> {
-        topk_approx::validate_epsilon(epsilon)?;
-        Metrics::incr(&self.metrics.approx_queries);
-        let mut p = QueryProfile::new("topk", k);
-        let body = self.cached_query(
-            format!("topk:k={k}:approx={epsilon}"),
-            Some(&mut p),
-            move |engine, core, field, prof| {
-                Ok(engine.compute_approx(core, field, k, epsilon, false, prof))
-            },
-        )?;
-        Ok(self.finish_explained(body, p))
+        self.query_with(false, k, Some(epsilon), true, None)
     }
 
     /// Approximate TopR: the same sampled estimator answering in the
@@ -952,30 +1052,91 @@ impl Engine {
     /// exactly when every returned entry is exact (escalated or fully
     /// sampled).
     pub fn query_topr_approx(&self, k: usize, epsilon: f64) -> Result<Json, String> {
-        topk_approx::validate_epsilon(epsilon)?;
-        Metrics::incr(&self.metrics.approx_queries);
-        self.cached_query(
-            format!("topr:k={k}:approx={epsilon}"),
-            None,
-            move |engine, core, field, prof| {
-                Ok(engine.compute_approx(core, field, k, epsilon, true, prof))
-            },
-        )
+        self.query_with(true, k, Some(epsilon), false, None)
     }
 
     /// [`Self::query_topr_approx`] with a `profile` member.
     pub fn query_topr_approx_explained(&self, k: usize, epsilon: f64) -> Result<Json, String> {
-        topk_approx::validate_epsilon(epsilon)?;
-        Metrics::incr(&self.metrics.approx_queries);
-        let mut p = QueryProfile::new("topr", k);
-        let body = self.cached_query(
-            format!("topr:k={k}:approx={epsilon}"),
-            Some(&mut p),
-            move |engine, core, field, prof| {
-                Ok(engine.compute_approx(core, field, k, epsilon, true, prof))
-            },
-        )?;
-        Ok(self.finish_explained(body, p))
+        self.query_with(true, k, Some(epsilon), true, None)
+    }
+
+    /// Run the brownout state machine and cost-based admission for one
+    /// `topk`/`topr` request. `Ok(None)` serves the request as asked;
+    /// `Ok(Some(ε))` means brownout is active and an *exact* request
+    /// must degrade to the approx tier at ε (marked `degraded:true` by
+    /// the server); `Err(retry_after_ms)` sheds the request because its
+    /// estimated cost cannot fit the remaining deadline or the latency
+    /// objective. Transitions bump metrics and emit spans exactly once
+    /// per edge.
+    pub fn overload_gate(
+        &self,
+        rank: bool,
+        approx_requested: bool,
+        deadline: Option<Instant>,
+    ) -> Result<Option<f64>, u64> {
+        // The 1m window drives brownout: long windows would hold the
+        // degraded tier for an hour after a transient spike. A handful
+        // of samples is noise, not a violation.
+        let slo_bad = self
+            .slo
+            .report()
+            .first()
+            .is_some_and(|w| !w.p99_ok && w.total >= 16);
+        let (active, transition) = self.overload.evaluate(slo_bad);
+        match transition {
+            Some(Transition::Entered) => {
+                Metrics::incr(&self.metrics.brownout_entries);
+                let mut sp = topk_obs::Span::enter("service.overload");
+                sp.record("event", "brownout_enter");
+                sp.record("slo_bad", slo_bad);
+                sp.record("memory_bytes", self.overload.total_bytes());
+                topk_obs::warn!(
+                    "brownout entered: slo_bad={slo_bad}, memory {} of {} bytes — exact \
+                     queries degrade to the approx tier",
+                    self.overload.total_bytes(),
+                    self.overload.budget()
+                );
+            }
+            Some(Transition::Exited) => {
+                Metrics::incr(&self.metrics.brownout_exits);
+                let mut sp = topk_obs::Span::enter("service.overload");
+                sp.record("event", "brownout_exit");
+                topk_obs::info!("brownout exited: pressure cleared, exact answers resume");
+            }
+            None => {}
+        }
+        if !active {
+            return Ok(None);
+        }
+        let degrade = if approx_requested {
+            None
+        } else {
+            Some(self.overload.epsilon(slo_bad))
+        };
+        // Admission considers the class that will actually run — the
+        // degraded (approx) tier when degrading — so cheap queries keep
+        // succeeding while ones that cannot meet their budget shed.
+        let class = overload::cost_class(rank, approx_requested || degrade.is_some());
+        if let Some(cost) = self.overload.estimated_cost_micros(class) {
+            let over_deadline = deadline.is_some_and(|d| {
+                d.saturating_duration_since(Instant::now()).as_micros() < cost as u128
+            });
+            let over_target = cost > self.slo.p99_target_micros().saturating_mul(4);
+            if over_deadline || over_target {
+                Metrics::incr(&self.metrics.admission_sheds);
+                let mut sp = topk_obs::Span::enter("service.overload");
+                sp.record("event", "admission_shed");
+                sp.record("estimated_cost_micros", cost);
+                return Err(overload::RETRY_AFTER_MS);
+            }
+        }
+        Ok(degrade)
+    }
+
+    /// The overload-control state (memory gauges, brownout flag) — read
+    /// by the server's health body and by tests.
+    pub fn overload(&self) -> &OverloadControl {
+        &self.overload
     }
 
     /// Seal an explained query: count it, push the rendered profile
@@ -1005,6 +1166,7 @@ impl Engine {
     /// Shared implementation of the approximate queries: sample →
     /// estimate → escalate → merge. `as_topr` switches the rendered
     /// shape (`entries`/`certified` vs `groups`).
+    #[allow(clippy::too_many_arguments)] // one call site, mirrors the query wire options
     fn compute_approx(
         &self,
         core: &mut Core,
@@ -1012,8 +1174,9 @@ impl Engine {
         k: usize,
         epsilon: f64,
         as_topr: bool,
+        deadline: Option<Instant>,
         mut prof: Option<&mut QueryProfile>,
-    ) -> Json {
+    ) -> Result<Json, String> {
         assert!(k >= 1, "K must be at least 1");
         let Core {
             shards,
@@ -1056,8 +1219,9 @@ impl Engine {
                     certified: false,
                 });
             }
-            return render(Vec::new(), 0, 0, false);
+            return Ok(render(Vec::new(), 0, 0, false));
         }
+        self.check_deadline(deadline, "sample")?;
         let t_sample = Instant::now();
         // Sample: the merged per-shard sketches reproduce exactly the
         // bottom-m of the whole stream, at every shard count.
@@ -1094,6 +1258,7 @@ impl Engine {
         if let Some(p) = prof.as_deref_mut() {
             p.stage("sample", t_sample.elapsed());
         }
+        self.check_deadline(deadline, "escalate")?;
         let t_escalate = Instant::now();
         let (_tau, parts) = topk_approx::escalation_partitions(&estimates, k);
         self.metrics
@@ -1114,7 +1279,9 @@ impl Engine {
                 continue;
             }
             let s = Self::shard_mut(mu);
-            let views = s.groups.as_ref().expect("views built for touched shards");
+            let Some(views) = s.groups.as_ref() else {
+                continue; // unreachable: views were built for touched shards
+            };
             for g in views {
                 let text = &s.inc.records()[g.rep_local as usize].field(field).text;
                 if parts.contains(&ShardRouter::key(text)) {
@@ -1146,6 +1313,7 @@ impl Engine {
         if let Some(p) = prof.as_deref_mut() {
             p.stage("escalate", t_escalate.elapsed());
         }
+        self.check_deadline(deadline, "merge")?;
         let t_merge = Instant::now();
         let top = topk_approx::merge_topk(cands, k);
         let certified = top.iter().all(|g| g.escalated || g.lo == g.hi);
@@ -1187,7 +1355,7 @@ impl Engine {
                 certified,
             });
         }
-        render(items, parts.len(), used, certified)
+        Ok(render(items, parts.len(), used, certified))
     }
 
     /// Rebuild group views for shards whose collapse changed since the
@@ -1246,8 +1414,9 @@ impl Engine {
         core: &mut Core,
         field: FieldId,
         k: usize,
+        deadline: Option<Instant>,
         mut prof: Option<&mut QueryProfile>,
-    ) -> Json {
+    ) -> Result<Json, String> {
         let Core { shards, .. } = core;
         {
             let all_empty = shards.iter_mut().all(|m| Self::shard_mut(m).inc.is_empty());
@@ -1260,24 +1429,22 @@ impl Engine {
                         empty: shards.len(),
                     });
                 }
-                return obj(vec![("groups", Json::Arr(Vec::new()))]);
+                return Ok(obj(vec![("groups", Json::Arr(Vec::new()))]));
             }
         }
         assert!(k >= 1, "K must be at least 1");
+        self.check_deadline(deadline, "build_views")?;
         let t_views = Instant::now();
         self.build_views(shards, None);
         if let Some(p) = prof.as_deref_mut() {
             p.stage("build_views", t_views.elapsed());
         }
+        self.check_deadline(deadline, "merge")?;
         let t_merge = Instant::now();
+        static EMPTY_VIEWS: Vec<GroupView> = Vec::new();
         let views: Vec<&Vec<GroupView>> = shards
             .iter_mut()
-            .map(|m| {
-                Self::shard_mut(m)
-                    .groups
-                    .as_ref()
-                    .expect("views just built")
-            })
+            .map(|m| Self::shard_mut(m).groups.as_ref().unwrap_or(&EMPTY_VIEWS))
             .collect();
         let mut visit: Vec<usize> = (0..views.len()).filter(|&i| !views[i].is_empty()).collect();
         visit.sort_by(|&a, &b| {
@@ -1345,7 +1512,7 @@ impl Engine {
         if let Some(p) = prof {
             p.stage("merge", t_merge.elapsed());
         }
-        obj(vec![("groups", Json::Arr(items))])
+        Ok(obj(vec![("groups", Json::Arr(items))]))
     }
 
     /// TopR over all shards: the rank query runs over the records in
@@ -1358,8 +1525,9 @@ impl Engine {
         core: &mut Core,
         field: FieldId,
         k: usize,
+        deadline: Option<Instant>,
         mut prof: Option<&mut QueryProfile>,
-    ) -> Json {
+    ) -> Result<Json, String> {
         let Core {
             shards,
             global,
@@ -1383,11 +1551,12 @@ impl Engine {
             });
         }
         if global.is_empty() {
-            return obj(vec![
+            return Ok(obj(vec![
                 ("entries", Json::Arr(Vec::new())),
                 ("certified", Json::Bool(false)),
-            ]);
+            ]));
         }
+        self.check_deadline(deadline, "gather")?;
         let t_gather = Instant::now();
         let stack = stack_from_stats(
             Arc::new(stats.clone()),
@@ -1406,11 +1575,12 @@ impl Engine {
                 }
                 *topr_toks = Some(all);
             }
-            topr_toks.as_deref().expect("gathered above")
+            topr_toks.as_deref().unwrap_or(&[])
         };
         if let Some(p) = prof.as_deref_mut() {
             p.stage("gather", t_gather.elapsed());
         }
+        self.check_deadline(deadline, "rank_query")?;
         let t_rank = Instant::now();
         let mut q = TopKRankQuery::new(k);
         q.parallelism = self.cfg.parallelism;
@@ -1438,10 +1608,10 @@ impl Engine {
             p.groups_scanned = toks.len() as u64;
             p.groups_returned = entries.len();
         }
-        obj(vec![
+        Ok(obj(vec![
             ("entries", Json::Arr(entries)),
             ("certified", Json::Bool(res.certified)),
-        ])
+        ]))
     }
 
     /// Run `compute` through the generation-keyed cache. A hit at the
@@ -1605,6 +1775,7 @@ impl Engine {
             ("head_seq", opt(st.head_seq)),
             ("lag_entries", opt(st.lag_entries())),
             ("lag_ms", opt(st.lag_ms())),
+            ("pressure", Json::Bool(st.pressure)),
         ])
     }
 
@@ -1635,7 +1806,7 @@ impl Engine {
             (schema.field, schema.fields.clone().unwrap_or_default())
         };
         self.flush_locked(&mut core, field);
-        let state = self.assemble_state(&mut core);
+        let state = self.assemble_state(&mut core)?;
         let cursor = self.repl_log.next();
         drop(core);
         let bytes = snapshot::encode_snapshot(&state, &fields, field)?;
@@ -1717,6 +1888,40 @@ impl Engine {
                     ("windows", Json::Arr(windows)),
                 ]),
             ),
+            (
+                "overload",
+                obj(vec![
+                    ("brownout", Json::Bool(self.overload.brownout_active())),
+                    (
+                        "memory_bytes",
+                        Json::Num(self.overload.total_bytes() as f64),
+                    ),
+                    (
+                        "memory_budget_bytes",
+                        Json::Num(self.overload.budget() as f64),
+                    ),
+                    (
+                        "memory_high_watermark",
+                        Json::Num(self.overload.high_watermark() as f64),
+                    ),
+                    (
+                        "memory_low_watermark",
+                        Json::Num(self.overload.low_watermark() as f64),
+                    ),
+                    (
+                        "memory_pressure_rejections",
+                        Json::Num(Metrics::get(&self.metrics.memory_pressure) as f64),
+                    ),
+                    (
+                        "degraded_queries",
+                        Json::Num(Metrics::get(&self.metrics.degraded_queries) as f64),
+                    ),
+                    (
+                        "admission_sheds",
+                        Json::Num(Metrics::get(&self.metrics.admission_sheds) as f64),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -1777,6 +1982,10 @@ impl Engine {
                 ("records", Json::Num(s.inc.len() as f64)),
                 ("pending", Json::Num(s.pending.len() as f64)),
                 ("groups", Json::Num(s.inc.group_count() as f64)),
+                (
+                    "memory_bytes",
+                    Json::Num(self.overload.shard_bytes(i) as f64),
+                ),
             ]));
         }
         let generation = self.generation.load(Ordering::Acquire);
@@ -1789,6 +1998,14 @@ impl Engine {
             ("role", Json::Str(self.role().as_str().to_string())),
             ("epoch", Json::Num(self.epoch() as f64)),
             ("distinct_values", Json::Num(core.seen.len() as f64)),
+            (
+                "memory_bytes",
+                Json::Num(self.overload.total_bytes() as f64),
+            ),
+            (
+                "memory_budget_bytes",
+                Json::Num(self.overload.budget() as f64),
+            ),
             ("fields", fields),
             ("shards", Json::Num(core.shards.len() as f64)),
             ("shard_detail", Json::Arr(detail)),
@@ -1808,14 +2025,15 @@ impl Engine {
     /// form), and block keys are unique to one shard (partition
     /// contract), so the assembled state — and therefore the snapshot
     /// file — is byte-identical at every shard count.
-    fn assemble_state(&self, core: &mut Core) -> IncrementalState {
+    fn assemble_state(&self, core: &mut Core) -> Result<IncrementalState, String> {
         let Core { shards, global, .. } = core;
         let shard_refs: Vec<&Shard> = shards.iter_mut().map(|m| &*Self::shard_mut(m)).collect();
         let mut exports = Vec::with_capacity(shard_refs.len());
         for s in &shard_refs {
             let ex = s.inc.export_state();
-            let mut uf = UnionFind::from_vec(ex.parent.clone())
-                .expect("a live union-find is a valid forest");
+            // A live union-find is always a valid forest; still, surface
+            // rather than panic if that invariant ever breaks.
+            let mut uf = UnionFind::from_vec(ex.parent.clone())?;
             let canon = uf.canonical_parent();
             exports.push((ex, canon));
         }
@@ -1836,12 +2054,12 @@ impl Engine {
             }
         }
         blocks.sort_unstable_by_key(|&(key, _)| key);
-        IncrementalState {
+        Ok(IncrementalState {
             records,
             parent,
             blocks,
             generation: self.generation.load(Ordering::Acquire),
-        }
+        })
     }
 
     /// Write a snapshot of the collapsed state to `path`. Pending
@@ -1859,7 +2077,7 @@ impl Engine {
             (schema.field, schema.fields.clone().unwrap_or_default())
         };
         self.flush_locked(&mut core, field);
-        let state = self.assemble_state(&mut core);
+        let state = self.assemble_state(&mut core)?;
         let bytes = snapshot::write_snapshot(path, &state, &fields, field)?;
         if let Some(journal) = &self.journal {
             journal.truncate_all()?;
@@ -2058,6 +2276,7 @@ impl Engine {
         // replaced state no longer describe this engine, so every
         // follower is forced to re-bootstrap from a fresh snapshot.
         self.repl_log.invalidate();
+        let mut shard_bytes = Vec::with_capacity(core.shards.len());
         for (i, m) in core.shards.iter_mut().enumerate() {
             let s = Self::shard_mut(m);
             self.shard_gauges[i]
@@ -2069,7 +2288,12 @@ impl Engine {
             self.shard_gauges[i]
                 .2
                 .store(s.sample.len() as i64, Ordering::Relaxed);
+            shard_bytes.push(s.inc.records().iter().map(overload::record_bytes).sum());
         }
+        // Memory accounting restarts from what is actually resident —
+        // this is how pressure clears after an operator restores a
+        // smaller snapshot.
+        self.overload.reset(&shard_bytes);
         drop(core);
         self.lock_cache().clear();
         Ok(generation)
@@ -2077,6 +2301,7 @@ impl Engine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -2418,5 +2643,155 @@ mod tests {
         assert_eq!(body.get("groups").unwrap().as_arr().unwrap().len(), 0);
         let body = e.query_topr(3).unwrap();
         assert_eq!(body.get("certified").unwrap().as_bool(), Some(false));
+    }
+
+    fn sharded(shards: usize, budget: u64) -> Engine {
+        Engine::new(EngineConfig {
+            parallelism: Parallelism::sequential(),
+            shards,
+            memory_budget_bytes: budget,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_answers_stay_identical() {
+        let e = Arc::new(sharded(2, 0));
+        let rows = vec![
+            row("grace hopper"),
+            row("grace  hopper"),
+            row("ada lovelace"),
+        ];
+        e.ingest(rows.clone()).unwrap();
+        let want = e.query_topk(2).unwrap().to_string();
+        let recoveries = Metrics::get(&e.metrics.lock_recoveries);
+        // Panic while holding the core write lock: poisons it.
+        let p = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            let _g = p.core.write().unwrap();
+            panic!("poison the core lock");
+        });
+        assert!(h.join().is_err());
+        assert_eq!(e.query_topk(2).unwrap().to_string(), want);
+        // Panic while holding a shard mutex: poisons it.
+        let p = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            let core = p.read_core();
+            let _g = core.shards[0].lock().unwrap();
+            panic!("poison a shard mutex");
+        });
+        assert!(h.join().is_err());
+        e.ingest(vec![row("alan turing")]).unwrap();
+        assert!(
+            Metrics::get(&e.metrics.lock_recoveries) > recoveries,
+            "poison recovery should be counted"
+        );
+        // After both recoveries the engine answers byte-identically to a
+        // fresh engine fed the same stream.
+        let fresh = sharded(2, 0);
+        fresh.ingest(rows).unwrap();
+        fresh.ingest(vec![row("alan turing")]).unwrap();
+        assert_eq!(
+            e.query_topk(3).unwrap().to_string(),
+            fresh.query_topk(3).unwrap().to_string()
+        );
+        assert_eq!(
+            e.query_topr(3).unwrap().to_string(),
+            fresh.query_topr(3).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn memory_budget_applies_backpressure_not_death() {
+        let rows: Vec<_> = (0..8).map(|i| row(&format!("person number {i}"))).collect();
+        // Probe run measures what the stream costs; accounting is always
+        // on, budget or not.
+        let probe = engine();
+        probe.ingest(rows.clone()).unwrap();
+        let resident = probe.overload().total_bytes();
+        assert!(resident > 0);
+        let budget = resident + resident / 8;
+        let e = sharded(1, budget);
+        e.ingest(rows).unwrap();
+        let err = e
+            .ingest((0..64).map(|i| row(&format!("overflow {i}"))).collect())
+            .unwrap_err();
+        assert!(err.starts_with("memory_pressure"), "{err}");
+        assert_eq!(Metrics::get(&e.metrics.memory_pressure), 1);
+        // The gauge never crossed the budget, and the engine still
+        // answers queries.
+        assert!(e.overload().total_bytes() <= budget);
+        assert!(e.query_topk(3).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_without_burning_work() {
+        let e = engine();
+        e.ingest(vec![row("grace hopper"), row("ada lovelace")])
+            .unwrap();
+        let expired = Some(Instant::now() - Duration::from_millis(1));
+        for rank in [false, true] {
+            for approx in [None, Some(0.1)] {
+                let err = e.query_with(rank, 2, approx, false, expired).unwrap_err();
+                assert!(err.starts_with("deadline_exceeded"), "{err}");
+            }
+        }
+        assert_eq!(Metrics::get(&e.metrics.deadline_exceeded), 4);
+        // A generous deadline answers identically to no deadline.
+        let far = Some(Instant::now() + Duration::from_secs(60));
+        assert_eq!(
+            e.query_with(false, 2, None, false, far)
+                .unwrap()
+                .to_string(),
+            e.query_topk(2).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn brownout_degrades_exact_queries_and_recovers() {
+        let rows: Vec<_> = (0..8).map(|i| row(&format!("person number {i}"))).collect();
+        let probe = engine();
+        probe.ingest(rows.clone()).unwrap();
+        let resident = probe.overload().total_bytes();
+        // Budget such that the stream sits at ~89% — past the 80% high
+        // watermark but under the budget, so ingest is admitted and
+        // brownout engages.
+        let e = sharded(1, resident + resident / 8);
+        e.ingest(rows).unwrap();
+        let gate = e.overload_gate(false, false, None).unwrap();
+        assert_eq!(gate, Some(crate::overload::EPSILON_LIGHT));
+        assert!(e.overload().brownout_active());
+        assert_eq!(Metrics::get(&e.metrics.brownout_entries), 1);
+        // An explicit approx request is not re-degraded.
+        assert_eq!(e.overload_gate(false, true, None).unwrap(), None);
+        // The degraded answer is byte-identical to an explicit approx
+        // query at the same ε (same cache key, same pipeline).
+        let degraded = e
+            .query_with(false, 3, gate, false, None)
+            .unwrap()
+            .to_string();
+        let explicit = e
+            .query_topk_approx(3, crate::overload::EPSILON_LIGHT)
+            .unwrap()
+            .to_string();
+        assert_eq!(degraded, explicit);
+        // Restoring a smaller snapshot clears the pressure; hysteresis
+        // holds the degraded tier for EXIT_STREAK evaluations, then
+        // exact answers resume.
+        let dir = std::env::temp_dir().join("topk_engine_brownout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.snap");
+        let small = engine();
+        small.ingest(vec![row("grace hopper")]).unwrap();
+        small.snapshot(&path).unwrap();
+        e.restore(&path).unwrap();
+        assert!(e.overload().total_bytes() < e.overload().low_watermark());
+        for _ in 0..crate::overload::EXIT_STREAK - 1 {
+            assert!(e.overload_gate(false, false, None).unwrap().is_some());
+        }
+        assert_eq!(e.overload_gate(false, false, None).unwrap(), None);
+        assert!(!e.overload().brownout_active());
+        assert_eq!(Metrics::get(&e.metrics.brownout_exits), 1);
     }
 }

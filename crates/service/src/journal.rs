@@ -66,6 +66,20 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// `u32::from_le_bytes` over the first 4 bytes of a checked slice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// `u64::from_le_bytes` over the first 8 bytes of a checked slice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(a)
+}
+
 /// One journaled row: global record id, raw field texts, weight.
 pub type Row = (u64, Vec<String>, f64);
 
@@ -145,10 +159,10 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(le_u32(self.take(4)?))
     }
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(le_u64(self.take(8)?))
     }
     fn str(&mut self) -> Result<String, String> {
         let len = self.u32()? as usize;
@@ -209,7 +223,7 @@ fn scan_entries<T>(bytes: &[u8], decode: impl Fn(&[u8]) -> Result<T, String>) ->
         if pos + 4 > bytes.len() {
             break;
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let len = le_u32(&bytes[pos..pos + 4]) as usize;
         let Some(end) = pos.checked_add(4).and_then(|p| p.checked_add(len)) else {
             break;
         };
@@ -217,7 +231,7 @@ fn scan_entries<T>(bytes: &[u8], decode: impl Fn(&[u8]) -> Result<T, String>) ->
             break;
         }
         let payload = &bytes[pos + 4..end];
-        let stored = u64::from_le_bytes(bytes[end..end + 8].try_into().unwrap());
+        let stored = le_u64(&bytes[end..end + 8]);
         if fnv1a(payload) != stored {
             break;
         }
@@ -269,7 +283,7 @@ impl Journal {
                     path.display()
                 ));
             }
-            let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            let version = le_u32(&bytes[4..8]);
             match version {
                 VERSION => {
                     let (parsed, g) = scan_entries(&bytes, decode_entry);
@@ -647,6 +661,7 @@ fn find_orphans(base: &Path, shards: usize) -> Result<Vec<PathBuf>, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -204,7 +204,10 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii slice");
+    // The scanned range is ASCII digits/signs by construction, but a
+    // long-lived server never panics on a parse path.
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| format!("bad number bytes at offset {start}"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("bad number `{text}` at offset {start}"))
@@ -260,7 +263,9 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Copy one UTF-8 scalar (multi-byte safe).
                 let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
-                let ch = s.chars().next().expect("non-empty");
+                let Some(ch) = s.chars().next() else {
+                    return Err("truncated string".into());
+                };
                 out.push(ch);
                 *pos += ch.len_utf8();
             }
@@ -347,6 +352,7 @@ pub fn obj(members: Vec<(&str, Json)>) -> Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -29,6 +29,10 @@
 //! workspace's offline-build constraint.
 
 #![warn(missing_docs)]
+// A long-lived server must not panic on malformed internal state: every
+// fallible path surfaces an error envelope instead. Tests opt back in
+// per-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod client;
 pub mod corpus;
@@ -37,6 +41,7 @@ pub mod introspection;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod overload;
 pub mod protocol;
 pub mod replication;
 pub mod server;
@@ -52,7 +57,8 @@ pub use introspection::{ApproxProfile, ProfileRing, QueryProfile, ShardProfile, 
 pub use journal::{Journal, JournalSet, Row, SetRecovery};
 pub use json::Json;
 pub use metrics::Metrics;
-pub use protocol::{parse_request, parse_request_meta, ProtoError, Request};
+pub use overload::OverloadControl;
+pub use protocol::{parse_request, parse_request_meta, ProtoError, Request, RequestMeta};
 pub use replication::{spawn_tailer, ReplicaStatus, Role};
 pub use server::{Server, ServerConfig};
 pub use shard::ShardRouter;

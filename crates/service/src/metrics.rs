@@ -104,6 +104,20 @@ pub struct Metrics {
     pub replica_reconnects: Arc<AtomicU64>,
     /// `replicate` streams served by this server (it acted as primary).
     pub repl_streams: Arc<AtomicU64>,
+    /// Queries aborted at a stage boundary because the request's
+    /// `deadline_ms` budget had expired.
+    pub deadline_exceeded: Arc<AtomicU64>,
+    /// Ingests refused with `err:"memory_pressure"` at the memory budget.
+    pub memory_pressure: Arc<AtomicU64>,
+    /// Times the engine entered brownout (degrade-to-approx) mode.
+    pub brownout_entries: Arc<AtomicU64>,
+    /// Times the engine left brownout mode after hysteresis cleared.
+    pub brownout_exits: Arc<AtomicU64>,
+    /// Exact queries answered from the approx tier (`degraded:true`)
+    /// while the engine was in brownout.
+    pub degraded_queries: Arc<AtomicU64>,
+    /// Queries shed by cost-based admission control during brownout.
+    pub admission_sheds: Arc<AtomicU64>,
     /// Per-record ingest latency.
     pub ingest_latency: Arc<LatencyHistogram>,
     /// Per-query latency (cache hits included — that is the point).
@@ -144,6 +158,12 @@ impl Metrics {
             replica_bootstraps: registry.counter("topk_replica_bootstraps_total"),
             replica_reconnects: registry.counter("topk_replica_reconnects_total"),
             repl_streams: registry.counter("topk_repl_streams_total"),
+            deadline_exceeded: registry.counter("topk_deadline_exceeded_total"),
+            memory_pressure: registry.counter("topk_memory_pressure_total"),
+            brownout_entries: registry.counter("topk_brownout_entries_total"),
+            brownout_exits: registry.counter("topk_brownout_exits_total"),
+            degraded_queries: registry.counter("topk_degraded_queries_total"),
+            admission_sheds: registry.counter("topk_admission_shed_total"),
             ingest_latency: registry.histogram("topk_ingest_latency_micros"),
             query_latency: registry.histogram("topk_query_latency_micros"),
             registry,
@@ -202,6 +222,12 @@ impl Metrics {
             ("replica_bootstraps", n(&self.replica_bootstraps)),
             ("replica_reconnects", n(&self.replica_reconnects)),
             ("repl_streams", n(&self.repl_streams)),
+            ("deadline_exceeded", n(&self.deadline_exceeded)),
+            ("memory_pressure", n(&self.memory_pressure)),
+            ("brownout_entries", n(&self.brownout_entries)),
+            ("brownout_exits", n(&self.brownout_exits)),
+            ("degraded_queries", n(&self.degraded_queries)),
+            ("admission_sheds", n(&self.admission_sheds)),
             ("ingest_latency", histogram_summary(&self.ingest_latency)),
             ("query_latency", histogram_summary(&self.query_latency)),
         ])
@@ -239,6 +265,7 @@ impl Default for Metrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::time::Duration;

@@ -6,12 +6,15 @@
 //! branch on a stable machine-readable `code` while logging the human
 //! message. Full schemas: `docs/SERVICE.md`.
 //!
-//! Two opt-in members ride on top of the core schema: any request may
+//! Three opt-in members ride on top of the core schema: any request may
 //! carry a `"trace":"<id>"` string (surfaced by [`parse_request_meta`];
 //! the server stamps it onto its spans and the slow-query log so a
-//! client-generated id stitches both timelines), and the query commands
-//! accept `"explain":true` to get a `profile` member back
-//! (`docs/OBSERVABILITY.md`).
+//! client-generated id stitches both timelines) and/or a
+//! `"deadline_ms":<n>` wall-clock budget (the server threads the
+//! remaining budget through every pipeline stage and aborts with
+//! `err:"deadline_exceeded"` rather than burn work past it), and the
+//! query commands accept `"explain":true` to get a `profile` member
+//! back (`docs/OBSERVABILITY.md`).
 
 use crate::json::{obj, parse, Json};
 
@@ -110,46 +113,90 @@ pub struct ProtoError {
     /// exceeded), `too_large` (request over the size cap, split the
     /// batch), `internal` (handler panic, state recovered), `journal`
     /// (write-ahead append failed — disk full or I/O error; the ingest
-    /// was **not** applied), and `not_primary` (the server is a replica
+    /// was **not** applied), `not_primary` (the server is a replica
     /// or a stale ex-primary; send writes to the current primary —
-    /// failover-aware clients rotate endpoints on this code). Of these,
-    /// `overloaded`, `timeout`, and `internal` are safe to retry for
-    /// idempotent commands; see `docs/ROBUSTNESS.md`.
+    /// failover-aware clients rotate endpoints on this code), and the
+    /// overload-control pair `deadline_exceeded` (the request's
+    /// `deadline_ms` budget expired at a stage boundary — retrying
+    /// without more budget cannot succeed) and `memory_pressure` (the
+    /// ingest would cross `--memory-budget-bytes`; back off and retry).
+    /// Of these, `overloaded`, `timeout`, `internal`, and
+    /// `memory_pressure` are safe to retry for idempotent commands; see
+    /// `docs/ROBUSTNESS.md`.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Optional backoff hint, rendered as the envelope's
+    /// `retry_after_ms` member (`overloaded` sheds and `memory_pressure`
+    /// rejections carry one; retry-aware clients sleep it instead of
+    /// guessing).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
+    /// An error with the given code.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
     /// A `bad_request` error.
     pub fn bad_request(message: impl Into<String>) -> Self {
-        ProtoError {
-            code: "bad_request",
-            message: message.into(),
-        }
+        Self::new("bad_request", message)
+    }
+
+    /// Attach a backoff hint (milliseconds) to the envelope.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
-/// Parse one request line, discarding the optional trace id (callers
-/// that don't propagate traces).
+/// Request metadata riding alongside the command, surfaced by
+/// [`parse_request_meta`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestMeta {
+    /// Opaque client-chosen trace id, stamped onto server spans and
+    /// slow-query records.
+    pub trace: Option<String>,
+    /// Remaining wall-clock budget of this request in milliseconds;
+    /// the server aborts the request at the first stage boundary past
+    /// it (`err:"deadline_exceeded"`).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parse one request line, discarding the optional metadata (callers
+/// that don't propagate traces or deadlines).
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     parse_request_meta(line).map(|(req, _)| req)
 }
 
-/// Parse one request line plus its optional `"trace"` id. The id is an
-/// opaque client-chosen string stamped onto server spans and slow-query
-/// records for cross-process correlation.
-pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), ProtoError> {
-    let v = parse(line).map_err(|e| ProtoError {
-        code: "bad_json",
-        message: e,
-    })?;
+/// Parse one request line plus its optional metadata: the `"trace"` id
+/// (an opaque client-chosen string stamped onto server spans and
+/// slow-query records for cross-process correlation) and the
+/// `"deadline_ms"` wall-clock budget.
+pub fn parse_request_meta(line: &str) -> Result<(Request, RequestMeta), ProtoError> {
+    let v = parse(line).map_err(|e| ProtoError::new("bad_json", e))?;
     let trace = match v.get("trace") {
         None => None,
         Some(t) => Some(
             t.as_str()
                 .ok_or_else(|| ProtoError::bad_request("`trace` must be a string id"))?
                 .to_string(),
+        ),
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(
+            d.as_f64()
+                .filter(|m| m.fract() == 0.0 && *m >= 0.0)
+                .map(|m| m as u64)
+                .ok_or_else(|| {
+                    ProtoError::bad_request("`deadline_ms` must be a non-negative integer")
+                })?,
         ),
     };
     let cmd = v
@@ -227,7 +274,7 @@ pub fn parse_request_meta(line: &str) -> Result<(Request, Option<String>), Proto
         "replstatus" => Request::ReplStatus,
         other => return Err(ProtoError::bad_request(format!("unknown cmd `{other}`"))),
     };
-    Ok((req, trace))
+    Ok((req, RequestMeta { trace, deadline_ms }))
 }
 
 /// An optional boolean member, defaulting to false.
@@ -331,20 +378,18 @@ pub fn ok_response(body: Json) -> String {
 
 /// Render the error envelope.
 pub fn err_response(e: &ProtoError) -> String {
-    obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj(vec![
-                ("code", Json::Str(e.code.to_string())),
-                ("message", Json::Str(e.message.clone())),
-            ]),
-        ),
-    ])
-    .to_string()
+    let mut error = vec![
+        ("code", Json::Str(e.code.to_string())),
+        ("message", Json::Str(e.message.clone())),
+    ];
+    if let Some(ms) = e.retry_after_ms {
+        error.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
+    obj(vec![("ok", Json::Bool(false)), ("error", obj(error))]).to_string()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -523,7 +568,7 @@ mod tests {
 
     #[test]
     fn trace_id_rides_on_any_request() {
-        let (req, trace) = parse_request_meta(r#"{"cmd":"topk","k":3,"trace":"cli-42"}"#).unwrap();
+        let (req, meta) = parse_request_meta(r#"{"cmd":"topk","k":3,"trace":"cli-42"}"#).unwrap();
         assert_eq!(
             req,
             Request::TopK {
@@ -532,15 +577,42 @@ mod tests {
                 explain: false
             }
         );
-        assert_eq!(trace.as_deref(), Some("cli-42"));
-        let (req, trace) = parse_request_meta(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(meta.trace.as_deref(), Some("cli-42"));
+        assert_eq!(meta.deadline_ms, None);
+        let (req, meta) = parse_request_meta(r#"{"cmd":"ping"}"#).unwrap();
         assert_eq!(req, Request::Ping);
-        assert_eq!(trace, None);
+        assert_eq!(meta, RequestMeta::default());
         // parse_request drops the id but accepts the member.
         assert_eq!(
             parse_request(r#"{"cmd":"ping","trace":"t"}"#).unwrap(),
             Request::Ping
         );
+    }
+
+    #[test]
+    fn deadline_rides_on_any_request() {
+        let (req, meta) =
+            parse_request_meta(r#"{"cmd":"topr","k":2,"deadline_ms":250,"trace":"t9"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::TopR {
+                k: 2,
+                approx: None,
+                explain: false
+            }
+        );
+        assert_eq!(meta.deadline_ms, Some(250));
+        assert_eq!(meta.trace.as_deref(), Some("t9"));
+        // Zero budget is legal (expire-immediately probes).
+        let (_, meta) = parse_request_meta(r#"{"cmd":"ping","deadline_ms":0}"#).unwrap();
+        assert_eq!(meta.deadline_ms, Some(0));
+        for bad in [
+            r#"{"cmd":"ping","deadline_ms":-5}"#,
+            r#"{"cmd":"ping","deadline_ms":1.5}"#,
+            r#"{"cmd":"ping","deadline_ms":"fast"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request");
+        }
     }
 
     #[test]
@@ -554,6 +626,11 @@ mod tests {
         assert_eq!(
             err_response(&e),
             r#"{"ok":false,"error":{"code":"bad_request","message":"boom"}}"#
+        );
+        let e = ProtoError::new("memory_pressure", "over budget").with_retry_after(250);
+        assert_eq!(
+            err_response(&e),
+            r#"{"ok":false,"error":{"code":"memory_pressure","message":"over budget","retry_after_ms":250}}"#
         );
     }
 }

@@ -138,6 +138,20 @@ pub(crate) struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// `u64::from_le_bytes` over the first 8 bytes of a checked slice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// `u32::from_le_bytes` over the first 4 bytes of a checked slice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(a)
+}
+
 /// Try to parse one frame off the front of `buf`. `Ok(None)` means the
 /// buffer holds only a frame prefix (read more); `Ok(Some)` drains the
 /// frame's bytes from the buffer.
@@ -149,9 +163,9 @@ pub(crate) fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Frame>, String> {
     if kind > FRAME_RESYNC {
         return Err(format!("replication frame has unknown kind {kind}"));
     }
-    let seq = u64::from_le_bytes(buf[1..9].try_into().unwrap());
-    let ts_ms = u64::from_le_bytes(buf[9..17].try_into().unwrap());
-    let len = u32::from_le_bytes(buf[17..21].try_into().unwrap()) as usize;
+    let seq = le_u64(&buf[1..9]);
+    let ts_ms = le_u64(&buf[9..17]);
+    let len = le_u32(&buf[17..21]) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(format!(
             "replication frame payload of {len} bytes exceeds cap"
@@ -161,7 +175,7 @@ pub(crate) fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Frame>, String> {
     if buf.len() < total {
         return Ok(None);
     }
-    let stored = u64::from_le_bytes(buf[FRAME_HEADER + len..total].try_into().unwrap());
+    let stored = le_u64(&buf[FRAME_HEADER + len..total]);
     if journal::fnv1a(&buf[..FRAME_HEADER + len]) != stored {
         return Err("replication frame checksum mismatch".into());
     }
@@ -310,6 +324,11 @@ pub struct ReplicaStatus {
     /// When the replica last heard from the primary (any frame or the
     /// handshake) — the basis of `replica_lag_ms`.
     pub last_contact: Option<Instant>,
+    /// Whether the most recent apply attempt was refused by the
+    /// replica's own memory budget (`--memory-budget-bytes`): the
+    /// tailer is pausing and retrying, and lag grows until resident
+    /// bytes shrink. Surfaces as `pressure` in `replstatus`.
+    pub pressure: bool,
 }
 
 impl ReplicaStatus {
@@ -456,7 +475,7 @@ pub fn spawn_tailer(
     primary: String,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name("repl-tailer".into())
         .spawn(move || {
             engine.update_replica_status(|s| s.source = primary.clone());
@@ -485,8 +504,17 @@ pub fn spawn_tailer(
                 }
             }
             engine.update_replica_status(|s| s.connected = false);
-        })
-        .expect("spawn repl-tailer thread")
+        });
+    match spawned {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Thread exhaustion must not panic a long-lived server; the
+            // replica keeps serving reads (stale) and the operator sees
+            // the error. The dummy handle preserves join semantics.
+            topk_obs::error!("cannot spawn repl-tailer thread: {e}");
+            std::thread::spawn(|| {})
+        }
+    }
 }
 
 /// One replication session: handshake, optional snapshot bootstrap,
@@ -612,6 +640,22 @@ fn tail_once(
                 match engine.apply_replica_entry(rows) {
                     Ok(true) => {}
                     Ok(false) => return TailExit::Promoted,
+                    Err(e) if e.starts_with("memory_pressure") => {
+                        // The replica's own ingest budget refused the
+                        // entry: surface it (`replstatus` pressure),
+                        // pause the hinted backoff, and reconnect with
+                        // the cursor intact — the primary re-serves
+                        // from here once resident bytes shrink.
+                        engine.update_replica_status(|s| s.pressure = true);
+                        let mut waited = 0u64;
+                        while waited < crate::overload::RETRY_AFTER_MS
+                            && !stop.load(Ordering::Relaxed)
+                        {
+                            std::thread::sleep(Duration::from_millis(50));
+                            waited += 50;
+                        }
+                        return TailExit::Lost(format!("replica apply: {e}"));
+                    }
                     Err(e) => return TailExit::Lost(format!("replica apply: {e}")),
                 }
                 expected += 1;
@@ -620,6 +664,7 @@ fn tail_once(
                 engine.update_replica_status(|s| {
                     s.applied_seq = Some(expected);
                     s.head_seq = Some((frame.seq + 1).max(s.head_seq.unwrap_or(0)));
+                    s.pressure = false;
                 });
             }
             _ => unreachable!("take_frame rejects unknown kinds"),
@@ -628,6 +673,7 @@ fn tail_once(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -52,6 +52,7 @@ use crate::engine::Engine;
 use crate::introspection::SlowQueryLog;
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::overload::RETRY_AFTER_MS;
 use crate::protocol::{err_response, ok_response, parse_request_meta, ProtoError, Request};
 use crate::replication::{self, Role, Wait};
 
@@ -87,6 +88,7 @@ impl Default for ServerConfig {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
+    addr: SocketAddr,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
     /// Snapshot written right before exit, when set.
@@ -104,8 +106,12 @@ impl Server {
     /// port — read it back with [`local_addr`](Self::local_addr)).
     pub fn bind(addr: &str, engine: Arc<Engine>) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address of {addr}: {e}"))?;
         Ok(Server {
             listener,
+            addr: bound,
             engine,
             shutdown: Arc::new(AtomicBool::new(false)),
             snapshot_on_exit: None,
@@ -114,11 +120,9 @@ impl Server {
         })
     }
 
-    /// The bound address.
+    /// The bound address (captured at bind time).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+        self.addr
     }
 
     /// Serve until a client sends `shutdown`. Returns after all
@@ -153,6 +157,10 @@ impl Server {
                 // throwaway thread — a malicious peer that never reads
                 // must not block the accept loop for even a second.
                 Metrics::incr(&self.engine.metrics.server_shed);
+                // Sheds count against the availability SLO: the client
+                // asked and was refused (`docs/OBSERVABILITY.md`,
+                // *What counts against the SLO*).
+                self.engine.record_query_outcome(Duration::ZERO, false);
                 topk_obs::debug!("shedding connection (cap {} reached)", cfg.max_connections);
                 std::thread::spawn(move || {
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
@@ -247,10 +255,10 @@ impl Server {
 /// The response line shed connections receive (trailing newline
 /// included).
 pub fn overloaded_line() -> String {
-    let mut line = err_response(&ProtoError {
-        code: "overloaded",
-        message: "connection limit reached, retry with backoff".into(),
-    });
+    let mut line = err_response(
+        &ProtoError::new("overloaded", "connection limit reached, retry with backoff")
+            .with_retry_after(RETRY_AFTER_MS),
+    );
     line.push('\n');
     line
 }
@@ -498,13 +506,13 @@ fn handle_connection(
             ReadOutcome::TooLarge => {
                 Metrics::incr(&engine.metrics.server_oversized);
                 Metrics::incr(&engine.metrics.errors);
-                let response = err_response(&ProtoError {
-                    code: "too_large",
-                    message: format!(
+                let response = err_response(&ProtoError::new(
+                    "too_large",
+                    format!(
                         "request exceeds {} bytes; split the batch",
                         cfg.max_request_bytes
                     ),
-                });
+                ));
                 if write_line(&mut writer, &response).is_err() {
                     break;
                 }
@@ -514,10 +522,8 @@ fn handle_connection(
             }
             ReadOutcome::IdleTimeout | ReadOutcome::ReadTimeout => {
                 Metrics::incr(&engine.metrics.server_timeouts);
-                let response = err_response(&ProtoError {
-                    code: "timeout",
-                    message: "connection deadline exceeded".into(),
-                });
+                let response =
+                    err_response(&ProtoError::new("timeout", "connection deadline exceeded"));
                 let _ = write_line(&mut writer, &response);
                 break;
             }
@@ -552,12 +558,10 @@ fn serve_replication(
         // Refusing keeps a partitioned ex-primary from feeding a
         // diverged history to followers (split-brain guard).
         Metrics::incr(&engine.metrics.errors);
-        let e = ProtoError {
-            code: "not_primary",
-            message: format!(
-                "requester epoch {requester_epoch} > ours {epoch}; this primary is stale"
-            ),
-        };
+        let e = ProtoError::new(
+            "not_primary",
+            format!("requester epoch {requester_epoch} > ours {epoch}; this primary is stale"),
+        );
         let _ = write_line(writer, &err_response(&e));
         return;
     }
@@ -567,13 +571,12 @@ fn serve_replication(
     // anything else (no cursor, evicted cursor, or a cursor from a
     // different history claiming entries we never published) gets a
     // fresh snapshot.
-    let tail_ok = match from {
-        Some(f) => f <= log.next() && !matches!(log.wait_from(f, Duration::ZERO), Wait::Behind),
-        None => false,
-    };
+    let tail_cursor = from
+        .filter(|&f| f <= log.next() && !matches!(log.wait_from(f, Duration::ZERO), Wait::Behind));
+    let tail_ok = tail_cursor.is_some();
     let mut cursor;
-    if tail_ok {
-        cursor = from.expect("tail_ok implies a cursor");
+    if let Some(f) = tail_cursor {
+        cursor = f;
         let header = obj(vec![
             ("ok", Json::Bool(true)),
             ("mode", Json::Str("tail".into())),
@@ -593,10 +596,8 @@ fn serve_replication(
             Ok(pair) => pair,
             Err(e) => {
                 Metrics::incr(&engine.metrics.errors);
-                let e = ProtoError {
-                    code: "internal",
-                    message: format!("cannot encode bootstrap snapshot: {e}"),
-                };
+                let e =
+                    ProtoError::new("internal", format!("cannot encode bootstrap snapshot: {e}"));
                 let _ = write_line(writer, &err_response(&e));
                 return;
             }
@@ -761,10 +762,10 @@ fn dispatch_isolated(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
             Metrics::incr(&engine.metrics.errors);
             topk_obs::error!("request handler panicked: {what}");
             (
-                err_response(&ProtoError {
-                    code: "internal",
-                    message: "request handler panicked; state recovered".into(),
-                }),
+                err_response(&ProtoError::new(
+                    "internal",
+                    "request handler panicked; state recovered",
+                )),
                 false,
                 RequestInfo::failed("panic"),
             )
@@ -784,13 +785,19 @@ pub fn dispatch(line: &str, engine: &Engine) -> (String, bool) {
 /// should shut down, and the [`RequestInfo`] the connection handler
 /// feeds into SLO tracking and the slow-query log.
 pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo) {
-    let (request, trace) = match parse_request_meta(line) {
+    let t0 = Instant::now();
+    let (request, meta) = match parse_request_meta(line) {
         Ok(r) => r,
         Err(e) => {
             Metrics::incr(&engine.metrics.errors);
             return (err_response(&e), false, RequestInfo::failed("invalid"));
         }
     };
+    let trace = meta.trace;
+    // The deadline anchors at receipt: `deadline_ms` is the *remaining*
+    // budget the client grants this attempt, so network transit already
+    // spent is the client's to account for (it stamps the remainder).
+    let deadline = meta.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
     let cmd = match &request {
         Request::Ping => "ping",
         Request::Ingest(_) => "ingest",
@@ -809,10 +816,6 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
         Request::ReplStatus => "replstatus",
     };
     let is_query = matches!(request, Request::TopK { .. } | Request::TopR { .. });
-    let engine_err = |message: String| ProtoError {
-        code: "engine_error",
-        message,
-    };
     // Replicas refuse writes: a client that lands an `ingest` or
     // `restore` on a follower gets a structured `not_primary` so a
     // failover-aware client rotates endpoints instead of silently
@@ -821,13 +824,13 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
         && matches!(request, Request::Ingest(_) | Request::Restore { .. })
     {
         Metrics::incr(&engine.metrics.errors);
-        let e = ProtoError {
-            code: "not_primary",
-            message: format!(
+        let e = ProtoError::new(
+            "not_primary",
+            format!(
                 "this server is a replica (epoch {}); send writes to the primary",
                 engine.epoch()
             ),
-        };
+        );
         return (err_response(&e), false, RequestInfo::failed(cmd));
     }
     let mut stop = false;
@@ -861,10 +864,10 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                                 members.push(("spans", Json::Num(n as f64)));
                                 None
                             }
-                            Err(e) => Some(ProtoError {
-                                code: "io_error",
-                                message: format!("cannot write trace {path}: {e}"),
-                            }),
+                            Err(e) => Some(ProtoError::new(
+                                "io_error",
+                                format!("cannot write trace {path}: {e}"),
+                            )),
                         }
                     }
                     None if inline => {
@@ -904,34 +907,14 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                         ("generation", Json::Num(generation as f64)),
                     ])
                 })
-                .map_err(|m| {
-                    if m.starts_with("journal") {
-                        // Durability failure, not a bad request: the
-                        // engine rejected the batch without applying it
-                        // (`docs/ROBUSTNESS.md`, *Journal write errors*).
-                        ProtoError {
-                            code: "journal",
-                            message: m,
-                        }
-                    } else {
-                        engine_err(m)
-                    }
-                })
+                .map_err(engine_error)
         }
-        Request::TopK { k, approx, explain } => match (approx, explain) {
-            (None, false) => engine.query_topk(k),
-            (None, true) => engine.query_topk_explained(k),
-            (Some(eps), false) => engine.query_topk_approx(k, eps),
-            (Some(eps), true) => engine.query_topk_approx_explained(k, eps),
+        Request::TopK { k, approx, explain } => {
+            run_query(engine, false, k, approx, explain, deadline)
         }
-        .map_err(engine_err),
-        Request::TopR { k, approx, explain } => match (approx, explain) {
-            (None, false) => engine.query_topr(k),
-            (None, true) => engine.query_topr_explained(k),
-            (Some(eps), false) => engine.query_topr_approx(k, eps),
-            (Some(eps), true) => engine.query_topr_approx_explained(k, eps),
+        Request::TopR { k, approx, explain } => {
+            run_query(engine, true, k, approx, explain, deadline)
         }
-        .map_err(engine_err),
         Request::Snapshot { path } => engine
             .snapshot(std::path::Path::new(&path))
             .map(|bytes| {
@@ -940,10 +923,7 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                     ("bytes", Json::Num(bytes as f64)),
                 ])
             })
-            .map_err(|m| ProtoError {
-                code: "io_error",
-                message: m,
-            }),
+            .map_err(|m| ProtoError::new("io_error", m)),
         Request::Restore { path } => engine
             .restore(std::path::Path::new(&path))
             .map(|generation| {
@@ -952,10 +932,7 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
                     ("generation", Json::Num(generation as f64)),
                 ])
             })
-            .map_err(|m| ProtoError {
-                code: "io_error",
-                message: m,
-            }),
+            .map_err(|m| ProtoError::new("io_error", m)),
         Request::Replicate { .. } => {
             // Real replication streams are intercepted in
             // `handle_connection` before dispatch; reaching this arm
@@ -1002,6 +979,72 @@ pub fn dispatch_full(line: &str, engine: &Engine) -> (String, bool, RequestInfo)
     }
 }
 
+/// Map an engine error message onto its wire code by prefix. The
+/// engine reports errors as strings; prefix conventions keep the
+/// engine decoupled from the protocol layer (`journal:` from the
+/// durability path, `deadline_exceeded`/`memory_pressure` from
+/// overload control — `docs/ROBUSTNESS.md`).
+fn engine_error(m: String) -> ProtoError {
+    if m.starts_with("journal") {
+        // Durability failure, not a bad request: the engine rejected
+        // the batch without applying it (`docs/ROBUSTNESS.md`,
+        // *Journal write errors*).
+        ProtoError::new("journal", m)
+    } else if m.starts_with("deadline_exceeded") {
+        ProtoError::new("deadline_exceeded", m)
+    } else if m.starts_with("memory_pressure") {
+        // Transient by design: retry once the hinted backoff elapsed
+        // (resident bytes shrink on restore/replace, not by waiting,
+        // but the hint spaces out the client's re-offers).
+        ProtoError::new("memory_pressure", m).with_retry_after(RETRY_AFTER_MS)
+    } else {
+        ProtoError::new("engine_error", m)
+    }
+}
+
+/// Execute one `topk`/`topr` request through the overload gate: shed
+/// (`err:"overloaded"` with a retry hint), degrade to the approx tier
+/// (marked `degraded:true`), or serve as asked.
+fn run_query(
+    engine: &Engine,
+    rank: bool,
+    k: usize,
+    approx: Option<f64>,
+    explain: bool,
+    deadline: Option<Instant>,
+) -> Result<Json, ProtoError> {
+    match engine.overload_gate(rank, approx.is_some(), deadline) {
+        Err(retry_ms) => Err(ProtoError::new(
+            "overloaded",
+            "brownout admission: estimated query cost exceeds the remaining budget",
+        )
+        .with_retry_after(retry_ms)),
+        Ok(Some(epsilon)) => {
+            Metrics::incr(&engine.metrics.degraded_queries);
+            engine
+                .query_with(rank, k, Some(epsilon), explain, deadline)
+                .map(mark_degraded)
+                .map_err(engine_error)
+        }
+        Ok(None) => engine
+            .query_with(rank, k, approx, explain, deadline)
+            .map_err(engine_error),
+    }
+}
+
+/// Stamp `degraded:true` on a brownout-degraded response body so
+/// clients can tell an adaptive approximation from the answer they
+/// asked for.
+fn mark_degraded(body: Json) -> Json {
+    match body {
+        Json::Obj(mut members) => {
+            members.push(("degraded".to_string(), Json::Bool(true)));
+            Json::Obj(members)
+        }
+        other => other,
+    }
+}
+
 /// Render one span record as JSON for the `trace` command's inline
 /// drain: everything a client needs to rebuild a
 /// [`topk_obs::TraceEvent`] on its side of a stitched trace.
@@ -1031,6 +1074,7 @@ fn span_json(s: &topk_obs::SpanRecord) -> Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
@@ -1371,10 +1415,10 @@ mod tests {
                 Metrics::incr(&engine.metrics.server_panics);
                 Metrics::incr(&engine.metrics.errors);
                 (
-                    err_response(&ProtoError {
-                        code: "internal",
-                        message: "request handler panicked; state recovered".into(),
-                    }),
+                    err_response(&ProtoError::new(
+                        "internal",
+                        "request handler panicked; state recovered",
+                    )),
                     false,
                 )
             }
@@ -1387,9 +1431,54 @@ mod tests {
         assert!(line.ends_with('\n'));
         let v = crate::json::parse(line.trim()).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        let error = v.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("overloaded"));
+        // Shed clients get a backoff hint instead of guessing.
         assert_eq!(
-            v.get("error").unwrap().get("code").unwrap().as_str(),
-            Some("overloaded")
+            error.get("retry_after_ms").unwrap().as_f64(),
+            Some(RETRY_AFTER_MS as f64)
         );
+    }
+
+    #[test]
+    fn dispatch_deadline_envelopes() {
+        let e = engine();
+        dispatch(
+            r#"{"cmd":"ingest","batch":[{"fields":["ann xu"]},{"fields":["ann xu"]}]}"#,
+            &e,
+        );
+        // A zero budget expires before admission: structured error, no
+        // work burned, counted.
+        let (r, stop, info) = dispatch_full(r#"{"cmd":"topk","k":1,"deadline_ms":0}"#, &e);
+        assert!(!stop);
+        assert!(r.contains(r#""code":"deadline_exceeded""#), "{r}");
+        assert!(info.is_query && !info.ok);
+        assert_eq!(Metrics::get(&e.metrics.deadline_exceeded), 1);
+        // A generous budget answers byte-identically to no deadline.
+        let (with, _) = dispatch(r#"{"cmd":"topk","k":1,"deadline_ms":60000}"#, &e);
+        let (without, _) = dispatch(r#"{"cmd":"topk","k":1}"#, &e);
+        assert_eq!(with, without);
+        assert!(with.starts_with(r#"{"ok":true,"groups":"#), "{with}");
+    }
+
+    #[test]
+    fn engine_error_prefixes_map_to_wire_codes() {
+        let e = engine_error("deadline_exceeded: request budget exhausted before merge".into());
+        assert_eq!(e.code, "deadline_exceeded");
+        assert_eq!(e.retry_after_ms, None);
+        let e = engine_error("memory_pressure: ingest of ~10 bytes would exceed".into());
+        assert_eq!(e.code, "memory_pressure");
+        assert_eq!(e.retry_after_ms, Some(RETRY_AFTER_MS));
+        let e = engine_error("journal append failed: disk".into());
+        assert_eq!(e.code, "journal");
+        let e = engine_error("anything else".into());
+        assert_eq!(e.code, "engine_error");
+    }
+
+    #[test]
+    fn mark_degraded_appends_member() {
+        let body = obj(vec![("groups", Json::Arr(vec![]))]);
+        let marked = mark_degraded(body).to_string();
+        assert_eq!(marked, r#"{"groups":[],"degraded":true}"#);
     }
 }

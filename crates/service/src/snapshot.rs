@@ -267,6 +267,7 @@ pub fn read_snapshot(path: &Path) -> Result<(IncrementalState, Vec<String>, Fiel
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -152,3 +152,54 @@ fn metric_table_matches_live_exposition_bidirectionally() {
         );
     }
 }
+
+/// The SLO accounting semantics under overload
+/// (docs/OBSERVABILITY.md, *SLOs & health*): a shed request burns
+/// error budget — the caller got no answer — while a brownout-degraded
+/// answer is `ok:true` and does **not** count against availability
+/// (brownout spends accuracy instead of availability).
+#[test]
+fn sheds_count_against_availability_but_degraded_answers_do_not() {
+    use std::time::Duration;
+    use topk_service::server::dispatch_full;
+
+    let rows: Vec<(Vec<String>, f64)> = (0..40)
+        .map(|i| (vec![format!("slo person {i} alpha")], 1.0))
+        .collect();
+    // Price the corpus on an unlimited engine, then rebuild with a
+    // budget the corpus fits but pressures (past the 80% watermark).
+    let probe = Engine::new(EngineConfig {
+        parallelism: Parallelism::sequential(),
+        ..Default::default()
+    })
+    .unwrap();
+    probe.ingest(rows.clone()).unwrap();
+    let resident = probe.overload().total_bytes();
+    let engine = Engine::new(EngineConfig {
+        parallelism: Parallelism::sequential(),
+        memory_budget_bytes: resident + resident / 8,
+        ..Default::default()
+    })
+    .unwrap();
+    engine.ingest(rows).unwrap();
+    assert!(engine.overload().memory_pressured());
+
+    // A shed is recorded as a zero-latency failure (the accept loop and
+    // the admission gate both do exactly this): it must burn budget.
+    engine.record_query_outcome(Duration::ZERO, false);
+    let w = engine.slo().report().remove(0);
+    assert_eq!((w.total, w.errors), (1, 1), "a shed must count as an error");
+
+    // A degraded answer is a success envelope; the connection handler
+    // records `info.ok` — so availability must not move.
+    let (resp, _, info) = dispatch_full(r#"{"cmd":"topk","k":3}"#, &engine);
+    assert!(resp.contains(r#""degraded":true"#), "{resp}");
+    assert!(info.is_query && info.ok, "{info:?}");
+    engine.record_query_outcome(Duration::from_micros(100), info.ok);
+    let w = engine.slo().report().remove(0);
+    assert_eq!(
+        (w.total, w.errors),
+        (2, 1),
+        "a degraded-but-answered query must not count as an error"
+    );
+}

@@ -11,8 +11,9 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use topk_bench::faults::{
-    chaos_journal_replay, chaos_retry, chaos_shed, disconnect_mid_response, flood, send_line_raw,
-    send_truncated, slow_loris, tight_config, TestServer,
+    chaos_deadline_storm, chaos_journal_replay, chaos_memory_pressure, chaos_retry, chaos_shed,
+    disconnect_mid_response, flood, send_line_raw, send_truncated, slow_loris, tight_config,
+    TestServer,
 };
 use topk_service::{JournalSet, Metrics, ServerConfig};
 
@@ -260,4 +261,20 @@ fn kill_dash_nine_recovers_byte_identical_state_from_the_journal() {
     let outcome = chaos_journal_replay().unwrap();
     assert_eq!(outcome.name, "journal-replay");
     assert!(outcome.detail.contains("byte-identical"), "{outcome:?}");
+}
+
+#[test]
+fn over_budget_ingest_is_refused_and_the_gauge_holds_the_line() {
+    watchdog(90);
+    let outcome = chaos_memory_pressure().unwrap();
+    assert_eq!(outcome.name, "memory-pressure");
+    assert!(outcome.detail.contains("memory_pressure"), "{outcome:?}");
+}
+
+#[test]
+fn expired_deadlines_abort_at_admission_without_collateral_damage() {
+    watchdog(90);
+    let outcome = chaos_deadline_storm().unwrap();
+    assert_eq!(outcome.name, "deadline-storm");
+    assert!(outcome.detail.contains("deadline_exceeded"), "{outcome:?}");
 }
